@@ -1,0 +1,145 @@
+//! E11: ablations of the framework's own design decisions (DESIGN.md §6).
+//!
+//! Not a paper figure — these isolate the costs of choices this
+//! implementation makes so readers can separate "the paper's
+//! architecture" from "this codebase's engineering":
+//!
+//!  * **route cache** — without it every remote call pays two extra SOAP
+//!    round trips to the VSR (resolve + gateway_node);
+//!  * **the Java tax** — the prototype's 2002 JVM XML costs vs a free
+//!    CPU model (isolates wire from CPU);
+//!  * **X10 blind repeats** — the PCM's only reliability tool on an
+//!    unacknowledged medium: delivery probability vs repeats vs noise.
+
+use bench::{cell, fmt_us, Report};
+use criterion::{criterion_group, criterion_main, Criterion};
+use metaware::{SmartHome, Soap11, VsgProtocol, VsgRequest};
+use simnet::{LinkModel, Network, Sim};
+use soap::{CpuModel, TcpModel, Value};
+use std::sync::Arc;
+
+fn route_cache_ablation() {
+    let mut report = Report::new(
+        "E11a",
+        "route cache: one warm remote call vs re-resolving every call",
+        &["mode", "latency/call", "VSR inquiries/call", "backbone bytes/call"],
+    );
+    for cached in [true, false] {
+        let home = SmartHome::builder().build().unwrap();
+        let gw = home.jini.as_ref().unwrap().vsg.clone();
+        // Warm everything once.
+        gw.invoke(&home.sim, "hall-lamp", "status", &[]).unwrap();
+        let calls = 10u64;
+        let t0 = home.sim.now();
+        let inq0 = home.vsr.registry_stats().inquiries;
+        let b0 = home.backbone.with_stats(|s| s.total().bytes);
+        for _ in 0..calls {
+            if !cached {
+                gw.clear_route_cache();
+            }
+            gw.invoke(&home.sim, "hall-lamp", "status", &[]).unwrap();
+        }
+        let dt = (home.sim.now() - t0).as_micros() / calls;
+        let inq = (home.vsr.registry_stats().inquiries - inq0) / calls;
+        let bytes = (home.backbone.with_stats(|s| s.total().bytes) - b0) / calls;
+        report.row(vec![
+            cell(if cached { "cached route" } else { "resolve every call" }),
+            fmt_us(dt),
+            cell(inq),
+            cell(bytes),
+        ]);
+    }
+    report.emit();
+}
+
+fn java_tax_ablation() {
+    let mut report = Report::new(
+        "E11b",
+        "the 2002 Java tax: SOAP call with JVM-era XML costs vs free CPU",
+        &["cpu model", "latency/call", "of which wire (free-CPU)"],
+    );
+    let mut wire_only = 0;
+    for (name, cpu) in [("free", CpuModel::free()), ("jvm-2002", CpuModel::default())] {
+        let protocol = Soap11::with_models(cpu, TcpModel::default());
+        let sim = Sim::new(1);
+        let net = Network::ethernet(&sim);
+        let server = VsgProtocol::bind(&protocol, &net, "gw", Arc::new(|_, _| Ok(Value::Null)));
+        let client = net.attach("c");
+        let req = VsgRequest::new("svc", "ping").arg("x", 1);
+        let t0 = sim.now();
+        VsgProtocol::call(&protocol, &net, client, server, &req).unwrap();
+        let dt = (sim.now() - t0).as_micros();
+        if name == "free" {
+            wire_only = dt;
+        }
+        report.row(vec![
+            cell(name),
+            fmt_us(dt),
+            format!("{:.0}%", 100.0 * wire_only as f64 / dt as f64),
+        ]);
+    }
+    report.emit();
+}
+
+fn x10_repeat_ablation() {
+    let mut report = Report::new(
+        "E11c",
+        "X10 blind repeats vs powerline noise: delivery rate over 200 commands",
+        &["loss prob", "1 repeat", "2 repeats", "3 repeats", "4 repeats"],
+    );
+    for loss in [0.02f64, 0.05, 0.10, 0.20] {
+        let mut cells = vec![format!("{:.0}%", loss * 100.0)];
+        for repeats in 1u32..=4 {
+            let sim = Sim::new(42 + repeats as u64);
+            let link = LinkModel { loss_prob: loss, ..simnet::netkind::powerline() };
+            let net = Network::new(&sim, "powerline", link);
+            let tx = x10::Transmitter::attach(&net, "pcm");
+            let _rx = net.attach("lamp");
+            let h = metaware::house('A');
+            let u = metaware::unit(1);
+            let mut delivered = 0;
+            let trials = 200;
+            for _ in 0..trials {
+                if x10::send_with_repeats(&tx, h, u, x10::Function::On, repeats) {
+                    delivered += 1;
+                }
+            }
+            cells.push(format!("{:.1}%", 100.0 * delivered as f64 / trials as f64));
+        }
+        report.row(cells);
+    }
+    report.emit();
+}
+
+fn bench(c: &mut Criterion) {
+    route_cache_ablation();
+    java_tax_ablation();
+    x10_repeat_ablation();
+
+    // Real-CPU: the cached vs uncached remote call.
+    let home = SmartHome::builder().build().unwrap();
+    let gw = home.jini.as_ref().unwrap().vsg.clone();
+    gw.invoke(&home.sim, "hall-lamp", "status", &[]).unwrap();
+    c.bench_function("e11_cached_remote_call", |b| {
+        b.iter(|| gw.invoke(&home.sim, "hall-lamp", "status", &[]).unwrap())
+    });
+    c.bench_function("e11_uncached_remote_call", |b| {
+        b.iter(|| {
+            gw.clear_route_cache();
+            gw.invoke(&home.sim, "hall-lamp", "status", &[]).unwrap()
+        })
+    });
+
+    // Real-CPU: argument type checking in isolation.
+    let sig = metaware::OpSig::new("record")
+        .param("channel", metaware::TypeTag::Int)
+        .param("title", metaware::TypeTag::Str);
+    let args = vec![
+        ("channel".to_owned(), Value::Int(42)),
+        ("title".to_owned(), Value::Str("News".into())),
+    ];
+    c.bench_function("e11_type_check", |b| b.iter(|| sig.check_args(&args).unwrap()));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

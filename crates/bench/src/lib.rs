@@ -1,0 +1,137 @@
+//! Shared harness for the experiment benches (E1–E10).
+//!
+//! Each bench regenerates one figure/claim of the paper's evaluation:
+//! it prints the simulated-metric table the experiment is about (these
+//! are deterministic — byte counts and virtual-time latencies), records
+//! it as JSON under `target/bench-results/`, and then lets Criterion
+//! measure the real CPU cost of the simulated scenario.
+
+pub mod workload;
+
+use serde::Serialize;
+use std::fmt::Display;
+use std::fs;
+use std::path::PathBuf;
+
+/// One experiment report: a named table.
+#[derive(Debug, Serialize)]
+pub struct Report {
+    /// Experiment id, e.g. `"E1"`.
+    pub id: String,
+    /// What the experiment shows.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new(id: &str, title: &str, headers: &[&str]) -> Report {
+        Report {
+            id: id.to_owned(),
+            title: title.to_owned(),
+            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds a row of displayable cells.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width matches headers");
+        self.rows.push(cells);
+    }
+
+    /// Prints the table and writes the JSON artefact.
+    pub fn emit(&self) {
+        let widths: Vec<usize> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| {
+                self.rows
+                    .iter()
+                    .map(|r| r[i].len())
+                    .chain([h.len()])
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect();
+        println!("\n=== {} — {} ===", self.id, self.title);
+        let fmt_row = |cells: &[String]| {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        println!("{}", fmt_row(&self.headers));
+        println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        for r in &self.rows {
+            println!("{}", fmt_row(r));
+        }
+
+        let dir = PathBuf::from("target/bench-results");
+        let _ = fs::create_dir_all(&dir);
+        let path = dir.join(format!("{}.json", self.id.to_lowercase()));
+        if let Ok(json) = serde_json::to_string_pretty(self) {
+            let _ = fs::write(&path, json);
+            println!("[written {}]", path.display());
+        }
+    }
+}
+
+/// Formats a cell.
+pub fn cell(v: impl Display) -> String {
+    v.to_string()
+}
+
+/// The `p`-th percentile of a sample set (nearest-rank; `samples` need
+/// not be sorted).
+pub fn percentile(samples: &[u64], p: f64) -> u64 {
+    assert!(!samples.is_empty(), "percentile of empty sample set");
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+/// Formats microseconds as adaptive ms/us.
+pub fn fmt_us(us: u64) -> String {
+    if us >= 10_000 {
+        format!("{:.1}ms", us as f64 / 1_000.0)
+    } else {
+        format!("{us}us")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_emits_without_panicking() {
+        let mut r = Report::new("E0", "smoke", &["a", "b"]);
+        r.row(vec![cell(1), cell("x")]);
+        r.row(vec![cell(22), fmt_us(1_500)]);
+        r.emit();
+        assert_eq!(r.rows.len(), 2);
+    }
+
+    #[test]
+    fn fmt_us_is_adaptive() {
+        assert_eq!(fmt_us(900), "900us");
+        assert_eq!(fmt_us(12_345), "12.3ms");
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let s: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&s, 50.0), 50);
+        assert_eq!(percentile(&s, 99.0), 99);
+        assert_eq!(percentile(&s, 100.0), 100);
+        assert_eq!(percentile(&[7], 50.0), 7);
+    }
+}

@@ -1,0 +1,128 @@
+//! Seeded workload generation for the saturation experiment (E12).
+//!
+//! Generates reproducible streams of cross-island invocations against
+//! the standard smart home — a day in the life of the federation.
+
+use metaware::{Middleware, SmartHome};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use soap::Value;
+
+/// One scripted invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Call {
+    /// Which island's gateway issues it.
+    pub from: Middleware,
+    /// Target service.
+    pub service: &'static str,
+    /// Target operation.
+    pub operation: &'static str,
+    /// Arguments.
+    pub args: Vec<(String, Value)>,
+}
+
+const ISLANDS: [Middleware; 4] = [
+    Middleware::Jini,
+    Middleware::Havi,
+    Middleware::X10,
+    Middleware::Mail,
+];
+
+/// A seeded generator of home-plausible calls.
+#[derive(Debug)]
+pub struct Workload {
+    rng: StdRng,
+}
+
+impl Workload {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Workload {
+        Workload { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// The next call: a weighted mix of reads (status checks, the bulk of
+    /// home traffic) and writes (switches, transports, tuning).
+    pub fn next_call(&mut self) -> Call {
+        let from = ISLANDS[self.rng.gen_range(0..ISLANDS.len())];
+        let dice = self.rng.gen_range(0..100);
+        let (service, operation, args): (&str, &str, Vec<(String, Value)>) = match dice {
+            0..=29 => ("hall-lamp", "status", vec![]),
+            30..=44 => (
+                "hall-lamp",
+                "switch",
+                vec![("on".into(), Value::Bool(self.rng.gen()))],
+            ),
+            45..=59 => ("laserdisc", "status", vec![]),
+            60..=69 => ("dv-camera", "status", vec![]),
+            70..=79 => ("fridge", "temperature", vec![]),
+            80..=86 => (
+                "tv-tuner",
+                "set_channel",
+                vec![("channel".into(), Value::Int(self.rng.gen_range(1..100)))],
+            ),
+            87..=93 => ("living-room-vcr", "status", vec![]),
+            _ => (
+                "desk-lamp",
+                "dim",
+                vec![("steps".into(), Value::Int(self.rng.gen_range(1..5)))],
+            ),
+        };
+        Call { from, service, operation, args }
+    }
+
+    /// Generates a trace of `n` calls.
+    pub fn trace(&mut self, n: usize) -> Vec<Call> {
+        (0..n).map(|_| self.next_call()).collect()
+    }
+}
+
+/// Replays a trace against a home, returning per-call virtual latencies
+/// in microseconds. Panics on any invocation error (the standard home
+/// serves every generated call).
+pub fn replay(home: &SmartHome, trace: &[Call]) -> Vec<u64> {
+    trace
+        .iter()
+        .map(|call| {
+            let t0 = home.sim.now();
+            home.invoke_from(call.from, call.service, call.operation, &call.args)
+                .unwrap_or_else(|e| {
+                    panic!("{} -> {}.{}: {e}", call.from, call.service, call.operation)
+                });
+            (home.sim.now() - t0).as_micros()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_trace() {
+        let a = Workload::new(9).trace(50);
+        let b = Workload::new(9).trace(50);
+        assert_eq!(a, b);
+        let c = Workload::new(10).trace(50);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn traces_cover_multiple_islands_and_services() {
+        let trace = Workload::new(1).trace(200);
+        let islands: std::collections::HashSet<_> =
+            trace.iter().map(|c| c.from.label()).collect();
+        let services: std::collections::HashSet<_> =
+            trace.iter().map(|c| c.service).collect();
+        assert!(islands.len() >= 3, "{islands:?}");
+        assert!(services.len() >= 5, "{services:?}");
+    }
+
+    #[test]
+    fn replay_executes_cleanly() {
+        let home = SmartHome::builder().build().unwrap();
+        let trace = Workload::new(7).trace(30);
+        let latencies = replay(&home, &trace);
+        assert_eq!(latencies.len(), 30);
+        assert!(latencies.iter().any(|l| *l > 0));
+    }
+}

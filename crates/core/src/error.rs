@@ -1,0 +1,93 @@
+//! Framework-level errors.
+
+use std::fmt;
+
+/// Errors surfaced by the meta-middleware framework.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetaError {
+    /// No service with that name is known to the VSR.
+    UnknownService(String),
+    /// The service exists but does not offer the operation.
+    UnknownOperation {
+        /// The service.
+        service: String,
+        /// The operation that was requested.
+        operation: String,
+    },
+    /// An argument failed the interface's type check.
+    TypeMismatch {
+        /// The operation.
+        operation: String,
+        /// The offending parameter.
+        parameter: String,
+        /// What the interface declares.
+        expected: String,
+        /// What the caller supplied.
+        got: String,
+    },
+    /// The VSG protocol layer failed (encode/decode/transport).
+    Protocol(String),
+    /// The underlying middleware reported a failure.
+    Native {
+        /// Which middleware.
+        middleware: String,
+        /// Its error text.
+        detail: String,
+    },
+    /// The gateway needed for a remote service is not reachable.
+    GatewayUnreachable(String),
+    /// The repository rejected or failed a request.
+    Repository(String),
+}
+
+impl MetaError {
+    /// Convenience constructor for middleware-native failures.
+    pub fn native(middleware: &str, detail: impl fmt::Display) -> MetaError {
+        MetaError::Native { middleware: middleware.to_owned(), detail: detail.to_string() }
+    }
+}
+
+impl fmt::Display for MetaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetaError::UnknownService(s) => write!(f, "unknown service '{s}'"),
+            MetaError::UnknownOperation { service, operation } => {
+                write!(f, "service '{service}' has no operation '{operation}'")
+            }
+            MetaError::TypeMismatch { operation, parameter, expected, got } => write!(
+                f,
+                "type mismatch in {operation}({parameter}): expected {expected}, got {got}"
+            ),
+            MetaError::Protocol(m) => write!(f, "VSG protocol error: {m}"),
+            MetaError::Native { middleware, detail } => {
+                write!(f, "{middleware} error: {detail}")
+            }
+            MetaError::GatewayUnreachable(g) => write!(f, "gateway '{g}' unreachable"),
+            MetaError::Repository(m) => write!(f, "repository error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MetaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = MetaError::TypeMismatch {
+            operation: "record".into(),
+            parameter: "channel".into(),
+            expected: "int".into(),
+            got: "string".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("record"));
+        assert!(s.contains("channel"));
+        assert!(s.contains("int"));
+
+        let e = MetaError::native("jini", "lease expired");
+        assert_eq!(e.to_string(), "jini error: lease expired");
+    }
+}

@@ -1,0 +1,708 @@
+//! The smart home of §1, ready-made.
+//!
+//! "Let's think about a smart home \[with\] a HAVi-based IEEE1394 network
+//! connecting a digital TV and VCR, a Jini-based Ethernet network
+//! connecting a refrigerator and an air conditioner" — plus the X10
+//! powerline, the Internet mail service, and (post-hoc, §5) UPnP.
+//!
+//! [`SmartHome::builder`] assembles any subset of these islands on one
+//! simulation: networks, native middleware, devices, gateways, PCMs, and
+//! the VSR — then bridges everything. Examples, integration tests and
+//! every benchmark build on it.
+
+use crate::error::MetaError;
+use crate::iface::{catalog, InterfaceCatalog};
+use crate::pcm::havi::HaviPcm;
+use crate::pcm::jini::JiniPcm;
+use crate::pcm::mail::MailPcm;
+use crate::pcm::upnp::UpnpPcm;
+use crate::pcm::x10::X10Pcm;
+use crate::protocol::{Soap11, VsgProtocol};
+use crate::service::Middleware;
+use crate::vsg::Vsg;
+use crate::vsr::Vsr;
+use havi::{Dcm, EventManager, FcmKind, MessagingSystem, Registry, StreamManager};
+use jini::{discover, Entry, JValue, LookupService, RegistrarClient, RmiExporter, ServiceItem};
+use mailsvc::{MailClient, MailServer};
+use parking_lot::Mutex;
+use simnet::{Network, Sim, SimDuration};
+use soap::Value;
+use std::sync::Arc;
+use upnp::{DeviceDescription, UpnpDevice};
+use x10::{Cm11a, Cm11aDriver, HouseCode, Module, ModuleKind, MotionSensor, Remote, UnitCode};
+
+/// Observable state of the Jini laserdisc player.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LaserdiscState {
+    /// Currently playing?
+    pub playing: bool,
+    /// Current chapter.
+    pub chapter: i64,
+}
+
+/// The Jini island: Ethernet, a lookup service, and three appliances.
+pub struct JiniIsland {
+    /// The island's Ethernet.
+    pub net: Network,
+    /// The lookup service.
+    pub reggie: LookupService,
+    /// The island's gateway.
+    pub vsg: Vsg,
+    /// The island's PCM.
+    pub pcm: JiniPcm,
+    /// Laserdisc player state (for assertions).
+    pub laserdisc: Arc<Mutex<LaserdiscState>>,
+    /// Refrigerator temperature.
+    pub fridge_temp: Arc<Mutex<f64>>,
+    /// Air conditioner power state.
+    pub aircon_on: Arc<Mutex<bool>>,
+}
+
+/// The HAVi island: an IEEE1394 bus with AV appliances.
+pub struct HaviIsland {
+    /// The 1394 bus.
+    pub bus: Network,
+    /// The FAV controller's messaging system (hosts registry + events).
+    pub fav: MessagingSystem,
+    /// The HAVi registry.
+    pub registry: Registry,
+    /// The HAVi event manager.
+    pub events: EventManager,
+    /// The stream manager.
+    pub streams: StreamManager,
+    /// The island's gateway.
+    pub vsg: Vsg,
+    /// The island's PCM.
+    pub pcm: HaviPcm,
+    /// The digital TV (tuner + display).
+    pub tv: Dcm,
+    /// The DV camcorder (the Fig. 5 camera).
+    pub camcorder: Dcm,
+    /// The VCR.
+    pub vcr: Dcm,
+}
+
+/// The X10 island: the powerline, modules, a sensor and a remote.
+pub struct X10Island {
+    /// The powerline.
+    pub powerline: Network,
+    /// The CM11A's serial line.
+    pub serial: Network,
+    /// The computer interface.
+    pub cm11a: Cm11a,
+    /// The island's gateway.
+    pub vsg: Vsg,
+    /// The island's PCM.
+    pub pcm: X10Pcm,
+    /// Hall lamp at A1.
+    pub hall_lamp: Module,
+    /// Desk lamp at A2.
+    pub desk_lamp: Module,
+    /// Fan (appliance module) at A3.
+    pub fan: Module,
+    /// Motion sensor at C9.
+    pub motion: MotionSensor,
+}
+
+impl X10Island {
+    /// A fresh handheld remote on house code A.
+    pub fn remote(&self) -> Remote {
+        Remote::new(&self.powerline, "remote", house('A'))
+    }
+}
+
+/// The Internet island: the mail service across the WAN.
+pub struct MailIsland {
+    /// The uplink.
+    pub inet: Network,
+    /// The mail server.
+    pub server: MailServer,
+    /// A client for test assertions.
+    pub client: MailClient,
+    /// The island's gateway.
+    pub vsg: Vsg,
+    /// The island's PCM.
+    pub pcm: MailPcm,
+}
+
+/// The UPnP island (§5's latecomer).
+pub struct UpnpIsland {
+    /// The island's Ethernet.
+    pub net: Network,
+    /// The island's gateway.
+    pub vsg: Vsg,
+    /// The island's PCM.
+    pub pcm: UpnpPcm,
+    /// The porch light's power state.
+    pub porch_on: Arc<Mutex<bool>>,
+}
+
+/// The assembled home.
+pub struct SmartHome {
+    /// The simulation world.
+    pub sim: Sim,
+    /// The inter-gateway backbone.
+    pub backbone: Network,
+    /// The Virtual Service Repository.
+    pub vsr: Vsr,
+    /// The Jini island, if built.
+    pub jini: Option<JiniIsland>,
+    /// The HAVi island, if built.
+    pub havi: Option<HaviIsland>,
+    /// The X10 island, if built.
+    pub x10: Option<X10Island>,
+    /// The mail island, if built.
+    pub mail: Option<MailIsland>,
+    /// The UPnP island, if built.
+    pub upnp: Option<UpnpIsland>,
+}
+
+/// Builder for [`SmartHome`].
+pub struct SmartHomeBuilder {
+    seed: u64,
+    protocol: Arc<dyn VsgProtocol>,
+    jini: bool,
+    havi: bool,
+    x10: bool,
+    mail: bool,
+    upnp: bool,
+    lossless_powerline: bool,
+    auto_import: bool,
+}
+
+/// Shorthand used throughout: house code from a letter.
+pub fn house(c: char) -> HouseCode {
+    HouseCode::new(c).expect("valid house code")
+}
+
+/// Shorthand: unit code from a number.
+pub fn unit(n: u8) -> UnitCode {
+    UnitCode::new(n).expect("valid unit code")
+}
+
+impl SmartHome {
+    /// Starts building a home.
+    pub fn builder() -> SmartHomeBuilder {
+        SmartHomeBuilder {
+            seed: 0x1CDC_2002,
+            protocol: Arc::new(Soap11::new()),
+            jini: true,
+            havi: true,
+            x10: true,
+            mail: true,
+            upnp: false,
+            lossless_powerline: true,
+            auto_import: true,
+        }
+    }
+
+    /// The gateway of a given middleware island.
+    pub fn gateway(&self, mw: Middleware) -> Option<&Vsg> {
+        match mw {
+            Middleware::Jini => self.jini.as_ref().map(|i| &i.vsg),
+            Middleware::Havi => self.havi.as_ref().map(|i| &i.vsg),
+            Middleware::X10 => self.x10.as_ref().map(|i| &i.vsg),
+            Middleware::Mail | Middleware::Web => self.mail.as_ref().map(|i| &i.vsg),
+            Middleware::Upnp => self.upnp.as_ref().map(|i| &i.vsg),
+        }
+    }
+
+    /// Any gateway (useful when the caller doesn't care which island it
+    /// stands on).
+    pub fn any_gateway(&self) -> &Vsg {
+        self.jini
+            .as_ref()
+            .map(|i| &i.vsg)
+            .or(self.havi.as_ref().map(|i| &i.vsg))
+            .or(self.x10.as_ref().map(|i| &i.vsg))
+            .or(self.mail.as_ref().map(|i| &i.vsg))
+            .or(self.upnp.as_ref().map(|i| &i.vsg))
+            .expect("at least one island")
+    }
+
+    /// Invokes a service *from* the given island — i.e. through that
+    /// island's gateway, crossing the backbone if the service lives
+    /// elsewhere.
+    pub fn invoke_from(
+        &self,
+        from: Middleware,
+        service: &str,
+        operation: &str,
+        args: &[(String, Value)],
+    ) -> Result<Value, MetaError> {
+        let vsg = self
+            .gateway(from)
+            .ok_or_else(|| MetaError::GatewayUnreachable(from.label().to_owned()))?;
+        vsg.invoke(&self.sim, service, operation, args)
+    }
+
+    /// Total services in the VSR.
+    pub fn service_count(&self) -> usize {
+        self.vsr.service_count()
+    }
+}
+
+impl SmartHomeBuilder {
+    /// Sets the world seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Chooses the VSG protocol (default: SOAP, as the prototype).
+    pub fn protocol(mut self, protocol: Arc<dyn VsgProtocol>) -> Self {
+        self.protocol = protocol;
+        self
+    }
+
+    /// Includes/excludes the Jini island.
+    pub fn jini(mut self, on: bool) -> Self {
+        self.jini = on;
+        self
+    }
+
+    /// Includes/excludes the HAVi island.
+    pub fn havi(mut self, on: bool) -> Self {
+        self.havi = on;
+        self
+    }
+
+    /// Includes/excludes the X10 island.
+    pub fn x10(mut self, on: bool) -> Self {
+        self.x10 = on;
+        self
+    }
+
+    /// Includes/excludes the mail island.
+    pub fn mail(mut self, on: bool) -> Self {
+        self.mail = on;
+        self
+    }
+
+    /// Includes/excludes the UPnP island.
+    pub fn upnp(mut self, on: bool) -> Self {
+        self.upnp = on;
+        self
+    }
+
+    /// Makes the powerline noisy (for failure-injection scenarios).
+    /// Default is lossless for determinism.
+    pub fn noisy_powerline(mut self) -> Self {
+        self.lossless_powerline = false;
+        self
+    }
+
+    /// Skips the automatic Client-Proxy import pass.
+    pub fn manual_import(mut self) -> Self {
+        self.auto_import = false;
+        self
+    }
+
+    /// Assembles the home.
+    pub fn build(self) -> Result<SmartHome, MetaError> {
+        let sim = Sim::new(self.seed);
+        let backbone = Network::ethernet(&sim);
+        let vsr = Vsr::start(&backbone);
+
+        let jini = if self.jini {
+            Some(build_jini(&sim, &backbone, &vsr, &self.protocol, self.auto_import)?)
+        } else {
+            None
+        };
+        let havi = if self.havi {
+            Some(build_havi(&sim, &backbone, &vsr, &self.protocol, self.auto_import)?)
+        } else {
+            None
+        };
+        let x10 = if self.x10 {
+            Some(build_x10(
+                &sim,
+                &backbone,
+                &vsr,
+                &self.protocol,
+                self.lossless_powerline,
+                self.auto_import,
+            )?)
+        } else {
+            None
+        };
+        let mail = if self.mail {
+            Some(build_mail(&sim, &backbone, &vsr, &self.protocol)?)
+        } else {
+            None
+        };
+        let upnp = if self.upnp {
+            Some(build_upnp(&sim, &backbone, &vsr, &self.protocol, self.auto_import)?)
+        } else {
+            None
+        };
+
+        Ok(SmartHome { sim, backbone, vsr, jini, havi, x10, mail, upnp })
+    }
+}
+
+fn build_jini(
+    sim: &Sim,
+    backbone: &Network,
+    vsr: &Vsr,
+    protocol: &Arc<dyn VsgProtocol>,
+    auto_import: bool,
+) -> Result<JiniIsland, MetaError> {
+    let net = Network::ethernet(sim);
+    let reggie = LookupService::start(&net, "reggie", &["public"], SimDuration::from_secs(30));
+
+    // --- native devices -----------------------------------------------------
+    let exporter = RmiExporter::attach(&net, "jini-devices");
+    let join_node = net.attach("jini-join");
+    let registrars = discover(&net, join_node, "public");
+    let joiner = RegistrarClient::new(&net, join_node, registrars[0]);
+
+    let laserdisc = Arc::new(Mutex::new(LaserdiscState { playing: false, chapter: 0 }));
+    let ld = laserdisc.clone();
+    let ld_stub = exporter.export("LaserdiscPlayer", move |_, method, args| match method {
+        "play" => {
+            let mut st = ld.lock();
+            st.playing = true;
+            st.chapter = args.first().and_then(JValue::as_int).unwrap_or(1);
+            Ok(JValue::Null)
+        }
+        "stop" => {
+            ld.lock().playing = false;
+            Ok(JValue::Null)
+        }
+        "status" => {
+            let st = ld.lock();
+            Ok(JValue::Str(if st.playing {
+                format!("playing chapter {}", st.chapter)
+            } else {
+                "stopped".to_owned()
+            }))
+        }
+        other => Err(format!("no method {other}")),
+    });
+    joiner
+        .register(
+            &ServiceItem::new(
+                ld_stub,
+                vec!["LaserdiscPlayer".into()],
+                vec![Entry::name("laserdisc"), Entry::location("living-room")],
+            ),
+            SimDuration::from_secs(300),
+        )
+        .map_err(|e| MetaError::native("jini", e))?;
+
+    let fridge_temp = Arc::new(Mutex::new(4.0f64));
+    let ft = fridge_temp.clone();
+    let fridge_stub = exporter.export("Fridge", move |_, method, args| match method {
+        "temperature" => Ok(JValue::Double(*ft.lock())),
+        "set_target" => {
+            if let Some(JValue::Double(c)) = args.first() {
+                *ft.lock() = *c;
+            }
+            Ok(JValue::Null)
+        }
+        other => Err(format!("no method {other}")),
+    });
+    joiner
+        .register(
+            &ServiceItem::new(fridge_stub, vec!["Fridge".into()], vec![Entry::name("fridge"), Entry::location("kitchen")]),
+            SimDuration::from_secs(300),
+        )
+        .map_err(|e| MetaError::native("jini", e))?;
+
+    let aircon_on = Arc::new(Mutex::new(false));
+    let ac = aircon_on.clone();
+    let aircon_stub = exporter.export("AirConditioner", move |_, method, args| match method {
+        "switch" => {
+            *ac.lock() = args.first().and_then(JValue::as_bool).unwrap_or(false);
+            Ok(JValue::Null)
+        }
+        "set_target" => Ok(JValue::Null),
+        "status" => Ok(JValue::Str(if *ac.lock() { "on" } else { "off" }.into())),
+        other => Err(format!("no method {other}")),
+    });
+    joiner
+        .register(
+            &ServiceItem::new(
+                aircon_stub,
+                vec!["AirConditioner".into()],
+                vec![Entry::name("aircon"), Entry::location("living-room")],
+            ),
+            SimDuration::from_secs(300),
+        )
+        .map_err(|e| MetaError::native("jini", e))?;
+
+    // --- gateway + PCM --------------------------------------------------------
+    let vsg = Vsg::start(backbone, "jini-gw", protocol.clone(), vsr.node())?;
+    let pcm = JiniPcm::start(&vsg, &net, "public", InterfaceCatalog::standard())?;
+    if auto_import {
+        pcm.import_services()?;
+    }
+    Ok(JiniIsland { net, reggie, vsg, pcm, laserdisc, fridge_temp, aircon_on })
+}
+
+fn build_havi(
+    sim: &Sim,
+    backbone: &Network,
+    vsr: &Vsr,
+    protocol: &Arc<dyn VsgProtocol>,
+    auto_import: bool,
+) -> Result<HaviIsland, MetaError> {
+    let bus = Network::ieee1394(sim);
+    let fav = MessagingSystem::attach(&bus, "fav-controller");
+    let registry = Registry::start(&fav);
+    let events = EventManager::start(&fav);
+    let streams = StreamManager::new(&bus);
+
+    let mut tv = Dcm::install(
+        &bus,
+        "digital-tv",
+        0x7001,
+        &[(FcmKind::Tuner, "tv-tuner"), (FcmKind::Display, "tv-display")],
+        Some(events.seid()),
+    );
+    tv.announce(registry.seid()).map_err(|e| MetaError::native("havi", e))?;
+    let mut camcorder = Dcm::install(
+        &bus,
+        "camcorder",
+        0x7002,
+        &[(FcmKind::DvCamera, "dv-camera")],
+        Some(events.seid()),
+    );
+    camcorder
+        .announce(registry.seid())
+        .map_err(|e| MetaError::native("havi", e))?;
+    let mut vcr = Dcm::install(
+        &bus,
+        "living-room-vcr",
+        0x7003,
+        &[(FcmKind::Vcr, "living-room-vcr")],
+        Some(events.seid()),
+    );
+    vcr.announce(registry.seid()).map_err(|e| MetaError::native("havi", e))?;
+
+    let vsg = Vsg::start(backbone, "havi-gw", protocol.clone(), vsr.node())?;
+    let pcm = HaviPcm::start(&vsg, &bus, registry.seid());
+    if auto_import {
+        pcm.import_services()?;
+    }
+    Ok(HaviIsland { bus, fav, registry, events, streams, vsg, pcm, tv, camcorder, vcr })
+}
+
+fn build_x10(
+    sim: &Sim,
+    backbone: &Network,
+    vsr: &Vsr,
+    protocol: &Arc<dyn VsgProtocol>,
+    lossless: bool,
+    auto_import: bool,
+) -> Result<X10Island, MetaError> {
+    let mut link = simnet::netkind::powerline();
+    if lossless {
+        link.loss_prob = 0.0;
+    }
+    let powerline = Network::new(sim, "powerline", link);
+    let serial = Network::serial(sim);
+    let cm11a = Cm11a::install(&serial, &powerline);
+
+    let hall_lamp = Module::plug_in(&powerline, "hall-lamp", ModuleKind::Lamp, house('A'), unit(1));
+    let desk_lamp = Module::plug_in(&powerline, "desk-lamp", ModuleKind::Lamp, house('A'), unit(2));
+    let fan = Module::plug_in(&powerline, "fan", ModuleKind::Appliance, house('A'), unit(3));
+    let mut motion = MotionSensor::install(&powerline, "hall-motion", house('C'), unit(9));
+    motion.set_auto_clear(None);
+
+    let vsg = Vsg::start(backbone, "x10-gw", protocol.clone(), vsr.node())?;
+    let driver = Cm11aDriver::new(&serial, cm11a.serial_node());
+    let pcm = X10Pcm::start(&vsg, sim, driver);
+    if auto_import {
+        pcm.import_module_with("hall-lamp", house('A'), unit(1), &[("room", "hall")])?;
+        pcm.import_module_with("desk-lamp", house('A'), unit(2), &[("room", "study")])?;
+        pcm.import_module_with("fan", house('A'), unit(3), &[("room", "study")])?;
+        pcm.import_sensor_with("hall-motion", house('C'), unit(9), &[("room", "hall")])?;
+    }
+    Ok(X10Island { powerline, serial, cm11a, vsg, pcm, hall_lamp, desk_lamp, fan, motion })
+}
+
+fn build_mail(
+    sim: &Sim,
+    backbone: &Network,
+    vsr: &Vsr,
+    protocol: &Arc<dyn VsgProtocol>,
+) -> Result<MailIsland, MetaError> {
+    let inet = Network::internet(sim);
+    let server = MailServer::start(&inet, "smtp.example.org");
+    let client = MailClient::attach(&inet, "home-mail-gw", server.node());
+    let vsg = Vsg::start(backbone, "inet-gw", protocol.clone(), vsr.node())?;
+    let pcm = MailPcm::start(&vsg, client.clone(), "home@example.org")?;
+    Ok(MailIsland { inet, server, client, vsg, pcm })
+}
+
+fn build_upnp(
+    sim: &Sim,
+    backbone: &Network,
+    vsr: &Vsr,
+    protocol: &Arc<dyn VsgProtocol>,
+    auto_import: bool,
+) -> Result<UpnpIsland, MetaError> {
+    let net = Network::ethernet(sim);
+    const SWITCH_SVC: &str = "urn:schemas-upnp-org:service:SwitchPower:1";
+    let desc = DeviceDescription::new(
+        "urn:schemas-upnp-org:device:BinaryLight:1",
+        "Porch Light",
+        "uuid:porch-light",
+    )
+    .service(SWITCH_SVC, "urn:upnp-org:serviceId:SwitchPower");
+    let device = UpnpDevice::install(&net, desc);
+    let porch_on = Arc::new(Mutex::new(false));
+    let on = porch_on.clone();
+    device.implement(SWITCH_SVC, move |_, action, args| match action {
+        "SetTarget" => {
+            *on.lock() = args
+                .iter()
+                .find(|(k, _)| k == "NewTargetValue")
+                .and_then(|(_, v)| v.as_bool())
+                .ok_or("missing NewTargetValue")?;
+            Ok(Value::Null)
+        }
+        "GetStatus" => Ok(Value::Bool(*on.lock())),
+        other => Err(format!("no action {other}")),
+    });
+
+    let vsg = Vsg::start(backbone, "upnp-gw", protocol.clone(), vsr.node())?;
+    let pcm = UpnpPcm::start(&vsg, &net);
+    if auto_import {
+        pcm.import_services()?;
+    }
+    Ok(UpnpIsland { net, vsg, pcm, porch_on })
+}
+
+/// The standard service names the default home publishes, by island.
+pub mod names {
+    /// Jini island services.
+    pub const JINI: [&str; 3] = ["laserdisc", "fridge", "aircon"];
+    /// HAVi island services.
+    pub const HAVI: [&str; 4] = ["tv-tuner", "tv-display", "dv-camera", "living-room-vcr"];
+    /// X10 island services.
+    pub const X10: [&str; 4] = ["hall-lamp", "desk-lamp", "fan", "hall-motion"];
+    /// Mail island services.
+    pub const MAIL: [&str; 1] = ["mailer"];
+    /// UPnP island services.
+    pub const UPNP: [&str; 1] = ["porch-light"];
+}
+
+// A convenience re-export so examples can say `home::catalog::vcr()`.
+pub use crate::iface::catalog as interfaces;
+
+#[allow(unused_imports)]
+use catalog as _catalog_used_in_docs;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_home_publishes_every_standard_service() {
+        let home = SmartHome::builder().build().unwrap();
+        let expected = names::JINI.len() + names::HAVI.len() + names::X10.len() + names::MAIL.len();
+        assert_eq!(home.service_count(), expected);
+        let records = home.any_gateway().vsr().find("%", None).unwrap();
+        let mut found: Vec<String> = records.iter().map(|r| r.name.clone()).collect();
+        found.sort();
+        let mut want: Vec<String> = names::JINI
+            .iter()
+            .chain(&names::HAVI)
+            .chain(&names::X10)
+            .chain(&names::MAIL)
+            .map(|s| (*s).to_owned())
+            .collect();
+        want.sort();
+        assert_eq!(found, want);
+    }
+
+    #[test]
+    fn cross_island_transparent_control() {
+        // The paper's §1 scenario: control everything from one place.
+        let home = SmartHome::builder().build().unwrap();
+
+        // From the Jini island's PC, switch the X10 hall lamp...
+        home.invoke_from(
+            Middleware::Jini,
+            "hall-lamp",
+            "switch",
+            &[("on".into(), Value::Bool(true))],
+        )
+        .unwrap();
+        assert!(home.x10.as_ref().unwrap().hall_lamp.is_on());
+
+        // ...record on the HAVi VCR...
+        home.invoke_from(Middleware::Jini, "living-room-vcr", "record", &[])
+            .unwrap();
+        let vcr = &home.havi.as_ref().unwrap().vcr;
+        assert_eq!(
+            vcr.fcm(FcmKind::Vcr).unwrap().state().transport,
+            havi::TransportState::Recording
+        );
+
+        // ...and from the HAVi island (the TV GUI), read the Jini fridge.
+        let t = home
+            .invoke_from(Middleware::Havi, "fridge", "temperature", &[])
+            .unwrap();
+        assert_eq!(t, Value::Float(4.0));
+    }
+
+    #[test]
+    fn partial_homes_work() {
+        let home = SmartHome::builder()
+            .jini(false)
+            .mail(false)
+            .havi(true)
+            .x10(true)
+            .build()
+            .unwrap();
+        assert!(home.jini.is_none());
+        assert!(home.gateway(Middleware::Jini).is_none());
+        assert_eq!(home.service_count(), names::HAVI.len() + names::X10.len());
+        // X10 -> HAVi still works.
+        home.invoke_from(Middleware::X10, "dv-camera", "record", &[])
+            .unwrap();
+    }
+
+    #[test]
+    fn upnp_island_joins_with_one_pcm() {
+        let home = SmartHome::builder().upnp(true).build().unwrap();
+        home.invoke_from(
+            Middleware::Jini,
+            "porch-light",
+            "switch",
+            &[("on".into(), Value::Bool(true))],
+        )
+        .unwrap();
+        assert!(*home.upnp.as_ref().unwrap().porch_on.lock());
+    }
+
+    #[test]
+    fn manual_import_builds_empty_vsr() {
+        let home = SmartHome::builder().manual_import().mail(false).build().unwrap();
+        assert_eq!(home.service_count(), 0);
+        // Importing later works.
+        home.jini.as_ref().unwrap().pcm.import_services().unwrap();
+        assert_eq!(home.service_count(), names::JINI.len());
+    }
+
+    #[test]
+    fn mail_flows_from_any_island() {
+        let home = SmartHome::builder().build().unwrap();
+        home.invoke_from(
+            Middleware::Havi,
+            "mailer",
+            "send",
+            &[
+                ("to".into(), Value::Str("owner@example.org".into())),
+                ("subject".into(), Value::Str("VCR".into())),
+                ("body".into(), Value::Str("tape full".into())),
+            ],
+        )
+        .unwrap();
+        assert_eq!(home.mail.as_ref().unwrap().server.mailbox_len("owner@example.org"), 1);
+    }
+}

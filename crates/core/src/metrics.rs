@@ -1,0 +1,226 @@
+//! Measurement helpers and the device-footprint model.
+//!
+//! [`Probe`] captures virtual-time and per-network traffic deltas around
+//! a closure — the instrument behind most benches. The [`footprint`]
+//! module models §4.2's closing observation: "current HTTP must run over
+//! TCP, and a TCP stack is large and complex. This can be an issue in
+//! small devices or appliances with stringent memory and processing
+//! requirements" (experiment E7).
+
+use simnet::{Counter, Network, Sim, SimDuration, SimTime};
+use std::fmt;
+
+/// One measured interaction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    /// Virtual time consumed.
+    pub elapsed: SimDuration,
+    /// Per-network deltas `(network-name, delivered)` over the closure.
+    pub traffic: Vec<(String, Counter)>,
+}
+
+impl Measurement {
+    /// Total payload bytes moved across all probed networks.
+    pub fn total_bytes(&self) -> u64 {
+        self.traffic.iter().map(|(_, c)| c.bytes).sum()
+    }
+
+    /// Total frames moved across all probed networks.
+    pub fn total_frames(&self) -> u64 {
+        self.traffic.iter().map(|(_, c)| c.frames).sum()
+    }
+}
+
+impl fmt::Display for Measurement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} / {}B / {} frames", self.elapsed, self.total_bytes(), self.total_frames())?;
+        Ok(())
+    }
+}
+
+/// Measures a closure against a set of networks.
+pub struct Probe<'a> {
+    sim: &'a Sim,
+    networks: Vec<&'a Network>,
+}
+
+impl<'a> Probe<'a> {
+    /// Creates a probe over the given networks.
+    pub fn new(sim: &'a Sim, networks: Vec<&'a Network>) -> Probe<'a> {
+        Probe { sim, networks }
+    }
+
+    /// Runs `f`, returning its value and the measurement.
+    pub fn measure<T>(&self, f: impl FnOnce() -> T) -> (T, Measurement) {
+        let t0: SimTime = self.sim.now();
+        let before: Vec<Counter> = self
+            .networks
+            .iter()
+            .map(|n| n.with_stats(|s| s.total()))
+            .collect();
+        let value = f();
+        let traffic = self
+            .networks
+            .iter()
+            .zip(before)
+            .map(|(n, b)| {
+                let after = n.with_stats(|s| s.total());
+                (
+                    n.name().to_owned(),
+                    Counter {
+                        frames: after.frames - b.frames,
+                        bytes: after.bytes - b.bytes,
+                        lost: after.lost - b.lost,
+                    },
+                )
+            })
+            .collect();
+        (value, Measurement { elapsed: self.sim.now() - t0, traffic })
+    }
+}
+
+/// The §4.2 footprint model: what each protocol stack costs on 2002-era
+/// appliance hardware, and what each device class can afford.
+pub mod footprint {
+    /// A protocol stack's resource appetite (order-of-magnitude figures
+    /// from 2002-era embedded-TCP and HAVi/X10 implementations).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct StackProfile {
+        /// Display name.
+        pub name: &'static str,
+        /// Code (flash/ROM) bytes.
+        pub code_bytes: u32,
+        /// Working RAM bytes.
+        pub ram_bytes: u32,
+    }
+
+    /// A class of appliance hardware.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct DeviceClass {
+        /// Display name.
+        pub name: &'static str,
+        /// Available code space.
+        pub code_budget: u32,
+        /// Available RAM.
+        pub ram_budget: u32,
+    }
+
+    /// An X10 module's microcontroller (PIC-class).
+    pub const X10_MODULE: DeviceClass =
+        DeviceClass { name: "x10-module", code_budget: 2_048, ram_budget: 128 };
+    /// A sensor node / small appliance MCU.
+    pub const SENSOR_NODE: DeviceClass =
+        DeviceClass { name: "sensor-node", code_budget: 65_536, ram_budget: 16_384 };
+    /// A digital AV appliance (HAVi-class, 32-bit with some RAM).
+    pub const AV_APPLIANCE: DeviceClass =
+        DeviceClass { name: "av-appliance", code_budget: 2_097_152, ram_budget: 524_288 };
+    /// A set-top box / residential gateway.
+    pub const SET_TOP_BOX: DeviceClass =
+        DeviceClass { name: "set-top-box", code_budget: 8_388_608, ram_budget: 8_388_608 };
+    /// A PC.
+    pub const PC: DeviceClass =
+        DeviceClass { name: "pc", code_budget: u32::MAX, ram_budget: u32::MAX };
+
+    /// All device classes, smallest first.
+    pub const DEVICE_CLASSES: [DeviceClass; 5] =
+        [X10_MODULE, SENSOR_NODE, AV_APPLIANCE, SET_TOP_BOX, PC];
+
+    /// X10 receiver logic: a code wheel and a latch.
+    pub const X10_STACK: StackProfile =
+        StackProfile { name: "x10", code_bytes: 512, ram_bytes: 16 };
+    /// An IEEE1394 link + HAVi messaging subset.
+    pub const HAVI_STACK: StackProfile =
+        StackProfile { name: "havi-1394", code_bytes: 262_144, ram_bytes: 65_536 };
+    /// UDP/IP + a SIP-subset parser.
+    pub const SIP_UDP_STACK: StackProfile =
+        StackProfile { name: "sip-udp", code_bytes: 24_576, ram_bytes: 8_192 };
+    /// TCP/IP + HTTP/1.1.
+    pub const TCP_HTTP_STACK: StackProfile =
+        StackProfile { name: "tcp-http", code_bytes: 49_152, ram_bytes: 32_768 };
+    /// TCP/IP + HTTP + XML parser + SOAP runtime (the full VSG stack).
+    pub const SOAP_STACK: StackProfile =
+        StackProfile { name: "tcp-http-soap", code_bytes: 262_144, ram_bytes: 131_072 };
+    /// The JVM-hosted Jini stack.
+    pub const JINI_STACK: StackProfile =
+        StackProfile { name: "jvm-jini", code_bytes: 8_388_608, ram_bytes: 4_194_304 };
+
+    /// All stacks, lightest first.
+    pub const STACKS: [StackProfile; 6] = [
+        X10_STACK,
+        SIP_UDP_STACK,
+        TCP_HTTP_STACK,
+        HAVI_STACK,
+        SOAP_STACK,
+        JINI_STACK,
+    ];
+
+    impl DeviceClass {
+        /// True if this device can host the stack.
+        pub fn can_host(&self, stack: &StackProfile) -> bool {
+            stack.code_bytes <= self.code_budget && stack.ram_bytes <= self.ram_budget
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::footprint::*;
+    use super::*;
+    use simnet::{Frame, Protocol};
+
+    #[test]
+    fn probe_measures_time_and_traffic() {
+        let sim = Sim::new(1);
+        let net = Network::ethernet(&sim);
+        let a = net.attach("a");
+        let b = net.attach("b");
+        let probe = Probe::new(&sim, vec![&net]);
+        let ((), m) = probe.measure(|| {
+            net.send(Frame::new(a, b, Protocol::Raw, vec![0u8; 100])).unwrap();
+            sim.advance(SimDuration::from_millis(1));
+        });
+        assert!(m.elapsed >= SimDuration::from_millis(1));
+        assert_eq!(m.total_bytes(), 100);
+        assert_eq!(m.total_frames(), 1);
+        assert_eq!(m.traffic[0].0, "ethernet");
+        assert!(m.to_string().contains("100B"));
+    }
+
+    #[test]
+    fn probe_delta_excludes_prior_traffic() {
+        let sim = Sim::new(1);
+        let net = Network::ethernet(&sim);
+        let a = net.attach("a");
+        let b = net.attach("b");
+        net.send(Frame::new(a, b, Protocol::Raw, vec![0u8; 500])).unwrap();
+        let probe = Probe::new(&sim, vec![&net]);
+        let ((), m) = probe.measure(|| {});
+        assert_eq!(m.total_bytes(), 0);
+    }
+
+    #[test]
+    fn x10_module_cannot_host_tcp() {
+        // The paper's core E7 claim, as data.
+        assert!(X10_MODULE.can_host(&X10_STACK));
+        assert!(!X10_MODULE.can_host(&TCP_HTTP_STACK));
+        assert!(!X10_MODULE.can_host(&SIP_UDP_STACK));
+        assert!(!SENSOR_NODE.can_host(&SOAP_STACK));
+        assert!(SENSOR_NODE.can_host(&SIP_UDP_STACK), "SIP/UDP fits where SOAP cannot");
+        assert!(AV_APPLIANCE.can_host(&HAVI_STACK));
+        assert!(!AV_APPLIANCE.can_host(&JINI_STACK), "no JVM on an AV appliance");
+        assert!(SET_TOP_BOX.can_host(&SOAP_STACK));
+        assert!(PC.can_host(&JINI_STACK));
+    }
+
+    #[test]
+    fn stack_ordering_is_monotone() {
+        for w in STACKS.windows(2) {
+            assert!(
+                w[0].code_bytes <= w[1].code_bytes,
+                "{} should be lighter than {}",
+                w[0].name,
+                w[1].name
+            );
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Protocol Conversion Managers.
+//!
+//! §3.2: "The PCM converts the protocol of a local middleware component
+//! into that of VSG, also VSG into a local middleware component. The PCM
+//! has two proxy modules, the Server Proxy module and the Client Proxy
+//! module … the SP provides the interfaces of remote services to the
+//! local services. Then, CP converts the interfaces of local services
+//! into the VSG services."
+//!
+//! One submodule per middleware — exactly the paper's economy argument:
+//! joining the federation costs one PCM, not N bridges (experiment E5).
+//!
+//! | module | Client Proxy (native → VSG) | Server Proxy (VSG → native) |
+//! |---|---|---|
+//! | [`jini`] | lookup-service harvest | RMI objects registered in reggie |
+//! | [`havi`] | registry harvest of FCMs | bridge software elements |
+//! | [`x10`] | configured modules/sensors via CM11A | remote-button routing |
+//! | [`mail`] | the mail service as a `Mailer` | (mail cannot call inward) |
+//! | [`upnp`] | SSDP-discovered devices | hosted bridge devices |
+
+pub mod havi;
+pub mod jini;
+pub mod mail;
+pub mod upnp;
+pub mod x10;
+
+use crate::service::Middleware;
+
+/// What every PCM can report about itself.
+pub trait ProtocolConversionManager {
+    /// The middleware this PCM converts for.
+    fn middleware(&self) -> Middleware;
+
+    /// Names of services imported into the VSG (Client Proxy side).
+    fn imported(&self) -> Vec<String>;
+
+    /// Names of remote services exported into the native middleware
+    /// (Server Proxy side).
+    fn exported(&self) -> Vec<String>;
+}

@@ -1,0 +1,154 @@
+//! A compact binary VSG protocol — the E4 ablation baseline.
+//!
+//! Everything SOAP does (request/response RPC between gateways) with
+//! none of its weight: varint-framed binary values in a single exchange,
+//! no HTTP, no per-request connection. It exists to quantify the cost of
+//! the prototype's "simple protocol" choice.
+
+use super::{binval, GatewayHandler, VsgProtocol, VsgRequest};
+use crate::error::MetaError;
+use simnet::{Network, NodeId, Protocol, SimDuration};
+use soap::Value;
+
+const MAGIC: &[u8; 4] = b"VSGB";
+
+/// The binary protocol.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CompactBinary;
+
+impl CompactBinary {
+    /// Creates the protocol.
+    pub fn new() -> CompactBinary {
+        CompactBinary
+    }
+}
+
+fn encode_request(req: &VsgRequest) -> Vec<u8> {
+    let mut out = MAGIC.to_vec();
+    let body = Value::Record(vec![
+        ("s".into(), Value::Str(req.service.clone())),
+        ("o".into(), Value::Str(req.operation.clone())),
+        ("a".into(), Value::Record(req.args.clone())),
+    ]);
+    binval::encode(&body, &mut out);
+    out
+}
+
+fn decode_request(data: &[u8]) -> Option<VsgRequest> {
+    let body = binval::from_bytes(data.strip_prefix(MAGIC)?)?;
+    let service = body.field("s")?.as_str()?.to_owned();
+    let operation = body.field("o")?.as_str()?.to_owned();
+    let args = match body.field("a")? {
+        Value::Record(fields) => fields.clone(),
+        _ => return None,
+    };
+    Some(VsgRequest { service, operation, args })
+}
+
+fn encode_reply(result: &Result<Value, MetaError>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16);
+    match result {
+        Ok(v) => {
+            out.push(1);
+            binval::encode(v, &mut out);
+        }
+        Err(e) => {
+            out.push(0);
+            binval::encode(&Value::Str(e.to_string()), &mut out);
+        }
+    }
+    out
+}
+
+fn decode_reply(data: &[u8]) -> Result<Value, MetaError> {
+    match data.split_first() {
+        Some((1, rest)) => {
+            binval::from_bytes(rest).ok_or_else(|| MetaError::Protocol("bad reply body".into()))
+        }
+        Some((0, rest)) => {
+            let msg = binval::from_bytes(rest)
+                .and_then(|v| v.as_str().map(str::to_owned))
+                .unwrap_or_else(|| "unknown remote error".to_owned());
+            Err(MetaError::native("remote-gateway", msg))
+        }
+        _ => Err(MetaError::Protocol("empty reply".into())),
+    }
+}
+
+impl VsgProtocol for CompactBinary {
+    fn name(&self) -> &'static str {
+        "binary"
+    }
+
+    fn bind(&self, net: &Network, label: &str, handler: GatewayHandler) -> NodeId {
+        let node = net.attach(label);
+        net.set_request_handler(node, move |sim, frame| {
+            sim.advance(SimDuration::from_micros(20)); // cheap dispatch
+            let result = match decode_request(&frame.payload) {
+                Some(req) => handler(sim, &req),
+                None => Err(MetaError::Protocol("malformed binary request".into())),
+            };
+            Ok(encode_reply(&result).into())
+        })
+        .expect("node attached");
+        node
+    }
+
+    fn call(
+        &self,
+        net: &Network,
+        from: NodeId,
+        to: NodeId,
+        req: &VsgRequest,
+    ) -> Result<Value, MetaError> {
+        let reply = net
+            .request(from, to, Protocol::Raw, encode_request(req))
+            .map_err(|e| MetaError::Protocol(e.to_string()))?;
+        decode_reply(&reply)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::conformance;
+
+    #[test]
+    fn binary_conformance() {
+        conformance::run(&CompactBinary::new());
+    }
+
+    #[test]
+    fn request_codec_round_trip() {
+        let req = VsgRequest::new("vcr", "record").arg("channel", 42).arg("title", "News");
+        assert_eq!(decode_request(&encode_request(&req)), Some(req));
+        assert_eq!(decode_request(b"nope"), None);
+    }
+
+    #[test]
+    fn binary_is_an_order_of_magnitude_lighter_than_soap() {
+        use crate::protocol::Soap11;
+        use simnet::{Network, Protocol, Sim};
+        use std::sync::Arc;
+
+        let measure = |p: &dyn VsgProtocol, proto: Protocol| {
+            let sim = Sim::new(1);
+            let net = Network::ethernet(&sim);
+            let server = p.bind(&net, "gw", Arc::new(|_, _| Ok(Value::Null)));
+            let client = net.attach("c");
+            let req = VsgRequest::new("vcr", "record").arg("channel", 42);
+            p.call(&net, client, server, &req).unwrap();
+            (
+                net.with_stats(|s| s.protocol(proto).bytes),
+                sim.now().as_micros(),
+            )
+        };
+        let (soap_bytes, soap_us) = measure(&Soap11::new(), Protocol::Http);
+        let (bin_bytes, bin_us) = measure(&CompactBinary::new(), Protocol::Raw);
+        assert!(
+            bin_bytes * 10 < soap_bytes,
+            "binary {bin_bytes}B vs soap {soap_bytes}B"
+        );
+        assert!(bin_us < soap_us, "binary {bin_us}us vs soap {soap_us}us");
+    }
+}

@@ -1,0 +1,219 @@
+//! A compact binary codec for canonical [`Value`]s.
+//!
+//! Used by the `CompactBinary` VSG protocol (the E4 strawman showing what
+//! SOAP's XML costs) and as the SIP-like protocol's body encoding.
+
+use soap::Value;
+
+/// Encodes a value.
+pub fn encode(v: &Value, out: &mut Vec<u8>) {
+    match v {
+        Value::Null => out.push(0),
+        Value::Bool(b) => {
+            out.push(1);
+            out.push(u8::from(*b));
+        }
+        Value::Int(i) => {
+            out.push(2);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Float(f) => {
+            out.push(3);
+            out.extend_from_slice(&f.to_le_bytes());
+        }
+        Value::Str(s) => {
+            out.push(4);
+            write_len(out, s.len());
+            out.extend_from_slice(s.as_bytes());
+        }
+        Value::Bytes(b) => {
+            out.push(5);
+            write_len(out, b.len());
+            out.extend_from_slice(b);
+        }
+        Value::List(items) => {
+            out.push(6);
+            write_len(out, items.len());
+            for item in items {
+                encode(item, out);
+            }
+        }
+        Value::Record(fields) => {
+            out.push(7);
+            write_len(out, fields.len());
+            for (k, v) in fields {
+                write_len(out, k.len());
+                out.extend_from_slice(k.as_bytes());
+                encode(v, out);
+            }
+        }
+    }
+}
+
+/// Encodes to a fresh buffer.
+pub fn to_bytes(v: &Value) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16);
+    encode(v, &mut out);
+    out
+}
+
+/// Decodes one value, advancing `pos`.
+pub fn decode(data: &[u8], pos: &mut usize) -> Option<Value> {
+    let tag = *data.get(*pos)?;
+    *pos += 1;
+    match tag {
+        0 => Some(Value::Null),
+        1 => {
+            let b = *data.get(*pos)?;
+            *pos += 1;
+            Some(Value::Bool(b != 0))
+        }
+        2 => {
+            let bytes = data.get(*pos..*pos + 8)?;
+            *pos += 8;
+            Some(Value::Int(i64::from_le_bytes(bytes.try_into().ok()?)))
+        }
+        3 => {
+            let bytes = data.get(*pos..*pos + 8)?;
+            *pos += 8;
+            Some(Value::Float(f64::from_le_bytes(bytes.try_into().ok()?)))
+        }
+        4 => {
+            let len = read_len(data, pos)?;
+            let bytes = data.get(*pos..*pos + len)?;
+            *pos += len;
+            Some(Value::Str(std::str::from_utf8(bytes).ok()?.to_owned()))
+        }
+        5 => {
+            let len = read_len(data, pos)?;
+            let bytes = data.get(*pos..*pos + len)?;
+            *pos += len;
+            Some(Value::Bytes(bytes.to_vec()))
+        }
+        6 => {
+            let len = read_len(data, pos)?;
+            if len > data.len() {
+                return None;
+            }
+            let mut items = Vec::with_capacity(len);
+            for _ in 0..len {
+                items.push(decode(data, pos)?);
+            }
+            Some(Value::List(items))
+        }
+        7 => {
+            let len = read_len(data, pos)?;
+            if len > data.len() {
+                return None;
+            }
+            let mut fields = Vec::with_capacity(len);
+            for _ in 0..len {
+                let klen = read_len(data, pos)?;
+                let kbytes = data.get(*pos..*pos + klen)?;
+                *pos += klen;
+                let key = std::str::from_utf8(kbytes).ok()?.to_owned();
+                fields.push((key, decode(data, pos)?));
+            }
+            Some(Value::Record(fields))
+        }
+        _ => None,
+    }
+}
+
+/// Decodes a whole buffer; fails on trailing bytes.
+pub fn from_bytes(data: &[u8]) -> Option<Value> {
+    let mut pos = 0;
+    let v = decode(data, &mut pos)?;
+    (pos == data.len()).then_some(v)
+}
+
+fn write_len(out: &mut Vec<u8>, len: usize) {
+    // Varint (LEB128, unsigned).
+    let mut n = len as u64;
+    loop {
+        let byte = (n & 0x7F) as u8;
+        n >>= 7;
+        if n == 0 {
+            out.push(byte);
+            break;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn read_len(data: &[u8], pos: &mut usize) -> Option<usize> {
+    let mut n: u64 = 0;
+    let mut shift = 0;
+    loop {
+        let byte = *data.get(*pos)?;
+        *pos += 1;
+        n |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            break;
+        }
+        shift += 7;
+        if shift > 56 {
+            return None;
+        }
+    }
+    usize::try_from(n).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        for v in [
+            Value::Null,
+            Value::Bool(true),
+            Value::Int(-9),
+            Value::Float(1.25),
+            Value::Str("hello".into()),
+            Value::Bytes(vec![1, 2, 3]),
+        ] {
+            assert_eq!(from_bytes(&to_bytes(&v)), Some(v));
+        }
+    }
+
+    #[test]
+    fn compounds_round_trip() {
+        let v = Value::Record(vec![
+            ("list".into(), Value::List(vec![Value::Int(1), Value::Null])),
+            ("nested".into(), Value::Record(vec![("x".into(), Value::Bool(false))])),
+        ]);
+        assert_eq!(from_bytes(&to_bytes(&v)), Some(v));
+    }
+
+    #[test]
+    fn binary_is_much_smaller_than_xml() {
+        let v = Value::Record(vec![
+            ("channel".into(), Value::Int(42)),
+            ("title".into(), Value::Str("News".into())),
+        ]);
+        let binary = to_bytes(&v).len();
+        let xml = v.to_element("v").to_xml().len();
+        assert!(binary * 3 < xml, "binary {binary} vs xml {xml}");
+    }
+
+    #[test]
+    fn garbage_and_truncation_fail_cleanly() {
+        assert_eq!(from_bytes(&[99]), None);
+        assert_eq!(from_bytes(&[]), None);
+        let enc = to_bytes(&Value::Str("hello".into()));
+        assert_eq!(from_bytes(&enc[..enc.len() - 1]), None);
+        // Trailing bytes rejected.
+        let mut enc = to_bytes(&Value::Int(1));
+        enc.push(0);
+        assert_eq!(from_bytes(&enc), None);
+        // Implausible lengths rejected, not allocated.
+        assert_eq!(from_bytes(&[4, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F]), None);
+    }
+
+    #[test]
+    fn varint_lengths() {
+        let long = Value::Str("x".repeat(300));
+        assert_eq!(from_bytes(&to_bytes(&long)), Some(long));
+    }
+}

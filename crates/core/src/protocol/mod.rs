@@ -1,0 +1,129 @@
+//! Pluggable VSG protocols.
+//!
+//! §3.1: "The Virtual Service Gateway is a gateway which connects
+//! middleware to another middleware using certain protocol … How the
+//! protocol should we chose depends on the purpose of service
+//! integration." The prototype chose SOAP; §5 discusses SIP as an
+//! alternative. This module makes the choice a trait:
+//!
+//! * [`Soap11`] — the prototype's protocol: XML envelopes over HTTP over
+//!   per-request TCP connections. Simple, interoperable, heavy, and
+//!   strictly client/server (no push).
+//! * [`CompactBinary`] — a strawman binary RPC, quantifying what the XML
+//!   and HTTP layers cost (experiment E4).
+//! * [`SipLike`] — a SIP-flavoured protocol (§5): text headers, binary
+//!   body, no per-request connection, and **asynchronous NOTIFY push**,
+//!   which fixes the event-delivery problem of §4.2 (experiment E6).
+
+mod binary;
+pub mod binval;
+mod siplike;
+mod soap11;
+
+pub use binary::CompactBinary;
+pub use siplike::{PushHandler, SipLike};
+pub use soap11::Soap11;
+
+use crate::error::MetaError;
+use simnet::{Network, NodeId, Sim};
+use soap::Value;
+use std::sync::Arc;
+
+/// One invocation travelling between gateways.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VsgRequest {
+    /// Target service name.
+    pub service: String,
+    /// Operation.
+    pub operation: String,
+    /// Canonical arguments.
+    pub args: Vec<(String, Value)>,
+}
+
+impl VsgRequest {
+    /// Creates a request.
+    pub fn new(service: impl Into<String>, operation: impl Into<String>) -> VsgRequest {
+        VsgRequest { service: service.into(), operation: operation.into(), args: Vec::new() }
+    }
+
+    /// Adds an argument (builder style).
+    pub fn arg(mut self, name: impl Into<String>, value: impl Into<Value>) -> VsgRequest {
+        self.args.push((name.into(), value.into()));
+        self
+    }
+}
+
+/// What a gateway does with an arriving request.
+pub type GatewayHandler = Arc<dyn Fn(&Sim, &VsgRequest) -> Result<Value, MetaError> + Send + Sync>;
+
+/// A wire protocol connecting Virtual Service Gateways.
+pub trait VsgProtocol: Send + Sync {
+    /// The protocol's display name (`"soap"`, `"binary"`, `"sip"`).
+    fn name(&self) -> &'static str;
+
+    /// Binds a gateway endpoint on `net`, returning its node.
+    fn bind(&self, net: &Network, label: &str, handler: GatewayHandler) -> NodeId;
+
+    /// Carries `req` from `from` to the gateway endpoint at `to`.
+    fn call(
+        &self,
+        net: &Network,
+        from: NodeId,
+        to: NodeId,
+        req: &VsgRequest,
+    ) -> Result<Value, MetaError>;
+
+    /// Whether the protocol can push unsolicited server→client messages
+    /// (SIP can; HTTP cannot — the §4.2 limitation).
+    fn supports_push(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod conformance {
+    //! A conformance harness run against every protocol implementation.
+
+    use super::*;
+
+    pub fn run(protocol: &dyn VsgProtocol) {
+        let sim = Sim::new(1);
+        let net = Network::ethernet(&sim);
+        let server = protocol.bind(
+            &net,
+            "gw-a",
+            Arc::new(|_, req: &VsgRequest| match req.operation.as_str() {
+                "echo" => Ok(Value::Record(req.args.clone())),
+                "fail" => Err(MetaError::UnknownService(req.service.clone())),
+                op => Err(MetaError::UnknownOperation {
+                    service: req.service.clone(),
+                    operation: op.to_owned(),
+                }),
+            }),
+        );
+        let client = net.attach("gw-b");
+
+        // Round trip with args of several types.
+        let req = VsgRequest::new("lamp", "echo")
+            .arg("on", true)
+            .arg("level", 7)
+            .arg("name", "hall");
+        let before = sim.now();
+        let got = protocol.call(&net, client, server, &req).unwrap();
+        assert!(sim.now() > before, "{} advances time", protocol.name());
+        assert_eq!(got.field("on"), Some(&Value::Bool(true)));
+        assert_eq!(got.field("level"), Some(&Value::Int(7)));
+        assert_eq!(got.field("name"), Some(&Value::Str("hall".into())));
+
+        // Handler errors surface as errors.
+        let err = protocol
+            .call(&net, client, server, &VsgRequest::new("ghost", "fail"))
+            .unwrap_err();
+        assert!(err.to_string().contains("ghost"), "{}: {err}", protocol.name());
+
+        // Unknown ops too.
+        assert!(protocol
+            .call(&net, client, server, &VsgRequest::new("lamp", "explode"))
+            .is_err());
+    }
+}

@@ -1,0 +1,117 @@
+//! The prototype's VSG protocol: SOAP 1.1 over HTTP.
+//!
+//! "We implement the prototype of our framework with SOAP, a simple
+//! protocol" (§3.1); §4.1 lists its advantages (simplicity, HTTP
+//! scalability, vendor-neutral XML) — and §4.2 its costs (client/server
+//! only, heavy TCP).
+
+use super::{GatewayHandler, VsgProtocol, VsgRequest};
+use crate::error::MetaError;
+use simnet::{Network, NodeId};
+use soap::{CpuModel, Fault, RpcCall, SoapClient, SoapError, SoapServer, TcpModel, Value};
+
+/// The namespace every gateway mounts.
+pub const GATEWAY_NS: &str = "urn:vsg:gateway";
+const SERVICE_ARG: &str = "__service";
+
+/// SOAP 1.1 over simulated HTTP.
+#[derive(Debug, Clone, Copy)]
+pub struct Soap11 {
+    cpu: CpuModel,
+    tcp: TcpModel,
+}
+
+impl Soap11 {
+    /// The prototype's configuration (2002 Java XML stack, per-request
+    /// TCP connections).
+    pub fn new() -> Soap11 {
+        Soap11 { cpu: CpuModel::default(), tcp: TcpModel::default() }
+    }
+
+    /// A configuration with custom cost models (for ablations).
+    pub fn with_models(cpu: CpuModel, tcp: TcpModel) -> Soap11 {
+        Soap11 { cpu, tcp }
+    }
+}
+
+impl Default for Soap11 {
+    fn default() -> Self {
+        Soap11::new()
+    }
+}
+
+impl VsgProtocol for Soap11 {
+    fn name(&self) -> &'static str {
+        "soap"
+    }
+
+    fn bind(&self, net: &Network, label: &str, handler: GatewayHandler) -> NodeId {
+        let server = SoapServer::bind_with(net, label, self.cpu, self.tcp);
+        server.mount(GATEWAY_NS, move |sim, call: &RpcCall| {
+            let mut service = None;
+            let mut args = Vec::with_capacity(call.args.len());
+            for (k, v) in &call.args {
+                if k == SERVICE_ARG {
+                    service = v.as_str().map(str::to_owned);
+                } else {
+                    args.push((k.clone(), v.clone()));
+                }
+            }
+            let Some(service) = service else {
+                return Err(Fault::client("missing __service argument"));
+            };
+            let req = VsgRequest { service, operation: call.method.clone(), args };
+            handler(sim, &req).map_err(|e| Fault::server(e.to_string()))
+        });
+        server.node()
+    }
+
+    fn call(
+        &self,
+        net: &Network,
+        from: NodeId,
+        to: NodeId,
+        req: &VsgRequest,
+    ) -> Result<Value, MetaError> {
+        let client = SoapClient::on_node(net, from, self.cpu, self.tcp);
+        let mut call = RpcCall::new(GATEWAY_NS, &req.operation).arg(SERVICE_ARG, req.service.as_str());
+        for (k, v) in &req.args {
+            call = call.arg(k.clone(), v.clone());
+        }
+        client.call(to, &call).map_err(|e| match e {
+            SoapError::Fault(f) => MetaError::native("remote-gateway", f.string),
+            other => MetaError::Protocol(other.to_string()),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::conformance;
+
+    #[test]
+    fn soap11_conformance() {
+        conformance::run(&Soap11::new());
+    }
+
+    #[test]
+    fn soap_has_no_push() {
+        assert!(!Soap11::new().supports_push());
+        assert_eq!(Soap11::new().name(), "soap");
+    }
+
+    #[test]
+    fn soap_call_moves_hundreds_of_wire_bytes() {
+        use simnet::{Network, Protocol, Sim};
+        use std::sync::Arc;
+        let sim = Sim::new(1);
+        let net = Network::ethernet(&sim);
+        let p = Soap11::new();
+        let server = p.bind(&net, "gw", Arc::new(|_, _| Ok(Value::Null)));
+        let client = net.attach("c");
+        p.call(&net, client, server, &VsgRequest::new("svc", "ping")).unwrap();
+        let http = net.with_stats(|s| s.protocol(Protocol::Http));
+        assert!(http.bytes > 600, "SOAP ping moved only {} bytes", http.bytes);
+    }
+}

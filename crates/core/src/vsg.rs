@@ -1,0 +1,383 @@
+//! The Virtual Service Gateway.
+//!
+//! §3.1: each middleware island runs a VSG "which connects middleware to
+//! another middleware using certain protocol". PCMs register their
+//! island's services here (via Client Proxies); invocations addressed to
+//! other islands travel gateway-to-gateway over the pluggable
+//! [`VsgProtocol`].
+
+use crate::error::MetaError;
+use crate::protocol::{VsgProtocol, VsgRequest};
+use crate::service::{ServiceInvoker, VirtualService};
+use crate::vsr::{ServiceRecord, VsrClient};
+use parking_lot::Mutex;
+use simnet::{Network, NodeId, Sim};
+use soap::Value;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+struct LocalEntry {
+    service: VirtualService,
+    invoker: Arc<Mutex<Box<dyn ServiceInvoker>>>,
+}
+
+struct VsgInner {
+    name: String,
+    backbone: Network,
+    node: NodeId,
+    protocol: Arc<dyn VsgProtocol>,
+    local: Arc<Mutex<HashMap<String, LocalEntry>>>,
+    vsr: VsrClient,
+    route_cache: Mutex<HashMap<String, NodeId>>,
+}
+
+/// A running gateway.
+#[derive(Clone)]
+pub struct Vsg {
+    inner: Arc<VsgInner>,
+}
+
+impl Vsg {
+    /// Starts a gateway named `name` on the backbone, speaking
+    /// `protocol`, registered with the VSR at `vsr_node`.
+    pub fn start(
+        backbone: &Network,
+        name: &str,
+        protocol: Arc<dyn VsgProtocol>,
+        vsr_node: NodeId,
+    ) -> Result<Vsg, MetaError> {
+        let local: Arc<Mutex<HashMap<String, LocalEntry>>> = Arc::new(Mutex::new(HashMap::new()));
+        let local2 = local.clone();
+        let node = protocol.bind(
+            backbone,
+            name,
+            Arc::new(move |sim: &Sim, req: &VsgRequest| {
+                dispatch_local(&local2, sim, &req.service, &req.operation, &req.args)
+            }),
+        );
+        let vsr = VsrClient::new(backbone, node, vsr_node);
+        vsr.register_gateway(name, node)?;
+        Ok(Vsg {
+            inner: Arc::new(VsgInner {
+                name: name.to_owned(),
+                backbone: backbone.clone(),
+                node,
+                protocol,
+                local,
+                vsr,
+                route_cache: Mutex::new(HashMap::new()),
+            }),
+        })
+    }
+
+    /// The gateway's name.
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// The gateway's backbone node.
+    pub fn node(&self) -> NodeId {
+        self.inner.node
+    }
+
+    /// The protocol this gateway speaks.
+    pub fn protocol(&self) -> &Arc<dyn VsgProtocol> {
+        &self.inner.protocol
+    }
+
+    /// This gateway's VSR client.
+    pub fn vsr(&self) -> &VsrClient {
+        &self.inner.vsr
+    }
+
+    /// The backbone network.
+    pub fn backbone(&self) -> &Network {
+        &self.inner.backbone
+    }
+
+    // ---- service registration (the Client Proxy side of a PCM) ---------
+
+    /// Exports a local service: installs its invoker and publishes it in
+    /// the VSR. Replaces any previous export under the same name.
+    pub fn export(
+        &self,
+        service: VirtualService,
+        invoker: impl ServiceInvoker + 'static,
+    ) -> Result<(), MetaError> {
+        debug_assert_eq!(service.gateway, self.inner.name, "service fronted by this gateway");
+        self.inner.vsr.publish(&service)?;
+        self.inner.local.lock().insert(
+            service.name.clone(),
+            LocalEntry {
+                service,
+                invoker: Arc::new(Mutex::new(Box::new(invoker))),
+            },
+        );
+        Ok(())
+    }
+
+    /// Withdraws a local service from the gateway and the VSR.
+    pub fn withdraw(&self, name: &str) -> Result<bool, MetaError> {
+        let existed = self.inner.local.lock().remove(name).is_some();
+        let _ = self.inner.vsr.unpublish(name)?;
+        Ok(existed)
+    }
+
+    /// Names of locally exported services.
+    pub fn local_services(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.inner.local.lock().keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// The interface of a locally exported service.
+    pub fn local_interface(&self, name: &str) -> Option<crate::iface::ServiceInterface> {
+        self.inner
+            .local
+            .lock()
+            .get(name)
+            .map(|e| e.service.interface.clone())
+    }
+
+    // ---- invocation (what Server Proxies call) ---------------------------
+
+    /// Invokes `operation` on `service`, wherever it lives: locally if
+    /// this gateway fronts it, otherwise via VSR resolution and a
+    /// gateway-to-gateway protocol call.
+    pub fn invoke(
+        &self,
+        sim: &Sim,
+        service: &str,
+        operation: &str,
+        args: &[(String, Value)],
+    ) -> Result<Value, MetaError> {
+        if self.inner.local.lock().contains_key(service) {
+            return dispatch_local(&self.inner.local, sim, service, operation, args);
+        }
+        self.invoke_remote(service, operation, args)
+    }
+
+    fn invoke_remote(
+        &self,
+        service: &str,
+        operation: &str,
+        args: &[(String, Value)],
+    ) -> Result<Value, MetaError> {
+        let mut req = VsgRequest::new(service, operation);
+        req.args = args.to_vec();
+
+        // Fast path: cached route.
+        if let Some(node) = self.inner.route_cache.lock().get(service).copied() {
+            match self.inner.protocol.call(&self.inner.backbone, self.inner.node, node, &req) {
+                Ok(v) => return Ok(v),
+                Err(_) => {
+                    // Stale route (service moved or gateway died): drop it
+                    // and fall through to a fresh resolution.
+                    self.inner.route_cache.lock().remove(service);
+                }
+            }
+        }
+
+        let record = self.resolve(service)?;
+        let gw_node = self.inner.vsr.gateway_node(&record.gateway).map_err(|_| {
+            MetaError::GatewayUnreachable(record.gateway.clone())
+        })?;
+        let result = self
+            .inner
+            .protocol
+            .call(&self.inner.backbone, self.inner.node, gw_node, &req);
+        if result.is_ok() {
+            self.inner
+                .route_cache
+                .lock()
+                .insert(service.to_owned(), gw_node);
+        }
+        result
+    }
+
+    /// Resolves a service record via the VSR.
+    pub fn resolve(&self, service: &str) -> Result<ServiceRecord, MetaError> {
+        self.inner.vsr.resolve(service)
+    }
+
+    /// Drops all cached routes, forcing fresh VSR resolution on the next
+    /// remote invocation (used by the E11 ablation bench).
+    pub fn clear_route_cache(&self) {
+        self.inner.route_cache.lock().clear();
+    }
+}
+
+impl fmt::Debug for Vsg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Vsg")
+            .field("name", &self.inner.name)
+            .field("protocol", &self.inner.protocol.name())
+            .field("local_services", &self.inner.local.lock().len())
+            .finish()
+    }
+}
+
+fn dispatch_local(
+    local: &Mutex<HashMap<String, LocalEntry>>,
+    sim: &Sim,
+    service: &str,
+    operation: &str,
+    args: &[(String, Value)],
+) -> Result<Value, MetaError> {
+    let (sig_check, invoker) = {
+        let map = local.lock();
+        let entry = map
+            .get(service)
+            .ok_or_else(|| MetaError::UnknownService(service.to_owned()))?;
+        let sig = entry
+            .service
+            .interface
+            .find(operation)
+            .ok_or_else(|| MetaError::UnknownOperation {
+                service: service.to_owned(),
+                operation: operation.to_owned(),
+            })?
+            .clone();
+        (sig, entry.invoker.clone())
+    };
+    sig_check.check_args(args)?;
+    let mut invoker = invoker.lock();
+    invoker.invoke(sim, operation, args)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iface::catalog;
+    use crate::protocol::{CompactBinary, SipLike, Soap11};
+    use crate::service::Middleware;
+    use crate::vsr::Vsr;
+
+    fn world(protocol: Arc<dyn VsgProtocol>) -> (Sim, Network, Vsr, Vsg, Vsg) {
+        let sim = Sim::new(1);
+        let net = Network::ethernet(&sim);
+        let vsr = Vsr::start(&net);
+        let gw_a = Vsg::start(&net, "gw-a", protocol.clone(), vsr.node()).unwrap();
+        let gw_b = Vsg::start(&net, "gw-b", protocol, vsr.node()).unwrap();
+        (sim, net, vsr, gw_a, gw_b)
+    }
+
+    fn export_lamp(gw: &Vsg) {
+        let on = Arc::new(Mutex::new(false));
+        gw.export(
+            VirtualService::new("hall-lamp", catalog::lamp(), Middleware::X10, gw.name()),
+            move |_: &Sim, op: &str, args: &[(String, Value)]| match op {
+                "switch" => {
+                    let want = args
+                        .iter()
+                        .find(|(k, _)| k == "on")
+                        .and_then(|(_, v)| v.as_bool())
+                        .unwrap_or(false);
+                    *on.lock() = want;
+                    Ok(Value::Null)
+                }
+                "status" => Ok(Value::Bool(*on.lock())),
+                "dim" => Ok(Value::Null),
+                other => Err(MetaError::UnknownOperation {
+                    service: "hall-lamp".into(),
+                    operation: other.into(),
+                }),
+            },
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn local_invocation_with_type_checking() {
+        let (sim, _net, _vsr, gw_a, _gw_b) = world(Arc::new(Soap11::new()));
+        export_lamp(&gw_a);
+        assert_eq!(gw_a.local_services(), vec!["hall-lamp".to_owned()]);
+        assert_eq!(gw_a.local_interface("hall-lamp").unwrap(), catalog::lamp());
+
+        gw_a.invoke(&sim, "hall-lamp", "switch", &[("on".into(), Value::Bool(true))])
+            .unwrap();
+        let status = gw_a.invoke(&sim, "hall-lamp", "status", &[]).unwrap();
+        assert_eq!(status, Value::Bool(true));
+
+        // Wrong type rejected before reaching the invoker.
+        let err = gw_a
+            .invoke(&sim, "hall-lamp", "switch", &[("on".into(), Value::Int(1))])
+            .unwrap_err();
+        assert!(matches!(err, MetaError::TypeMismatch { .. }));
+        // Unknown op.
+        assert!(matches!(
+            gw_a.invoke(&sim, "hall-lamp", "explode", &[]),
+            Err(MetaError::UnknownOperation { .. })
+        ));
+        // Unknown service: not local, and resolution at the VSR fails.
+        assert!(matches!(
+            gw_a.invoke(&sim, "ghost", "x", &[]),
+            Err(MetaError::Repository(_) | MetaError::UnknownService(_))
+        ));
+    }
+
+    #[test]
+    fn cross_gateway_invocation_over_each_protocol() {
+        for protocol in [
+            Arc::new(Soap11::new()) as Arc<dyn VsgProtocol>,
+            Arc::new(CompactBinary::new()),
+            Arc::new(SipLike::new()),
+        ] {
+            let name = protocol.name();
+            let (sim, _net, _vsr, gw_a, gw_b) = world(protocol);
+            export_lamp(&gw_a);
+            // gw_b neither hosts the lamp nor knows where it is; the
+            // framework resolves and routes transparently.
+            gw_b.invoke(&sim, "hall-lamp", "switch", &[("on".into(), Value::Bool(true))])
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            let status = gw_b.invoke(&sim, "hall-lamp", "status", &[]).unwrap();
+            assert_eq!(status, Value::Bool(true), "{name}");
+        }
+    }
+
+    #[test]
+    fn remote_errors_propagate() {
+        let (sim, _net, _vsr, gw_a, gw_b) = world(Arc::new(Soap11::new()));
+        export_lamp(&gw_a);
+        // Type errors are raised on the *serving* gateway and travel back.
+        let err = gw_b
+            .invoke(&sim, "hall-lamp", "switch", &[("on".into(), Value::Int(1))])
+            .unwrap_err();
+        assert!(err.to_string().contains("type mismatch"), "{err}");
+        // Unknown remote service fails at resolution.
+        assert!(matches!(
+            gw_b.invoke(&sim, "ghost", "x", &[]),
+            Err(MetaError::Repository(_) | MetaError::UnknownService(_))
+        ));
+    }
+
+    #[test]
+    fn route_cache_survives_and_recovers() {
+        let (sim, _net, vsr, gw_a, gw_b) = world(Arc::new(CompactBinary::new()));
+        export_lamp(&gw_a);
+        gw_b.invoke(&sim, "hall-lamp", "status", &[]).unwrap();
+        let inquiries_after_first = vsr.registry_stats().inquiries;
+        // Second call uses the cached route: no new VSR inquiries.
+        gw_b.invoke(&sim, "hall-lamp", "status", &[]).unwrap();
+        assert_eq!(vsr.registry_stats().inquiries, inquiries_after_first);
+
+        // Service moves to gw_b itself; the stale cache entry still hits
+        // gw_a which no longer hosts it, and the framework re-resolves.
+        gw_a.withdraw("hall-lamp").unwrap();
+        export_lamp(&gw_b);
+        let v = gw_b.invoke(&sim, "hall-lamp", "status", &[]).unwrap();
+        assert_eq!(v, Value::Bool(false));
+    }
+
+    #[test]
+    fn withdraw_removes_service_everywhere() {
+        let (sim, _net, vsr, gw_a, gw_b) = world(Arc::new(Soap11::new()));
+        export_lamp(&gw_a);
+        assert_eq!(vsr.service_count(), 1);
+        assert!(gw_a.withdraw("hall-lamp").unwrap());
+        assert!(!gw_a.withdraw("hall-lamp").unwrap());
+        assert_eq!(vsr.service_count(), 0);
+        assert!(gw_b.invoke(&sim, "hall-lamp", "status", &[]).is_err());
+    }
+}

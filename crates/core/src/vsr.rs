@@ -1,0 +1,548 @@
+//! The Virtual Service Repository.
+//!
+//! §3.3: "a virtual database which has a lot of information of
+//! heterogeneous services such as service locations and service
+//! contexts. The VSG and the PCM use this component to detect services
+//! … if the protocol of VSG is SOAP, the VSG will be implemented with
+//! WSDL and UDDI." And so it is here: the repository is a SOAP service
+//! on the backbone whose storage is a UDDI registry holding WSDL
+//! documents as tModels.
+
+use crate::error::MetaError;
+use crate::iface::ServiceInterface;
+use crate::service::{Middleware, VirtualService};
+use parking_lot::Mutex;
+use simnet::{Network, NodeId};
+use soap::{Fault, RpcCall, SoapClient, SoapError, SoapServer, Value};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+use wsdl::{Key, KeyedReference, UddiRegistry};
+
+/// The repository's SOAP namespace.
+pub const VSR_NS: &str = "urn:vsg:repository";
+
+const TAX_MIDDLEWARE: &str = "uddi:middleware";
+const TAX_GATEWAY: &str = "uddi:gateway";
+/// Context taxonomies are namespaced per key: `uddi:ctx:<key>`.
+const TAX_CONTEXT_PREFIX: &str = "uddi:ctx:";
+
+/// A resolved repository record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceRecord {
+    /// Service name.
+    pub name: String,
+    /// Native middleware.
+    pub middleware: Middleware,
+    /// Fronting gateway.
+    pub gateway: String,
+    /// Reconstructed interface.
+    pub interface: ServiceInterface,
+    /// Service contexts (§3.3), e.g. `("room", "hall")`.
+    pub contexts: Vec<(String, String)>,
+}
+
+impl ServiceRecord {
+    /// The `vsg://` endpoint.
+    pub fn endpoint(&self) -> String {
+        format!("vsg://{}/{}", self.gateway, self.name)
+    }
+
+    fn from_value(v: &Value) -> Option<ServiceRecord> {
+        let name = v.field("name")?.as_str()?.to_owned();
+        let middleware = Middleware::from_label(v.field("middleware")?.as_str()?)?;
+        let gateway = v.field("gateway")?.as_str()?.to_owned();
+        let wsdl_doc = v.field("wsdl")?.as_str()?;
+        let parsed = minixml::parse(wsdl_doc).ok()?;
+        let desc = wsdl::ServiceDescription::from_xml(&parsed).ok()?;
+        let contexts = match v.field("contexts") {
+            Some(Value::Record(fields)) => fields
+                .iter()
+                .filter_map(|(k, v)| v.as_str().map(|s| (k.clone(), s.to_owned())))
+                .collect(),
+            _ => Vec::new(),
+        };
+        Some(ServiceRecord {
+            name,
+            middleware,
+            gateway,
+            interface: ServiceInterface::from_wsdl(&desc),
+            contexts,
+        })
+    }
+}
+
+struct VsrState {
+    registry: UddiRegistry,
+    business: Key,
+    gateways: HashMap<String, u32>,
+}
+
+/// The running repository service.
+#[derive(Clone)]
+pub struct Vsr {
+    node: NodeId,
+    state: Arc<Mutex<VsrState>>,
+}
+
+impl Vsr {
+    /// Starts the repository on a fresh node of the backbone `net`.
+    pub fn start(net: &Network) -> Vsr {
+        let mut registry = UddiRegistry::new();
+        let business = registry.save_business("smart-home", "the home's service federation");
+        let state = Arc::new(Mutex::new(VsrState {
+            registry,
+            business,
+            gateways: HashMap::new(),
+        }));
+        let server = SoapServer::bind(net, "vsr");
+        let state2 = state.clone();
+        server.mount(VSR_NS, move |_sim, call: &RpcCall| {
+            handle(&state2, call).map_err(|e| Fault::server(e.to_string()))
+        });
+        Vsr { node: server.node(), state }
+    }
+
+    /// The repository's backbone node (what [`VsrClient`]s talk to).
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Number of published services (test introspection).
+    pub fn service_count(&self) -> usize {
+        self.state.lock().registry.service_count()
+    }
+
+    /// The underlying registry's inquiry statistics.
+    pub fn registry_stats(&self) -> wsdl::RegistryStats {
+        self.state.lock().registry.stats()
+    }
+}
+
+impl fmt::Debug for Vsr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Vsr")
+            .field("node", &self.node)
+            .field("services", &self.service_count())
+            .finish()
+    }
+}
+
+fn handle(state: &Mutex<VsrState>, call: &RpcCall) -> Result<Value, MetaError> {
+    let mut st = state.lock();
+    let str_arg = |name: &str| -> Result<String, MetaError> {
+        call.get(name)
+            .and_then(Value::as_str)
+            .map(str::to_owned)
+            .ok_or_else(|| MetaError::Repository(format!("missing argument '{name}'")))
+    };
+    match call.method.as_str() {
+        "register_gateway" => {
+            let name = str_arg("name")?;
+            let node = call
+                .get("node")
+                .and_then(Value::as_int)
+                .ok_or_else(|| MetaError::Repository("missing node".into()))?;
+            st.gateways.insert(name, node as u32);
+            Ok(Value::Null)
+        }
+        "gateway_node" => {
+            let name = str_arg("name")?;
+            st.gateways
+                .get(&name)
+                .map(|n| Value::Int(i64::from(*n)))
+                .ok_or(MetaError::GatewayUnreachable(name))
+        }
+        "publish" => {
+            let name = str_arg("name")?;
+            let middleware = str_arg("middleware")?;
+            let gateway = str_arg("gateway")?;
+            let wsdl_doc = str_arg("wsdl")?;
+            let contexts: Vec<(String, String)> = match call.get("contexts") {
+                Some(Value::Record(fields)) => fields
+                    .iter()
+                    .filter_map(|(k, v)| v.as_str().map(|s| (k.clone(), s.to_owned())))
+                    .collect(),
+                _ => Vec::new(),
+            };
+            // Replace any existing record of the same name.
+            let existing: Vec<Key> = st
+                .registry
+                .find_service(&name, &[])
+                .into_iter()
+                .filter(|s| s.name == name)
+                .map(|s| s.key)
+                .collect();
+            for key in existing {
+                st.registry.delete_service(&key);
+            }
+            let tmodel = st.registry.save_tmodel(&format!("{name}-interface"), &wsdl_doc);
+            let endpoint = format!("vsg://{gateway}/{name}");
+            let business = st.business.clone();
+            let mut categories = vec![
+                KeyedReference::new(TAX_MIDDLEWARE, &middleware),
+                KeyedReference::new(TAX_GATEWAY, &gateway),
+            ];
+            for (k, v) in &contexts {
+                categories.push(KeyedReference::new(format!("{TAX_CONTEXT_PREFIX}{k}"), v));
+            }
+            st.registry
+                .save_service(&business, &name, categories, &endpoint, Some(tmodel))
+                .ok_or_else(|| MetaError::Repository("publish failed".into()))?;
+            Ok(Value::Null)
+        }
+        "unpublish" => {
+            let name = str_arg("name")?;
+            let keys: Vec<Key> = st
+                .registry
+                .find_service(&name, &[])
+                .into_iter()
+                .filter(|s| s.name == name)
+                .map(|s| s.key)
+                .collect();
+            let found = !keys.is_empty();
+            for key in keys {
+                st.registry.delete_service(&key);
+            }
+            Ok(Value::Bool(found))
+        }
+        "find" => {
+            let pattern = str_arg("pattern")?;
+            let middleware = str_arg("middleware")?;
+            let categories: Vec<KeyedReference> = if middleware.is_empty() {
+                vec![]
+            } else {
+                vec![KeyedReference::new(TAX_MIDDLEWARE, &middleware)]
+            };
+            let services = st.registry.find_service(&pattern, &categories);
+            let mut out = Vec::with_capacity(services.len());
+            for svc in services {
+                if let Some(v) = service_to_value(&mut st.registry, &svc) {
+                    out.push(v);
+                }
+            }
+            Ok(Value::List(out))
+        }
+        "resolve" => {
+            let name = str_arg("name")?;
+            let services = st.registry.find_service(&name, &[]);
+            let svc = services
+                .into_iter()
+                .find(|s| s.name == name)
+                .ok_or(MetaError::UnknownService(name))?;
+            service_to_value(&mut st.registry, &svc)
+                .ok_or_else(|| MetaError::Repository("corrupt record".into()))
+        }
+        "find_ctx" => {
+            let pattern = str_arg("pattern")?;
+            let categories: Vec<KeyedReference> = match call.get("contexts") {
+                Some(Value::Record(fields)) => fields
+                    .iter()
+                    .filter_map(|(k, v)| {
+                        v.as_str()
+                            .map(|s| KeyedReference::new(format!("{TAX_CONTEXT_PREFIX}{k}"), s))
+                    })
+                    .collect(),
+                _ => Vec::new(),
+            };
+            let services = st.registry.find_service(&pattern, &categories);
+            let mut out = Vec::with_capacity(services.len());
+            for svc in services {
+                if let Some(v) = service_to_value(&mut st.registry, &svc) {
+                    out.push(v);
+                }
+            }
+            Ok(Value::List(out))
+        }
+        "count" => Ok(Value::Int(st.registry.service_count() as i64)),
+        other => Err(MetaError::Repository(format!("unknown VSR operation '{other}'"))),
+    }
+}
+
+fn service_to_value(
+    registry: &mut UddiRegistry,
+    svc: &wsdl::BusinessService,
+) -> Option<Value> {
+    let middleware = svc
+        .categories
+        .iter()
+        .find(|c| c.taxonomy == TAX_MIDDLEWARE)?
+        .value
+        .clone();
+    let gateway = svc
+        .categories
+        .iter()
+        .find(|c| c.taxonomy == TAX_GATEWAY)?
+        .value
+        .clone();
+    let tmodel_key = svc.bindings.first()?.tmodel_key.clone()?;
+    let tmodel = registry.get_tmodel(&tmodel_key)?;
+    let contexts: Vec<(String, Value)> = svc
+        .categories
+        .iter()
+        .filter_map(|c| {
+            c.taxonomy
+                .strip_prefix(TAX_CONTEXT_PREFIX)
+                .map(|k| (k.to_owned(), Value::Str(c.value.clone())))
+        })
+        .collect();
+    Some(Value::Record(vec![
+        ("name".into(), Value::Str(svc.name.clone())),
+        ("middleware".into(), Value::Str(middleware)),
+        ("gateway".into(), Value::Str(gateway)),
+        ("wsdl".into(), Value::Str(tmodel.overview_doc)),
+        ("contexts".into(), Value::Record(contexts)),
+    ]))
+}
+
+/// A client of the repository (used by gateways and PCMs).
+#[derive(Debug, Clone)]
+pub struct VsrClient {
+    soap: SoapClient,
+    vsr: NodeId,
+}
+
+impl VsrClient {
+    /// Creates a client calling from `node` on the backbone.
+    pub fn new(net: &Network, node: NodeId, vsr: NodeId) -> VsrClient {
+        VsrClient {
+            soap: SoapClient::on_node(net, node, soap::CpuModel::default(), soap::TcpModel::default()),
+            vsr,
+        }
+    }
+
+    fn call(&self, call: &RpcCall) -> Result<Value, MetaError> {
+        self.soap.call(self.vsr, call).map_err(|e| match e {
+            SoapError::Fault(f) => MetaError::Repository(f.string),
+            other => MetaError::Protocol(other.to_string()),
+        })
+    }
+
+    /// Registers a gateway's backbone node under its name.
+    pub fn register_gateway(&self, name: &str, node: NodeId) -> Result<(), MetaError> {
+        self.call(
+            &RpcCall::new(VSR_NS, "register_gateway")
+                .arg("name", name)
+                .arg("node", i64::from(node.0)),
+        )
+        .map(|_| ())
+    }
+
+    /// Looks up a gateway's backbone node.
+    pub fn gateway_node(&self, name: &str) -> Result<NodeId, MetaError> {
+        let v = self.call(&RpcCall::new(VSR_NS, "gateway_node").arg("name", name))?;
+        v.as_int()
+            .and_then(|n| u32::try_from(n).ok())
+            .map(NodeId)
+            .ok_or_else(|| MetaError::Repository("bad gateway_node reply".into()))
+    }
+
+    /// Publishes a virtual service.
+    pub fn publish(&self, service: &VirtualService) -> Result<(), MetaError> {
+        let wsdl_doc = service
+            .interface
+            .to_wsdl(&service.name, &service.endpoint())
+            .to_xml()
+            .to_document();
+        let contexts = Value::Record(
+            service
+                .contexts
+                .iter()
+                .map(|(k, v)| (k.clone(), Value::Str(v.clone())))
+                .collect(),
+        );
+        self.call(
+            &RpcCall::new(VSR_NS, "publish")
+                .arg("name", service.name.as_str())
+                .arg("middleware", service.origin.label())
+                .arg("gateway", service.gateway.as_str())
+                .arg("wsdl", wsdl_doc)
+                .arg("contexts", contexts),
+        )
+        .map(|_| ())
+    }
+
+    /// Finds services whose name matches `pattern` and whose context bag
+    /// contains every given `(key, value)` pair — §3.3's context-aware
+    /// discovery ("the VSG and the PCM use this component to detect
+    /// services or aware contexts").
+    pub fn find_by_context(
+        &self,
+        pattern: &str,
+        contexts: &[(&str, &str)],
+    ) -> Result<Vec<ServiceRecord>, MetaError> {
+        let ctx = Value::Record(
+            contexts
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), Value::Str((*v).to_owned())))
+                .collect(),
+        );
+        let v = self.call(
+            &RpcCall::new(VSR_NS, "find_ctx")
+                .arg("pattern", pattern)
+                .arg("contexts", ctx),
+        )?;
+        match v {
+            Value::List(items) => Ok(items
+                .iter()
+                .filter_map(ServiceRecord::from_value)
+                .collect()),
+            _ => Err(MetaError::Repository("bad find_ctx reply".into())),
+        }
+    }
+
+    /// Withdraws a service by name. Returns whether it existed.
+    pub fn unpublish(&self, name: &str) -> Result<bool, MetaError> {
+        let v = self.call(&RpcCall::new(VSR_NS, "unpublish").arg("name", name))?;
+        v.as_bool()
+            .ok_or_else(|| MetaError::Repository("bad unpublish reply".into()))
+    }
+
+    /// Finds services by name pattern (`%` wildcards) and optional
+    /// middleware filter.
+    pub fn find(
+        &self,
+        pattern: &str,
+        middleware: Option<Middleware>,
+    ) -> Result<Vec<ServiceRecord>, MetaError> {
+        let v = self.call(
+            &RpcCall::new(VSR_NS, "find")
+                .arg("pattern", pattern)
+                .arg("middleware", middleware.map_or("", Middleware::label)),
+        )?;
+        match v {
+            Value::List(items) => Ok(items
+                .iter()
+                .filter_map(ServiceRecord::from_value)
+                .collect()),
+            _ => Err(MetaError::Repository("bad find reply".into())),
+        }
+    }
+
+    /// Resolves one service by exact name.
+    pub fn resolve(&self, name: &str) -> Result<ServiceRecord, MetaError> {
+        let v = self.call(&RpcCall::new(VSR_NS, "resolve").arg("name", name))?;
+        ServiceRecord::from_value(&v)
+            .ok_or_else(|| MetaError::Repository("bad resolve reply".into()))
+    }
+
+    /// Number of published services.
+    pub fn count(&self) -> Result<usize, MetaError> {
+        let v = self.call(&RpcCall::new(VSR_NS, "count"))?;
+        v.as_int()
+            .and_then(|n| usize::try_from(n).ok())
+            .ok_or_else(|| MetaError::Repository("bad count reply".into()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iface::catalog;
+    use simnet::Sim;
+
+    fn world() -> (Sim, Network, Vsr, VsrClient) {
+        let sim = Sim::new(1);
+        let net = Network::ethernet(&sim);
+        let vsr = Vsr::start(&net);
+        let client_node = net.attach("pcm");
+        let client = VsrClient::new(&net, client_node, vsr.node());
+        (sim, net, vsr, client)
+    }
+
+    fn lamp_service() -> VirtualService {
+        VirtualService::new("hall-lamp", catalog::lamp(), Middleware::X10, "x10-gw")
+    }
+
+    #[test]
+    fn publish_resolve_round_trip() {
+        let (_sim, _net, vsr, client) = world();
+        client.publish(&lamp_service()).unwrap();
+        assert_eq!(vsr.service_count(), 1);
+        let rec = client.resolve("hall-lamp").unwrap();
+        assert_eq!(rec.name, "hall-lamp");
+        assert_eq!(rec.middleware, Middleware::X10);
+        assert_eq!(rec.gateway, "x10-gw");
+        assert_eq!(rec.endpoint(), "vsg://x10-gw/hall-lamp");
+        assert_eq!(rec.interface, catalog::lamp());
+    }
+
+    #[test]
+    fn find_with_filters() {
+        let (_sim, _net, _vsr, client) = world();
+        client.publish(&lamp_service()).unwrap();
+        client
+            .publish(&VirtualService::new(
+                "living-room-vcr",
+                catalog::vcr(),
+                Middleware::Havi,
+                "havi-gw",
+            ))
+            .unwrap();
+        client
+            .publish(&VirtualService::new(
+                "laserdisc",
+                catalog::laserdisc(),
+                Middleware::Jini,
+                "jini-gw",
+            ))
+            .unwrap();
+
+        assert_eq!(client.find("%", None).unwrap().len(), 3);
+        assert_eq!(client.find("l%", None).unwrap().len(), 2);
+        let havi_only = client.find("%", Some(Middleware::Havi)).unwrap();
+        assert_eq!(havi_only.len(), 1);
+        assert_eq!(havi_only[0].name, "living-room-vcr");
+        assert!(client.find("%", Some(Middleware::Upnp)).unwrap().is_empty());
+        assert_eq!(client.count().unwrap(), 3);
+    }
+
+    #[test]
+    fn unknown_service_resolution_fails() {
+        let (_sim, _net, _vsr, client) = world();
+        let err = client.resolve("ghost").unwrap_err();
+        assert!(err.to_string().contains("ghost"));
+    }
+
+    #[test]
+    fn republish_replaces() {
+        let (_sim, _net, vsr, client) = world();
+        client.publish(&lamp_service()).unwrap();
+        let mut moved = lamp_service();
+        moved.gateway = "x10-gw-2".into();
+        client.publish(&moved).unwrap();
+        assert_eq!(vsr.service_count(), 1);
+        assert_eq!(client.resolve("hall-lamp").unwrap().gateway, "x10-gw-2");
+    }
+
+    #[test]
+    fn unpublish() {
+        let (_sim, _net, vsr, client) = world();
+        client.publish(&lamp_service()).unwrap();
+        assert!(client.unpublish("hall-lamp").unwrap());
+        assert!(!client.unpublish("hall-lamp").unwrap());
+        assert_eq!(vsr.service_count(), 0);
+        assert!(client.resolve("hall-lamp").is_err());
+    }
+
+    #[test]
+    fn gateway_directory() {
+        let (_sim, net, _vsr, client) = world();
+        let gw_node = net.attach("x10-gw");
+        client.register_gateway("x10-gw", gw_node).unwrap();
+        assert_eq!(client.gateway_node("x10-gw").unwrap(), gw_node);
+        assert!(matches!(
+            client.gateway_node("ghost-gw"),
+            Err(MetaError::Repository(_))
+        ));
+    }
+
+    #[test]
+    fn repository_access_costs_soap_round_trips() {
+        let (sim, _net, _vsr, client) = world();
+        let before = sim.now();
+        client.publish(&lamp_service()).unwrap();
+        client.resolve("hall-lamp").unwrap();
+        assert!(sim.now() - before > simnet::SimDuration::from_millis(2));
+    }
+}

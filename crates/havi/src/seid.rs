@@ -1,0 +1,129 @@
+//! Software element identifiers and status codes.
+
+use simnet::NodeId;
+use std::fmt;
+
+/// A HAVi Software Element ID: the 1394 node it lives on plus a
+/// node-local handle assigned by that node's messaging system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Seid {
+    /// The hosting 1394 node.
+    pub node: NodeId,
+    /// Node-local software element handle.
+    pub handle: u32,
+}
+
+impl Seid {
+    /// Creates a SEID.
+    pub fn new(node: NodeId, handle: u32) -> Seid {
+        Seid { node, handle }
+    }
+}
+
+impl fmt::Display for Seid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "seid:{}.{}", self.node.0, self.handle)
+    }
+}
+
+/// HAVi API status codes (the subset the simulation uses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HaviStatus {
+    /// Success.
+    Success,
+    /// The target software element does not exist.
+    EUnknownSeid,
+    /// The operation code is not supported by the target.
+    EUnsupported,
+    /// Parameters were malformed.
+    EParameter,
+    /// The FCM cannot honour the request in its current state.
+    EState,
+    /// Resource exhaustion (e.g. no isochronous bandwidth left).
+    EResource,
+    /// The bus failed mid-operation.
+    ENetwork,
+}
+
+impl HaviStatus {
+    /// The wire byte.
+    pub fn code(self) -> u8 {
+        match self {
+            HaviStatus::Success => 0,
+            HaviStatus::EUnknownSeid => 1,
+            HaviStatus::EUnsupported => 2,
+            HaviStatus::EParameter => 3,
+            HaviStatus::EState => 4,
+            HaviStatus::EResource => 5,
+            HaviStatus::ENetwork => 6,
+        }
+    }
+
+    /// Inverse of [`HaviStatus::code`]; unknown bytes map to `ENetwork`.
+    pub fn from_code(c: u8) -> HaviStatus {
+        match c {
+            0 => HaviStatus::Success,
+            1 => HaviStatus::EUnknownSeid,
+            2 => HaviStatus::EUnsupported,
+            3 => HaviStatus::EParameter,
+            4 => HaviStatus::EState,
+            5 => HaviStatus::EResource,
+            _ => HaviStatus::ENetwork,
+        }
+    }
+
+    /// True for `Success`.
+    pub fn is_ok(self) -> bool {
+        self == HaviStatus::Success
+    }
+}
+
+impl fmt::Display for HaviStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            HaviStatus::Success => "SUCCESS",
+            HaviStatus::EUnknownSeid => "E_UNKNOWN_SEID",
+            HaviStatus::EUnsupported => "E_UNSUPPORTED",
+            HaviStatus::EParameter => "E_PARAMETER",
+            HaviStatus::EState => "E_STATE",
+            HaviStatus::EResource => "E_RESOURCE",
+            HaviStatus::ENetwork => "E_NETWORK",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_codes_round_trip() {
+        for s in [
+            HaviStatus::Success,
+            HaviStatus::EUnknownSeid,
+            HaviStatus::EUnsupported,
+            HaviStatus::EParameter,
+            HaviStatus::EState,
+            HaviStatus::EResource,
+            HaviStatus::ENetwork,
+        ] {
+            assert_eq!(HaviStatus::from_code(s.code()), s);
+        }
+        assert_eq!(HaviStatus::from_code(200), HaviStatus::ENetwork);
+    }
+
+    #[test]
+    fn seid_display_and_ordering() {
+        let a = Seid::new(NodeId(1), 2);
+        let b = Seid::new(NodeId(1), 3);
+        assert!(a < b);
+        assert_eq!(a.to_string(), "seid:1.2");
+    }
+
+    #[test]
+    fn only_success_is_ok() {
+        assert!(HaviStatus::Success.is_ok());
+        assert!(!HaviStatus::EState.is_ok());
+    }
+}

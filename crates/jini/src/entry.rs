@@ -1,0 +1,214 @@
+//! Entry attributes and service templates (`net.jini.core.entry`,
+//! `net.jini.core.lookup.ServiceTemplate`).
+
+use crate::id::ServiceId;
+use crate::jvalue::JValue;
+
+/// An attribute entry: a named class with string-valued public fields,
+/// like `net.jini.lookup.entry.Name` or `Location`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// Entry class name.
+    pub class: String,
+    /// Public fields.
+    pub fields: Vec<(String, String)>,
+}
+
+impl Entry {
+    /// Creates an entry with no fields.
+    pub fn new(class: impl Into<String>) -> Entry {
+        Entry { class: class.into(), fields: Vec::new() }
+    }
+
+    /// The standard `Name` entry.
+    pub fn name(name: &str) -> Entry {
+        Entry::new("net.jini.lookup.entry.Name").field("name", name)
+    }
+
+    /// The standard `Location` entry.
+    pub fn location(room: &str) -> Entry {
+        Entry::new("net.jini.lookup.entry.Location").field("room", room)
+    }
+
+    /// Adds a field (builder style).
+    pub fn field(mut self, name: impl Into<String>, value: impl Into<String>) -> Entry {
+        self.fields.push((name.into(), value.into()));
+        self
+    }
+
+    /// A field value by name.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.fields.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+
+    /// Jini entry matching: the template matches if classes are equal and
+    /// every template field is present with an equal value (fields absent
+    /// from the template are wildcards).
+    pub fn matches(&self, template: &Entry) -> bool {
+        self.class == template.class
+            && template
+                .fields
+                .iter()
+                .all(|(k, v)| self.get(k) == Some(v.as_str()))
+    }
+
+    /// Encodes for marshalling.
+    pub fn to_jvalue(&self) -> JValue {
+        JValue::object(
+            self.class.clone(),
+            self.fields
+                .iter()
+                .map(|(k, v)| (k.clone(), JValue::Str(v.clone())))
+                .collect(),
+        )
+    }
+
+    /// Inverse of [`Entry::to_jvalue`].
+    pub fn from_jvalue(v: &JValue) -> Option<Entry> {
+        match v {
+            JValue::Object { class, fields } => Some(Entry {
+                class: class.clone(),
+                fields: fields
+                    .iter()
+                    .filter_map(|(k, v)| v.as_str().map(|s| (k.clone(), s.to_owned())))
+                    .collect(),
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// A lookup template: all present parts must match.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ServiceTemplate {
+    /// Match a specific service id, if set.
+    pub service_id: Option<ServiceId>,
+    /// Interfaces the service must implement (all of them).
+    pub interfaces: Vec<String>,
+    /// Entry templates the service's attributes must match (all of them).
+    pub entries: Vec<Entry>,
+}
+
+impl ServiceTemplate {
+    /// The match-anything template.
+    pub fn any() -> ServiceTemplate {
+        ServiceTemplate::default()
+    }
+
+    /// A template matching one interface.
+    pub fn by_interface(name: &str) -> ServiceTemplate {
+        ServiceTemplate { interfaces: vec![name.to_owned()], ..Default::default() }
+    }
+
+    /// A template matching a specific id.
+    pub fn by_id(id: ServiceId) -> ServiceTemplate {
+        ServiceTemplate { service_id: Some(id), ..Default::default() }
+    }
+
+    /// Adds an entry requirement (builder style).
+    pub fn entry(mut self, e: Entry) -> ServiceTemplate {
+        self.entries.push(e);
+        self
+    }
+
+    /// Adds an interface requirement (builder style).
+    pub fn interface(mut self, name: &str) -> ServiceTemplate {
+        self.interfaces.push(name.to_owned());
+        self
+    }
+
+    /// Encodes for marshalling.
+    pub fn to_jvalue(&self) -> JValue {
+        JValue::object(
+            "net.jini.core.lookup.ServiceTemplate",
+            vec![
+                (
+                    "serviceID".into(),
+                    match self.service_id {
+                        Some(id) => JValue::Bytes(id.to_bytes().to_vec()),
+                        None => JValue::Null,
+                    },
+                ),
+                (
+                    "serviceTypes".into(),
+                    JValue::List(self.interfaces.iter().cloned().map(JValue::Str).collect()),
+                ),
+                (
+                    "attributeSetTemplates".into(),
+                    JValue::List(self.entries.iter().map(Entry::to_jvalue).collect()),
+                ),
+            ],
+        )
+    }
+
+    /// Inverse of [`ServiceTemplate::to_jvalue`].
+    pub fn from_jvalue(v: &JValue) -> Option<ServiceTemplate> {
+        let service_id = match v.field("serviceID")? {
+            JValue::Null => None,
+            JValue::Bytes(b) => Some(ServiceId::from_bytes(b.as_slice().try_into().ok()?)),
+            _ => return None,
+        };
+        let interfaces = match v.field("serviceTypes")? {
+            JValue::List(items) => items
+                .iter()
+                .map(|i| i.as_str().map(str::to_owned))
+                .collect::<Option<Vec<_>>>()?,
+            _ => return None,
+        };
+        let entries = match v.field("attributeSetTemplates")? {
+            JValue::List(items) => items
+                .iter()
+                .map(Entry::from_jvalue)
+                .collect::<Option<Vec<_>>>()?,
+            _ => return None,
+        };
+        Some(ServiceTemplate { service_id, interfaces, entries })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_matching_semantics() {
+        let item = Entry::name("laserdisc").field("lang", "en");
+        assert!(item.matches(&Entry::new("net.jini.lookup.entry.Name")));
+        assert!(item.matches(&Entry::name("laserdisc")));
+        assert!(!item.matches(&Entry::name("vcr")));
+        assert!(!item.matches(&Entry::new("other.Class")));
+        assert!(item.matches(
+            &Entry::new("net.jini.lookup.entry.Name").field("lang", "en")
+        ));
+        assert!(!item.matches(
+            &Entry::new("net.jini.lookup.entry.Name").field("lang", "jp")
+        ));
+    }
+
+    #[test]
+    fn entry_jvalue_round_trip() {
+        let e = Entry::location("living-room").field("floor", "1");
+        assert_eq!(Entry::from_jvalue(&e.to_jvalue()).unwrap(), e);
+        assert!(Entry::from_jvalue(&JValue::Int(1)).is_none());
+    }
+
+    #[test]
+    fn template_jvalue_round_trip() {
+        let t = ServiceTemplate::by_interface("LaserdiscPlayer")
+            .entry(Entry::name("ld"))
+            .interface("MediaPlayer");
+        let back = ServiceTemplate::from_jvalue(&t.to_jvalue()).unwrap();
+        assert_eq!(back, t);
+
+        let t = ServiceTemplate::by_id(ServiceId::derive(1, 2));
+        let back = ServiceTemplate::from_jvalue(&t.to_jvalue()).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn standard_entries() {
+        assert_eq!(Entry::name("x").get("name"), Some("x"));
+        assert_eq!(Entry::location("den").get("room"), Some("den"));
+        assert_eq!(Entry::name("x").get("nope"), None);
+    }
+}

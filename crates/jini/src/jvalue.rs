@@ -1,0 +1,362 @@
+//! Jini's native value model and its Java-serialization-like wire codec.
+//!
+//! Jini moves marshalled Java objects; the PCM's whole job (§3.2) is
+//! converting between this representation and the VSG's SOAP encoding.
+//! The codec here mimics Java object serialization's shape — a stream
+//! magic, explicit class descriptors, length-prefixed UTF strings — so
+//! that message sizes and conversion work are realistic.
+
+use std::fmt;
+
+/// Magic prefix of a marshalled stream (stands in for `0xACED0005`).
+pub const STREAM_MAGIC: &[u8; 4] = b"JRM1";
+
+/// A value in the simulated Java/Jini type system.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JValue {
+    /// Java `null`.
+    Null,
+    /// `java.lang.Boolean`.
+    Bool(bool),
+    /// `java.lang.Long` (covers int/short/byte).
+    Int(i64),
+    /// `java.lang.Double`.
+    Double(f64),
+    /// `java.lang.String`.
+    Str(String),
+    /// `byte[]`.
+    Bytes(Vec<u8>),
+    /// `java.util.List`.
+    List(Vec<JValue>),
+    /// An arbitrary serializable object: class name + named fields.
+    Object {
+        /// Fully qualified class name.
+        class: String,
+        /// Field name/value pairs, in declaration order.
+        fields: Vec<(String, JValue)>,
+    },
+}
+
+impl JValue {
+    /// Creates an object value.
+    pub fn object(class: impl Into<String>, fields: Vec<(String, JValue)>) -> JValue {
+        JValue::Object { class: class.into(), fields }
+    }
+
+    /// A field of an object value.
+    pub fn field(&self, name: &str) -> Option<&JValue> {
+        match self {
+            JValue::Object { fields, .. } => {
+                fields.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string inside, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer inside, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            JValue::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The boolean inside, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The float inside, if this is a `Double`.
+    pub fn as_double(&self) -> Option<f64> {
+        match self {
+            JValue::Double(d) => Some(*d),
+            _ => None,
+        }
+    }
+
+    /// Serialises to a marshalled stream (with magic).
+    pub fn marshal(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        out.extend_from_slice(STREAM_MAGIC);
+        self.write(&mut out);
+        out
+    }
+
+    /// Deserialises a marshalled stream.
+    pub fn unmarshal(data: &[u8]) -> Result<JValue, MarshalError> {
+        if data.len() < 4 || &data[..4] != STREAM_MAGIC {
+            return Err(MarshalError::new("bad stream magic"));
+        }
+        let mut pos = 4;
+        let v = Self::read(data, &mut pos)?;
+        if pos != data.len() {
+            return Err(MarshalError::new("trailing bytes in stream"));
+        }
+        Ok(v)
+    }
+
+    fn write(&self, out: &mut Vec<u8>) {
+        match self {
+            JValue::Null => out.push(0x70),
+            JValue::Bool(b) => {
+                out.push(0x01);
+                out.push(u8::from(*b));
+            }
+            JValue::Int(i) => {
+                out.push(0x02);
+                out.extend_from_slice(&i.to_be_bytes());
+            }
+            JValue::Double(d) => {
+                out.push(0x03);
+                out.extend_from_slice(&d.to_be_bytes());
+            }
+            JValue::Str(s) => {
+                out.push(0x04);
+                write_utf(out, s);
+            }
+            JValue::Bytes(b) => {
+                out.push(0x05);
+                out.extend_from_slice(&(b.len() as u32).to_be_bytes());
+                out.extend_from_slice(b);
+            }
+            JValue::List(items) => {
+                out.push(0x06);
+                out.extend_from_slice(&(items.len() as u32).to_be_bytes());
+                for item in items {
+                    item.write(out);
+                }
+            }
+            JValue::Object { class, fields } => {
+                // Class descriptor: tag, class name, serialVersionUID
+                // stand-in — the per-object overhead Java serialization
+                // is famous for.
+                out.push(0x07);
+                write_utf(out, class);
+                out.extend_from_slice(&class_uid(class).to_be_bytes());
+                out.extend_from_slice(&(fields.len() as u16).to_be_bytes());
+                for (name, value) in fields {
+                    write_utf(out, name);
+                    value.write(out);
+                }
+            }
+        }
+    }
+
+    fn read(data: &[u8], pos: &mut usize) -> Result<JValue, MarshalError> {
+        let tag = *data.get(*pos).ok_or_else(|| MarshalError::new("truncated stream"))?;
+        *pos += 1;
+        match tag {
+            0x70 => Ok(JValue::Null),
+            0x01 => {
+                let b = *data.get(*pos).ok_or_else(|| MarshalError::new("truncated bool"))?;
+                *pos += 1;
+                Ok(JValue::Bool(b != 0))
+            }
+            0x02 => Ok(JValue::Int(i64::from_be_bytes(take(data, pos, 8)?.try_into().unwrap()))),
+            0x03 => Ok(JValue::Double(f64::from_be_bytes(
+                take(data, pos, 8)?.try_into().unwrap(),
+            ))),
+            0x04 => Ok(JValue::Str(read_utf(data, pos)?)),
+            0x05 => {
+                let len = read_u32(data, pos)? as usize;
+                Ok(JValue::Bytes(take(data, pos, len)?.to_vec()))
+            }
+            0x06 => {
+                let len = read_u32(data, pos)? as usize;
+                if len > data.len() {
+                    return Err(MarshalError::new("implausible list length"));
+                }
+                let mut items = Vec::with_capacity(len);
+                for _ in 0..len {
+                    items.push(Self::read(data, pos)?);
+                }
+                Ok(JValue::List(items))
+            }
+            0x07 => {
+                let class = read_utf(data, pos)?;
+                let uid = i64::from_be_bytes(take(data, pos, 8)?.try_into().unwrap());
+                if uid != class_uid(&class) {
+                    return Err(MarshalError::new(format!(
+                        "serialVersionUID mismatch for {class}"
+                    )));
+                }
+                let nfields =
+                    u16::from_be_bytes(take(data, pos, 2)?.try_into().unwrap()) as usize;
+                let mut fields = Vec::with_capacity(nfields);
+                for _ in 0..nfields {
+                    let name = read_utf(data, pos)?;
+                    let value = Self::read(data, pos)?;
+                    fields.push((name, value));
+                }
+                Ok(JValue::Object { class, fields })
+            }
+            t => Err(MarshalError::new(format!("unknown tag 0x{t:02x}"))),
+        }
+    }
+}
+
+fn write_utf(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u16).to_be_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn read_utf(data: &[u8], pos: &mut usize) -> Result<String, MarshalError> {
+    let len = u16::from_be_bytes(take(data, pos, 2)?.try_into().unwrap()) as usize;
+    let bytes = take(data, pos, len)?;
+    String::from_utf8(bytes.to_vec()).map_err(|_| MarshalError::new("invalid UTF-8 string"))
+}
+
+fn read_u32(data: &[u8], pos: &mut usize) -> Result<u32, MarshalError> {
+    Ok(u32::from_be_bytes(take(data, pos, 4)?.try_into().unwrap()))
+}
+
+fn take<'a>(data: &'a [u8], pos: &mut usize, n: usize) -> Result<&'a [u8], MarshalError> {
+    let end = pos.checked_add(n).ok_or_else(|| MarshalError::new("overflow"))?;
+    if end > data.len() {
+        return Err(MarshalError::new("truncated stream"));
+    }
+    let slice = &data[*pos..end];
+    *pos = end;
+    Ok(slice)
+}
+
+/// A deterministic stand-in for `serialVersionUID`.
+fn class_uid(class: &str) -> i64 {
+    let mut h: i64 = 1125899906842597; // prime
+    for b in class.bytes() {
+        h = h.wrapping_mul(31).wrapping_add(i64::from(b));
+    }
+    h
+}
+
+/// A marshalling failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MarshalError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl MarshalError {
+    /// Creates an error with the given message.
+    pub fn new(m: impl Into<String>) -> Self {
+        MarshalError { message: m.into() }
+    }
+}
+
+impl fmt::Display for MarshalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "marshal error: {}", self.message)
+    }
+}
+
+impl std::error::Error for MarshalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(v: &JValue) -> JValue {
+        JValue::unmarshal(&v.marshal()).unwrap()
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        for v in [
+            JValue::Null,
+            JValue::Bool(true),
+            JValue::Bool(false),
+            JValue::Int(-1),
+            JValue::Int(i64::MAX),
+            JValue::Double(2.5),
+            JValue::Str("日本語 ok".into()),
+            JValue::Str(String::new()),
+            JValue::Bytes(vec![0, 255, 128]),
+        ] {
+            assert_eq!(round_trip(&v), v);
+        }
+    }
+
+    #[test]
+    fn objects_round_trip() {
+        let v = JValue::object(
+            "net.jini.lookup.entry.Name",
+            vec![
+                ("name".into(), JValue::Str("laserdisc".into())),
+                ("rank".into(), JValue::Int(1)),
+                (
+                    "inner".into(),
+                    JValue::object("java.awt.Point", vec![
+                        ("x".into(), JValue::Int(3)),
+                        ("y".into(), JValue::Int(4)),
+                    ]),
+                ),
+            ],
+        );
+        assert_eq!(round_trip(&v), v);
+    }
+
+    #[test]
+    fn lists_round_trip() {
+        let v = JValue::List(vec![JValue::Int(1), JValue::Str("x".into()), JValue::Null]);
+        assert_eq!(round_trip(&v), v);
+    }
+
+    #[test]
+    fn bad_streams_are_errors() {
+        assert!(JValue::unmarshal(b"").is_err());
+        assert!(JValue::unmarshal(b"XXXX\x02").is_err());
+        assert!(JValue::unmarshal(b"JRM1").is_err());
+        assert!(JValue::unmarshal(b"JRM1\xff").is_err());
+        // Trailing garbage is rejected.
+        let mut data = JValue::Int(1).marshal();
+        data.push(0);
+        assert!(JValue::unmarshal(&data).is_err());
+        // Truncation is rejected.
+        let data = JValue::Str("hello".into()).marshal();
+        assert!(JValue::unmarshal(&data[..data.len() - 2]).is_err());
+    }
+
+    #[test]
+    fn uid_mismatch_detected() {
+        // Corrupt the class-name byte so the UID no longer matches —
+        // the incompatible-class-change failure mode of real RMI.
+        let mut data = JValue::object("com.sun.X", vec![]).marshal();
+        let name_start = 4 + 1 + 2;
+        data[name_start] ^= 0x01;
+        let err = JValue::unmarshal(&data).unwrap_err();
+        assert!(err.message.contains("serialVersionUID"), "{err}");
+    }
+
+    #[test]
+    fn serialization_overhead_is_visible() {
+        // Class descriptors make objects much bigger than their data —
+        // the Java-weight the paper complains about in §2.1.
+        let obj = JValue::object("net.jini.core.lookup.ServiceItem", vec![
+            ("a".into(), JValue::Int(1)),
+        ]);
+        let plain = JValue::Int(1);
+        assert!(obj.marshal().len() > plain.marshal().len() * 4);
+    }
+
+    #[test]
+    fn accessors() {
+        let v = JValue::object("C", vec![("f".into(), JValue::Int(7))]);
+        assert_eq!(v.field("f").and_then(JValue::as_int), Some(7));
+        assert!(v.field("g").is_none());
+        assert_eq!(JValue::Str("s".into()).as_str(), Some("s"));
+        assert_eq!(JValue::Bool(true).as_bool(), Some(true));
+        assert_eq!(JValue::Double(0.5).as_double(), Some(0.5));
+        assert_eq!(JValue::Null.as_int(), None);
+    }
+}

@@ -1,0 +1,233 @@
+//! Leases (`net.jini.core.lease`).
+//!
+//! Jini's self-healing mechanism: every registration is granted for a
+//! limited time and must be renewed, so crashed services vanish from the
+//! lookup service automatically. The PCM relies on this when it mirrors
+//! Jini services into the Virtual Service Repository.
+
+use simnet::{SimDuration, SimTime};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifies a granted lease.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LeaseId(pub u64);
+
+impl fmt::Display for LeaseId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lease#{}", self.0)
+    }
+}
+
+/// A granted lease: an id plus its absolute expiration time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lease {
+    /// The lease id.
+    pub id: LeaseId,
+    /// When it expires.
+    pub expiration: SimTime,
+}
+
+impl Lease {
+    /// True if the lease is still live at `now`.
+    pub fn is_live(&self, now: SimTime) -> bool {
+        self.expiration > now
+    }
+
+    /// Time remaining at `now` (zero if expired).
+    pub fn remaining(&self, now: SimTime) -> SimDuration {
+        self.expiration - now
+    }
+}
+
+/// The grantor's policy.
+#[derive(Debug, Clone, Copy)]
+pub struct LeasePolicy {
+    /// The longest duration ever granted, regardless of request.
+    pub max_duration: SimDuration,
+    /// Granted when the requester asks for `ANY` (zero).
+    pub default_duration: SimDuration,
+}
+
+impl Default for LeasePolicy {
+    fn default() -> Self {
+        LeasePolicy {
+            max_duration: SimDuration::from_secs(300),
+            default_duration: SimDuration::from_secs(30),
+        }
+    }
+}
+
+/// The grantor-side lease table.
+#[derive(Debug, Default)]
+pub struct LeaseTable {
+    leases: HashMap<LeaseId, SimTime>,
+    next_id: u64,
+    policy: LeasePolicy,
+}
+
+/// Why a renewal or cancellation failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LeaseError {
+    /// The lease is unknown or already expired.
+    Unknown(LeaseId),
+}
+
+impl fmt::Display for LeaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LeaseError::Unknown(id) => write!(f, "unknown or expired {id}"),
+        }
+    }
+}
+
+impl std::error::Error for LeaseError {}
+
+impl LeaseTable {
+    /// Creates a table with the given policy.
+    pub fn new(policy: LeasePolicy) -> Self {
+        LeaseTable { policy, ..Default::default() }
+    }
+
+    /// Grants a lease for `requested` (clamped to policy), starting at `now`.
+    /// A zero request means "any duration" and receives the default.
+    pub fn grant(&mut self, requested: SimDuration, now: SimTime) -> Lease {
+        let duration = if requested.is_zero() {
+            self.policy.default_duration
+        } else {
+            requested.min(self.policy.max_duration)
+        };
+        self.next_id += 1;
+        let id = LeaseId(self.next_id);
+        let expiration = now + duration;
+        self.leases.insert(id, expiration);
+        Lease { id, expiration }
+    }
+
+    /// Renews a live lease for `requested` more time from `now`.
+    pub fn renew(
+        &mut self,
+        id: LeaseId,
+        requested: SimDuration,
+        now: SimTime,
+    ) -> Result<Lease, LeaseError> {
+        match self.leases.get_mut(&id) {
+            Some(exp) if *exp > now => {
+                let duration = if requested.is_zero() {
+                    self.policy.default_duration
+                } else {
+                    requested.min(self.policy.max_duration)
+                };
+                *exp = now + duration;
+                Ok(Lease { id, expiration: *exp })
+            }
+            _ => Err(LeaseError::Unknown(id)),
+        }
+    }
+
+    /// Cancels a lease.
+    pub fn cancel(&mut self, id: LeaseId) -> Result<(), LeaseError> {
+        self.leases.remove(&id).map(|_| ()).ok_or(LeaseError::Unknown(id))
+    }
+
+    /// True if `id` is granted and unexpired at `now`.
+    pub fn is_live(&self, id: LeaseId, now: SimTime) -> bool {
+        self.leases.get(&id).is_some_and(|exp| *exp > now)
+    }
+
+    /// Removes and returns every lease expired at `now`.
+    pub fn collect_expired(&mut self, now: SimTime) -> Vec<LeaseId> {
+        let expired: Vec<LeaseId> = self
+            .leases
+            .iter()
+            .filter(|(_, exp)| **exp <= now)
+            .map(|(id, _)| *id)
+            .collect();
+        for id in &expired {
+            self.leases.remove(id);
+        }
+        expired
+    }
+
+    /// Number of live leases (including any not yet swept).
+    pub fn len(&self) -> usize {
+        self.leases.len()
+    }
+
+    /// True if no leases are outstanding.
+    pub fn is_empty(&self) -> bool {
+        self.leases.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_micros(ms * 1_000)
+    }
+
+    #[test]
+    fn grant_clamps_to_policy() {
+        let mut table = LeaseTable::new(LeasePolicy {
+            max_duration: SimDuration::from_millis(100),
+            default_duration: SimDuration::from_millis(10),
+        });
+        let l = table.grant(SimDuration::from_secs(999), t(0));
+        assert_eq!(l.expiration, t(100));
+        let l = table.grant(SimDuration::ZERO, t(0));
+        assert_eq!(l.expiration, t(10));
+        let l = table.grant(SimDuration::from_millis(5), t(0));
+        assert_eq!(l.expiration, t(5));
+    }
+
+    #[test]
+    fn renewal_extends_from_now() {
+        let mut table = LeaseTable::new(LeasePolicy::default());
+        let l = table.grant(SimDuration::from_millis(50), t(0));
+        let renewed = table.renew(l.id, SimDuration::from_millis(50), t(40)).unwrap();
+        assert_eq!(renewed.expiration, t(90));
+        assert!(table.is_live(l.id, t(80)));
+    }
+
+    #[test]
+    fn expired_lease_cannot_renew() {
+        let mut table = LeaseTable::new(LeasePolicy::default());
+        let l = table.grant(SimDuration::from_millis(10), t(0));
+        assert_eq!(
+            table.renew(l.id, SimDuration::from_millis(10), t(11)),
+            Err(LeaseError::Unknown(l.id))
+        );
+    }
+
+    #[test]
+    fn cancel_and_unknown() {
+        let mut table = LeaseTable::new(LeasePolicy::default());
+        let l = table.grant(SimDuration::from_millis(10), t(0));
+        assert!(table.cancel(l.id).is_ok());
+        assert!(table.cancel(l.id).is_err());
+        assert!(!table.is_live(l.id, t(1)));
+    }
+
+    #[test]
+    fn sweep_collects_only_expired() {
+        let mut table = LeaseTable::new(LeasePolicy::default());
+        let a = table.grant(SimDuration::from_millis(10), t(0));
+        let b = table.grant(SimDuration::from_millis(100), t(0));
+        let expired = table.collect_expired(t(50));
+        assert_eq!(expired, vec![a.id]);
+        assert_eq!(table.len(), 1);
+        assert!(table.is_live(b.id, t(50)));
+        assert!(table.collect_expired(t(50)).is_empty());
+    }
+
+    #[test]
+    fn lease_helpers() {
+        let l = Lease { id: LeaseId(1), expiration: t(100) };
+        assert!(l.is_live(t(99)));
+        assert!(!l.is_live(t(100)));
+        assert_eq!(l.remaining(t(40)), SimDuration::from_millis(60));
+        assert_eq!(l.remaining(t(200)), SimDuration::ZERO);
+    }
+}

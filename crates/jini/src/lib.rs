@@ -1,0 +1,130 @@
+//! # jini — a Jini middleware simulation
+//!
+//! The Ethernet-dwelling middleware of the paper's prototype (§2.1):
+//! "Jini enables various computer devices … to be cooperated. Jini calls
+//! the cooperation *federation*." This crate reproduces the five Jini
+//! mechanisms the Protocol Conversion Manager interacts with:
+//!
+//! * **multicast discovery** ([`discover`]) of lookup services,
+//! * the **lookup service** ([`LookupService`]) holding [`ServiceItem`]s,
+//! * **leases** ([`Lease`]) with renewal and expiry,
+//! * **mobile proxies** over **RMI** ([`ProxyStub`], [`RemoteProxy`],
+//!   [`RmiExporter`]) with a Java-serialization-like codec ([`JValue`]),
+//! * **remote events** ([`EventSource`], [`export_listener`]) — Jini's
+//!   native *push* notification path.
+//!
+//! ```
+//! use simnet::{Sim, Network, SimDuration};
+//! use jini::{LookupService, RegistrarClient, RmiExporter, ServiceItem,
+//!            ServiceTemplate, Entry, JValue, RemoteProxy, discover};
+//!
+//! let sim = Sim::new(7);
+//! let eth = Network::ethernet(&sim);
+//! let reggie = LookupService::start(&eth, "reggie", &["public"], SimDuration::from_secs(5));
+//!
+//! // A device exports its proxy and joins the federation.
+//! let exporter = RmiExporter::attach(&eth, "laserdisc");
+//! let stub = exporter.export("LaserdiscPlayer", |_, method, _| {
+//!     Ok(JValue::Str(format!("did {method}")))
+//! });
+//! let item = ServiceItem::new(stub, vec!["LaserdiscPlayer".into()],
+//!                             vec![Entry::name("laserdisc")]);
+//! let pc = eth.attach("pc");
+//! let registrars = discover(&eth, pc, "public");
+//! let client = RegistrarClient::new(&eth, pc, registrars[0]);
+//! client.register(&item, SimDuration::from_secs(30)).unwrap();
+//!
+//! // A client federates: lookup, download proxy, invoke.
+//! let found = client.lookup_one(&ServiceTemplate::by_interface("LaserdiscPlayer")).unwrap();
+//! let proxy = RemoteProxy::new(&eth, pc, found.proxy);
+//! assert_eq!(proxy.invoke("play", &[]).unwrap(), JValue::Str("did play".into()));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod discovery;
+pub mod entry;
+pub mod events;
+pub mod id;
+pub mod join;
+pub mod jvalue;
+pub mod lease;
+pub mod lookup;
+pub mod rmi;
+
+pub use discovery::{discover, DISCOVERY_REQ_PREFIX, DISCOVERY_RESP_PREFIX};
+pub use entry::{Entry, ServiceTemplate};
+pub use events::{export_listener, EventSource, RemoteEvent};
+pub use id::ServiceId;
+pub use join::{JoinManager, JoinStats};
+pub use jvalue::{JValue, MarshalError};
+pub use lease::{Lease, LeaseError, LeaseId, LeasePolicy, LeaseTable};
+pub use lookup::{LookupService, RegistrarClient, ServiceItem, ServiceRegistration};
+pub use rmi::{JiniError, ProxyStub, RemoteProxy, RmiCost, RmiExporter};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_jvalue(depth: u32) -> BoxedStrategy<JValue> {
+        let leaf = prop_oneof![
+            Just(JValue::Null),
+            any::<bool>().prop_map(JValue::Bool),
+            any::<i64>().prop_map(JValue::Int),
+            (-1.0e12f64..1.0e12).prop_map(JValue::Double),
+            "[ -~]{0,24}".prop_map(JValue::Str),
+            prop::collection::vec(any::<u8>(), 0..48).prop_map(JValue::Bytes),
+        ];
+        if depth == 0 {
+            return leaf.boxed();
+        }
+        prop_oneof![
+            4 => leaf,
+            1 => prop::collection::vec(arb_jvalue(depth - 1), 0..4).prop_map(JValue::List),
+            1 => ("[A-Za-z][A-Za-z0-9.]{0,16}",
+                  prop::collection::vec(("[a-z][a-zA-Z0-9]{0,8}", arb_jvalue(depth - 1)), 0..4))
+                .prop_map(|(class, fields)| JValue::object(class, fields)),
+        ]
+        .boxed()
+    }
+
+    proptest! {
+        #[test]
+        fn marshal_round_trip(v in arb_jvalue(3)) {
+            let bytes = v.marshal();
+            prop_assert_eq!(JValue::unmarshal(&bytes).unwrap(), v);
+        }
+
+        #[test]
+        fn unmarshal_never_panics(data in prop::collection::vec(any::<u8>(), 0..200)) {
+            let _ = JValue::unmarshal(&data);
+        }
+
+        #[test]
+        fn truncated_streams_always_error(v in arb_jvalue(2)) {
+            let bytes = v.marshal();
+            if bytes.len() > 5 {
+                // Any strict prefix must fail, never mis-decode.
+                let cut = bytes.len() - 1;
+                prop_assert!(JValue::unmarshal(&bytes[..cut]).is_err());
+            }
+        }
+
+        #[test]
+        fn entry_matching_is_reflexive(
+            class in "[A-Za-z.]{1,16}",
+            fields in prop::collection::btree_map("[a-z]{1,6}", "[a-z0-9 ]{0,8}", 0..4),
+        ) {
+            let mut e = Entry::new(class);
+            for (k, v) in fields {
+                e = e.field(k, v);
+            }
+            prop_assert!(e.matches(&e));
+            // Class-only template always matches.
+            let class_only = Entry::new(e.class.clone());
+            prop_assert!(e.matches(&class_only));
+        }
+    }
+}

@@ -1,0 +1,394 @@
+//! RMI-style remote invocation.
+//!
+//! Jini service proxies are "downloaded code" that speaks RMI back to its
+//! exporter. The simulation keeps the two essential properties: a proxy
+//! is a *portable value* (a [`ProxyStub`] that can be marshalled into the
+//! lookup service and handed to any client) and invoking it costs a
+//! marshal → network round trip → unmarshal.
+
+use crate::jvalue::{JValue, MarshalError};
+use parking_lot::Mutex;
+use simnet::{Network, NodeId, Protocol, Sim, SimDuration};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// CPU cost of Java serialization, charged on both sides of every call.
+#[derive(Debug, Clone, Copy)]
+pub struct RmiCost {
+    /// Marshalling cost per byte produced.
+    pub marshal_ns_per_byte: u64,
+    /// Unmarshalling cost per byte consumed (reflection-heavy).
+    pub unmarshal_ns_per_byte: u64,
+    /// Fixed dispatch overhead per remote call.
+    pub dispatch: SimDuration,
+}
+
+impl Default for RmiCost {
+    fn default() -> Self {
+        RmiCost {
+            marshal_ns_per_byte: 120,
+            unmarshal_ns_per_byte: 250,
+            dispatch: SimDuration::from_micros(150),
+        }
+    }
+}
+
+impl RmiCost {
+    fn marshal(&self, sim: &Sim, bytes: usize) {
+        sim.advance(SimDuration::from_micros(bytes as u64 * self.marshal_ns_per_byte / 1_000));
+    }
+    fn unmarshal(&self, sim: &Sim, bytes: usize) {
+        sim.advance(SimDuration::from_micros(
+            bytes as u64 * self.unmarshal_ns_per_byte / 1_000,
+        ));
+    }
+}
+
+/// A marshalled remote reference: where the object lives and which
+/// interface it implements. This is what gets stored in the lookup
+/// service and "downloaded" by clients.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProxyStub {
+    /// The exporter's node on the Jini network.
+    pub host: NodeId,
+    /// The exported object within that node.
+    pub object_id: u64,
+    /// The remote interface name (e.g. `LaserdiscPlayer`).
+    pub interface: String,
+}
+
+impl ProxyStub {
+    /// Encodes for marshalling.
+    pub fn to_jvalue(&self) -> JValue {
+        JValue::object(
+            "net.jini.jeri.BasicObjectEndpoint",
+            vec![
+                ("host".into(), JValue::Int(i64::from(self.host.0))),
+                ("objectId".into(), JValue::Int(self.object_id as i64)),
+                ("interface".into(), JValue::Str(self.interface.clone())),
+            ],
+        )
+    }
+
+    /// Inverse of [`ProxyStub::to_jvalue`].
+    pub fn from_jvalue(v: &JValue) -> Option<ProxyStub> {
+        Some(ProxyStub {
+            host: NodeId(u32::try_from(v.field("host")?.as_int()?).ok()?),
+            object_id: v.field("objectId")?.as_int()? as u64,
+            interface: v.field("interface")?.as_str()?.to_owned(),
+        })
+    }
+}
+
+/// A remote method implementation.
+pub type RemoteObject = Box<dyn FnMut(&Sim, &str, &[JValue]) -> Result<JValue, String> + Send>;
+
+/// Exports objects from one node, dispatching incoming RMI calls to them.
+#[derive(Clone)]
+pub struct RmiExporter {
+    node: NodeId,
+    objects: Arc<Mutex<HashMap<u64, RemoteObject>>>,
+    next_id: Arc<Mutex<u64>>,
+}
+
+impl RmiExporter {
+    /// Creates an exporter on a fresh node of `net`.
+    pub fn attach(net: &Network, label: &str) -> RmiExporter {
+        let node = net.attach(label);
+        RmiExporter::on_node(net, node)
+    }
+
+    /// Creates an exporter on an existing node, installing its request
+    /// handler (replacing any previous one).
+    pub fn on_node(net: &Network, node: NodeId) -> RmiExporter {
+        let objects: Arc<Mutex<HashMap<u64, RemoteObject>>> = Arc::new(Mutex::new(HashMap::new()));
+        let cost = RmiCost::default();
+        let objects2 = objects.clone();
+        net.set_request_handler(node, move |sim, frame| {
+            cost.unmarshal(sim, frame.payload.len());
+            sim.advance(cost.dispatch);
+            let reply = match decode_call(&frame.payload) {
+                Ok((object_id, method, args)) => {
+                    let mut objects = objects2.lock();
+                    match objects.get_mut(&object_id) {
+                        Some(obj) => match obj(sim, &method, &args) {
+                            Ok(v) => rmi_ok(v),
+                            Err(e) => rmi_err(&e),
+                        },
+                        None => rmi_err(&format!("no exported object {object_id}")),
+                    }
+                }
+                Err(e) => rmi_err(&format!("unmarshal failed: {e}")),
+            };
+            cost.marshal(sim, reply.len());
+            Ok(reply.into())
+        })
+        .expect("exporter node exists");
+        RmiExporter {
+            node,
+            objects,
+            next_id: Arc::new(Mutex::new(0)),
+        }
+    }
+
+    /// The node this exporter serves from.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Exports an object, returning the stub clients use to reach it.
+    pub fn export(
+        &self,
+        interface: &str,
+        object: impl FnMut(&Sim, &str, &[JValue]) -> Result<JValue, String> + Send + 'static,
+    ) -> ProxyStub {
+        let mut next = self.next_id.lock();
+        *next += 1;
+        let object_id = *next;
+        self.objects.lock().insert(object_id, Box::new(object));
+        ProxyStub { host: self.node, object_id, interface: interface.to_owned() }
+    }
+
+    /// Withdraws an exported object.
+    pub fn unexport(&self, stub: &ProxyStub) -> bool {
+        self.objects.lock().remove(&stub.object_id).is_some()
+    }
+
+    /// Number of live exported objects.
+    pub fn exported_count(&self) -> usize {
+        self.objects.lock().len()
+    }
+}
+
+impl fmt::Debug for RmiExporter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RmiExporter")
+            .field("node", &self.node)
+            .field("objects", &self.exported_count())
+            .finish()
+    }
+}
+
+/// A client-side handle for invoking a remote object.
+#[derive(Debug, Clone)]
+pub struct RemoteProxy {
+    stub: ProxyStub,
+    net: Network,
+    caller: NodeId,
+    cost: RmiCost,
+}
+
+impl RemoteProxy {
+    /// Binds a stub to the calling node.
+    pub fn new(net: &Network, caller: NodeId, stub: ProxyStub) -> RemoteProxy {
+        RemoteProxy { stub, net: net.clone(), caller, cost: RmiCost::default() }
+    }
+
+    /// The stub this proxy wraps.
+    pub fn stub(&self) -> &ProxyStub {
+        &self.stub
+    }
+
+    /// Invokes a remote method.
+    pub fn invoke(&self, method: &str, args: &[JValue]) -> Result<JValue, JiniError> {
+        let sim = self.net.sim().clone();
+        let call = JValue::object(
+            "RmiCall",
+            vec![
+                ("objectId".into(), JValue::Int(self.stub.object_id as i64)),
+                ("method".into(), JValue::Str(method.to_owned())),
+                ("args".into(), JValue::List(args.to_vec())),
+            ],
+        );
+        let payload = call.marshal();
+        self.cost.marshal(&sim, payload.len());
+        let reply = self
+            .net
+            .request(self.caller, self.stub.host, Protocol::Jini, payload)
+            .map_err(|e| JiniError::Network(e.to_string()))?;
+        self.cost.unmarshal(&sim, reply.len());
+        let v = JValue::unmarshal(&reply)?;
+        match v.field("ok").and_then(JValue::as_bool) {
+            Some(true) => Ok(v.field("value").cloned().unwrap_or(JValue::Null)),
+            Some(false) => Err(JiniError::Remote(
+                v.field("error").and_then(JValue::as_str).unwrap_or("unknown").to_owned(),
+            )),
+            None => Err(JiniError::Protocol("malformed RMI reply".into())),
+        }
+    }
+}
+
+fn decode_call(data: &[u8]) -> Result<(u64, String, Vec<JValue>), MarshalError> {
+    let v = JValue::unmarshal(data)?;
+    let object_id = v
+        .field("objectId")
+        .and_then(JValue::as_int)
+        .ok_or_else(|| marshal_err("missing objectId"))? as u64;
+    let method = v
+        .field("method")
+        .and_then(JValue::as_str)
+        .ok_or_else(|| marshal_err("missing method"))?
+        .to_owned();
+    let args = match v.field("args") {
+        Some(JValue::List(items)) => items.clone(),
+        _ => return Err(marshal_err("missing args")),
+    };
+    Ok((object_id, method, args))
+}
+
+fn marshal_err(m: &str) -> MarshalError {
+    MarshalError::new(m)
+}
+
+fn rmi_ok(v: JValue) -> Vec<u8> {
+    JValue::object(
+        "RmiResult",
+        vec![("ok".into(), JValue::Bool(true)), ("value".into(), v)],
+    )
+    .marshal()
+}
+
+fn rmi_err(e: &str) -> Vec<u8> {
+    JValue::object(
+        "RmiResult",
+        vec![
+            ("ok".into(), JValue::Bool(false)),
+            ("error".into(), JValue::Str(e.to_owned())),
+        ],
+    )
+    .marshal()
+}
+
+/// Errors surfaced by the Jini layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JiniError {
+    /// The network failed.
+    Network(String),
+    /// Marshalling failed.
+    Marshal(MarshalError),
+    /// The remote implementation threw.
+    Remote(String),
+    /// The reply was not valid RMI protocol.
+    Protocol(String),
+    /// Lookup found no matching service.
+    NotFound(String),
+    /// The registrar rejected a lease operation.
+    Lease(String),
+}
+
+impl fmt::Display for JiniError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JiniError::Network(m) => write!(f, "jini network error: {m}"),
+            JiniError::Marshal(e) => write!(f, "jini {e}"),
+            JiniError::Remote(m) => write!(f, "remote exception: {m}"),
+            JiniError::Protocol(m) => write!(f, "jini protocol error: {m}"),
+            JiniError::NotFound(m) => write!(f, "no matching service: {m}"),
+            JiniError::Lease(m) => write!(f, "lease denied: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for JiniError {}
+
+impl From<MarshalError> for JiniError {
+    fn from(e: MarshalError) -> JiniError {
+        JiniError::Marshal(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Sim, Network) {
+        let sim = Sim::new(1);
+        let net = Network::ethernet(&sim);
+        (sim, net)
+    }
+
+    #[test]
+    fn export_invoke_round_trip() {
+        let (_sim, net) = setup();
+        let exporter = RmiExporter::attach(&net, "laserdisc");
+        let stub = exporter.export("LaserdiscPlayer", |_, method, args| match method {
+            "play" => Ok(JValue::Str(format!(
+                "playing chapter {}",
+                args[0].as_int().unwrap_or(0)
+            ))),
+            _ => Err(format!("no such method {method}")),
+        });
+        let caller = net.attach("pc");
+        let proxy = RemoteProxy::new(&net, caller, stub);
+        let got = proxy.invoke("play", &[JValue::Int(3)]).unwrap();
+        assert_eq!(got, JValue::Str("playing chapter 3".into()));
+        match proxy.invoke("eject", &[]) {
+            Err(JiniError::Remote(m)) => assert!(m.contains("eject")),
+            other => panic!("expected remote error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invoke_advances_virtual_time() {
+        let (sim, net) = setup();
+        let exporter = RmiExporter::attach(&net, "svc");
+        let stub = exporter.export("X", |_, _, _| Ok(JValue::Null));
+        let caller = net.attach("pc");
+        let proxy = RemoteProxy::new(&net, caller, stub);
+        let before = sim.now();
+        proxy.invoke("m", &[]).unwrap();
+        assert!(sim.now() > before);
+    }
+
+    #[test]
+    fn unexported_object_rejects_calls() {
+        let (_sim, net) = setup();
+        let exporter = RmiExporter::attach(&net, "svc");
+        let stub = exporter.export("X", |_, _, _| Ok(JValue::Null));
+        assert_eq!(exporter.exported_count(), 1);
+        assert!(exporter.unexport(&stub));
+        assert!(!exporter.unexport(&stub));
+        let caller = net.attach("pc");
+        let proxy = RemoteProxy::new(&net, caller, stub);
+        assert!(matches!(proxy.invoke("m", &[]), Err(JiniError::Remote(_))));
+    }
+
+    #[test]
+    fn stub_jvalue_round_trip() {
+        let stub = ProxyStub { host: NodeId(7), object_id: 42, interface: "Vcr".into() };
+        assert_eq!(ProxyStub::from_jvalue(&stub.to_jvalue()).unwrap(), stub);
+        assert!(ProxyStub::from_jvalue(&JValue::Null).is_none());
+    }
+
+    #[test]
+    fn multiple_objects_dispatch_independently() {
+        let (_sim, net) = setup();
+        let exporter = RmiExporter::attach(&net, "multi");
+        let a = exporter.export("A", |_, _, _| Ok(JValue::Str("a".into())));
+        let b = exporter.export("B", |_, _, _| Ok(JValue::Str("b".into())));
+        assert_ne!(a.object_id, b.object_id);
+        let caller = net.attach("pc");
+        assert_eq!(
+            RemoteProxy::new(&net, caller, a).invoke("m", &[]).unwrap(),
+            JValue::Str("a".into())
+        );
+        assert_eq!(
+            RemoteProxy::new(&net, caller, b).invoke("m", &[]).unwrap(),
+            JValue::Str("b".into())
+        );
+    }
+
+    #[test]
+    fn garbage_payload_to_exporter_is_refused_gracefully() {
+        let (_sim, net) = setup();
+        let exporter = RmiExporter::attach(&net, "svc");
+        let _ = exporter.export("X", |_, _, _| Ok(JValue::Null));
+        let caller = net.attach("pc");
+        let reply = net
+            .request(caller, exporter.node(), Protocol::Jini, &b"junk"[..])
+            .unwrap();
+        let v = JValue::unmarshal(&reply).unwrap();
+        assert_eq!(v.field("ok").and_then(JValue::as_bool), Some(false));
+    }
+}

@@ -1,0 +1,68 @@
+//! # mailsvc — a simulated Internet mail service
+//!
+//! The fourth PCM target of the paper's prototype (Fig. 3: "Internet
+//! Mail service") — proof that the framework bridges not just device
+//! middleware but plain Internet services. A [`MailServer`] lives across
+//! the WAN uplink; [`MailClient`]s submit and fetch [`Email`]s with an
+//! SMTP/POP-flavoured framed protocol.
+//!
+//! ```
+//! use simnet::{Sim, Network};
+//! use mailsvc::{MailServer, MailClient, Email};
+//!
+//! let sim = Sim::new(7);
+//! let inet = Network::internet(&sim);
+//! let server = MailServer::start(&inet, "smtp.example.org");
+//! let client = MailClient::attach(&inet, "home", server.node());
+//! client.send(&Email::new("vcr@home", "you@example.org",
+//!                         "Recording finished", "Channel 42, 2 hours.")).unwrap();
+//! assert_eq!(client.stat("you@example.org").unwrap(), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod message;
+pub mod server;
+
+pub use message::Email;
+pub use server::{MailClient, MailError, MailServer};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn email_wire_round_trip(
+            from in "[a-z]{1,8}@[a-z]{1,8}",
+            to in "[a-z]{1,8}@[a-z]{1,8}",
+            subject in "[ -~]{0,40}",
+            body in "[ -~\n]{0,120}",
+        ) {
+            // Subjects must stay on one line for the header format.
+            prop_assume!(!subject.contains('\n'));
+            let mut m = Email::new(from, to, subject, body);
+            m.date = simnet::SimTime::from_micros(99);
+            prop_assert_eq!(Email::from_wire(&m.to_wire()), Some(m));
+        }
+
+        #[test]
+        fn parser_never_panics(s in ".{0,200}") {
+            let _ = Email::from_wire(&s);
+        }
+
+        #[test]
+        fn mailbox_count_matches_sends(n in 0usize..10) {
+            let sim = simnet::Sim::new(1);
+            let net = simnet::Network::internet(&sim);
+            let server = MailServer::start(&net, "smtp");
+            let client = MailClient::attach(&net, "home", server.node());
+            for i in 0..n {
+                client.send(&Email::new("a@x", "b@y", format!("m{i}"), "body")).unwrap();
+            }
+            prop_assert_eq!(client.stat("b@y").unwrap(), n);
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Mail messages.
+
+use simnet::SimTime;
+use std::fmt;
+
+/// An Internet mail message (the subset the prototype's mail PCM moves).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Email {
+    /// Envelope sender.
+    pub from: String,
+    /// Envelope recipient.
+    pub to: String,
+    /// Subject line.
+    pub subject: String,
+    /// Body text.
+    pub body: String,
+    /// Virtual time of acceptance by the server.
+    pub date: SimTime,
+}
+
+impl Email {
+    /// Creates a message (date is set by the server on acceptance).
+    pub fn new(
+        from: impl Into<String>,
+        to: impl Into<String>,
+        subject: impl Into<String>,
+        body: impl Into<String>,
+    ) -> Email {
+        Email {
+            from: from.into(),
+            to: to.into(),
+            subject: subject.into(),
+            body: body.into(),
+            date: SimTime::ZERO,
+        }
+    }
+
+    /// Serialises for the wire (RFC-822-flavoured, dot-stuffed not needed
+    /// because the transport is framed).
+    pub fn to_wire(&self) -> String {
+        format!(
+            "From: {}\r\nTo: {}\r\nSubject: {}\r\nDate: {}\r\n\r\n{}",
+            self.from, self.to, self.subject, self.date.as_micros(), self.body
+        )
+    }
+
+    /// Parses the wire form.
+    pub fn from_wire(text: &str) -> Option<Email> {
+        let (head, body) = text.split_once("\r\n\r\n")?;
+        let mut from = None;
+        let mut to = None;
+        let mut subject = None;
+        let mut date = None;
+        for line in head.lines() {
+            let (k, v) = line.split_once(": ")?;
+            match k {
+                "From" => from = Some(v.to_owned()),
+                "To" => to = Some(v.to_owned()),
+                "Subject" => subject = Some(v.to_owned()),
+                "Date" => date = v.parse::<u64>().ok().map(SimTime::from_micros),
+                _ => {}
+            }
+        }
+        Some(Email {
+            from: from?,
+            to: to?,
+            subject: subject?,
+            body: body.to_owned(),
+            date: date?,
+        })
+    }
+}
+
+impl fmt::Display for Email {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{} -> {}: {:?}>", self.from, self.to, self.subject)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_round_trip() {
+        let mut m = Email::new("vcr@home", "owner@example.org", "Recording done", "Tape at 1234.");
+        m.date = SimTime::from_micros(42);
+        assert_eq!(Email::from_wire(&m.to_wire()), Some(m));
+    }
+
+    #[test]
+    fn multiline_bodies_survive() {
+        let mut m = Email::new("a@x", "b@y", "s", "line1\r\nline2\r\n\r\nline4");
+        m.date = SimTime::from_micros(1);
+        assert_eq!(Email::from_wire(&m.to_wire()).unwrap().body, m.body);
+    }
+
+    #[test]
+    fn malformed_wire_rejected() {
+        assert!(Email::from_wire("").is_none());
+        assert!(Email::from_wire("no headers here").is_none());
+        assert!(Email::from_wire("From: a\r\n\r\nbody").is_none());
+        assert!(Email::from_wire("From: a\r\nTo: b\r\nSubject: s\r\nDate: notanum\r\n\r\nx").is_none());
+    }
+}

@@ -1,0 +1,123 @@
+//! XML character escaping.
+
+/// Escapes text content: `&`, `<`, `>`.
+pub fn escape_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes attribute values: text escapes plus `"` and `'`.
+pub fn escape_attr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Decodes the five predefined XML entities plus decimal/hex character
+/// references. Unknown entities are passed through verbatim (lenient, as
+/// 2002-era SOAP stacks were).
+pub fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(amp) = rest.find('&') {
+        out.push_str(&rest[..amp]);
+        rest = &rest[amp..];
+        match rest.find(';') {
+            Some(semi) if semi <= 12 => {
+                let entity = &rest[1..semi];
+                let decoded = match entity {
+                    "amp" => Some('&'),
+                    "lt" => Some('<'),
+                    "gt" => Some('>'),
+                    "quot" => Some('"'),
+                    "apos" => Some('\''),
+                    _ => decode_char_ref(entity),
+                };
+                match decoded {
+                    Some(c) => {
+                        out.push(c);
+                        rest = &rest[semi + 1..];
+                    }
+                    None => {
+                        out.push('&');
+                        rest = &rest[1..];
+                    }
+                }
+            }
+            _ => {
+                out.push('&');
+                rest = &rest[1..];
+            }
+        }
+    }
+    out.push_str(rest);
+    out
+}
+
+fn decode_char_ref(entity: &str) -> Option<char> {
+    let num = entity.strip_prefix('#')?;
+    let code = if let Some(hex) = num.strip_prefix('x').or_else(|| num.strip_prefix('X')) {
+        u32::from_str_radix(hex, 16).ok()?
+    } else {
+        num.parse::<u32>().ok()?
+    };
+    char::from_u32(code)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_escaping_round_trips() {
+        let raw = r#"a<b>&c"d'e"#;
+        assert_eq!(unescape(&escape_text(raw)), raw);
+        assert_eq!(escape_text("a&b"), "a&amp;b");
+        assert_eq!(escape_text("<tag>"), "&lt;tag&gt;");
+    }
+
+    #[test]
+    fn attr_escaping_round_trips() {
+        let raw = r#"say "hi" & 'bye' <now>"#;
+        assert_eq!(unescape(&escape_attr(raw)), raw);
+        assert!(escape_attr(raw).contains("&quot;"));
+        assert!(escape_attr(raw).contains("&apos;"));
+    }
+
+    #[test]
+    fn char_references_decode() {
+        assert_eq!(unescape("&#65;"), "A");
+        assert_eq!(unescape("&#x41;"), "A");
+        assert_eq!(unescape("&#x3042;"), "\u{3042}");
+    }
+
+    #[test]
+    fn unknown_entities_pass_through() {
+        assert_eq!(unescape("&nbsp;"), "&nbsp;");
+        assert_eq!(unescape("a & b"), "a & b");
+        assert_eq!(unescape("trailing &"), "trailing &");
+    }
+
+    #[test]
+    fn bare_ampersand_before_long_run_is_literal() {
+        // No semicolon within a plausible entity length.
+        assert_eq!(unescape("&thisisnotanentityatall;x"), "&thisisnotanentityatall;x");
+    }
+}

@@ -1,0 +1,132 @@
+//! # minixml — a minimal XML 1.0 subset
+//!
+//! The in-repo replacement for the XML stack the paper's prototype got
+//! from Apache SOAP: enough of XML 1.0 to carry SOAP 1.1 envelopes,
+//! WSDL-style service descriptions and UPnP device descriptions —
+//! elements, attributes, character data, comments, CDATA, processing
+//! instructions, namespace *prefixes* (treated lexically), and the five
+//! predefined entities plus numeric character references.
+//!
+//! ```
+//! use minixml::Element;
+//!
+//! let msg = Element::new("command")
+//!     .attr("device", "vcr")
+//!     .child(Element::new("action").text("record"));
+//! let wire = msg.to_document();
+//! let back = Element::parse(&wire).unwrap();
+//! assert_eq!(back.find("action").unwrap().text_content(), "record");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod escape;
+pub mod node;
+pub mod parser;
+pub mod writer;
+
+pub use escape::{escape_attr, escape_text, unescape};
+pub use node::{Element, XmlNode};
+pub use parser::{parse, ParseError};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_name() -> impl Strategy<Value = String> {
+        "[a-zA-Z][a-zA-Z0-9_.-]{0,8}"
+    }
+
+    fn arb_text() -> impl Strategy<Value = String> {
+        // Arbitrary printable text, including XML-special characters,
+        // but non-empty after trimming (whitespace-only text is
+        // insignificant and dropped by the parser).
+        "[ -~]{1,20}".prop_filter("significant", |s| !s.trim().is_empty())
+    }
+
+    fn arb_element(depth: u32) -> BoxedStrategy<Element> {
+        let leaf = (arb_name(), prop::collection::vec((arb_name(), arb_text()), 0..3))
+            .prop_map(|(name, attrs)| {
+                let mut e = Element::new(name);
+                // Attribute keys must be unique for round-trip equality.
+                let mut seen = std::collections::HashSet::new();
+                for (k, v) in attrs {
+                    if seen.insert(k.clone()) {
+                        e.attrs.push((k, v));
+                    }
+                }
+                e
+            });
+        if depth == 0 {
+            return leaf.boxed();
+        }
+        (
+            leaf,
+            prop::collection::vec(
+                prop_oneof![
+                    arb_element(depth - 1).prop_map(XmlNode::Element),
+                    arb_text().prop_map(|t| XmlNode::Text(t.trim().to_owned())),
+                ],
+                0..4,
+            ),
+        )
+            .prop_map(|(mut e, children)| {
+                // Adjacent text nodes merge on parse; keep them separated
+                // by elements for structural round-trip equality. Also
+                // drop text that trimmed to empty.
+                let mut last_was_text = false;
+                for c in children {
+                    if let XmlNode::Text(t) = &c {
+                        if t.is_empty() || last_was_text {
+                            continue;
+                        }
+                        last_was_text = true;
+                    } else {
+                        last_was_text = false;
+                    }
+                    e.children.push(c);
+                }
+                e
+            })
+            .boxed()
+    }
+
+    proptest! {
+        #[test]
+        fn write_parse_round_trip(e in arb_element(3)) {
+            let doc = e.to_document();
+            let back = Element::parse(&doc).unwrap();
+            prop_assert_eq!(back, e);
+        }
+
+        #[test]
+        fn escape_unescape_round_trip(s in "[ -~]{0,64}") {
+            prop_assert_eq!(unescape(&escape_text(&s)), s.clone());
+            prop_assert_eq!(unescape(&escape_attr(&s)), s);
+        }
+
+        #[test]
+        fn parser_never_panics(s in ".{0,256}") {
+            let _ = parse(&s);
+        }
+
+        #[test]
+        fn pretty_and_compact_parse_identically(e in arb_element(2)) {
+            // Pretty-printing only changes insignificant whitespace for
+            // element-only trees; restrict to those.
+            fn strip_text(e: &mut Element) {
+                e.children.retain(|c| matches!(c, XmlNode::Element(_)));
+                for c in &mut e.children {
+                    if let XmlNode::Element(el) = c { strip_text(el); }
+                }
+            }
+            let mut e = e;
+            strip_text(&mut e);
+            let compact = Element::parse(&e.to_xml()).unwrap();
+            let pretty = Element::parse(&e.to_pretty()).unwrap();
+            prop_assert_eq!(compact, pretty);
+        }
+    }
+}

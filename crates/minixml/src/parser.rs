@@ -1,0 +1,329 @@
+//! A recursive-descent parser for the XML subset used by SOAP 1.1, WSDL
+//! and UPnP device descriptions: elements, attributes, character data,
+//! comments, CDATA sections, processing instructions and a DOCTYPE
+//! prologue. No DTD expansion, no mixed external entities.
+
+use crate::escape::unescape;
+use crate::node::{Element, XmlNode};
+use std::fmt;
+
+/// A parse failure, with the byte offset where it happened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the input.
+    pub at: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XML parse error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a complete document (prologue + one root element).
+pub fn parse(input: &str) -> Result<Element, ParseError> {
+    let mut p = Parser { input, pos: 0 };
+    p.skip_prologue();
+    let root = p.parse_element()?;
+    p.skip_misc();
+    if p.pos < p.input.len() {
+        return Err(p.err("trailing content after the root element"));
+    }
+    Ok(root)
+}
+
+impl Element {
+    /// Parses a document; inverse of [`Element::to_document`].
+    pub fn parse(input: &str) -> Result<Element, ParseError> {
+        parse(input)
+    }
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError { at: self.pos, message: message.into() }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.rest().starts_with(s)
+    }
+
+    fn bump(&mut self, n: usize) {
+        self.pos += n;
+    }
+
+    fn skip_ws(&mut self) {
+        let trimmed = self.rest().trim_start();
+        self.pos = self.input.len() - trimmed.len();
+    }
+
+    fn skip_until(&mut self, end: &str, what: &str) -> Result<(), ParseError> {
+        match self.rest().find(end) {
+            Some(i) => {
+                self.bump(i + end.len());
+                Ok(())
+            }
+            None => Err(self.err(format!("unterminated {what}"))),
+        }
+    }
+
+    /// Skips declarations, comments, PIs and DOCTYPE before the root.
+    /// An unterminated construct consumes the rest of the input (the
+    /// subsequent "expected '<'" error reports the real problem).
+    fn skip_prologue(&mut self) {
+        loop {
+            self.skip_ws();
+            let result = if self.starts_with("<?") {
+                self.skip_until("?>", "processing instruction")
+            } else if self.starts_with("<!--") {
+                self.skip_until("-->", "comment")
+            } else if self.starts_with("<!DOCTYPE") {
+                self.skip_until(">", "DOCTYPE")
+            } else {
+                return;
+            };
+            if result.is_err() {
+                self.pos = self.input.len();
+                return;
+            }
+        }
+    }
+
+    /// Skips comments/PIs/whitespace after the root.
+    fn skip_misc(&mut self) {
+        self.skip_prologue();
+    }
+
+    fn parse_name(&mut self) -> Result<String, ParseError> {
+        let rest = self.rest();
+        let end = rest
+            .char_indices()
+            .find(|(_, c)| !is_name_char(*c))
+            .map(|(i, _)| i)
+            .unwrap_or(rest.len());
+        if end == 0 {
+            return Err(self.err("expected a name"));
+        }
+        let name = rest[..end].to_owned();
+        self.bump(end);
+        Ok(name)
+    }
+
+    fn parse_element(&mut self) -> Result<Element, ParseError> {
+        if !self.starts_with("<") {
+            return Err(self.err("expected '<'"));
+        }
+        self.bump(1);
+        let name = self.parse_name()?;
+        let mut el = Element::new(name);
+
+        // Attributes.
+        loop {
+            self.skip_ws();
+            if self.starts_with("/>") {
+                self.bump(2);
+                return Ok(el);
+            }
+            if self.starts_with(">") {
+                self.bump(1);
+                break;
+            }
+            let key = self.parse_name()?;
+            self.skip_ws();
+            if !self.starts_with("=") {
+                return Err(self.err(format!("attribute '{key}' missing '='")));
+            }
+            self.bump(1);
+            self.skip_ws();
+            let quote = match self.rest().chars().next() {
+                Some(q @ ('"' | '\'')) => q,
+                _ => return Err(self.err("attribute value must be quoted")),
+            };
+            self.bump(1);
+            let rest = self.rest();
+            let end = rest
+                .find(quote)
+                .ok_or_else(|| self.err("unterminated attribute value"))?;
+            let value = unescape(&rest[..end]);
+            self.bump(end + 1);
+            el.attrs.push((key, value));
+        }
+
+        // Content until the matching close tag.
+        loop {
+            if self.starts_with("</") {
+                self.bump(2);
+                let close = self.parse_name()?;
+                if close != el.name {
+                    return Err(self.err(format!(
+                        "mismatched close tag: expected </{}>, found </{close}>",
+                        el.name
+                    )));
+                }
+                self.skip_ws();
+                if !self.starts_with(">") {
+                    return Err(self.err("expected '>' after close tag name"));
+                }
+                self.bump(1);
+                // Whitespace-only text between child *elements* is
+                // insignificant indentation; in a leaf element it is real
+                // character data (e.g. a SOAP string value of " ").
+                if el.children.iter().any(|c| matches!(c, XmlNode::Element(_))) {
+                    el.children.retain(|c| match c {
+                        XmlNode::Text(t) => !t.trim().is_empty(),
+                        XmlNode::Element(_) => true,
+                    });
+                }
+                return Ok(el);
+            } else if self.starts_with("<!--") {
+                self.skip_until("-->", "comment")?;
+            } else if self.starts_with("<![CDATA[") {
+                self.bump("<![CDATA[".len());
+                let rest = self.rest();
+                let end = rest
+                    .find("]]>")
+                    .ok_or_else(|| self.err("unterminated CDATA section"))?;
+                el.children.push(XmlNode::Text(rest[..end].to_owned()));
+                self.bump(end + 3);
+            } else if self.starts_with("<?") {
+                self.skip_until("?>", "processing instruction")?;
+            } else if self.starts_with("<") {
+                let child = self.parse_element()?;
+                el.children.push(XmlNode::Element(child));
+            } else if self.pos >= self.input.len() {
+                return Err(self.err(format!("unexpected end of input inside <{}>", el.name)));
+            } else {
+                let rest = self.rest();
+                let end = rest.find('<').unwrap_or(rest.len());
+                let text = unescape(&rest[..end]);
+                // Kept for now; whitespace-only runs are filtered at the
+                // close tag if this element turns out to be structural.
+                if !text.is_empty() {
+                    el.children.push(XmlNode::Text(text));
+                }
+                self.bump(end);
+            }
+        }
+    }
+}
+
+fn is_name_char(c: char) -> bool {
+    c.is_alphanumeric() || matches!(c, ':' | '_' | '-' | '.')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_document() {
+        let doc = r#"<?xml version="1.0"?><a k="v"><b>hi</b><c/></a>"#;
+        let e = parse(doc).unwrap();
+        assert_eq!(e.name, "a");
+        assert_eq!(e.get_attr("k"), Some("v"));
+        assert_eq!(e.find("b").unwrap().text_content(), "hi");
+        assert!(e.find("c").unwrap().is_empty());
+    }
+
+    #[test]
+    fn round_trips_writer_output() {
+        let orig = Element::new("SOAP-ENV:Envelope")
+            .attr("xmlns:SOAP-ENV", "http://schemas.xmlsoap.org/soap/envelope/")
+            .child(
+                Element::new("SOAP-ENV:Body").child(
+                    Element::new("ns1:record")
+                        .attr("xmlns:ns1", "urn:vcr")
+                        .child(Element::new("channel").text("42"))
+                        .child(Element::new("title").text("News & <Weather>")),
+                ),
+            );
+        let parsed = parse(&orig.to_document()).unwrap();
+        assert_eq!(parsed, orig);
+    }
+
+    #[test]
+    fn entities_in_text_and_attrs() {
+        let e = parse(r#"<a t="&lt;x&gt;">&amp;&#65;</a>"#).unwrap();
+        assert_eq!(e.get_attr("t"), Some("<x>"));
+        assert_eq!(e.text_content(), "&A");
+    }
+
+    #[test]
+    fn cdata_is_literal() {
+        let e = parse("<a><![CDATA[<not & parsed>]]></a>").unwrap();
+        assert_eq!(e.text_content(), "<not & parsed>");
+    }
+
+    #[test]
+    fn comments_and_pis_are_skipped() {
+        let e = parse("<!-- pre --><a><!-- in --><b/><?pi data?></a><!-- post -->").unwrap();
+        assert_eq!(e.elements().count(), 1);
+    }
+
+    #[test]
+    fn doctype_is_skipped() {
+        let e = parse("<!DOCTYPE html><a/>").unwrap();
+        assert_eq!(e.name, "a");
+    }
+
+    #[test]
+    fn single_quoted_attrs() {
+        let e = parse("<a k='v'/>").unwrap();
+        assert_eq!(e.get_attr("k"), Some("v"));
+    }
+
+    #[test]
+    fn insignificant_whitespace_dropped_significant_kept() {
+        let e = parse("<a>\n  <b/>\n</a>").unwrap();
+        assert_eq!(e.children.len(), 1);
+        let e = parse("<a> x <b/></a>").unwrap();
+        assert_eq!(e.children.len(), 2);
+        // In a *leaf* element, whitespace is character data (a SOAP
+        // string value may legitimately be " ").
+        let e = parse("<a> </a>").unwrap();
+        assert_eq!(e.text_content(), " ");
+        let e = parse("<r><a> </a><b/></r>").unwrap();
+        assert_eq!(e.find("a").unwrap().text_content(), " ");
+    }
+
+    #[test]
+    fn error_cases_report_position() {
+        for bad in [
+            "<a><b></a>",
+            "<a",
+            "<a k=v/>",
+            "<a/><b/>",
+            "<a>unclosed",
+            "text only",
+            r#"<a k="unterminated/>"#,
+            "<?xml unterminated",
+            "<!-- unterminated",
+            "<!DOCTYPE unterminated",
+            "<a><!-- unterminated</a>",
+        ] {
+            let err = parse(bad).unwrap_err();
+            assert!(err.at <= bad.len(), "offset in range for {bad:?}");
+            assert!(!err.message.is_empty());
+        }
+    }
+
+    #[test]
+    fn mismatched_close_tag_names_both_tags() {
+        let err = parse("<outer><inner></wrong></outer>").unwrap_err();
+        assert!(err.message.contains("inner"));
+        assert!(err.message.contains("wrong"));
+    }
+}

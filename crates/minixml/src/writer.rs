@@ -1,0 +1,140 @@
+//! Serialising element trees to XML text.
+
+use crate::escape::{escape_attr, escape_text};
+use crate::node::{Element, XmlNode};
+
+impl Element {
+    /// Serialises to compact XML (no insignificant whitespace).
+    pub fn to_xml(&self) -> String {
+        let mut out = String::new();
+        write_compact(self, &mut out);
+        out
+    }
+
+    /// Serialises with an XML declaration prepended, as SOAP messages and
+    /// UPnP device descriptions carry on the wire.
+    pub fn to_document(&self) -> String {
+        let mut out = String::from("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
+        write_compact(self, &mut out);
+        out
+    }
+
+    /// Serialises with two-space indentation, for human-readable output
+    /// (traces, examples, EXPERIMENTS.md snippets).
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        write_pretty(self, 0, &mut out);
+        out
+    }
+}
+
+fn write_open_tag(e: &Element, out: &mut String) {
+    out.push('<');
+    out.push_str(&e.name);
+    for (k, v) in &e.attrs {
+        out.push(' ');
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(&escape_attr(v));
+        out.push('"');
+    }
+}
+
+fn write_compact(e: &Element, out: &mut String) {
+    write_open_tag(e, out);
+    if e.children.is_empty() {
+        out.push_str("/>");
+        return;
+    }
+    out.push('>');
+    for c in &e.children {
+        match c {
+            XmlNode::Element(child) => write_compact(child, out),
+            XmlNode::Text(t) => out.push_str(&escape_text(t)),
+        }
+    }
+    out.push_str("</");
+    out.push_str(&e.name);
+    out.push('>');
+}
+
+fn write_pretty(e: &Element, depth: usize, out: &mut String) {
+    let pad = "  ".repeat(depth);
+    out.push_str(&pad);
+    write_open_tag(e, out);
+    if e.children.is_empty() {
+        out.push_str("/>\n");
+        return;
+    }
+    // Elements whose only children are text stay on one line.
+    let text_only = e
+        .children
+        .iter()
+        .all(|c| matches!(c, XmlNode::Text(_)));
+    if text_only {
+        out.push('>');
+        for c in &e.children {
+            if let XmlNode::Text(t) = c {
+                out.push_str(&escape_text(t));
+            }
+        }
+        out.push_str("</");
+        out.push_str(&e.name);
+        out.push_str(">\n");
+        return;
+    }
+    out.push_str(">\n");
+    for c in &e.children {
+        match c {
+            XmlNode::Element(child) => write_pretty(child, depth + 1, out),
+            XmlNode::Text(t) => {
+                let t = t.trim();
+                if !t.is_empty() {
+                    out.push_str(&"  ".repeat(depth + 1));
+                    out.push_str(&escape_text(t));
+                    out.push('\n');
+                }
+            }
+        }
+    }
+    out.push_str(&pad);
+    out.push_str("</");
+    out.push_str(&e.name);
+    out.push_str(">\n");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_output() {
+        let e = Element::new("a")
+            .attr("k", "v")
+            .child(Element::new("b"))
+            .child(Element::new("c").text("x & y"));
+        assert_eq!(e.to_xml(), r#"<a k="v"><b/><c>x &amp; y</c></a>"#);
+    }
+
+    #[test]
+    fn document_has_declaration() {
+        let doc = Element::new("r").to_document();
+        assert!(doc.starts_with("<?xml version=\"1.0\""));
+        assert!(doc.ends_with("<r/>"));
+    }
+
+    #[test]
+    fn attrs_are_escaped() {
+        let e = Element::new("a").attr("q", r#"<"quoted">"#);
+        assert_eq!(e.to_xml(), r#"<a q="&lt;&quot;quoted&quot;&gt;"/>"#);
+    }
+
+    #[test]
+    fn pretty_output_indents_nested_elements() {
+        let e = Element::new("root")
+            .child(Element::new("leaf").text("v"))
+            .child(Element::new("empty"));
+        let p = e.to_pretty();
+        assert_eq!(p, "<root>\n  <leaf>v</leaf>\n  <empty/>\n</root>\n");
+    }
+}

@@ -1,0 +1,82 @@
+//! Error types for the network simulation.
+
+use crate::node::NodeId;
+use crate::time::SimTime;
+use std::fmt;
+
+/// Errors produced by the simulated network layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The destination node is not attached to the network.
+    UnknownNode(NodeId),
+    /// The frame was lost in transit (random loss or collision).
+    FrameLost {
+        /// Where the frame was headed.
+        dst: NodeId,
+        /// Virtual time at which the loss happened.
+        at: SimTime,
+    },
+    /// The payload exceeds the network's maximum transmission unit.
+    FrameTooLarge {
+        /// Payload size in bytes.
+        size: usize,
+        /// The network MTU in bytes.
+        mtu: usize,
+    },
+    /// The destination is attached but has no request handler installed.
+    NoHandler(NodeId),
+    /// The destination handler refused or failed the request.
+    Refused(String),
+    /// A timeout elapsed while waiting for a response.
+    Timeout {
+        /// How long the caller waited.
+        after_millis: u64,
+    },
+    /// The network itself is down (e.g. a 1394 bus in reset).
+    NetworkDown(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnknownNode(id) => write!(f, "unknown node {id}"),
+            SimError::FrameLost { dst, at } => {
+                write!(f, "frame to {dst} lost at {at}")
+            }
+            SimError::FrameTooLarge { size, mtu } => {
+                write!(f, "frame of {size} bytes exceeds MTU of {mtu} bytes")
+            }
+            SimError::NoHandler(id) => write!(f, "node {id} has no handler installed"),
+            SimError::Refused(why) => write!(f, "request refused: {why}"),
+            SimError::Timeout { after_millis } => {
+                write!(f, "timed out after {after_millis}ms")
+            }
+            SimError::NetworkDown(name) => write!(f, "network {name} is down"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Convenience result alias for simulation operations.
+pub type SimResult<T> = Result<T, SimError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_useful_messages() {
+        let e = SimError::FrameTooLarge { size: 2000, mtu: 1500 };
+        assert!(e.to_string().contains("2000"));
+        assert!(e.to_string().contains("1500"));
+        let e = SimError::Timeout { after_millis: 250 };
+        assert!(e.to_string().contains("250ms"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&SimError::NoHandler(NodeId(3)));
+    }
+}

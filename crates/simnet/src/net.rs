@@ -1,0 +1,536 @@
+//! Simulated networks.
+//!
+//! A [`Network`] is one shared medium (an Ethernet segment, an IEEE1394
+//! bus, the house powerline, a serial cable) with a [`LinkModel`] cost
+//! model and a set of attached nodes. It supports one-way frames
+//! (datagrams, broadcasts) and synchronous request/response exchanges —
+//! the two interaction patterns every home middleware in the paper uses.
+
+use crate::error::{SimError, SimResult};
+use crate::frame::{Frame, Protocol};
+use crate::link::LinkModel;
+use crate::node::{Addr, NodeId};
+use crate::sim::Sim;
+use crate::stats::NetStats;
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Handles one-way frames delivered to a node.
+pub type FrameHandler = Box<dyn FnMut(&Sim, &Frame) + Send>;
+
+/// Handles request/response exchanges addressed to a node.
+///
+/// Returning `Err` surfaces to the caller as [`SimError::Refused`].
+pub type RequestHandler = Box<dyn FnMut(&Sim, &Frame) -> Result<Bytes, String> + Send>;
+
+struct NodePort {
+    label: String,
+    frame_handler: Option<Arc<Mutex<FrameHandler>>>,
+    request_handler: Option<Arc<Mutex<RequestHandler>>>,
+    inbox: Arc<Mutex<VecDeque<Frame>>>,
+}
+
+struct NetInner {
+    name: String,
+    sim: Sim,
+    link: LinkModel,
+    nodes: Mutex<HashMap<NodeId, NodePort>>,
+    next_node: Mutex<u32>,
+    stats: Mutex<NetStats>,
+    down: AtomicBool,
+}
+
+/// A cheaply clonable handle to one simulated network.
+#[derive(Clone)]
+pub struct Network {
+    inner: Arc<NetInner>,
+}
+
+impl Network {
+    /// Creates a network on `sim` with the given technology model.
+    pub fn new(sim: &Sim, name: impl Into<String>, link: LinkModel) -> Self {
+        Network {
+            inner: Arc::new(NetInner {
+                name: name.into(),
+                sim: sim.clone(),
+                link,
+                nodes: Mutex::new(HashMap::new()),
+                next_node: Mutex::new(0),
+                stats: Mutex::new(NetStats::new()),
+                down: AtomicBool::new(false),
+            }),
+        }
+    }
+
+    /// The network's display name (e.g. `"ethernet"`, `"1394-bus"`).
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// The technology cost model.
+    pub fn link(&self) -> &LinkModel {
+        &self.inner.link
+    }
+
+    /// The simulation world this network lives in.
+    pub fn sim(&self) -> &Sim {
+        &self.inner.sim
+    }
+
+    // ---- attachment -----------------------------------------------------
+
+    /// Attaches a new node and returns its id.
+    pub fn attach(&self, label: impl Into<String>) -> NodeId {
+        let mut next = self.inner.next_node.lock();
+        let id = NodeId(*next);
+        *next += 1;
+        self.inner.nodes.lock().insert(
+            id,
+            NodePort {
+                label: label.into(),
+                frame_handler: None,
+                request_handler: None,
+                inbox: Arc::new(Mutex::new(VecDeque::new())),
+            },
+        );
+        id
+    }
+
+    /// Detaches a node (its frames are dropped from now on).
+    pub fn detach(&self, node: NodeId) {
+        self.inner.nodes.lock().remove(&node);
+    }
+
+    /// The label a node was attached with.
+    pub fn label(&self, node: NodeId) -> Option<String> {
+        self.inner.nodes.lock().get(&node).map(|p| p.label.clone())
+    }
+
+    /// Number of attached nodes.
+    pub fn node_count(&self) -> usize {
+        self.inner.nodes.lock().len()
+    }
+
+    /// Ids of all attached nodes, in ascending order.
+    pub fn nodes(&self) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self.inner.nodes.lock().keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Installs a handler invoked synchronously for every one-way frame
+    /// delivered to `node`. Replaces any previous handler; frames stop
+    /// accumulating in the node's inbox.
+    pub fn set_frame_handler(
+        &self,
+        node: NodeId,
+        f: impl FnMut(&Sim, &Frame) + Send + 'static,
+    ) -> SimResult<()> {
+        let mut nodes = self.inner.nodes.lock();
+        let port = nodes.get_mut(&node).ok_or(SimError::UnknownNode(node))?;
+        port.frame_handler = Some(Arc::new(Mutex::new(Box::new(f))));
+        Ok(())
+    }
+
+    /// Installs the request/response handler for `node`.
+    pub fn set_request_handler(
+        &self,
+        node: NodeId,
+        f: impl FnMut(&Sim, &Frame) -> Result<Bytes, String> + Send + 'static,
+    ) -> SimResult<()> {
+        let mut nodes = self.inner.nodes.lock();
+        let port = nodes.get_mut(&node).ok_or(SimError::UnknownNode(node))?;
+        port.request_handler = Some(Arc::new(Mutex::new(Box::new(f))));
+        Ok(())
+    }
+
+    /// Pops the oldest undelivered frame from `node`'s inbox.
+    ///
+    /// Only frames received while no frame handler was installed land in
+    /// the inbox.
+    pub fn recv(&self, node: NodeId) -> Option<Frame> {
+        let inbox = self.inner.nodes.lock().get(&node)?.inbox.clone();
+        let f = inbox.lock().pop_front();
+        f
+    }
+
+    // ---- availability ---------------------------------------------------
+
+    /// Marks the network up or down (a 1394 bus in reset, a tripped
+    /// breaker on the powerline). While down, all sends fail.
+    pub fn set_down(&self, down: bool) {
+        self.inner.down.store(down, Ordering::SeqCst);
+    }
+
+    /// True if the network is currently down.
+    pub fn is_down(&self) -> bool {
+        self.inner.down.load(Ordering::SeqCst)
+    }
+
+    // ---- transfer -------------------------------------------------------
+
+    /// Sends a one-way frame, advancing the virtual clock by the transfer
+    /// time. Broadcast frames are delivered to every other node in
+    /// ascending node order.
+    pub fn send(&self, frame: Frame) -> SimResult<()> {
+        self.check_up()?;
+        if !self.inner.link.fits(frame.len()) {
+            return Err(SimError::FrameTooLarge {
+                size: frame.len(),
+                mtu: self.inner.link.mtu,
+            });
+        }
+        let sim = &self.inner.sim;
+        sim.advance(self.inner.link.transfer_time(frame.len()));
+        if self.lossy_drop(&frame) {
+            return Err(SimError::FrameLost {
+                dst: match frame.dst {
+                    Addr::Unicast(n) => n,
+                    Addr::Broadcast => frame.src,
+                },
+                at: sim.now(),
+            });
+        }
+        self.deliver(&frame)
+    }
+
+    /// Synchronous request/response: transfers the request to `dst`,
+    /// invokes its request handler inline, transfers the response back,
+    /// and returns the response payload.
+    ///
+    /// The clock advances by both transfer times plus whatever the handler
+    /// itself charges.
+    pub fn request(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        protocol: Protocol,
+        payload: impl Into<Bytes>,
+    ) -> SimResult<Bytes> {
+        self.check_up()?;
+        let payload = payload.into();
+        if !self.inner.link.fits(payload.len()) && self.inner.link.mtu < usize::MAX {
+            // Request/response runs over a stream abstraction (TCP-like):
+            // fragment rather than reject.
+        }
+        let sim = self.inner.sim.clone();
+        let frame = Frame::new(src, dst, protocol, payload);
+
+        // Request leg.
+        sim.advance(self.inner.link.fragmented_transfer_time(frame.len()));
+        if self.lossy_drop(&frame) {
+            return Err(SimError::FrameLost { dst, at: sim.now() });
+        }
+        self.record_delivered(&frame);
+
+        let handler = {
+            let nodes = self.inner.nodes.lock();
+            let port = nodes.get(&dst).ok_or(SimError::UnknownNode(dst))?;
+            port.request_handler
+                .as_ref()
+                .ok_or(SimError::NoHandler(dst))?
+                .clone()
+        };
+        let response = {
+            let mut h = handler.lock();
+            (h)(&sim, &frame).map_err(SimError::Refused)?
+        };
+
+        // Response leg.
+        let resp_frame = Frame::new(dst, src, protocol, response.clone());
+        sim.advance(self.inner.link.fragmented_transfer_time(resp_frame.len()));
+        if self.lossy_drop(&resp_frame) {
+            return Err(SimError::FrameLost { dst: src, at: sim.now() });
+        }
+        self.record_delivered(&resp_frame);
+        Ok(response)
+    }
+
+    fn check_up(&self) -> SimResult<()> {
+        if self.is_down() {
+            Err(SimError::NetworkDown(self.inner.name.clone()))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn lossy_drop(&self, frame: &Frame) -> bool {
+        let p = self.inner.link.loss_prob;
+        if p > 0.0 && self.inner.sim.chance(p) {
+            self.inner.stats.lock().record_lost(frame.protocol);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn record_delivered(&self, frame: &Frame) {
+        self.inner
+            .stats
+            .lock()
+            .record_delivered(frame.protocol, frame.len());
+    }
+
+    fn deliver(&self, frame: &Frame) -> SimResult<()> {
+        // Collect destinations first so handler invocation happens without
+        // holding the node-table lock (handlers may send on this network).
+        type Target = (NodeId, Option<Arc<Mutex<FrameHandler>>>, Arc<Mutex<VecDeque<Frame>>>);
+        let targets: Vec<Target> = {
+            let nodes = self.inner.nodes.lock();
+            match frame.dst {
+                Addr::Unicast(dst) => {
+                    let port = nodes.get(&dst).ok_or(SimError::UnknownNode(dst))?;
+                    vec![(dst, port.frame_handler.clone(), port.inbox.clone())]
+                }
+                Addr::Broadcast => {
+                    let mut v: Vec<_> = nodes
+                        .iter()
+                        .filter(|(id, _)| frame.dst.matches(**id, frame.src))
+                        .map(|(id, p)| (*id, p.frame_handler.clone(), p.inbox.clone()))
+                        .collect();
+                    v.sort_by_key(|(id, _, _)| *id);
+                    v
+                }
+            }
+        };
+        for (_, handler, inbox) in targets {
+            self.record_delivered(frame);
+            match handler {
+                Some(h) => (h.lock())(&self.inner.sim, frame),
+                None => inbox.lock().push_back(frame.clone()),
+            }
+        }
+        Ok(())
+    }
+
+    // ---- statistics -----------------------------------------------------
+
+    /// Runs `f` with the network's traffic statistics.
+    pub fn with_stats<T>(&self, f: impl FnOnce(&mut NetStats) -> T) -> T {
+        f(&mut self.inner.stats.lock())
+    }
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Network")
+            .field("name", &self.inner.name)
+            .field("nodes", &self.node_count())
+            .field("down", &self.is_down())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn fast_net(sim: &Sim) -> Network {
+        Network::new(
+            sim,
+            "test",
+            LinkModel {
+                latency: SimDuration::from_micros(100),
+                bandwidth_bps: 8_000_000,
+                per_frame_overhead: 0,
+                mtu: 1500,
+                loss_prob: 0.0,
+            },
+        )
+    }
+
+    #[test]
+    fn send_to_inbox_advances_clock() {
+        let sim = Sim::new(1);
+        let net = fast_net(&sim);
+        let a = net.attach("a");
+        let b = net.attach("b");
+        net.send(Frame::new(a, b, Protocol::Raw, vec![0u8; 800]))
+            .unwrap();
+        // 800 bytes at 1 B/us + 100us latency = 900us.
+        assert_eq!(sim.now().as_micros(), 900);
+        let got = net.recv(b).unwrap();
+        assert_eq!(got.len(), 800);
+        assert!(net.recv(b).is_none());
+    }
+
+    #[test]
+    fn frame_handler_sees_frames_inline() {
+        let sim = Sim::new(1);
+        let net = fast_net(&sim);
+        let a = net.attach("a");
+        let b = net.attach("b");
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let seen2 = seen.clone();
+        net.set_frame_handler(b, move |_, f| seen2.lock().push(f.len()))
+            .unwrap();
+        net.send(Frame::new(a, b, Protocol::Raw, vec![1, 2, 3])).unwrap();
+        assert_eq!(*seen.lock(), vec![3]);
+        assert!(net.recv(b).is_none(), "handled frames bypass the inbox");
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone_but_sender() {
+        let sim = Sim::new(1);
+        let net = fast_net(&sim);
+        let a = net.attach("a");
+        let _b = net.attach("b");
+        let _c = net.attach("c");
+        net.send(Frame::new(a, Addr::Broadcast, Protocol::X10, vec![9]))
+            .unwrap();
+        let ids: Vec<u32> = net
+            .nodes()
+            .iter()
+            .filter(|n| net.recv(**n).is_some())
+            .map(|n| n.0)
+            .collect();
+        assert_eq!(ids, vec![1, 2]);
+    }
+
+    #[test]
+    fn request_round_trip_charges_both_legs() {
+        let sim = Sim::new(1);
+        let net = fast_net(&sim);
+        let client = net.attach("client");
+        let server = net.attach("server");
+        net.set_request_handler(server, |sim, f| {
+            sim.advance(SimDuration::from_micros(50)); // processing
+            Ok(Bytes::from(vec![0u8; f.len() * 2]))
+        })
+        .unwrap();
+        let resp = net
+            .request(client, server, Protocol::Http, vec![0u8; 100])
+            .unwrap();
+        assert_eq!(resp.len(), 200);
+        // req: 100us lat + 100us tx; proc: 50; resp: 100us lat + 200us tx.
+        assert_eq!(sim.now().as_micros(), 550);
+    }
+
+    #[test]
+    fn request_to_handlerless_node_fails() {
+        let sim = Sim::new(1);
+        let net = fast_net(&sim);
+        let a = net.attach("a");
+        let b = net.attach("b");
+        assert_eq!(
+            net.request(a, b, Protocol::Raw, vec![1]),
+            Err(SimError::NoHandler(b))
+        );
+        assert!(matches!(
+            net.request(a, NodeId(99), Protocol::Raw, vec![1]),
+            Err(SimError::UnknownNode(NodeId(99)))
+        ));
+    }
+
+    #[test]
+    fn handler_refusal_propagates() {
+        let sim = Sim::new(1);
+        let net = fast_net(&sim);
+        let a = net.attach("a");
+        let b = net.attach("b");
+        net.set_request_handler(b, |_, _| Err("busy".into())).unwrap();
+        assert_eq!(
+            net.request(a, b, Protocol::Raw, vec![1]),
+            Err(SimError::Refused("busy".into()))
+        );
+    }
+
+    #[test]
+    fn oversized_one_way_frame_rejected() {
+        let sim = Sim::new(1);
+        let net = fast_net(&sim);
+        let a = net.attach("a");
+        let b = net.attach("b");
+        let err = net
+            .send(Frame::new(a, b, Protocol::Raw, vec![0u8; 2000]))
+            .unwrap_err();
+        assert!(matches!(err, SimError::FrameTooLarge { size: 2000, mtu: 1500 }));
+    }
+
+    #[test]
+    fn oversized_request_fragments_instead() {
+        let sim = Sim::new(1);
+        let net = fast_net(&sim);
+        let a = net.attach("a");
+        let b = net.attach("b");
+        net.set_request_handler(b, |_, _| Ok(Bytes::new())).unwrap();
+        // 3000 bytes over MTU 1500 fragments fine (TCP-like stream).
+        net.request(a, b, Protocol::Http, vec![0u8; 3000]).unwrap();
+    }
+
+    #[test]
+    fn down_network_refuses_traffic() {
+        let sim = Sim::new(1);
+        let net = fast_net(&sim);
+        let a = net.attach("a");
+        let b = net.attach("b");
+        net.set_down(true);
+        assert!(matches!(
+            net.send(Frame::new(a, b, Protocol::Raw, vec![1])),
+            Err(SimError::NetworkDown(_))
+        ));
+        net.set_down(false);
+        net.send(Frame::new(a, b, Protocol::Raw, vec![1])).unwrap();
+    }
+
+    #[test]
+    fn lossy_link_drops_statistically() {
+        let sim = Sim::new(42);
+        let net = Network::new(
+            &sim,
+            "lossy",
+            LinkModel { loss_prob: 0.5, ..LinkModel::ideal() },
+        );
+        let a = net.attach("a");
+        let b = net.attach("b");
+        let mut lost = 0;
+        for _ in 0..200 {
+            if net.send(Frame::new(a, b, Protocol::X10, vec![1])).is_err() {
+                lost += 1;
+            }
+        }
+        assert!((60..140).contains(&lost), "lost {lost} of 200");
+        assert_eq!(net.with_stats(|s| s.protocol(Protocol::X10).lost), lost);
+    }
+
+    #[test]
+    fn handler_may_send_on_same_network() {
+        // Regression guard for lock ordering: a request handler that
+        // itself performs a nested request must not deadlock.
+        let sim = Sim::new(1);
+        let net = fast_net(&sim);
+        let client = net.attach("client");
+        let front = net.attach("front");
+        let back = net.attach("back");
+        net.set_request_handler(back, |_, _| Ok(Bytes::from_static(b"deep")))
+            .unwrap();
+        let net2 = net.clone();
+        net.set_request_handler(front, move |_, f| {
+            net2.request(f.dst_node().unwrap(), back, Protocol::Raw, f.payload.clone())
+                .map_err(|e| e.to_string())
+        })
+        .unwrap();
+        let resp = net.request(client, front, Protocol::Raw, vec![1]).unwrap();
+        assert_eq!(&resp[..], b"deep");
+    }
+
+    #[test]
+    fn detach_makes_node_unknown() {
+        let sim = Sim::new(1);
+        let net = fast_net(&sim);
+        let a = net.attach("a");
+        let b = net.attach("b");
+        net.detach(b);
+        assert!(matches!(
+            net.send(Frame::new(a, b, Protocol::Raw, vec![1])),
+            Err(SimError::UnknownNode(_))
+        ));
+        assert_eq!(net.node_count(), 1);
+        assert_eq!(net.label(a).as_deref(), Some("a"));
+        assert_eq!(net.label(b), None);
+    }
+}

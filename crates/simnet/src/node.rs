@@ -1,0 +1,83 @@
+//! Node identities and addressing.
+
+use std::fmt;
+
+/// Identifies a device attached to a simulated network.
+///
+/// Node ids are only meaningful within one [`crate::net::Network`]; the same
+/// physical appliance may hold different `NodeId`s on different networks
+/// (e.g. a set-top box on both Ethernet and IEEE1394).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node#{}", self.0)
+    }
+}
+
+/// The destination of a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Addr {
+    /// A single node.
+    Unicast(NodeId),
+    /// Every node on the network except the sender.
+    ///
+    /// Used by Jini multicast discovery, UPnP SSDP, and X10 (whose
+    /// powerline is inherently a broadcast medium).
+    Broadcast,
+}
+
+impl Addr {
+    /// True if `node` should receive a frame addressed to `self`
+    /// when sent by `src`.
+    pub fn matches(&self, node: NodeId, src: NodeId) -> bool {
+        match self {
+            Addr::Unicast(dst) => *dst == node,
+            Addr::Broadcast => node != src,
+        }
+    }
+}
+
+impl From<NodeId> for Addr {
+    fn from(n: NodeId) -> Addr {
+        Addr::Unicast(n)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Addr::Unicast(n) => write!(f, "{n}"),
+            Addr::Broadcast => write!(f, "broadcast"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unicast_matches_only_destination() {
+        let a = Addr::Unicast(NodeId(2));
+        assert!(a.matches(NodeId(2), NodeId(1)));
+        assert!(!a.matches(NodeId(3), NodeId(1)));
+        // Loopback unicast is allowed: a node may address itself.
+        assert!(a.matches(NodeId(2), NodeId(2)));
+    }
+
+    #[test]
+    fn broadcast_excludes_sender() {
+        let a = Addr::Broadcast;
+        assert!(a.matches(NodeId(5), NodeId(1)));
+        assert!(!a.matches(NodeId(1), NodeId(1)));
+    }
+
+    #[test]
+    fn addr_from_node_id() {
+        assert_eq!(Addr::from(NodeId(9)), Addr::Unicast(NodeId(9)));
+        assert_eq!(Addr::Broadcast.to_string(), "broadcast");
+        assert_eq!(Addr::from(NodeId(9)).to_string(), "node#9");
+    }
+}

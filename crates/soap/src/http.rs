@@ -1,0 +1,474 @@
+//! Simulated HTTP/1.1 over [`simnet`].
+//!
+//! The paper's prototype carries every VSG interaction over HTTP, and two
+//! of its findings hinge on HTTP's behaviour: it is client/server only
+//! (no asynchronous notification, §4.2) and it rides a TCP stack that is
+//! heavy for small appliances. The simulation therefore models the
+//! request/response pattern, per-connection handshake cost, and real
+//! header bytes on the wire.
+
+use simnet::{Frame, Network, NodeId, Protocol, Sim, SimDuration};
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// An HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpRequest {
+    /// Method, e.g. `POST`.
+    pub method: String,
+    /// Request path, e.g. `/soap/rpcrouter`.
+    pub path: String,
+    /// Headers in order.
+    pub headers: Vec<(String, String)>,
+    /// Entity body.
+    pub body: Vec<u8>,
+}
+
+/// An HTTP response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpResponse {
+    /// Status code, e.g. `200`.
+    pub status: u16,
+    /// Reason phrase, e.g. `OK`.
+    pub reason: String,
+    /// Headers in order.
+    pub headers: Vec<(String, String)>,
+    /// Entity body.
+    pub body: Vec<u8>,
+}
+
+impl HttpRequest {
+    /// Creates a POST with a body (the SOAP workhorse).
+    pub fn post(path: impl Into<String>, content_type: &str, body: impl Into<Vec<u8>>) -> Self {
+        let body = body.into();
+        HttpRequest {
+            method: "POST".into(),
+            path: path.into(),
+            headers: vec![
+                ("Content-Type".into(), content_type.into()),
+                ("Content-Length".into(), body.len().to_string()),
+                ("User-Agent".into(), "metaware/0.1".into()),
+                ("Connection".into(), "close".into()),
+            ],
+            body,
+        }
+    }
+
+    /// Creates a body-less GET.
+    pub fn get(path: impl Into<String>) -> Self {
+        HttpRequest {
+            method: "GET".into(),
+            path: path.into(),
+            headers: vec![
+                ("User-Agent".into(), "metaware/0.1".into()),
+                ("Connection".into(), "close".into()),
+            ],
+            body: Vec::new(),
+        }
+    }
+
+    /// Adds a header (builder style).
+    pub fn header(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.headers.push((key.into(), value.into()));
+        self
+    }
+
+    /// The first header with the given (case-insensitive) name.
+    pub fn get_header(&self, key: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(key))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Serialises to wire bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut s = format!("{} {} HTTP/1.1\r\n", self.method, self.path);
+        for (k, v) in &self.headers {
+            s.push_str(k);
+            s.push_str(": ");
+            s.push_str(v);
+            s.push_str("\r\n");
+        }
+        s.push_str("\r\n");
+        let mut out = s.into_bytes();
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Parses wire bytes.
+    pub fn from_bytes(data: &[u8]) -> Result<HttpRequest, HttpError> {
+        let (head, body) = split_head(data)?;
+        let mut lines = head.lines();
+        let request_line = lines.next().ok_or(HttpError::Malformed("empty request"))?;
+        let mut parts = request_line.split_whitespace();
+        let method = parts.next().ok_or(HttpError::Malformed("no method"))?.to_owned();
+        let path = parts.next().ok_or(HttpError::Malformed("no path"))?.to_owned();
+        let version = parts.next().ok_or(HttpError::Malformed("no version"))?;
+        if !version.starts_with("HTTP/1.") {
+            return Err(HttpError::Malformed("unsupported HTTP version"));
+        }
+        let headers = parse_headers(lines)?;
+        Ok(HttpRequest { method, path, headers, body })
+    }
+}
+
+impl HttpResponse {
+    /// A 200 OK with a body.
+    pub fn ok(content_type: &str, body: impl Into<Vec<u8>>) -> Self {
+        let body = body.into();
+        HttpResponse {
+            status: 200,
+            reason: "OK".into(),
+            headers: vec![
+                ("Content-Type".into(), content_type.into()),
+                ("Content-Length".into(), body.len().to_string()),
+                ("Server".into(), "metaware/0.1".into()),
+            ],
+            body,
+        }
+    }
+
+    /// An error status with a plain-text body.
+    pub fn error(status: u16, reason: &str, body: impl Into<Vec<u8>>) -> Self {
+        let body = body.into();
+        HttpResponse {
+            status,
+            reason: reason.into(),
+            headers: vec![
+                ("Content-Type".into(), "text/plain".into()),
+                ("Content-Length".into(), body.len().to_string()),
+            ],
+            body,
+        }
+    }
+
+    /// A 404.
+    pub fn not_found(path: &str) -> Self {
+        HttpResponse::error(404, "Not Found", format!("no handler for {path}"))
+    }
+
+    /// True for 2xx statuses.
+    pub fn is_success(&self) -> bool {
+        (200..300).contains(&self.status)
+    }
+
+    /// The first header with the given (case-insensitive) name.
+    pub fn get_header(&self, key: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(key))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Serialises to wire bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut s = format!("HTTP/1.1 {} {}\r\n", self.status, self.reason);
+        for (k, v) in &self.headers {
+            s.push_str(k);
+            s.push_str(": ");
+            s.push_str(v);
+            s.push_str("\r\n");
+        }
+        s.push_str("\r\n");
+        let mut out = s.into_bytes();
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Parses wire bytes.
+    pub fn from_bytes(data: &[u8]) -> Result<HttpResponse, HttpError> {
+        let (head, body) = split_head(data)?;
+        let mut lines = head.lines();
+        let status_line = lines.next().ok_or(HttpError::Malformed("empty response"))?;
+        let mut parts = status_line.splitn(3, ' ');
+        let version = parts.next().ok_or(HttpError::Malformed("no version"))?;
+        if !version.starts_with("HTTP/1.") {
+            return Err(HttpError::Malformed("unsupported HTTP version"));
+        }
+        let status = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or(HttpError::Malformed("bad status code"))?;
+        let reason = parts.next().unwrap_or("").to_owned();
+        let headers = parse_headers(lines)?;
+        Ok(HttpResponse { status, reason, headers, body })
+    }
+}
+
+fn split_head(data: &[u8]) -> Result<(&str, Vec<u8>), HttpError> {
+    let sep = data
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or(HttpError::Malformed("missing header terminator"))?;
+    let head = std::str::from_utf8(&data[..sep])
+        .map_err(|_| HttpError::Malformed("non-UTF8 header block"))?;
+    Ok((head, data[sep + 4..].to_vec()))
+}
+
+fn parse_headers<'a>(
+    lines: impl Iterator<Item = &'a str>,
+) -> Result<Vec<(String, String)>, HttpError> {
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            break;
+        }
+        let (k, v) = line
+            .split_once(':')
+            .ok_or(HttpError::Malformed("header without colon"))?;
+        headers.push((k.trim().to_owned(), v.trim().to_owned()));
+    }
+    Ok(headers)
+}
+
+/// HTTP transport failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// The bytes did not parse as HTTP.
+    Malformed(&'static str),
+    /// The underlying network failed.
+    Network(String),
+    /// Non-success status from the server.
+    Status(u16, String),
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::Malformed(m) => write!(f, "malformed HTTP message: {m}"),
+            HttpError::Network(m) => write!(f, "network error: {m}"),
+            HttpError::Status(code, body) => write!(f, "HTTP {code}: {body}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// The per-request TCP cost model.
+///
+/// 2002-era HTTP clients open a fresh connection per request
+/// (`Connection: close`), paying the three-way handshake plus slow-start;
+/// we charge `handshake_rtts` link round-trips before the request proper.
+#[derive(Debug, Clone, Copy)]
+pub struct TcpModel {
+    /// Round trips charged for connection establishment + teardown.
+    pub handshake_rtts: u32,
+    /// Fixed per-request processing charged on the server (accept, parse
+    /// headers, dispatch).
+    pub server_overhead: SimDuration,
+}
+
+impl Default for TcpModel {
+    fn default() -> Self {
+        TcpModel {
+            handshake_rtts: 2, // SYN/SYN-ACK/ACK + FIN exchange, amortised
+            server_overhead: SimDuration::from_micros(300),
+        }
+    }
+}
+
+/// A route handler: consumes a request, produces a response, and may
+/// charge CPU time on the `Sim` clock.
+pub type RouteHandler = Box<dyn FnMut(&Sim, &HttpRequest) -> HttpResponse + Send>;
+
+/// A simulated HTTP server bound to one network node.
+#[derive(Clone)]
+pub struct HttpServer {
+    node: NodeId,
+    routes: Arc<Mutex<HashMap<String, RouteHandler>>>,
+}
+
+impl HttpServer {
+    /// Binds a server on `net`, attaching a new node with `label`.
+    pub fn bind(net: &Network, label: &str, tcp: TcpModel) -> HttpServer {
+        let node = net.attach(label);
+        let routes: Arc<Mutex<HashMap<String, RouteHandler>>> =
+            Arc::new(Mutex::new(HashMap::new()));
+        let routes2 = routes.clone();
+        net.set_request_handler(node, move |sim, frame: &Frame| {
+            sim.advance(tcp.server_overhead);
+            let resp = match HttpRequest::from_bytes(&frame.payload) {
+                Ok(req) => {
+                    let mut routes = routes2.lock();
+                    match routes.get_mut(&req.path) {
+                        Some(h) => h(sim, &req),
+                        None => HttpResponse::not_found(&req.path),
+                    }
+                }
+                Err(e) => HttpResponse::error(400, "Bad Request", e.to_string()),
+            };
+            Ok(Bytes::from(resp.to_bytes()))
+        })
+        .expect("node attached above");
+        HttpServer { node, routes }
+    }
+
+    /// The node this server listens on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Registers (or replaces) the handler for `path`.
+    pub fn route(
+        &self,
+        path: impl Into<String>,
+        handler: impl FnMut(&Sim, &HttpRequest) -> HttpResponse + Send + 'static,
+    ) {
+        self.routes.lock().insert(path.into(), Box::new(handler));
+    }
+
+    /// Removes the handler for `path`.
+    pub fn unroute(&self, path: &str) {
+        self.routes.lock().remove(path);
+    }
+}
+
+impl fmt::Debug for HttpServer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HttpServer")
+            .field("node", &self.node)
+            .field("routes", &self.routes.lock().len())
+            .finish()
+    }
+}
+
+/// A simulated HTTP client bound to one network node.
+#[derive(Debug, Clone)]
+pub struct HttpClient {
+    net: Network,
+    node: NodeId,
+    tcp: TcpModel,
+}
+
+impl HttpClient {
+    /// Creates a client that sends from `node` on `net`.
+    pub fn new(net: &Network, node: NodeId, tcp: TcpModel) -> HttpClient {
+        HttpClient { net: net.clone(), node, tcp }
+    }
+
+    /// Attaches a fresh node and wraps it in a client.
+    pub fn attach(net: &Network, label: &str, tcp: TcpModel) -> HttpClient {
+        let node = net.attach(label);
+        HttpClient::new(net, node, tcp)
+    }
+
+    /// The node this client sends from.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Executes one HTTP exchange, charging connection setup plus both
+    /// transfer legs to the virtual clock.
+    pub fn send(&self, server: NodeId, req: &HttpRequest) -> Result<HttpResponse, HttpError> {
+        let sim = self.net.sim().clone();
+        // Per-request TCP connection (Connection: close, as in 2002).
+        let rtt = self.net.link().latency * 2;
+        sim.advance(rtt * u64::from(self.tcp.handshake_rtts));
+        let raw = self
+            .net
+            .request(self.node, server, Protocol::Http, req.to_bytes())
+            .map_err(|e| HttpError::Network(e.to_string()))?;
+        HttpResponse::from_bytes(&raw)
+    }
+
+    /// `send` + non-2xx as error.
+    pub fn send_expect_ok(
+        &self,
+        server: NodeId,
+        req: &HttpRequest,
+    ) -> Result<HttpResponse, HttpError> {
+        let resp = self.send(server, req)?;
+        if resp.is_success() {
+            Ok(resp)
+        } else {
+            Err(HttpError::Status(
+                resp.status,
+                String::from_utf8_lossy(&resp.body).into_owned(),
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_wire_round_trip() {
+        let req = HttpRequest::post("/soap", "text/xml", "<x/>").header("SOAPAction", "\"\"");
+        let back = HttpRequest::from_bytes(&req.to_bytes()).unwrap();
+        assert_eq!(back, req);
+        assert_eq!(back.get_header("soapaction"), Some("\"\""));
+        assert_eq!(back.get_header("content-length"), Some("4"));
+    }
+
+    #[test]
+    fn response_wire_round_trip() {
+        let resp = HttpResponse::ok("text/xml", "<ok/>");
+        let back = HttpResponse::from_bytes(&resp.to_bytes()).unwrap();
+        assert_eq!(back, resp);
+        assert!(back.is_success());
+        assert!(!HttpResponse::not_found("/x").is_success());
+    }
+
+    #[test]
+    fn malformed_wire_data_rejected() {
+        assert!(HttpRequest::from_bytes(b"garbage").is_err());
+        assert!(HttpRequest::from_bytes(b"GET\r\n\r\n").is_err());
+        assert!(HttpResponse::from_bytes(b"HTTP/1.1 abc OK\r\n\r\n").is_err());
+        assert!(HttpRequest::from_bytes(b"GET / SPDY/9\r\n\r\n").is_err());
+        assert!(HttpRequest::from_bytes(b"GET / HTTP/1.1\r\nbroken header\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn server_routes_and_404s() {
+        let sim = Sim::new(1);
+        let net = Network::ethernet(&sim);
+        let server = HttpServer::bind(&net, "web", TcpModel::default());
+        server.route("/hello", |_, req| {
+            HttpResponse::ok("text/plain", format!("hi via {}", req.method))
+        });
+        let client = HttpClient::attach(&net, "pc", TcpModel::default());
+        let resp = client
+            .send(server.node(), &HttpRequest::get("/hello"))
+            .unwrap();
+        assert_eq!(resp.body, b"hi via GET");
+        let resp = client.send(server.node(), &HttpRequest::get("/nope")).unwrap();
+        assert_eq!(resp.status, 404);
+        assert!(client
+            .send_expect_ok(server.node(), &HttpRequest::get("/nope"))
+            .is_err());
+    }
+
+    #[test]
+    fn exchange_charges_handshake_and_transfer() {
+        let sim = Sim::new(1);
+        let net = Network::ethernet(&sim);
+        let server = HttpServer::bind(&net, "web", TcpModel::default());
+        server.route("/", |_, _| HttpResponse::ok("text/plain", "x"));
+        let client = HttpClient::attach(&net, "pc", TcpModel::default());
+        let before = sim.now();
+        client.send(server.node(), &HttpRequest::get("/")).unwrap();
+        let elapsed = sim.now() - before;
+        // 2 handshake RTTs (800us) + 2 transfer legs (>=400us) + server
+        // overhead (300us) on 100Mb Ethernet with 200us latency.
+        assert!(elapsed.as_micros() >= 1_500, "elapsed {elapsed}");
+        assert!(elapsed.as_millis() < 10, "elapsed {elapsed}");
+    }
+
+    #[test]
+    fn unroute_removes_handler() {
+        let sim = Sim::new(1);
+        let net = Network::ethernet(&sim);
+        let server = HttpServer::bind(&net, "web", TcpModel::default());
+        server.route("/x", |_, _| HttpResponse::ok("text/plain", ""));
+        server.unroute("/x");
+        let client = HttpClient::attach(&net, "pc", TcpModel::default());
+        let resp = client.send(server.node(), &HttpRequest::get("/x")).unwrap();
+        assert_eq!(resp.status, 404);
+    }
+}

@@ -1,0 +1,435 @@
+//! The SOAP section-5 RPC data model.
+//!
+//! This is the *lingua franca* of the whole framework: the VSG carries
+//! invocations as SOAP-encoded [`Value`]s, and every Protocol Conversion
+//! Manager translates its middleware's native representation to and from
+//! this model (exactly the role Apache SOAP's type mappings played in the
+//! paper's prototype).
+
+use minixml::Element;
+use std::fmt;
+
+/// A dynamically typed RPC value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// The absence of a value (`xsi:null`).
+    Null,
+    /// `xsd:boolean`.
+    Bool(bool),
+    /// `xsd:int` / `xsd:long`.
+    Int(i64),
+    /// `xsd:double`.
+    Float(f64),
+    /// `xsd:string`.
+    Str(String),
+    /// `SOAP-ENC:base64` binary data.
+    Bytes(Vec<u8>),
+    /// `SOAP-ENC:Array`.
+    List(Vec<Value>),
+    /// A compound value with named accessors (a SOAP struct).
+    Record(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The `xsi:type` label used on the wire.
+    pub fn type_label(&self) -> &'static str {
+        match self {
+            Value::Null => "xsi:null",
+            Value::Bool(_) => "xsd:boolean",
+            Value::Int(_) => "xsd:long",
+            Value::Float(_) => "xsd:double",
+            Value::Str(_) => "xsd:string",
+            Value::Bytes(_) => "SOAP-ENC:base64",
+            Value::List(_) => "SOAP-ENC:Array",
+            Value::Record(_) => "SOAP-ENC:Struct",
+        }
+    }
+
+    /// Encodes as an element named `name`.
+    pub fn to_element(&self, name: &str) -> Element {
+        let e = Element::new(name).attr("xsi:type", self.type_label());
+        match self {
+            Value::Null => e.attr("xsi:nil", "true"),
+            Value::Bool(b) => e.text(if *b { "true" } else { "false" }),
+            Value::Int(i) => e.text(i.to_string()),
+            Value::Float(f) => e.text(format_f64(*f)),
+            Value::Str(s) => e.text(s.clone()),
+            Value::Bytes(b) => e.text(base64_encode(b)),
+            Value::List(items) => {
+                let mut e = e;
+                for item in items {
+                    e.push(item.to_element("item"));
+                }
+                e
+            }
+            Value::Record(fields) => {
+                let mut e = e;
+                for (k, v) in fields {
+                    e.push(v.to_element(k));
+                }
+                e
+            }
+        }
+    }
+
+    /// Decodes from an element produced by [`Value::to_element`] (or by a
+    /// foreign SOAP stack using the same subset).
+    pub fn from_element(e: &Element) -> Result<Value, ValueError> {
+        let ty = e.get_attr("xsi:type").unwrap_or("xsd:string");
+        if e.get_attr("xsi:nil") == Some("true") || ty == "xsi:null" {
+            return Ok(Value::Null);
+        }
+        match ty {
+            "xsd:boolean" => match e.text_content().trim() {
+                "true" | "1" => Ok(Value::Bool(true)),
+                "false" | "0" => Ok(Value::Bool(false)),
+                other => Err(ValueError::new(format!("bad boolean '{other}'"))),
+            },
+            "xsd:int" | "xsd:long" | "xsd:short" | "xsd:byte" => e
+                .text_content()
+                .trim()
+                .parse::<i64>()
+                .map(Value::Int)
+                .map_err(|_| ValueError::new(format!("bad integer '{}'", e.text_content()))),
+            "xsd:double" | "xsd:float" | "xsd:decimal" => e
+                .text_content()
+                .trim()
+                .parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| ValueError::new(format!("bad double '{}'", e.text_content()))),
+            "xsd:string" => Ok(Value::Str(e.text_content())),
+            "SOAP-ENC:base64" | "xsd:base64Binary" => base64_decode(e.text_content().trim())
+                .map(Value::Bytes)
+                .ok_or_else(|| ValueError::new("bad base64 payload")),
+            "SOAP-ENC:Array" => e
+                .elements()
+                .map(Value::from_element)
+                .collect::<Result<Vec<_>, _>>()
+                .map(Value::List),
+            "SOAP-ENC:Struct" => e
+                .elements()
+                .map(|c| Value::from_element(c).map(|v| (c.local_name().to_owned(), v)))
+                .collect::<Result<Vec<_>, _>>()
+                .map(Value::Record),
+            other => Err(ValueError::new(format!("unsupported xsi:type '{other}'"))),
+        }
+    }
+
+    // ---- convenience accessors -------------------------------------------
+
+    /// The integer inside, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The string inside, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean inside, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The float inside, if this is a `Float`.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// A named field, if this is a `Record`.
+    pub fn field(&self, name: &str) -> Option<&Value> {
+        match self {
+            Value::Record(fields) => fields.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Bytes(b) => write!(f, "<{} bytes>", b.len()),
+            Value::List(items) => {
+                write!(f, "[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Record(fields) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{k}: {v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+impl From<i64> for Value {
+    fn from(i: i64) -> Value {
+        Value::Int(i)
+    }
+}
+impl From<i32> for Value {
+    fn from(i: i32) -> Value {
+        Value::Int(i64::from(i))
+    }
+}
+impl From<f64> for Value {
+    fn from(f: f64) -> Value {
+        Value::Float(f)
+    }
+}
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::Str(s.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::Str(s)
+    }
+}
+impl From<Vec<u8>> for Value {
+    fn from(b: Vec<u8>) -> Value {
+        Value::Bytes(b)
+    }
+}
+
+fn format_f64(f: f64) -> String {
+    // Keep integral doubles distinguishable from xsd:long on re-parse.
+    if f.fract() == 0.0 && f.is_finite() && f.abs() < 1e15 {
+        format!("{f:.1}")
+    } else {
+        format!("{f}")
+    }
+}
+
+/// A value encode/decode failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValueError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl ValueError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        ValueError { message: message.into() }
+    }
+}
+
+impl fmt::Display for ValueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SOAP value error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ValueError {}
+
+const B64: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Standard base64 (RFC 2045 alphabet, `=` padding).
+pub fn base64_encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let b = [
+            chunk[0],
+            chunk.get(1).copied().unwrap_or(0),
+            chunk.get(2).copied().unwrap_or(0),
+        ];
+        let n = (u32::from(b[0]) << 16) | (u32::from(b[1]) << 8) | u32::from(b[2]);
+        out.push(B64[(n >> 18) as usize & 63] as char);
+        out.push(B64[(n >> 12) as usize & 63] as char);
+        out.push(if chunk.len() > 1 { B64[(n >> 6) as usize & 63] as char } else { '=' });
+        out.push(if chunk.len() > 2 { B64[n as usize & 63] as char } else { '=' });
+    }
+    out
+}
+
+/// Inverse of [`base64_encode`]. Returns `None` on malformed input.
+pub fn base64_decode(s: &str) -> Option<Vec<u8>> {
+    fn val(c: u8) -> Option<u32> {
+        match c {
+            b'A'..=b'Z' => Some(u32::from(c - b'A')),
+            b'a'..=b'z' => Some(u32::from(c - b'a') + 26),
+            b'0'..=b'9' => Some(u32::from(c - b'0') + 52),
+            b'+' => Some(62),
+            b'/' => Some(63),
+            _ => None,
+        }
+    }
+    let s: Vec<u8> = s.bytes().filter(|b| !b.is_ascii_whitespace()).collect();
+    if !s.len().is_multiple_of(4) {
+        return None;
+    }
+    let mut out = Vec::with_capacity(s.len() / 4 * 3);
+    for chunk in s.chunks(4) {
+        let pad = chunk.iter().rev().take_while(|&&c| c == b'=').count();
+        if pad > 2 {
+            return None;
+        }
+        let mut n: u32 = 0;
+        for (i, &c) in chunk.iter().enumerate() {
+            let v = if c == b'=' {
+                if i < 4 - pad {
+                    return None;
+                }
+                0
+            } else {
+                val(c)?
+            };
+            n = (n << 6) | v;
+        }
+        out.push((n >> 16) as u8);
+        if pad < 2 {
+            out.push((n >> 8) as u8);
+        }
+        if pad < 1 {
+            out.push(n as u8);
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(v: &Value) -> Value {
+        let e = v.to_element("arg");
+        let reparsed = minixml::parse(&e.to_document()).unwrap();
+        Value::from_element(&reparsed).unwrap()
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        for v in [
+            Value::Null,
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Int(-42),
+            Value::Int(i64::MAX),
+            Value::Float(3.25),
+            Value::Float(-0.5),
+            Value::Str("hello <world> & friends".into()),
+            Value::Str(String::new()),
+            Value::Bytes(vec![0, 1, 2, 255, 254]),
+            Value::Bytes(Vec::new()),
+        ] {
+            assert_eq!(round_trip(&v), v, "round-trip of {v}");
+        }
+    }
+
+    #[test]
+    fn integral_float_stays_float() {
+        assert_eq!(round_trip(&Value::Float(2.0)), Value::Float(2.0));
+    }
+
+    #[test]
+    fn compounds_round_trip() {
+        let v = Value::Record(vec![
+            ("channel".into(), Value::Int(42)),
+            ("title".into(), Value::Str("News".into())),
+            (
+                "tags".into(),
+                Value::List(vec![Value::Str("tv".into()), Value::Str("live".into())]),
+            ),
+            ("nested".into(), Value::Record(vec![("x".into(), Value::Null)])),
+        ]);
+        assert_eq!(round_trip(&v), v);
+    }
+
+    #[test]
+    fn untyped_elements_decode_as_strings() {
+        // Lenient like Apache SOAP: missing xsi:type means string.
+        let e = minixml::parse("<arg>plain</arg>").unwrap();
+        assert_eq!(Value::from_element(&e).unwrap(), Value::Str("plain".into()));
+    }
+
+    #[test]
+    fn bad_payloads_are_errors_not_panics() {
+        for xml in [
+            r#"<a xsi:type="xsd:int">notanumber</a>"#,
+            r#"<a xsi:type="xsd:boolean">maybe</a>"#,
+            r#"<a xsi:type="xsd:double">NaNish</a>"#,
+            r#"<a xsi:type="SOAP-ENC:base64">!!!</a>"#,
+            r#"<a xsi:type="vendor:custom">x</a>"#,
+        ] {
+            let e = minixml::parse(xml).unwrap();
+            assert!(Value::from_element(&e).is_err(), "{xml}");
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let v = Value::Record(vec![("n".into(), Value::Int(5))]);
+        assert_eq!(v.field("n").and_then(Value::as_int), Some(5));
+        assert_eq!(v.field("missing"), None);
+        assert_eq!(Value::Str("s".into()).as_str(), Some("s"));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Float(1.5).as_float(), Some(1.5));
+        assert_eq!(Value::Int(1).as_str(), None);
+    }
+
+    #[test]
+    fn from_impls() {
+        assert_eq!(Value::from(3i32), Value::Int(3));
+        assert_eq!(Value::from("x"), Value::Str("x".into()));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from(vec![1u8]), Value::Bytes(vec![1]));
+    }
+
+    #[test]
+    fn base64_known_vectors() {
+        assert_eq!(base64_encode(b""), "");
+        assert_eq!(base64_encode(b"f"), "Zg==");
+        assert_eq!(base64_encode(b"fo"), "Zm8=");
+        assert_eq!(base64_encode(b"foo"), "Zm9v");
+        assert_eq!(base64_encode(b"foobar"), "Zm9vYmFy");
+        assert_eq!(base64_decode("Zm9vYmFy").unwrap(), b"foobar");
+        assert_eq!(base64_decode("Zg==").unwrap(), b"f");
+        assert!(base64_decode("Zg=").is_none());
+        assert!(base64_decode("====").is_none());
+        assert!(base64_decode("Z*==").is_none());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let v = Value::Record(vec![
+            ("a".into(), Value::Int(1)),
+            ("b".into(), Value::List(vec![Value::Bool(true)])),
+        ]);
+        assert_eq!(v.to_string(), "{a: 1, b: [true]}");
+    }
+}

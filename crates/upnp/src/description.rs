@@ -1,0 +1,159 @@
+//! UPnP device descriptions.
+//!
+//! Every UPnP device serves an XML description document listing its
+//! services, their control URLs and event subscription URLs. Control
+//! points fetch it after SSDP discovery.
+
+use minixml::Element;
+use std::fmt;
+
+/// One service within a device description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceDesc {
+    /// Service type URN, e.g. `urn:schemas-upnp-org:service:SwitchPower:1`.
+    pub service_type: String,
+    /// Service id, e.g. `urn:upnp-org:serviceId:SwitchPower`.
+    pub service_id: String,
+    /// Where SOAP control requests go.
+    pub control_url: String,
+    /// Where GENA subscriptions go.
+    pub event_sub_url: String,
+}
+
+/// A device description document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeviceDescription {
+    /// Device type URN, e.g. `urn:schemas-upnp-org:device:BinaryLight:1`.
+    pub device_type: String,
+    /// Human-readable name.
+    pub friendly_name: String,
+    /// Unique device name, e.g. `uuid:kitchen-light`.
+    pub udn: String,
+    /// The device's services.
+    pub services: Vec<ServiceDesc>,
+}
+
+impl DeviceDescription {
+    /// Creates a description with no services.
+    pub fn new(
+        device_type: impl Into<String>,
+        friendly_name: impl Into<String>,
+        udn: impl Into<String>,
+    ) -> DeviceDescription {
+        DeviceDescription {
+            device_type: device_type.into(),
+            friendly_name: friendly_name.into(),
+            udn: udn.into(),
+            services: Vec::new(),
+        }
+    }
+
+    /// Adds a service (builder style). URLs follow the UPnP convention
+    /// of being derived from the service id.
+    pub fn service(mut self, service_type: &str, service_id: &str) -> DeviceDescription {
+        let short = service_id.rsplit(':').next().unwrap_or(service_id);
+        self.services.push(ServiceDesc {
+            service_type: service_type.to_owned(),
+            service_id: service_id.to_owned(),
+            control_url: format!("/control/{short}"),
+            event_sub_url: format!("/event/{short}"),
+        });
+        self
+    }
+
+    /// Finds a service by its type URN.
+    pub fn find_service(&self, service_type: &str) -> Option<&ServiceDesc> {
+        self.services.iter().find(|s| s.service_type == service_type)
+    }
+
+    /// Serialises to the description document.
+    pub fn to_xml(&self) -> Element {
+        let mut service_list = Element::new("serviceList");
+        for s in &self.services {
+            service_list.push(
+                Element::new("service")
+                    .child(Element::new("serviceType").text(&s.service_type))
+                    .child(Element::new("serviceId").text(&s.service_id))
+                    .child(Element::new("controlURL").text(&s.control_url))
+                    .child(Element::new("eventSubURL").text(&s.event_sub_url)),
+            );
+        }
+        Element::new("root")
+            .attr("xmlns", "urn:schemas-upnp-org:device-1-0")
+            .child(
+                Element::new("device")
+                    .child(Element::new("deviceType").text(&self.device_type))
+                    .child(Element::new("friendlyName").text(&self.friendly_name))
+                    .child(Element::new("UDN").text(&self.udn))
+                    .child(service_list),
+            )
+    }
+
+    /// Parses a description document.
+    pub fn from_xml(root: &Element) -> Option<DeviceDescription> {
+        let device = root.find("device")?;
+        let mut desc = DeviceDescription::new(
+            device.find("deviceType")?.text_content(),
+            device.find("friendlyName")?.text_content(),
+            device.find("UDN")?.text_content(),
+        );
+        if let Some(list) = device.find("serviceList") {
+            for s in list.find_all("service") {
+                desc.services.push(ServiceDesc {
+                    service_type: s.find("serviceType")?.text_content(),
+                    service_id: s.find("serviceId")?.text_content(),
+                    control_url: s.find("controlURL")?.text_content(),
+                    event_sub_url: s.find("eventSubURL")?.text_content(),
+                });
+            }
+        }
+        Some(desc)
+    }
+}
+
+impl fmt::Display for DeviceDescription {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({}, {} services)", self.friendly_name, self.udn, self.services.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn light() -> DeviceDescription {
+        DeviceDescription::new(
+            "urn:schemas-upnp-org:device:BinaryLight:1",
+            "Kitchen Light",
+            "uuid:kitchen-light",
+        )
+        .service(
+            "urn:schemas-upnp-org:service:SwitchPower:1",
+            "urn:upnp-org:serviceId:SwitchPower",
+        )
+    }
+
+    #[test]
+    fn xml_round_trip() {
+        let d = light();
+        let doc = d.to_xml().to_document();
+        let back = DeviceDescription::from_xml(&minixml::parse(&doc).unwrap()).unwrap();
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn urls_follow_convention() {
+        let d = light();
+        let s = d.find_service("urn:schemas-upnp-org:service:SwitchPower:1").unwrap();
+        assert_eq!(s.control_url, "/control/SwitchPower");
+        assert_eq!(s.event_sub_url, "/event/SwitchPower");
+        assert!(d.find_service("urn:nope").is_none());
+    }
+
+    #[test]
+    fn malformed_documents_rejected() {
+        assert!(DeviceDescription::from_xml(&Element::new("root")).is_none());
+        let incomplete = Element::new("root").child(Element::new("device"));
+        assert!(DeviceDescription::from_xml(&incomplete).is_none());
+    }
+}

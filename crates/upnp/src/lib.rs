@@ -1,0 +1,95 @@
+//! # upnp — a UPnP middleware simulation
+//!
+//! §5 of the paper: "UPnP … defines common protocols and procedures to
+//! guarantee the interoperability among network-enabled PCs, appliances,
+//! and wireless devices … We can connect the UPnP service to other
+//! middleware by developing a PCM for UPnP." This crate exists to prove
+//! that sentence: a fifth middleware, built after the framework, that
+//! joins the federation in the `new_middleware` example with only a PCM.
+//!
+//! * [`ssdp`] — `M-SEARCH` discovery over multicast.
+//! * [`DeviceDescription`] — the XML description document.
+//! * [`UpnpDevice`] — device hosting: description, SOAP control, GENA
+//!   eventing (built on the same [`soap`] stack the VSG uses — UPnP
+//!   really did adopt SOAP for control).
+//! * [`ControlPoint`] — the client side.
+//!
+//! ```
+//! use simnet::{Sim, Network};
+//! use upnp::{UpnpDevice, ControlPoint, DeviceDescription, SSDP_ALL};
+//! use soap::Value;
+//!
+//! let sim = Sim::new(7);
+//! let net = Network::ethernet(&sim);
+//! let desc = DeviceDescription::new("urn:schemas-upnp-org:device:BinaryLight:1",
+//!                                   "Porch Light", "uuid:porch")
+//!     .service("urn:schemas-upnp-org:service:SwitchPower:1",
+//!              "urn:upnp-org:serviceId:SwitchPower");
+//! let dev = UpnpDevice::install(&net, desc);
+//! dev.implement("urn:schemas-upnp-org:service:SwitchPower:1",
+//!     |_, action, _| match action {
+//!         "GetStatus" => Ok(Value::Bool(true)),
+//!         _ => Err("unsupported".into()),
+//!     });
+//!
+//! let cp = ControlPoint::new(&net, "cp");
+//! let hits = cp.discover(SSDP_ALL);
+//! let desc = cp.describe(&hits[0]).unwrap();
+//! let svc = &desc.services[0];
+//! let on = cp.invoke(hits[0].node, &svc.control_url, &svc.service_type,
+//!                    "GetStatus", &[]).unwrap();
+//! assert_eq!(on, Value::Bool(true));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod control;
+pub mod description;
+pub mod device;
+pub mod ssdp;
+
+pub use control::ControlPoint;
+pub use description::{DeviceDescription, ServiceDesc};
+pub use device::{ActionHandler, UpnpDevice};
+pub use ssdp::{install_responder, search, SsdpHit, SSDP_ALL};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn descriptions_round_trip(
+            name in "[a-zA-Z ]{1,20}",
+            services in prop::collection::vec("[A-Za-z]{1,12}", 0..5),
+        ) {
+            prop_assume!(!name.trim().is_empty());
+            let mut d = DeviceDescription::new(
+                "urn:schemas-upnp-org:device:Test:1", name.trim(), "uuid:test");
+            for s in &services {
+                d = d.service(
+                    &format!("urn:schemas-upnp-org:service:{s}:1"),
+                    &format!("urn:upnp-org:serviceId:{s}"),
+                );
+            }
+            let doc = d.to_xml().to_document();
+            let back = DeviceDescription::from_xml(&minixml::parse(&doc).unwrap()).unwrap();
+            prop_assert_eq!(back, d);
+        }
+
+        #[test]
+        fn ssdp_search_finds_every_installed_device(n in 1usize..6) {
+            let sim = simnet::Sim::new(1);
+            let net = simnet::Network::ethernet(&sim);
+            for i in 0..n {
+                let node = net.attach(format!("dev{i}"));
+                install_responder(&net, node, "/desc.xml",
+                    "urn:schemas-upnp-org:device:Thing:1", vec![], &format!("uuid:dev{i}"));
+            }
+            let cp = net.attach("cp");
+            prop_assert_eq!(search(&net, cp, SSDP_ALL).len(), n);
+        }
+    }
+}

@@ -1,0 +1,283 @@
+//! WSDL-style service descriptions.
+//!
+//! §3.3 of the paper: "if the protocol of VSG is SOAP, the VSG will be
+//! implemented with WSDL and UDDI". A [`ServiceDescription`] is the
+//! document the Virtual Service Repository stores for every bridged
+//! service: its abstract interface (port type + operations) plus the
+//! concrete VSG endpoint that reaches it.
+
+use crate::types::XsdType;
+use minixml::Element;
+use std::fmt;
+
+/// One named, typed message part (a parameter or return value).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Part {
+    /// Parameter name.
+    pub name: String,
+    /// Declared wire type.
+    pub ty: XsdType,
+}
+
+impl Part {
+    /// Creates a part.
+    pub fn new(name: impl Into<String>, ty: XsdType) -> Part {
+        Part { name: name.into(), ty }
+    }
+}
+
+/// One operation of a port type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Operation {
+    /// Operation name.
+    pub name: String,
+    /// Input parts, in call order.
+    pub inputs: Vec<Part>,
+    /// Output part; `None` for one-way/void operations.
+    pub output: Option<Part>,
+}
+
+impl Operation {
+    /// Creates a void operation with no inputs.
+    pub fn new(name: impl Into<String>) -> Operation {
+        Operation { name: name.into(), inputs: Vec::new(), output: None }
+    }
+
+    /// Adds an input part (builder style).
+    pub fn input(mut self, name: impl Into<String>, ty: XsdType) -> Operation {
+        self.inputs.push(Part::new(name, ty));
+        self
+    }
+
+    /// Sets the output part (builder style).
+    pub fn returns(mut self, ty: XsdType) -> Operation {
+        self.output = Some(Part::new("return", ty));
+        self
+    }
+}
+
+/// A complete service description: abstract interface + concrete endpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceDescription {
+    /// Service name, unique within the home (e.g. `living-room-vcr`).
+    pub name: String,
+    /// Target namespace, also the SOAP routing key (e.g. `urn:vsg:vcr`).
+    pub namespace: String,
+    /// The operations this service offers.
+    pub operations: Vec<Operation>,
+    /// The VSG endpoint that reaches the service, as
+    /// `vsg://<gateway>/<service>`.
+    pub endpoint: String,
+    /// Free-text documentation.
+    pub documentation: String,
+}
+
+impl ServiceDescription {
+    /// Creates a description with no operations.
+    pub fn new(name: impl Into<String>, namespace: impl Into<String>) -> Self {
+        ServiceDescription {
+            name: name.into(),
+            namespace: namespace.into(),
+            operations: Vec::new(),
+            endpoint: String::new(),
+            documentation: String::new(),
+        }
+    }
+
+    /// Adds an operation (builder style).
+    pub fn operation(mut self, op: Operation) -> Self {
+        self.operations.push(op);
+        self
+    }
+
+    /// Sets the endpoint (builder style).
+    pub fn at(mut self, endpoint: impl Into<String>) -> Self {
+        self.endpoint = endpoint.into();
+        self
+    }
+
+    /// Sets documentation (builder style).
+    pub fn doc(mut self, text: impl Into<String>) -> Self {
+        self.documentation = text.into();
+        self
+    }
+
+    /// Finds an operation by name.
+    pub fn find_operation(&self, name: &str) -> Option<&Operation> {
+        self.operations.iter().find(|o| o.name == name)
+    }
+
+    /// Serialises to a WSDL-style document.
+    pub fn to_xml(&self) -> Element {
+        let mut port_type = Element::new("portType").attr("name", format!("{}PortType", self.name));
+        for op in &self.operations {
+            let mut op_el = Element::new("operation").attr("name", &op.name);
+            let mut input = Element::new("input");
+            for p in &op.inputs {
+                input.push(
+                    Element::new("part")
+                        .attr("name", &p.name)
+                        .attr("type", p.ty.as_qname()),
+                );
+            }
+            op_el.push(input);
+            if let Some(out) = &op.output {
+                op_el.push(
+                    Element::new("output").child(
+                        Element::new("part")
+                            .attr("name", &out.name)
+                            .attr("type", out.ty.as_qname()),
+                    ),
+                );
+            }
+            port_type.push(op_el);
+        }
+        let mut defs = Element::new("definitions")
+            .attr("name", &self.name)
+            .attr("targetNamespace", &self.namespace);
+        if !self.documentation.is_empty() {
+            defs.push(Element::new("documentation").text(&self.documentation));
+        }
+        defs.push(port_type);
+        defs.push(
+            Element::new("service").attr("name", &self.name).child(
+                Element::new("port").child(
+                    Element::new("soap:address").attr("location", &self.endpoint),
+                ),
+            ),
+        );
+        defs
+    }
+
+    /// Parses a WSDL-style document produced by [`Self::to_xml`].
+    pub fn from_xml(e: &Element) -> Result<ServiceDescription, DescriptionError> {
+        if e.local_name() != "definitions" {
+            return Err(DescriptionError::new("root must be <definitions>"));
+        }
+        let name = e
+            .get_attr("name")
+            .ok_or_else(|| DescriptionError::new("definitions missing name"))?
+            .to_owned();
+        let namespace = e.get_attr("targetNamespace").unwrap_or_default().to_owned();
+        let documentation = e
+            .find("documentation")
+            .map(Element::text_content)
+            .unwrap_or_default();
+        let mut operations = Vec::new();
+        if let Some(pt) = e.find("portType") {
+            for op_el in pt.find_all("operation") {
+                let op_name = op_el
+                    .get_attr("name")
+                    .ok_or_else(|| DescriptionError::new("operation missing name"))?
+                    .to_owned();
+                let mut op = Operation::new(op_name);
+                if let Some(input) = op_el.find("input") {
+                    for p in input.find_all("part") {
+                        op.inputs.push(Part::new(
+                            p.get_attr("name").unwrap_or("arg"),
+                            XsdType::from_qname(p.get_attr("type").unwrap_or("anyType")),
+                        ));
+                    }
+                }
+                if let Some(output) = op_el.find("output") {
+                    if let Some(p) = output.find("part") {
+                        op.output = Some(Part::new(
+                            p.get_attr("name").unwrap_or("return"),
+                            XsdType::from_qname(p.get_attr("type").unwrap_or("anyType")),
+                        ));
+                    }
+                }
+                operations.push(op);
+            }
+        }
+        let endpoint = e
+            .find_path(&["service", "port", "address"])
+            .and_then(|a| a.get_attr("location"))
+            .unwrap_or_default()
+            .to_owned();
+        Ok(ServiceDescription { name, namespace, operations, endpoint, documentation })
+    }
+}
+
+/// A description parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DescriptionError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl DescriptionError {
+    fn new(m: impl Into<String>) -> Self {
+        DescriptionError { message: m.into() }
+    }
+}
+
+impl fmt::Display for DescriptionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid service description: {}", self.message)
+    }
+}
+
+impl std::error::Error for DescriptionError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vcr() -> ServiceDescription {
+        ServiceDescription::new("living-room-vcr", "urn:vsg:vcr")
+            .doc("HAVi VCR bridged to the VSG")
+            .at("vsg://havi-gw/living-room-vcr")
+            .operation(
+                Operation::new("record")
+                    .input("channel", XsdType::Int)
+                    .input("title", XsdType::String)
+                    .returns(XsdType::Boolean),
+            )
+            .operation(Operation::new("stop"))
+            .operation(Operation::new("position").returns(XsdType::Int))
+    }
+
+    #[test]
+    fn xml_round_trip() {
+        let d = vcr();
+        let back = ServiceDescription::from_xml(&d.to_xml()).unwrap();
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn round_trip_through_text() {
+        let d = vcr();
+        let doc = d.to_xml().to_document();
+        let parsed = minixml::parse(&doc).unwrap();
+        assert_eq!(ServiceDescription::from_xml(&parsed).unwrap(), d);
+    }
+
+    #[test]
+    fn find_operation() {
+        let d = vcr();
+        assert_eq!(d.find_operation("record").unwrap().inputs.len(), 2);
+        assert!(d.find_operation("record").unwrap().output.is_some());
+        assert!(d.find_operation("stop").unwrap().output.is_none());
+        assert!(d.find_operation("rewind").is_none());
+    }
+
+    #[test]
+    fn rejects_wrong_root() {
+        let e = Element::new("notdefs");
+        assert!(ServiceDescription::from_xml(&e).is_err());
+        let e = Element::new("definitions"); // no name
+        assert!(ServiceDescription::from_xml(&e).is_err());
+    }
+
+    #[test]
+    fn unknown_part_types_become_any() {
+        let doc = r#"<definitions name="s" targetNamespace="urn:s">
+            <portType name="sPortType">
+              <operation name="op"><input><part name="x" type="vendor:blob"/></input></operation>
+            </portType></definitions>"#;
+        let d = ServiceDescription::from_xml(&minixml::parse(doc).unwrap()).unwrap();
+        assert_eq!(d.operations[0].inputs[0].ty, XsdType::Any);
+        assert_eq!(d.endpoint, "");
+    }
+}

@@ -1,0 +1,83 @@
+//! The XSD-subset type vocabulary used in service descriptions.
+
+use std::fmt;
+
+/// Wire types a service operation can declare for its parts.
+///
+/// This is the subset Apache SOAP's type mappings covered and is rich
+/// enough for every appliance interface in the paper's prototype.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum XsdType {
+    /// `xsd:string`.
+    String,
+    /// `xsd:long`.
+    Int,
+    /// `xsd:boolean`.
+    Boolean,
+    /// `xsd:double`.
+    Double,
+    /// `xsd:base64Binary`.
+    Base64,
+    /// An untyped value (`xsd:anyType`) — lists, structs, or anything.
+    Any,
+}
+
+impl XsdType {
+    /// The qualified name on the wire.
+    pub fn as_qname(self) -> &'static str {
+        match self {
+            XsdType::String => "xsd:string",
+            XsdType::Int => "xsd:long",
+            XsdType::Boolean => "xsd:boolean",
+            XsdType::Double => "xsd:double",
+            XsdType::Base64 => "xsd:base64Binary",
+            XsdType::Any => "xsd:anyType",
+        }
+    }
+
+    /// Parses a qualified (or bare) name; unknown names map to `Any`,
+    /// matching the lenient behaviour of 2002 tooling.
+    pub fn from_qname(s: &str) -> XsdType {
+        let local = s.rsplit(':').next().unwrap_or(s);
+        match local {
+            "string" => XsdType::String,
+            "int" | "long" | "short" | "byte" | "integer" => XsdType::Int,
+            "boolean" => XsdType::Boolean,
+            "double" | "float" | "decimal" => XsdType::Double,
+            "base64Binary" | "base64" => XsdType::Base64,
+            _ => XsdType::Any,
+        }
+    }
+}
+
+impl fmt::Display for XsdType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_qname())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qnames_round_trip() {
+        for t in [
+            XsdType::String,
+            XsdType::Int,
+            XsdType::Boolean,
+            XsdType::Double,
+            XsdType::Base64,
+            XsdType::Any,
+        ] {
+            assert_eq!(XsdType::from_qname(t.as_qname()), t);
+        }
+    }
+
+    #[test]
+    fn aliases_and_unknowns() {
+        assert_eq!(XsdType::from_qname("xsd:int"), XsdType::Int);
+        assert_eq!(XsdType::from_qname("float"), XsdType::Double);
+        assert_eq!(XsdType::from_qname("vendor:weird"), XsdType::Any);
+    }
+}

@@ -1,0 +1,405 @@
+//! A UDDI-style registry.
+//!
+//! Universal Description, Discovery and Integration, as the paper's
+//! prototype used "to describe the repository" (§4.1). The model keeps
+//! UDDI's three-tier structure — business entities own business services,
+//! services carry binding templates pointing at access points, and
+//! tModels hold the technical fingerprints (here: WSDL documents) —
+//! with the v2 `find_*` inquiry semantics ('%' wildcards, category bags).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A registry key (`uuid:NNNN` style).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Key(pub String);
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// A publisher (in the home: a middleware island's gateway).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BusinessEntity {
+    /// Registry key.
+    pub key: Key,
+    /// Display name.
+    pub name: String,
+    /// Free-text description.
+    pub description: String,
+}
+
+/// A categorisation entry in a service's category bag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyedReference {
+    /// The taxonomy this reference belongs to (e.g. `uddi:middleware`).
+    pub taxonomy: String,
+    /// The value within the taxonomy (e.g. `jini`, `havi`, `x10`).
+    pub value: String,
+}
+
+impl KeyedReference {
+    /// Creates a reference.
+    pub fn new(taxonomy: impl Into<String>, value: impl Into<String>) -> Self {
+        KeyedReference { taxonomy: taxonomy.into(), value: value.into() }
+    }
+}
+
+/// A concrete way to reach a service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BindingTemplate {
+    /// Registry key.
+    pub key: Key,
+    /// The access point (here: a `vsg://gateway/service` endpoint).
+    pub access_point: String,
+    /// The tModel describing the interface, if registered.
+    pub tmodel_key: Option<Key>,
+}
+
+/// A published service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BusinessService {
+    /// Registry key.
+    pub key: Key,
+    /// Owning business.
+    pub business_key: Key,
+    /// Display name.
+    pub name: String,
+    /// Categorisation.
+    pub categories: Vec<KeyedReference>,
+    /// Ways to reach the service.
+    pub bindings: Vec<BindingTemplate>,
+}
+
+impl BusinessService {
+    /// True if the category bag contains `taxonomy == value`.
+    pub fn has_category(&self, taxonomy: &str, value: &str) -> bool {
+        self.categories
+            .iter()
+            .any(|c| c.taxonomy == taxonomy && c.value == value)
+    }
+}
+
+/// A technical model: named interface fingerprint with an overview
+/// document (here, the WSDL text).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TModel {
+    /// Registry key.
+    pub key: Key,
+    /// Interface name.
+    pub name: String,
+    /// The overview document (WSDL).
+    pub overview_doc: String,
+}
+
+/// Inquiry statistics, reported by experiment E8.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegistryStats {
+    /// `save_*` calls served.
+    pub publishes: u64,
+    /// `find_*` calls served.
+    pub inquiries: u64,
+    /// Records scanned across all inquiries.
+    pub records_scanned: u64,
+}
+
+/// The in-memory registry.
+#[derive(Debug, Default)]
+pub struct UddiRegistry {
+    businesses: BTreeMap<Key, BusinessEntity>,
+    services: BTreeMap<Key, BusinessService>,
+    tmodels: BTreeMap<Key, TModel>,
+    next_id: u64,
+    stats: RegistryStats,
+}
+
+impl UddiRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn fresh_key(&mut self, kind: &str) -> Key {
+        self.next_id += 1;
+        Key(format!("uuid:{kind}:{:06}", self.next_id))
+    }
+
+    // ---- publication -----------------------------------------------------
+
+    /// Registers a business entity, returning its key.
+    pub fn save_business(&mut self, name: &str, description: &str) -> Key {
+        self.stats.publishes += 1;
+        let key = self.fresh_key("biz");
+        self.businesses.insert(
+            key.clone(),
+            BusinessEntity { key: key.clone(), name: name.into(), description: description.into() },
+        );
+        key
+    }
+
+    /// Registers a tModel, returning its key.
+    pub fn save_tmodel(&mut self, name: &str, overview_doc: &str) -> Key {
+        self.stats.publishes += 1;
+        let key = self.fresh_key("tm");
+        self.tmodels.insert(
+            key.clone(),
+            TModel { key: key.clone(), name: name.into(), overview_doc: overview_doc.into() },
+        );
+        key
+    }
+
+    /// Publishes a service under `business_key`, returning its key.
+    ///
+    /// Returns `None` if the business does not exist.
+    pub fn save_service(
+        &mut self,
+        business_key: &Key,
+        name: &str,
+        categories: Vec<KeyedReference>,
+        access_point: &str,
+        tmodel_key: Option<Key>,
+    ) -> Option<Key> {
+        self.stats.publishes += 1;
+        if !self.businesses.contains_key(business_key) {
+            return None;
+        }
+        let key = self.fresh_key("svc");
+        let binding_key = self.fresh_key("bind");
+        self.services.insert(
+            key.clone(),
+            BusinessService {
+                key: key.clone(),
+                business_key: business_key.clone(),
+                name: name.into(),
+                categories,
+                bindings: vec![BindingTemplate {
+                    key: binding_key,
+                    access_point: access_point.into(),
+                    tmodel_key,
+                }],
+            },
+        );
+        Some(key)
+    }
+
+    /// Removes a service.
+    pub fn delete_service(&mut self, key: &Key) -> bool {
+        self.services.remove(key).is_some()
+    }
+
+    // ---- inquiry ----------------------------------------------------------
+
+    /// Finds businesses whose name matches `pattern` (`%` wildcards,
+    /// case-insensitive — UDDI v2 semantics).
+    pub fn find_business(&mut self, pattern: &str) -> Vec<BusinessEntity> {
+        self.stats.inquiries += 1;
+        self.stats.records_scanned += self.businesses.len() as u64;
+        self.businesses
+            .values()
+            .filter(|b| matches_pattern(pattern, &b.name))
+            .cloned()
+            .collect()
+    }
+
+    /// Finds services by name pattern and (optional) required categories.
+    ///
+    /// All `categories` must be present in a service's bag for it to match.
+    pub fn find_service(
+        &mut self,
+        pattern: &str,
+        categories: &[KeyedReference],
+    ) -> Vec<BusinessService> {
+        self.stats.inquiries += 1;
+        self.stats.records_scanned += self.services.len() as u64;
+        self.services
+            .values()
+            .filter(|s| matches_pattern(pattern, &s.name))
+            .filter(|s| {
+                categories
+                    .iter()
+                    .all(|c| s.has_category(&c.taxonomy, &c.value))
+            })
+            .cloned()
+            .collect()
+    }
+
+    /// Full detail for one service.
+    pub fn get_service(&mut self, key: &Key) -> Option<BusinessService> {
+        self.stats.inquiries += 1;
+        self.stats.records_scanned += 1;
+        self.services.get(key).cloned()
+    }
+
+    /// Full detail for one tModel.
+    pub fn get_tmodel(&mut self, key: &Key) -> Option<TModel> {
+        self.stats.inquiries += 1;
+        self.stats.records_scanned += 1;
+        self.tmodels.get(key).cloned()
+    }
+
+    /// Finds tModels by name pattern.
+    pub fn find_tmodel(&mut self, pattern: &str) -> Vec<TModel> {
+        self.stats.inquiries += 1;
+        self.stats.records_scanned += self.tmodels.len() as u64;
+        self.tmodels
+            .values()
+            .filter(|t| matches_pattern(pattern, &t.name))
+            .cloned()
+            .collect()
+    }
+
+    // ---- introspection -----------------------------------------------------
+
+    /// Number of published services.
+    pub fn service_count(&self) -> usize {
+        self.services.len()
+    }
+
+    /// Number of registered businesses.
+    pub fn business_count(&self) -> usize {
+        self.businesses.len()
+    }
+
+    /// Inquiry/publication statistics.
+    pub fn stats(&self) -> RegistryStats {
+        self.stats
+    }
+}
+
+/// UDDI v2 name matching: `%` matches any run of characters,
+/// comparison is case-insensitive.
+pub fn matches_pattern(pattern: &str, name: &str) -> bool {
+    fn rec(p: &[u8], n: &[u8]) -> bool {
+        match p.split_first() {
+            None => n.is_empty(),
+            Some((b'%', rest)) => {
+                (0..=n.len()).any(|i| rec(rest, &n[i..]))
+            }
+            Some((c, rest)) => match n.split_first() {
+                Some((nc, nrest)) => c.eq_ignore_ascii_case(nc) && rec(rest, nrest),
+                None => false,
+            },
+        }
+    }
+    rec(pattern.as_bytes(), name.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seeded() -> (UddiRegistry, Key) {
+        let mut reg = UddiRegistry::new();
+        let biz = reg.save_business("havi-gateway", "HAVi island");
+        let tm = reg.save_tmodel("VcrPortType", "<definitions name=\"vcr\"/>");
+        reg.save_service(
+            &biz,
+            "living-room-vcr",
+            vec![
+                KeyedReference::new("uddi:middleware", "havi"),
+                KeyedReference::new("uddi:device-class", "vcr"),
+            ],
+            "vsg://havi-gw/living-room-vcr",
+            Some(tm),
+        )
+        .unwrap();
+        reg.save_service(
+            &biz,
+            "bedroom-camera",
+            vec![KeyedReference::new("uddi:middleware", "havi")],
+            "vsg://havi-gw/bedroom-camera",
+            None,
+        )
+        .unwrap();
+        (reg, biz)
+    }
+
+    #[test]
+    fn publish_and_find_by_name() {
+        let (mut reg, _) = seeded();
+        assert_eq!(reg.service_count(), 2);
+        let found = reg.find_service("living%", &[]);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].name, "living-room-vcr");
+        assert_eq!(found[0].bindings[0].access_point, "vsg://havi-gw/living-room-vcr");
+    }
+
+    #[test]
+    fn find_by_category() {
+        let (mut reg, _) = seeded();
+        let havi = reg.find_service("%", &[KeyedReference::new("uddi:middleware", "havi")]);
+        assert_eq!(havi.len(), 2);
+        let vcrs = reg.find_service(
+            "%",
+            &[
+                KeyedReference::new("uddi:middleware", "havi"),
+                KeyedReference::new("uddi:device-class", "vcr"),
+            ],
+        );
+        assert_eq!(vcrs.len(), 1);
+        let jini = reg.find_service("%", &[KeyedReference::new("uddi:middleware", "jini")]);
+        assert!(jini.is_empty());
+    }
+
+    #[test]
+    fn tmodel_carries_wsdl() {
+        let (mut reg, _) = seeded();
+        let svc = &reg.find_service("living%", &[])[0];
+        let tm_key = svc.bindings[0].tmodel_key.clone().unwrap();
+        let tm = reg.get_tmodel(&tm_key).unwrap();
+        assert!(tm.overview_doc.contains("definitions"));
+        assert_eq!(reg.find_tmodel("Vcr%").len(), 1);
+    }
+
+    #[test]
+    fn service_under_unknown_business_rejected() {
+        let mut reg = UddiRegistry::new();
+        let got = reg.save_service(&Key("uuid:biz:999999".into()), "x", vec![], "vsg://x", None);
+        assert!(got.is_none());
+    }
+
+    #[test]
+    fn delete_service_works() {
+        let (mut reg, _) = seeded();
+        let key = reg.find_service("living%", &[])[0].key.clone();
+        assert!(reg.delete_service(&key));
+        assert!(!reg.delete_service(&key));
+        assert_eq!(reg.service_count(), 1);
+        assert!(reg.get_service(&key).is_none());
+    }
+
+    #[test]
+    fn stats_track_activity() {
+        let (mut reg, _) = seeded();
+        let before = reg.stats();
+        assert_eq!(before.publishes, 4); // 1 biz + 1 tmodel + 2 services
+        reg.find_service("%", &[]);
+        reg.find_business("%");
+        let after = reg.stats();
+        assert_eq!(after.inquiries, before.inquiries + 2);
+        assert!(after.records_scanned > before.records_scanned);
+    }
+
+    #[test]
+    fn pattern_semantics() {
+        assert!(matches_pattern("%", ""));
+        assert!(matches_pattern("%", "anything"));
+        assert!(matches_pattern("vcr", "VCR"));
+        assert!(matches_pattern("living%vcr", "living-room-vcr"));
+        assert!(matches_pattern("%vcr%", "the-vcr-service"));
+        assert!(!matches_pattern("vcr", "vcr2"));
+        assert!(!matches_pattern("a%b", "ac"));
+        assert!(matches_pattern("a%%b", "ab"));
+    }
+
+    #[test]
+    fn keys_are_unique_and_ordered() {
+        let mut reg = UddiRegistry::new();
+        let a = reg.save_business("a", "");
+        let b = reg.save_business("b", "");
+        assert_ne!(a, b);
+        assert_eq!(reg.business_count(), 2);
+    }
+}

@@ -1,0 +1,196 @@
+//! X10 receiver modules: lamp and appliance modules.
+
+use crate::codec::{Function, HouseCode, UnitCode};
+use crate::powerline::install_receiver;
+use parking_lot::Mutex;
+use simnet::Network;
+use std::fmt;
+use std::sync::Arc;
+
+/// Maximum dim level (fully bright); X10 lamp modules have 22 steps.
+pub const MAX_DIM_STEPS: u8 = 22;
+
+/// Observable state of a module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModuleState {
+    /// Powered on?
+    pub on: bool,
+    /// Brightness `0..=22` (lamps; appliances stay at 22).
+    pub level: u8,
+}
+
+/// What kind of module this is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModuleKind {
+    /// Dimmable lamp module (responds to AllLights*).
+    Lamp,
+    /// Relay appliance module (ignores AllLightsOn/Off).
+    Appliance,
+}
+
+/// An X10 receiver module plugged into the powerline.
+#[derive(Clone)]
+pub struct Module {
+    house: HouseCode,
+    unit: UnitCode,
+    kind: ModuleKind,
+    state: Arc<Mutex<ModuleState>>,
+}
+
+impl Module {
+    /// Plugs a module into the powerline at `house`/`unit`.
+    pub fn plug_in(
+        net: &Network,
+        label: &str,
+        kind: ModuleKind,
+        house: HouseCode,
+        unit: UnitCode,
+    ) -> Module {
+        let node = net.attach(label);
+        let state = Arc::new(Mutex::new(ModuleState { on: false, level: MAX_DIM_STEPS }));
+        let state2 = state.clone();
+        install_receiver(net, node, house, move |_sim, function, dims, latched| {
+            let addressed = latched.contains(&unit);
+            let mut st = state2.lock();
+            match function {
+                Function::On if addressed => st.on = true,
+                Function::Off if addressed => st.on = false,
+                Function::Dim if addressed && kind == ModuleKind::Lamp => {
+                    st.level = st.level.saturating_sub(dims.max(1));
+                    st.on = true;
+                }
+                Function::Bright if addressed && kind == ModuleKind::Lamp => {
+                    st.level = (st.level + dims.max(1)).min(MAX_DIM_STEPS);
+                    st.on = true;
+                }
+                Function::AllUnitsOff => st.on = false,
+                Function::AllLightsOn if kind == ModuleKind::Lamp => {
+                    st.on = true;
+                    st.level = MAX_DIM_STEPS;
+                }
+                Function::AllLightsOff if kind == ModuleKind::Lamp => st.on = false,
+                _ => {}
+            }
+        });
+        Module { house, unit, kind, state }
+    }
+
+    /// The module's house code.
+    pub fn house(&self) -> HouseCode {
+        self.house
+    }
+
+    /// The module's unit code.
+    pub fn unit(&self) -> UnitCode {
+        self.unit
+    }
+
+    /// The module's kind.
+    pub fn kind(&self) -> ModuleKind {
+        self.kind
+    }
+
+    /// Current observable state.
+    pub fn state(&self) -> ModuleState {
+        *self.state.lock()
+    }
+
+    /// True if currently on.
+    pub fn is_on(&self) -> bool {
+        self.state.lock().on
+    }
+}
+
+impl fmt::Debug for Module {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Module")
+            .field("addr", &format!("{}{}", self.house, self.unit))
+            .field("kind", &self.kind)
+            .field("state", &self.state())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::powerline::Transmitter;
+    use simnet::Sim;
+
+    fn world() -> (Sim, Network, Transmitter) {
+        let sim = Sim::new(1);
+        let mut link = simnet::netkind::powerline();
+        link.loss_prob = 0.0;
+        let net = Network::new(&sim, "powerline", link);
+        let tx = Transmitter::attach(&net, "controller");
+        (sim, net, tx)
+    }
+
+    fn h(c: char) -> HouseCode {
+        HouseCode::new(c).unwrap()
+    }
+    fn u(n: u8) -> UnitCode {
+        UnitCode::new(n).unwrap()
+    }
+
+    #[test]
+    fn on_off_cycle() {
+        let (_sim, net, tx) = world();
+        let lamp = Module::plug_in(&net, "lamp", ModuleKind::Lamp, h('A'), u(1));
+        assert!(!lamp.is_on());
+        tx.send_command(h('A'), u(1), Function::On);
+        assert!(lamp.is_on());
+        tx.send_command(h('A'), u(1), Function::Off);
+        assert!(!lamp.is_on());
+    }
+
+    #[test]
+    fn addressing_is_unit_specific() {
+        let (_sim, net, tx) = world();
+        let lamp1 = Module::plug_in(&net, "lamp1", ModuleKind::Lamp, h('A'), u(1));
+        let lamp2 = Module::plug_in(&net, "lamp2", ModuleKind::Lamp, h('A'), u(2));
+        tx.send_command(h('A'), u(2), Function::On);
+        assert!(!lamp1.is_on());
+        assert!(lamp2.is_on());
+    }
+
+    #[test]
+    fn dimming_steps_and_bounds() {
+        let (_sim, net, tx) = world();
+        let lamp = Module::plug_in(&net, "lamp", ModuleKind::Lamp, h('A'), u(1));
+        tx.send_command(h('A'), u(1), Function::On);
+        assert_eq!(lamp.state().level, MAX_DIM_STEPS);
+        tx.send_command_dims(h('A'), u(1), Function::Dim, 5);
+        assert_eq!(lamp.state().level, MAX_DIM_STEPS - 5);
+        tx.send_command_dims(h('A'), u(1), Function::Dim, 50);
+        assert_eq!(lamp.state().level, 0);
+        tx.send_command_dims(h('A'), u(1), Function::Bright, 7);
+        assert_eq!(lamp.state().level, 7);
+        tx.send_command_dims(h('A'), u(1), Function::Bright, 50);
+        assert_eq!(lamp.state().level, MAX_DIM_STEPS);
+    }
+
+    #[test]
+    fn appliances_do_not_dim() {
+        let (_sim, net, tx) = world();
+        let fan = Module::plug_in(&net, "fan", ModuleKind::Appliance, h('A'), u(4));
+        tx.send_command(h('A'), u(4), Function::On);
+        tx.send_command_dims(h('A'), u(4), Function::Dim, 5);
+        assert_eq!(fan.state().level, MAX_DIM_STEPS);
+        assert!(fan.is_on());
+    }
+
+    #[test]
+    fn house_wide_functions_respect_module_kind() {
+        let (_sim, net, tx) = world();
+        let lamp = Module::plug_in(&net, "lamp", ModuleKind::Lamp, h('A'), u(1));
+        let fan = Module::plug_in(&net, "fan", ModuleKind::Appliance, h('A'), u(2));
+        tx.send_house_function(h('A'), Function::AllLightsOn);
+        assert!(lamp.is_on());
+        assert!(!fan.is_on(), "appliances ignore AllLightsOn");
+        tx.send_command(h('A'), u(2), Function::On);
+        tx.send_house_function(h('A'), Function::AllUnitsOff);
+        assert!(!lamp.is_on());
+        assert!(!fan.is_on(), "AllUnitsOff hits everything");
+    }
+}

@@ -1,0 +1,162 @@
+//! The handheld X10 remote controller.
+//!
+//! The physical artefact of Fig. 5: a 16-button wand. Button presses map
+//! to unit On/Off/Dim/Bright commands on the remote's house code. In the
+//! paper's Universal Remote Controller application, the X10 PCM watches
+//! these commands and re-routes some units to Jini and HAVi services.
+
+use crate::codec::{Function, HouseCode, UnitCode};
+use crate::powerline::Transmitter;
+use simnet::Network;
+use std::fmt;
+
+/// Which button was pressed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Button {
+    /// The numbered unit's ON button.
+    On(u8),
+    /// The numbered unit's OFF button.
+    Off(u8),
+    /// Dim the last-addressed unit.
+    Dim(u8),
+    /// Brighten the last-addressed unit.
+    Bright(u8),
+    /// ALL LIGHTS ON.
+    AllLightsOn,
+    /// ALL OFF.
+    AllOff,
+}
+
+/// A handheld remote.
+#[derive(Clone)]
+pub struct Remote {
+    tx: Transmitter,
+    house: HouseCode,
+    last_unit: u8,
+}
+
+impl Remote {
+    /// Pairs a remote with `house` (the code wheel on the back).
+    pub fn new(net: &Network, label: &str, house: HouseCode) -> Remote {
+        Remote { tx: Transmitter::attach(net, label), house, last_unit: 1 }
+    }
+
+    /// The remote's house code.
+    pub fn house(&self) -> HouseCode {
+        self.house
+    }
+
+    /// Presses a button, transmitting the corresponding command.
+    /// Returns `true` if the command survived the powerline.
+    pub fn press(&mut self, button: Button) -> bool {
+        match button {
+            Button::On(unit) => self.unit_command(unit, Function::On),
+            Button::Off(unit) => self.unit_command(unit, Function::Off),
+            Button::Dim(steps) => {
+                let unit = self.last_unit;
+                self.dim_command(unit, Function::Dim, steps)
+            }
+            Button::Bright(steps) => {
+                let unit = self.last_unit;
+                self.dim_command(unit, Function::Bright, steps)
+            }
+            Button::AllLightsOn => self.tx.send_house_function(self.house, Function::AllLightsOn),
+            Button::AllOff => self.tx.send_house_function(self.house, Function::AllUnitsOff),
+        }
+    }
+
+    fn unit_command(&mut self, unit: u8, function: Function) -> bool {
+        let Some(u) = UnitCode::new(unit) else {
+            return false;
+        };
+        self.last_unit = unit;
+        self.tx.send_command(self.house, u, function).delivered()
+    }
+
+    fn dim_command(&mut self, unit: u8, function: Function, steps: u8) -> bool {
+        let Some(u) = UnitCode::new(unit) else {
+            return false;
+        };
+        self.tx
+            .send_command_dims(self.house, u, function, steps)
+            .delivered()
+    }
+}
+
+impl fmt::Debug for Remote {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Remote")
+            .field("house", &self.house)
+            .field("last_unit", &self.last_unit)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::{Module, ModuleKind};
+    use simnet::Sim;
+
+    fn world() -> (Sim, Network) {
+        let sim = Sim::new(1);
+        let mut link = simnet::netkind::powerline();
+        link.loss_prob = 0.0;
+        (sim.clone(), Network::new(&sim, "powerline", link))
+    }
+
+    fn h(c: char) -> HouseCode {
+        HouseCode::new(c).unwrap()
+    }
+    fn u(n: u8) -> UnitCode {
+        UnitCode::new(n).unwrap()
+    }
+
+    #[test]
+    fn buttons_drive_modules() {
+        let (_sim, net) = world();
+        let lamp = Module::plug_in(&net, "lamp", ModuleKind::Lamp, h('A'), u(2));
+        let mut remote = Remote::new(&net, "remote", h('A'));
+        assert!(remote.press(Button::On(2)));
+        assert!(lamp.is_on());
+        assert!(remote.press(Button::Dim(4)));
+        assert_eq!(lamp.state().level, crate::module::MAX_DIM_STEPS - 4);
+        assert!(remote.press(Button::Off(2)));
+        assert!(!lamp.is_on());
+    }
+
+    #[test]
+    fn dim_uses_last_addressed_unit() {
+        let (_sim, net) = world();
+        let lamp1 = Module::plug_in(&net, "lamp1", ModuleKind::Lamp, h('A'), u(1));
+        let lamp2 = Module::plug_in(&net, "lamp2", ModuleKind::Lamp, h('A'), u(2));
+        let mut remote = Remote::new(&net, "remote", h('A'));
+        remote.press(Button::On(1));
+        remote.press(Button::On(2));
+        remote.press(Button::Dim(3));
+        assert_eq!(lamp1.state().level, crate::module::MAX_DIM_STEPS);
+        assert_eq!(lamp2.state().level, crate::module::MAX_DIM_STEPS - 3);
+    }
+
+    #[test]
+    fn house_buttons() {
+        let (_sim, net) = world();
+        let lamp = Module::plug_in(&net, "lamp", ModuleKind::Lamp, h('A'), u(1));
+        let fan = Module::plug_in(&net, "fan", ModuleKind::Appliance, h('A'), u(2));
+        let mut remote = Remote::new(&net, "remote", h('A'));
+        remote.press(Button::On(2));
+        assert!(remote.press(Button::AllLightsOn));
+        assert!(lamp.is_on());
+        assert!(remote.press(Button::AllOff));
+        assert!(!lamp.is_on());
+        assert!(!fan.is_on());
+    }
+
+    #[test]
+    fn invalid_unit_is_rejected_locally() {
+        let (_sim, net) = world();
+        let mut remote = Remote::new(&net, "remote", h('A'));
+        assert!(!remote.press(Button::On(0)));
+        assert!(!remote.press(Button::On(17)));
+    }
+}

@@ -1,0 +1,123 @@
+//! §6's future work, implemented: dynamic service activation and the
+//! coexisting AV meta-middleware.
+//!
+//! "We are working on the deployment of novel CORBA-based middleware
+//! which applies dynamic service activation, conversion of multimedia
+//! streams for multimedia application … And the middleware would be able
+//! to coexist with our framework described in this paper, at the same
+//! area."
+//!
+//! Run with: `cargo run --example future_work`
+
+use metaware::pcm::havi::HaviPcm;
+use metaware::{Activator, AvBroker, AvFormat, Middleware, SmartHome, VirtualService};
+use simnet::{Sim, SimDuration};
+use soap::Value;
+use std::sync::Arc;
+
+fn main() {
+    let home = SmartHome::builder().build().expect("home assembles");
+    let havi = home.havi.as_ref().unwrap();
+
+    // ----- Part 1: dynamic service activation --------------------------------
+    println!("=== Dynamic service activation ===\n");
+    let activator = Activator::new(&havi.vsg);
+    activator
+        .register(
+            VirtualService::new(
+                "projector",
+                metaware::catalog::display(),
+                Middleware::Havi,
+                havi.vsg.name(),
+            ),
+            SimDuration::from_secs(3), // lamp warm-up
+            |_| {
+                println!("  [projector powers up]");
+                Ok(Box::new(|_: &Sim, op: &str, args: &[(String, Value)]| {
+                    if op == "show" {
+                        let text = args
+                            .iter()
+                            .find(|(k, _)| k == "text")
+                            .and_then(|(_, v)| v.as_str())
+                            .unwrap_or("");
+                        println!("  [projector displays: {text:?}]");
+                    }
+                    Ok(Value::Null)
+                }))
+            },
+        )
+        .unwrap();
+    let _reaper = activator.start_reaper(SimDuration::from_secs(30), SimDuration::from_secs(120));
+
+    println!("projector registered but dormant; it is already discoverable:");
+    println!("  VSR resolve(projector) -> {}", havi.vsg.resolve("projector").unwrap().endpoint());
+
+    println!("\nfirst use (note the 3s spin-up):");
+    let t0 = home.sim.now();
+    home.invoke_from(Middleware::Jini, "projector", "show",
+                     &[("text".into(), Value::Str("Welcome home".into()))])
+        .unwrap();
+    println!("  first call took {}", home.sim.now() - t0);
+    let t0 = home.sim.now();
+    home.invoke_from(Middleware::Jini, "projector", "show",
+                     &[("text".into(), Value::Str("Still on".into()))])
+        .unwrap();
+    println!("  second call took {}", home.sim.now() - t0);
+
+    println!("\nafter 5 idle minutes the reaper powers it down:");
+    home.sim.run_for(SimDuration::from_secs(300));
+    println!("  activator stats: {:?}", activator.stats());
+
+    // ----- Part 2: the AV meta-middleware -------------------------------------
+    println!("\n=== AV meta-middleware (coexisting) ===\n");
+    let broker = AvBroker::new(
+        &havi.vsg,
+        Arc::new(HaviPcm::start(&havi.vsg, &havi.bus, havi.registry.seid())),
+        &havi.streams,
+    );
+    broker.pcm().import_services().expect("PCM import");
+
+    // Control plane over the framework; data plane on native 1394.
+    let session = broker
+        .open_session(&home.sim, "dv-camera", AvFormat::Dv, "living-room-vcr", AvFormat::Dv)
+        .unwrap();
+    println!("session {} open on isochronous channel {}", session.id, session.connection.channel);
+    let report = broker.pump(&home.sim, &session, SimDuration::from_secs(10));
+    println!(
+        "10s of DV: {} packets, {:.1} MB, {} late, jitter <= {}us",
+        report.stream.packets,
+        report.stream.bytes as f64 / 1e6,
+        report.stream.late_packets,
+        report.stream.max_jitter_us
+    );
+
+    // Transcoded session: the broker converts DV -> MPEG-2, halving the
+    // reserved bandwidth ("conversion of multimedia streams", §6).
+    let session2 = broker
+        .open_session(&home.sim, "dv-camera", AvFormat::Dv, "tv-display", AvFormat::Mpeg2)
+        .unwrap();
+    let report2 = broker.pump(&home.sim, &session2, SimDuration::from_secs(10));
+    println!(
+        "10s transcoded to MPEG-2: {:.1} MB delivered, {:.1} MB saved",
+        report2.stream.bytes as f64 / 1e6,
+        report2.bytes_saved as f64 / 1e6
+    );
+
+    // Coexistence: while streams flow, control calls keep crossing the
+    // framework...
+    home.invoke_from(Middleware::X10, "living-room-vcr", "status", &[]).unwrap();
+    println!("\ncontrol traffic still flows through the VSG during streaming ✓");
+
+    // ...and streams refuse to cross it.
+    let err = broker
+        .open_session(&home.sim, "dv-camera", AvFormat::Dv, "hall-lamp", AvFormat::Dv)
+        .unwrap_err();
+    println!("asking for a cross-island stream is refused honestly:\n  {err}");
+
+    broker.close_session(session.id).unwrap();
+    broker.close_session(session2.id).unwrap();
+    println!(
+        "\n\"it is impossible to solve all problems by single Meta middleware …\n\
+         another Meta middleware should be developed\" (§6) — and here they coexist."
+    );
+}

@@ -1,0 +1,98 @@
+//! The §1 motivating scenario.
+//!
+//! "We want to control the TV, the VCR, the refrigerator and the air
+//! conditioner from a PC without being conscious of heterogeneous forms
+//! of network and middleware. Moreover, we want to control these
+//! appliances from the GUI of the digital TV too."
+//!
+//! Run with: `cargo run --example smart_home`
+
+use havi::FcmKind;
+use metaware::pcm::havi::HaviBridgeClient;
+use metaware::{Middleware, SmartHome};
+use soap::Value;
+
+fn main() {
+    let home = SmartHome::builder().build().expect("home assembles");
+
+    println!("=== Scene 1: everything from the PC (Jini island) ===\n");
+    // The PC is an ordinary client on the Jini Ethernet. Through the
+    // framework it drives all four appliances, two of which live on a
+    // 1394 bus it cannot even see.
+    let pc = Middleware::Jini;
+
+    println!("pc> tv-tuner.set_channel(8)");
+    home.invoke_from(pc, "tv-tuner", "set_channel", &[("channel".into(), Value::Int(8))])
+        .unwrap();
+
+    println!("pc> living-room-vcr.record()");
+    home.invoke_from(pc, "living-room-vcr", "record", &[]).unwrap();
+
+    println!("pc> fridge.set_target(celsius=3.5)");
+    home.invoke_from(pc, "fridge", "set_target", &[("celsius".into(), Value::Float(3.5))])
+        .unwrap();
+
+    println!("pc> aircon.switch(on=true)");
+    home.invoke_from(pc, "aircon", "switch", &[("on".into(), Value::Bool(true))])
+        .unwrap();
+
+    let havi = home.havi.as_ref().unwrap();
+    let jini = home.jini.as_ref().unwrap();
+    println!("\nstate check:");
+    println!(
+        "  TV channel        = {}",
+        havi.tv.fcm(FcmKind::Tuner).unwrap().state().channel
+    );
+    println!(
+        "  VCR transport     = {}",
+        havi.vcr.fcm(FcmKind::Vcr).unwrap().state().transport.label()
+    );
+    println!("  fridge target     = {} C", jini.fridge_temp.lock());
+    println!("  aircon            = {}", if *jini.aircon_on.lock() { "on" } else { "off" });
+
+    println!("\n=== Scene 2: the same appliances from the TV GUI (HAVi island) ===\n");
+    // The digital TV is a native HAVi controller. The HAVi PCM's Server
+    // Proxy materialises the Jini fridge and aircon as bridge software
+    // elements, so the TV talks plain HAVi messages to them.
+    let pcm = &havi.pcm;
+    let fridge_rec = havi.vsg.resolve("fridge").unwrap();
+    let aircon_rec = havi.vsg.resolve("aircon").unwrap();
+    let fridge_seid = pcm.export_remote(&fridge_rec).unwrap();
+    let aircon_seid = pcm.export_remote(&aircon_rec).unwrap();
+    println!("HAVi registry now lists bridge elements {fridge_seid} and {aircon_seid}");
+
+    let tv_ms = havi.tv.messaging();
+    let gui = tv_ms.register_element(|_, _| (havi::HaviStatus::Success, vec![]));
+    let fridge_gui = HaviBridgeClient::new(tv_ms, gui.handle, fridge_seid, fridge_rec.interface);
+    let aircon_gui = HaviBridgeClient::new(tv_ms, gui.handle, aircon_seid, aircon_rec.interface);
+
+    let t = fridge_gui.call("temperature", &[]).unwrap();
+    println!("tv-gui> fridge.temperature()      -> {t}");
+    let s = aircon_gui.call("status", &[]).unwrap();
+    println!("tv-gui> aircon.status()           -> {s}");
+    aircon_gui.call("switch", &[Value::Bool(false)]).unwrap();
+    println!("tv-gui> aircon.switch(false)      -> aircon is now {}",
+             if *jini.aircon_on.lock() { "on" } else { "off" });
+
+    println!("\n=== Scene 3: the TV GUI renders auto-generated DDI panels ===\n");
+    // The HAVi PCM can also serve a DDI panel for any bridged service:
+    // the TV fetches the panel and renders buttons, knowing nothing
+    // about X10 or the framework.
+    let lamp_rec = havi.vsg.resolve("hall-lamp").unwrap();
+    let (_bridge, panel) = havi.pcm.export_remote_with_panel(&lamp_rec).unwrap();
+    let controller = havi::DdiController::new(tv_ms, gui.handle);
+    let ui = controller.fetch(panel.seid()).unwrap();
+    println!("TV renders:\n{ui}");
+    let (on_id, _) = ui.buttons().into_iter().find(|(_, l)| *l == "switch on").unwrap();
+    controller.press(panel.seid(), on_id).unwrap();
+    println!(
+        "tv-gui> [press 'switch on'] -> powerline lamp is {}",
+        if home.x10.as_ref().unwrap().hall_lamp.is_on() { "ON" } else { "off" }
+    );
+
+    println!(
+        "\n\"The service discovery and the protocol conversion between Jini and\n\
+         HAVi [are] managed out of user's consciousness.\" (§1) — elapsed {}",
+        home.sim.now()
+    );
+}

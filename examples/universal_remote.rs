@@ -1,0 +1,94 @@
+//! Figure 5: the Universal Remote Controller.
+//!
+//! "It is an X10 remote controller that allows us to control not only
+//! X10 devices but also Jini and HAVi services that are connected via
+//! our middleware. The person in the picture is controlling a Jini
+//! Laserdisc with an X10 remote controller, and he can also control a
+//! HAVi DV camera." (§4.2)
+//!
+//! Run with: `cargo run --example universal_remote`
+
+use havi::FcmKind;
+use metaware::pcm::x10::Route;
+use metaware::{house, unit, SmartHome};
+use simnet::SimDuration;
+use soap::Value;
+use x10::{Button, Function};
+
+fn main() {
+    let home = SmartHome::builder().build().expect("home assembles");
+    let x10 = home.x10.as_ref().unwrap();
+
+    // --- Server Proxy configuration: the PCM routing table ----------------
+    // Button 1 stays native X10 (the hall lamp). Buttons 5 and 6 are
+    // re-routed to the Jini laserdisc and the HAVi DV camera.
+    for (btn, function, service, operation) in [
+        (5, Function::On, "laserdisc", "play"),
+        (5, Function::Off, "laserdisc", "stop"),
+        (6, Function::On, "dv-camera", "record"),
+        (6, Function::Off, "dv-camera", "stop"),
+    ] {
+        let args = if service == "laserdisc" && operation == "play" {
+            vec![("chapter".into(), Value::Int(1))]
+        } else {
+            vec![]
+        };
+        x10.pcm.add_route(Route {
+            house: house('A'),
+            unit: unit(btn),
+            function,
+            service: service.into(),
+            operation: operation.into(),
+            args,
+        });
+    }
+    // The PCM watches the powerline through the CM11A, twice a second.
+    let _poller = x10.pcm.start_polling(SimDuration::from_millis(500));
+
+    let mut remote = x10.remote();
+    println!("The person picks up the X10 remote (house code A)...\n");
+
+    // Button 1: a plain X10 lamp — handled natively on the powerline.
+    println!("[press 1 ON ] hall lamp");
+    remote.press(Button::On(1));
+    home.sim.run_for(SimDuration::from_secs(1));
+    println!("  hall lamp: {}", on_off(x10.hall_lamp.is_on()));
+
+    // Button 5: the Jini laserdisc, via powerline -> CM11A -> X10 PCM ->
+    // SOAP -> Jini gateway -> RMI proxy.
+    println!("\n[press 5 ON ] Jini laserdisc");
+    remote.press(Button::On(5));
+    home.sim.run_for(SimDuration::from_secs(1));
+    let ld = *home.jini.as_ref().unwrap().laserdisc.lock();
+    println!("  laserdisc: playing={} chapter={}", ld.playing, ld.chapter);
+
+    // Button 6: the HAVi DV camera.
+    println!("\n[press 6 ON ] HAVi DV camera");
+    remote.press(Button::On(6));
+    home.sim.run_for(SimDuration::from_secs(1));
+    let cam = home.havi.as_ref().unwrap().camcorder.fcm(FcmKind::DvCamera).unwrap();
+    println!("  dv-camera transport: {}", cam.state().transport.label());
+
+    println!("\n[press 5 OFF] [press 6 OFF]");
+    remote.press(Button::Off(5));
+    remote.press(Button::Off(6));
+    home.sim.run_for(SimDuration::from_secs(1));
+    println!(
+        "  laserdisc playing={}  dv-camera={}",
+        home.jini.as_ref().unwrap().laserdisc.lock().playing,
+        home.havi.as_ref().unwrap().camcorder.fcm(FcmKind::DvCamera).unwrap().state().transport.label(),
+    );
+
+    println!(
+        "\n\"We could develop this application without any difficulties since\n\
+         VSGs and PCMs hide the differentiation between these middleware.\" (§4.2)"
+    );
+}
+
+fn on_off(b: bool) -> &'static str {
+    if b {
+        "ON"
+    } else {
+        "off"
+    }
+}

@@ -1,0 +1,27 @@
+//! # home-metaware — umbrella crate
+//!
+//! Reproduction of *"A Framework for Connecting Home Computing
+//! Middleware"* (ICDCS Workshops 2002). This crate re-exports the whole
+//! workspace so examples and integration tests have one import root:
+//!
+//! * [`metaware`] — the paper's contribution (VSG / PCM / VSR).
+//! * [`jini`], [`havi`], [`x10`], [`mailsvc`], [`upnp`] — the simulated
+//!   middleware the paper bridges.
+//! * [`soap`], [`wsdl`], [`minixml`] — the SOAP/WSDL/UDDI substrate.
+//! * [`simnet`] — deterministic virtual-time home networks.
+//!
+//! See `examples/quickstart.rs` for the five-minute tour, DESIGN.md for the
+//! system inventory, and EXPERIMENTS.md for paper-vs-measured results.
+
+#![warn(rust_2018_idioms)]
+
+pub use havi;
+pub use jini;
+pub use mailsvc;
+pub use metaware;
+pub use minixml;
+pub use simnet;
+pub use soap;
+pub use upnp;
+pub use wsdl;
+pub use x10;

@@ -1,0 +1,152 @@
+//! Failure injection: the home keeps its promises when networks blink,
+//! leases lapse and the powerline eats frames.
+
+use havi::bus_reset;
+use metaware::{Middleware, SmartHome};
+use simnet::SimDuration;
+use soap::Value;
+
+#[test]
+fn havi_bus_reset_blocks_then_recovers() {
+    let home = SmartHome::builder().build().unwrap();
+    let havi = home.havi.as_ref().unwrap();
+
+    // During the reset window the bus is down: cross-island HAVi calls
+    // fail with a native error.
+    havi.bus.set_down(true);
+    let err = home
+        .invoke_from(Middleware::Jini, "dv-camera", "record", &[])
+        .unwrap_err();
+    assert!(err.to_string().contains("havi") || err.to_string().contains("down"), "{err}");
+
+    // The bus recovers; no re-configuration needed for messaging.
+    havi.bus.set_down(false);
+    home.invoke_from(Middleware::Jini, "dv-camera", "record", &[]).unwrap();
+
+    // A full reset helper drops and restores within the outage window.
+    bus_reset(&home.sim, &havi.bus);
+    home.invoke_from(Middleware::Jini, "dv-camera", "stop", &[]).unwrap();
+}
+
+#[test]
+fn jini_lease_expiry_removes_dead_services_from_the_island() {
+    let home = SmartHome::builder().build().unwrap();
+    let jini = home.jini.as_ref().unwrap();
+    // The built-in devices registered with 300 s leases and nobody
+    // renews them: after expiry + sweep they vanish from the registrar.
+    assert_eq!(jini.reggie.registered_count(), 3);
+    home.sim.run_for(SimDuration::from_secs(400));
+    assert_eq!(jini.reggie.registered_count(), 0, "leases lapsed");
+
+    // The VSR still lists the stale import (the PCM has not re-scanned);
+    // invoking now surfaces the failure honestly... actually the RMI
+    // objects are still exported, so calls still work — Jini's *lookup*
+    // died, not the service. This mirrors real Jini semantics.
+    home.invoke_from(Middleware::Havi, "laserdisc", "status", &[]).unwrap();
+}
+
+#[test]
+fn noisy_powerline_is_survivable_with_repeats() {
+    // With a noisy powerline, individual commands may be lost; the PCM
+    // repeats idempotent commands, and shadows stay self-consistent.
+    let home = SmartHome::builder().noisy_powerline().seed(77).build().unwrap();
+    let mut successes = 0;
+    for i in 0..10 {
+        let on = i % 2 == 0;
+        if home
+            .invoke_from(Middleware::Jini, "hall-lamp", "switch",
+                         &[("on".into(), Value::Bool(on))])
+            .is_ok()
+        {
+            successes += 1;
+        }
+    }
+    // The serial leg is lossless and the PCM repeats over the powerline:
+    // the framework call itself should essentially always succeed.
+    assert!(successes >= 9, "only {successes}/10 commands accepted");
+}
+
+#[test]
+fn x10_commands_may_still_miss_on_noise_and_shadow_tracks_belief() {
+    let home = SmartHome::builder().noisy_powerline().seed(1234).build().unwrap();
+    let x10 = home.x10.as_ref().unwrap();
+    // Pound the lamp with ON commands; with 2% loss and 2 repeats the
+    // physical lamp should end ON with overwhelming probability.
+    for _ in 0..5 {
+        let _ = home.invoke_from(Middleware::X10, "hall-lamp", "switch",
+                                 &[("on".into(), Value::Bool(true))]);
+    }
+    assert!(x10.hall_lamp.is_on());
+    // The PCM believes the same.
+    let shadow = home
+        .invoke_from(Middleware::X10, "hall-lamp", "status", &[])
+        .unwrap();
+    assert_eq!(shadow, Value::Bool(true));
+}
+
+#[test]
+fn gateway_outage_yields_clean_errors_and_recovery() {
+    let home = SmartHome::builder().build().unwrap();
+    // Take the backbone down: all cross-island traffic fails cleanly.
+    home.backbone.set_down(true);
+    let err = home
+        .invoke_from(Middleware::Jini, "dv-camera", "status", &[])
+        .unwrap_err();
+    assert!(!err.to_string().is_empty());
+    home.backbone.set_down(false);
+    home.invoke_from(Middleware::Jini, "dv-camera", "status", &[]).unwrap();
+}
+
+#[test]
+fn service_relocation_defeats_stale_routes() {
+    // A service withdraws from one gateway and republishes at another;
+    // cached routes must fail over (Vsg::invoke re-resolves).
+    let home = SmartHome::builder().build().unwrap();
+    let x10_gw = home.x10.as_ref().unwrap().vsg.clone();
+    let havi_gw = home.havi.as_ref().unwrap().vsg.clone();
+
+    // Warm the route cache.
+    home.invoke_from(Middleware::Havi, "hall-lamp", "status", &[]).unwrap();
+
+    // The lamp "moves": x10-gw withdraws, havi-gw exports an impostor.
+    x10_gw.withdraw("hall-lamp").unwrap();
+    havi_gw
+        .export(
+            metaware::VirtualService::new(
+                "hall-lamp",
+                metaware::catalog::lamp(),
+                Middleware::Havi,
+                havi_gw.name(),
+            ),
+            |_: &simnet::Sim, op: &str, _: &[(String, Value)]| match op {
+                "status" => Ok(Value::Bool(true)),
+                _ => Ok(Value::Null),
+            },
+        )
+        .unwrap();
+
+    let got = home
+        .invoke_from(Middleware::Jini, "hall-lamp", "status", &[])
+        .unwrap();
+    assert_eq!(got, Value::Bool(true), "re-resolved to the new host");
+}
+
+#[test]
+fn motion_sensor_loss_is_an_absence_not_a_crash() {
+    // On a noisy powerline a sensor's report can vanish entirely; the
+    // polling path must simply see nothing.
+    let home = SmartHome::builder().noisy_powerline().seed(9).build().unwrap();
+    let x10 = home.x10.as_ref().unwrap();
+    for _ in 0..3 {
+        x10.motion.trigger();
+    }
+    // Regardless of what survived, the framework query works and the
+    // event list parses.
+    let events = home
+        .invoke_from(Middleware::Havi, "hall-motion", "drain_events", &[])
+        .unwrap();
+    match events {
+        Value::List(items) => assert!(items.len() <= 3),
+        other => panic!("expected a list, got {other}"),
+    }
+}

@@ -1,0 +1,170 @@
+//! End-to-end federation tests: the any-to-any transparency matrix of
+//! Fig. 1, over the full simulated home.
+
+use metaware::{Middleware, SmartHome};
+use soap::Value;
+
+/// Every island can invoke a representative service on every other
+/// island — the paper's core claim, exhaustively.
+#[test]
+fn full_cross_island_matrix() {
+    let home = SmartHome::builder().upnp(true).build().unwrap();
+    let islands = [
+        Middleware::Jini,
+        Middleware::Havi,
+        Middleware::X10,
+        Middleware::Mail,
+        Middleware::Upnp,
+    ];
+    // (service, op, args, expected-non-null-result)
+    type Probe<'a> = (&'a str, &'a str, Vec<(String, Value)>);
+    let probes: Vec<Probe<'_>> = vec![
+        ("laserdisc", "status", vec![]),
+        ("dv-camera", "status", vec![]),
+        ("hall-lamp", "status", vec![]),
+        (
+            "mailer",
+            "unread",
+            vec![("mailbox".into(), Value::Str("nobody@example.org".into()))],
+        ),
+        ("porch-light", "status", vec![]),
+    ];
+    for from in islands {
+        for (service, op, args) in &probes {
+            let got = home
+                .invoke_from(from, service, op, args)
+                .unwrap_or_else(|e| panic!("{from} -> {service}.{op}: {e}"));
+            assert_ne!(got, Value::Record(vec![]), "{from} -> {service}");
+        }
+    }
+}
+
+#[test]
+fn state_changes_propagate_physically() {
+    let home = SmartHome::builder().build().unwrap();
+
+    // HAVi island tells the X10 lamp to switch on; the *module on the
+    // powerline* must actually change.
+    home.invoke_from(Middleware::Havi, "desk-lamp", "switch",
+                     &[("on".into(), Value::Bool(true))])
+        .unwrap();
+    assert!(home.x10.as_ref().unwrap().desk_lamp.is_on());
+
+    // X10 island sets the Jini fridge target; the fridge state changes.
+    home.invoke_from(Middleware::X10, "fridge", "set_target",
+                     &[("celsius".into(), Value::Float(2.0))])
+        .unwrap();
+    assert_eq!(*home.jini.as_ref().unwrap().fridge_temp.lock(), 2.0);
+
+    // Mail island (the Internet gateway) starts the HAVi camcorder.
+    home.invoke_from(Middleware::Mail, "dv-camera", "record", &[]).unwrap();
+    assert_eq!(
+        home.havi.as_ref().unwrap().camcorder
+            .fcm(havi::FcmKind::DvCamera).unwrap().state().transport,
+        havi::TransportState::Recording
+    );
+}
+
+#[test]
+fn errors_cross_gateways_with_meaning() {
+    let home = SmartHome::builder().build().unwrap();
+
+    // Unknown operation: rejected by the serving gateway's type layer.
+    let err = home
+        .invoke_from(Middleware::Jini, "hall-lamp", "explode", &[])
+        .unwrap_err();
+    assert!(err.to_string().contains("explode"), "{err}");
+
+    // Type error likewise.
+    let err = home
+        .invoke_from(Middleware::Havi, "hall-lamp", "switch",
+                     &[("on".into(), Value::Int(1))])
+        .unwrap_err();
+    assert!(err.to_string().contains("type mismatch"), "{err}");
+
+    // Unknown service: fails at VSR resolution.
+    assert!(home
+        .invoke_from(Middleware::Jini, "time-machine", "engage", &[])
+        .is_err());
+}
+
+#[test]
+fn vsr_is_the_single_source_of_truth() {
+    let home = SmartHome::builder().build().unwrap();
+    let vsr_client = home.any_gateway().vsr();
+
+    // Per-middleware filters partition the services.
+    let total = vsr_client.find("%", None).unwrap().len();
+    let per_mw: usize = [Middleware::Jini, Middleware::Havi, Middleware::X10, Middleware::Mail]
+        .iter()
+        .map(|m| vsr_client.find("%", Some(*m)).unwrap().len())
+        .sum();
+    assert_eq!(total, per_mw);
+
+    // Withdrawing a service makes it invisible and uninvokable.
+    let x10_gw = &home.x10.as_ref().unwrap().vsg;
+    assert!(x10_gw.withdraw("fan").unwrap());
+    assert!(vsr_client.resolve("fan").is_err());
+    assert!(home.invoke_from(Middleware::Jini, "fan", "status", &[]).is_err());
+    assert_eq!(home.service_count(), total - 1);
+}
+
+#[test]
+fn interfaces_survive_the_repository_round_trip() {
+    let home = SmartHome::builder().build().unwrap();
+    // What a PCM publishes is exactly what another island resolves.
+    let record = home.havi.as_ref().unwrap().vsg.resolve("hall-lamp").unwrap();
+    assert_eq!(record.interface, metaware::catalog::lamp());
+    assert_eq!(record.middleware, Middleware::X10);
+    assert_eq!(record.gateway, "x10-gw");
+    assert_eq!(record.endpoint(), "vsg://x10-gw/hall-lamp");
+}
+
+#[test]
+fn sixteen_services_federate_cleanly() {
+    // Scale probe: every island's default services plus UPnP, no clashes.
+    let home = SmartHome::builder().upnp(true).build().unwrap();
+    assert_eq!(home.service_count(), 13);
+    let names: std::collections::BTreeSet<String> = home
+        .any_gateway()
+        .vsr()
+        .find("%", None)
+        .unwrap()
+        .into_iter()
+        .map(|r| r.name)
+        .collect();
+    assert_eq!(names.len(), 13, "names are unique");
+}
+
+#[test]
+fn context_aware_discovery() {
+    // §3.3: the VSR stores "service locations and service contexts".
+    let home = SmartHome::builder().build().unwrap();
+    let vsr = home.any_gateway().vsr();
+
+    // Everything in the hall: the X10 lamp and the motion sensor.
+    let hall: std::collections::BTreeSet<String> = vsr
+        .find_by_context("%", &[("room", "hall")])
+        .unwrap()
+        .into_iter()
+        .map(|r| r.name)
+        .collect();
+    assert_eq!(
+        hall,
+        ["hall-lamp", "hall-motion"].iter().map(|s| (*s).to_owned()).collect()
+    );
+
+    // The Jini fridge's Location entry became a room context.
+    let kitchen = vsr.find_by_context("%", &[("room", "kitchen")]).unwrap();
+    assert_eq!(kitchen.len(), 1);
+    assert_eq!(kitchen[0].name, "fridge");
+    assert_eq!(kitchen[0].middleware, Middleware::Jini);
+
+    // Name pattern and context compose; unknown contexts match nothing.
+    assert_eq!(vsr.find_by_context("hall%", &[("room", "hall")]).unwrap().len(), 2);
+    assert!(vsr.find_by_context("%", &[("room", "attic")]).unwrap().is_empty());
+
+    // Contexts come back on resolved records too.
+    let rec = vsr.resolve("hall-lamp").unwrap();
+    assert!(rec.contexts.contains(&("room".into(), "hall".into())));
+}

@@ -1,0 +1,128 @@
+//! Model-based property tests over the whole federation: random
+//! operation sequences must keep the framework's view and the physical
+//! devices' state in agreement.
+
+use metaware::{Middleware, SmartHome, VirtualService};
+use proptest::prelude::*;
+use soap::Value;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum LampOp {
+    /// Switch a lamp from an island.
+    Switch { island: u8, lamp: u8, on: bool },
+    /// Query a lamp's status from an island.
+    Query { island: u8, lamp: u8 },
+}
+
+fn arb_op() -> impl Strategy<Value = LampOp> {
+    prop_oneof![
+        (0u8..4, 0u8..2, any::<bool>())
+            .prop_map(|(island, lamp, on)| LampOp::Switch { island, lamp, on }),
+        (0u8..4, 0u8..2).prop_map(|(island, lamp)| LampOp::Query { island, lamp }),
+    ]
+}
+
+fn island(i: u8) -> Middleware {
+    match i {
+        0 => Middleware::Jini,
+        1 => Middleware::Havi,
+        2 => Middleware::X10,
+        _ => Middleware::Mail,
+    }
+}
+
+fn lamp_name(l: u8) -> &'static str {
+    if l == 0 {
+        "hall-lamp"
+    } else {
+        "desk-lamp"
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Whatever sequence of cross-island switches happens, the physical
+    /// module, the PCM's shadow, and every island's queried view agree.
+    #[test]
+    fn lamp_state_is_globally_consistent(ops in prop::collection::vec(arb_op(), 1..20)) {
+        let home = SmartHome::builder().build().unwrap();
+        let mut model: HashMap<&str, bool> =
+            [("hall-lamp", false), ("desk-lamp", false)].into();
+
+        for op in &ops {
+            match op {
+                LampOp::Switch { island: i, lamp, on } => {
+                    home.invoke_from(island(*i), lamp_name(*lamp), "switch",
+                                     &[("on".into(), Value::Bool(*on))])
+                        .unwrap();
+                    model.insert(lamp_name(*lamp), *on);
+                }
+                LampOp::Query { island: i, lamp } => {
+                    let got = home
+                        .invoke_from(island(*i), lamp_name(*lamp), "status", &[])
+                        .unwrap();
+                    prop_assert_eq!(got, Value::Bool(model[lamp_name(*lamp)]));
+                }
+            }
+        }
+
+        // Physical modules agree with the model.
+        let x10 = home.x10.as_ref().unwrap();
+        prop_assert_eq!(x10.hall_lamp.is_on(), model["hall-lamp"]);
+        prop_assert_eq!(x10.desk_lamp.is_on(), model["desk-lamp"]);
+    }
+
+    /// The VSR behaves like a map under arbitrary publish/unpublish
+    /// interleavings.
+    #[test]
+    fn vsr_is_a_map(ops in prop::collection::vec(
+        (0u8..6, any::<bool>()), 1..25,
+    )) {
+        let home = SmartHome::builder().manual_import().jini(false).havi(false)
+            .x10(true).mail(false).build().unwrap();
+        let gw = home.x10.as_ref().unwrap().vsg.clone();
+        let mut model: HashMap<String, ()> = HashMap::new();
+
+        for (slot, publish) in &ops {
+            let name = format!("svc-{slot}");
+            if *publish {
+                gw.export(
+                    VirtualService::new(&name, metaware::catalog::lamp(), Middleware::X10, gw.name()),
+                    |_: &simnet::Sim, _: &str, _: &[(String, Value)]| Ok(Value::Null),
+                ).unwrap();
+                model.insert(name, ());
+            } else {
+                gw.withdraw(&name).unwrap();
+                model.remove(&name);
+            }
+            prop_assert_eq!(home.service_count(), model.len());
+        }
+        // Every modelled service resolves; no ghost services resolve.
+        for slot in 0u8..6 {
+            let name = format!("svc-{slot}");
+            prop_assert_eq!(gw.vsr().resolve(&name).is_ok(), model.contains_key(&name));
+        }
+    }
+
+    /// Dim sequences through the framework keep the physical level and
+    /// the PCM's shadow identical (lossless powerline).
+    #[test]
+    fn dim_shadow_tracks_physics(steps in prop::collection::vec(1i64..8, 1..10)) {
+        let home = SmartHome::builder().build().unwrap();
+        home.invoke_from(Middleware::Jini, "hall-lamp", "switch",
+                         &[("on".into(), Value::Bool(true))]).unwrap();
+        for s in &steps {
+            home.invoke_from(Middleware::Havi, "hall-lamp", "dim",
+                             &[("steps".into(), Value::Int(*s))]).unwrap();
+        }
+        let x10 = home.x10.as_ref().unwrap();
+        let physical = x10.hall_lamp.state().level;
+        let shadow = x10.pcm
+            .module_shadow(metaware::house('A'), metaware::unit(1))
+            .unwrap()
+            .level;
+        prop_assert_eq!(physical, shadow);
+    }
+}

@@ -1,0 +1,184 @@
+//! The paper's own scenarios, as executable regression tests:
+//! Fig. 4 (Jini ↔ X10 conversion), Fig. 5 (Universal Remote Controller),
+//! and the §2 automatic-recording integration.
+
+use havi::FcmKind;
+use metaware::pcm::x10::Route;
+use metaware::{house, unit, Middleware, SmartHome};
+use simnet::{Protocol, SimDuration};
+use soap::Value;
+use x10::{Button, Function};
+
+/// Fig. 4: a Jini client's call crosses CP → SOAP/VSG → SP → X10.
+/// Verify the conversion *chain* by checking each wire actually carried
+/// the traffic class it should.
+#[test]
+fn fig4_jini_to_x10_conversion_path() {
+    let home = SmartHome::builder().build().unwrap();
+    let jini_net = &home.jini.as_ref().unwrap().net;
+    let x10 = home.x10.as_ref().unwrap();
+
+    let before_http = home.backbone.with_stats(|s| s.protocol(Protocol::Http).frames);
+    let before_x10 = x10.powerline.with_stats(|s| s.protocol(Protocol::X10).frames);
+    let before_serial = x10.serial.with_stats(|s| s.protocol(Protocol::X10).frames);
+
+    // An unmodified Jini client drives the lamp through a Server-Proxy
+    // RMI object (exactly the Fig. 4 transaction).
+    let pcm = &home.jini.as_ref().unwrap().pcm;
+    pcm.export_remote(&home.jini.as_ref().unwrap().vsg.resolve("hall-lamp").unwrap())
+        .unwrap();
+    let client_node = jini_net.attach("fig4-client");
+    let registrars = jini::discover(jini_net, client_node, "public");
+    let reg_client = jini::RegistrarClient::new(jini_net, client_node, registrars[0]);
+    let item = reg_client
+        .lookup_one(&jini::ServiceTemplate::by_interface("Lamp"))
+        .unwrap();
+    let proxy = jini::RemoteProxy::new(jini_net, client_node, item.proxy);
+    proxy.invoke("switch", &[jini::JValue::Bool(true)]).unwrap();
+
+    // The lamp physically switched...
+    assert!(x10.hall_lamp.is_on());
+    // ...and every leg of the conversion carried traffic:
+    assert!(
+        jini_net.with_stats(|s| s.protocol(Protocol::Jini).frames) > 0,
+        "RMI on the Jini Ethernet"
+    );
+    assert!(
+        home.backbone.with_stats(|s| s.protocol(Protocol::Http).frames) > before_http,
+        "SOAP/HTTP between gateways"
+    );
+    assert!(
+        x10.serial.with_stats(|s| s.protocol(Protocol::X10).frames) > before_serial,
+        "CM11A serial exchanges"
+    );
+    assert!(
+        x10.powerline.with_stats(|s| s.protocol(Protocol::X10).frames) > before_x10,
+        "powerline signalling"
+    );
+}
+
+/// Fig. 5: the Universal Remote Controller, as a test.
+#[test]
+fn fig5_universal_remote_controller() {
+    let home = SmartHome::builder().build().unwrap();
+    let x10 = home.x10.as_ref().unwrap();
+    x10.pcm.add_route(Route {
+        house: house('A'),
+        unit: unit(5),
+        function: Function::On,
+        service: "laserdisc".into(),
+        operation: "play".into(),
+        args: vec![("chapter".into(), Value::Int(3))],
+    });
+    x10.pcm.add_route(Route {
+        house: house('A'),
+        unit: unit(6),
+        function: Function::On,
+        service: "dv-camera".into(),
+        operation: "record".into(),
+        args: vec![],
+    });
+    let _poll = x10.pcm.start_polling(SimDuration::from_millis(250));
+
+    let mut remote = x10.remote();
+    // Lamp button: native.
+    remote.press(Button::On(1));
+    // Laserdisc button: Jini via the framework.
+    remote.press(Button::On(5));
+    // Camera button: HAVi via the framework.
+    remote.press(Button::On(6));
+    home.sim.run_for(SimDuration::from_secs(2));
+
+    assert!(x10.hall_lamp.is_on(), "native X10 still works");
+    let ld = *home.jini.as_ref().unwrap().laserdisc.lock();
+    assert!(ld.playing);
+    assert_eq!(ld.chapter, 3);
+    assert_eq!(
+        home.havi.as_ref().unwrap().camcorder
+            .fcm(FcmKind::DvCamera).unwrap().state().transport,
+        havi::TransportState::Recording
+    );
+}
+
+/// §2: automatic recording = VCR control + Internet service + mail.
+#[test]
+fn section2_service_integration_auto_recording() {
+    let home = SmartHome::builder().build().unwrap();
+
+    // The "TV program service" decides what to record...
+    let channel = 42;
+    // ...the home tunes and records...
+    home.invoke_from(Middleware::Mail, "tv-tuner", "set_channel",
+                     &[("channel".into(), Value::Int(channel))])
+        .unwrap();
+    home.invoke_from(Middleware::Mail, "living-room-vcr", "record", &[])
+        .unwrap();
+    // ...and notifies the user by mail.
+    home.invoke_from(
+        Middleware::Havi,
+        "mailer",
+        "send",
+        &[
+            ("to".into(), Value::Str("owner@example.org".into())),
+            ("subject".into(), Value::Str("recording".into())),
+            ("body".into(), Value::Str("started".into())),
+        ],
+    )
+    .unwrap();
+
+    let havi = home.havi.as_ref().unwrap();
+    assert_eq!(havi.tv.fcm(FcmKind::Tuner).unwrap().state().channel, channel as u16);
+    assert_eq!(
+        havi.vcr.fcm(FcmKind::Vcr).unwrap().state().transport,
+        havi::TransportState::Recording
+    );
+    assert_eq!(
+        home.mail.as_ref().unwrap().server.mailbox_len("owner@example.org"),
+        1
+    );
+}
+
+/// The three design goals of §3, as assertions.
+#[test]
+fn section3_design_goals() {
+    let home = SmartHome::builder().build().unwrap();
+
+    // 1. "We can use legacy service with legacy middleware easily":
+    //    native paths still work untouched by the framework.
+    let x10 = home.x10.as_ref().unwrap();
+    let mut remote = x10.remote();
+    remote.press(Button::On(2));
+    assert!(x10.desk_lamp.is_on(), "pure-X10 path untouched");
+
+    // 2. "It is not necessary to change legacy clients and services":
+    //    the laserdisc service was written against plain RMI; the lamp
+    //    against plain X10 — yet both are federated.
+    assert!(home.any_gateway().vsr().resolve("laserdisc").is_ok());
+    assert!(home.any_gateway().vsr().resolve("desk-lamp").is_ok());
+
+    // 3. "New middleware can be participated effortlessly": covered by
+    //    tests/federation.rs with UPnP; here we just confirm the default
+    //    home has no UPnP services to mistake for it.
+    assert!(home.any_gateway().vsr().find("porch%", None).unwrap().is_empty());
+}
+
+/// The prototype's four-PCM composition (Fig. 3) reports itself.
+#[test]
+fn fig3_four_pcms() {
+    use metaware::ProtocolConversionManager;
+    let home = SmartHome::builder().build().unwrap();
+    let jini = home.jini.as_ref().unwrap();
+    let havi = home.havi.as_ref().unwrap();
+    let x10 = home.x10.as_ref().unwrap();
+    let mail = home.mail.as_ref().unwrap();
+
+    assert_eq!(jini.pcm.middleware(), Middleware::Jini);
+    assert_eq!(havi.pcm.middleware(), Middleware::Havi);
+    assert_eq!(x10.pcm.middleware(), Middleware::X10);
+    assert_eq!(mail.pcm.middleware(), Middleware::Mail);
+
+    assert_eq!(jini.pcm.imported().len(), 3);
+    assert_eq!(havi.pcm.imported().len(), 4);
+    assert_eq!(x10.pcm.imported().len(), 4);
+    assert_eq!(mail.pcm.imported().len(), 1);
+}
