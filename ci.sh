@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# The full local gate: formatting, lints, release build, tests.
+# Run from the repo root; fails fast on the first broken step.
+set -eu
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test --workspace -q
+
+echo "==> ci green"

@@ -61,7 +61,13 @@ fn simulated_comparison() {
     let mut report = Report::new(
         "E10",
         "DV stream (needs 30.7 Mbit/s, 125us cadence): native vs VSG bridge",
-        &["carrier", "chunk", "achieved Mbit/s", "per-chunk latency", "meets DV rate?"],
+        &[
+            "carrier",
+            "chunk",
+            "achieved Mbit/s",
+            "per-chunk latency",
+            "meets DV rate?",
+        ],
     );
     let required_mbps = DV_BYTES_PER_CYCLE as f64 * 8.0 / 125e-6 / 1e6;
 

@@ -6,6 +6,9 @@
 //!
 //!  * **route cache** — without it every remote call pays two extra SOAP
 //!    round trips to the VSR (resolve + gateway_node);
+//!  * **hot-path overhaul** (`BENCH_hotpath.json`) — the record-level
+//!    resolution cache and the registry's name/category indexes, each
+//!    against the pre-overhaul behaviour;
 //!  * **the Java tax** — the prototype's 2002 JVM XML costs vs a free
 //!    CPU model (isolates wire from CPU);
 //!  * **X10 blind repeats** — the PCM's only reliability tool on an
@@ -13,7 +16,9 @@
 
 use bench::{cell, fmt_us, Report};
 use criterion::{criterion_group, criterion_main, Criterion};
-use metaware::{SmartHome, Soap11, VsgProtocol, VsgRequest};
+use metaware::{
+    catalog, Middleware, SmartHome, Soap11, VirtualService, Vsg, VsgProtocol, VsgRequest, Vsr,
+};
 use simnet::{LinkModel, Network, Sim};
 use soap::{CpuModel, TcpModel, Value};
 use std::sync::Arc;
@@ -22,7 +27,12 @@ fn route_cache_ablation() {
     let mut report = Report::new(
         "E11a",
         "route cache: one warm remote call vs re-resolving every call",
-        &["mode", "latency/call", "VSR inquiries/call", "backbone bytes/call"],
+        &[
+            "mode",
+            "latency/call",
+            "VSR inquiries/call",
+            "backbone bytes/call",
+        ],
     );
     for cached in [true, false] {
         let home = SmartHome::builder().build().unwrap();
@@ -43,13 +53,111 @@ fn route_cache_ablation() {
         let inq = (home.vsr.registry_stats().inquiries - inq0) / calls;
         let bytes = (home.backbone.with_stats(|s| s.total().bytes) - b0) / calls;
         report.row(vec![
-            cell(if cached { "cached route" } else { "resolve every call" }),
+            cell(if cached {
+                "cached route"
+            } else {
+                "resolve every call"
+            }),
             fmt_us(dt),
             cell(inq),
             cell(bytes),
         ]);
     }
     report.emit();
+}
+
+/// The PR's before/after artefact: resolution-cache on/off over repeat
+/// remote invocations, and indexed-vs-scan registry inquiry at 1000
+/// services. "off"/"scan" rows reproduce the pre-overhaul hot path.
+fn hotpath_ablation() {
+    let mut report = Report::new(
+        "BENCH_hotpath",
+        "hot-path overhaul: resolution cache and registry indexes, before vs after",
+        &[
+            "ablation",
+            "mode",
+            "sim time/op",
+            "VSR inquiries/op",
+            "records scanned/op",
+        ],
+    );
+
+    // (a) Record-level resolution cache: warm repeat invocations vs
+    // clearing the cache before every call (the "before" behaviour of
+    // a gateway that re-resolves each time).
+    for cached in [false, true] {
+        let home = SmartHome::builder().build().unwrap();
+        let gw = home.jini.as_ref().unwrap().vsg.clone();
+        gw.invoke(&home.sim, "hall-lamp", "status", &[]).unwrap();
+        let calls = 20u64;
+        let t0 = home.sim.now();
+        let inq0 = home.vsr.registry_stats().inquiries;
+        let scan0 = home.vsr.registry_stats().records_scanned;
+        for _ in 0..calls {
+            if !cached {
+                gw.clear_route_cache();
+            }
+            gw.invoke(&home.sim, "hall-lamp", "status", &[]).unwrap();
+        }
+        let stats = home.vsr.registry_stats();
+        report.row(vec![
+            cell("resolution cache"),
+            cell(if cached {
+                "after (warm cache)"
+            } else {
+                "before (resolve every call)"
+            }),
+            fmt_us((home.sim.now() - t0).as_micros() / calls),
+            cell((stats.inquiries - inq0) / calls),
+            cell((stats.records_scanned - scan0) / calls),
+        ]);
+    }
+
+    // (b) Index-backed registry inquiry at 1000 services: exact-name
+    // resolves with the name/category indexes vs the full scan the
+    // registry used to do. Indexes are maintained either way, so the
+    // toggle compares lookup paths over identical state.
+    let sim = Sim::new(1);
+    let net = Network::ethernet(&sim);
+    let vsr = Vsr::start(&net);
+    let gw = Vsg::start(&net, "x10-gw", Arc::new(Soap11::new()), vsr.node()).unwrap();
+    for i in 0..1000 {
+        gw.export(
+            VirtualService::new(
+                format!("svc-{i:04}"),
+                catalog::lamp(),
+                Middleware::X10,
+                "x10-gw",
+            ),
+            |_: &Sim, _: &str, _: &[(String, Value)]| Ok(Value::Null),
+        )
+        .unwrap();
+    }
+    for indexed in [false, true] {
+        vsr.set_indexing(indexed);
+        let resolves = 20u64;
+        let t0 = sim.now();
+        let inq0 = vsr.registry_stats().inquiries;
+        let scan0 = vsr.registry_stats().records_scanned;
+        for i in 0..resolves {
+            // Distinct names so the gateway's cache plays no part.
+            gw.resolve(&format!("svc-{:04}", i * 37)).unwrap();
+        }
+        let stats = vsr.registry_stats();
+        report.row(vec![
+            cell("registry @1000 svcs"),
+            cell(if indexed {
+                "after (indexed)"
+            } else {
+                "before (full scan)"
+            }),
+            fmt_us((sim.now() - t0).as_micros() / resolves),
+            cell((stats.inquiries - inq0) / resolves),
+            cell((stats.records_scanned - scan0) / resolves),
+        ]);
+    }
+
+    report.emit_as("BENCH_hotpath.json");
 }
 
 fn java_tax_ablation() {
@@ -59,7 +167,10 @@ fn java_tax_ablation() {
         &["cpu model", "latency/call", "of which wire (free-CPU)"],
     );
     let mut wire_only = 0;
-    for (name, cpu) in [("free", CpuModel::free()), ("jvm-2002", CpuModel::default())] {
+    for (name, cpu) in [
+        ("free", CpuModel::free()),
+        ("jvm-2002", CpuModel::default()),
+    ] {
         let protocol = Soap11::with_models(cpu, TcpModel::default());
         let sim = Sim::new(1);
         let net = Network::ethernet(&sim);
@@ -85,13 +196,22 @@ fn x10_repeat_ablation() {
     let mut report = Report::new(
         "E11c",
         "X10 blind repeats vs powerline noise: delivery rate over 200 commands",
-        &["loss prob", "1 repeat", "2 repeats", "3 repeats", "4 repeats"],
+        &[
+            "loss prob",
+            "1 repeat",
+            "2 repeats",
+            "3 repeats",
+            "4 repeats",
+        ],
     );
     for loss in [0.02f64, 0.05, 0.10, 0.20] {
         let mut cells = vec![format!("{:.0}%", loss * 100.0)];
         for repeats in 1u32..=4 {
             let sim = Sim::new(42 + repeats as u64);
-            let link = LinkModel { loss_prob: loss, ..simnet::netkind::powerline() };
+            let link = LinkModel {
+                loss_prob: loss,
+                ..simnet::netkind::powerline()
+            };
             let net = Network::new(&sim, "powerline", link);
             let tx = x10::Transmitter::attach(&net, "pcm");
             let _rx = net.attach("lamp");
@@ -113,6 +233,7 @@ fn x10_repeat_ablation() {
 
 fn bench(c: &mut Criterion) {
     route_cache_ablation();
+    hotpath_ablation();
     java_tax_ablation();
     x10_repeat_ablation();
 
@@ -138,7 +259,9 @@ fn bench(c: &mut Criterion) {
         ("channel".to_owned(), Value::Int(42)),
         ("title".to_owned(), Value::Str("News".into())),
     ];
-    c.bench_function("e11_type_check", |b| b.iter(|| sig.check_args(&args).unwrap()));
+    c.bench_function("e11_type_check", |b| {
+        b.iter(|| sig.check_args(&args).unwrap())
+    });
 }
 
 criterion_group!(benches, bench);

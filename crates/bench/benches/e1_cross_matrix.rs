@@ -30,9 +30,21 @@ fn simulated_matrix() {
     let mut report = Report::new(
         "E1",
         "cross-middleware invocation latency (rows: client island; cols: target service)",
-        &["client", "laserdisc(jini)", "dv-camera(havi)", "hall-lamp(x10)", "mailer(inet)", "bytes/call"],
+        &[
+            "client",
+            "laserdisc(jini)",
+            "dv-camera(havi)",
+            "hall-lamp(x10)",
+            "mailer(inet)",
+            "bytes/call",
+        ],
     );
-    for client in [Middleware::Jini, Middleware::Havi, Middleware::X10, Middleware::Mail] {
+    for client in [
+        Middleware::Jini,
+        Middleware::Havi,
+        Middleware::X10,
+        Middleware::Mail,
+    ] {
         let home = SmartHome::builder().build().unwrap();
         let mut cells = vec![cell(client)];
         let mut total_bytes = 0u64;
@@ -82,10 +94,12 @@ fn bench(c: &mut Criterion) {
 
     // Real-CPU cost of one warm cross-island call (Jini -> X10 status).
     let home = SmartHome::builder().build().unwrap();
-    home.invoke_from(Middleware::Jini, "hall-lamp", "status", &[]).unwrap();
+    home.invoke_from(Middleware::Jini, "hall-lamp", "status", &[])
+        .unwrap();
     c.bench_function("e1_cross_call_jini_to_x10", |b| {
         b.iter(|| {
-            home.invoke_from(Middleware::Jini, "hall-lamp", "status", &[]).unwrap()
+            home.invoke_from(Middleware::Jini, "hall-lamp", "status", &[])
+                .unwrap()
         })
     });
 

@@ -32,7 +32,13 @@ fn simulated_generation_cost() {
     let mut report = Report::new(
         "E2",
         "proxy auto-generation cost vs interface size (virtual time)",
-        &["methods", "params/method", "generation", "per-call dispatch", "gen cost in SOAP-RTs"],
+        &[
+            "methods",
+            "params/method",
+            "generation",
+            "per-call dispatch",
+            "gen cost in SOAP-RTs",
+        ],
     );
     for (methods, params) in [(1, 0), (4, 2), (8, 2), (16, 4), (32, 8)] {
         let sim = Sim::new(1);
@@ -41,8 +47,9 @@ fn simulated_generation_cost() {
         let proxy = generate(&sim, ProxyGenCost::default(), &iface, echo_target());
         let gen_cost = (sim.now() - t0).as_micros();
 
-        let args: Vec<(String, Value)> =
-            (0..params).map(|p| (format!("p{p}"), Value::Int(1))).collect();
+        let args: Vec<(String, Value)> = (0..params)
+            .map(|p| (format!("p{p}"), Value::Int(1)))
+            .collect();
         let t0 = sim.now();
         proxy.dispatch(&sim, "op0", &args).unwrap();
         let call_cost = (sim.now() - t0).as_micros().max(1);
@@ -75,8 +82,7 @@ fn bench(c: &mut Criterion) {
     // same validation inline (the ablation: what does the generated
     // indirection cost?).
     let proxy = generate(&sim, ProxyGenCost::free(), &iface, echo_target());
-    let args: Vec<(String, Value)> =
-        (0..4).map(|p| (format!("p{p}"), Value::Int(1))).collect();
+    let args: Vec<(String, Value)> = (0..4).map(|p| (format!("p{p}"), Value::Int(1))).collect();
     c.bench_function("e2_generated_dispatch", |b| {
         b.iter(|| proxy.dispatch(&sim, "op7", &args).unwrap())
     });

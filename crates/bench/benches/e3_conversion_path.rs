@@ -49,10 +49,12 @@ fn measure_stages() -> Vec<Stage> {
     // Stage B: the SOAP gateway-to-gateway leg alone (warm route).
     {
         let home = SmartHome::builder().build().unwrap();
-        home.invoke_from(Middleware::Jini, "hall-lamp", "status", &[]).unwrap();
+        home.invoke_from(Middleware::Jini, "hall-lamp", "status", &[])
+            .unwrap();
         let t0 = home.sim.now();
         let b0 = home.backbone.with_stats(|s| s.protocol(Protocol::Http));
-        home.invoke_from(Middleware::Jini, "hall-lamp", "status", &[]).unwrap();
+        home.invoke_from(Middleware::Jini, "hall-lamp", "status", &[])
+            .unwrap();
         let b1 = home.backbone.with_stats(|s| s.protocol(Protocol::Http));
         stages.push(Stage {
             name: "SOAP leg (backbone HTTP)",
@@ -72,7 +74,12 @@ fn measure_stages() -> Vec<Stage> {
         // Drive the PCM's invoker directly through its own gateway
         // (local dispatch: no backbone traffic).
         x10.vsg
-            .invoke(&home.sim, "hall-lamp", "switch", &[("on".into(), Value::Bool(true))])
+            .invoke(
+                &home.sim,
+                "hall-lamp",
+                "switch",
+                &[("on".into(), Value::Bool(true))],
+            )
             .unwrap();
         let s1 = x10.serial.with_stats(|s| s.protocol(Protocol::X10));
         let p1 = x10.powerline.with_stats(|s| s.protocol(Protocol::X10));
@@ -137,14 +144,19 @@ fn bench(c: &mut Criterion) {
 
     // Real-CPU cost of the full conversion path.
     let home = SmartHome::builder().build().unwrap();
-    home.invoke_from(Middleware::Jini, "hall-lamp", "status", &[]).unwrap();
+    home.invoke_from(Middleware::Jini, "hall-lamp", "status", &[])
+        .unwrap();
     let mut group = c.benchmark_group("e3");
     group.sample_size(20);
     group.bench_function("full_jini_to_x10_switch", |b| {
         b.iter(|| {
-            home.invoke_from(Middleware::Jini, "hall-lamp", "switch",
-                             &[("on".into(), Value::Bool(true))])
-                .unwrap()
+            home.invoke_from(
+                Middleware::Jini,
+                "hall-lamp",
+                "switch",
+                &[("on".into(), Value::Bool(true))],
+            )
+            .unwrap()
         })
     });
     group.finish();

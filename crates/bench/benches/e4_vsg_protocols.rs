@@ -23,17 +23,12 @@ fn protocols() -> Vec<(&'static str, Arc<dyn VsgProtocol>, Protocol)> {
     ]
 }
 
-fn one_call(
-    protocol: &Arc<dyn VsgProtocol>,
-    wire: Protocol,
-    payload_bytes: usize,
-) -> (u64, u64) {
+fn one_call(protocol: &Arc<dyn VsgProtocol>, wire: Protocol, payload_bytes: usize) -> (u64, u64) {
     let sim = Sim::new(1);
     let net = Network::ethernet(&sim);
     let server = protocol.bind(&net, "gw", Arc::new(|_, _| Ok(Value::Null)));
     let client = net.attach("c");
-    let req = VsgRequest::new("svc", "put")
-        .arg("data", Value::Bytes(vec![0xAB; payload_bytes]));
+    let req = VsgRequest::new("svc", "put").arg("data", Value::Bytes(vec![0xAB; payload_bytes]));
     let t0 = sim.now();
     protocol.call(&net, client, server, &req).unwrap();
     let us = (sim.now() - t0).as_micros();
@@ -45,7 +40,16 @@ fn simulated_ablation() {
     let mut report = Report::new(
         "E4",
         "VSG protocol ablation: one gateway call, varying payload",
-        &["payload", "soap bytes", "soap time", "binary bytes", "binary time", "sip bytes", "sip time", "soap/binary bytes"],
+        &[
+            "payload",
+            "soap bytes",
+            "soap time",
+            "binary bytes",
+            "binary time",
+            "sip bytes",
+            "sip time",
+            "soap/binary bytes",
+        ],
     );
     for payload in [0usize, 16, 256, 1_024, 10_240] {
         let mut cells = vec![cell(payload)];
@@ -68,9 +72,20 @@ fn simulated_ablation() {
     report.emit();
 
     // The qualitative §4.1 claims, checked as data.
-    let (_, soap0) = one_call(&(Arc::new(Soap11::new()) as Arc<dyn VsgProtocol>), Protocol::Http, 0);
-    let (_, bin0) = one_call(&(Arc::new(CompactBinary::new()) as Arc<dyn VsgProtocol>), Protocol::Raw, 0);
-    assert!(soap0 > bin0 * 8, "SOAP fixed cost dwarfs binary ({soap0} vs {bin0})");
+    let (_, soap0) = one_call(
+        &(Arc::new(Soap11::new()) as Arc<dyn VsgProtocol>),
+        Protocol::Http,
+        0,
+    );
+    let (_, bin0) = one_call(
+        &(Arc::new(CompactBinary::new()) as Arc<dyn VsgProtocol>),
+        Protocol::Raw,
+        0,
+    );
+    assert!(
+        soap0 > bin0 * 8,
+        "SOAP fixed cost dwarfs binary ({soap0} vs {bin0})"
+    );
 }
 
 fn bench(c: &mut Criterion) {

@@ -17,7 +17,14 @@ fn simulated_scaling() {
     let mut report = Report::new(
         "E5",
         "connecting N middleware: pairwise bridges vs one-PCM-per-middleware",
-        &["N", "pairwise bridges", "bridge converter halves", "framework PCMs", "PCM proxy modules", "saving"],
+        &[
+            "N",
+            "pairwise bridges",
+            "bridge converter halves",
+            "framework PCMs",
+            "PCM proxy modules",
+            "saving",
+        ],
     );
     for n in 2u64..=8 {
         let bridges = n * (n - 1) / 2;
@@ -41,7 +48,12 @@ fn simulated_scaling() {
     let mut report = Report::new(
         "E5b",
         "the real five-island home: one PCM each, full connectivity",
-        &["island", "PCM", "services imported", "pairwise bridges this island would need"],
+        &[
+            "island",
+            "PCM",
+            "services imported",
+            "pairwise bridges this island would need",
+        ],
     );
     let pcms: Vec<(&str, &dyn ProtocolConversionManager)> = vec![
         ("jini", &home.jini.as_ref().unwrap().pcm),
@@ -71,7 +83,12 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("two_islands", |b| {
         b.iter(|| {
-            SmartHome::builder().havi(false).mail(false).upnp(false).build().unwrap()
+            SmartHome::builder()
+                .havi(false)
+                .mail(false)
+                .upnp(false)
+                .build()
+                .unwrap()
         })
     });
     group.bench_function("five_islands", |b| {

@@ -96,15 +96,22 @@ fn run_native() -> u64 {
     let watcher = x10.powerline.attach("native-watcher");
     let seen: Arc<Mutex<Option<u64>>> = Arc::new(Mutex::new(None));
     let s2 = seen.clone();
-    x10::install_receiver(&x10.powerline, watcher, metaware::house('C'), move |sim, f, _, _| {
-        if f == x10::Function::On {
-            s2.lock().get_or_insert(sim.now().as_micros());
-        }
-    });
+    x10::install_receiver(
+        &x10.powerline,
+        watcher,
+        metaware::house('C'),
+        move |sim, f, _, _| {
+            if f == x10::Function::On {
+                s2.lock().get_or_insert(sim.now().as_micros());
+            }
+        },
+    );
     let fired = home.sim.now().as_micros();
     x10.motion.trigger();
     let delivered_at = *seen.lock();
-    delivered_at.expect("native receiver heard the sensor").saturating_sub(fired)
+    delivered_at
+        .expect("native receiver heard the sensor")
+        .saturating_sub(fired)
 }
 
 fn bench(c: &mut Criterion) {
@@ -123,9 +130,19 @@ fn bench(c: &mut Criterion) {
         ]);
     }
     let (mean, carriers) = run_push(SimDuration::from_millis(100));
-    report.row(vec!["SIP push (100ms sampling)".into(), fmt_us(mean), cell(carriers), cell(0)]);
+    report.row(vec![
+        "SIP push (100ms sampling)".into(),
+        fmt_us(mean),
+        cell(carriers),
+        cell(0),
+    ]);
     let native = run_native();
-    report.row(vec!["native X10 receiver".into(), fmt_us(native), cell(0), cell(0)]);
+    report.row(vec![
+        "native X10 receiver".into(),
+        fmt_us(native),
+        cell(0),
+        cell(0),
+    ]);
     report.emit();
 
     // Real-CPU cost: one poll cycle vs one push.
@@ -134,8 +151,12 @@ fn bench(c: &mut Criterion) {
     group.bench_function("poll_cycle_soap", |b| {
         let home = SmartHome::builder().build().unwrap();
         let gw = home.havi.as_ref().unwrap().vsg.clone();
-        gw.invoke(&home.sim, "hall-motion", "drain_events", &[]).unwrap();
-        b.iter(|| gw.invoke(&home.sim, "hall-motion", "drain_events", &[]).unwrap())
+        gw.invoke(&home.sim, "hall-motion", "drain_events", &[])
+            .unwrap();
+        b.iter(|| {
+            gw.invoke(&home.sim, "hall-motion", "drain_events", &[])
+                .unwrap()
+        })
     });
     group.bench_function("push_notify_sip", |b| {
         let home = SmartHome::builder().build().unwrap();

@@ -36,7 +36,11 @@ fn static_tables() {
     for d in DEVICE_CLASSES {
         let mut cells = vec![format!("{} ({}/{})", d.name, d.code_budget, d.ram_budget)];
         for s in &STACKS {
-            cells.push(if d.can_host(s) { "yes".into() } else { "-".into() });
+            cells.push(if d.can_host(s) {
+                "yes".into()
+            } else {
+                "-".into()
+            });
         }
         report.row(cells);
     }
@@ -47,16 +51,34 @@ fn dynamic_table() {
     // Wire bytes per logical command at each device's attachment point.
     let home = SmartHome::builder().build().unwrap();
     let x10 = home.x10.as_ref().unwrap();
-    home.invoke_from(Middleware::Jini, "hall-lamp", "switch",
-                     &[("on".into(), Value::Bool(true))])
-        .unwrap();
-    let b_http0 = home.backbone.with_stats(|s| s.protocol(Protocol::Http).bytes);
-    let b_pl0 = x10.powerline.with_stats(|s| s.protocol(Protocol::X10).bytes);
-    home.invoke_from(Middleware::Jini, "hall-lamp", "switch",
-                     &[("on".into(), Value::Bool(false))])
-        .unwrap();
-    let soap_bytes = home.backbone.with_stats(|s| s.protocol(Protocol::Http).bytes) - b_http0;
-    let x10_bytes = x10.powerline.with_stats(|s| s.protocol(Protocol::X10).bytes) - b_pl0;
+    home.invoke_from(
+        Middleware::Jini,
+        "hall-lamp",
+        "switch",
+        &[("on".into(), Value::Bool(true))],
+    )
+    .unwrap();
+    let b_http0 = home
+        .backbone
+        .with_stats(|s| s.protocol(Protocol::Http).bytes);
+    let b_pl0 = x10
+        .powerline
+        .with_stats(|s| s.protocol(Protocol::X10).bytes);
+    home.invoke_from(
+        Middleware::Jini,
+        "hall-lamp",
+        "switch",
+        &[("on".into(), Value::Bool(false))],
+    )
+    .unwrap();
+    let soap_bytes = home
+        .backbone
+        .with_stats(|s| s.protocol(Protocol::Http).bytes)
+        - b_http0;
+    let x10_bytes = x10
+        .powerline
+        .with_stats(|s| s.protocol(Protocol::X10).bytes)
+        - b_pl0;
 
     let mut report = Report::new(
         "E7c",
@@ -68,7 +90,11 @@ fn dynamic_table() {
         cell(soap_bytes),
         format!("{:.0}x", soap_bytes as f64 / x10_bytes.max(1) as f64),
     ]);
-    report.row(vec!["lamp module (powerline)".into(), cell(x10_bytes), "1x".into()]);
+    report.row(vec![
+        "lamp module (powerline)".into(),
+        cell(x10_bytes),
+        "1x".into(),
+    ]);
     report.emit();
 }
 

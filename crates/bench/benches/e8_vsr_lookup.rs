@@ -1,10 +1,12 @@
 //! E8 (§3.3): Virtual Service Repository performance.
 //!
 //! Publish and inquiry costs as the federation grows. Expected shape:
-//! publish and exact-resolve are flat-ish (one SOAP round trip plus a
-//! scan); wildcard finds grow with the result set (bigger replies);
-//! registry records scanned grows linearly — the repository is the
-//! component that would need indexing in a building-scale deployment.
+//! publish and exact-resolve are flat (one SOAP round trip plus an
+//! index probe); wildcard finds grow with the result set (bigger
+//! replies). With the registry's name/category indexes, records
+//! scanned tracks result sizes instead of growing with the registry —
+//! the building-scale deployment the paper gestures at is now a lookup
+//! away, not a linear scan (`BENCH_hotpath.json` has the ablation).
 
 use bench::{cell, fmt_us, Report};
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -34,14 +36,26 @@ fn simulated_scaling() {
     let mut report = Report::new(
         "E8",
         "VSR operations vs registry size (virtual time per op)",
-        &["services", "publish", "resolve", "find '%' (all)", "find 'svc-00%'", "records scanned"],
+        &[
+            "services",
+            "publish",
+            "resolve",
+            "find '%' (all)",
+            "find 'svc-00%'",
+            "records scanned",
+        ],
     );
     for n in [1usize, 10, 50, 200, 500] {
         let (sim, _net, vsr, client) = populated(n);
 
         let t0 = sim.now();
         client
-            .publish(&VirtualService::new("probe", catalog::lamp(), Middleware::X10, "x10-gw"))
+            .publish(&VirtualService::new(
+                "probe",
+                catalog::lamp(),
+                Middleware::X10,
+                "x10-gw",
+            ))
             .unwrap();
         let publish_us = (sim.now() - t0).as_micros();
 

@@ -50,7 +50,12 @@ fn replay() {
     let mut report = Report::new(
         "E9",
         "Universal Remote Controller session replay (Fig. 5)",
-        &["button", "target", "middleware", "latency (press -> effect)"],
+        &[
+            "button",
+            "target",
+            "middleware",
+            "latency (press -> effect)",
+        ],
     );
 
     // Button 1: native lamp.
@@ -58,7 +63,12 @@ fn replay() {
     remote.press(Button::On(1));
     let native_us = (home.sim.now() - t0).as_micros();
     assert!(x10.hall_lamp.is_on());
-    report.row(vec![cell("A1 ON"), cell("hall-lamp"), cell("x10 (native)"), fmt_us(native_us)]);
+    report.row(vec![
+        cell("A1 ON"),
+        cell("hall-lamp"),
+        cell("x10 (native)"),
+        fmt_us(native_us),
+    ]);
 
     // Button 5: Jini laserdisc — effect lands on the next PCM poll.
     let t0 = home.sim.now();
@@ -67,10 +77,18 @@ fn replay() {
     while !home.jini.as_ref().unwrap().laserdisc.lock().playing {
         home.sim.run_for(SimDuration::from_millis(50));
         waited += SimDuration::from_millis(50);
-        assert!(waited < SimDuration::from_secs(5), "laserdisc never started");
+        assert!(
+            waited < SimDuration::from_secs(5),
+            "laserdisc never started"
+        );
     }
     let jini_us = (home.sim.now() - t0).as_micros();
-    report.row(vec![cell("A5 ON"), cell("laserdisc"), cell("jini (bridged)"), fmt_us(jini_us)]);
+    report.row(vec![
+        cell("A5 ON"),
+        cell("laserdisc"),
+        cell("jini (bridged)"),
+        fmt_us(jini_us),
+    ]);
 
     // Button 6: HAVi camera.
     let t0 = home.sim.now();
@@ -83,7 +101,12 @@ fn replay() {
         assert!(waited < SimDuration::from_secs(5), "camera never started");
     }
     let havi_us = (home.sim.now() - t0).as_micros();
-    report.row(vec![cell("A6 ON"), cell("dv-camera"), cell("havi (bridged)"), fmt_us(havi_us)]);
+    report.row(vec![
+        cell("A6 ON"),
+        cell("dv-camera"),
+        cell("havi (bridged)"),
+        fmt_us(havi_us),
+    ]);
 
     // Sustained rate: a 10-command session.
     let t0 = home.sim.now();

@@ -8,13 +8,12 @@
 
 pub mod workload;
 
-use serde::Serialize;
 use std::fmt::Display;
 use std::fs;
 use std::path::PathBuf;
 
 /// One experiment report: a named table.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct Report {
     /// Experiment id, e.g. `"E1"`.
     pub id: String,
@@ -43,8 +42,15 @@ impl Report {
         self.rows.push(cells);
     }
 
-    /// Prints the table and writes the JSON artefact.
+    /// Prints the table and writes the JSON artefact as
+    /// `<id, lowercased>.json`.
     pub fn emit(&self) {
+        self.emit_as(&format!("{}.json", self.id.to_lowercase()));
+    }
+
+    /// Prints the table and writes the JSON artefact under an explicit
+    /// file name (for artefacts whose exact name is part of a spec).
+    pub fn emit_as(&self, filename: &str) {
         let widths: Vec<usize> = self
             .headers
             .iter()
@@ -68,19 +74,62 @@ impl Report {
                 .join("  ")
         };
         println!("{}", fmt_row(&self.headers));
-        println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        println!(
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+        );
         for r in &self.rows {
             println!("{}", fmt_row(r));
         }
 
         let dir = PathBuf::from("target/bench-results");
         let _ = fs::create_dir_all(&dir);
-        let path = dir.join(format!("{}.json", self.id.to_lowercase()));
-        if let Ok(json) = serde_json::to_string_pretty(self) {
-            let _ = fs::write(&path, json);
-            println!("[written {}]", path.display());
+        let path = dir.join(filename);
+        let _ = fs::write(&path, self.to_json());
+        println!("[written {}]", path.display());
+    }
+
+    /// Serializes the report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"id\": {},\n", json_str(&self.id)));
+        out.push_str(&format!("  \"title\": {},\n", json_str(&self.title)));
+        out.push_str(&format!(
+            "  \"headers\": {},\n",
+            json_str_array(&self.headers, "")
+        ));
+        out.push_str("  \"rows\": [\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            let sep = if i + 1 < self.rows.len() { "," } else { "" };
+            out.push_str(&format!("    {}{}\n", json_str_array(row, ""), sep));
+        }
+        out.push_str("  ]\n}");
+        out
+    }
+}
+
+/// Escapes a string as a JSON string literal.
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
         }
     }
+    out.push('"');
+    out
+}
+
+fn json_str_array(items: &[String], _indent: &str) -> String {
+    let cells: Vec<String> = items.iter().map(|s| json_str(s)).collect();
+    format!("[{}]", cells.join(", "))
 }
 
 /// Formats a cell.

@@ -37,7 +37,9 @@ pub struct Workload {
 impl Workload {
     /// Creates a generator from a seed.
     pub fn new(seed: u64) -> Workload {
-        Workload { rng: StdRng::seed_from_u64(seed) }
+        Workload {
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// The next call: a weighted mix of reads (status checks, the bulk of
@@ -67,7 +69,12 @@ impl Workload {
                 vec![("steps".into(), Value::Int(self.rng.gen_range(1..5)))],
             ),
         };
-        Call { from, service, operation, args }
+        Call {
+            from,
+            service,
+            operation,
+            args,
+        }
     }
 
     /// Generates a trace of `n` calls.
@@ -109,10 +116,8 @@ mod tests {
     #[test]
     fn traces_cover_multiple_islands_and_services() {
         let trace = Workload::new(1).trace(200);
-        let islands: std::collections::HashSet<_> =
-            trace.iter().map(|c| c.from.label()).collect();
-        let services: std::collections::HashSet<_> =
-            trace.iter().map(|c| c.service).collect();
+        let islands: std::collections::HashSet<_> = trace.iter().map(|c| c.from.label()).collect();
+        let services: std::collections::HashSet<_> = trace.iter().map(|c| c.service).collect();
         assert!(islands.len() >= 3, "{islands:?}");
         assert!(services.len() >= 5, "{services:?}");
     }

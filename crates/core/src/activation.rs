@@ -122,7 +122,12 @@ impl Activator {
         let invoker = (reg.factory)(sim)?;
         let service = reg.service.clone();
         st.activations += 1;
-        st.active.insert(name.to_owned(), ActiveInfo { last_used: sim.now() });
+        st.active.insert(
+            name.to_owned(),
+            ActiveInfo {
+                last_used: sim.now(),
+            },
+        );
         drop(st);
         sim.trace("activator", format!("activated {name}"));
 
@@ -236,11 +241,7 @@ mod tests {
         (sim, vsg, activator)
     }
 
-    fn register_counter_lamp(
-        activator: &Activator,
-        vsg: &Vsg,
-        built: Arc<Mutex<u32>>,
-    ) {
+    fn register_counter_lamp(activator: &Activator, vsg: &Vsg, built: Arc<Mutex<u32>>) {
         let built2 = built;
         activator
             .register(
@@ -249,8 +250,8 @@ mod tests {
                 move |_| {
                     *built2.lock() += 1;
                     let on = Arc::new(Mutex::new(false));
-                    Ok(Box::new(move |_: &Sim, op: &str, args: &[(String, Value)]| {
-                        match op {
+                    Ok(Box::new(
+                        move |_: &Sim, op: &str, args: &[(String, Value)]| match op {
                             "switch" => {
                                 *on.lock() = args
                                     .iter()
@@ -261,8 +262,8 @@ mod tests {
                             }
                             "status" => Ok(Value::Bool(*on.lock())),
                             _ => Ok(Value::Null),
-                        }
-                    }))
+                        },
+                    ))
                 },
             )
             .unwrap();
@@ -282,7 +283,10 @@ mod tests {
         let got = vsg.invoke(&sim, "lazy-lamp", "status", &[]).unwrap();
         assert_eq!(got, Value::Bool(false));
         assert_eq!(*built.lock(), 1);
-        assert!(sim.now() - t0 >= SimDuration::from_millis(500), "spin-up charged");
+        assert!(
+            sim.now() - t0 >= SimDuration::from_millis(500),
+            "spin-up charged"
+        );
         assert_eq!(activator.stats().activations, 1);
 
         // Second call: already active, no new build, no spin-up.
@@ -298,8 +302,13 @@ mod tests {
         let built = Arc::new(Mutex::new(0u32));
         register_counter_lamp(&activator, &vsg, built.clone());
 
-        vsg.invoke(&sim, "lazy-lamp", "switch", &[("on".into(), Value::Bool(true))])
-            .unwrap();
+        vsg.invoke(
+            &sim,
+            "lazy-lamp",
+            "switch",
+            &[("on".into(), Value::Bool(true))],
+        )
+        .unwrap();
         assert!(activator.deactivate("lazy-lamp").unwrap());
         assert!(!activator.deactivate("lazy-lamp").unwrap(), "idempotent");
         assert_eq!(activator.stats().currently_active, 0);
@@ -318,10 +327,8 @@ mod tests {
         let (sim, vsg, activator) = world();
         let built = Arc::new(Mutex::new(0u32));
         register_counter_lamp(&activator, &vsg, built);
-        let _reaper = activator.start_reaper(
-            SimDuration::from_secs(10),
-            SimDuration::from_secs(60),
-        );
+        let _reaper =
+            activator.start_reaper(SimDuration::from_secs(10), SimDuration::from_secs(60));
 
         vsg.invoke(&sim, "lazy-lamp", "status", &[]).unwrap();
         assert_eq!(activator.stats().currently_active, 1);
@@ -362,9 +369,16 @@ mod tests {
             .unwrap();
 
         assert!(vsg.invoke(&sim, "flaky", "status", &[]).is_err());
-        assert_eq!(activator.stats().activations, 0, "failed activation not counted");
+        assert_eq!(
+            activator.stats().activations,
+            0,
+            "failed activation not counted"
+        );
         // Retry succeeds.
-        assert_eq!(vsg.invoke(&sim, "flaky", "status", &[]).unwrap(), Value::Bool(true));
+        assert_eq!(
+            vsg.invoke(&sim, "flaky", "status", &[]).unwrap(),
+            Value::Bool(true)
+        );
         assert_eq!(*attempts.lock(), 2);
     }
 

@@ -105,7 +105,10 @@ impl AvBroker {
             vsg: vsg.clone(),
             pcm,
             streams: streams.clone(),
-            state: Arc::new(Mutex::new(BrokerState { next_id: 0, sessions: HashMap::new() })),
+            state: Arc::new(Mutex::new(BrokerState {
+                next_id: 0,
+                sessions: HashMap::new(),
+            })),
         }
     }
 
@@ -179,13 +182,15 @@ impl AvBroker {
         let stream = self.streams.pump(sim, &session.connection, duration);
         let bytes_saved = if session.converted() {
             let cycles = stream.packets;
-            let source_bytes =
-                cycles * u64::from(session.source_format.bytes_per_cycle());
+            let source_bytes = cycles * u64::from(session.source_format.bytes_per_cycle());
             source_bytes.saturating_sub(stream.bytes)
         } else {
             0
         };
-        AvReport { stream, bytes_saved }
+        AvReport {
+            stream,
+            bytes_saved,
+        }
     }
 
     /// Closes a session, releasing the channel and bandwidth.
@@ -216,7 +221,10 @@ impl fmt::Debug for AvBroker {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("AvBroker")
             .field("sessions", &self.session_count())
-            .field("free_bytes_per_cycle", &self.streams.available_bytes_per_cycle())
+            .field(
+                "free_bytes_per_cycle",
+                &self.streams.available_bytes_per_cycle(),
+            )
             .finish()
     }
 }
@@ -243,7 +251,13 @@ mod tests {
     fn dv_session_flows_natively() {
         let (home, broker) = broker_home();
         let session = broker
-            .open_session(&home.sim, "dv-camera", AvFormat::Dv, "living-room-vcr", AvFormat::Dv)
+            .open_session(
+                &home.sim,
+                "dv-camera",
+                AvFormat::Dv,
+                "living-room-vcr",
+                AvFormat::Dv,
+            )
             .unwrap();
         assert!(!session.converted());
         assert_eq!(broker.session_count(), 1);
@@ -263,7 +277,13 @@ mod tests {
         let (home, broker) = broker_home();
         let before = broker.streams.available_bytes_per_cycle();
         let session = broker
-            .open_session(&home.sim, "dv-camera", AvFormat::Dv, "tv-display", AvFormat::Mpeg2)
+            .open_session(
+                &home.sim,
+                "dv-camera",
+                AvFormat::Dv,
+                "tv-display",
+                AvFormat::Mpeg2,
+            )
             .unwrap();
         assert!(session.converted());
         assert_eq!(
@@ -282,11 +302,23 @@ mod tests {
     fn cross_island_streams_are_refused_with_the_e10_reason() {
         let (home, broker) = broker_home();
         let err = broker
-            .open_session(&home.sim, "dv-camera", AvFormat::Dv, "hall-lamp", AvFormat::Dv)
+            .open_session(
+                &home.sim,
+                "dv-camera",
+                AvFormat::Dv,
+                "hall-lamp",
+                AvFormat::Dv,
+            )
             .unwrap_err();
         assert!(err.to_string().contains("cannot ride the VSG"), "{err}");
         let err = broker
-            .open_session(&home.sim, "laserdisc", AvFormat::Dv, "tv-display", AvFormat::Dv)
+            .open_session(
+                &home.sim,
+                "laserdisc",
+                AvFormat::Dv,
+                "tv-display",
+                AvFormat::Dv,
+            )
             .unwrap_err();
         assert!(err.to_string().contains("jini"), "{err}");
         assert_eq!(broker.session_count(), 0);
@@ -322,11 +354,19 @@ mod tests {
         // same area" — control calls keep working while a stream flows.
         let (home, broker) = broker_home();
         let session = broker
-            .open_session(&home.sim, "dv-camera", AvFormat::Dv, "living-room-vcr", AvFormat::Dv)
+            .open_session(
+                &home.sim,
+                "dv-camera",
+                AvFormat::Dv,
+                "living-room-vcr",
+                AvFormat::Dv,
+            )
             .unwrap();
         broker.pump(&home.sim, &session, SimDuration::from_secs(1));
-        home.invoke_from(Middleware::Jini, "dv-camera", "record", &[]).unwrap();
+        home.invoke_from(Middleware::Jini, "dv-camera", "record", &[])
+            .unwrap();
         broker.pump(&home.sim, &session, SimDuration::from_secs(1));
-        home.invoke_from(Middleware::X10, "living-room-vcr", "status", &[]).unwrap();
+        home.invoke_from(Middleware::X10, "living-room-vcr", "status", &[])
+            .unwrap();
     }
 }

@@ -43,7 +43,84 @@ pub enum MetaError {
 impl MetaError {
     /// Convenience constructor for middleware-native failures.
     pub fn native(middleware: &str, detail: impl fmt::Display) -> MetaError {
-        MetaError::Native { middleware: middleware.to_owned(), detail: detail.to_string() }
+        MetaError::Native {
+            middleware: middleware.to_owned(),
+            detail: detail.to_string(),
+        }
+    }
+
+    /// Recovers a typed error from a fault string produced by
+    /// `Display`-formatting a `MetaError` on the remote side. Fault
+    /// strings travel as plain text over every VSG wire protocol, so
+    /// this is how a caller distinguishes "no such service"
+    /// (definitive, cacheable, safe to retry after re-resolving) from
+    /// an application fault that proves the call *was* processed.
+    pub fn from_fault_string(fault: &str) -> MetaError {
+        if let Some(name) = fault
+            .strip_prefix("unknown service '")
+            .and_then(|rest| rest.strip_suffix('\''))
+        {
+            return MetaError::UnknownService(name.to_owned());
+        }
+        if let Some(gw) = fault
+            .strip_prefix("gateway '")
+            .and_then(|rest| rest.strip_suffix("' unreachable"))
+        {
+            return MetaError::GatewayUnreachable(gw.to_owned());
+        }
+        if let Some((service, rest)) = fault
+            .strip_prefix("service '")
+            .and_then(|rest| rest.split_once("' has no operation '"))
+        {
+            if let Some(operation) = rest.strip_suffix('\'') {
+                return MetaError::UnknownOperation {
+                    service: service.to_owned(),
+                    operation: operation.to_owned(),
+                };
+            }
+        }
+        if let Some((head, tail)) = fault
+            .strip_prefix("type mismatch in ")
+            .and_then(|rest| rest.split_once("): expected "))
+        {
+            if let Some((operation, parameter)) = head.split_once('(') {
+                if let Some((expected, got)) = tail.split_once(", got ") {
+                    return MetaError::TypeMismatch {
+                        operation: operation.to_owned(),
+                        parameter: parameter.to_owned(),
+                        expected: expected.to_owned(),
+                        got: got.to_owned(),
+                    };
+                }
+            }
+        }
+        if let Some(msg) = fault.strip_prefix("VSG protocol error: ") {
+            return MetaError::Protocol(msg.to_owned());
+        }
+        if let Some(msg) = fault.strip_prefix("repository error: ") {
+            return MetaError::Repository(msg.to_owned());
+        }
+        if let Some((middleware, detail)) = fault.split_once(" error: ") {
+            if !middleware.is_empty() && !middleware.contains(' ') {
+                return MetaError::native(middleware, detail);
+            }
+        }
+        MetaError::Repository(fault.to_owned())
+    }
+
+    /// True if the failure guarantees the operation was *not*
+    /// executed — transport/availability problems, or a gateway that
+    /// does not know the service (a stale route) — so re-resolving and
+    /// retrying cannot double-invoke it. Application-level faults
+    /// (unknown operation, type mismatch, native middleware errors)
+    /// mean the remote side did process the call and must propagate.
+    pub fn is_retry_safe(&self) -> bool {
+        matches!(
+            self,
+            MetaError::Protocol(_)
+                | MetaError::GatewayUnreachable(_)
+                | MetaError::UnknownService(_)
+        )
     }
 }
 
@@ -54,7 +131,12 @@ impl fmt::Display for MetaError {
             MetaError::UnknownOperation { service, operation } => {
                 write!(f, "service '{service}' has no operation '{operation}'")
             }
-            MetaError::TypeMismatch { operation, parameter, expected, got } => write!(
+            MetaError::TypeMismatch {
+                operation,
+                parameter,
+                expected,
+                got,
+            } => write!(
                 f,
                 "type mismatch in {operation}({parameter}): expected {expected}, got {got}"
             ),
@@ -89,5 +171,53 @@ mod tests {
 
         let e = MetaError::native("jini", "lease expired");
         assert_eq!(e.to_string(), "jini error: lease expired");
+    }
+
+    #[test]
+    fn fault_strings_round_trip_to_typed_errors() {
+        for e in [
+            MetaError::UnknownService("hall-lamp".into()),
+            MetaError::GatewayUnreachable("x10-gw".into()),
+            MetaError::UnknownOperation {
+                service: "vcr".into(),
+                operation: "explode".into(),
+            },
+            MetaError::TypeMismatch {
+                operation: "dim".into(),
+                parameter: "level".into(),
+                expected: "int".into(),
+                got: "string".into(),
+            },
+            MetaError::Protocol("link down".into()),
+            MetaError::Repository("tModel missing".into()),
+            MetaError::native("x10", "device jammed"),
+        ] {
+            assert_eq!(MetaError::from_fault_string(&e.to_string()), e);
+        }
+        assert_eq!(
+            MetaError::from_fault_string("publish failed"),
+            MetaError::Repository("publish failed".into())
+        );
+    }
+
+    #[test]
+    fn retry_safety_classification() {
+        assert!(MetaError::Protocol("link down".into()).is_retry_safe());
+        assert!(MetaError::GatewayUnreachable("gw".into()).is_retry_safe());
+        assert!(MetaError::UnknownService("s".into()).is_retry_safe());
+        assert!(!MetaError::native("x10", "device jammed").is_retry_safe());
+        assert!(!MetaError::Repository("corrupt".into()).is_retry_safe());
+        assert!(!MetaError::UnknownOperation {
+            service: "s".into(),
+            operation: "o".into()
+        }
+        .is_retry_safe());
+        assert!(!MetaError::TypeMismatch {
+            operation: "dim".into(),
+            parameter: "level".into(),
+            expected: "int".into(),
+            got: "string".into(),
+        }
+        .is_retry_safe());
     }
 }

@@ -82,7 +82,9 @@ impl PollingBridge {
 
 impl fmt::Debug for PollingBridge {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("PollingBridge").field("stats", &self.stats()).finish()
+        f.debug_struct("PollingBridge")
+            .field("stats", &self.stats())
+            .finish()
     }
 }
 
@@ -133,7 +135,10 @@ impl SipPublisher {
         for target in targets {
             let mut st = self.stats.lock();
             st.carrier_messages += 1;
-            if self.proto.notify(&self.net, self.node, target, service, event) {
+            if self
+                .proto
+                .notify(&self.net, self.node, target, service, event)
+            {
                 st.events_delivered += 1;
             }
         }
@@ -185,7 +190,9 @@ impl SipSubscriber {
 
 impl fmt::Debug for SipSubscriber {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("SipSubscriber").field("received", &self.received()).finish()
+        f.debug_struct("SipSubscriber")
+            .field("received", &self.received())
+            .finish()
     }
 }
 
@@ -208,7 +215,12 @@ mod tests {
         let queue: Arc<Mutex<VecDeque<Value>>> = Arc::new(Mutex::new(VecDeque::new()));
         let queue2 = queue.clone();
         vsg.export(
-            VirtualService::new("hall-motion", catalog::motion_sensor(), Middleware::X10, "src-gw"),
+            VirtualService::new(
+                "hall-motion",
+                catalog::motion_sensor(),
+                Middleware::X10,
+                "src-gw",
+            ),
             move |_: &Sim, op: &str, _: &[(String, Value)]| match op {
                 "state" => Ok(Value::Bool(!queue2.lock().is_empty())),
                 "drain_events" => Ok(Value::List(queue2.lock().drain(..).collect())),
@@ -254,7 +266,8 @@ mod tests {
     #[test]
     fn stopped_bridge_stops_polling() {
         let (sim, vsg, _queue) = polling_world();
-        let bridge = PollingBridge::start(&vsg, "hall-motion", SimDuration::from_secs(1), |_, _| {});
+        let bridge =
+            PollingBridge::start(&vsg, "hall-motion", SimDuration::from_secs(1), |_, _| {});
         sim.run_for(SimDuration::from_secs(3));
         let before = bridge.stats().carrier_messages;
         bridge.stop();
@@ -293,7 +306,10 @@ mod tests {
         assert!(latency < SimDuration::from_millis(1), "push took {latency}");
 
         publisher.publish("door-motion", &Value::Bool(true));
-        assert_eq!(*got_a.lock(), vec!["hall-motion".to_owned(), "door-motion".to_owned()]);
+        assert_eq!(
+            *got_a.lock(),
+            vec!["hall-motion".to_owned(), "door-motion".to_owned()]
+        );
         assert_eq!(*got_b.lock(), vec!["door-motion".to_owned()]);
         assert_eq!(sub_a.received(), 2);
 

@@ -305,12 +305,24 @@ impl SmartHomeBuilder {
         let vsr = Vsr::start(&backbone);
 
         let jini = if self.jini {
-            Some(build_jini(&sim, &backbone, &vsr, &self.protocol, self.auto_import)?)
+            Some(build_jini(
+                &sim,
+                &backbone,
+                &vsr,
+                &self.protocol,
+                self.auto_import,
+            )?)
         } else {
             None
         };
         let havi = if self.havi {
-            Some(build_havi(&sim, &backbone, &vsr, &self.protocol, self.auto_import)?)
+            Some(build_havi(
+                &sim,
+                &backbone,
+                &vsr,
+                &self.protocol,
+                self.auto_import,
+            )?)
         } else {
             None
         };
@@ -332,12 +344,27 @@ impl SmartHomeBuilder {
             None
         };
         let upnp = if self.upnp {
-            Some(build_upnp(&sim, &backbone, &vsr, &self.protocol, self.auto_import)?)
+            Some(build_upnp(
+                &sim,
+                &backbone,
+                &vsr,
+                &self.protocol,
+                self.auto_import,
+            )?)
         } else {
             None
         };
 
-        Ok(SmartHome { sim, backbone, vsr, jini, havi, x10, mail, upnp })
+        Ok(SmartHome {
+            sim,
+            backbone,
+            vsr,
+            jini,
+            havi,
+            x10,
+            mail,
+            upnp,
+        })
     }
 }
 
@@ -357,7 +384,10 @@ fn build_jini(
     let registrars = discover(&net, join_node, "public");
     let joiner = RegistrarClient::new(&net, join_node, registrars[0]);
 
-    let laserdisc = Arc::new(Mutex::new(LaserdiscState { playing: false, chapter: 0 }));
+    let laserdisc = Arc::new(Mutex::new(LaserdiscState {
+        playing: false,
+        chapter: 0,
+    }));
     let ld = laserdisc.clone();
     let ld_stub = exporter.export("LaserdiscPlayer", move |_, method, args| match method {
         "play" => {
@@ -405,7 +435,11 @@ fn build_jini(
     });
     joiner
         .register(
-            &ServiceItem::new(fridge_stub, vec!["Fridge".into()], vec![Entry::name("fridge"), Entry::location("kitchen")]),
+            &ServiceItem::new(
+                fridge_stub,
+                vec!["Fridge".into()],
+                vec![Entry::name("fridge"), Entry::location("kitchen")],
+            ),
             SimDuration::from_secs(300),
         )
         .map_err(|e| MetaError::native("jini", e))?;
@@ -438,7 +472,15 @@ fn build_jini(
     if auto_import {
         pcm.import_services()?;
     }
-    Ok(JiniIsland { net, reggie, vsg, pcm, laserdisc, fridge_temp, aircon_on })
+    Ok(JiniIsland {
+        net,
+        reggie,
+        vsg,
+        pcm,
+        laserdisc,
+        fridge_temp,
+        aircon_on,
+    })
 }
 
 fn build_havi(
@@ -458,10 +500,14 @@ fn build_havi(
         &bus,
         "digital-tv",
         0x7001,
-        &[(FcmKind::Tuner, "tv-tuner"), (FcmKind::Display, "tv-display")],
+        &[
+            (FcmKind::Tuner, "tv-tuner"),
+            (FcmKind::Display, "tv-display"),
+        ],
         Some(events.seid()),
     );
-    tv.announce(registry.seid()).map_err(|e| MetaError::native("havi", e))?;
+    tv.announce(registry.seid())
+        .map_err(|e| MetaError::native("havi", e))?;
     let mut camcorder = Dcm::install(
         &bus,
         "camcorder",
@@ -479,14 +525,26 @@ fn build_havi(
         &[(FcmKind::Vcr, "living-room-vcr")],
         Some(events.seid()),
     );
-    vcr.announce(registry.seid()).map_err(|e| MetaError::native("havi", e))?;
+    vcr.announce(registry.seid())
+        .map_err(|e| MetaError::native("havi", e))?;
 
     let vsg = Vsg::start(backbone, "havi-gw", protocol.clone(), vsr.node())?;
     let pcm = HaviPcm::start(&vsg, &bus, registry.seid());
     if auto_import {
         pcm.import_services()?;
     }
-    Ok(HaviIsland { bus, fav, registry, events, streams, vsg, pcm, tv, camcorder, vcr })
+    Ok(HaviIsland {
+        bus,
+        fav,
+        registry,
+        events,
+        streams,
+        vsg,
+        pcm,
+        tv,
+        camcorder,
+        vcr,
+    })
 }
 
 fn build_x10(
@@ -505,9 +563,27 @@ fn build_x10(
     let serial = Network::serial(sim);
     let cm11a = Cm11a::install(&serial, &powerline);
 
-    let hall_lamp = Module::plug_in(&powerline, "hall-lamp", ModuleKind::Lamp, house('A'), unit(1));
-    let desk_lamp = Module::plug_in(&powerline, "desk-lamp", ModuleKind::Lamp, house('A'), unit(2));
-    let fan = Module::plug_in(&powerline, "fan", ModuleKind::Appliance, house('A'), unit(3));
+    let hall_lamp = Module::plug_in(
+        &powerline,
+        "hall-lamp",
+        ModuleKind::Lamp,
+        house('A'),
+        unit(1),
+    );
+    let desk_lamp = Module::plug_in(
+        &powerline,
+        "desk-lamp",
+        ModuleKind::Lamp,
+        house('A'),
+        unit(2),
+    );
+    let fan = Module::plug_in(
+        &powerline,
+        "fan",
+        ModuleKind::Appliance,
+        house('A'),
+        unit(3),
+    );
     let mut motion = MotionSensor::install(&powerline, "hall-motion", house('C'), unit(9));
     motion.set_auto_clear(None);
 
@@ -520,7 +596,17 @@ fn build_x10(
         pcm.import_module_with("fan", house('A'), unit(3), &[("room", "study")])?;
         pcm.import_sensor_with("hall-motion", house('C'), unit(9), &[("room", "hall")])?;
     }
-    Ok(X10Island { powerline, serial, cm11a, vsg, pcm, hall_lamp, desk_lamp, fan, motion })
+    Ok(X10Island {
+        powerline,
+        serial,
+        cm11a,
+        vsg,
+        pcm,
+        hall_lamp,
+        desk_lamp,
+        fan,
+        motion,
+    })
 }
 
 fn build_mail(
@@ -534,7 +620,13 @@ fn build_mail(
     let client = MailClient::attach(&inet, "home-mail-gw", server.node());
     let vsg = Vsg::start(backbone, "inet-gw", protocol.clone(), vsr.node())?;
     let pcm = MailPcm::start(&vsg, client.clone(), "home@example.org")?;
-    Ok(MailIsland { inet, server, client, vsg, pcm })
+    Ok(MailIsland {
+        inet,
+        server,
+        client,
+        vsg,
+        pcm,
+    })
 }
 
 fn build_upnp(
@@ -573,7 +665,12 @@ fn build_upnp(
     if auto_import {
         pcm.import_services()?;
     }
-    Ok(UpnpIsland { net, vsg, pcm, porch_on })
+    Ok(UpnpIsland {
+        net,
+        vsg,
+        pcm,
+        porch_on,
+    })
 }
 
 /// The standard service names the default home publishes, by island.
@@ -682,7 +779,11 @@ mod tests {
 
     #[test]
     fn manual_import_builds_empty_vsr() {
-        let home = SmartHome::builder().manual_import().mail(false).build().unwrap();
+        let home = SmartHome::builder()
+            .manual_import()
+            .mail(false)
+            .build()
+            .unwrap();
         assert_eq!(home.service_count(), 0);
         // Importing later works.
         home.jini.as_ref().unwrap().pcm.import_services().unwrap();
@@ -703,6 +804,13 @@ mod tests {
             ],
         )
         .unwrap();
-        assert_eq!(home.mail.as_ref().unwrap().server.mailbox_len("owner@example.org"), 1);
+        assert_eq!(
+            home.mail
+                .as_ref()
+                .unwrap()
+                .server
+                .mailbox_len("owner@example.org"),
+            1
+        );
     }
 }

@@ -95,7 +95,11 @@ pub struct OpSig {
 impl OpSig {
     /// Creates a void, parameterless operation.
     pub fn new(name: impl Into<String>) -> OpSig {
-        OpSig { name: name.into(), params: Vec::new(), returns: None }
+        OpSig {
+            name: name.into(),
+            params: Vec::new(),
+            returns: None,
+        }
     }
 
     /// Adds a parameter (builder style).
@@ -114,14 +118,15 @@ impl OpSig {
     /// matched by name; extra arguments are rejected, missing ones too.
     pub fn check_args(&self, args: &[(String, Value)]) -> Result<(), MetaError> {
         for (name, ty) in &self.params {
-            let arg = args.iter().find(|(k, _)| k == name).ok_or_else(|| {
-                MetaError::TypeMismatch {
-                    operation: self.name.clone(),
-                    parameter: name.clone(),
-                    expected: ty.to_string(),
-                    got: "missing".into(),
-                }
-            })?;
+            let arg =
+                args.iter()
+                    .find(|(k, _)| k == name)
+                    .ok_or_else(|| MetaError::TypeMismatch {
+                        operation: self.name.clone(),
+                        parameter: name.clone(),
+                        expected: ty.to_string(),
+                        got: "missing".into(),
+                    })?;
             if !ty.admits(&arg.1) {
                 return Err(MetaError::TypeMismatch {
                     operation: self.name.clone(),
@@ -158,7 +163,10 @@ pub struct ServiceInterface {
 impl ServiceInterface {
     /// Creates an empty interface.
     pub fn new(name: impl Into<String>) -> ServiceInterface {
-        ServiceInterface { name: name.into(), operations: Vec::new() }
+        ServiceInterface {
+            name: name.into(),
+            operations: Vec::new(),
+        }
     }
 
     /// Adds an operation (builder style).
@@ -290,12 +298,10 @@ pub mod catalog {
         ServiceInterface::new("VcrControl")
             .op(OpSig::new("play"))
             .op(OpSig::new("stop"))
-            .op(
-                OpSig::new("record")
-                    .param("channel", TypeTag::Int)
-                    .param("title", TypeTag::Str)
-                    .returns(TypeTag::Bool),
-            )
+            .op(OpSig::new("record")
+                .param("channel", TypeTag::Int)
+                .param("title", TypeTag::Str)
+                .returns(TypeTag::Bool))
             .op(OpSig::new("position").returns(TypeTag::Int))
     }
 
@@ -346,13 +352,13 @@ pub mod catalog {
     /// A mail notification service.
     pub fn mailer() -> ServiceInterface {
         ServiceInterface::new("Mailer")
-            .op(
-                OpSig::new("send")
-                    .param("to", TypeTag::Str)
-                    .param("subject", TypeTag::Str)
-                    .param("body", TypeTag::Str),
-            )
-            .op(OpSig::new("unread").param("mailbox", TypeTag::Str).returns(TypeTag::Int))
+            .op(OpSig::new("send")
+                .param("to", TypeTag::Str)
+                .param("subject", TypeTag::Str)
+                .param("body", TypeTag::Str))
+            .op(OpSig::new("unread")
+                .param("mailbox", TypeTag::Str)
+                .returns(TypeTag::Int))
     }
 
     /// A motion sensor (event source, pollable).
@@ -378,7 +384,14 @@ mod tests {
 
     #[test]
     fn xsd_round_trip() {
-        for t in [TypeTag::Bool, TypeTag::Int, TypeTag::Float, TypeTag::Str, TypeTag::Bytes, TypeTag::Any] {
+        for t in [
+            TypeTag::Bool,
+            TypeTag::Int,
+            TypeTag::Float,
+            TypeTag::Str,
+            TypeTag::Bytes,
+            TypeTag::Any,
+        ] {
             assert_eq!(TypeTag::from_xsd(t.to_xsd()), t);
         }
     }
@@ -389,17 +402,28 @@ mod tests {
             .param("channel", TypeTag::Int)
             .param("title", TypeTag::Str);
         assert!(sig
-            .check_args(&[("channel".into(), Value::Int(4)), ("title".into(), Value::Str("t".into()))])
+            .check_args(&[
+                ("channel".into(), Value::Int(4)),
+                ("title".into(), Value::Str("t".into()))
+            ])
             .is_ok());
         // Order doesn't matter.
         assert!(sig
-            .check_args(&[("title".into(), Value::Str("t".into())), ("channel".into(), Value::Int(4))])
+            .check_args(&[
+                ("title".into(), Value::Str("t".into())),
+                ("channel".into(), Value::Int(4))
+            ])
             .is_ok());
         // Missing parameter.
-        assert!(sig.check_args(&[("channel".into(), Value::Int(4))]).is_err());
+        assert!(sig
+            .check_args(&[("channel".into(), Value::Int(4))])
+            .is_err());
         // Wrong type.
         assert!(sig
-            .check_args(&[("channel".into(), Value::Str("x".into())), ("title".into(), Value::Str("t".into()))])
+            .check_args(&[
+                ("channel".into(), Value::Str("x".into())),
+                ("title".into(), Value::Str("t".into()))
+            ])
             .is_err());
         // Extra parameter.
         assert!(sig
@@ -445,8 +469,7 @@ mod tests {
         ] {
             assert!(!iface.operations.is_empty(), "{} has ops", iface.name);
             // Operation names unique.
-            let mut names: Vec<&str> =
-                iface.operations.iter().map(|o| o.name.as_str()).collect();
+            let mut names: Vec<&str> = iface.operations.iter().map(|o| o.name.as_str()).collect();
             names.sort();
             let len = names.len();
             names.dedup();

@@ -62,6 +62,7 @@ pub mod metrics;
 pub mod pcm;
 pub mod protocol;
 pub mod proxygen;
+pub mod rescache;
 pub mod service;
 pub mod vsg;
 pub mod vsr;
@@ -72,10 +73,11 @@ pub use error::MetaError;
 pub use events::{BridgeStats, PollingBridge, SipPublisher, SipSubscriber};
 pub use home::{house, unit, SmartHome, SmartHomeBuilder};
 pub use iface::{catalog, InterfaceCatalog, OpSig, ServiceInterface, TypeTag};
-pub use metrics::{footprint, Measurement, Probe};
+pub use metrics::{footprint, CacheStats, Measurement, Probe};
 pub use pcm::ProtocolConversionManager;
 pub use protocol::{CompactBinary, SipLike, Soap11, VsgProtocol, VsgRequest};
 pub use proxygen::{generate, GeneratedProxy, ProxyGenCost, ProxyTarget};
+pub use rescache::ResolutionCache;
 pub use service::{Middleware, ServiceInvoker, VirtualService};
 pub use vsg::Vsg;
 pub use vsr::{ServiceRecord, Vsr, VsrClient};

@@ -33,7 +33,13 @@ impl Measurement {
 
 impl fmt::Display for Measurement {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} / {}B / {} frames", self.elapsed, self.total_bytes(), self.total_frames())?;
+        write!(
+            f,
+            "{} / {}B / {} frames",
+            self.elapsed,
+            self.total_bytes(),
+            self.total_frames()
+        )?;
         Ok(())
     }
 }
@@ -75,7 +81,44 @@ impl<'a> Probe<'a> {
                 )
             })
             .collect();
-        (value, Measurement { elapsed: self.sim.now() - t0, traffic })
+        (
+            value,
+            Measurement {
+                elapsed: self.sim.now() - t0,
+                traffic,
+            },
+        )
+    }
+}
+
+/// Hit/miss/eviction counters for the gateway resolution cache
+/// (observable per gateway via `Vsg::cache_stats`, reported by the E11
+/// hot-path ablations).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from a cached `ServiceRecord`.
+    pub hits: u64,
+    /// Lookups answered from a cached negative ("no such service")
+    /// entry, sparing the VSR a round trip per repeated miss.
+    pub negative_hits: u64,
+    /// Lookups that fell through to VSR resolution.
+    pub misses: u64,
+    /// Entries displaced by the capacity bound (LRU order).
+    pub evictions: u64,
+    /// Entries dropped by explicit invalidation (withdraw/re-export or
+    /// a stale route detected mid-invocation).
+    pub invalidations: u64,
+}
+
+impl CacheStats {
+    /// Hit ratio over all lookups (0.0 when no lookups happened).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.negative_hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            (self.hits + self.negative_hits) as f64 / total as f64
+        }
     }
 }
 
@@ -106,43 +149,76 @@ pub mod footprint {
     }
 
     /// An X10 module's microcontroller (PIC-class).
-    pub const X10_MODULE: DeviceClass =
-        DeviceClass { name: "x10-module", code_budget: 2_048, ram_budget: 128 };
+    pub const X10_MODULE: DeviceClass = DeviceClass {
+        name: "x10-module",
+        code_budget: 2_048,
+        ram_budget: 128,
+    };
     /// A sensor node / small appliance MCU.
-    pub const SENSOR_NODE: DeviceClass =
-        DeviceClass { name: "sensor-node", code_budget: 65_536, ram_budget: 16_384 };
+    pub const SENSOR_NODE: DeviceClass = DeviceClass {
+        name: "sensor-node",
+        code_budget: 65_536,
+        ram_budget: 16_384,
+    };
     /// A digital AV appliance (HAVi-class, 32-bit with some RAM).
-    pub const AV_APPLIANCE: DeviceClass =
-        DeviceClass { name: "av-appliance", code_budget: 2_097_152, ram_budget: 524_288 };
+    pub const AV_APPLIANCE: DeviceClass = DeviceClass {
+        name: "av-appliance",
+        code_budget: 2_097_152,
+        ram_budget: 524_288,
+    };
     /// A set-top box / residential gateway.
-    pub const SET_TOP_BOX: DeviceClass =
-        DeviceClass { name: "set-top-box", code_budget: 8_388_608, ram_budget: 8_388_608 };
+    pub const SET_TOP_BOX: DeviceClass = DeviceClass {
+        name: "set-top-box",
+        code_budget: 8_388_608,
+        ram_budget: 8_388_608,
+    };
     /// A PC.
-    pub const PC: DeviceClass =
-        DeviceClass { name: "pc", code_budget: u32::MAX, ram_budget: u32::MAX };
+    pub const PC: DeviceClass = DeviceClass {
+        name: "pc",
+        code_budget: u32::MAX,
+        ram_budget: u32::MAX,
+    };
 
     /// All device classes, smallest first.
     pub const DEVICE_CLASSES: [DeviceClass; 5] =
         [X10_MODULE, SENSOR_NODE, AV_APPLIANCE, SET_TOP_BOX, PC];
 
     /// X10 receiver logic: a code wheel and a latch.
-    pub const X10_STACK: StackProfile =
-        StackProfile { name: "x10", code_bytes: 512, ram_bytes: 16 };
+    pub const X10_STACK: StackProfile = StackProfile {
+        name: "x10",
+        code_bytes: 512,
+        ram_bytes: 16,
+    };
     /// An IEEE1394 link + HAVi messaging subset.
-    pub const HAVI_STACK: StackProfile =
-        StackProfile { name: "havi-1394", code_bytes: 262_144, ram_bytes: 65_536 };
+    pub const HAVI_STACK: StackProfile = StackProfile {
+        name: "havi-1394",
+        code_bytes: 262_144,
+        ram_bytes: 65_536,
+    };
     /// UDP/IP + a SIP-subset parser.
-    pub const SIP_UDP_STACK: StackProfile =
-        StackProfile { name: "sip-udp", code_bytes: 24_576, ram_bytes: 8_192 };
+    pub const SIP_UDP_STACK: StackProfile = StackProfile {
+        name: "sip-udp",
+        code_bytes: 24_576,
+        ram_bytes: 8_192,
+    };
     /// TCP/IP + HTTP/1.1.
-    pub const TCP_HTTP_STACK: StackProfile =
-        StackProfile { name: "tcp-http", code_bytes: 49_152, ram_bytes: 32_768 };
+    pub const TCP_HTTP_STACK: StackProfile = StackProfile {
+        name: "tcp-http",
+        code_bytes: 49_152,
+        ram_bytes: 32_768,
+    };
     /// TCP/IP + HTTP + XML parser + SOAP runtime (the full VSG stack).
-    pub const SOAP_STACK: StackProfile =
-        StackProfile { name: "tcp-http-soap", code_bytes: 262_144, ram_bytes: 131_072 };
+    pub const SOAP_STACK: StackProfile = StackProfile {
+        name: "tcp-http-soap",
+        code_bytes: 262_144,
+        ram_bytes: 131_072,
+    };
     /// The JVM-hosted Jini stack.
-    pub const JINI_STACK: StackProfile =
-        StackProfile { name: "jvm-jini", code_bytes: 8_388_608, ram_bytes: 4_194_304 };
+    pub const JINI_STACK: StackProfile = StackProfile {
+        name: "jvm-jini",
+        code_bytes: 8_388_608,
+        ram_bytes: 4_194_304,
+    };
 
     /// All stacks, lightest first.
     pub const STACKS: [StackProfile; 6] = [
@@ -176,7 +252,8 @@ mod tests {
         let b = net.attach("b");
         let probe = Probe::new(&sim, vec![&net]);
         let ((), m) = probe.measure(|| {
-            net.send(Frame::new(a, b, Protocol::Raw, vec![0u8; 100])).unwrap();
+            net.send(Frame::new(a, b, Protocol::Raw, vec![0u8; 100]))
+                .unwrap();
             sim.advance(SimDuration::from_millis(1));
         });
         assert!(m.elapsed >= SimDuration::from_millis(1));
@@ -192,7 +269,8 @@ mod tests {
         let net = Network::ethernet(&sim);
         let a = net.attach("a");
         let b = net.attach("b");
-        net.send(Frame::new(a, b, Protocol::Raw, vec![0u8; 500])).unwrap();
+        net.send(Frame::new(a, b, Protocol::Raw, vec![0u8; 500]))
+            .unwrap();
         let probe = Probe::new(&sim, vec![&net]);
         let ((), m) = probe.measure(|| {});
         assert_eq!(m.total_bytes(), 0);
@@ -205,9 +283,15 @@ mod tests {
         assert!(!X10_MODULE.can_host(&TCP_HTTP_STACK));
         assert!(!X10_MODULE.can_host(&SIP_UDP_STACK));
         assert!(!SENSOR_NODE.can_host(&SOAP_STACK));
-        assert!(SENSOR_NODE.can_host(&SIP_UDP_STACK), "SIP/UDP fits where SOAP cannot");
+        assert!(
+            SENSOR_NODE.can_host(&SIP_UDP_STACK),
+            "SIP/UDP fits where SOAP cannot"
+        );
         assert!(AV_APPLIANCE.can_host(&HAVI_STACK));
-        assert!(!AV_APPLIANCE.can_host(&JINI_STACK), "no JVM on an AV appliance");
+        assert!(
+            !AV_APPLIANCE.can_host(&JINI_STACK),
+            "no JVM on an AV appliance"
+        );
         assert!(SET_TOP_BOX.can_host(&SOAP_STACK));
         assert!(PC.can_host(&JINI_STACK));
     }

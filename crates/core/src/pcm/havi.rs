@@ -159,13 +159,19 @@ pub fn hvalue_to_value(h: &HValue, ty: TypeTag) -> Value {
             .as_u32()
             .map(|u| Value::Float(f64::from(u)))
             .unwrap_or(Value::Null),
-        (TypeTag::Int, _) => h.as_u32().map(|u| Value::Int(i64::from(u))).unwrap_or(Value::Null),
+        (TypeTag::Int, _) => h
+            .as_u32()
+            .map(|u| Value::Int(i64::from(u)))
+            .unwrap_or(Value::Null),
         (TypeTag::Str, HValue::Str(s)) => Value::Str(s.clone()),
         (TypeTag::Bytes, HValue::Bytes(b)) => Value::Bytes(b.clone()),
         (_, HValue::Bool(b)) => Value::Bool(*b),
         (_, HValue::Str(s)) => Value::Str(s.clone()),
         (_, HValue::Bytes(b)) => Value::Bytes(b.clone()),
-        (_, other) => other.as_u32().map(|u| Value::Int(i64::from(u))).unwrap_or(Value::Null),
+        (_, other) => other
+            .as_u32()
+            .map(|u| Value::Int(i64::from(u)))
+            .unwrap_or(Value::Null),
     }
 }
 
@@ -246,7 +252,9 @@ impl HaviPcm {
                 proxy,
             )?;
             self.imported.lock().push(name.clone());
-            self.imported_fcms.lock().insert(name.clone(), (kind, entry.seid));
+            self.imported_fcms
+                .lock()
+                .insert(name.clone(), (kind, entry.seid));
             names.push(name);
         }
         Ok(names)
@@ -256,12 +264,11 @@ impl HaviPcm {
         let ms = self.ms.clone();
         let control = self.control;
         Arc::new(move |_sim, op, args| {
-            let (opcode, params) = op_to_fcm(kind, op, args).ok_or_else(|| {
-                MetaError::UnknownOperation {
+            let (opcode, params) =
+                op_to_fcm(kind, op, args).ok_or_else(|| MetaError::UnknownOperation {
                     service: kind.device_class().to_owned(),
                     operation: op.to_owned(),
-                }
-            })?;
+                })?;
             let reply = ms
                 .send_ok(control.handle, fcm, opcode, params)
                 .map_err(|e: HaviError| MetaError::native("havi", e))?;
@@ -347,16 +354,16 @@ impl HaviPcm {
                             id: actions.len() as u16,
                             label: format!("{} {}", op.name, suffix),
                         });
-                        actions.push((
-                            op.name.clone(),
-                            vec![(pname.clone(), Value::Bool(v))],
-                        ));
+                        actions.push((op.name.clone(), vec![(pname.clone(), Value::Bool(v))]));
                     }
                 }
                 _ => {} // parameterised ops need a richer UI than DDI buttons
             }
         }
-        let tree = DdiElement::Panel { title: record.name.clone(), children };
+        let tree = DdiElement::Panel {
+            title: record.name.clone(),
+            children,
+        };
 
         let vsg = self.vsg.clone();
         let service = record.name.clone();
@@ -384,8 +391,7 @@ impl HaviPcm {
     pub fn export_all_remote(&self) -> Result<Vec<String>, MetaError> {
         let mut done = Vec::new();
         for record in self.vsg.vsr().find("%", None)? {
-            if record.middleware == Middleware::Havi
-                || self.exported.lock().contains(&record.name)
+            if record.middleware == Middleware::Havi || self.exported.lock().contains(&record.name)
             {
                 continue;
             }
@@ -403,18 +409,25 @@ pub struct HaviBridgeClient {
     ms: MessagingSystem,
     src_handle: u32,
     bridge: Seid,
-    interface: ServiceInterface,
+    interface: Arc<ServiceInterface>,
 }
 
 impl HaviBridgeClient {
-    /// Wraps a bridge element found in the registry.
+    /// Wraps a bridge element found in the registry. The interface is
+    /// shared (`Arc`) so wrapping a resolved [`ServiceRecord`]'s
+    /// interface costs no clone of the operation table.
     pub fn new(
         ms: &MessagingSystem,
         src_handle: u32,
         bridge: Seid,
-        interface: ServiceInterface,
+        interface: Arc<ServiceInterface>,
     ) -> HaviBridgeClient {
-        HaviBridgeClient { ms: ms.clone(), src_handle, bridge, interface }
+        HaviBridgeClient {
+            ms: ms.clone(),
+            src_handle,
+            bridge,
+            interface,
+        }
     }
 
     /// Calls `op` with positional canonical args.
@@ -525,8 +538,13 @@ mod tests {
         tv.announce(registry.seid()).unwrap();
         pcm.import_services().unwrap();
 
-        vsg.invoke(&sim, "tv-tuner", "set_channel", &[("channel".into(), Value::Int(42))])
-            .unwrap();
+        vsg.invoke(
+            &sim,
+            "tv-tuner",
+            "set_channel",
+            &[("channel".into(), Value::Int(42))],
+        )
+        .unwrap();
         let ch = vsg.invoke(&sim, "tv-tuner", "channel", &[]).unwrap();
         assert_eq!(ch, Value::Int(42));
     }
@@ -664,7 +682,9 @@ mod ddi_tests {
 
         let tv = havi.tv.messaging();
         let gui = tv.register_element(|_, _| (HaviStatus::Success, vec![]));
-        let ui = DdiController::new(tv, gui.handle).fetch(panel.seid()).unwrap();
+        let ui = DdiController::new(tv, gui.handle)
+            .fetch(panel.seid())
+            .unwrap();
         assert!(ui.to_string().contains("jini via jini-gw"), "{ui}");
 
         // Discoverable in the HAVi registry as a ddi-panel element.
@@ -683,16 +703,19 @@ mod ddi_tests {
         let (_bridge, panel) = havi.pcm.export_remote_with_panel(&record).unwrap();
         // Withdraw the lamp, then press: the press succeeds at the DDI
         // layer; the failure lands in the trace.
-        home.x10.as_ref().unwrap().vsg.withdraw("hall-lamp").unwrap();
+        home.x10
+            .as_ref()
+            .unwrap()
+            .vsg
+            .withdraw("hall-lamp")
+            .unwrap();
         let tv = havi.tv.messaging();
         let gui = tv.register_element(|_, _| (HaviStatus::Success, vec![]));
         let controller = DdiController::new(tv, gui.handle);
         let ui = controller.fetch(panel.seid()).unwrap();
         let (id, _) = ui.buttons()[0];
         controller.press(panel.seid(), id).unwrap();
-        let traced = home.sim.with_tracer(|t| {
-            t.by_component("havi-ddi").count()
-        });
+        let traced = home.sim.with_tracer(|t| t.by_component("havi-ddi").count());
         assert!(traced >= 1, "failure should be traced");
     }
 }

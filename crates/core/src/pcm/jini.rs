@@ -96,10 +96,9 @@ impl JiniPcm {
         let exporter = RmiExporter::attach(jini_net, "jini-pcm");
         let node = exporter.node();
         let registrars = discover(jini_net, node, group);
-        let registrar_node = registrars
-            .first()
-            .copied()
-            .ok_or_else(|| MetaError::native("jini", format!("no lookup service in group '{group}'")))?;
+        let registrar_node = registrars.first().copied().ok_or_else(|| {
+            MetaError::native("jini", format!("no lookup service in group '{group}'"))
+        })?;
         Ok(JiniPcm {
             vsg: vsg.clone(),
             net: jini_net.clone(),
@@ -137,11 +136,7 @@ impl JiniPcm {
             .map_err(|e| MetaError::native("jini", e))?;
         let mut names = Vec::new();
         for item in items {
-            if item
-                .entries
-                .iter()
-                .any(|e| e.class == BRIDGED_ENTRY_CLASS)
-            {
+            if item.entries.iter().any(|e| e.class == BRIDGED_ENTRY_CLASS) {
                 continue;
             }
             let Some(iface_name) = item.interfaces.first() else {
@@ -217,20 +212,22 @@ impl JiniPcm {
         let iface = record.interface.clone();
         let iface_name = iface.name.clone();
         let service_name = record.name.clone();
-        let stub = self.exporter.export(&iface_name, move |sim, method, jargs| {
-            let sig = iface
-                .find(method)
-                .ok_or_else(|| format!("no operation {method}"))?;
-            let args: Vec<(String, Value)> = sig
-                .params
-                .iter()
-                .zip(jargs)
-                .map(|((name, _), j)| (name.clone(), jvalue_to_value(j)))
-                .collect();
-            vsg.invoke(sim, &service_name, method, &args)
-                .map(|v| value_to_jvalue(&v))
-                .map_err(|e| e.to_string())
-        });
+        let stub = self
+            .exporter
+            .export(&iface_name, move |sim, method, jargs| {
+                let sig = iface
+                    .find(method)
+                    .ok_or_else(|| format!("no operation {method}"))?;
+                let args: Vec<(String, Value)> = sig
+                    .params
+                    .iter()
+                    .zip(jargs)
+                    .map(|((name, _), j)| (name.clone(), jvalue_to_value(j)))
+                    .collect();
+                vsg.invoke(sim, &service_name, method, &args)
+                    .map(|v| value_to_jvalue(&v))
+                    .map_err(|e| e.to_string())
+            });
         let item = ServiceItem::new(
             stub,
             vec![record.interface.name.clone()],
@@ -348,7 +345,12 @@ mod tests {
                 Ok(JValue::Null)
             }
             "status" => Ok(JValue::Str(
-                if *playing.lock() { "playing" } else { "stopped" }.into(),
+                if *playing.lock() {
+                    "playing"
+                } else {
+                    "stopped"
+                }
+                .into(),
             )),
             other => Err(format!("no method {other}")),
         });
@@ -388,7 +390,12 @@ mod tests {
 
         // Invoke through the framework: canonical -> RMI conversion.
         let got = vsg
-            .invoke(&sim, "laserdisc", "play", &[("chapter".into(), Value::Int(3))])
+            .invoke(
+                &sim,
+                "laserdisc",
+                "play",
+                &[("chapter".into(), Value::Int(3))],
+            )
             .unwrap();
         assert_eq!(got, Value::Str("chapter 3".into()));
         let got = vsg.invoke(&sim, "laserdisc", "status", &[]).unwrap();
@@ -489,7 +496,8 @@ mod tests {
             |_: &Sim, _: &str, _: &[(String, Value)]| Ok(Value::Null),
         )
         .unwrap();
-        pcm.export_remote(&vsg.resolve("hall-lamp").unwrap()).unwrap();
+        pcm.export_remote(&vsg.resolve("hall-lamp").unwrap())
+            .unwrap();
         let _renewal = pcm.start_lease_renewal(SimDuration::from_secs(60));
 
         // Without renewal the 120 s lease would expire well before 10 min.

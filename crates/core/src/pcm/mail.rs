@@ -57,9 +57,15 @@ impl MailPcm {
                 };
                 match op {
                     "send" => {
-                        let mail =
-                            Email::new(&from, str_arg("to")?, str_arg("subject")?, str_arg("body")?);
-                        client.send(&mail).map_err(|e| MetaError::native("mail", e))?;
+                        let mail = Email::new(
+                            &from,
+                            str_arg("to")?,
+                            str_arg("subject")?,
+                            str_arg("body")?,
+                        );
+                        client
+                            .send(&mail)
+                            .map_err(|e| MetaError::native("mail", e))?;
                         Ok(Value::Null)
                     }
                     "unread" => {
@@ -151,16 +157,26 @@ mod tests {
         let (sim, vsg, _server, client) = world();
         let _pcm = MailPcm::start(&vsg, client.clone(), "home@example.org").unwrap();
         assert_eq!(
-            vsg.invoke(&sim, "mailer", "unread", &[("mailbox".into(), Value::Str("home@example.org".into()))])
-                .unwrap(),
+            vsg.invoke(
+                &sim,
+                "mailer",
+                "unread",
+                &[("mailbox".into(), Value::Str("home@example.org".into()))]
+            )
+            .unwrap(),
             Value::Int(0)
         );
         client
             .send(&Email::new("friend@x", "home@example.org", "hi", "hello"))
             .unwrap();
         assert_eq!(
-            vsg.invoke(&sim, "mailer", "unread", &[("mailbox".into(), Value::Str("home@example.org".into()))])
-                .unwrap(),
+            vsg.invoke(
+                &sim,
+                "mailer",
+                "unread",
+                &[("mailbox".into(), Value::Str("home@example.org".into()))]
+            )
+            .unwrap(),
             Value::Int(1)
         );
     }

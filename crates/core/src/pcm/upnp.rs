@@ -39,15 +39,20 @@ fn dimmable_light_interface() -> ServiceInterface {
         .op(OpSig::new("level").returns(TypeTag::Int))
 }
 
+/// A mapped UPnP invocation: the target service type, the action name,
+/// and the action's named arguments.
+type UpnpAction = (&'static str, String, Vec<(String, Value)>);
+
 /// Maps a canonical op to `(service-type, action, action-args)`.
-fn op_to_action(
-    op: &str,
-    args: &[(String, Value)],
-) -> Option<(&'static str, String, Vec<(String, Value)>)> {
+fn op_to_action(op: &str, args: &[(String, Value)]) -> Option<UpnpAction> {
     match op {
         "switch" => {
             let on = args.iter().find(|(k, _)| k == "on")?.1.clone();
-            Some((SWITCH_POWER, "SetTarget".into(), vec![("NewTargetValue".into(), on)]))
+            Some((
+                SWITCH_POWER,
+                "SetTarget".into(),
+                vec![("NewTargetValue".into(), on)],
+            ))
         }
         "status" => Some((SWITCH_POWER, "GetStatus".into(), vec![])),
         "set_level" => {
@@ -114,8 +119,7 @@ impl UpnpPcm {
             } else {
                 switch_power_interface()
             };
-            let target =
-                self.action_target(hit.node, svc.control_url.clone(), dimming_url);
+            let target = self.action_target(hit.node, svc.control_url.clone(), dimming_url);
             let proxy = proxygen::generate(&sim, ProxyGenCost::default(), &iface, target);
             self.vsg.export(
                 VirtualService::new(&name, iface, Middleware::Upnp, self.vsg.name()),
@@ -141,9 +145,9 @@ impl UpnpPcm {
                     operation: op.to_owned(),
                 })?;
             let url = if service_type == DIMMING {
-                dimming_url.as_deref().ok_or_else(|| {
-                    MetaError::native("upnp", "device has no Dimming service")
-                })?
+                dimming_url
+                    .as_deref()
+                    .ok_or_else(|| MetaError::native("upnp", "device has no Dimming service"))?
             } else {
                 &switch_url
             };
@@ -168,7 +172,10 @@ impl UpnpPcm {
             record.name.clone(),
             format!("uuid:vsg-bridge-{}", record.name),
         )
-        .service(&service_type, &format!("urn:vsg-bridge:serviceId:{}", record.interface.name));
+        .service(
+            &service_type,
+            &format!("urn:vsg-bridge:serviceId:{}", record.interface.name),
+        );
         let device = UpnpDevice::install(&self.net, desc);
         let vsg = self.vsg.clone();
         let service_name = record.name.clone();
@@ -256,8 +263,13 @@ mod tests {
         let names = pcm.import_services().unwrap();
         assert_eq!(names, vec!["porch-light".to_owned()]);
 
-        vsg.invoke(&sim, "porch-light", "switch", &[("on".into(), Value::Bool(true))])
-            .unwrap();
+        vsg.invoke(
+            &sim,
+            "porch-light",
+            "switch",
+            &[("on".into(), Value::Bool(true))],
+        )
+        .unwrap();
         assert!(*on.lock());
         assert_eq!(
             vsg.invoke(&sim, "porch-light", "status", &[]).unwrap(),
@@ -286,7 +298,13 @@ mod tests {
         let desc = cp.describe(&hits[0]).unwrap();
         let svc = &desc.services[0];
         let t = cp
-            .invoke(hits[0].node, &svc.control_url, &svc.service_type, "temperature", &[])
+            .invoke(
+                hits[0].node,
+                &svc.control_url,
+                &svc.service_type,
+                "temperature",
+                &[],
+            )
             .unwrap();
         assert_eq!(t, Value::Float(4.5));
         let _ = sim;
@@ -312,7 +330,10 @@ mod tests {
             "Mystery Box",
             "uuid:mystery",
         )
-        .service("urn:vendor:service:Strange:1", "urn:vendor:serviceId:Strange");
+        .service(
+            "urn:vendor:service:Strange:1",
+            "urn:vendor:serviceId:Strange",
+        );
         UpnpDevice::install(&net, desc);
         assert!(pcm.import_services().unwrap().is_empty());
     }
@@ -329,8 +350,13 @@ mod dimming_tests {
         let sim = Sim::new(1);
         let backbone = Network::ethernet(&sim);
         let vsr = crate::vsr::Vsr::start(&backbone);
-        let vsg = Vsg::start(&backbone, "upnp-gw", Arc::new(crate::protocol::Soap11::new()), vsr.node())
-            .unwrap();
+        let vsg = Vsg::start(
+            &backbone,
+            "upnp-gw",
+            Arc::new(crate::protocol::Soap11::new()),
+            vsr.node(),
+        )
+        .unwrap();
         let upnp_net = Network::ethernet(&sim);
         let pcm = UpnpPcm::start(&vsg, &upnp_net);
         (sim, upnp_net, vsg, pcm)
@@ -383,10 +409,20 @@ mod dimming_tests {
         assert_eq!(rec.interface.name, "UpnpDimmableLight");
         assert!(rec.interface.find("set_level").is_some());
 
-        vsg.invoke(&sim, "bedroom-light", "switch", &[("on".into(), Value::Bool(true))])
-            .unwrap();
-        vsg.invoke(&sim, "bedroom-light", "set_level", &[("level".into(), Value::Int(40))])
-            .unwrap();
+        vsg.invoke(
+            &sim,
+            "bedroom-light",
+            "switch",
+            &[("on".into(), Value::Bool(true))],
+        )
+        .unwrap();
+        vsg.invoke(
+            &sim,
+            "bedroom-light",
+            "set_level",
+            &[("level".into(), Value::Int(40))],
+        )
+        .unwrap();
         assert_eq!(*state.lock(), (true, 40));
         assert_eq!(
             vsg.invoke(&sim, "bedroom-light", "level", &[]).unwrap(),
@@ -412,7 +448,12 @@ mod dimming_tests {
         // The plain light's interface has no set_level, so the gateway's
         // type layer rejects it before any UPnP traffic.
         let err = vsg
-            .invoke(&sim, "plain-light", "set_level", &[("level".into(), Value::Int(10))])
+            .invoke(
+                &sim,
+                "plain-light",
+                "set_level",
+                &[("level".into(), Value::Int(10))],
+            )
             .unwrap_err();
         assert!(matches!(err, MetaError::UnknownOperation { .. }), "{err}");
     }

@@ -127,13 +127,20 @@ impl X10Pcm {
         unit: UnitCode,
         contexts: &[(&str, &str)],
     ) -> Result<(), MetaError> {
-        self.inner
-            .modules
-            .lock()
-            .insert((house, unit), ModuleShadow { on: false, level: x10::MAX_DIM_STEPS });
+        self.inner.modules.lock().insert(
+            (house, unit),
+            ModuleShadow {
+                on: false,
+                level: x10::MAX_DIM_STEPS,
+            },
+        );
         let inner = self.inner.clone();
-        let mut service =
-            VirtualService::new(name, catalog::lamp(), Middleware::X10, self.inner.vsg.name());
+        let mut service = VirtualService::new(
+            name,
+            catalog::lamp(),
+            Middleware::X10,
+            self.inner.vsg.name(),
+        );
         for (k, v) in contexts {
             service = service.context(*k, *v);
         }
@@ -167,7 +174,10 @@ impl X10Pcm {
     ) -> Result<(), MetaError> {
         self.inner.sensors.lock().insert(
             (house, unit),
-            SensorState { name: name.to_owned(), ..SensorState::default() },
+            SensorState {
+                name: name.to_owned(),
+                ..SensorState::default()
+            },
         );
         let inner = self.inner.clone();
         let mut svc = VirtualService::new(
@@ -259,7 +269,10 @@ impl X10Inner {
                 Ok(Value::Null)
             }
             "dim" => {
-                let steps = arg("steps").and_then(Value::as_int).unwrap_or(1).clamp(1, 22) as u8;
+                let steps = arg("steps")
+                    .and_then(Value::as_int)
+                    .unwrap_or(1)
+                    .clamp(1, 22) as u8;
                 self.send_reliably(house, unit, Function::Dim, steps)?;
                 if let Some(shadow) = self.modules.lock().get_mut(&(house, unit)) {
                     shadow.level = shadow.level.saturating_sub(steps);
@@ -268,12 +281,15 @@ impl X10Inner {
                 Ok(Value::Null)
             }
             "status" => {
-                let shadow = self
-                    .modules
-                    .lock()
-                    .get(&(house, unit))
-                    .copied()
-                    .unwrap_or(ModuleShadow { on: false, level: 0 });
+                let shadow =
+                    self.modules
+                        .lock()
+                        .get(&(house, unit))
+                        .copied()
+                        .unwrap_or(ModuleShadow {
+                            on: false,
+                            level: 0,
+                        });
                 Ok(Value::Bool(shadow.on))
             }
             other => Err(MetaError::UnknownOperation {
@@ -332,7 +348,11 @@ impl X10Inner {
                     units.push(unit);
                 }
             }
-            X10Frame::Function { house, function, dims } => {
+            X10Frame::Function {
+                house,
+                function,
+                dims,
+            } => {
                 let latched = {
                     let mut latch = self.latch.lock();
                     if matches!(function, Function::Dim | Function::Bright) {
@@ -372,7 +392,10 @@ impl X10Inner {
                 if matches!(function, Function::On | Function::Off) {
                     sensor.active = active;
                     let event = Value::Record(vec![
-                        ("at_us".into(), Value::Int(self.sim.now().as_micros() as i64)),
+                        (
+                            "at_us".into(),
+                            Value::Int(self.sim.now().as_micros() as i64),
+                        ),
                         ("active".into(), Value::Bool(active)),
                     ]);
                     sensor.events.push(event.clone());
@@ -477,7 +500,12 @@ mod tests {
         let cm11a = Cm11a::install(&serial, &powerline);
         let driver = Cm11aDriver::new(&serial, cm11a.serial_node());
         let pcm = X10Pcm::start(&vsg, &sim, driver);
-        World { sim, powerline, vsg, pcm }
+        World {
+            sim,
+            powerline,
+            vsg,
+            pcm,
+        }
     }
 
     #[test]
@@ -487,7 +515,12 @@ mod tests {
         w.pcm.import_module("hall-lamp", h('A'), u(1)).unwrap();
 
         w.vsg
-            .invoke(&w.sim, "hall-lamp", "switch", &[("on".into(), Value::Bool(true))])
+            .invoke(
+                &w.sim,
+                "hall-lamp",
+                "switch",
+                &[("on".into(), Value::Bool(true))],
+            )
             .unwrap();
         assert!(lamp.is_on());
         assert_eq!(
@@ -495,7 +528,12 @@ mod tests {
             Value::Bool(true)
         );
         w.vsg
-            .invoke(&w.sim, "hall-lamp", "dim", &[("steps".into(), Value::Int(4))])
+            .invoke(
+                &w.sim,
+                "hall-lamp",
+                "dim",
+                &[("steps".into(), Value::Int(4))],
+            )
             .unwrap();
         assert_eq!(lamp.state().level, x10::MAX_DIM_STEPS - 4);
         assert_eq!(
@@ -520,7 +558,10 @@ mod tests {
             w.vsg.invoke(&w.sim, "hall-motion", "state", &[]).unwrap(),
             Value::Bool(true)
         );
-        let events = w.vsg.invoke(&w.sim, "hall-motion", "drain_events", &[]).unwrap();
+        let events = w
+            .vsg
+            .invoke(&w.sim, "hall-motion", "drain_events", &[])
+            .unwrap();
         match events {
             Value::List(items) => {
                 assert_eq!(items.len(), 1);
@@ -530,7 +571,9 @@ mod tests {
         }
         // Drained: second read is empty.
         assert_eq!(
-            w.vsg.invoke(&w.sim, "hall-motion", "drain_events", &[]).unwrap(),
+            w.vsg
+                .invoke(&w.sim, "hall-motion", "drain_events", &[])
+                .unwrap(),
             Value::List(vec![])
         );
     }

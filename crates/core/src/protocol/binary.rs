@@ -24,13 +24,16 @@ impl CompactBinary {
 }
 
 fn encode_request(req: &VsgRequest) -> Vec<u8> {
+    // Wire form of Record{s, o, a}, marshalled from borrows — no clone
+    // of the service name, operation, or argument list.
     let mut out = MAGIC.to_vec();
-    let body = Value::Record(vec![
-        ("s".into(), Value::Str(req.service.clone())),
-        ("o".into(), Value::Str(req.operation.clone())),
-        ("a".into(), Value::Record(req.args.clone())),
-    ]);
-    binval::encode(&body, &mut out);
+    binval::begin_record(3, &mut out);
+    binval::encode_field_key("s", &mut out);
+    binval::encode_str(&req.service, &mut out);
+    binval::encode_field_key("o", &mut out);
+    binval::encode_str(&req.operation, &mut out);
+    binval::encode_field_key("a", &mut out);
+    binval::encode_record_fields(&req.args, &mut out);
     out
 }
 
@@ -42,35 +45,56 @@ fn decode_request(data: &[u8]) -> Option<VsgRequest> {
         Value::Record(fields) => fields.clone(),
         _ => return None,
     };
-    Some(VsgRequest { service, operation, args })
+    Some(VsgRequest {
+        service,
+        operation,
+        args,
+    })
 }
+
+// Reply tags. Tag 2 is distinct from the generic fault so a stale
+// route (the serving gateway no longer knows the service) survives the
+// wire as a typed, retry-safe error even without fault-string parsing.
+const TAG_FAULT: u8 = 0;
+const TAG_OK: u8 = 1;
+const TAG_UNKNOWN_SERVICE: u8 = 2;
 
 fn encode_reply(result: &Result<Value, MetaError>) -> Vec<u8> {
     let mut out = Vec::with_capacity(16);
     match result {
         Ok(v) => {
-            out.push(1);
+            out.push(TAG_OK);
             binval::encode(v, &mut out);
         }
+        Err(MetaError::UnknownService(name)) => {
+            out.push(TAG_UNKNOWN_SERVICE);
+            binval::encode_str(name, &mut out);
+        }
         Err(e) => {
-            out.push(0);
-            binval::encode(&Value::Str(e.to_string()), &mut out);
+            out.push(TAG_FAULT);
+            binval::encode_str(&e.to_string(), &mut out);
         }
     }
     out
 }
 
 fn decode_reply(data: &[u8]) -> Result<Value, MetaError> {
+    let payload_str = |rest: &[u8], fallback: &str| {
+        binval::from_bytes(rest)
+            .and_then(|v| v.as_str().map(str::to_owned))
+            .unwrap_or_else(|| fallback.to_owned())
+    };
     match data.split_first() {
-        Some((1, rest)) => {
+        Some((&TAG_OK, rest)) => {
             binval::from_bytes(rest).ok_or_else(|| MetaError::Protocol("bad reply body".into()))
         }
-        Some((0, rest)) => {
-            let msg = binval::from_bytes(rest)
-                .and_then(|v| v.as_str().map(str::to_owned))
-                .unwrap_or_else(|| "unknown remote error".to_owned());
-            Err(MetaError::native("remote-gateway", msg))
+        Some((&TAG_UNKNOWN_SERVICE, rest)) => {
+            Err(MetaError::UnknownService(payload_str(rest, "?")))
         }
+        Some((&TAG_FAULT, rest)) => Err(MetaError::from_fault_string(&payload_str(
+            rest,
+            "unknown remote error",
+        ))),
         _ => Err(MetaError::Protocol("empty reply".into())),
     }
 }
@@ -120,7 +144,9 @@ mod tests {
 
     #[test]
     fn request_codec_round_trip() {
-        let req = VsgRequest::new("vcr", "record").arg("channel", 42).arg("title", "News");
+        let req = VsgRequest::new("vcr", "record")
+            .arg("channel", 42)
+            .arg("title", "News");
         assert_eq!(decode_request(&encode_request(&req)), Some(req));
         assert_eq!(decode_request(b"nope"), None);
     }

@@ -57,6 +57,42 @@ pub fn to_bytes(v: &Value) -> Vec<u8> {
     out
 }
 
+// ---- borrowed-field encoders ------------------------------------------
+//
+// The invocation hot path marshals a `VsgRequest` whose arguments it only
+// borrows; these helpers emit the exact wire form of the corresponding
+// owned `Value` without first cloning anything into one.
+
+/// Encodes a borrowed string in `Value::Str` wire form.
+pub fn encode_str(s: &str, out: &mut Vec<u8>) {
+    out.push(4);
+    write_len(out, s.len());
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Writes a record header for `len` fields. The caller must follow with
+/// exactly `len` fields, each emitted via [`encode_field_key`] plus one
+/// value encoder.
+pub fn begin_record(len: usize, out: &mut Vec<u8>) {
+    out.push(7);
+    write_len(out, len);
+}
+
+/// Writes one record field key; follow with the field's value.
+pub fn encode_field_key(key: &str, out: &mut Vec<u8>) {
+    write_len(out, key.len());
+    out.extend_from_slice(key.as_bytes());
+}
+
+/// Encodes borrowed `(name, value)` pairs in `Value::Record` wire form.
+pub fn encode_record_fields(fields: &[(String, Value)], out: &mut Vec<u8>) {
+    begin_record(fields.len(), out);
+    for (k, v) in fields {
+        encode_field_key(k, out);
+        encode(v, out);
+    }
+}
+
 /// Decodes one value, advancing `pos`.
 pub fn decode(data: &[u8], pos: &mut usize) -> Option<Value> {
     let tag = *data.get(*pos)?;
@@ -181,7 +217,10 @@ mod tests {
     fn compounds_round_trip() {
         let v = Value::Record(vec![
             ("list".into(), Value::List(vec![Value::Int(1), Value::Null])),
-            ("nested".into(), Value::Record(vec![("x".into(), Value::Bool(false))])),
+            (
+                "nested".into(),
+                Value::Record(vec![("x".into(), Value::Bool(false))]),
+            ),
         ]);
         assert_eq!(from_bytes(&to_bytes(&v)), Some(v));
     }
@@ -209,6 +248,34 @@ mod tests {
         assert_eq!(from_bytes(&enc), None);
         // Implausible lengths rejected, not allocated.
         assert_eq!(from_bytes(&[4, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F]), None);
+    }
+
+    #[test]
+    fn borrowed_encoders_match_owned_encoding() {
+        let fields = vec![
+            ("channel".to_owned(), Value::Int(42)),
+            ("title".to_owned(), Value::Str("News".into())),
+        ];
+        let mut borrowed = Vec::new();
+        encode_record_fields(&fields, &mut borrowed);
+        assert_eq!(borrowed, to_bytes(&Value::Record(fields)));
+
+        let mut s = Vec::new();
+        encode_str("hello", &mut s);
+        assert_eq!(s, to_bytes(&Value::Str("hello".into())));
+
+        // Piecewise record assembly matches too.
+        let mut piecewise = Vec::new();
+        begin_record(1, &mut piecewise);
+        encode_field_key("name", &mut piecewise);
+        encode_str("hall", &mut piecewise);
+        assert_eq!(
+            piecewise,
+            to_bytes(&Value::Record(vec![(
+                "name".into(),
+                Value::Str("hall".into())
+            )]))
+        );
     }
 
     #[test]

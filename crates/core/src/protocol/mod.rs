@@ -43,7 +43,11 @@ pub struct VsgRequest {
 impl VsgRequest {
     /// Creates a request.
     pub fn new(service: impl Into<String>, operation: impl Into<String>) -> VsgRequest {
-        VsgRequest { service: service.into(), operation: operation.into(), args: Vec::new() }
+        VsgRequest {
+            service: service.into(),
+            operation: operation.into(),
+            args: Vec::new(),
+        }
     }
 
     /// Adds an argument (builder style).
@@ -115,15 +119,34 @@ pub(crate) mod conformance {
         assert_eq!(got.field("level"), Some(&Value::Int(7)));
         assert_eq!(got.field("name"), Some(&Value::Str("hall".into())));
 
-        // Handler errors surface as errors.
+        // A stale route (the callee no longer knows the service) must
+        // arrive *typed* — the caller's retry logic depends on telling
+        // it apart from application faults.
         let err = protocol
             .call(&net, client, server, &VsgRequest::new("ghost", "fail"))
             .unwrap_err();
-        assert!(err.to_string().contains("ghost"), "{}: {err}", protocol.name());
+        assert_eq!(
+            err,
+            MetaError::UnknownService("ghost".into()),
+            "{}: stale-route error must decode typed",
+            protocol.name()
+        );
+        assert!(err.is_retry_safe());
 
-        // Unknown ops too.
-        assert!(protocol
+        // Application faults arrive typed too, and are NOT retry-safe:
+        // the remote side processed the call.
+        let err = protocol
             .call(&net, client, server, &VsgRequest::new("lamp", "explode"))
-            .is_err());
+            .unwrap_err();
+        assert_eq!(
+            err,
+            MetaError::UnknownOperation {
+                service: "lamp".into(),
+                operation: "explode".into()
+            },
+            "{}: application fault must decode typed",
+            protocol.name()
+        );
+        assert!(!err.is_retry_safe());
     }
 }

@@ -44,7 +44,8 @@ impl SipLike {
     ) -> bool {
         let mut payload = format!("NOTIFY vsg:{service} VSG-SIP/1.0\r\n\r\n").into_bytes();
         binval::encode(event, &mut payload);
-        net.send(Frame::new(from, to, Protocol::Sip, payload)).is_ok()
+        net.send(Frame::new(from, to, Protocol::Sip, payload))
+            .is_ok()
     }
 
     /// Installs the push receiver on a bound gateway node. NOTIFYs
@@ -89,7 +90,8 @@ fn encode_invite(req: &VsgRequest) -> Vec<u8> {
         req.service, req.operation
     )
     .into_bytes();
-    binval::encode(&Value::Record(req.args.clone()), &mut out);
+    // Body marshalled from borrowed args — no clone into an owned record.
+    binval::encode_record_fields(&req.args, &mut out);
     out
 }
 
@@ -103,12 +105,18 @@ fn decode_invite(payload: &[u8]) -> Option<VsgRequest> {
         .split_whitespace()
         .next()?
         .to_owned();
-    let operation = lines.find_map(|l| l.strip_prefix("Operation: "))?.to_owned();
+    let operation = lines
+        .find_map(|l| l.strip_prefix("Operation: "))?
+        .to_owned();
     let args = match binval::from_bytes(&payload[sep + 4..])? {
         Value::Record(fields) => fields,
         _ => return None,
     };
-    Some(VsgRequest { service, operation, args })
+    Some(VsgRequest {
+        service,
+        operation,
+        args,
+    })
 }
 
 fn encode_response(result: &Result<Value, MetaError>) -> Vec<u8> {
@@ -117,6 +125,11 @@ fn encode_response(result: &Result<Value, MetaError>) -> Vec<u8> {
             let mut out = b"VSG-SIP/1.0 200 OK\r\n\r\n".to_vec();
             binval::encode(v, &mut out);
             out
+        }
+        // 404 marks a stale route — the callee no longer serves this
+        // name — so the caller can re-resolve and retry safely.
+        Err(MetaError::UnknownService(name)) => {
+            format!("VSG-SIP/1.0 404 {name}\r\n\r\n").into_bytes()
         }
         Err(e) => format!("VSG-SIP/1.0 500 {e}\r\n\r\n").into_bytes(),
     }
@@ -128,10 +141,14 @@ fn decode_response(payload: &[u8]) -> Result<Value, MetaError> {
     if let Some(rest) = head.strip_prefix("VSG-SIP/1.0 200") {
         let _ = rest;
         binval::from_bytes(body).ok_or_else(|| MetaError::Protocol("bad SIP body".into()))
+    } else if let Some(name) = head.strip_prefix("VSG-SIP/1.0 404 ") {
+        Err(MetaError::UnknownService(name.to_owned()))
     } else if let Some(msg) = head.strip_prefix("VSG-SIP/1.0 500 ") {
-        Err(MetaError::native("remote-gateway", msg))
+        Err(MetaError::from_fault_string(msg))
     } else {
-        Err(MetaError::Protocol(format!("unexpected SIP status: {head}")))
+        Err(MetaError::Protocol(format!(
+            "unexpected SIP status: {head}"
+        )))
     }
 }
 
@@ -222,9 +239,15 @@ mod tests {
         let count2 = count.clone();
         p.install_push_handler(&net, gw, move |_, _, _| *count2.lock() += 1);
         let src = net.attach("src");
-        net.send(Frame::new(src, gw, Protocol::Sip, &b"not sip at all"[..])).unwrap();
-        net.send(Frame::new(src, gw, Protocol::Sip, &b"NOTIFY vsg:x VSG-SIP/1.0\r\n\r\n\xFF\xFF"[..]))
+        net.send(Frame::new(src, gw, Protocol::Sip, &b"not sip at all"[..]))
             .unwrap();
+        net.send(Frame::new(
+            src,
+            gw,
+            Protocol::Sip,
+            &b"NOTIFY vsg:x VSG-SIP/1.0\r\n\r\n\xFF\xFF"[..],
+        ))
+        .unwrap();
         assert_eq!(*count.lock(), 0);
     }
 
@@ -242,7 +265,8 @@ mod tests {
             let net = Network::ethernet(&sim);
             let server = p.bind(&net, "gw", Arc::new(|_, _| Ok(Value::Null)));
             let client = net.attach("c");
-            p.call(&net, client, server, &VsgRequest::new("svc", "op")).unwrap();
+            p.call(&net, client, server, &VsgRequest::new("svc", "op"))
+                .unwrap();
             net.with_stats(|s| s.protocol(proto).bytes)
         };
         let sip = measure(&SipLike::new(), P::Sip);

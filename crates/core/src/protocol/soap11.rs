@@ -7,30 +7,56 @@
 
 use super::{GatewayHandler, VsgProtocol, VsgRequest};
 use crate::error::MetaError;
+use parking_lot::Mutex;
 use simnet::{Network, NodeId};
 use soap::{CpuModel, Fault, RpcCall, SoapClient, SoapError, SoapServer, TcpModel, Value};
+use std::collections::HashMap;
+use std::sync::Arc;
 
 /// The namespace every gateway mounts.
 pub const GATEWAY_NS: &str = "urn:vsg:gateway";
 const SERVICE_ARG: &str = "__service";
 
 /// SOAP 1.1 over simulated HTTP.
-#[derive(Debug, Clone, Copy)]
+///
+/// Holds one [`SoapClient`] per calling node rather than constructing a
+/// fresh one inside every `call` — the client is just a handle, but
+/// handle churn on the invocation hot path is pure waste. Node ids are
+/// network-local, so cached clients are validated against the network
+/// they were created on.
+#[derive(Debug, Clone)]
 pub struct Soap11 {
     cpu: CpuModel,
     tcp: TcpModel,
+    clients: Arc<Mutex<HashMap<NodeId, (Network, SoapClient)>>>,
 }
 
 impl Soap11 {
     /// The prototype's configuration (2002 Java XML stack, per-request
     /// TCP connections).
     pub fn new() -> Soap11 {
-        Soap11 { cpu: CpuModel::default(), tcp: TcpModel::default() }
+        Soap11::with_models(CpuModel::default(), TcpModel::default())
     }
 
     /// A configuration with custom cost models (for ablations).
     pub fn with_models(cpu: CpuModel, tcp: TcpModel) -> Soap11 {
-        Soap11 { cpu, tcp }
+        Soap11 {
+            cpu,
+            tcp,
+            clients: Arc::new(Mutex::new(HashMap::new())),
+        }
+    }
+
+    fn client(&self, net: &Network, from: NodeId) -> SoapClient {
+        let mut clients = self.clients.lock();
+        match clients.get(&from) {
+            Some((cached_net, client)) if cached_net.same_as(net) => client.clone(),
+            _ => {
+                let client = SoapClient::on_node(net, from, self.cpu, self.tcp);
+                clients.insert(from, (net.clone(), client.clone()));
+                client
+            }
+        }
     }
 }
 
@@ -60,7 +86,11 @@ impl VsgProtocol for Soap11 {
             let Some(service) = service else {
                 return Err(Fault::client("missing __service argument"));
             };
-            let req = VsgRequest { service, operation: call.method.clone(), args };
+            let req = VsgRequest {
+                service,
+                operation: call.method.clone(),
+                args,
+            };
             handler(sim, &req).map_err(|e| Fault::server(e.to_string()))
         });
         server.node()
@@ -73,15 +103,22 @@ impl VsgProtocol for Soap11 {
         to: NodeId,
         req: &VsgRequest,
     ) -> Result<Value, MetaError> {
-        let client = SoapClient::on_node(net, from, self.cpu, self.tcp);
-        let mut call = RpcCall::new(GATEWAY_NS, &req.operation).arg(SERVICE_ARG, req.service.as_str());
-        for (k, v) in &req.args {
-            call = call.arg(k.clone(), v.clone());
-        }
-        client.call(to, &call).map_err(|e| match e {
-            SoapError::Fault(f) => MetaError::native("remote-gateway", f.string),
-            other => MetaError::Protocol(other.to_string()),
-        })
+        let client = self.client(net, from);
+        // Marshal from borrows: the only owned datum is the service
+        // name riding along as the routing argument.
+        let service = Value::Str(req.service.clone());
+        let args = std::iter::once((SERVICE_ARG, &service))
+            .chain(req.args.iter().map(|(k, v)| (k.as_str(), v)));
+        client
+            .call_parts(to, GATEWAY_NS, &req.operation, args)
+            .map_err(|e| match e {
+                // Fault strings carry a Display-formatted MetaError from
+                // the serving gateway; recover the typed error so stale
+                // routes (UnknownService) stay distinguishable from
+                // application faults.
+                SoapError::Fault(f) => MetaError::from_fault_string(&f.string),
+                other => MetaError::Protocol(other.to_string()),
+            })
     }
 }
 
@@ -110,8 +147,13 @@ mod tests {
         let p = Soap11::new();
         let server = p.bind(&net, "gw", Arc::new(|_, _| Ok(Value::Null)));
         let client = net.attach("c");
-        p.call(&net, client, server, &VsgRequest::new("svc", "ping")).unwrap();
+        p.call(&net, client, server, &VsgRequest::new("svc", "ping"))
+            .unwrap();
         let http = net.with_stats(|s| s.protocol(Protocol::Http));
-        assert!(http.bytes > 600, "SOAP ping moved only {} bytes", http.bytes);
+        assert!(
+            http.bytes > 600,
+            "SOAP ping moved only {} bytes",
+            http.bytes
+        );
     }
 }

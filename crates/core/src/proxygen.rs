@@ -122,10 +122,13 @@ impl GeneratedProxy {
         operation: &str,
         args: &[(String, Value)],
     ) -> Result<Value, MetaError> {
-        let sig = self.thunks.get(operation).ok_or_else(|| MetaError::UnknownOperation {
-            service: self.interface_name.clone(),
-            operation: operation.to_owned(),
-        })?;
+        let sig = self
+            .thunks
+            .get(operation)
+            .ok_or_else(|| MetaError::UnknownOperation {
+                service: self.interface_name.clone(),
+                operation: operation.to_owned(),
+            })?;
         sig.check_args(args)?;
         // Per-call dispatch overhead of generated (reflective) code.
         sim.advance(SimDuration::from_micros(2));
@@ -191,7 +194,10 @@ mod tests {
         let sim = Sim::new(1);
         let proxy = generate(&sim, ProxyGenCost::free(), &catalog::vcr(), echo_target());
         assert_eq!(proxy.interface_name(), "VcrControl");
-        assert_eq!(proxy.operations(), vec!["play", "position", "record", "stop"]);
+        assert_eq!(
+            proxy.operations(),
+            vec!["play", "position", "record", "stop"]
+        );
 
         let ok = proxy
             .dispatch(
@@ -210,7 +216,11 @@ mod tests {
             Err(MetaError::UnknownOperation { .. })
         ));
         assert!(matches!(
-            proxy.dispatch(&sim, "record", &[("channel".into(), Value::Str("x".into()))]),
+            proxy.dispatch(
+                &sim,
+                "record",
+                &[("channel".into(), Value::Str("x".into()))]
+            ),
             Err(MetaError::TypeMismatch { .. })
         ));
     }
@@ -224,8 +234,8 @@ mod tests {
             &ServiceInterface::new("I").op(OpSig::new("go").param("x", TypeTag::Int)),
             echo_target(),
         );
-        let got = ServiceInvoker::invoke(&mut proxy, &sim, "go", &[("x".into(), Value::Int(1))])
-            .unwrap();
+        let got =
+            ServiceInvoker::invoke(&mut proxy, &sim, "go", &[("x".into(), Value::Int(1))]).unwrap();
         assert_eq!(got.field("n"), Some(&Value::Int(1)));
     }
 

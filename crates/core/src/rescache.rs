@@ -1,0 +1,306 @@
+//! The gateway's record-level resolution cache.
+//!
+//! The original route cache memoised only the serving gateway's
+//! `NodeId`, so every miss re-fetched and re-parsed the service's full
+//! WSDL from the VSR. This cache holds the entire resolved
+//! [`ServiceRecord`] (interface interned behind `Arc`) together with
+//! the gateway node, bounded by an LRU capacity, with explicit
+//! invalidation on withdraw/re-export and short-lived negative entries
+//! so repeated lookups of a nonexistent service don't hammer the VSR.
+
+use crate::metrics::CacheStats;
+use crate::vsr::ServiceRecord;
+use simnet::NodeId;
+use std::collections::HashMap;
+
+/// Default per-gateway capacity: generous for a home's service count
+/// while still bounding a pathological churn workload.
+pub const DEFAULT_CAPACITY: usize = 512;
+
+/// How many lookups a negative entry may answer before it expires and
+/// the next lookup re-consults the VSR. Keeps a service published
+/// elsewhere *after* a failed lookup from becoming invisible for long.
+const NEGATIVE_USE_BUDGET: u32 = 4;
+
+enum Entry {
+    Resolved {
+        record: ServiceRecord,
+        gw_node: NodeId,
+        last_used: u64,
+    },
+    Negative {
+        budget: u32,
+        last_used: u64,
+    },
+}
+
+impl Entry {
+    fn last_used(&self) -> u64 {
+        match self {
+            Entry::Resolved { last_used, .. } | Entry::Negative { last_used, .. } => *last_used,
+        }
+    }
+}
+
+/// Outcome of a cache lookup.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Lookup {
+    /// Known record and serving gateway node — zero VSR traffic needed.
+    Hit(ServiceRecord, NodeId),
+    /// Known-missing service — answer `UnknownService` without a VSR
+    /// round trip.
+    NegativeHit,
+    /// Unknown to the cache; resolve via the VSR.
+    Miss,
+}
+
+/// A bounded LRU cache of VSR resolutions.
+pub struct ResolutionCache {
+    entries: HashMap<String, Entry>,
+    capacity: usize,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl Default for ResolutionCache {
+    fn default() -> Self {
+        ResolutionCache::new(DEFAULT_CAPACITY)
+    }
+}
+
+impl ResolutionCache {
+    /// Creates a cache bounded to `capacity` entries (minimum 1).
+    pub fn new(capacity: usize) -> ResolutionCache {
+        ResolutionCache {
+            entries: HashMap::new(),
+            capacity: capacity.max(1),
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Looks up `service`, updating recency and counters. A negative
+    /// entry spends one unit of its budget and expires at zero.
+    pub fn lookup(&mut self, service: &str) -> Lookup {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.entries.get_mut(service) {
+            Some(Entry::Resolved {
+                record,
+                gw_node,
+                last_used,
+            }) => {
+                *last_used = tick;
+                self.stats.hits += 1;
+                Lookup::Hit(record.clone(), *gw_node)
+            }
+            Some(Entry::Negative { budget, last_used }) => {
+                *last_used = tick;
+                self.stats.negative_hits += 1;
+                *budget -= 1;
+                if *budget == 0 {
+                    self.entries.remove(service);
+                }
+                Lookup::NegativeHit
+            }
+            None => {
+                self.stats.misses += 1;
+                Lookup::Miss
+            }
+        }
+    }
+
+    /// Caches a successful resolution, displacing the least recently
+    /// used entry if the cache is full.
+    pub fn insert_resolved(&mut self, service: &str, record: ServiceRecord, gw_node: NodeId) {
+        self.tick += 1;
+        let entry = Entry::Resolved {
+            record,
+            gw_node,
+            last_used: self.tick,
+        };
+        self.insert(service, entry);
+    }
+
+    /// Caches a definitive "no such service" answer from the VSR.
+    /// Never call this for transport failures — a dead link says
+    /// nothing about whether the service exists.
+    pub fn insert_negative(&mut self, service: &str) {
+        self.tick += 1;
+        let entry = Entry::Negative {
+            budget: NEGATIVE_USE_BUDGET,
+            last_used: self.tick,
+        };
+        self.insert(service, entry);
+    }
+
+    fn insert(&mut self, service: &str, entry: Entry) {
+        if !self.entries.contains_key(service) && self.entries.len() >= self.capacity {
+            self.evict_lru();
+        }
+        self.entries.insert(service.to_owned(), entry);
+    }
+
+    fn evict_lru(&mut self) {
+        if let Some(victim) = self
+            .entries
+            .iter()
+            .min_by_key(|(_, e)| e.last_used())
+            .map(|(name, _)| name.clone())
+        {
+            self.entries.remove(&victim);
+            self.stats.evictions += 1;
+        }
+    }
+
+    /// Drops the entry for `service` (withdraw, re-export, or a stale
+    /// route detected mid-invocation). Returns whether one existed.
+    pub fn invalidate(&mut self, service: &str) -> bool {
+        let existed = self.entries.remove(service).is_some();
+        if existed {
+            self.stats.invalidations += 1;
+        }
+        existed
+    }
+
+    /// Drops every entry (counted as invalidations).
+    pub fn clear(&mut self) {
+        self.stats.invalidations += self.entries.len() as u64;
+        self.entries.clear();
+    }
+
+    /// Re-bounds the cache, evicting LRU entries if shrinking below
+    /// the current population.
+    pub fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity.max(1);
+        while self.entries.len() > self.capacity {
+            self.evict_lru();
+        }
+    }
+
+    /// Current entry count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iface::catalog;
+    use crate::service::Middleware;
+    use std::sync::Arc;
+
+    fn record(name: &str) -> ServiceRecord {
+        ServiceRecord {
+            name: name.to_owned(),
+            middleware: Middleware::X10,
+            gateway: "x10-gw".to_owned(),
+            interface: Arc::new(catalog::lamp()),
+            contexts: vec![],
+        }
+    }
+
+    #[test]
+    fn hit_miss_and_counters() {
+        let mut cache = ResolutionCache::new(8);
+        assert_eq!(cache.lookup("lamp"), Lookup::Miss);
+        cache.insert_resolved("lamp", record("lamp"), NodeId(7));
+        match cache.lookup("lamp") {
+            Lookup::Hit(rec, node) => {
+                assert_eq!(rec.name, "lamp");
+                assert_eq!(node, NodeId(7));
+            }
+            other => panic!("expected hit, got {other:?}"),
+        }
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert!(stats.hit_ratio() > 0.49 && stats.hit_ratio() < 0.51);
+    }
+
+    #[test]
+    fn lru_eviction_respects_recency() {
+        let mut cache = ResolutionCache::new(2);
+        cache.insert_resolved("a", record("a"), NodeId(1));
+        cache.insert_resolved("b", record("b"), NodeId(2));
+        // Touch "a" so "b" is the LRU victim.
+        assert!(matches!(cache.lookup("a"), Lookup::Hit(..)));
+        cache.insert_resolved("c", record("c"), NodeId(3));
+        assert_eq!(cache.len(), 2);
+        assert!(matches!(cache.lookup("a"), Lookup::Hit(..)));
+        assert_eq!(cache.lookup("b"), Lookup::Miss);
+        assert!(matches!(cache.lookup("c"), Lookup::Hit(..)));
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn negative_entries_expire_after_budget() {
+        let mut cache = ResolutionCache::new(8);
+        cache.insert_negative("ghost");
+        for _ in 0..NEGATIVE_USE_BUDGET {
+            assert_eq!(cache.lookup("ghost"), Lookup::NegativeHit);
+        }
+        // Budget exhausted: the VSR gets asked again.
+        assert_eq!(cache.lookup("ghost"), Lookup::Miss);
+        assert_eq!(cache.stats().negative_hits, u64::from(NEGATIVE_USE_BUDGET));
+    }
+
+    #[test]
+    fn invalidation_and_clear() {
+        let mut cache = ResolutionCache::new(8);
+        cache.insert_resolved("a", record("a"), NodeId(1));
+        assert!(cache.invalidate("a"));
+        assert!(!cache.invalidate("a"));
+        assert_eq!(cache.lookup("a"), Lookup::Miss);
+        cache.insert_resolved("b", record("b"), NodeId(2));
+        cache.insert_negative("c");
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().invalidations, 3);
+    }
+
+    #[test]
+    fn shrinking_capacity_evicts_lru_first() {
+        let mut cache = ResolutionCache::new(4);
+        for (i, name) in ["a", "b", "c", "d"].into_iter().enumerate() {
+            cache.insert_resolved(name, record(name), NodeId(i as u32));
+        }
+        assert!(matches!(cache.lookup("a"), Lookup::Hit(..)));
+        cache.set_capacity(2);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.capacity(), 2);
+        assert!(
+            matches!(cache.lookup("a"), Lookup::Hit(..)),
+            "recently used survives"
+        );
+        assert!(
+            matches!(cache.lookup("d"), Lookup::Hit(..)),
+            "newest survives"
+        );
+    }
+
+    #[test]
+    fn churn_stays_bounded() {
+        let mut cache = ResolutionCache::new(16);
+        for i in 0..1000 {
+            cache.insert_resolved(&format!("svc-{i}"), record(&format!("svc-{i}")), NodeId(1));
+            assert!(cache.len() <= 16);
+        }
+        assert_eq!(cache.stats().evictions, 1000 - 16);
+    }
+}

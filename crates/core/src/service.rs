@@ -173,9 +173,8 @@ mod tests {
 
     #[test]
     fn closures_are_invokers() {
-        let mut invoker = |_: &Sim, op: &str, _: &[(String, Value)]| {
-            Ok(Value::Str(format!("did {op}")))
-        };
+        let mut invoker =
+            |_: &Sim, op: &str, _: &[(String, Value)]| Ok(Value::Str(format!("did {op}")));
         let sim = Sim::new(1);
         let got = ServiceInvoker::invoke(&mut invoker, &sim, "play", &[]).unwrap();
         assert_eq!(got, Value::Str("did play".into()));

@@ -7,7 +7,9 @@
 //! [`VsgProtocol`].
 
 use crate::error::MetaError;
+use crate::metrics::CacheStats;
 use crate::protocol::{VsgProtocol, VsgRequest};
+use crate::rescache::{Lookup, ResolutionCache};
 use crate::service::{ServiceInvoker, VirtualService};
 use crate::vsr::{ServiceRecord, VsrClient};
 use parking_lot::Mutex;
@@ -29,7 +31,7 @@ struct VsgInner {
     protocol: Arc<dyn VsgProtocol>,
     local: Arc<Mutex<HashMap<String, LocalEntry>>>,
     vsr: VsrClient,
-    route_cache: Mutex<HashMap<String, NodeId>>,
+    rescache: Mutex<ResolutionCache>,
 }
 
 /// A running gateway.
@@ -66,7 +68,7 @@ impl Vsg {
                 protocol,
                 local,
                 vsr,
-                route_cache: Mutex::new(HashMap::new()),
+                rescache: Mutex::new(ResolutionCache::default()),
             }),
         })
     }
@@ -105,8 +107,14 @@ impl Vsg {
         service: VirtualService,
         invoker: impl ServiceInvoker + 'static,
     ) -> Result<(), MetaError> {
-        debug_assert_eq!(service.gateway, self.inner.name, "service fronted by this gateway");
+        debug_assert_eq!(
+            service.gateway, self.inner.name,
+            "service fronted by this gateway"
+        );
         self.inner.vsr.publish(&service)?;
+        // A re-export may change the interface or (on another gateway's
+        // behalf) supersede a record this gateway cached — drop it.
+        self.inner.rescache.lock().invalidate(&service.name);
         self.inner.local.lock().insert(
             service.name.clone(),
             LocalEntry {
@@ -121,6 +129,7 @@ impl Vsg {
     pub fn withdraw(&self, name: &str) -> Result<bool, MetaError> {
         let existed = self.inner.local.lock().remove(name).is_some();
         let _ = self.inner.vsr.unpublish(name)?;
+        self.inner.rescache.lock().invalidate(name);
         Ok(existed)
     }
 
@@ -167,44 +176,129 @@ impl Vsg {
         let mut req = VsgRequest::new(service, operation);
         req.args = args.to_vec();
 
-        // Fast path: cached route.
-        if let Some(node) = self.inner.route_cache.lock().get(service).copied() {
-            match self.inner.protocol.call(&self.inner.backbone, self.inner.node, node, &req) {
-                Ok(v) => return Ok(v),
-                Err(_) => {
-                    // Stale route (service moved or gateway died): drop it
-                    // and fall through to a fresh resolution.
-                    self.inner.route_cache.lock().remove(service);
+        // Fast path: a warm cache entry carries the full record and the
+        // serving gateway's node — zero VSR round trips. (Bound to a
+        // local so the cache guard is released before the network call.)
+        let looked_up = self.inner.rescache.lock().lookup(service);
+        match looked_up {
+            Lookup::Hit(_, gw_node) => {
+                match self
+                    .inner
+                    .protocol
+                    .call(&self.inner.backbone, self.inner.node, gw_node, &req)
+                {
+                    Ok(v) => return Ok(v),
+                    // Only errors that guarantee the operation did not
+                    // execute (gateway gone, stale route) may evict and
+                    // retry over a fresh resolution. An application
+                    // fault means the remote side processed the call:
+                    // re-invoking could double-apply a non-idempotent
+                    // operation, so it propagates as-is.
+                    Err(e) if e.is_retry_safe() => {
+                        self.inner.rescache.lock().invalidate(service);
+                    }
+                    Err(e) => return Err(e),
                 }
             }
+            Lookup::NegativeHit => return Err(MetaError::UnknownService(service.to_owned())),
+            Lookup::Miss => {}
         }
 
-        let record = self.resolve(service)?;
-        let gw_node = self.inner.vsr.gateway_node(&record.gateway).map_err(|_| {
-            MetaError::GatewayUnreachable(record.gateway.clone())
-        })?;
+        // Slow path: resolve via the VSR and fill the cache.
+        let record = match self.inner.vsr.resolve(service) {
+            Ok(r) => r,
+            Err(MetaError::UnknownService(name)) => {
+                // Definitive answer from the repository — cacheable.
+                self.inner.rescache.lock().insert_negative(service);
+                return Err(MetaError::UnknownService(name));
+            }
+            Err(e) => return Err(e),
+        };
+        let gw_node = self
+            .inner
+            .vsr
+            .gateway_node(&record.gateway)
+            .map_err(|_| MetaError::GatewayUnreachable(record.gateway.clone()))?;
         let result = self
             .inner
             .protocol
             .call(&self.inner.backbone, self.inner.node, gw_node, &req);
-        if result.is_ok() {
-            self.inner
-                .route_cache
-                .lock()
-                .insert(service.to_owned(), gw_node);
+        // Cache the resolution unless the call failed in a way that
+        // leaves the route in doubt (an application fault proves the
+        // remote gateway serves this record, so the route is good).
+        match &result {
+            Ok(_) => {
+                self.inner
+                    .rescache
+                    .lock()
+                    .insert_resolved(service, record, gw_node);
+            }
+            Err(e) if !e.is_retry_safe() => {
+                self.inner
+                    .rescache
+                    .lock()
+                    .insert_resolved(service, record, gw_node);
+            }
+            Err(_) => {}
         }
         result
     }
 
-    /// Resolves a service record via the VSR.
+    /// Resolves a service record via the VSR (always a live lookup —
+    /// the cache-bypassing baseline that [`Vsg::resolve_cached`] must
+    /// agree with).
     pub fn resolve(&self, service: &str) -> Result<ServiceRecord, MetaError> {
         self.inner.vsr.resolve(service)
     }
 
-    /// Drops all cached routes, forcing fresh VSR resolution on the next
-    /// remote invocation (used by the E11 ablation bench).
+    /// Resolves a service record through the resolution cache: a warm
+    /// entry costs zero VSR round trips; a miss resolves, learns the
+    /// serving gateway's node, and fills the cache.
+    pub fn resolve_cached(&self, service: &str) -> Result<ServiceRecord, MetaError> {
+        let looked_up = self.inner.rescache.lock().lookup(service);
+        match looked_up {
+            Lookup::Hit(record, _) => return Ok(record),
+            Lookup::NegativeHit => return Err(MetaError::UnknownService(service.to_owned())),
+            Lookup::Miss => {}
+        }
+        match self.inner.vsr.resolve(service) {
+            Ok(record) => {
+                if let Ok(gw_node) = self.inner.vsr.gateway_node(&record.gateway) {
+                    self.inner
+                        .rescache
+                        .lock()
+                        .insert_resolved(service, record.clone(), gw_node);
+                }
+                Ok(record)
+            }
+            Err(MetaError::UnknownService(name)) => {
+                self.inner.rescache.lock().insert_negative(service);
+                Err(MetaError::UnknownService(name))
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Drops all cached resolutions, forcing fresh VSR resolution on the
+    /// next remote invocation (used by the E11 ablation bench).
     pub fn clear_route_cache(&self) {
-        self.inner.route_cache.lock().clear();
+        self.inner.rescache.lock().clear();
+    }
+
+    /// Re-bounds the resolution cache (tests/benches exercise eviction
+    /// with small capacities).
+    pub fn set_cache_capacity(&self, capacity: usize) {
+        self.inner.rescache.lock().set_capacity(capacity);
+    }
+
+    /// Number of live resolution-cache entries.
+    pub fn cache_len(&self) -> usize {
+        self.inner.rescache.lock().len()
+    }
+
+    /// This gateway's resolution-cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.inner.rescache.lock().stats()
     }
 }
 
@@ -225,23 +319,23 @@ fn dispatch_local(
     operation: &str,
     args: &[(String, Value)],
 ) -> Result<Value, MetaError> {
-    let (sig_check, invoker) = {
-        let map = local.lock();
-        let entry = map
-            .get(service)
-            .ok_or_else(|| MetaError::UnknownService(service.to_owned()))?;
-        let sig = entry
-            .service
-            .interface
-            .find(operation)
-            .ok_or_else(|| MetaError::UnknownOperation {
-                service: service.to_owned(),
-                operation: operation.to_owned(),
-            })?
-            .clone();
-        (sig, entry.invoker.clone())
-    };
-    sig_check.check_args(args)?;
+    // Type-check against the signature in place (no OpSig clone); only
+    // the invoker handle leaves the map lock's scope.
+    let invoker =
+        {
+            let map = local.lock();
+            let entry = map
+                .get(service)
+                .ok_or_else(|| MetaError::UnknownService(service.to_owned()))?;
+            let sig = entry.service.interface.find(operation).ok_or_else(|| {
+                MetaError::UnknownOperation {
+                    service: service.to_owned(),
+                    operation: operation.to_owned(),
+                }
+            })?;
+            sig.check_args(args)?;
+            entry.invoker.clone()
+        };
     let mut invoker = invoker.lock();
     invoker.invoke(sim, operation, args)
 }
@@ -295,8 +389,13 @@ mod tests {
         assert_eq!(gw_a.local_services(), vec!["hall-lamp".to_owned()]);
         assert_eq!(gw_a.local_interface("hall-lamp").unwrap(), catalog::lamp());
 
-        gw_a.invoke(&sim, "hall-lamp", "switch", &[("on".into(), Value::Bool(true))])
-            .unwrap();
+        gw_a.invoke(
+            &sim,
+            "hall-lamp",
+            "switch",
+            &[("on".into(), Value::Bool(true))],
+        )
+        .unwrap();
         let status = gw_a.invoke(&sim, "hall-lamp", "status", &[]).unwrap();
         assert_eq!(status, Value::Bool(true));
 
@@ -329,8 +428,13 @@ mod tests {
             export_lamp(&gw_a);
             // gw_b neither hosts the lamp nor knows where it is; the
             // framework resolves and routes transparently.
-            gw_b.invoke(&sim, "hall-lamp", "switch", &[("on".into(), Value::Bool(true))])
-                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            gw_b.invoke(
+                &sim,
+                "hall-lamp",
+                "switch",
+                &[("on".into(), Value::Bool(true))],
+            )
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
             let status = gw_b.invoke(&sim, "hall-lamp", "status", &[]).unwrap();
             assert_eq!(status, Value::Bool(true), "{name}");
         }
@@ -368,6 +472,149 @@ mod tests {
         export_lamp(&gw_b);
         let v = gw_b.invoke(&sim, "hall-lamp", "status", &[]).unwrap();
         assert_eq!(v, Value::Bool(false));
+    }
+
+    #[test]
+    fn warm_cache_needs_zero_vsr_round_trips() {
+        let (sim, _net, vsr, gw_a, gw_b) = world(Arc::new(Soap11::new()));
+        export_lamp(&gw_a);
+        gw_b.invoke(&sim, "hall-lamp", "status", &[]).unwrap();
+        let inquiries_after_first = vsr.registry_stats().inquiries;
+        for _ in 0..10 {
+            gw_b.invoke(&sim, "hall-lamp", "status", &[]).unwrap();
+        }
+        // Not a single further VSR SOAP round trip.
+        assert_eq!(vsr.registry_stats().inquiries, inquiries_after_first);
+        let stats = gw_b.cache_stats();
+        assert_eq!(stats.hits, 10);
+        assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn withdraw_invalidates_the_caching_gateway() {
+        let (sim, _net, vsr, gw_a, gw_b) = world(Arc::new(Soap11::new()));
+        export_lamp(&gw_a);
+        gw_a.invoke(&sim, "hall-lamp", "status", &[]).ok();
+        gw_b.invoke(&sim, "hall-lamp", "status", &[]).unwrap();
+        assert_eq!(gw_b.cache_len(), 1);
+
+        // gw_a withdraws: its own entry (if any) is invalidated locally;
+        // gw_b's copy goes stale and is evicted on the next use.
+        gw_a.withdraw("hall-lamp").unwrap();
+        assert!(gw_b.invoke(&sim, "hall-lamp", "status", &[]).is_err());
+        assert_eq!(
+            gw_b.cache_stats().invalidations,
+            1,
+            "stale entry dropped after failed call"
+        );
+        assert_eq!(vsr.service_count(), 0);
+    }
+
+    #[test]
+    fn service_move_between_gateways_serves_fresh_record() {
+        let (sim, net, vsr, gw_a, gw_b) = world(Arc::new(Soap11::new()));
+        let gw_c = Vsg::start(&net, "gw-c", gw_a.protocol().clone(), vsr.node()).unwrap();
+        export_lamp(&gw_a);
+        gw_c.invoke(&sim, "hall-lamp", "status", &[]).unwrap();
+        assert_eq!(gw_c.resolve_cached("hall-lamp").unwrap().gateway, "gw-a");
+
+        // The lamp relocates to gw_b; gw_c's cached record is stale.
+        gw_a.withdraw("hall-lamp").unwrap();
+        let on = Arc::new(Mutex::new(false));
+        gw_b.export(
+            VirtualService::new("hall-lamp", catalog::lamp(), Middleware::X10, "gw-b"),
+            move |_: &Sim, op: &str, _: &[(String, Value)]| match op {
+                "status" => Ok(Value::Bool(*on.lock())),
+                _ => Ok(Value::Null),
+            },
+        )
+        .unwrap();
+
+        // Invocation recovers transparently, and the re-learned record
+        // names the new gateway — no stale interface or endpoint.
+        gw_c.invoke(&sim, "hall-lamp", "status", &[]).unwrap();
+        assert_eq!(gw_c.resolve_cached("hall-lamp").unwrap().gateway, "gw-b");
+    }
+
+    #[test]
+    fn cache_stays_bounded_under_churn() {
+        let (sim, _net, _vsr, gw_a, gw_b) = world(Arc::new(CompactBinary::new()));
+        gw_b.set_cache_capacity(2);
+        for i in 0..8 {
+            let name = format!("svc-{i}");
+            gw_a.export(
+                VirtualService::new(&name, catalog::lamp(), Middleware::X10, "gw-a"),
+                |_: &Sim, _: &str, _: &[(String, Value)]| Ok(Value::Bool(false)),
+            )
+            .unwrap();
+            gw_b.invoke(&sim, &name, "status", &[]).unwrap();
+            assert!(gw_b.cache_len() <= 2, "cache grew past its bound");
+        }
+        assert_eq!(gw_b.cache_stats().evictions, 6);
+        // The bound costs re-resolution, never correctness.
+        assert_eq!(
+            gw_b.invoke(&sim, "svc-0", "status", &[]).unwrap(),
+            Value::Bool(false)
+        );
+    }
+
+    #[test]
+    fn app_faults_never_double_invoke() {
+        for protocol in [
+            Arc::new(Soap11::new()) as Arc<dyn VsgProtocol>,
+            Arc::new(CompactBinary::new()),
+            Arc::new(SipLike::new()),
+        ] {
+            let name = protocol.name();
+            let (sim, _net, _vsr, gw_a, gw_b) = world(protocol);
+            let invocations = Arc::new(Mutex::new(0u32));
+            let counter = invocations.clone();
+            gw_a.export(
+                VirtualService::new("vault", catalog::lamp(), Middleware::X10, "gw-a"),
+                move |_: &Sim, _: &str, _: &[(String, Value)]| {
+                    *counter.lock() += 1;
+                    Err(MetaError::native("x10", "device jammed"))
+                },
+            )
+            .unwrap();
+
+            // Warm the route, then hit the application fault.
+            gw_b.invoke(&sim, "vault", "status", &[]).unwrap_err();
+            let err = gw_b.invoke(&sim, "vault", "status", &[]).unwrap_err();
+            assert_eq!(err, MetaError::native("x10", "device jammed"), "{name}");
+            // One invocation per invoke() call: the fault proves the
+            // remote side executed, so there must be no evict-and-retry.
+            assert_eq!(
+                *invocations.lock(),
+                2,
+                "{name}: non-idempotent op double-invoked"
+            );
+        }
+    }
+
+    #[test]
+    fn negative_entries_absorb_repeated_unknown_lookups() {
+        let (sim, _net, vsr, gw_a, gw_b) = world(Arc::new(Soap11::new()));
+        assert!(matches!(
+            gw_b.invoke(&sim, "hall-lamp", "status", &[]),
+            Err(MetaError::UnknownService(_))
+        ));
+        let inquiries_after_first = vsr.registry_stats().inquiries;
+        // The next few lookups are answered from the negative entry…
+        for _ in 0..3 {
+            assert!(matches!(
+                gw_b.invoke(&sim, "hall-lamp", "status", &[]),
+                Err(MetaError::UnknownService(_))
+            ));
+        }
+        assert_eq!(vsr.registry_stats().inquiries, inquiries_after_first);
+        assert_eq!(gw_b.cache_stats().negative_hits, 3);
+        // …but the entry has a use budget: a service published *after*
+        // the failed lookups becomes invocable within a few attempts
+        // rather than staying invisible forever.
+        export_lamp(&gw_a);
+        let recovered = (0..8).any(|_| gw_b.invoke(&sim, "hall-lamp", "status", &[]).is_ok());
+        assert!(recovered, "negative entry never expired");
     }
 
     #[test]

@@ -36,8 +36,10 @@ pub struct ServiceRecord {
     pub middleware: Middleware,
     /// Fronting gateway.
     pub gateway: String,
-    /// Reconstructed interface.
-    pub interface: ServiceInterface,
+    /// Reconstructed interface, interned behind `Arc` so resolution
+    /// caches and bridge clients share one parse instead of cloning
+    /// the whole operation table per call.
+    pub interface: Arc<ServiceInterface>,
     /// Service contexts (§3.3), e.g. `("room", "hall")`.
     pub contexts: Vec<(String, String)>,
 }
@@ -66,7 +68,7 @@ impl ServiceRecord {
             name,
             middleware,
             gateway,
-            interface: ServiceInterface::from_wsdl(&desc),
+            interface: Arc::new(ServiceInterface::from_wsdl(&desc)),
             contexts,
         })
     }
@@ -100,7 +102,10 @@ impl Vsr {
         server.mount(VSR_NS, move |_sim, call: &RpcCall| {
             handle(&state2, call).map_err(|e| Fault::server(e.to_string()))
         });
-        Vsr { node: server.node(), state }
+        Vsr {
+            node: server.node(),
+            state,
+        }
     }
 
     /// The repository's backbone node (what [`VsrClient`]s talk to).
@@ -116,6 +121,13 @@ impl Vsr {
     /// The underlying registry's inquiry statistics.
     pub fn registry_stats(&self) -> wsdl::RegistryStats {
         self.state.lock().registry.stats()
+    }
+
+    /// Toggles index-backed inquiry on the underlying registry
+    /// (ablation hook — indexes are maintained either way, only the
+    /// lookup path changes, so toggling mid-run is safe).
+    pub fn set_indexing(&self, enabled: bool) {
+        self.state.lock().registry.set_indexing(enabled);
     }
 }
 
@@ -165,18 +177,13 @@ fn handle(state: &Mutex<VsrState>, call: &RpcCall) -> Result<Value, MetaError> {
                     .collect(),
                 _ => Vec::new(),
             };
-            // Replace any existing record of the same name.
-            let existing: Vec<Key> = st
+            // Replace any existing record of the same name via the
+            // registry's delete-by-name index (no inquiry scan), and
+            // drop the replaced records' now-orphaned tModels.
+            delete_by_name(&mut st.registry, &name);
+            let tmodel = st
                 .registry
-                .find_service(&name, &[])
-                .into_iter()
-                .filter(|s| s.name == name)
-                .map(|s| s.key)
-                .collect();
-            for key in existing {
-                st.registry.delete_service(&key);
-            }
-            let tmodel = st.registry.save_tmodel(&format!("{name}-interface"), &wsdl_doc);
+                .save_tmodel(&format!("{name}-interface"), &wsdl_doc);
             let endpoint = format!("vsg://{gateway}/{name}");
             let business = st.business.clone();
             let mut categories = vec![
@@ -193,17 +200,7 @@ fn handle(state: &Mutex<VsrState>, call: &RpcCall) -> Result<Value, MetaError> {
         }
         "unpublish" => {
             let name = str_arg("name")?;
-            let keys: Vec<Key> = st
-                .registry
-                .find_service(&name, &[])
-                .into_iter()
-                .filter(|s| s.name == name)
-                .map(|s| s.key)
-                .collect();
-            let found = !keys.is_empty();
-            for key in keys {
-                st.registry.delete_service(&key);
-            }
+            let found = delete_by_name(&mut st.registry, &name);
             Ok(Value::Bool(found))
         }
         "find" => {
@@ -255,14 +252,29 @@ fn handle(state: &Mutex<VsrState>, call: &RpcCall) -> Result<Value, MetaError> {
             Ok(Value::List(out))
         }
         "count" => Ok(Value::Int(st.registry.service_count() as i64)),
-        other => Err(MetaError::Repository(format!("unknown VSR operation '{other}'"))),
+        other => Err(MetaError::Repository(format!(
+            "unknown VSR operation '{other}'"
+        ))),
     }
 }
 
-fn service_to_value(
-    registry: &mut UddiRegistry,
-    svc: &wsdl::BusinessService,
-) -> Option<Value> {
+/// Deletes every record named `name` (index-backed, no scan) together
+/// with the tModels its bindings referenced. Returns whether anything
+/// was removed.
+fn delete_by_name(registry: &mut UddiRegistry, name: &str) -> bool {
+    let removed = registry.delete_services_by_name(name);
+    let found = !removed.is_empty();
+    for service in removed {
+        for binding in &service.bindings {
+            if let Some(tm) = &binding.tmodel_key {
+                registry.delete_tmodel(tm);
+            }
+        }
+    }
+    found
+}
+
+fn service_to_value(registry: &mut UddiRegistry, svc: &wsdl::BusinessService) -> Option<Value> {
     let middleware = svc
         .categories
         .iter()
@@ -306,14 +318,19 @@ impl VsrClient {
     /// Creates a client calling from `node` on the backbone.
     pub fn new(net: &Network, node: NodeId, vsr: NodeId) -> VsrClient {
         VsrClient {
-            soap: SoapClient::on_node(net, node, soap::CpuModel::default(), soap::TcpModel::default()),
+            soap: SoapClient::on_node(
+                net,
+                node,
+                soap::CpuModel::default(),
+                soap::TcpModel::default(),
+            ),
             vsr,
         }
     }
 
     fn call(&self, call: &RpcCall) -> Result<Value, MetaError> {
         self.soap.call(self.vsr, call).map_err(|e| match e {
-            SoapError::Fault(f) => MetaError::Repository(f.string),
+            SoapError::Fault(f) => MetaError::from_fault_string(&f.string),
             other => MetaError::Protocol(other.to_string()),
         })
     }
@@ -383,10 +400,7 @@ impl VsrClient {
                 .arg("contexts", ctx),
         )?;
         match v {
-            Value::List(items) => Ok(items
-                .iter()
-                .filter_map(ServiceRecord::from_value)
-                .collect()),
+            Value::List(items) => Ok(items.iter().filter_map(ServiceRecord::from_value).collect()),
             _ => Err(MetaError::Repository("bad find_ctx reply".into())),
         }
     }
@@ -411,10 +425,7 @@ impl VsrClient {
                 .arg("middleware", middleware.map_or("", Middleware::label)),
         )?;
         match v {
-            Value::List(items) => Ok(items
-                .iter()
-                .filter_map(ServiceRecord::from_value)
-                .collect()),
+            Value::List(items) => Ok(items.iter().filter_map(ServiceRecord::from_value).collect()),
             _ => Err(MetaError::Repository("bad find reply".into())),
         }
     }
@@ -464,7 +475,7 @@ mod tests {
         assert_eq!(rec.middleware, Middleware::X10);
         assert_eq!(rec.gateway, "x10-gw");
         assert_eq!(rec.endpoint(), "vsg://x10-gw/hall-lamp");
-        assert_eq!(rec.interface, catalog::lamp());
+        assert_eq!(*rec.interface, catalog::lamp());
     }
 
     #[test]
@@ -533,7 +544,7 @@ mod tests {
         assert_eq!(client.gateway_node("x10-gw").unwrap(), gw_node);
         assert!(matches!(
             client.gateway_node("ghost-gw"),
-            Err(MetaError::Repository(_))
+            Err(MetaError::GatewayUnreachable(_))
         ));
     }
 

@@ -50,7 +50,9 @@ mod tests {
             Err(HaviError::Network(_))
         ));
         net.set_down(false);
-        assert!(a.send(src.handle, target, OpCode::new(1, 1), vec![]).is_ok());
+        assert!(a
+            .send(src.handle, target, OpCode::new(1, 1), vec![])
+            .is_ok());
     }
 
     #[test]

@@ -36,7 +36,14 @@ impl Dcm {
             .iter()
             .map(|(kind, fcm_name)| Fcm::install(&ms, *kind, fcm_name, event_manager))
             .collect();
-        Dcm { ms, control, guid, name: name.to_owned(), fcms, registry: None }
+        Dcm {
+            ms,
+            control,
+            guid,
+            name: name.to_owned(),
+            fcms,
+            registry: None,
+        }
     }
 
     /// The device's messaging system.
@@ -161,7 +168,10 @@ mod tests {
         let client = RegistryClient::new(&fav, probe.handle, registry.seid());
         let cams = client.query(&[(attr::DEVICE_CLASS, "dv-camera")]).unwrap();
         assert_eq!(cams.len(), 1);
-        assert_eq!(cams[0].attributes.get(attr::GUID).unwrap(), &0xDEAD_BEEFu64.to_string());
+        assert_eq!(
+            cams[0].attributes.get(attr::GUID).unwrap(),
+            &0xDEAD_BEEFu64.to_string()
+        );
     }
 
     #[test]

@@ -213,7 +213,9 @@ impl DdiPanel {
 
 impl fmt::Debug for DdiPanel {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("DdiPanel").field("seid", &self.seid).finish()
+        f.debug_struct("DdiPanel")
+            .field("seid", &self.seid)
+            .finish()
     }
 }
 
@@ -227,16 +229,21 @@ pub struct DdiController {
 impl DdiController {
     /// Creates a controller sending from local element `src_handle`.
     pub fn new(ms: &MessagingSystem, src_handle: u32) -> DdiController {
-        DdiController { ms: ms.clone(), src_handle }
+        DdiController {
+            ms: ms.clone(),
+            src_handle,
+        }
     }
 
     /// Fetches a device's panel.
     pub fn fetch(&self, panel: Seid) -> Result<DdiElement, HaviError> {
-        let params = self
-            .ms
-            .send_ok(self.src_handle, panel, OpCode::new(API_DDI, OPER_GET_PANEL), vec![])?;
-        DdiElement::from_params(&params)
-            .ok_or(HaviError::Status(HaviStatus::EParameter))
+        let params = self.ms.send_ok(
+            self.src_handle,
+            panel,
+            OpCode::new(API_DDI, OPER_GET_PANEL),
+            vec![],
+        )?;
+        DdiElement::from_params(&params).ok_or(HaviError::Status(HaviStatus::EParameter))
     }
 
     /// Pushes a button.
@@ -261,12 +268,24 @@ mod tests {
         DdiElement::Panel {
             title: "VCR".into(),
             children: vec![
-                DdiElement::Text { label: "state".into(), value: "stopped".into() },
-                DdiElement::Button { id: 1, label: "Play".into() },
-                DdiElement::Button { id: 2, label: "Stop".into() },
+                DdiElement::Text {
+                    label: "state".into(),
+                    value: "stopped".into(),
+                },
+                DdiElement::Button {
+                    id: 1,
+                    label: "Play".into(),
+                },
+                DdiElement::Button {
+                    id: 2,
+                    label: "Stop".into(),
+                },
                 DdiElement::Panel {
                     title: "Advanced".into(),
-                    children: vec![DdiElement::Button { id: 3, label: "Record".into() }],
+                    children: vec![DdiElement::Button {
+                        id: 3,
+                        label: "Record".into(),
+                    }],
                 },
             ],
         }
@@ -334,7 +353,9 @@ mod tests {
         });
         let tv = MessagingSystem::attach(&bus, "tv");
         let gui = tv.register_element(|_, _| (HaviStatus::Success, vec![]));
-        let ui = DdiController::new(&tv, gui.handle).fetch(panel.seid()).unwrap();
+        let ui = DdiController::new(&tv, gui.handle)
+            .fetch(panel.seid())
+            .unwrap();
         assert!(ui.to_string().contains("recording"));
         assert!(ui.buttons().is_empty());
     }

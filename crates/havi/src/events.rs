@@ -80,16 +80,10 @@ impl EventManager {
                 },
                 OPER_POST => match msg.params.first().and_then(HValue::as_u32) {
                     Some(ty) => {
-                        let targets = subs2
-                            .lock()
-                            .get(&(ty as u16))
-                            .cloned()
-                            .unwrap_or_default();
+                        let targets = subs2.lock().get(&(ty as u16)).cloned().unwrap_or_default();
                         let my_seid = seid_cell2.lock().expect("set after registration");
-                        let mut forwarded = vec![
-                            HValue::U32(msg.src.node.0),
-                            HValue::U32(msg.src.handle),
-                        ];
+                        let mut forwarded =
+                            vec![HValue::U32(msg.src.node.0), HValue::U32(msg.src.handle)];
                         forwarded.extend_from_slice(&msg.params);
                         for target in targets {
                             // Losing one subscriber must not fail the post.
@@ -108,7 +102,10 @@ impl EventManager {
             }
         });
         *seid_cell.lock() = Some(seid);
-        EventManager { seid, subscriptions }
+        EventManager {
+            seid,
+            subscriptions,
+        }
     }
 
     /// The event manager's SEID.
@@ -197,8 +194,13 @@ pub fn post(
 ) -> Result<(), HaviError> {
     let mut params = vec![HValue::U16(event_type)];
     params.extend(payload);
-    ms.send_ok(src_handle, em, OpCode::new(API_EVENT_MANAGER, OPER_POST), params)
-        .map(|_| ())
+    ms.send_ok(
+        src_handle,
+        em,
+        OpCode::new(API_EVENT_MANAGER, OPER_POST),
+        params,
+    )
+    .map(|_| ())
 }
 
 #[cfg(test)]
@@ -226,7 +228,13 @@ mod tests {
             }
             (HaviStatus::Success, vec![])
         });
-        subscribe(&tv, listener.handle, em.seid(), event_type::TRANSPORT_CHANGED).unwrap();
+        subscribe(
+            &tv,
+            listener.handle,
+            em.seid(),
+            event_type::TRANSPORT_CHANGED,
+        )
+        .unwrap();
         assert_eq!(em.subscriber_count(event_type::TRANSPORT_CHANGED), 1);
 
         let vcr = MessagingSystem::attach(&net, "vcr");
@@ -260,10 +268,24 @@ mod tests {
             (HaviStatus::Success, vec![])
         });
         subscribe(&tv, listener.handle, em.seid(), event_type::BUS_RESET).unwrap();
-        post(&tv, listener.handle, em.seid(), event_type::BUS_RESET, vec![]).unwrap();
+        post(
+            &tv,
+            listener.handle,
+            em.seid(),
+            event_type::BUS_RESET,
+            vec![],
+        )
+        .unwrap();
         unsubscribe(&tv, listener.handle, em.seid(), event_type::BUS_RESET).unwrap();
         assert_eq!(em.subscriber_count(event_type::BUS_RESET), 0);
-        post(&tv, listener.handle, em.seid(), event_type::BUS_RESET, vec![]).unwrap();
+        post(
+            &tv,
+            listener.handle,
+            em.seid(),
+            event_type::BUS_RESET,
+            vec![],
+        )
+        .unwrap();
         assert_eq!(*count.lock(), 1);
     }
 
@@ -280,7 +302,14 @@ mod tests {
             (HaviStatus::Success, vec![])
         });
         subscribe(&tv, listener.handle, em.seid(), event_type::DEVICE_ADDED).unwrap();
-        post(&tv, listener.handle, em.seid(), event_type::DEVICE_GONE, vec![]).unwrap();
+        post(
+            &tv,
+            listener.handle,
+            em.seid(),
+            event_type::DEVICE_GONE,
+            vec![],
+        )
+        .unwrap();
         assert_eq!(*count.lock(), 0);
     }
 
@@ -299,7 +328,14 @@ mod tests {
         subscribe(&tv, listener.handle, em.seid(), event_type::BUS_RESET).unwrap();
         subscribe(&tv, listener.handle, em.seid(), event_type::BUS_RESET).unwrap();
         assert_eq!(em.subscriber_count(event_type::BUS_RESET), 1);
-        post(&tv, listener.handle, em.seid(), event_type::BUS_RESET, vec![]).unwrap();
+        post(
+            &tv,
+            listener.handle,
+            em.seid(),
+            event_type::BUS_RESET,
+            vec![],
+        )
+        .unwrap();
         assert_eq!(*count.lock(), 1);
     }
 
@@ -313,6 +349,13 @@ mod tests {
         // The poster still succeeds even though forwarding fails.
         let vcr = MessagingSystem::attach(&net, "vcr");
         let poster = vcr.register_element(|_, _| (HaviStatus::Success, vec![]));
-        post(&vcr, poster.handle, em.seid(), event_type::BUS_RESET, vec![]).unwrap();
+        post(
+            &vcr,
+            poster.handle,
+            em.seid(),
+            event_type::BUS_RESET,
+            vec![],
+        )
+        .unwrap();
     }
 }

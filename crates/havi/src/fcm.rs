@@ -211,7 +211,12 @@ impl Fcm {
             result
         });
         *self_seid.lock() = Some(seid);
-        Fcm { seid, kind, name: name.to_owned(), state }
+        Fcm {
+            seid,
+            kind,
+            name: name.to_owned(),
+            state,
+        }
     }
 
     /// The FCM's SEID.
@@ -316,15 +321,13 @@ fn apply_operation(
             }
             None => (HaviStatus::EParameter, vec![]),
         },
-        SET_VOLUME if kind == FcmKind::Amplifier => {
-            match params.first().and_then(HValue::as_u32) {
-                Some(v) if v <= 100 => {
-                    st.volume = v as u8;
-                    (HaviStatus::Success, vec![])
-                }
-                _ => (HaviStatus::EParameter, vec![]),
+        SET_VOLUME if kind == FcmKind::Amplifier => match params.first().and_then(HValue::as_u32) {
+            Some(v) if v <= 100 => {
+                st.volume = v as u8;
+                (HaviStatus::Success, vec![])
             }
-        }
+            _ => (HaviStatus::EParameter, vec![]),
+        },
         GET_VOLUME if kind == FcmKind::Amplifier => {
             (HaviStatus::Success, vec![HValue::U8(st.volume)])
         }
@@ -362,20 +365,39 @@ mod tests {
         let (ctl, me) = controller(&net);
         let api = FcmKind::Vcr.api_code();
 
-        ctl.send_ok(me.handle, vcr.seid(), OpCode::new(api, oper::RECORD), vec![]).unwrap();
+        ctl.send_ok(
+            me.handle,
+            vcr.seid(),
+            OpCode::new(api, oper::RECORD),
+            vec![],
+        )
+        .unwrap();
         assert_eq!(vcr.state().transport, TransportState::Recording);
 
         let status = ctl
-            .send_ok(me.handle, vcr.seid(), OpCode::new(api, oper::STATUS), vec![])
+            .send_ok(
+                me.handle,
+                vcr.seid(),
+                OpCode::new(api, oper::STATUS),
+                vec![],
+            )
             .unwrap();
         assert_eq!(status[0].as_str(), Some("recording"));
 
-        ctl.send_ok(me.handle, vcr.seid(), OpCode::new(api, oper::STOP), vec![]).unwrap();
+        ctl.send_ok(me.handle, vcr.seid(), OpCode::new(api, oper::STOP), vec![])
+            .unwrap();
         assert_eq!(vcr.state().transport, TransportState::Stopped);
 
-        ctl.send_ok(me.handle, vcr.seid(), OpCode::new(api, oper::WIND), vec![]).unwrap();
+        ctl.send_ok(me.handle, vcr.seid(), OpCode::new(api, oper::WIND), vec![])
+            .unwrap();
         assert_eq!(vcr.state().position, 100);
-        ctl.send_ok(me.handle, vcr.seid(), OpCode::new(api, oper::REWIND), vec![]).unwrap();
+        ctl.send_ok(
+            me.handle,
+            vcr.seid(),
+            OpCode::new(api, oper::REWIND),
+            vec![],
+        )
+        .unwrap();
         assert_eq!(vcr.state().position, 0);
     }
 
@@ -387,7 +409,12 @@ mod tests {
         let (ctl, me) = controller(&net);
         let api = FcmKind::Vcr.api_code();
         let (status, _) = ctl
-            .send(me.handle, vcr.seid(), OpCode::new(api, oper::RECORD), vec![])
+            .send(
+                me.handle,
+                vcr.seid(),
+                OpCode::new(api, oper::RECORD),
+                vec![],
+            )
             .unwrap();
         assert_eq!(status, HaviStatus::EState);
         // STOP still works without media.
@@ -403,18 +430,38 @@ mod tests {
         let tuner = Fcm::install(&node, FcmKind::Tuner, "tuner", None);
         let (ctl, me) = controller(&net);
         let api = FcmKind::Tuner.api_code();
-        ctl.send_ok(me.handle, tuner.seid(), OpCode::new(api, oper::SET_CHANNEL), vec![HValue::U16(42)])
-            .unwrap();
+        ctl.send_ok(
+            me.handle,
+            tuner.seid(),
+            OpCode::new(api, oper::SET_CHANNEL),
+            vec![HValue::U16(42)],
+        )
+        .unwrap();
         let got = ctl
-            .send_ok(me.handle, tuner.seid(), OpCode::new(api, oper::GET_CHANNEL), vec![])
+            .send_ok(
+                me.handle,
+                tuner.seid(),
+                OpCode::new(api, oper::GET_CHANNEL),
+                vec![],
+            )
             .unwrap();
         assert_eq!(got[0].as_u32(), Some(42));
         let (status, _) = ctl
-            .send(me.handle, tuner.seid(), OpCode::new(api, oper::SET_CHANNEL), vec![HValue::U16(0)])
+            .send(
+                me.handle,
+                tuner.seid(),
+                OpCode::new(api, oper::SET_CHANNEL),
+                vec![HValue::U16(0)],
+            )
             .unwrap();
         assert_eq!(status, HaviStatus::EParameter);
         let (status, _) = ctl
-            .send(me.handle, tuner.seid(), OpCode::new(api, oper::SET_CHANNEL), vec![])
+            .send(
+                me.handle,
+                tuner.seid(),
+                OpCode::new(api, oper::SET_CHANNEL),
+                vec![],
+            )
             .unwrap();
         assert_eq!(status, HaviStatus::EParameter);
     }
@@ -426,10 +473,20 @@ mod tests {
         let (ctl, me) = controller(&net);
         let api = FcmKind::DvCamera.api_code();
         let a = ctl
-            .send_ok(me.handle, cam.seid(), OpCode::new(api, oper::CAPTURE), vec![])
+            .send_ok(
+                me.handle,
+                cam.seid(),
+                OpCode::new(api, oper::CAPTURE),
+                vec![],
+            )
             .unwrap();
         let b = ctl
-            .send_ok(me.handle, cam.seid(), OpCode::new(api, oper::CAPTURE), vec![])
+            .send_ok(
+                me.handle,
+                cam.seid(),
+                OpCode::new(api, oper::CAPTURE),
+                vec![],
+            )
             .unwrap();
         assert_eq!(a[0].as_u32(), Some(1));
         assert_eq!(b[0].as_u32(), Some(2));
@@ -510,18 +567,37 @@ mod tests {
         let seen2 = seen.clone();
         let listener = watcher.register_element(move |_, msg| {
             if let Some(ev) = decode_forwarded(msg) {
-                seen2.lock().push(ev.payload[0].as_str().unwrap().to_owned());
+                seen2
+                    .lock()
+                    .push(ev.payload[0].as_str().unwrap().to_owned());
             }
             (HaviStatus::Success, vec![])
         });
-        subscribe(&watcher, listener.handle, em.seid(), event_type::TRANSPORT_CHANGED).unwrap();
+        subscribe(
+            &watcher,
+            listener.handle,
+            em.seid(),
+            event_type::TRANSPORT_CHANGED,
+        )
+        .unwrap();
 
         let (ctl, me) = controller(&net);
         let api = FcmKind::Vcr.api_code();
-        ctl.send_ok(me.handle, vcr.seid(), OpCode::new(api, oper::PLAY), vec![]).unwrap();
-        ctl.send_ok(me.handle, vcr.seid(), OpCode::new(api, oper::STOP), vec![]).unwrap();
+        ctl.send_ok(me.handle, vcr.seid(), OpCode::new(api, oper::PLAY), vec![])
+            .unwrap();
+        ctl.send_ok(me.handle, vcr.seid(), OpCode::new(api, oper::STOP), vec![])
+            .unwrap();
         // STATUS does not change state: no third event.
-        ctl.send_ok(me.handle, vcr.seid(), OpCode::new(api, oper::STATUS), vec![]).unwrap();
-        assert_eq!(*seen.lock(), vec!["playing".to_owned(), "stopped".to_owned()]);
+        ctl.send_ok(
+            me.handle,
+            vcr.seid(),
+            OpCode::new(api, oper::STATUS),
+            vec![],
+        )
+        .unwrap();
+        assert_eq!(
+            *seen.lock(),
+            vec!["playing".to_owned(), "stopped".to_owned()]
+        );
     }
 }

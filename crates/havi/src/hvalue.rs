@@ -97,8 +97,12 @@ impl HValue {
         match tag {
             0 => Ok(HValue::Bool(take(pos, 1)?[0] != 0)),
             1 => Ok(HValue::U8(take(pos, 1)?[0])),
-            2 => Ok(HValue::U16(u16::from_be_bytes(take(pos, 2)?.try_into().unwrap()))),
-            3 => Ok(HValue::U32(u32::from_be_bytes(take(pos, 4)?.try_into().unwrap()))),
+            2 => Ok(HValue::U16(u16::from_be_bytes(
+                take(pos, 2)?.try_into().unwrap(),
+            ))),
+            3 => Ok(HValue::U32(u32::from_be_bytes(
+                take(pos, 4)?.try_into().unwrap(),
+            ))),
             4 => {
                 let len = u16::from_be_bytes(take(pos, 2)?.try_into().unwrap()) as usize;
                 let bytes = take(pos, len)?;

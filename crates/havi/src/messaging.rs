@@ -80,8 +80,7 @@ impl HaviMessage {
 
 /// A software element's message handler: returns a status and reply
 /// parameters.
-pub type ElementHandler =
-    Box<dyn FnMut(&Sim, &HaviMessage) -> (HaviStatus, Vec<HValue>) + Send>;
+pub type ElementHandler = Box<dyn FnMut(&Sim, &HaviMessage) -> (HaviStatus, Vec<HValue>) + Send>;
 
 /// Errors surfaced by the HAVi layer.
 #[derive(Debug, Clone, PartialEq)]
@@ -294,7 +293,12 @@ mod tests {
         let ctl_seid = controller.register_element(|_, _| (HaviStatus::Success, vec![]));
 
         let (status, params) = controller
-            .send(ctl_seid.handle, vcr_seid, OpCode::new(0x0103, 1), vec![HValue::U16(42)])
+            .send(
+                ctl_seid.handle,
+                vcr_seid,
+                OpCode::new(0x0103, 1),
+                vec![HValue::U16(42)],
+            )
             .unwrap();
         assert!(status.is_ok());
         assert_eq!(params[0].as_str(), Some("recording"));
@@ -312,7 +316,9 @@ mod tests {
         let b = MessagingSystem::attach(&net, "b");
         let src = a.register_element(|_, _| (HaviStatus::Success, vec![]));
         let bogus = Seid::new(b.node(), 777);
-        let (status, _) = a.send(src.handle, bogus, OpCode::new(1, 1), vec![]).unwrap();
+        let (status, _) = a
+            .send(src.handle, bogus, OpCode::new(1, 1), vec![])
+            .unwrap();
         assert_eq!(status, HaviStatus::EUnknownSeid);
         assert_eq!(
             a.send_ok(src.handle, bogus, OpCode::new(1, 1), vec![]),
@@ -355,7 +361,8 @@ mod tests {
         let target = b.register_element(|_, _| (HaviStatus::Success, vec![]));
         let src = a.register_element(|_, _| (HaviStatus::Success, vec![]));
         let before = sim.now();
-        a.send(src.handle, target, OpCode::new(1, 1), vec![]).unwrap();
+        a.send(src.handle, target, OpCode::new(1, 1), vec![])
+            .unwrap();
         let elapsed = sim.now() - before;
         assert!(elapsed.as_micros() < 1_000, "took {elapsed}");
     }

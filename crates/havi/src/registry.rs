@@ -128,15 +128,15 @@ pub struct RegistryClient {
 impl RegistryClient {
     /// Creates a client sending from local element `src_handle`.
     pub fn new(ms: &MessagingSystem, src_handle: u32, registry: Seid) -> RegistryClient {
-        RegistryClient { ms: ms.clone(), src_handle, registry }
+        RegistryClient {
+            ms: ms.clone(),
+            src_handle,
+            registry,
+        }
     }
 
     /// Advertises `seid` with `attributes`.
-    pub fn register(
-        &self,
-        seid: Seid,
-        attributes: &[(&str, &str)],
-    ) -> Result<(), HaviError> {
+    pub fn register(&self, seid: Seid, attributes: &[(&str, &str)]) -> Result<(), HaviError> {
         let mut params = vec![
             HValue::U32(seid.node.0),
             HValue::U32(seid.handle),
@@ -147,7 +147,12 @@ impl RegistryClient {
             params.push(HValue::Str((*v).to_owned()));
         }
         self.ms
-            .send_ok(self.src_handle, self.registry, OpCode::new(API_REGISTRY, OPER_REGISTER), params)
+            .send_ok(
+                self.src_handle,
+                self.registry,
+                OpCode::new(API_REGISTRY, OPER_REGISTER),
+                params,
+            )
             .map(|_| ())
     }
 
@@ -155,7 +160,12 @@ impl RegistryClient {
     pub fn unregister(&self, seid: Seid) -> Result<(), HaviError> {
         let params = vec![HValue::U32(seid.node.0), HValue::U32(seid.handle)];
         self.ms
-            .send_ok(self.src_handle, self.registry, OpCode::new(API_REGISTRY, OPER_UNREGISTER), params)
+            .send_ok(
+                self.src_handle,
+                self.registry,
+                OpCode::new(API_REGISTRY, OPER_UNREGISTER),
+                params,
+            )
             .map(|_| ())
     }
 
@@ -240,7 +250,10 @@ fn decode_entry_list(params: &[HValue]) -> Option<Vec<RegistryEntry>> {
             attributes.insert(k, v);
             pos += 2;
         }
-        out.push(RegistryEntry { seid: Seid::new(NodeId(node), handle), attributes });
+        out.push(RegistryEntry {
+            seid: Seid::new(NodeId(node), handle),
+            attributes,
+        });
     }
     Some(out)
 }
@@ -266,20 +279,29 @@ mod tests {
         let client = RegistryClient::new(&vcr_node, vcr_fcm.handle, registry.seid());
 
         client
-            .register(vcr_fcm, &[
-                (attr::SE_TYPE, "fcm"),
-                (attr::DEVICE_CLASS, "vcr"),
-                (attr::NAME, "living-room-vcr"),
-            ])
+            .register(
+                vcr_fcm,
+                &[
+                    (attr::SE_TYPE, "fcm"),
+                    (attr::DEVICE_CLASS, "vcr"),
+                    (attr::NAME, "living-room-vcr"),
+                ],
+            )
             .unwrap();
         assert_eq!(registry.entry_count(), 1);
 
         let vcrs = client.query(&[(attr::DEVICE_CLASS, "vcr")]).unwrap();
         assert_eq!(vcrs.len(), 1);
         assert_eq!(vcrs[0].seid, vcr_fcm);
-        assert_eq!(vcrs[0].attributes.get(attr::NAME).unwrap(), "living-room-vcr");
+        assert_eq!(
+            vcrs[0].attributes.get(attr::NAME).unwrap(),
+            "living-room-vcr"
+        );
 
-        assert!(client.query(&[(attr::DEVICE_CLASS, "tuner")]).unwrap().is_empty());
+        assert!(client
+            .query(&[(attr::DEVICE_CLASS, "tuner")])
+            .unwrap()
+            .is_empty());
 
         client.unregister(vcr_fcm).unwrap();
         assert_eq!(registry.entry_count(), 0);
@@ -312,7 +334,10 @@ mod tests {
         client
             .register(b, &[(attr::DEVICE_CLASS, "vcr"), (attr::GUID, "g2")])
             .unwrap();
-        assert_eq!(client.query(&[(attr::DEVICE_CLASS, "vcr")]).unwrap().len(), 2);
+        assert_eq!(
+            client.query(&[(attr::DEVICE_CLASS, "vcr")]).unwrap().len(),
+            2
+        );
         let one = client
             .query(&[(attr::DEVICE_CLASS, "vcr"), (attr::GUID, "g2")])
             .unwrap();
@@ -328,7 +353,9 @@ mod tests {
         let client = RegistryClient::new(&node, client_seid.handle, registry.seid());
         for i in 0..4 {
             let e = node.register_element(|_, _| (HaviStatus::Success, vec![]));
-            client.register(e, &[(attr::NAME, &format!("dev{i}"))]).unwrap();
+            client
+                .register(e, &[(attr::NAME, &format!("dev{i}"))])
+                .unwrap();
         }
         assert_eq!(client.query(&[]).unwrap().len(), 4);
     }

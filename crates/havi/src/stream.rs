@@ -71,7 +71,10 @@ impl fmt::Display for StreamError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             StreamError::NoChannel => write!(f, "no isochronous channel free"),
-            StreamError::NoBandwidth { requested, available } => write!(
+            StreamError::NoBandwidth {
+                requested,
+                available,
+            } => write!(
                 f,
                 "isochronous bandwidth exhausted: requested {requested} B/cycle, {available} left"
             ),
@@ -119,7 +122,10 @@ impl StreamManager {
         let mut st = self.state.lock();
         let available = CYCLE_BUDGET_BYTES - st.used_bytes_per_cycle;
         if bytes_per_cycle > available {
-            return Err(StreamError::NoBandwidth { requested: bytes_per_cycle, available });
+            return Err(StreamError::NoBandwidth {
+                requested: bytes_per_cycle,
+                available,
+            });
         }
         let channel = st
             .used_channels
@@ -128,7 +134,12 @@ impl StreamManager {
             .ok_or(StreamError::NoChannel)? as u8;
         st.used_channels[channel as usize] = true;
         st.used_bytes_per_cycle += bytes_per_cycle;
-        let conn = StreamConnection { channel, source, sink, bytes_per_cycle };
+        let conn = StreamConnection {
+            channel,
+            source,
+            sink,
+            bytes_per_cycle,
+        };
         st.connections.push(conn.clone());
         Ok(conn)
     }
@@ -176,7 +187,12 @@ impl StreamManager {
         sim.advance(duration);
         // Hardware-timed delivery: jitter bounded by cycle start phase.
         let max_jitter_us = if cycles > 0 { CYCLE.as_micros() / 2 } else { 0 };
-        StreamReport { packets: cycles, bytes, late_packets: 0, max_jitter_us }
+        StreamReport {
+            packets: cycles,
+            bytes,
+            late_packets: 0,
+            max_jitter_us,
+        }
     }
 }
 
@@ -209,8 +225,12 @@ mod tests {
     #[test]
     fn connect_allocates_distinct_channels() {
         let (_sim, _net, smgr) = manager();
-        let a = smgr.connect(seid(1, 1), seid(2, 1), DV_BYTES_PER_CYCLE).unwrap();
-        let b = smgr.connect(seid(3, 1), seid(2, 1), DV_BYTES_PER_CYCLE).unwrap();
+        let a = smgr
+            .connect(seid(1, 1), seid(2, 1), DV_BYTES_PER_CYCLE)
+            .unwrap();
+        let b = smgr
+            .connect(seid(3, 1), seid(2, 1), DV_BYTES_PER_CYCLE)
+            .unwrap();
         assert_ne!(a.channel, b.channel);
         assert_eq!(smgr.connections().len(), 2);
     }
@@ -220,7 +240,8 @@ mod tests {
         let (_sim, _net, smgr) = manager();
         // 10 DV streams fit in the S400 budget; the 11th does not.
         for _ in 0..10 {
-            smgr.connect(seid(1, 1), seid(2, 1), DV_BYTES_PER_CYCLE).unwrap();
+            smgr.connect(seid(1, 1), seid(2, 1), DV_BYTES_PER_CYCLE)
+                .unwrap();
         }
         match smgr.connect(seid(1, 1), seid(2, 1), DV_BYTES_PER_CYCLE) {
             Err(StreamError::NoBandwidth { available, .. }) => {
@@ -244,7 +265,9 @@ mod tests {
     #[test]
     fn pump_delivers_cycle_accurate_dv() {
         let (sim, net, smgr) = manager();
-        let c = smgr.connect(seid(1, 1), seid(2, 1), DV_BYTES_PER_CYCLE).unwrap();
+        let c = smgr
+            .connect(seid(1, 1), seid(2, 1), DV_BYTES_PER_CYCLE)
+            .unwrap();
         let report = smgr.pump(&sim, &c, SimDuration::from_secs(1));
         assert_eq!(report.packets, 8_000); // 1s / 125us
         assert_eq!(report.bytes, 8_000 * u64::from(DV_BYTES_PER_CYCLE));
@@ -262,6 +285,9 @@ mod tests {
         for _ in 0..CHANNELS {
             smgr.connect(seid(1, 1), seid(2, 1), 1).unwrap();
         }
-        assert_eq!(smgr.connect(seid(1, 1), seid(2, 1), 1), Err(StreamError::NoChannel));
+        assert_eq!(
+            smgr.connect(seid(1, 1), seid(2, 1), 1),
+            Err(StreamError::NoChannel)
+        );
     }
 }

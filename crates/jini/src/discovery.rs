@@ -53,8 +53,14 @@ mod tests {
         let sim = Sim::new(1);
         let net = Network::ethernet(&sim);
         let pub1 = LookupService::start(&net, "reggie1", &["public"], SimDuration::from_secs(5));
-        let pub2 = LookupService::start(&net, "reggie2", &["public", "av"], SimDuration::from_secs(5));
-        let _private = LookupService::start(&net, "reggie3", &["private"], SimDuration::from_secs(5));
+        let pub2 = LookupService::start(
+            &net,
+            "reggie2",
+            &["public", "av"],
+            SimDuration::from_secs(5),
+        );
+        let _private =
+            LookupService::start(&net, "reggie3", &["private"], SimDuration::from_secs(5));
 
         let pc = net.attach("pc");
         let found = discover(&net, pc, "public");
@@ -96,7 +102,8 @@ mod tests {
         let net = Network::ethernet(&sim);
         let pc = net.attach("pc");
         let other = net.attach("other");
-        net.send(Frame::new(other, pc, Protocol::Raw, &b"noise"[..])).unwrap();
+        net.send(Frame::new(other, pc, Protocol::Raw, &b"noise"[..]))
+            .unwrap();
         let found = discover(&net, pc, "public");
         assert!(found.is_empty());
     }

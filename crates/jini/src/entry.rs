@@ -17,7 +17,10 @@ pub struct Entry {
 impl Entry {
     /// Creates an entry with no fields.
     pub fn new(class: impl Into<String>) -> Entry {
-        Entry { class: class.into(), fields: Vec::new() }
+        Entry {
+            class: class.into(),
+            fields: Vec::new(),
+        }
     }
 
     /// The standard `Name` entry.
@@ -38,7 +41,10 @@ impl Entry {
 
     /// A field value by name.
     pub fn get(&self, name: &str) -> Option<&str> {
-        self.fields.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+        self.fields
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
     }
 
     /// Jini entry matching: the template matches if classes are equal and
@@ -97,12 +103,18 @@ impl ServiceTemplate {
 
     /// A template matching one interface.
     pub fn by_interface(name: &str) -> ServiceTemplate {
-        ServiceTemplate { interfaces: vec![name.to_owned()], ..Default::default() }
+        ServiceTemplate {
+            interfaces: vec![name.to_owned()],
+            ..Default::default()
+        }
     }
 
     /// A template matching a specific id.
     pub fn by_id(id: ServiceId) -> ServiceTemplate {
-        ServiceTemplate { service_id: Some(id), ..Default::default() }
+        ServiceTemplate {
+            service_id: Some(id),
+            ..Default::default()
+        }
     }
 
     /// Adds an entry requirement (builder style).
@@ -162,7 +174,11 @@ impl ServiceTemplate {
                 .collect::<Option<Vec<_>>>()?,
             _ => return None,
         };
-        Some(ServiceTemplate { service_id, interfaces, entries })
+        Some(ServiceTemplate {
+            service_id,
+            interfaces,
+            entries,
+        })
     }
 }
 
@@ -177,12 +193,8 @@ mod tests {
         assert!(item.matches(&Entry::name("laserdisc")));
         assert!(!item.matches(&Entry::name("vcr")));
         assert!(!item.matches(&Entry::new("other.Class")));
-        assert!(item.matches(
-            &Entry::new("net.jini.lookup.entry.Name").field("lang", "en")
-        ));
-        assert!(!item.matches(
-            &Entry::new("net.jini.lookup.entry.Name").field("lang", "jp")
-        ));
+        assert!(item.matches(&Entry::new("net.jini.lookup.entry.Name").field("lang", "en")));
+        assert!(!item.matches(&Entry::new("net.jini.lookup.entry.Name").field("lang", "jp")));
     }
 
     #[test]

@@ -52,17 +52,20 @@ pub fn export_listener(
     exporter: &RmiExporter,
     mut on_event: impl FnMut(&Sim, RemoteEvent) + Send + 'static,
 ) -> ProxyStub {
-    exporter.export("net.jini.core.event.RemoteEventListener", move |sim, method, args| {
-        if method != "notify" {
-            return Err(format!("listener has no method {method}"));
-        }
-        let event = args
-            .first()
-            .and_then(RemoteEvent::from_jvalue)
-            .ok_or("notify expects a RemoteEvent")?;
-        on_event(sim, event);
-        Ok(JValue::Null)
-    })
+    exporter.export(
+        "net.jini.core.event.RemoteEventListener",
+        move |sim, method, args| {
+            if method != "notify" {
+                return Err(format!("listener has no method {method}"));
+            }
+            let event = args
+                .first()
+                .and_then(RemoteEvent::from_jvalue)
+                .ok_or("notify expects a RemoteEvent")?;
+            on_event(sim, event);
+            Ok(JValue::Null)
+        },
+    )
 }
 
 /// The source side: tracks registered listeners and pushes events to them
@@ -111,7 +114,11 @@ impl EventSource {
             *s += 1;
             *s
         };
-        let event = RemoteEvent { event_id: self.event_id, seq, payload };
+        let event = RemoteEvent {
+            event_id: self.event_id,
+            seq,
+            payload,
+        };
         let listeners = self.listeners.lock().clone();
         listeners
             .into_iter()
@@ -167,7 +174,11 @@ mod tests {
         let seen = Arc::new(Mutex::new(0u32));
         let seen2 = seen.clone();
         let alive = export_listener(&exporter, move |_, _| *seen2.lock() += 1);
-        let dead = ProxyStub { host: simnet::NodeId(999), object_id: 1, interface: "L".into() };
+        let dead = ProxyStub {
+            host: simnet::NodeId(999),
+            object_id: 1,
+            interface: "L".into(),
+        };
         source.register(dead);
         source.register(alive);
 
@@ -197,7 +208,11 @@ mod tests {
 
     #[test]
     fn event_jvalue_round_trip() {
-        let e = RemoteEvent { event_id: 3, seq: 14, payload: JValue::Int(9) };
+        let e = RemoteEvent {
+            event_id: 3,
+            seq: 14,
+            payload: JValue::Int(9),
+        };
         assert_eq!(RemoteEvent::from_jvalue(&e.to_jvalue()).unwrap(), e);
         assert!(RemoteEvent::from_jvalue(&JValue::Null).is_none());
     }

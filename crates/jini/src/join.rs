@@ -49,37 +49,42 @@ impl JoinManager {
 
         let state2 = state.clone();
         let period = lease / 2;
-        let handle = net.sim().every(period.max(SimDuration::from_millis(1)), move |sim| {
-            let current = state2.lock().registration;
-            let Some(reg) = current else { return };
-            match client.renew(reg.lease.id, lease) {
-                Ok(renewed) => {
-                    let mut st = state2.lock();
-                    st.stats.renewals += 1;
-                    st.registration = Some(ServiceRegistration {
-                        service_id: reg.service_id,
-                        lease: renewed,
-                    });
-                }
-                Err(_) => {
-                    // Lost (expired lease, registrar wiped): rejoin with
-                    // the same service id so clients keep working.
-                    let mut fresh = item.clone();
-                    fresh.service_id = reg.service_id;
-                    match client.register(&fresh, lease) {
-                        Ok(new_reg) => {
-                            let mut st = state2.lock();
-                            st.stats.reregistrations += 1;
-                            st.registration = Some(new_reg);
-                            sim.trace("join-manager", format!("re-registered {}", reg.service_id));
-                        }
-                        Err(e) => {
-                            sim.trace("join-manager", format!("rejoin failed: {e}"));
+        let handle = net
+            .sim()
+            .every(period.max(SimDuration::from_millis(1)), move |sim| {
+                let current = state2.lock().registration;
+                let Some(reg) = current else { return };
+                match client.renew(reg.lease.id, lease) {
+                    Ok(renewed) => {
+                        let mut st = state2.lock();
+                        st.stats.renewals += 1;
+                        st.registration = Some(ServiceRegistration {
+                            service_id: reg.service_id,
+                            lease: renewed,
+                        });
+                    }
+                    Err(_) => {
+                        // Lost (expired lease, registrar wiped): rejoin with
+                        // the same service id so clients keep working.
+                        let mut fresh = item.clone();
+                        fresh.service_id = reg.service_id;
+                        match client.register(&fresh, lease) {
+                            Ok(new_reg) => {
+                                let mut st = state2.lock();
+                                st.stats.reregistrations += 1;
+                                st.registration = Some(new_reg);
+                                sim.trace(
+                                    "join-manager",
+                                    format!("re-registered {}", reg.service_id),
+                                );
+                            }
+                            Err(e) => {
+                                sim.trace("join-manager", format!("rejoin failed: {e}"));
+                            }
                         }
                     }
                 }
-            }
-        });
+            });
         Ok(JoinManager { state, handle })
     }
 
@@ -135,8 +140,8 @@ mod tests {
     #[test]
     fn join_manager_keeps_service_alive_indefinitely() {
         let (sim, net, reggie, client, item) = world();
-        let jm = JoinManager::start(&net, client.clone(), item, SimDuration::from_secs(30))
-            .unwrap();
+        let jm =
+            JoinManager::start(&net, client.clone(), item, SimDuration::from_secs(30)).unwrap();
         // Far beyond the 30 s lease, the service is still registered.
         sim.run_for(SimDuration::from_secs(600));
         assert_eq!(reggie.registered_count(), 1);
@@ -150,8 +155,8 @@ mod tests {
     #[test]
     fn join_manager_recovers_from_cancelled_lease() {
         let (sim, net, reggie, client, item) = world();
-        let jm = JoinManager::start(&net, client.clone(), item, SimDuration::from_secs(30))
-            .unwrap();
+        let jm =
+            JoinManager::start(&net, client.clone(), item, SimDuration::from_secs(30)).unwrap();
         // Somebody cancels the lease out from under the manager (a
         // registrar wipe, administratively removed).
         let reg = jm.registration().unwrap();
@@ -162,7 +167,9 @@ mod tests {
         assert_eq!(reggie.registered_count(), 1, "rejoined");
         assert!(jm.stats().reregistrations >= 1);
         // The same service id survived the rejoin.
-        let found = client.lookup_one(&ServiceTemplate::by_interface("Vcr")).unwrap();
+        let found = client
+            .lookup_one(&ServiceTemplate::by_interface("Vcr"))
+            .unwrap();
         assert_eq!(found.service_id, reg.service_id);
     }
 

@@ -40,15 +40,16 @@ pub enum JValue {
 impl JValue {
     /// Creates an object value.
     pub fn object(class: impl Into<String>, fields: Vec<(String, JValue)>) -> JValue {
-        JValue::Object { class: class.into(), fields }
+        JValue::Object {
+            class: class.into(),
+            fields,
+        }
     }
 
     /// A field of an object value.
     pub fn field(&self, name: &str) -> Option<&JValue> {
         match self {
-            JValue::Object { fields, .. } => {
-                fields.iter().find(|(k, _)| k == name).map(|(_, v)| v)
-            }
+            JValue::Object { fields, .. } => fields.iter().find(|(k, _)| k == name).map(|(_, v)| v),
             _ => None,
         }
     }
@@ -154,16 +155,22 @@ impl JValue {
     }
 
     fn read(data: &[u8], pos: &mut usize) -> Result<JValue, MarshalError> {
-        let tag = *data.get(*pos).ok_or_else(|| MarshalError::new("truncated stream"))?;
+        let tag = *data
+            .get(*pos)
+            .ok_or_else(|| MarshalError::new("truncated stream"))?;
         *pos += 1;
         match tag {
             0x70 => Ok(JValue::Null),
             0x01 => {
-                let b = *data.get(*pos).ok_or_else(|| MarshalError::new("truncated bool"))?;
+                let b = *data
+                    .get(*pos)
+                    .ok_or_else(|| MarshalError::new("truncated bool"))?;
                 *pos += 1;
                 Ok(JValue::Bool(b != 0))
             }
-            0x02 => Ok(JValue::Int(i64::from_be_bytes(take(data, pos, 8)?.try_into().unwrap()))),
+            0x02 => Ok(JValue::Int(i64::from_be_bytes(
+                take(data, pos, 8)?.try_into().unwrap(),
+            ))),
             0x03 => Ok(JValue::Double(f64::from_be_bytes(
                 take(data, pos, 8)?.try_into().unwrap(),
             ))),
@@ -191,8 +198,7 @@ impl JValue {
                         "serialVersionUID mismatch for {class}"
                     )));
                 }
-                let nfields =
-                    u16::from_be_bytes(take(data, pos, 2)?.try_into().unwrap()) as usize;
+                let nfields = u16::from_be_bytes(take(data, pos, 2)?.try_into().unwrap()) as usize;
                 let mut fields = Vec::with_capacity(nfields);
                 for _ in 0..nfields {
                     let name = read_utf(data, pos)?;
@@ -222,7 +228,9 @@ fn read_u32(data: &[u8], pos: &mut usize) -> Result<u32, MarshalError> {
 }
 
 fn take<'a>(data: &'a [u8], pos: &mut usize, n: usize) -> Result<&'a [u8], MarshalError> {
-    let end = pos.checked_add(n).ok_or_else(|| MarshalError::new("overflow"))?;
+    let end = pos
+        .checked_add(n)
+        .ok_or_else(|| MarshalError::new("overflow"))?;
     if end > data.len() {
         return Err(MarshalError::new("truncated stream"));
     }
@@ -296,10 +304,10 @@ mod tests {
                 ("rank".into(), JValue::Int(1)),
                 (
                     "inner".into(),
-                    JValue::object("java.awt.Point", vec![
-                        ("x".into(), JValue::Int(3)),
-                        ("y".into(), JValue::Int(4)),
-                    ]),
+                    JValue::object(
+                        "java.awt.Point",
+                        vec![("x".into(), JValue::Int(3)), ("y".into(), JValue::Int(4))],
+                    ),
                 ),
             ],
         );
@@ -342,9 +350,10 @@ mod tests {
     fn serialization_overhead_is_visible() {
         // Class descriptors make objects much bigger than their data —
         // the Java-weight the paper complains about in §2.1.
-        let obj = JValue::object("net.jini.core.lookup.ServiceItem", vec![
-            ("a".into(), JValue::Int(1)),
-        ]);
+        let obj = JValue::object(
+            "net.jini.core.lookup.ServiceItem",
+            vec![("a".into(), JValue::Int(1))],
+        );
         let plain = JValue::Int(1);
         assert!(obj.marshal().len() > plain.marshal().len() * 4);
     }

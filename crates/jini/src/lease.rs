@@ -86,7 +86,10 @@ impl std::error::Error for LeaseError {}
 impl LeaseTable {
     /// Creates a table with the given policy.
     pub fn new(policy: LeasePolicy) -> Self {
-        LeaseTable { policy, ..Default::default() }
+        LeaseTable {
+            policy,
+            ..Default::default()
+        }
     }
 
     /// Grants a lease for `requested` (clamped to policy), starting at `now`.
@@ -119,7 +122,10 @@ impl LeaseTable {
                     requested.min(self.policy.max_duration)
                 };
                 *exp = now + duration;
-                Ok(Lease { id, expiration: *exp })
+                Ok(Lease {
+                    id,
+                    expiration: *exp,
+                })
             }
             _ => Err(LeaseError::Unknown(id)),
         }
@@ -127,7 +133,10 @@ impl LeaseTable {
 
     /// Cancels a lease.
     pub fn cancel(&mut self, id: LeaseId) -> Result<(), LeaseError> {
-        self.leases.remove(&id).map(|_| ()).ok_or(LeaseError::Unknown(id))
+        self.leases
+            .remove(&id)
+            .map(|_| ())
+            .ok_or(LeaseError::Unknown(id))
     }
 
     /// True if `id` is granted and unexpired at `now`.
@@ -186,7 +195,9 @@ mod tests {
     fn renewal_extends_from_now() {
         let mut table = LeaseTable::new(LeasePolicy::default());
         let l = table.grant(SimDuration::from_millis(50), t(0));
-        let renewed = table.renew(l.id, SimDuration::from_millis(50), t(40)).unwrap();
+        let renewed = table
+            .renew(l.id, SimDuration::from_millis(50), t(40))
+            .unwrap();
         assert_eq!(renewed.expiration, t(90));
         assert!(table.is_live(l.id, t(80)));
     }
@@ -224,7 +235,10 @@ mod tests {
 
     #[test]
     fn lease_helpers() {
-        let l = Lease { id: LeaseId(1), expiration: t(100) };
+        let l = Lease {
+            id: LeaseId(1),
+            expiration: t(100),
+        };
         assert!(l.is_live(t(99)));
         assert!(!l.is_live(t(100)));
         assert_eq!(l.remaining(t(40)), SimDuration::from_millis(60));

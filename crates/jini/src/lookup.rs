@@ -33,7 +33,12 @@ pub struct ServiceItem {
 impl ServiceItem {
     /// Creates an unregistered item (id zero).
     pub fn new(proxy: ProxyStub, interfaces: Vec<String>, entries: Vec<Entry>) -> ServiceItem {
-        ServiceItem { service_id: ServiceId(0), interfaces, entries, proxy }
+        ServiceItem {
+            service_id: ServiceId(0),
+            interfaces,
+            entries,
+            proxy,
+        }
     }
 
     /// True if this item matches `template`.
@@ -58,7 +63,10 @@ impl ServiceItem {
         JValue::object(
             "net.jini.core.lookup.ServiceItem",
             vec![
-                ("serviceID".into(), JValue::Bytes(self.service_id.to_bytes().to_vec())),
+                (
+                    "serviceID".into(),
+                    JValue::Bytes(self.service_id.to_bytes().to_vec()),
+                ),
                 (
                     "interfaces".into(),
                     JValue::List(self.interfaces.iter().cloned().map(JValue::Str).collect()),
@@ -86,13 +94,19 @@ impl ServiceItem {
             _ => return None,
         };
         let entries = match v.field("attributeSets")? {
-            JValue::List(items) => {
-                items.iter().map(Entry::from_jvalue).collect::<Option<Vec<_>>>()?
-            }
+            JValue::List(items) => items
+                .iter()
+                .map(Entry::from_jvalue)
+                .collect::<Option<Vec<_>>>()?,
             _ => return None,
         };
         let proxy = ProxyStub::from_jvalue(v.field("service")?)?;
-        Some(ServiceItem { service_id, interfaces, entries, proxy })
+        Some(ServiceItem {
+            service_id,
+            interfaces,
+            entries,
+            proxy,
+        })
     }
 }
 
@@ -231,7 +245,10 @@ fn handle_request(
                 None => return reggie_err("malformed item"),
             };
             let requested = SimDuration::from_micros(
-                req.field("durationUs").and_then(JValue::as_int).unwrap_or(0).max(0) as u64,
+                req.field("durationUs")
+                    .and_then(JValue::as_int)
+                    .unwrap_or(0)
+                    .max(0) as u64,
             );
             let mut item = item;
             if item.service_id == ServiceId(0) {
@@ -265,7 +282,10 @@ fn handle_request(
                 Some(t) => t,
                 None => return reggie_err("malformed template"),
             };
-            let max = req.field("max").and_then(JValue::as_int).unwrap_or(i64::MAX);
+            let max = req
+                .field("max")
+                .and_then(JValue::as_int)
+                .unwrap_or(i64::MAX);
             let mut matches: Vec<&ServiceItem> = st
                 .items
                 .values()
@@ -286,10 +306,16 @@ fn handle_request(
         }
         "ReggieRenew" => {
             let lease_id = LeaseId(
-                req.field("leaseId").and_then(JValue::as_int).unwrap_or(-1).max(0) as u64,
+                req.field("leaseId")
+                    .and_then(JValue::as_int)
+                    .unwrap_or(-1)
+                    .max(0) as u64,
             );
             let requested = SimDuration::from_micros(
-                req.field("durationUs").and_then(JValue::as_int).unwrap_or(0).max(0) as u64,
+                req.field("durationUs")
+                    .and_then(JValue::as_int)
+                    .unwrap_or(0)
+                    .max(0) as u64,
             );
             match st.leases.renew(lease_id, requested, now) {
                 Ok(lease) => JValue::object(
@@ -305,7 +331,10 @@ fn handle_request(
         }
         "ReggieCancel" => {
             let lease_id = LeaseId(
-                req.field("leaseId").and_then(JValue::as_int).unwrap_or(-1).max(0) as u64,
+                req.field("leaseId")
+                    .and_then(JValue::as_int)
+                    .unwrap_or(-1)
+                    .max(0) as u64,
             );
             if let Some(id) = st.by_lease.remove(&lease_id) {
                 st.items.remove(&id);
@@ -338,7 +367,11 @@ pub struct RegistrarClient {
 impl RegistrarClient {
     /// Binds a client on `node` to the registrar at `registrar`.
     pub fn new(net: &Network, node: NodeId, registrar: NodeId) -> RegistrarClient {
-        RegistrarClient { net: net.clone(), node, registrar }
+        RegistrarClient {
+            net: net.clone(),
+            node,
+            registrar,
+        }
     }
 
     fn call(&self, req: JValue) -> Result<JValue, JiniError> {
@@ -350,7 +383,10 @@ impl RegistrarClient {
         if let JValue::Object { class, .. } = &v {
             if class == "ReggieError" {
                 return Err(JiniError::Lease(
-                    v.field("message").and_then(JValue::as_str).unwrap_or("").to_owned(),
+                    v.field("message")
+                        .and_then(JValue::as_str)
+                        .unwrap_or("")
+                        .to_owned(),
                 ));
             }
         }
@@ -367,7 +403,10 @@ impl RegistrarClient {
             "ReggieRegister",
             vec![
                 ("item".into(), item.to_jvalue()),
-                ("durationUs".into(), JValue::Int(duration.as_micros() as i64)),
+                (
+                    "durationUs".into(),
+                    JValue::Int(duration.as_micros() as i64),
+                ),
             ],
         );
         let v = self.call(req)?;
@@ -381,10 +420,16 @@ impl RegistrarClient {
         };
         let lease = Lease {
             id: LeaseId(
-                v.field("leaseId").and_then(JValue::as_int).unwrap_or(0).max(0) as u64,
+                v.field("leaseId")
+                    .and_then(JValue::as_int)
+                    .unwrap_or(0)
+                    .max(0) as u64,
             ),
             expiration: SimTime::from_micros(
-                v.field("expirationUs").and_then(JValue::as_int).unwrap_or(0).max(0) as u64,
+                v.field("expirationUs")
+                    .and_then(JValue::as_int)
+                    .unwrap_or(0)
+                    .max(0) as u64,
             ),
         };
         Ok(ServiceRegistration { service_id, lease })
@@ -430,14 +475,20 @@ impl RegistrarClient {
             "ReggieRenew",
             vec![
                 ("leaseId".into(), JValue::Int(lease.0 as i64)),
-                ("durationUs".into(), JValue::Int(duration.as_micros() as i64)),
+                (
+                    "durationUs".into(),
+                    JValue::Int(duration.as_micros() as i64),
+                ),
             ],
         );
         let v = self.call(req)?;
         Ok(Lease {
             id: lease,
             expiration: SimTime::from_micros(
-                v.field("expirationUs").and_then(JValue::as_int).unwrap_or(0).max(0) as u64,
+                v.field("expirationUs")
+                    .and_then(JValue::as_int)
+                    .unwrap_or(0)
+                    .max(0) as u64,
             ),
         })
     }
@@ -487,10 +538,16 @@ mod tests {
         let (_sim, net, reggie) = world();
         let client = RegistrarClient::new(&net, net.attach("pc"), reggie.node());
         client
-            .register(&export_dummy(&net, "vcr", "VcrControl"), SimDuration::from_secs(30))
+            .register(
+                &export_dummy(&net, "vcr", "VcrControl"),
+                SimDuration::from_secs(30),
+            )
             .unwrap();
         client
-            .register(&export_dummy(&net, "ld", "LaserdiscPlayer"), SimDuration::from_secs(30))
+            .register(
+                &export_dummy(&net, "ld", "LaserdiscPlayer"),
+                SimDuration::from_secs(30),
+            )
             .unwrap();
 
         let all = client.lookup(&ServiceTemplate::any(), 10).unwrap();
@@ -507,7 +564,9 @@ mod tests {
             .unwrap();
         assert_eq!(by_name.len(), 1);
 
-        let one = client.lookup_one(&ServiceTemplate::by_id(lds[0].service_id)).unwrap();
+        let one = client
+            .lookup_one(&ServiceTemplate::by_id(lds[0].service_id))
+            .unwrap();
         assert_eq!(one.service_id, lds[0].service_id);
 
         assert!(client
@@ -520,14 +579,20 @@ mod tests {
         let (sim, net, reggie) = world();
         let client = RegistrarClient::new(&net, net.attach("pc"), reggie.node());
         client
-            .register(&export_dummy(&net, "vcr", "Vcr"), SimDuration::from_millis(500))
+            .register(
+                &export_dummy(&net, "vcr", "Vcr"),
+                SimDuration::from_millis(500),
+            )
             .unwrap();
         // Before expiry the lookup finds it.
         assert_eq!(client.lookup(&ServiceTemplate::any(), 10).unwrap().len(), 1);
         // After expiry (sweep at 5s) it is gone.
         sim.run_for(SimDuration::from_secs(6));
         assert_eq!(reggie.registered_count(), 0);
-        assert!(client.lookup(&ServiceTemplate::any(), 10).unwrap().is_empty());
+        assert!(client
+            .lookup(&ServiceTemplate::any(), 10)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -538,7 +603,9 @@ mod tests {
             .register(&export_dummy(&net, "vcr", "Vcr"), SimDuration::from_secs(2))
             .unwrap();
         sim.run_for(SimDuration::from_secs(1));
-        client.renew(reg.lease.id, SimDuration::from_secs(2)).unwrap();
+        client
+            .renew(reg.lease.id, SimDuration::from_secs(2))
+            .unwrap();
         sim.run_for(SimDuration::from_millis(1_500));
         // Original lease would have expired at 2s; renewal carried it to 3s.
         assert_eq!(client.lookup(&ServiceTemplate::any(), 10).unwrap().len(), 1);
@@ -551,10 +618,16 @@ mod tests {
         let (_sim, net, reggie) = world();
         let client = RegistrarClient::new(&net, net.attach("pc"), reggie.node());
         let reg = client
-            .register(&export_dummy(&net, "vcr", "Vcr"), SimDuration::from_secs(30))
+            .register(
+                &export_dummy(&net, "vcr", "Vcr"),
+                SimDuration::from_secs(30),
+            )
             .unwrap();
         client.cancel(reg.lease.id).unwrap();
-        assert!(client.lookup(&ServiceTemplate::any(), 10).unwrap().is_empty());
+        assert!(client
+            .lookup(&ServiceTemplate::any(), 10)
+            .unwrap()
+            .is_empty());
         assert!(client.cancel(reg.lease.id).is_err());
     }
 
@@ -589,7 +662,11 @@ mod tests {
 
     #[test]
     fn item_matching_rules() {
-        let stub = ProxyStub { host: NodeId(1), object_id: 1, interface: "A".into() };
+        let stub = ProxyStub {
+            host: NodeId(1),
+            object_id: 1,
+            interface: "A".into(),
+        };
         let mut item = ServiceItem::new(
             stub,
             vec!["A".into(), "B".into()],

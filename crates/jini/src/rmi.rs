@@ -36,7 +36,9 @@ impl Default for RmiCost {
 
 impl RmiCost {
     fn marshal(&self, sim: &Sim, bytes: usize) {
-        sim.advance(SimDuration::from_micros(bytes as u64 * self.marshal_ns_per_byte / 1_000));
+        sim.advance(SimDuration::from_micros(
+            bytes as u64 * self.marshal_ns_per_byte / 1_000,
+        ));
     }
     fn unmarshal(&self, sim: &Sim, bytes: usize) {
         sim.advance(SimDuration::from_micros(
@@ -147,7 +149,11 @@ impl RmiExporter {
         *next += 1;
         let object_id = *next;
         self.objects.lock().insert(object_id, Box::new(object));
-        ProxyStub { host: self.node, object_id, interface: interface.to_owned() }
+        ProxyStub {
+            host: self.node,
+            object_id,
+            interface: interface.to_owned(),
+        }
     }
 
     /// Withdraws an exported object.
@@ -182,7 +188,12 @@ pub struct RemoteProxy {
 impl RemoteProxy {
     /// Binds a stub to the calling node.
     pub fn new(net: &Network, caller: NodeId, stub: ProxyStub) -> RemoteProxy {
-        RemoteProxy { stub, net: net.clone(), caller, cost: RmiCost::default() }
+        RemoteProxy {
+            stub,
+            net: net.clone(),
+            caller,
+            cost: RmiCost::default(),
+        }
     }
 
     /// The stub this proxy wraps.
@@ -212,7 +223,10 @@ impl RemoteProxy {
         match v.field("ok").and_then(JValue::as_bool) {
             Some(true) => Ok(v.field("value").cloned().unwrap_or(JValue::Null)),
             Some(false) => Err(JiniError::Remote(
-                v.field("error").and_then(JValue::as_str).unwrap_or("unknown").to_owned(),
+                v.field("error")
+                    .and_then(JValue::as_str)
+                    .unwrap_or("unknown")
+                    .to_owned(),
             )),
             None => Err(JiniError::Protocol("malformed RMI reply".into())),
         }
@@ -356,7 +370,11 @@ mod tests {
 
     #[test]
     fn stub_jvalue_round_trip() {
-        let stub = ProxyStub { host: NodeId(7), object_id: 42, interface: "Vcr".into() };
+        let stub = ProxyStub {
+            host: NodeId(7),
+            object_id: 42,
+            interface: "Vcr".into(),
+        };
         assert_eq!(ProxyStub::from_jvalue(&stub.to_jvalue()).unwrap(), stub);
         assert!(ProxyStub::from_jvalue(&JValue::Null).is_none());
     }

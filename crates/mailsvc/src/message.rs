@@ -40,7 +40,11 @@ impl Email {
     pub fn to_wire(&self) -> String {
         format!(
             "From: {}\r\nTo: {}\r\nSubject: {}\r\nDate: {}\r\n\r\n{}",
-            self.from, self.to, self.subject, self.date.as_micros(), self.body
+            self.from,
+            self.to,
+            self.subject,
+            self.date.as_micros(),
+            self.body
         )
     }
 
@@ -83,7 +87,12 @@ mod tests {
 
     #[test]
     fn wire_round_trip() {
-        let mut m = Email::new("vcr@home", "owner@example.org", "Recording done", "Tape at 1234.");
+        let mut m = Email::new(
+            "vcr@home",
+            "owner@example.org",
+            "Recording done",
+            "Tape at 1234.",
+        );
         m.date = SimTime::from_micros(42);
         assert_eq!(Email::from_wire(&m.to_wire()), Some(m));
     }
@@ -100,6 +109,8 @@ mod tests {
         assert!(Email::from_wire("").is_none());
         assert!(Email::from_wire("no headers here").is_none());
         assert!(Email::from_wire("From: a\r\n\r\nbody").is_none());
-        assert!(Email::from_wire("From: a\r\nTo: b\r\nSubject: s\r\nDate: notanum\r\n\r\nx").is_none());
+        assert!(
+            Email::from_wire("From: a\r\nTo: b\r\nSubject: s\r\nDate: notanum\r\n\r\nx").is_none()
+        );
     }
 }

@@ -81,14 +81,20 @@ fn handle(
             }
             None => "501 STAT needs a mailbox".to_owned(),
         },
-        Some("RETR") => match (parts.next(), parts.next().and_then(|s| s.parse::<usize>().ok())) {
+        Some("RETR") => match (
+            parts.next(),
+            parts.next().and_then(|s| s.parse::<usize>().ok()),
+        ) {
             (Some(addr), Some(idx)) => match boxes.lock().get(addr).and_then(|b| b.get(idx)) {
                 Some(mail) => format!("+OK\r\n{}", mail.to_wire()),
                 None => "550 no such message".to_owned(),
             },
             _ => "501 RETR needs mailbox and index".to_owned(),
         },
-        Some("DELE") => match (parts.next(), parts.next().and_then(|s| s.parse::<usize>().ok())) {
+        Some("DELE") => match (
+            parts.next(),
+            parts.next().and_then(|s| s.parse::<usize>().ok()),
+        ) {
             (Some(addr), Some(idx)) => {
                 let mut boxes = boxes.lock();
                 match boxes.get_mut(addr) {
@@ -139,7 +145,11 @@ pub struct MailClient {
 impl MailClient {
     /// Creates a client on a fresh node, talking to `server`.
     pub fn attach(net: &Network, label: &str, server: NodeId) -> MailClient {
-        MailClient { net: net.clone(), node: net.attach(label), server }
+        MailClient {
+            net: net.clone(),
+            node: net.attach(label),
+            server,
+        }
     }
 
     fn exchange(&self, request: String) -> Result<String, MailError> {
@@ -208,10 +218,20 @@ mod tests {
     fn send_stat_retr_dele_cycle() {
         let (_sim, _net, server, client) = world();
         client
-            .send(&Email::new("vcr@home", "owner@example.org", "Done", "Recorded ch 42"))
+            .send(&Email::new(
+                "vcr@home",
+                "owner@example.org",
+                "Done",
+                "Recorded ch 42",
+            ))
             .unwrap();
         client
-            .send(&Email::new("fridge@home", "owner@example.org", "Milk", "Running low"))
+            .send(&Email::new(
+                "fridge@home",
+                "owner@example.org",
+                "Milk",
+                "Running low",
+            ))
             .unwrap();
         assert_eq!(client.stat("owner@example.org").unwrap(), 2);
         assert_eq!(server.mailbox_len("owner@example.org"), 2);
@@ -239,8 +259,14 @@ mod tests {
     fn errors_for_missing_things() {
         let (_sim, _net, _server, client) = world();
         assert_eq!(client.stat("ghost@nowhere").unwrap(), 0);
-        assert!(matches!(client.retr("ghost@nowhere", 0), Err(MailError::Server(_))));
-        assert!(matches!(client.dele("ghost@nowhere", 3), Err(MailError::Server(_))));
+        assert!(matches!(
+            client.retr("ghost@nowhere", 0),
+            Err(MailError::Server(_))
+        ));
+        assert!(matches!(
+            client.dele("ghost@nowhere", 3),
+            Err(MailError::Server(_))
+        ));
     }
 
     #[test]

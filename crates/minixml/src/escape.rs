@@ -118,6 +118,9 @@ mod tests {
     #[test]
     fn bare_ampersand_before_long_run_is_literal() {
         // No semicolon within a plausible entity length.
-        assert_eq!(unescape("&thisisnotanentityatall;x"), "&thisisnotanentityatall;x");
+        assert_eq!(
+            unescape("&thisisnotanentityatall;x"),
+            "&thisisnotanentityatall;x"
+        );
     }
 }

@@ -47,7 +47,10 @@ mod proptests {
     }
 
     fn arb_element(depth: u32) -> BoxedStrategy<Element> {
-        let leaf = (arb_name(), prop::collection::vec((arb_name(), arb_text()), 0..3))
+        let leaf = (
+            arb_name(),
+            prop::collection::vec((arb_name(), arb_text()), 0..3),
+        )
             .prop_map(|(name, attrs)| {
                 let mut e = Element::new(name);
                 // Attribute keys must be unique for round-trip equality.

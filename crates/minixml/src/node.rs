@@ -166,13 +166,9 @@ mod tests {
 
     #[test]
     fn find_path_walks_nesting() {
-        let e = Element::new("env").child(
-            Element::new("body").child(Element::new("call").text("x")),
-        );
-        assert_eq!(
-            e.find_path(&["body", "call"]).unwrap().text_content(),
-            "x"
-        );
+        let e =
+            Element::new("env").child(Element::new("body").child(Element::new("call").text("x")));
+        assert_eq!(e.find_path(&["body", "call"]).unwrap().text_content(), "x");
         assert!(e.find_path(&["body", "nope"]).is_none());
     }
 

@@ -50,7 +50,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn err(&self, message: impl Into<String>) -> ParseError {
-        ParseError { at: self.pos, message: message.into() }
+        ParseError {
+            at: self.pos,
+            message: message.into(),
+        }
     }
 
     fn rest(&self) -> &'a str {
@@ -241,7 +244,10 @@ mod tests {
     #[test]
     fn round_trips_writer_output() {
         let orig = Element::new("SOAP-ENV:Envelope")
-            .attr("xmlns:SOAP-ENV", "http://schemas.xmlsoap.org/soap/envelope/")
+            .attr(
+                "xmlns:SOAP-ENV",
+                "http://schemas.xmlsoap.org/soap/envelope/",
+            )
             .child(
                 Element::new("SOAP-ENV:Body").child(
                     Element::new("ns1:record")

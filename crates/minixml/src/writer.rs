@@ -67,10 +67,7 @@ fn write_pretty(e: &Element, depth: usize, out: &mut String) {
         return;
     }
     // Elements whose only children are text stay on one line.
-    let text_only = e
-        .children
-        .iter()
-        .all(|c| matches!(c, XmlNode::Text(_)));
+    let text_only = e.children.iter().all(|c| matches!(c, XmlNode::Text(_)));
     if text_only {
         out.push('>');
         for c in &e.children {

@@ -67,7 +67,10 @@ mod tests {
 
     #[test]
     fn errors_render_useful_messages() {
-        let e = SimError::FrameTooLarge { size: 2000, mtu: 1500 };
+        let e = SimError::FrameTooLarge {
+            size: 2000,
+            mtu: 1500,
+        };
         assert!(e.to_string().contains("2000"));
         assert!(e.to_string().contains("1500"));
         let e = SimError::Timeout { after_millis: 250 };

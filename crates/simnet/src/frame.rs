@@ -61,7 +61,12 @@ pub struct Frame {
 
 impl Frame {
     /// Creates a frame.
-    pub fn new(src: NodeId, dst: impl Into<Addr>, protocol: Protocol, payload: impl Into<Bytes>) -> Self {
+    pub fn new(
+        src: NodeId,
+        dst: impl Into<Addr>,
+        protocol: Protocol,
+        payload: impl Into<Bytes>,
+    ) -> Self {
         Frame {
             src,
             dst: dst.into(),

@@ -107,7 +107,10 @@ mod tests {
 
     #[test]
     fn fragmentation_counts() {
-        let l = LinkModel { mtu: 1500, ..LinkModel::ideal() };
+        let l = LinkModel {
+            mtu: 1500,
+            ..LinkModel::ideal()
+        };
         assert_eq!(l.fragments(0), 1);
         assert_eq!(l.fragments(1500), 1);
         assert_eq!(l.fragments(1501), 2);

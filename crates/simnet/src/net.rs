@@ -80,6 +80,13 @@ impl Network {
         &self.inner.sim
     }
 
+    /// Whether `other` is a handle to this same network instance.
+    /// Node ids are only meaningful within one network, so anything
+    /// caching per-node state keyed by [`NodeId`] must check this.
+    pub fn same_as(&self, other: &Network) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
     // ---- attachment -----------------------------------------------------
 
     /// Attaches a new node and returns its id.
@@ -243,7 +250,10 @@ impl Network {
         let resp_frame = Frame::new(dst, src, protocol, response.clone());
         sim.advance(self.inner.link.fragmented_transfer_time(resp_frame.len()));
         if self.lossy_drop(&resp_frame) {
-            return Err(SimError::FrameLost { dst: src, at: sim.now() });
+            return Err(SimError::FrameLost {
+                dst: src,
+                at: sim.now(),
+            });
         }
         self.record_delivered(&resp_frame);
         Ok(response)
@@ -277,7 +287,11 @@ impl Network {
     fn deliver(&self, frame: &Frame) -> SimResult<()> {
         // Collect destinations first so handler invocation happens without
         // holding the node-table lock (handlers may send on this network).
-        type Target = (NodeId, Option<Arc<Mutex<FrameHandler>>>, Arc<Mutex<VecDeque<Frame>>>);
+        type Target = (
+            NodeId,
+            Option<Arc<Mutex<FrameHandler>>>,
+            Arc<Mutex<VecDeque<Frame>>>,
+        );
         let targets: Vec<Target> = {
             let nodes = self.inner.nodes.lock();
             match frame.dst {
@@ -368,7 +382,8 @@ mod tests {
         let seen2 = seen.clone();
         net.set_frame_handler(b, move |_, f| seen2.lock().push(f.len()))
             .unwrap();
-        net.send(Frame::new(a, b, Protocol::Raw, vec![1, 2, 3])).unwrap();
+        net.send(Frame::new(a, b, Protocol::Raw, vec![1, 2, 3]))
+            .unwrap();
         assert_eq!(*seen.lock(), vec![3]);
         assert!(net.recv(b).is_none(), "handled frames bypass the inbox");
     }
@@ -432,7 +447,8 @@ mod tests {
         let net = fast_net(&sim);
         let a = net.attach("a");
         let b = net.attach("b");
-        net.set_request_handler(b, |_, _| Err("busy".into())).unwrap();
+        net.set_request_handler(b, |_, _| Err("busy".into()))
+            .unwrap();
         assert_eq!(
             net.request(a, b, Protocol::Raw, vec![1]),
             Err(SimError::Refused("busy".into()))
@@ -448,7 +464,13 @@ mod tests {
         let err = net
             .send(Frame::new(a, b, Protocol::Raw, vec![0u8; 2000]))
             .unwrap_err();
-        assert!(matches!(err, SimError::FrameTooLarge { size: 2000, mtu: 1500 }));
+        assert!(matches!(
+            err,
+            SimError::FrameTooLarge {
+                size: 2000,
+                mtu: 1500
+            }
+        ));
     }
 
     #[test]
@@ -483,7 +505,10 @@ mod tests {
         let net = Network::new(
             &sim,
             "lossy",
-            LinkModel { loss_prob: 0.5, ..LinkModel::ideal() },
+            LinkModel {
+                loss_prob: 0.5,
+                ..LinkModel::ideal()
+            },
         );
         let a = net.attach("a");
         let b = net.attach("b");
@@ -510,8 +535,13 @@ mod tests {
             .unwrap();
         let net2 = net.clone();
         net.set_request_handler(front, move |_, f| {
-            net2.request(f.dst_node().unwrap(), back, Protocol::Raw, f.payload.clone())
-                .map_err(|e| e.to_string())
+            net2.request(
+                f.dst_node().unwrap(),
+                back,
+                Protocol::Raw,
+                f.payload.clone(),
+            )
+            .map_err(|e| e.to_string())
         })
         .unwrap();
         let resp = net.request(client, front, Protocol::Raw, vec![1]).unwrap();

@@ -17,7 +17,10 @@ pub struct SimRng {
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seeded(seed: u64) -> Self {
-        SimRng { rng: StdRng::seed_from_u64(seed), seed }
+        SimRng {
+            rng: StdRng::seed_from_u64(seed),
+            seed,
+        }
     }
 
     /// The seed this generator was created with.

@@ -93,11 +93,7 @@ impl Sim {
 
     /// Schedules `f` to run at absolute time `at` (clamped to now if in the
     /// past). Returns a handle that can cancel it.
-    pub fn schedule_at(
-        &self,
-        at: SimTime,
-        f: impl FnOnce(&Sim) + Send + 'static,
-    ) -> TimerId {
+    pub fn schedule_at(&self, at: SimTime, f: impl FnOnce(&Sim) + Send + 'static) -> TimerId {
         let at = at.max(self.now());
         self.inner.queue.lock().push(at, Box::new(f))
     }
@@ -113,14 +109,12 @@ impl Sim {
 
     /// Runs `f` every `period`, starting one period from now, until the
     /// returned handle is cancelled.
-    pub fn every(
-        &self,
-        period: SimDuration,
-        f: impl FnMut(&Sim) + Send + 'static,
-    ) -> RepeatHandle {
+    pub fn every(&self, period: SimDuration, f: impl FnMut(&Sim) + Send + 'static) -> RepeatHandle {
         assert!(!period.is_zero(), "repeating timer period must be non-zero");
         let alive = Arc::new(AtomicBool::new(true));
-        let handle = RepeatHandle { alive: alive.clone() };
+        let handle = RepeatHandle {
+            alive: alive.clone(),
+        };
         fn arm(
             sim: &Sim,
             period: SimDuration,

@@ -60,7 +60,10 @@ impl NetStats {
 
     /// Records a lost frame.
     pub fn record_lost(&mut self, protocol: Protocol) {
-        self.by_protocol.entry(Self::key(protocol)).or_default().lost += 1;
+        self.by_protocol
+            .entry(Self::key(protocol))
+            .or_default()
+            .lost += 1;
     }
 
     /// The counter for one protocol family (zeroes if never seen).
@@ -104,8 +107,22 @@ mod tests {
         s.record_delivered(Protocol::Http, 50);
         s.record_delivered(Protocol::X10, 2);
         s.record_lost(Protocol::X10);
-        assert_eq!(s.protocol(Protocol::Http), Counter { frames: 2, bytes: 150, lost: 0 });
-        assert_eq!(s.protocol(Protocol::X10), Counter { frames: 1, bytes: 2, lost: 1 });
+        assert_eq!(
+            s.protocol(Protocol::Http),
+            Counter {
+                frames: 2,
+                bytes: 150,
+                lost: 0
+            }
+        );
+        assert_eq!(
+            s.protocol(Protocol::X10),
+            Counter {
+                frames: 1,
+                bytes: 2,
+                lost: 1
+            }
+        );
         assert_eq!(s.protocol(Protocol::Jini), Counter::default());
     }
 
@@ -116,7 +133,14 @@ mod tests {
         s.record_delivered(Protocol::Havi, 20);
         s.record_lost(Protocol::Havi);
         let t = s.total();
-        assert_eq!(t, Counter { frames: 2, bytes: 30, lost: 1 });
+        assert_eq!(
+            t,
+            Counter {
+                frames: 2,
+                bytes: 30,
+                lost: 1
+            }
+        );
     }
 
     #[test]

@@ -212,11 +212,11 @@ mod tests {
     #[test]
     fn duration_constructors_agree() {
         assert_eq!(SimDuration::from_secs(1), SimDuration::from_millis(1_000));
+        assert_eq!(SimDuration::from_millis(1), SimDuration::from_micros(1_000));
         assert_eq!(
-            SimDuration::from_millis(1),
-            SimDuration::from_micros(1_000)
+            SimDuration::from_secs_f64(0.5),
+            SimDuration::from_millis(500)
         );
-        assert_eq!(SimDuration::from_secs_f64(0.5), SimDuration::from_millis(500));
     }
 
     #[test]
@@ -233,7 +233,10 @@ mod tests {
         let d = SimDuration::from_micros(300);
         assert_eq!(d * 4, SimDuration::from_micros(1_200));
         assert_eq!(d / 3, SimDuration::from_micros(100));
-        assert_eq!(d.saturating_sub(SimDuration::from_micros(500)), SimDuration::ZERO);
+        assert_eq!(
+            d.saturating_sub(SimDuration::from_micros(500)),
+            SimDuration::ZERO
+        );
     }
 
     #[test]

@@ -39,7 +39,11 @@ impl Default for CpuModel {
 impl CpuModel {
     /// A zero-cost model, for isolating wire costs in experiments.
     pub fn free() -> Self {
-        CpuModel { parse_ns_per_byte: 0, emit_ns_per_byte: 0, dispatch: SimDuration::ZERO }
+        CpuModel {
+            parse_ns_per_byte: 0,
+            emit_ns_per_byte: 0,
+            dispatch: SimDuration::ZERO,
+        }
     }
 
     /// The time to parse `bytes` of XML.
@@ -103,14 +107,17 @@ impl SoapServer {
             match outcome {
                 Ok(_) => HttpResponse::ok("text/xml; charset=utf-8", body),
                 Err(_) => {
-                    let mut resp =
-                        HttpResponse::error(500, "Internal Server Error", body);
+                    let mut resp = HttpResponse::error(500, "Internal Server Error", body);
                     resp.headers[0].1 = "text/xml; charset=utf-8".into();
                     resp
                 }
             }
         });
-        SoapServer { http, services, cpu }
+        SoapServer {
+            http,
+            services,
+            cpu,
+        }
     }
 
     /// The node the router listens on.
@@ -124,7 +131,9 @@ impl SoapServer {
         namespace: impl Into<String>,
         handler: impl FnMut(&Sim, &RpcCall) -> Result<Value, Fault> + Send + 'static,
     ) {
-        self.services.lock().insert(namespace.into(), Box::new(handler));
+        self.services
+            .lock()
+            .insert(namespace.into(), Box::new(handler));
     }
 
     /// Unmounts a service.
@@ -179,7 +188,11 @@ impl SoapClient {
 
     /// Wraps an existing node as a SOAP client.
     pub fn on_node(net: &Network, node: NodeId, cpu: CpuModel, tcp: TcpModel) -> SoapClient {
-        SoapClient { http: HttpClient::new(net, node, tcp), cpu, sim: net.sim().clone() }
+        SoapClient {
+            http: HttpClient::new(net, node, tcp),
+            cpu,
+            sim: net.sim().clone(),
+        }
     }
 
     /// The node this client calls from.
@@ -190,10 +203,33 @@ impl SoapClient {
     /// Invokes `call` on the router at `server`, returning the result
     /// value or the fault/transport error.
     pub fn call(&self, server: NodeId, call: &RpcCall) -> Result<Value, SoapError> {
-        let body = call.to_envelope();
+        self.dispatch(server, &call.namespace, &call.method, call.to_envelope())
+    }
+
+    /// Invokes `method` under `namespace` with borrowed arguments —
+    /// the hot-path variant that skips assembling an owned [`RpcCall`]
+    /// (and thus cloning every argument) just to encode an envelope.
+    pub fn call_parts<'a>(
+        &self,
+        server: NodeId,
+        namespace: &str,
+        method: &str,
+        args: impl IntoIterator<Item = (&'a str, &'a Value)>,
+    ) -> Result<Value, SoapError> {
+        let body = crate::rpc::call_envelope(namespace, method, args);
+        self.dispatch(server, namespace, method, body)
+    }
+
+    fn dispatch(
+        &self,
+        server: NodeId,
+        namespace: &str,
+        method: &str,
+        body: String,
+    ) -> Result<Value, SoapError> {
         self.sim.advance(self.cpu.emit_cost(body.len()));
         let req = HttpRequest::post(RPC_ROUTER_PATH, "text/xml; charset=utf-8", body)
-            .header("SOAPAction", format!("\"{}#{}\"", call.namespace, call.method));
+            .header("SOAPAction", format!("\"{namespace}#{method}\""));
         let resp = self
             .http
             .send(server, &req)
@@ -229,7 +265,10 @@ mod tests {
             }
         });
         let result = client
-            .call(server.node(), &RpcCall::new("urn:calc", "add").arg("a", 2).arg("b", 40))
+            .call(
+                server.node(),
+                &RpcCall::new("urn:calc", "add").arg("a", 2).arg("b", 40),
+            )
             .unwrap();
         assert_eq!(result, Value::Int(42));
     }
@@ -271,10 +310,14 @@ mod tests {
         let (_sim, server, client) = setup();
         server.mount("urn:a", |_, _| Ok(Value::Null));
         assert_eq!(server.namespaces(), vec!["urn:a".to_owned()]);
-        assert!(client.call(server.node(), &RpcCall::new("urn:a", "m")).is_ok());
+        assert!(client
+            .call(server.node(), &RpcCall::new("urn:a", "m"))
+            .is_ok());
         server.unmount("urn:a");
         assert!(server.namespaces().is_empty());
-        assert!(client.call(server.node(), &RpcCall::new("urn:a", "m")).is_err());
+        assert!(client
+            .call(server.node(), &RpcCall::new("urn:a", "m"))
+            .is_err());
     }
 
     #[test]
@@ -285,7 +328,9 @@ mod tests {
         let (sim, server, client) = setup();
         server.mount("urn:x", |_, _| Ok(Value::Int(1)));
         let before = sim.now();
-        client.call(server.node(), &RpcCall::new("urn:x", "ping")).unwrap();
+        client
+            .call(server.node(), &RpcCall::new("urn:x", "ping"))
+            .unwrap();
         let elapsed = sim.now() - before;
         assert!(elapsed.as_micros() > 1_000, "elapsed {elapsed}");
     }
@@ -296,15 +341,23 @@ mod tests {
         // clean error, not a panic or a bogus value.
         let sim = Sim::new(1);
         let net = Network::ethernet(&sim);
-        let web = crate::http::HttpServer::bind(&net, "plain-web", crate::http::TcpModel::default());
+        let web =
+            crate::http::HttpServer::bind(&net, "plain-web", crate::http::TcpModel::default());
         web.route("/index.html", |_, _| {
             crate::http::HttpResponse::ok("text/html", "<html/>")
         });
         let client = SoapClient::attach(&net, "pc");
-        let err = client.call(web.node(), &RpcCall::new("urn:x", "m")).unwrap_err();
+        let err = client
+            .call(web.node(), &RpcCall::new("urn:x", "m"))
+            .unwrap_err();
         // The 404 body is not a SOAP envelope.
-        assert!(matches!(err, crate::rpc::SoapError::Xml(_) | crate::rpc::SoapError::Malformed(_)),
-                "{err:?}");
+        assert!(
+            matches!(
+                err,
+                crate::rpc::SoapError::Xml(_) | crate::rpc::SoapError::Malformed(_)
+            ),
+            "{err:?}"
+        );
     }
 
     #[test]
@@ -324,10 +377,11 @@ mod tests {
         let net = Network::ethernet(&sim);
         let server = SoapServer::bind_with(&net, "r", CpuModel::free(), TcpModel::default());
         server.mount("urn:x", |_, _| Ok(Value::Null));
-        let free_client =
-            SoapClient::attach_with(&net, "c", CpuModel::free(), TcpModel::default());
+        let free_client = SoapClient::attach_with(&net, "c", CpuModel::free(), TcpModel::default());
         let t0 = sim.now();
-        free_client.call(server.node(), &RpcCall::new("urn:x", "m")).unwrap();
+        free_client
+            .call(server.node(), &RpcCall::new("urn:x", "m"))
+            .unwrap();
         let free_cost = sim.now() - t0;
 
         let sim2 = Sim::new(1);
@@ -336,7 +390,9 @@ mod tests {
         server2.mount("urn:x", |_, _| Ok(Value::Null));
         let client2 = SoapClient::attach(&net2, "c");
         let t0 = sim2.now();
-        client2.call(server2.node(), &RpcCall::new("urn:x", "m")).unwrap();
+        client2
+            .call(server2.node(), &RpcCall::new("urn:x", "m"))
+            .unwrap();
         let java_cost = sim2.now() - t0;
         assert!(java_cost > free_cost, "{java_cost} vs {free_cost}");
     }

@@ -54,12 +54,20 @@ pub struct Fault {
 impl Fault {
     /// A server-side processing fault.
     pub fn server(msg: impl Into<String>) -> Fault {
-        Fault { code: FaultCode::Server, string: msg.into(), detail: None }
+        Fault {
+            code: FaultCode::Server,
+            string: msg.into(),
+            detail: None,
+        }
     }
 
     /// A malformed-request fault.
     pub fn client(msg: impl Into<String>) -> Fault {
-        Fault { code: FaultCode::Client, string: msg.into(), detail: None }
+        Fault {
+            code: FaultCode::Client,
+            string: msg.into(),
+            detail: None,
+        }
     }
 
     /// Attaches detail text (builder style).
@@ -87,7 +95,11 @@ impl Fault {
         let code = FaultCode::from_qname(&e.find("faultcode")?.text_content())?;
         let string = e.find("faultstring")?.text_content();
         let detail = e.find("detail").map(Element::text_content);
-        Some(Fault { code, string, detail })
+        Some(Fault {
+            code,
+            string,
+            detail,
+        })
     }
 }
 

@@ -7,9 +7,9 @@
 //! request/response pattern, per-connection handshake cost, and real
 //! header bytes on the wire.
 
-use simnet::{Frame, Network, NodeId, Protocol, Sim, SimDuration};
 use bytes::Bytes;
 use parking_lot::Mutex;
+use simnet::{Frame, Network, NodeId, Protocol, Sim, SimDuration};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
@@ -105,14 +105,25 @@ impl HttpRequest {
         let mut lines = head.lines();
         let request_line = lines.next().ok_or(HttpError::Malformed("empty request"))?;
         let mut parts = request_line.split_whitespace();
-        let method = parts.next().ok_or(HttpError::Malformed("no method"))?.to_owned();
-        let path = parts.next().ok_or(HttpError::Malformed("no path"))?.to_owned();
+        let method = parts
+            .next()
+            .ok_or(HttpError::Malformed("no method"))?
+            .to_owned();
+        let path = parts
+            .next()
+            .ok_or(HttpError::Malformed("no path"))?
+            .to_owned();
         let version = parts.next().ok_or(HttpError::Malformed("no version"))?;
         if !version.starts_with("HTTP/1.") {
             return Err(HttpError::Malformed("unsupported HTTP version"));
         }
         let headers = parse_headers(lines)?;
-        Ok(HttpRequest { method, path, headers, body })
+        Ok(HttpRequest {
+            method,
+            path,
+            headers,
+            body,
+        })
     }
 }
 
@@ -195,7 +206,12 @@ impl HttpResponse {
             .ok_or(HttpError::Malformed("bad status code"))?;
         let reason = parts.next().unwrap_or("").to_owned();
         let headers = parse_headers(lines)?;
-        Ok(HttpResponse { status, reason, headers, body })
+        Ok(HttpResponse {
+            status,
+            reason,
+            headers,
+            body,
+        })
     }
 }
 
@@ -347,7 +363,11 @@ pub struct HttpClient {
 impl HttpClient {
     /// Creates a client that sends from `node` on `net`.
     pub fn new(net: &Network, node: NodeId, tcp: TcpModel) -> HttpClient {
-        HttpClient { net: net.clone(), node, tcp }
+        HttpClient {
+            net: net.clone(),
+            node,
+            tcp,
+        }
     }
 
     /// Attaches a fresh node and wraps it in a client.
@@ -437,7 +457,9 @@ mod tests {
             .send(server.node(), &HttpRequest::get("/hello"))
             .unwrap();
         assert_eq!(resp.body, b"hi via GET");
-        let resp = client.send(server.node(), &HttpRequest::get("/nope")).unwrap();
+        let resp = client
+            .send(server.node(), &HttpRequest::get("/nope"))
+            .unwrap();
         assert_eq!(resp.status, 404);
         assert!(client
             .send_expect_ok(server.node(), &HttpRequest::get("/nope"))

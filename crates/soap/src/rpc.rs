@@ -40,12 +40,11 @@ impl RpcCall {
 
     /// Encodes as a complete SOAP envelope document.
     pub fn to_envelope(&self) -> String {
-        let mut call = Element::new(format!("ns1:{}", self.method))
-            .attr("xmlns:ns1", &self.namespace);
-        for (name, value) in &self.args {
-            call.push(value.to_element(name));
-        }
-        envelope(call).to_document()
+        call_envelope(
+            &self.namespace,
+            &self.method,
+            self.args.iter().map(|(k, v)| (k.as_str(), v)),
+        )
     }
 
     /// Decodes a call envelope.
@@ -67,7 +66,11 @@ impl RpcCall {
             .elements()
             .map(|a| Value::from_element(a).map(|v| (a.local_name().to_owned(), v)))
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(RpcCall { namespace, method, args })
+        Ok(RpcCall {
+            namespace,
+            method,
+            args,
+        })
     }
 
     /// Looks up an argument by name.
@@ -88,7 +91,10 @@ pub struct RpcResponse {
 impl RpcResponse {
     /// Creates a response.
     pub fn new(method: impl Into<String>, value: impl Into<Value>) -> Self {
-        RpcResponse { method: method.into(), value: value.into() }
+        RpcResponse {
+            method: method.into(),
+            value: value.into(),
+        }
     }
 
     /// Encodes as a complete SOAP envelope document.
@@ -122,6 +128,21 @@ impl RpcResponse {
         };
         Ok(RpcResponse { method, value })
     }
+}
+
+/// Encodes a call envelope directly from borrowed parts — bit-identical
+/// to building an [`RpcCall`] and calling [`RpcCall::to_envelope`], but
+/// without cloning the argument list into an owned value first.
+pub fn call_envelope<'a>(
+    namespace: &str,
+    method: &str,
+    args: impl IntoIterator<Item = (&'a str, &'a Value)>,
+) -> String {
+    let mut call = Element::new(format!("ns1:{method}")).attr("xmlns:ns1", namespace);
+    for (name, value) in args {
+        call.push(value.to_element(name));
+    }
+    envelope(call).to_document()
 }
 
 /// Encodes a fault as a complete SOAP envelope document.
@@ -216,10 +237,13 @@ mod tests {
 
     #[test]
     fn response_round_trips() {
-        let resp = RpcResponse::new("record", Value::Record(vec![
-            ("ok".into(), Value::Bool(true)),
-            ("tape_pos".into(), Value::Int(1234)),
-        ]));
+        let resp = RpcResponse::new(
+            "record",
+            Value::Record(vec![
+                ("ok".into(), Value::Bool(true)),
+                ("tape_pos".into(), Value::Int(1234)),
+            ]),
+        );
         let back = RpcResponse::from_envelope(&resp.to_envelope()).unwrap();
         assert_eq!(back, resp);
     }

@@ -245,7 +245,9 @@ pub struct ValueError {
 
 impl ValueError {
     pub(crate) fn new(message: impl Into<String>) -> Self {
-        ValueError { message: message.into() }
+        ValueError {
+            message: message.into(),
+        }
     }
 }
 
@@ -271,8 +273,16 @@ pub fn base64_encode(data: &[u8]) -> String {
         let n = (u32::from(b[0]) << 16) | (u32::from(b[1]) << 8) | u32::from(b[2]);
         out.push(B64[(n >> 18) as usize & 63] as char);
         out.push(B64[(n >> 12) as usize & 63] as char);
-        out.push(if chunk.len() > 1 { B64[(n >> 6) as usize & 63] as char } else { '=' });
-        out.push(if chunk.len() > 2 { B64[n as usize & 63] as char } else { '=' });
+        out.push(if chunk.len() > 1 {
+            B64[(n >> 6) as usize & 63] as char
+        } else {
+            '='
+        });
+        out.push(if chunk.len() > 2 {
+            B64[n as usize & 63] as char
+        } else {
+            '='
+        });
     }
     out
 }
@@ -365,7 +375,10 @@ mod tests {
                 "tags".into(),
                 Value::List(vec![Value::Str("tv".into()), Value::Str("live".into())]),
             ),
-            ("nested".into(), Value::Record(vec![("x".into(), Value::Null)])),
+            (
+                "nested".into(),
+                Value::Record(vec![("x".into(), Value::Null)]),
+            ),
         ]);
         assert_eq!(round_trip(&v), v);
     }

@@ -4,11 +4,11 @@
 use crate::description::DeviceDescription;
 use crate::ssdp::{search, SsdpHit};
 use parking_lot::Mutex;
+use simnet::{Network, NodeId, Sim};
 use soap::{
     HttpClient, HttpRequest, HttpResponse, HttpServer, RpcCall, RpcResponse, SoapError, TcpModel,
     Value,
 };
-use simnet::{Network, NodeId, Sim};
 use std::fmt;
 use std::sync::Arc;
 
@@ -98,22 +98,26 @@ impl ControlPoint {
             *n += 1;
             format!("/gena-cb/{n}")
         };
-        self.callbacks.route(path.clone(), move |sim, req: &HttpRequest| {
-            let doc = String::from_utf8_lossy(&req.body);
-            if let Ok(root) = minixml::parse(&doc) {
-                for prop in root.find_all("property") {
-                    for var in prop.elements() {
-                        on_event(sim, var.local_name(), &var.text_content());
+        self.callbacks
+            .route(path.clone(), move |sim, req: &HttpRequest| {
+                let doc = String::from_utf8_lossy(&req.body);
+                if let Ok(root) = minixml::parse(&doc) {
+                    for prop in root.find_all("property") {
+                        for var in prop.elements() {
+                            on_event(sim, var.local_name(), &var.text_content());
+                        }
                     }
                 }
-            }
-            HttpResponse::ok("text/plain", "")
-        });
+                HttpResponse::ok("text/plain", "")
+            });
         let req = HttpRequest {
             method: "SUBSCRIBE".into(),
             path: event_sub_url.to_owned(),
             headers: vec![
-                ("CALLBACK".into(), format!("<http://node-{}{}>", self.node().0, path)),
+                (
+                    "CALLBACK".into(),
+                    format!("<http://node-{}{}>", self.node().0, path),
+                ),
                 ("NT".into(), "upnp:event".into()),
             ],
             body: Vec::new(),
@@ -149,7 +153,9 @@ impl ControlPoint {
 
 impl fmt::Debug for ControlPoint {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("ControlPoint").field("node", &self.node()).finish()
+        f.debug_struct("ControlPoint")
+            .field("node", &self.node())
+            .finish()
     }
 }
 
@@ -244,7 +250,8 @@ mod tests {
         .unwrap();
         assert_eq!(*seen.lock(), vec![("Status".to_owned(), "1".to_owned())]);
 
-        cp.unsubscribe(hits[0].node, &svc.event_sub_url, &sid).unwrap();
+        cp.unsubscribe(hits[0].node, &svc.event_sub_url, &sid)
+            .unwrap();
         assert_eq!(light.subscription_count(), 0);
     }
 
@@ -256,7 +263,13 @@ mod tests {
         let cp = ControlPoint::new(&net, "cp");
         let hits = cp.discover(SSDP_ALL);
         let err = cp
-            .invoke(hits[0].node, "/control/SwitchPower", SWITCH_SVC, "Explode", &[])
+            .invoke(
+                hits[0].node,
+                "/control/SwitchPower",
+                SWITCH_SVC,
+                "Explode",
+                &[],
+            )
             .unwrap_err();
         assert!(matches!(err, SoapError::Fault(_)));
     }

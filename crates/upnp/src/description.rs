@@ -63,7 +63,9 @@ impl DeviceDescription {
 
     /// Finds a service by its type URN.
     pub fn find_service(&self, service_type: &str) -> Option<&ServiceDesc> {
-        self.services.iter().find(|s| s.service_type == service_type)
+        self.services
+            .iter()
+            .find(|s| s.service_type == service_type)
     }
 
     /// Serialises to the description document.
@@ -113,7 +115,13 @@ impl DeviceDescription {
 
 impl fmt::Display for DeviceDescription {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} ({}, {} services)", self.friendly_name, self.udn, self.services.len())
+        write!(
+            f,
+            "{} ({}, {} services)",
+            self.friendly_name,
+            self.udn,
+            self.services.len()
+        )
     }
 }
 
@@ -144,7 +152,9 @@ mod tests {
     #[test]
     fn urls_follow_convention() {
         let d = light();
-        let s = d.find_service("urn:schemas-upnp-org:service:SwitchPower:1").unwrap();
+        let s = d
+            .find_service("urn:schemas-upnp-org:service:SwitchPower:1")
+            .unwrap();
         assert_eq!(s.control_url, "/control/SwitchPower");
         assert_eq!(s.event_sub_url, "/event/SwitchPower");
         assert!(d.find_service("urn:nope").is_none());

@@ -4,11 +4,11 @@ use crate::description::DeviceDescription;
 use crate::ssdp::install_responder;
 use minixml::Element;
 use parking_lot::Mutex;
+use simnet::{Network, NodeId, Protocol, Sim};
 use soap::{
     fault_envelope, Fault, HttpRequest, HttpResponse, HttpServer, RpcCall, RpcResponse, TcpModel,
     Value,
 };
-use simnet::{Network, NodeId, Protocol, Sim};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
@@ -58,7 +58,11 @@ impl UpnpDevice {
             node,
             "/desc.xml",
             &description.device_type,
-            description.services.iter().map(|s| s.service_type.clone()).collect(),
+            description
+                .services
+                .iter()
+                .map(|s| s.service_type.clone())
+                .collect(),
             &description.udn,
         );
 
@@ -72,18 +76,25 @@ impl UpnpDevice {
         for service in &description.services {
             let service_type = service.service_type.clone();
             let state2 = state.clone();
-            http.route(service.control_url.clone(), move |sim, req: &HttpRequest| {
-                control_request(sim, &state2, &service_type, req)
-            });
+            http.route(
+                service.control_url.clone(),
+                move |sim, req: &HttpRequest| control_request(sim, &state2, &service_type, req),
+            );
 
             let service_type = service.service_type.clone();
             let state2 = state.clone();
-            http.route(service.event_sub_url.clone(), move |_, req: &HttpRequest| {
-                gena_request(&state2, &service_type, req)
-            });
+            http.route(
+                service.event_sub_url.clone(),
+                move |_, req: &HttpRequest| gena_request(&state2, &service_type, req),
+            );
         }
 
-        UpnpDevice { net: net.clone(), node, description, state }
+        UpnpDevice {
+            net: net.clone(),
+            node,
+            description,
+            state,
+        }
     }
 
     /// The device's HTTP node.
@@ -183,7 +194,9 @@ fn control_request(
                         Err(e) => Err(Fault::server(e)),
                     }
                 }
-                None => Err(Fault::client(format!("service {service_type} not implemented"))),
+                None => Err(Fault::client(format!(
+                    "service {service_type} not implemented"
+                ))),
             }
         }
         Err(e) => Err(Fault::client(e.to_string())),
@@ -198,11 +211,7 @@ fn control_request(
     }
 }
 
-fn gena_request(
-    state: &Mutex<DeviceState>,
-    service_type: &str,
-    req: &HttpRequest,
-) -> HttpResponse {
+fn gena_request(state: &Mutex<DeviceState>, service_type: &str, req: &HttpRequest) -> HttpResponse {
     match req.method.as_str() {
         "SUBSCRIBE" => {
             let Some(callback) = req.get_header("CALLBACK") else {
@@ -351,7 +360,9 @@ mod tests {
         let seen: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
         let seen2 = seen.clone();
         cb_server.route("/notify", move |_, req: &HttpRequest| {
-            seen2.lock().push(String::from_utf8_lossy(&req.body).into_owned());
+            seen2
+                .lock()
+                .push(String::from_utf8_lossy(&req.body).into_owned());
             HttpResponse::ok("text/plain", "")
         });
 
@@ -411,9 +422,15 @@ mod tests {
         let client = soap::HttpClient::attach(&net, "cp", TcpModel::default());
         for (method, headers) in [
             ("SUBSCRIBE", vec![]),
-            ("SUBSCRIBE", vec![("CALLBACK".to_owned(), "garbage".to_owned())]),
+            (
+                "SUBSCRIBE",
+                vec![("CALLBACK".to_owned(), "garbage".to_owned())],
+            ),
             ("UNSUBSCRIBE", vec![]),
-            ("UNSUBSCRIBE", vec![("SID".to_owned(), "uuid:nope".to_owned())]),
+            (
+                "UNSUBSCRIBE",
+                vec![("SID".to_owned(), "uuid:nope".to_owned())],
+            ),
             ("GET", vec![]),
         ] {
             let req = HttpRequest {

@@ -85,7 +85,12 @@ pub fn install_responder(
 
 /// Multicasts an `M-SEARCH` for `st` from `node` and collects responses.
 pub fn search(net: &Network, node: NodeId, st: &str) -> Vec<SsdpHit> {
-    let _ = net.send(Frame::new(node, Addr::Broadcast, Protocol::Upnp, msearch_payload(st)));
+    let _ = net.send(Frame::new(
+        node,
+        Addr::Broadcast,
+        Protocol::Upnp,
+        msearch_payload(st),
+    ));
     let mut hits = Vec::new();
     while let Some(frame) = net.recv(node) {
         let text = String::from_utf8_lossy(&frame.payload);
@@ -161,7 +166,10 @@ mod tests {
         let (_sim, net) = world();
         install_light(&net, "light1");
         let cp = net.attach("cp");
-        assert_eq!(search(&net, cp, "urn:schemas-upnp-org:service:SwitchPower:1").len(), 1);
+        assert_eq!(
+            search(&net, cp, "urn:schemas-upnp-org:service:SwitchPower:1").len(),
+            1
+        );
         assert_eq!(search(&net, cp, SSDP_ALL).len(), 1);
         assert_eq!(search(&net, cp, "uuid:light1").len(), 1);
         assert!(search(&net, cp, "urn:other:device").is_empty());
@@ -181,8 +189,13 @@ mod tests {
         let (_sim, net) = world();
         let light = install_light(&net, "light1");
         let cp = net.attach("cp");
-        net.send(Frame::new(cp, Addr::Broadcast, Protocol::Upnp, &b"NOTIFY * HTTP/1.1\r\n\r\n"[..]))
-            .unwrap();
+        net.send(Frame::new(
+            cp,
+            Addr::Broadcast,
+            Protocol::Upnp,
+            &b"NOTIFY * HTTP/1.1\r\n\r\n"[..],
+        ))
+        .unwrap();
         // The light did not respond to a non-M-SEARCH.
         assert!(net.recv(cp).is_none());
         let _ = light;

@@ -22,7 +22,10 @@ pub struct Part {
 impl Part {
     /// Creates a part.
     pub fn new(name: impl Into<String>, ty: XsdType) -> Part {
-        Part { name: name.into(), ty }
+        Part {
+            name: name.into(),
+            ty,
+        }
     }
 }
 
@@ -40,7 +43,11 @@ pub struct Operation {
 impl Operation {
     /// Creates a void operation with no inputs.
     pub fn new(name: impl Into<String>) -> Operation {
-        Operation { name: name.into(), inputs: Vec::new(), output: None }
+        Operation {
+            name: name.into(),
+            inputs: Vec::new(),
+            output: None,
+        }
     }
 
     /// Adds an input part (builder style).
@@ -141,9 +148,8 @@ impl ServiceDescription {
         defs.push(port_type);
         defs.push(
             Element::new("service").attr("name", &self.name).child(
-                Element::new("port").child(
-                    Element::new("soap:address").attr("location", &self.endpoint),
-                ),
+                Element::new("port")
+                    .child(Element::new("soap:address").attr("location", &self.endpoint)),
             ),
         );
         defs
@@ -195,7 +201,13 @@ impl ServiceDescription {
             .and_then(|a| a.get_attr("location"))
             .unwrap_or_default()
             .to_owned();
-        Ok(ServiceDescription { name, namespace, operations, endpoint, documentation })
+        Ok(ServiceDescription {
+            name,
+            namespace,
+            operations,
+            endpoint,
+            documentation,
+        })
     }
 }
 

@@ -7,7 +7,7 @@
 //! tModels hold the technical fingerprints (here: WSDL documents) —
 //! with the v2 `find_*` inquiry semantics ('%' wildcards, category bags).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 
 /// A registry key (`uuid:NNNN` style).
@@ -43,7 +43,10 @@ pub struct KeyedReference {
 impl KeyedReference {
     /// Creates a reference.
     pub fn new(taxonomy: impl Into<String>, value: impl Into<String>) -> Self {
-        KeyedReference { taxonomy: taxonomy.into(), value: value.into() }
+        KeyedReference {
+            taxonomy: taxonomy.into(),
+            value: value.into(),
+        }
     }
 }
 
@@ -106,19 +109,63 @@ pub struct RegistryStats {
 }
 
 /// The in-memory registry.
-#[derive(Debug, Default)]
+///
+/// Inquiries are index-backed: a name index (keyed on the
+/// ASCII-lowercased service name, so both exact lookups and
+/// `prefix%` wildcard patterns resolve via `BTreeMap` range scans)
+/// and a per-taxonomy category index narrow `find_service` to the
+/// candidate set instead of scanning every record. The indexes are
+/// always maintained; [`UddiRegistry::set_indexing`] only switches
+/// the *lookup* path back to a full scan, so benches can ablate
+/// indexed vs. scan behaviour on identical registry state.
+#[derive(Debug)]
 pub struct UddiRegistry {
     businesses: BTreeMap<Key, BusinessEntity>,
     services: BTreeMap<Key, BusinessService>,
     tmodels: BTreeMap<Key, TModel>,
+    /// ASCII-lowercased service name → keys of services with that name.
+    name_index: BTreeMap<String, Vec<Key>>,
+    /// taxonomy → value → keys of services carrying that category.
+    category_index: HashMap<String, HashMap<String, BTreeSet<Key>>>,
+    indexing: bool,
     next_id: u64,
     stats: RegistryStats,
+}
+
+impl Default for UddiRegistry {
+    fn default() -> Self {
+        UddiRegistry {
+            businesses: BTreeMap::new(),
+            services: BTreeMap::new(),
+            tmodels: BTreeMap::new(),
+            name_index: BTreeMap::new(),
+            category_index: HashMap::new(),
+            indexing: true,
+            next_id: 0,
+            stats: RegistryStats::default(),
+        }
+    }
+}
+
+/// Which records an inquiry must examine.
+enum Candidates {
+    /// No index applies — scan every record.
+    All,
+    /// Only these keys can possibly match.
+    Keys(Vec<Key>),
 }
 
 impl UddiRegistry {
     /// Creates an empty registry.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Enables or disables index-backed inquiry (for ablation
+    /// benchmarks). Indexes stay maintained either way; disabling only
+    /// forces `find_service` back to a full scan.
+    pub fn set_indexing(&mut self, enabled: bool) {
+        self.indexing = enabled;
     }
 
     fn fresh_key(&mut self, kind: &str) -> Key {
@@ -134,7 +181,11 @@ impl UddiRegistry {
         let key = self.fresh_key("biz");
         self.businesses.insert(
             key.clone(),
-            BusinessEntity { key: key.clone(), name: name.into(), description: description.into() },
+            BusinessEntity {
+                key: key.clone(),
+                name: name.into(),
+                description: description.into(),
+            },
         );
         key
     }
@@ -145,7 +196,11 @@ impl UddiRegistry {
         let key = self.fresh_key("tm");
         self.tmodels.insert(
             key.clone(),
-            TModel { key: key.clone(), name: name.into(), overview_doc: overview_doc.into() },
+            TModel {
+                key: key.clone(),
+                name: name.into(),
+                overview_doc: overview_doc.into(),
+            },
         );
         key
     }
@@ -167,26 +222,94 @@ impl UddiRegistry {
         }
         let key = self.fresh_key("svc");
         let binding_key = self.fresh_key("bind");
-        self.services.insert(
-            key.clone(),
-            BusinessService {
-                key: key.clone(),
-                business_key: business_key.clone(),
-                name: name.into(),
-                categories,
-                bindings: vec![BindingTemplate {
-                    key: binding_key,
-                    access_point: access_point.into(),
-                    tmodel_key,
-                }],
-            },
-        );
+        let service = BusinessService {
+            key: key.clone(),
+            business_key: business_key.clone(),
+            name: name.into(),
+            categories,
+            bindings: vec![BindingTemplate {
+                key: binding_key,
+                access_point: access_point.into(),
+                tmodel_key,
+            }],
+        };
+        self.index_service(&service);
+        self.services.insert(key.clone(), service);
         Some(key)
     }
 
     /// Removes a service.
     pub fn delete_service(&mut self, key: &Key) -> bool {
-        self.services.remove(key).is_some()
+        match self.services.remove(key) {
+            Some(service) => {
+                self.unindex_service(&service);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Removes every service whose name equals `name` (UDDI names are
+    /// case-insensitive), returning the removed records so callers can
+    /// clean up orphaned tModels. Index-backed: no scan of unrelated
+    /// records.
+    pub fn delete_services_by_name(&mut self, name: &str) -> Vec<BusinessService> {
+        let keys = self
+            .name_index
+            .get(&name.to_ascii_lowercase())
+            .cloned()
+            .unwrap_or_default();
+        let mut removed = Vec::with_capacity(keys.len());
+        for key in keys {
+            if let Some(service) = self.services.remove(&key) {
+                self.unindex_service(&service);
+                removed.push(service);
+            }
+        }
+        removed
+    }
+
+    /// Removes a tModel (e.g. once no service binding references it).
+    pub fn delete_tmodel(&mut self, key: &Key) -> bool {
+        self.tmodels.remove(key).is_some()
+    }
+
+    fn index_service(&mut self, service: &BusinessService) {
+        self.name_index
+            .entry(service.name.to_ascii_lowercase())
+            .or_default()
+            .push(service.key.clone());
+        for cat in &service.categories {
+            self.category_index
+                .entry(cat.taxonomy.clone())
+                .or_default()
+                .entry(cat.value.clone())
+                .or_default()
+                .insert(service.key.clone());
+        }
+    }
+
+    fn unindex_service(&mut self, service: &BusinessService) {
+        let lname = service.name.to_ascii_lowercase();
+        if let Some(keys) = self.name_index.get_mut(&lname) {
+            keys.retain(|k| k != &service.key);
+            if keys.is_empty() {
+                self.name_index.remove(&lname);
+            }
+        }
+        for cat in &service.categories {
+            if let Some(values) = self.category_index.get_mut(&cat.taxonomy) {
+                if let Some(keys) = values.get_mut(&cat.value) {
+                    keys.remove(&service.key);
+                    if keys.is_empty() {
+                        values.remove(&cat.value);
+                    }
+                }
+                if values.is_empty() {
+                    self.category_index.remove(&cat.taxonomy);
+                }
+            }
+        }
     }
 
     // ---- inquiry ----------------------------------------------------------
@@ -205,24 +328,89 @@ impl UddiRegistry {
 
     /// Finds services by name pattern and (optional) required categories.
     ///
-    /// All `categories` must be present in a service's bag for it to match.
+    /// All `categories` must be present in a service's bag for it to
+    /// match. With indexing enabled, only candidate records selected by
+    /// the name/category indexes are examined, and
+    /// `RegistryStats::records_scanned` counts exactly those — so E8
+    /// reports the true lookup cost either way.
     pub fn find_service(
         &mut self,
         pattern: &str,
         categories: &[KeyedReference],
     ) -> Vec<BusinessService> {
         self.stats.inquiries += 1;
-        self.stats.records_scanned += self.services.len() as u64;
-        self.services
-            .values()
-            .filter(|s| matches_pattern(pattern, &s.name))
-            .filter(|s| {
-                categories
+        let matches = |s: &BusinessService| {
+            matches_pattern(pattern, &s.name)
+                && categories
                     .iter()
                     .all(|c| s.has_category(&c.taxonomy, &c.value))
+        };
+        match self.candidates(pattern, categories) {
+            Candidates::All => {
+                self.stats.records_scanned += self.services.len() as u64;
+                self.services
+                    .values()
+                    .filter(|s| matches(s))
+                    .cloned()
+                    .collect()
+            }
+            Candidates::Keys(keys) => {
+                self.stats.records_scanned += keys.len() as u64;
+                keys.iter()
+                    .filter_map(|k| self.services.get(k))
+                    .filter(|s| matches(s))
+                    .cloned()
+                    .collect()
+            }
+        }
+    }
+
+    /// Picks the cheapest candidate set for an inquiry: exact-name hit,
+    /// name-prefix range, or the smallest matching category bucket.
+    fn candidates(&self, pattern: &str, categories: &[KeyedReference]) -> Candidates {
+        if !self.indexing {
+            return Candidates::All;
+        }
+        // The run of literal characters before the first wildcard is an
+        // index-resolvable prefix (UDDI names compare case-insensitively).
+        let prefix: String = pattern
+            .chars()
+            .take_while(|c| *c != '%')
+            .collect::<String>()
+            .to_ascii_lowercase();
+        if !pattern.contains('%') {
+            let keys = self.name_index.get(&prefix).cloned().unwrap_or_default();
+            return Candidates::Keys(keys);
+        }
+        if !prefix.is_empty() {
+            let keys: Vec<Key> = self
+                .name_index
+                .range(prefix.clone()..)
+                .take_while(|(name, _)| name.starts_with(&prefix))
+                .flat_map(|(_, ks)| ks.iter().cloned())
+                .collect();
+            return Candidates::Keys(keys);
+        }
+        // Leading wildcard: the name index cannot help, but if the
+        // inquiry constrains categories, the smallest category bucket
+        // bounds the candidates (a category absent from the index means
+        // no record can match at all).
+        let smallest = categories
+            .iter()
+            .map(|c| {
+                self.category_index
+                    .get(&c.taxonomy)
+                    .and_then(|values| values.get(&c.value))
             })
-            .cloned()
-            .collect()
+            .min_by_key(|bucket| bucket.map_or(0, |keys| keys.len()));
+        match smallest {
+            Some(bucket) => Candidates::Keys(
+                bucket
+                    .map(|keys| keys.iter().cloned().collect())
+                    .unwrap_or_default(),
+            ),
+            None => Candidates::All,
+        }
     }
 
     /// Full detail for one service.
@@ -274,9 +462,7 @@ pub fn matches_pattern(pattern: &str, name: &str) -> bool {
     fn rec(p: &[u8], n: &[u8]) -> bool {
         match p.split_first() {
             None => n.is_empty(),
-            Some((b'%', rest)) => {
-                (0..=n.len()).any(|i| rec(rest, &n[i..]))
-            }
+            Some((b'%', rest)) => (0..=n.len()).any(|i| rec(rest, &n[i..])),
             Some((c, rest)) => match n.split_first() {
                 Some((nc, nrest)) => c.eq_ignore_ascii_case(nc) && rec(rest, nrest),
                 None => false,
@@ -323,7 +509,10 @@ mod tests {
         let found = reg.find_service("living%", &[]);
         assert_eq!(found.len(), 1);
         assert_eq!(found[0].name, "living-room-vcr");
-        assert_eq!(found[0].bindings[0].access_point, "vsg://havi-gw/living-room-vcr");
+        assert_eq!(
+            found[0].bindings[0].access_point,
+            "vsg://havi-gw/living-room-vcr"
+        );
     }
 
     #[test]
@@ -401,5 +590,144 @@ mod tests {
         let b = reg.save_business("b", "");
         assert_ne!(a, b);
         assert_eq!(reg.business_count(), 2);
+    }
+
+    fn populated(n: usize) -> UddiRegistry {
+        let mut reg = UddiRegistry::new();
+        let biz = reg.save_business("home", "whole home");
+        for i in 0..n {
+            let middleware = ["jini", "havi", "x10", "upnp"][i % 4];
+            reg.save_service(
+                &biz,
+                &format!("device-{i:04}"),
+                vec![KeyedReference::new("uddi:middleware", middleware)],
+                &format!("vsg://gw/device-{i:04}"),
+                None,
+            )
+            .unwrap();
+        }
+        reg
+    }
+
+    #[test]
+    fn exact_name_inquiry_is_index_backed() {
+        let mut reg = populated(1000);
+        let before = reg.stats().records_scanned;
+        let found = reg.find_service("device-0777", &[]);
+        assert_eq!(found.len(), 1);
+        let scanned = reg.stats().records_scanned - before;
+        // Acceptance criterion: >=10x fewer records examined than the
+        // full 1000-record scan. The index gets it down to exactly 1.
+        assert_eq!(scanned, 1, "exact-name inquiry examined {scanned} records");
+
+        reg.set_indexing(false);
+        let before = reg.stats().records_scanned;
+        let found = reg.find_service("device-0777", &[]);
+        assert_eq!(found.len(), 1);
+        assert_eq!(reg.stats().records_scanned - before, 1000);
+    }
+
+    #[test]
+    fn prefix_pattern_scans_only_the_name_range() {
+        let mut reg = populated(1000);
+        let before = reg.stats().records_scanned;
+        let found = reg.find_service("device-099%", &[]);
+        assert_eq!(found.len(), 10); // device-0990 .. device-0999
+        assert_eq!(reg.stats().records_scanned - before, 10);
+    }
+
+    #[test]
+    fn leading_wildcard_uses_the_category_index() {
+        let mut reg = populated(1000);
+        let before = reg.stats().records_scanned;
+        let found = reg.find_service("%", &[KeyedReference::new("uddi:middleware", "x10")]);
+        assert_eq!(found.len(), 250);
+        assert_eq!(reg.stats().records_scanned - before, 250);
+
+        // A category no record carries is answered from the index alone.
+        let before = reg.stats().records_scanned;
+        let found = reg.find_service("%", &[KeyedReference::new("uddi:middleware", "corba")]);
+        assert!(found.is_empty());
+        assert_eq!(reg.stats().records_scanned - before, 0);
+    }
+
+    #[test]
+    fn indexed_and_scan_lookups_agree() {
+        let mut reg = populated(97);
+        let patterns = [
+            "%",
+            "device-0042",
+            "device-00%",
+            "%42",
+            "DEVICE-0007",
+            "nothing-like-this",
+        ];
+        let cats = [
+            vec![],
+            vec![KeyedReference::new("uddi:middleware", "jini")],
+            vec![KeyedReference::new("uddi:middleware", "nope")],
+        ];
+        for pattern in patterns {
+            for cat in &cats {
+                let indexed = reg.find_service(pattern, cat);
+                reg.set_indexing(false);
+                let scanned = reg.find_service(pattern, cat);
+                reg.set_indexing(true);
+                assert_eq!(indexed, scanned, "pattern {pattern:?} cats {cat:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn delete_by_name_updates_indexes() {
+        let (mut reg, biz) = seeded();
+        // A second service under the same (case-insensitively equal) name.
+        reg.save_service(
+            &biz,
+            "Living-Room-VCR",
+            vec![KeyedReference::new("uddi:middleware", "havi")],
+            "vsg://havi-gw/living-room-vcr-2",
+            None,
+        )
+        .unwrap();
+        let removed = reg.delete_services_by_name("living-room-vcr");
+        assert_eq!(removed.len(), 2);
+        assert_eq!(reg.service_count(), 1);
+        assert!(reg.find_service("living-room-vcr", &[]).is_empty());
+        assert!(reg.delete_services_by_name("living-room-vcr").is_empty());
+        // The survivor is still fully indexed.
+        let found = reg.find_service("%", &[KeyedReference::new("uddi:middleware", "havi")]);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].name, "bedroom-camera");
+    }
+
+    #[test]
+    fn churn_keeps_indexes_consistent() {
+        let mut reg = UddiRegistry::new();
+        let biz = reg.save_business("home", "");
+        for round in 0..5 {
+            for i in 0..20 {
+                reg.save_service(
+                    &biz,
+                    &format!("svc-{i}"),
+                    vec![KeyedReference::new("uddi:gen", format!("g{}", i % 3))],
+                    "vsg://gw/x",
+                    None,
+                )
+                .unwrap();
+            }
+            for i in (0..20).step_by(2) {
+                let removed = reg.delete_services_by_name(&format!("svc-{i}"));
+                assert_eq!(removed.len(), 1, "round {round} svc-{i}");
+            }
+        }
+        // 5 rounds x (20 added - 10 removed).
+        assert_eq!(reg.service_count(), 50);
+        assert_eq!(reg.find_service("svc-3", &[]).len(), 5);
+        assert_eq!(
+            reg.find_service("%", &[KeyedReference::new("uddi:gen", "g1")])
+                .len(),
+            20
+        );
     }
 }

@@ -106,7 +106,10 @@ impl Cm11a {
             })
             .expect("serial node exists");
 
-        Cm11a { serial_node, buffer }
+        Cm11a {
+            serial_node,
+            buffer,
+        }
     }
 
     /// The interface's node on the serial line.
@@ -132,16 +135,24 @@ impl fmt::Debug for Cm11a {
 fn encode_pc_command(frame: X10Frame) -> [u8; 2] {
     match frame {
         X10Frame::Address { house, unit } => [0x04, house.code() << 4 | unit.code()],
-        X10Frame::Function { house, function, dims } => {
-            [0x06 | (dims.min(22) << 3), house.code() << 4 | function.code()]
-        }
+        X10Frame::Function {
+            house,
+            function,
+            dims,
+        } => [
+            0x06 | (dims.min(22) << 3),
+            house.code() << 4 | function.code(),
+        ],
     }
 }
 
 fn decode_pc_command(pair: [u8; 2]) -> Option<X10Frame> {
     let house = HouseCode::from_code(pair[1] >> 4)?;
     if pair[0] & 0x02 == 0 {
-        Some(X10Frame::Address { house, unit: UnitCode::from_code(pair[1])? })
+        Some(X10Frame::Address {
+            house,
+            unit: UnitCode::from_code(pair[1])?,
+        })
     } else {
         Some(X10Frame::Function {
             house,
@@ -172,7 +183,10 @@ impl fmt::Display for Cm11aError {
         match self {
             Cm11aError::Serial(m) => write!(f, "serial error: {m}"),
             Cm11aError::ChecksumMismatch { expected, got } => {
-                write!(f, "checksum mismatch: expected {expected:02x}, got {got:02x}")
+                write!(
+                    f,
+                    "checksum mismatch: expected {expected:02x}, got {got:02x}"
+                )
             }
             Cm11aError::Protocol(m) => write!(f, "CM11A protocol error: {m}"),
         }
@@ -193,7 +207,11 @@ impl Cm11aDriver {
     /// Creates a driver for the interface at `interface`, talking from a
     /// fresh PC node on `serial`.
     pub fn new(serial: &Network, interface: NodeId) -> Cm11aDriver {
-        Cm11aDriver { serial: serial.clone(), pc: serial.attach("pc-serial"), interface }
+        Cm11aDriver {
+            serial: serial.clone(),
+            pc: serial.attach("pc-serial"),
+            interface,
+        }
     }
 
     fn exchange(&self, bytes: Vec<u8>) -> Result<Vec<u8>, Cm11aError> {
@@ -216,7 +234,9 @@ impl Cm11aDriver {
         if ready.first() == Some(&IF_READY) {
             Ok(())
         } else {
-            Err(Cm11aError::Protocol(format!("expected 0x55 ready, got {ready:?}")))
+            Err(Cm11aError::Protocol(format!(
+                "expected 0x55 ready, got {ready:?}"
+            )))
         }
     }
 
@@ -239,14 +259,20 @@ impl Cm11aDriver {
         dims: u8,
     ) -> Result<(), Cm11aError> {
         self.send_frame(X10Frame::Address { house, unit })?;
-        self.send_frame(X10Frame::Function { house, function, dims })
+        self.send_frame(X10Frame::Function {
+            house,
+            function,
+            dims,
+        })
     }
 
     /// Fetches everything the interface has heard on the powerline since
     /// the last poll.
     pub fn poll(&self) -> Result<Vec<X10Frame>, Cm11aError> {
         let data = self.exchange(vec![POLL_FETCH])?;
-        let count = *data.first().ok_or(Cm11aError::Protocol("empty poll reply".into()))? as usize;
+        let count = *data
+            .first()
+            .ok_or(Cm11aError::Protocol("empty poll reply".into()))? as usize;
         let mut frames = Vec::with_capacity(count);
         for i in 0..count {
             let at = 1 + i * 2;
@@ -316,8 +342,20 @@ mod tests {
 
         let frames = driver.poll().unwrap();
         assert_eq!(frames.len(), 2);
-        assert_eq!(frames[0], X10Frame::Address { house: h('C'), unit: u(9) });
-        assert!(matches!(frames[1], X10Frame::Function { function: Function::On, .. }));
+        assert_eq!(
+            frames[0],
+            X10Frame::Address {
+                house: h('C'),
+                unit: u(9)
+            }
+        );
+        assert!(matches!(
+            frames[1],
+            X10Frame::Function {
+                function: Function::On,
+                ..
+            }
+        ));
         // Buffer drained.
         assert!(driver.poll().unwrap().is_empty());
     }
@@ -327,13 +365,22 @@ mod tests {
         let (_sim, _serial, powerline, cm11a, driver) = world();
         let remote = Transmitter::attach(&powerline, "remote");
         for n in 1..=8u8 {
-            remote.transmit_frame(X10Frame::Address { house: h('A'), unit: u(n) });
+            remote.transmit_frame(X10Frame::Address {
+                house: h('A'),
+                unit: u(n),
+            });
         }
         assert_eq!(cm11a.buffered(), RX_BUFFER_FRAMES);
         let frames = driver.poll().unwrap();
         // Oldest three were overwritten; units 4..=8 remain.
         assert_eq!(frames.len(), RX_BUFFER_FRAMES);
-        assert_eq!(frames[0], X10Frame::Address { house: h('A'), unit: u(4) });
+        assert_eq!(
+            frames[0],
+            X10Frame::Address {
+                house: h('A'),
+                unit: u(4)
+            }
+        );
     }
 
     #[test]

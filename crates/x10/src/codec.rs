@@ -212,9 +212,14 @@ impl X10Frame {
     pub fn encode(self) -> [u8; 2] {
         match self {
             X10Frame::Address { house, unit } => [0x00, house.code() << 4 | unit.code()],
-            X10Frame::Function { house, function, dims } => {
-                [0x01 | (dims.min(22) << 3), house.code() << 4 | function.code()]
-            }
+            X10Frame::Function {
+                house,
+                function,
+                dims,
+            } => [
+                0x01 | (dims.min(22) << 3),
+                house.code() << 4 | function.code(),
+            ],
         }
     }
 
@@ -225,7 +230,10 @@ impl X10Frame {
         }
         let house = HouseCode::from_code(data[1] >> 4)?;
         if data[0] & 0x01 == 0 {
-            Some(X10Frame::Address { house, unit: UnitCode::from_code(data[1])? })
+            Some(X10Frame::Address {
+                house,
+                unit: UnitCode::from_code(data[1])?,
+            })
         } else {
             Some(X10Frame::Function {
                 house,
@@ -247,7 +255,11 @@ impl fmt::Display for X10Frame {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             X10Frame::Address { house, unit } => write!(f, "{}{}", house.letter(), unit.number()),
-            X10Frame::Function { house, function, dims } => {
+            X10Frame::Function {
+                house,
+                function,
+                dims,
+            } => {
                 if *dims > 0 {
                     write!(f, "{} {function}({dims})", house.letter())
                 } else {
@@ -341,7 +353,12 @@ mod tests {
         let u = UnitCode::new(3).unwrap();
         assert_eq!(X10Frame::Address { house: h, unit: u }.to_string(), "A3");
         assert_eq!(
-            X10Frame::Function { house: h, function: Function::On, dims: 0 }.to_string(),
+            X10Frame::Function {
+                house: h,
+                function: Function::On,
+                dims: 0
+            }
+            .to_string(),
             "A On"
         );
     }

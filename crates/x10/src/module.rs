@@ -47,7 +47,10 @@ impl Module {
         unit: UnitCode,
     ) -> Module {
         let node = net.attach(label);
-        let state = Arc::new(Mutex::new(ModuleState { on: false, level: MAX_DIM_STEPS }));
+        let state = Arc::new(Mutex::new(ModuleState {
+            on: false,
+            level: MAX_DIM_STEPS,
+        }));
         let state2 = state.clone();
         install_receiver(net, node, house, move |_sim, function, dims, latched| {
             let addressed = latched.contains(&unit);
@@ -72,7 +75,12 @@ impl Module {
                 _ => {}
             }
         });
-        Module { house, unit, kind, state }
+        Module {
+            house,
+            unit,
+            kind,
+            state,
+        }
     }
 
     /// The module's house code.

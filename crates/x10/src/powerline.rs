@@ -19,12 +19,18 @@ pub struct Transmitter {
 impl Transmitter {
     /// Attaches a transmitter-only device (e.g. a remote, the CM11A).
     pub fn attach(net: &Network, label: &str) -> Transmitter {
-        Transmitter { net: net.clone(), node: net.attach(label) }
+        Transmitter {
+            net: net.clone(),
+            node: net.attach(label),
+        }
     }
 
     /// Wraps an existing powerline node.
     pub fn on_node(net: &Network, node: NodeId) -> Transmitter {
-        Transmitter { net: net.clone(), node }
+        Transmitter {
+            net: net.clone(),
+            node,
+        }
     }
 
     /// The transmitter's powerline node.
@@ -41,14 +47,24 @@ impl Transmitter {
     /// was lost to noise (the transmitter itself never knows; the return
     /// value is for tests and statistics).
     pub fn transmit_frame(&self, frame: X10Frame) -> bool {
-        let wire = Frame::new(self.node, Addr::Broadcast, Protocol::X10, frame.encode().to_vec());
+        let wire = Frame::new(
+            self.node,
+            Addr::Broadcast,
+            Protocol::X10,
+            frame.encode().to_vec(),
+        );
         self.net.send(wire).is_ok()
     }
 
     /// Sends a complete command: the address frame, the mandated
     /// 3-cycle gap, then the function frame. Either frame can be lost
     /// independently. Returns which frames made it.
-    pub fn send_command(&self, house: HouseCode, unit: UnitCode, function: Function) -> SendOutcome {
+    pub fn send_command(
+        &self,
+        house: HouseCode,
+        unit: UnitCode,
+        function: Function,
+    ) -> SendOutcome {
         self.send_command_dims(house, unit, function, 0)
     }
 
@@ -64,13 +80,24 @@ impl Transmitter {
         let address_ok = self.transmit_frame(X10Frame::Address { house, unit });
         // Three silent power-line cycles between address and function.
         sim.advance(SimDuration::from_millis(50));
-        let function_ok = self.transmit_frame(X10Frame::Function { house, function, dims });
-        SendOutcome { address_ok, function_ok }
+        let function_ok = self.transmit_frame(X10Frame::Function {
+            house,
+            function,
+            dims,
+        });
+        SendOutcome {
+            address_ok,
+            function_ok,
+        }
     }
 
     /// Sends a house-wide function (no address frame needed).
     pub fn send_house_function(&self, house: HouseCode, function: Function) -> bool {
-        self.transmit_frame(X10Frame::Function { house, function, dims: 0 })
+        self.transmit_frame(X10Frame::Function {
+            house,
+            function,
+            dims: 0,
+        })
     }
 }
 
@@ -217,9 +244,19 @@ mod tests {
             seen2.lock().push((f, units.to_vec()));
         });
         // Address two units, then one function: both switch.
-        tx.transmit_frame(X10Frame::Address { house: h('A'), unit: u(1) });
-        tx.transmit_frame(X10Frame::Address { house: h('A'), unit: u(2) });
-        tx.transmit_frame(X10Frame::Function { house: h('A'), function: Function::Off, dims: 0 });
+        tx.transmit_frame(X10Frame::Address {
+            house: h('A'),
+            unit: u(1),
+        });
+        tx.transmit_frame(X10Frame::Address {
+            house: h('A'),
+            unit: u(2),
+        });
+        tx.transmit_frame(X10Frame::Function {
+            house: h('A'),
+            function: Function::Off,
+            dims: 0,
+        });
         let seen = seen.lock();
         assert_eq!(seen[0].1, vec![u(1), u(2)]);
     }
@@ -235,11 +272,30 @@ mod tests {
         install_receiver(&net, rx_node, h('A'), move |_, f, _, units| {
             seen2.lock().push((f, units.len()));
         });
-        tx.transmit_frame(X10Frame::Address { house: h('A'), unit: u(5) });
-        tx.transmit_frame(X10Frame::Function { house: h('A'), function: Function::Dim, dims: 3 });
-        tx.transmit_frame(X10Frame::Function { house: h('A'), function: Function::Dim, dims: 3 });
-        tx.transmit_frame(X10Frame::Function { house: h('A'), function: Function::Off, dims: 0 });
-        tx.transmit_frame(X10Frame::Function { house: h('A'), function: Function::On, dims: 0 });
+        tx.transmit_frame(X10Frame::Address {
+            house: h('A'),
+            unit: u(5),
+        });
+        tx.transmit_frame(X10Frame::Function {
+            house: h('A'),
+            function: Function::Dim,
+            dims: 3,
+        });
+        tx.transmit_frame(X10Frame::Function {
+            house: h('A'),
+            function: Function::Dim,
+            dims: 3,
+        });
+        tx.transmit_frame(X10Frame::Function {
+            house: h('A'),
+            function: Function::Off,
+            dims: 0,
+        });
+        tx.transmit_frame(X10Frame::Function {
+            house: h('A'),
+            function: Function::On,
+            dims: 0,
+        });
         let seen = seen.lock();
         assert_eq!(
             *seen,
@@ -272,7 +328,10 @@ mod tests {
         let net = Network::new(
             &sim,
             "noisy-powerline",
-            LinkModel { loss_prob: 0.3, ..simnet::netkind::powerline() },
+            LinkModel {
+                loss_prob: 0.3,
+                ..simnet::netkind::powerline()
+            },
         );
         let tx = Transmitter::attach(&net, "remote");
         let _rx = net.attach("lamp");

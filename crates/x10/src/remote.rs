@@ -38,7 +38,11 @@ pub struct Remote {
 impl Remote {
     /// Pairs a remote with `house` (the code wheel on the back).
     pub fn new(net: &Network, label: &str, house: HouseCode) -> Remote {
-        Remote { tx: Transmitter::attach(net, label), house, last_unit: 1 }
+        Remote {
+            tx: Transmitter::attach(net, label),
+            house,
+            last_unit: 1,
+        }
     }
 
     /// The remote's house code.
@@ -60,8 +64,12 @@ impl Remote {
                 let unit = self.last_unit;
                 self.dim_command(unit, Function::Bright, steps)
             }
-            Button::AllLightsOn => self.tx.send_house_function(self.house, Function::AllLightsOn),
-            Button::AllOff => self.tx.send_house_function(self.house, Function::AllUnitsOff),
+            Button::AllLightsOn => self
+                .tx
+                .send_house_function(self.house, Function::AllLightsOn),
+            Button::AllOff => self
+                .tx
+                .send_house_function(self.house, Function::AllUnitsOff),
         }
     }
 

@@ -11,19 +11,15 @@
 //! Run with: `cargo run --example auto_recording`
 
 use havi::FcmKind;
-use metaware::{
-    catalog, Middleware, OpSig, ServiceInterface, SmartHome, TypeTag, VirtualService,
-};
+use metaware::{catalog, Middleware, OpSig, ServiceInterface, SmartHome, TypeTag, VirtualService};
 use simnet::{Network, Sim, SimDuration};
 use soap::{Fault, RpcCall, SoapClient, SoapServer, Value};
 
 /// The interface of the Internet TV-guide service.
 fn guide_interface() -> ServiceInterface {
-    ServiceInterface::new("TvGuide").op(
-        OpSig::new("next_by_genre")
-            .param("genre", TypeTag::Str)
-            .returns(TypeTag::Any),
-    )
+    ServiceInterface::new("TvGuide").op(OpSig::new("next_by_genre")
+        .param("genre", TypeTag::Str)
+        .returns(TypeTag::Any))
 }
 
 fn main() {
@@ -59,7 +55,12 @@ fn main() {
     let guide_node = guide_server.node();
     inet_gw
         .export(
-            VirtualService::new("tv-guide", guide_interface(), Middleware::Web, inet_gw.name()),
+            VirtualService::new(
+                "tv-guide",
+                guide_interface(),
+                Middleware::Web,
+                inet_gw.name(),
+            ),
             move |_: &Sim, op: &str, args: &[(String, Value)]| {
                 let mut call = RpcCall::new("urn:tvguide", op);
                 for (k, v) in args {
@@ -71,19 +72,33 @@ fn main() {
             },
         )
         .unwrap();
-    println!("tv-guide web service federated; VSR now holds {} services\n", home.service_count());
+    println!(
+        "tv-guide web service federated; VSR now holds {} services\n",
+        home.service_count()
+    );
 
     // --- The auto-recorder: profile -> guide -> timer -> VCR -> mail -------
     let profile_genre = "news";
     println!("user profile: record genre '{profile_genre}'");
 
     let programme = home
-        .invoke_from(Middleware::Havi, "tv-guide", "next_by_genre",
-                     &[("genre".into(), Value::Str(profile_genre.into()))])
+        .invoke_from(
+            Middleware::Havi,
+            "tv-guide",
+            "next_by_genre",
+            &[("genre".into(), Value::Str(profile_genre.into()))],
+        )
         .unwrap();
     let channel = programme.field("channel").and_then(Value::as_int).unwrap();
-    let title = programme.field("title").and_then(Value::as_str).unwrap().to_owned();
-    let starts_in = programme.field("starts_in_s").and_then(Value::as_int).unwrap() as u64;
+    let title = programme
+        .field("title")
+        .and_then(Value::as_str)
+        .unwrap()
+        .to_owned();
+    let starts_in = programme
+        .field("starts_in_s")
+        .and_then(Value::as_int)
+        .unwrap() as u64;
     println!("guide says: {title:?} on channel {channel}, starts in {starts_in}s");
 
     // Schedule: at start time, tune the TV, start the VCR, send mail.
@@ -93,8 +108,12 @@ fn main() {
     sim.schedule_in(SimDuration::from_secs(starts_in), move |_| {
         println!("\n[timer fires at start time]");
         home3
-            .invoke_from(Middleware::Havi, "tv-tuner", "set_channel",
-                         &[("channel".into(), Value::Int(channel))])
+            .invoke_from(
+                Middleware::Havi,
+                "tv-tuner",
+                "set_channel",
+                &[("channel".into(), Value::Int(channel))],
+            )
             .unwrap();
         home3
             .invoke_from(Middleware::Havi, "living-room-vcr", "record", &[])
@@ -106,8 +125,14 @@ fn main() {
                 "send",
                 &[
                     ("to".into(), Value::Str("owner@example.org".into())),
-                    ("subject".into(), Value::Str(format!("Recording started: {title2}"))),
-                    ("body".into(), Value::Str(format!("Channel {channel}, as per your profile."))),
+                    (
+                        "subject".into(),
+                        Value::Str(format!("Recording started: {title2}")),
+                    ),
+                    (
+                        "body".into(),
+                        Value::Str(format!("Channel {channel}, as per your profile.")),
+                    ),
                 ],
             )
             .unwrap();
@@ -118,14 +143,22 @@ fn main() {
     let havi = home2.havi.as_ref().unwrap();
     println!(
         "VCR transport = {}, TV channel = {}",
-        havi.vcr.fcm(FcmKind::Vcr).unwrap().state().transport.label(),
+        havi.vcr
+            .fcm(FcmKind::Vcr)
+            .unwrap()
+            .state()
+            .transport
+            .label(),
         havi.tv.fcm(FcmKind::Tuner).unwrap().state().channel,
     );
     let mail = home2.mail.as_ref().unwrap();
     println!(
         "owner@example.org has {} notification(s): {:?}",
         mail.server.mailbox_len("owner@example.org"),
-        mail.client.retr("owner@example.org", 0).map(|m| m.subject).unwrap_or_default(),
+        mail.client
+            .retr("owner@example.org", 0)
+            .map(|m| m.subject)
+            .unwrap_or_default(),
     );
     println!(
         "\n(The lamp interface was {:?} ops; this app touched none of the\n\

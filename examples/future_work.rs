@@ -50,18 +50,29 @@ fn main() {
     let _reaper = activator.start_reaper(SimDuration::from_secs(30), SimDuration::from_secs(120));
 
     println!("projector registered but dormant; it is already discoverable:");
-    println!("  VSR resolve(projector) -> {}", havi.vsg.resolve("projector").unwrap().endpoint());
+    println!(
+        "  VSR resolve(projector) -> {}",
+        havi.vsg.resolve("projector").unwrap().endpoint()
+    );
 
     println!("\nfirst use (note the 3s spin-up):");
     let t0 = home.sim.now();
-    home.invoke_from(Middleware::Jini, "projector", "show",
-                     &[("text".into(), Value::Str("Welcome home".into()))])
-        .unwrap();
+    home.invoke_from(
+        Middleware::Jini,
+        "projector",
+        "show",
+        &[("text".into(), Value::Str("Welcome home".into()))],
+    )
+    .unwrap();
     println!("  first call took {}", home.sim.now() - t0);
     let t0 = home.sim.now();
-    home.invoke_from(Middleware::Jini, "projector", "show",
-                     &[("text".into(), Value::Str("Still on".into()))])
-        .unwrap();
+    home.invoke_from(
+        Middleware::Jini,
+        "projector",
+        "show",
+        &[("text".into(), Value::Str("Still on".into()))],
+    )
+    .unwrap();
     println!("  second call took {}", home.sim.now() - t0);
 
     println!("\nafter 5 idle minutes the reaper powers it down:");
@@ -79,9 +90,18 @@ fn main() {
 
     // Control plane over the framework; data plane on native 1394.
     let session = broker
-        .open_session(&home.sim, "dv-camera", AvFormat::Dv, "living-room-vcr", AvFormat::Dv)
+        .open_session(
+            &home.sim,
+            "dv-camera",
+            AvFormat::Dv,
+            "living-room-vcr",
+            AvFormat::Dv,
+        )
         .unwrap();
-    println!("session {} open on isochronous channel {}", session.id, session.connection.channel);
+    println!(
+        "session {} open on isochronous channel {}",
+        session.id, session.connection.channel
+    );
     let report = broker.pump(&home.sim, &session, SimDuration::from_secs(10));
     println!(
         "10s of DV: {} packets, {:.1} MB, {} late, jitter <= {}us",
@@ -94,7 +114,13 @@ fn main() {
     // Transcoded session: the broker converts DV -> MPEG-2, halving the
     // reserved bandwidth ("conversion of multimedia streams", §6).
     let session2 = broker
-        .open_session(&home.sim, "dv-camera", AvFormat::Dv, "tv-display", AvFormat::Mpeg2)
+        .open_session(
+            &home.sim,
+            "dv-camera",
+            AvFormat::Dv,
+            "tv-display",
+            AvFormat::Mpeg2,
+        )
         .unwrap();
     let report2 = broker.pump(&home.sim, &session2, SimDuration::from_secs(10));
     println!(
@@ -105,12 +131,19 @@ fn main() {
 
     // Coexistence: while streams flow, control calls keep crossing the
     // framework...
-    home.invoke_from(Middleware::X10, "living-room-vcr", "status", &[]).unwrap();
+    home.invoke_from(Middleware::X10, "living-room-vcr", "status", &[])
+        .unwrap();
     println!("\ncontrol traffic still flows through the VSG during streaming ✓");
 
     // ...and streams refuse to cross it.
     let err = broker
-        .open_session(&home.sim, "dv-camera", AvFormat::Dv, "hall-lamp", AvFormat::Dv)
+        .open_session(
+            &home.sim,
+            "dv-camera",
+            AvFormat::Dv,
+            "hall-lamp",
+            AvFormat::Dv,
+        )
         .unwrap_err();
     println!("asking for a cross-island stream is refused honestly:\n  {err}");
 

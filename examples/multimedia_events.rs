@@ -62,8 +62,15 @@ fn main() {
         );
         println!(
             "camera transport = {}",
-            home.havi.as_ref().unwrap().camcorder.fcm(FcmKind::DvCamera).unwrap()
-                .state().transport.label()
+            home.havi
+                .as_ref()
+                .unwrap()
+                .camcorder
+                .fcm(FcmKind::DvCamera)
+                .unwrap()
+                .state()
+                .transport
+                .label()
         );
         bridge.stop();
         println!("\n  -> works, but latency is bounded by the poll period and the");
@@ -92,12 +99,13 @@ fn main() {
         let camera_started = std::sync::Arc::new(parking_lot::Mutex::new(None::<u64>));
         let cs = camera_started.clone();
         let havi_gw2 = havi_gw.clone();
-        let _sub = SipSubscriber::install(&home.backbone, havi_gw.node(), move |sim, _svc, event| {
-            if event.field("active") == Some(&Value::Bool(true)) && cs.lock().is_none() {
-                havi_gw2.invoke(sim, "dv-camera", "record", &[]).unwrap();
-                *cs.lock() = Some(sim.now().as_micros());
-            }
-        });
+        let _sub =
+            SipSubscriber::install(&home.backbone, havi_gw.node(), move |sim, _svc, event| {
+                if event.field("active") == Some(&Value::Bool(true)) && cs.lock().is_none() {
+                    havi_gw2.invoke(sim, "dv-camera", "record", &[]).unwrap();
+                    *cs.lock() = Some(sim.now().as_micros());
+                }
+            });
 
         let fired_at = trigger_motion(&home, SimDuration::from_secs(5));
         home.sim.run_for(SimDuration::from_secs(10));
@@ -111,8 +119,15 @@ fn main() {
         );
         println!(
             "camera transport = {}",
-            home.havi.as_ref().unwrap().camcorder.fcm(FcmKind::DvCamera).unwrap()
-                .state().transport.label()
+            home.havi
+                .as_ref()
+                .unwrap()
+                .camcorder
+                .fcm(FcmKind::DvCamera)
+                .unwrap()
+                .state()
+                .transport
+                .label()
         );
         println!("\n  -> \"SIP supports asynchronous calls … which is not supported");
         println!("     by HTTP\" (§5). Latency collapses from seconds to the X10");
@@ -127,8 +142,12 @@ fn main() {
     home.invoke_from(Middleware::X10, "hall-motion", "state", &[])
         .and_then(|active| {
             println!("sensor state seen from its own island: {active}");
-            home.invoke_from(Middleware::X10, "laserdisc", "play",
-                             &[("chapter".into(), Value::Int(2))])
+            home.invoke_from(
+                Middleware::X10,
+                "laserdisc",
+                "play",
+                &[("chapter".into(), Value::Int(2))],
+            )
         })
         .unwrap();
     println!(

@@ -15,21 +15,39 @@ use upnp::{ControlPoint, SSDP_ALL};
 fn main() {
     // The home as shipped: four middleware, no UPnP.
     let before = SmartHome::builder().build().expect("home assembles");
-    println!("home without UPnP: {} services, gateways: jini-gw havi-gw x10-gw inet-gw",
-             before.service_count());
+    println!(
+        "home without UPnP: {} services, gateways: jini-gw havi-gw x10-gw inet-gw",
+        before.service_count()
+    );
 
     // Rebuild with the UPnP island switched on. The only new moving part
     // is the UPnP PCM; everything else is the identical framework.
-    let home = SmartHome::builder().upnp(true).build().expect("home assembles");
-    println!("home with UPnP:    {} services (+porch-light)\n", home.service_count());
+    let home = SmartHome::builder()
+        .upnp(true)
+        .build()
+        .expect("home assembles");
+    println!(
+        "home with UPnP:    {} services (+porch-light)\n",
+        home.service_count()
+    );
 
     // Direction 1 — UPnP service used by legacy islands:
     println!("[jini-island] porch-light.switch(on=true)");
-    home.invoke_from(Middleware::Jini, "porch-light", "switch",
-                     &[("on".into(), Value::Bool(true))])
-        .unwrap();
-    println!("  physical porch light: {}\n",
-             if *home.upnp.as_ref().unwrap().porch_on.lock() { "ON" } else { "off" });
+    home.invoke_from(
+        Middleware::Jini,
+        "porch-light",
+        "switch",
+        &[("on".into(), Value::Bool(true))],
+    )
+    .unwrap();
+    println!(
+        "  physical porch light: {}\n",
+        if *home.upnp.as_ref().unwrap().porch_on.lock() {
+            "ON"
+        } else {
+            "off"
+        }
+    );
 
     // Direction 2 — legacy services used by an unmodified UPnP control
     // point: the Server Proxy hosts bridge devices on the UPnP network.
@@ -55,7 +73,13 @@ fn main() {
     let desc = legacy_cp.describe(fridge).unwrap();
     let svc = &desc.services[0];
     let t = legacy_cp
-        .invoke(fridge.node, &svc.control_url, &svc.service_type, "temperature", &[])
+        .invoke(
+            fridge.node,
+            &svc.control_url,
+            &svc.service_type,
+            "temperature",
+            &[],
+        )
         .unwrap();
     println!("\ncontrol-point> fridge.temperature() -> {t}  (a Jini appliance, via UPnP)");
 
@@ -64,11 +88,22 @@ fn main() {
     let desc = legacy_cp.describe(lamp).unwrap();
     let svc = &desc.services[0];
     legacy_cp
-        .invoke(lamp.node, &svc.control_url, &svc.service_type, "switch",
-                &[("on", Value::Bool(true))])
+        .invoke(
+            lamp.node,
+            &svc.control_url,
+            &svc.service_type,
+            "switch",
+            &[("on", Value::Bool(true))],
+        )
         .unwrap();
-    println!("control-point> hall-lamp.switch(true) -> physical lamp: {}",
-             if home.x10.as_ref().unwrap().hall_lamp.is_on() { "ON" } else { "off" });
+    println!(
+        "control-point> hall-lamp.switch(true) -> physical lamp: {}",
+        if home.x10.as_ref().unwrap().hall_lamp.is_on() {
+            "ON"
+        } else {
+            "off"
+        }
+    );
 
     println!("\nLines of framework code changed to admit UPnP: 0");
     println!("New components: 1 (the UPnP PCM) — exactly the paper's promise.");

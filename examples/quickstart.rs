@@ -16,7 +16,10 @@ fn main() {
 
     println!("Services federated in the VSR: {}", home.service_count());
     for record in home.any_gateway().vsr().find("%", None).unwrap() {
-        println!("  {:<18} [{:<4} via {}]", record.name, record.middleware, record.gateway);
+        println!(
+            "  {:<18} [{:<4} via {}]",
+            record.name, record.middleware, record.gateway
+        );
     }
 
     // A client on the Jini island switches an X10 lamp. The framework
@@ -32,7 +35,10 @@ fn main() {
     )
     .unwrap();
     let lamp = &home.x10.as_ref().unwrap().hall_lamp;
-    println!("  -> physical lamp is now: {}", if lamp.is_on() { "ON" } else { "off" });
+    println!(
+        "  -> physical lamp is now: {}",
+        if lamp.is_on() { "ON" } else { "off" }
+    );
 
     // And the other direction: from the X10 island, ask the Jini fridge.
     let t = home

@@ -22,15 +22,26 @@ fn main() {
     let pc = Middleware::Jini;
 
     println!("pc> tv-tuner.set_channel(8)");
-    home.invoke_from(pc, "tv-tuner", "set_channel", &[("channel".into(), Value::Int(8))])
-        .unwrap();
+    home.invoke_from(
+        pc,
+        "tv-tuner",
+        "set_channel",
+        &[("channel".into(), Value::Int(8))],
+    )
+    .unwrap();
 
     println!("pc> living-room-vcr.record()");
-    home.invoke_from(pc, "living-room-vcr", "record", &[]).unwrap();
+    home.invoke_from(pc, "living-room-vcr", "record", &[])
+        .unwrap();
 
     println!("pc> fridge.set_target(celsius=3.5)");
-    home.invoke_from(pc, "fridge", "set_target", &[("celsius".into(), Value::Float(3.5))])
-        .unwrap();
+    home.invoke_from(
+        pc,
+        "fridge",
+        "set_target",
+        &[("celsius".into(), Value::Float(3.5))],
+    )
+    .unwrap();
 
     println!("pc> aircon.switch(on=true)");
     home.invoke_from(pc, "aircon", "switch", &[("on".into(), Value::Bool(true))])
@@ -45,10 +56,18 @@ fn main() {
     );
     println!(
         "  VCR transport     = {}",
-        havi.vcr.fcm(FcmKind::Vcr).unwrap().state().transport.label()
+        havi.vcr
+            .fcm(FcmKind::Vcr)
+            .unwrap()
+            .state()
+            .transport
+            .label()
     );
     println!("  fridge target     = {} C", jini.fridge_temp.lock());
-    println!("  aircon            = {}", if *jini.aircon_on.lock() { "on" } else { "off" });
+    println!(
+        "  aircon            = {}",
+        if *jini.aircon_on.lock() { "on" } else { "off" }
+    );
 
     println!("\n=== Scene 2: the same appliances from the TV GUI (HAVi island) ===\n");
     // The digital TV is a native HAVi controller. The HAVi PCM's Server
@@ -71,8 +90,10 @@ fn main() {
     let s = aircon_gui.call("status", &[]).unwrap();
     println!("tv-gui> aircon.status()           -> {s}");
     aircon_gui.call("switch", &[Value::Bool(false)]).unwrap();
-    println!("tv-gui> aircon.switch(false)      -> aircon is now {}",
-             if *jini.aircon_on.lock() { "on" } else { "off" });
+    println!(
+        "tv-gui> aircon.switch(false)      -> aircon is now {}",
+        if *jini.aircon_on.lock() { "on" } else { "off" }
+    );
 
     println!("\n=== Scene 3: the TV GUI renders auto-generated DDI panels ===\n");
     // The HAVi PCM can also serve a DDI panel for any bridged service:
@@ -83,11 +104,19 @@ fn main() {
     let controller = havi::DdiController::new(tv_ms, gui.handle);
     let ui = controller.fetch(panel.seid()).unwrap();
     println!("TV renders:\n{ui}");
-    let (on_id, _) = ui.buttons().into_iter().find(|(_, l)| *l == "switch on").unwrap();
+    let (on_id, _) = ui
+        .buttons()
+        .into_iter()
+        .find(|(_, l)| *l == "switch on")
+        .unwrap();
     controller.press(panel.seid(), on_id).unwrap();
     println!(
         "tv-gui> [press 'switch on'] -> powerline lamp is {}",
-        if home.x10.as_ref().unwrap().hall_lamp.is_on() { "ON" } else { "off" }
+        if home.x10.as_ref().unwrap().hall_lamp.is_on() {
+            "ON"
+        } else {
+            "off"
+        }
     );
 
     println!(

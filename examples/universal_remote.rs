@@ -66,7 +66,13 @@ fn main() {
     println!("\n[press 6 ON ] HAVi DV camera");
     remote.press(Button::On(6));
     home.sim.run_for(SimDuration::from_secs(1));
-    let cam = home.havi.as_ref().unwrap().camcorder.fcm(FcmKind::DvCamera).unwrap();
+    let cam = home
+        .havi
+        .as_ref()
+        .unwrap()
+        .camcorder
+        .fcm(FcmKind::DvCamera)
+        .unwrap();
     println!("  dv-camera transport: {}", cam.state().transport.label());
 
     println!("\n[press 5 OFF] [press 6 OFF]");
@@ -76,7 +82,15 @@ fn main() {
     println!(
         "  laserdisc playing={}  dv-camera={}",
         home.jini.as_ref().unwrap().laserdisc.lock().playing,
-        home.havi.as_ref().unwrap().camcorder.fcm(FcmKind::DvCamera).unwrap().state().transport.label(),
+        home.havi
+            .as_ref()
+            .unwrap()
+            .camcorder
+            .fcm(FcmKind::DvCamera)
+            .unwrap()
+            .state()
+            .transport
+            .label(),
     );
 
     println!(

@@ -30,7 +30,10 @@ fn polling_bridge_moves_sensor_events_between_islands() {
     assert_eq!(seen.len(), 1);
     assert_eq!(seen[0].field("active"), Some(&Value::Bool(true)));
     let stats = bridge.stats();
-    assert!(stats.carrier_messages >= 4, "idle polls happened: {stats:?}");
+    assert!(
+        stats.carrier_messages >= 4,
+        "idle polls happened: {stats:?}"
+    );
     assert_eq!(stats.events_delivered, 1);
 }
 
@@ -119,7 +122,11 @@ fn x10_remote_to_mail_alert_pipeline() {
     remote.press(x10::Button::On(8));
     home.sim.run_for(SimDuration::from_secs(2));
     assert_eq!(
-        home.mail.as_ref().unwrap().server.mailbox_len("owner@example.org"),
+        home.mail
+            .as_ref()
+            .unwrap()
+            .server
+            .mailbox_len("owner@example.org"),
         1
     );
 }
@@ -138,12 +145,17 @@ fn native_havi_events_still_flow_beside_the_framework() {
         }
         (havi::HaviStatus::Success, vec![])
     });
-    havi::subscribe(&watcher, listener.handle, havi.events.seid(),
-                    havi::event_type::TRANSPORT_CHANGED)
-        .unwrap();
+    havi::subscribe(
+        &watcher,
+        listener.handle,
+        havi.events.seid(),
+        havi::event_type::TRANSPORT_CHANGED,
+    )
+    .unwrap();
 
     // Drive the VCR *through the framework*; the native HAVi event still
     // reaches the native subscriber.
-    home.invoke_from(Middleware::Jini, "living-room-vcr", "record", &[]).unwrap();
+    home.invoke_from(Middleware::Jini, "living-room-vcr", "record", &[])
+        .unwrap();
     assert_eq!(*seen.lock(), 1);
 }

@@ -2,9 +2,7 @@
 //! activation and the AV meta-middleware, running inside the full home.
 
 use metaware::pcm::havi::HaviPcm;
-use metaware::{
-    catalog, Activator, AvBroker, AvFormat, Middleware, SmartHome, VirtualService,
-};
+use metaware::{catalog, Activator, AvBroker, AvFormat, Middleware, SmartHome, VirtualService};
 use simnet::{Sim, SimDuration};
 use soap::Value;
 use std::sync::Arc;
@@ -13,10 +11,17 @@ fn register_projector(home: &SmartHome, activator: &Activator, spin_up: SimDurat
     let havi = home.havi.as_ref().unwrap();
     activator
         .register(
-            VirtualService::new("projector", catalog::display(), Middleware::Havi, havi.vsg.name()),
+            VirtualService::new(
+                "projector",
+                catalog::display(),
+                Middleware::Havi,
+                havi.vsg.name(),
+            ),
             spin_up,
             |_| {
-                Ok(Box::new(|_: &Sim, _: &str, _: &[(String, Value)]| Ok(Value::Null)))
+                Ok(Box::new(|_: &Sim, _: &str, _: &[(String, Value)]| {
+                    Ok(Value::Null)
+                }))
             },
         )
         .unwrap();
@@ -31,14 +36,22 @@ fn activation_is_transparent_to_remote_islands() {
     // A Jini-island caller neither knows nor cares that the projector is
     // dormant: first call activates (and pays spin-up), later calls fly.
     let t0 = home.sim.now();
-    home.invoke_from(Middleware::Jini, "projector", "show",
-                     &[("text".into(), Value::Str("hi".into()))])
-        .unwrap();
+    home.invoke_from(
+        Middleware::Jini,
+        "projector",
+        "show",
+        &[("text".into(), Value::Str("hi".into()))],
+    )
+    .unwrap();
     let cold = home.sim.now() - t0;
     let t0 = home.sim.now();
-    home.invoke_from(Middleware::X10, "projector", "show",
-                     &[("text".into(), Value::Str("again".into()))])
-        .unwrap();
+    home.invoke_from(
+        Middleware::X10,
+        "projector",
+        "show",
+        &[("text".into(), Value::Str("again".into()))],
+    )
+    .unwrap();
     let warm = home.sim.now() - t0;
     assert!(cold >= SimDuration::from_secs(2));
     assert!(warm < SimDuration::from_secs(1));
@@ -52,15 +65,23 @@ fn reaped_services_reactivate_on_demand() {
     register_projector(&home, &activator, SimDuration::from_millis(100));
     let _reaper = activator.start_reaper(SimDuration::from_secs(10), SimDuration::from_secs(30));
 
-    home.invoke_from(Middleware::Jini, "projector", "show",
-                     &[("text".into(), Value::Str("x".into()))])
-        .unwrap();
+    home.invoke_from(
+        Middleware::Jini,
+        "projector",
+        "show",
+        &[("text".into(), Value::Str("x".into()))],
+    )
+    .unwrap();
     home.sim.run_for(SimDuration::from_secs(120));
     assert_eq!(activator.stats().currently_active, 0, "reaped while idle");
 
-    home.invoke_from(Middleware::Havi, "projector", "show",
-                     &[("text".into(), Value::Str("y".into()))])
-        .unwrap();
+    home.invoke_from(
+        Middleware::Havi,
+        "projector",
+        "show",
+        &[("text".into(), Value::Str("y".into()))],
+    )
+    .unwrap();
     assert_eq!(activator.stats().activations, 2);
     assert_eq!(activator.stats().currently_active, 1);
 }
@@ -77,15 +98,24 @@ fn av_sessions_and_framework_control_coexist() {
     let home = SmartHome::builder().build().unwrap();
     let broker = broker(&home);
     let session = broker
-        .open_session(&home.sim, "dv-camera", AvFormat::Dv, "living-room-vcr", AvFormat::Dv)
+        .open_session(
+            &home.sim,
+            "dv-camera",
+            AvFormat::Dv,
+            "living-room-vcr",
+            AvFormat::Dv,
+        )
         .unwrap();
 
     // While the stream flows, control calls from every island still work.
     let report = broker.pump(&home.sim, &session, SimDuration::from_secs(1));
     assert_eq!(report.stream.late_packets, 0);
-    home.invoke_from(Middleware::Jini, "living-room-vcr", "record", &[]).unwrap();
-    home.invoke_from(Middleware::X10, "dv-camera", "status", &[]).unwrap();
-    home.invoke_from(Middleware::Mail, "hall-lamp", "status", &[]).unwrap();
+    home.invoke_from(Middleware::Jini, "living-room-vcr", "record", &[])
+        .unwrap();
+    home.invoke_from(Middleware::X10, "dv-camera", "status", &[])
+        .unwrap();
+    home.invoke_from(Middleware::Mail, "hall-lamp", "status", &[])
+        .unwrap();
     broker.close_session(session.id).unwrap();
 }
 
@@ -111,10 +141,22 @@ fn transcoded_sessions_save_bus_bandwidth() {
     let broker = broker(&home);
     // Two DV-to-MPEG2 sessions reserve what one DV session would.
     let s1 = broker
-        .open_session(&home.sim, "dv-camera", AvFormat::Dv, "tv-display", AvFormat::Mpeg2)
+        .open_session(
+            &home.sim,
+            "dv-camera",
+            AvFormat::Dv,
+            "tv-display",
+            AvFormat::Mpeg2,
+        )
         .unwrap();
     let s2 = broker
-        .open_session(&home.sim, "dv-camera", AvFormat::Dv, "living-room-vcr", AvFormat::Mpeg2)
+        .open_session(
+            &home.sim,
+            "dv-camera",
+            AvFormat::Dv,
+            "living-room-vcr",
+            AvFormat::Mpeg2,
+        )
         .unwrap();
     assert_eq!(
         AvFormat::Mpeg2.bytes_per_cycle() * 2,

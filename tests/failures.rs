@@ -17,15 +17,20 @@ fn havi_bus_reset_blocks_then_recovers() {
     let err = home
         .invoke_from(Middleware::Jini, "dv-camera", "record", &[])
         .unwrap_err();
-    assert!(err.to_string().contains("havi") || err.to_string().contains("down"), "{err}");
+    assert!(
+        err.to_string().contains("havi") || err.to_string().contains("down"),
+        "{err}"
+    );
 
     // The bus recovers; no re-configuration needed for messaging.
     havi.bus.set_down(false);
-    home.invoke_from(Middleware::Jini, "dv-camera", "record", &[]).unwrap();
+    home.invoke_from(Middleware::Jini, "dv-camera", "record", &[])
+        .unwrap();
 
     // A full reset helper drops and restores within the outage window.
     bus_reset(&home.sim, &havi.bus);
-    home.invoke_from(Middleware::Jini, "dv-camera", "stop", &[]).unwrap();
+    home.invoke_from(Middleware::Jini, "dv-camera", "stop", &[])
+        .unwrap();
 }
 
 #[test]
@@ -42,20 +47,29 @@ fn jini_lease_expiry_removes_dead_services_from_the_island() {
     // invoking now surfaces the failure honestly... actually the RMI
     // objects are still exported, so calls still work — Jini's *lookup*
     // died, not the service. This mirrors real Jini semantics.
-    home.invoke_from(Middleware::Havi, "laserdisc", "status", &[]).unwrap();
+    home.invoke_from(Middleware::Havi, "laserdisc", "status", &[])
+        .unwrap();
 }
 
 #[test]
 fn noisy_powerline_is_survivable_with_repeats() {
     // With a noisy powerline, individual commands may be lost; the PCM
     // repeats idempotent commands, and shadows stay self-consistent.
-    let home = SmartHome::builder().noisy_powerline().seed(77).build().unwrap();
+    let home = SmartHome::builder()
+        .noisy_powerline()
+        .seed(77)
+        .build()
+        .unwrap();
     let mut successes = 0;
     for i in 0..10 {
         let on = i % 2 == 0;
         if home
-            .invoke_from(Middleware::Jini, "hall-lamp", "switch",
-                         &[("on".into(), Value::Bool(on))])
+            .invoke_from(
+                Middleware::Jini,
+                "hall-lamp",
+                "switch",
+                &[("on".into(), Value::Bool(on))],
+            )
             .is_ok()
         {
             successes += 1;
@@ -68,13 +82,21 @@ fn noisy_powerline_is_survivable_with_repeats() {
 
 #[test]
 fn x10_commands_may_still_miss_on_noise_and_shadow_tracks_belief() {
-    let home = SmartHome::builder().noisy_powerline().seed(1234).build().unwrap();
+    let home = SmartHome::builder()
+        .noisy_powerline()
+        .seed(1234)
+        .build()
+        .unwrap();
     let x10 = home.x10.as_ref().unwrap();
     // Pound the lamp with ON commands; with 2% loss and 2 repeats the
     // physical lamp should end ON with overwhelming probability.
     for _ in 0..5 {
-        let _ = home.invoke_from(Middleware::X10, "hall-lamp", "switch",
-                                 &[("on".into(), Value::Bool(true))]);
+        let _ = home.invoke_from(
+            Middleware::X10,
+            "hall-lamp",
+            "switch",
+            &[("on".into(), Value::Bool(true))],
+        );
     }
     assert!(x10.hall_lamp.is_on());
     // The PCM believes the same.
@@ -94,7 +116,8 @@ fn gateway_outage_yields_clean_errors_and_recovery() {
         .unwrap_err();
     assert!(!err.to_string().is_empty());
     home.backbone.set_down(false);
-    home.invoke_from(Middleware::Jini, "dv-camera", "status", &[]).unwrap();
+    home.invoke_from(Middleware::Jini, "dv-camera", "status", &[])
+        .unwrap();
 }
 
 #[test]
@@ -106,7 +129,8 @@ fn service_relocation_defeats_stale_routes() {
     let havi_gw = home.havi.as_ref().unwrap().vsg.clone();
 
     // Warm the route cache.
-    home.invoke_from(Middleware::Havi, "hall-lamp", "status", &[]).unwrap();
+    home.invoke_from(Middleware::Havi, "hall-lamp", "status", &[])
+        .unwrap();
 
     // The lamp "moves": x10-gw withdraws, havi-gw exports an impostor.
     x10_gw.withdraw("hall-lamp").unwrap();
@@ -135,7 +159,11 @@ fn service_relocation_defeats_stale_routes() {
 fn motion_sensor_loss_is_an_absence_not_a_crash() {
     // On a noisy powerline a sensor's report can vanish entirely; the
     // polling path must simply see nothing.
-    let home = SmartHome::builder().noisy_powerline().seed(9).build().unwrap();
+    let home = SmartHome::builder()
+        .noisy_powerline()
+        .seed(9)
+        .build()
+        .unwrap();
     let x10 = home.x10.as_ref().unwrap();
     for _ in 0..3 {
         x10.motion.trigger();

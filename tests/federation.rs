@@ -45,22 +45,37 @@ fn state_changes_propagate_physically() {
 
     // HAVi island tells the X10 lamp to switch on; the *module on the
     // powerline* must actually change.
-    home.invoke_from(Middleware::Havi, "desk-lamp", "switch",
-                     &[("on".into(), Value::Bool(true))])
-        .unwrap();
+    home.invoke_from(
+        Middleware::Havi,
+        "desk-lamp",
+        "switch",
+        &[("on".into(), Value::Bool(true))],
+    )
+    .unwrap();
     assert!(home.x10.as_ref().unwrap().desk_lamp.is_on());
 
     // X10 island sets the Jini fridge target; the fridge state changes.
-    home.invoke_from(Middleware::X10, "fridge", "set_target",
-                     &[("celsius".into(), Value::Float(2.0))])
-        .unwrap();
+    home.invoke_from(
+        Middleware::X10,
+        "fridge",
+        "set_target",
+        &[("celsius".into(), Value::Float(2.0))],
+    )
+    .unwrap();
     assert_eq!(*home.jini.as_ref().unwrap().fridge_temp.lock(), 2.0);
 
     // Mail island (the Internet gateway) starts the HAVi camcorder.
-    home.invoke_from(Middleware::Mail, "dv-camera", "record", &[]).unwrap();
+    home.invoke_from(Middleware::Mail, "dv-camera", "record", &[])
+        .unwrap();
     assert_eq!(
-        home.havi.as_ref().unwrap().camcorder
-            .fcm(havi::FcmKind::DvCamera).unwrap().state().transport,
+        home.havi
+            .as_ref()
+            .unwrap()
+            .camcorder
+            .fcm(havi::FcmKind::DvCamera)
+            .unwrap()
+            .state()
+            .transport,
         havi::TransportState::Recording
     );
 }
@@ -77,8 +92,12 @@ fn errors_cross_gateways_with_meaning() {
 
     // Type error likewise.
     let err = home
-        .invoke_from(Middleware::Havi, "hall-lamp", "switch",
-                     &[("on".into(), Value::Int(1))])
+        .invoke_from(
+            Middleware::Havi,
+            "hall-lamp",
+            "switch",
+            &[("on".into(), Value::Int(1))],
+        )
         .unwrap_err();
     assert!(err.to_string().contains("type mismatch"), "{err}");
 
@@ -95,17 +114,24 @@ fn vsr_is_the_single_source_of_truth() {
 
     // Per-middleware filters partition the services.
     let total = vsr_client.find("%", None).unwrap().len();
-    let per_mw: usize = [Middleware::Jini, Middleware::Havi, Middleware::X10, Middleware::Mail]
-        .iter()
-        .map(|m| vsr_client.find("%", Some(*m)).unwrap().len())
-        .sum();
+    let per_mw: usize = [
+        Middleware::Jini,
+        Middleware::Havi,
+        Middleware::X10,
+        Middleware::Mail,
+    ]
+    .iter()
+    .map(|m| vsr_client.find("%", Some(*m)).unwrap().len())
+    .sum();
     assert_eq!(total, per_mw);
 
     // Withdrawing a service makes it invisible and uninvokable.
     let x10_gw = &home.x10.as_ref().unwrap().vsg;
     assert!(x10_gw.withdraw("fan").unwrap());
     assert!(vsr_client.resolve("fan").is_err());
-    assert!(home.invoke_from(Middleware::Jini, "fan", "status", &[]).is_err());
+    assert!(home
+        .invoke_from(Middleware::Jini, "fan", "status", &[])
+        .is_err());
     assert_eq!(home.service_count(), total - 1);
 }
 
@@ -113,8 +139,14 @@ fn vsr_is_the_single_source_of_truth() {
 fn interfaces_survive_the_repository_round_trip() {
     let home = SmartHome::builder().build().unwrap();
     // What a PCM publishes is exactly what another island resolves.
-    let record = home.havi.as_ref().unwrap().vsg.resolve("hall-lamp").unwrap();
-    assert_eq!(record.interface, metaware::catalog::lamp());
+    let record = home
+        .havi
+        .as_ref()
+        .unwrap()
+        .vsg
+        .resolve("hall-lamp")
+        .unwrap();
+    assert_eq!(*record.interface, metaware::catalog::lamp());
     assert_eq!(record.middleware, Middleware::X10);
     assert_eq!(record.gateway, "x10-gw");
     assert_eq!(record.endpoint(), "vsg://x10-gw/hall-lamp");
@@ -151,7 +183,10 @@ fn context_aware_discovery() {
         .collect();
     assert_eq!(
         hall,
-        ["hall-lamp", "hall-motion"].iter().map(|s| (*s).to_owned()).collect()
+        ["hall-lamp", "hall-motion"]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect()
     );
 
     // The Jini fridge's Location entry became a room context.
@@ -161,8 +196,16 @@ fn context_aware_discovery() {
     assert_eq!(kitchen[0].middleware, Middleware::Jini);
 
     // Name pattern and context compose; unknown contexts match nothing.
-    assert_eq!(vsr.find_by_context("hall%", &[("room", "hall")]).unwrap().len(), 2);
-    assert!(vsr.find_by_context("%", &[("room", "attic")]).unwrap().is_empty());
+    assert_eq!(
+        vsr.find_by_context("hall%", &[("room", "hall")])
+            .unwrap()
+            .len(),
+        2
+    );
+    assert!(vsr
+        .find_by_context("%", &[("room", "attic")])
+        .unwrap()
+        .is_empty());
 
     // Contexts come back on resolved records too.
     let rec = vsr.resolve("hall-lamp").unwrap();

@@ -17,8 +17,11 @@ enum LampOp {
 
 fn arb_op() -> impl Strategy<Value = LampOp> {
     prop_oneof![
-        (0u8..4, 0u8..2, any::<bool>())
-            .prop_map(|(island, lamp, on)| LampOp::Switch { island, lamp, on }),
+        (0u8..4, 0u8..2, any::<bool>()).prop_map(|(island, lamp, on)| LampOp::Switch {
+            island,
+            lamp,
+            on
+        }),
         (0u8..4, 0u8..2).prop_map(|(island, lamp)| LampOp::Query { island, lamp }),
     ]
 }
@@ -103,6 +106,53 @@ proptest! {
         for slot in 0u8..6 {
             let name = format!("svc-{slot}");
             prop_assert_eq!(gw.vsr().resolve(&name).is_ok(), model.contains_key(&name));
+        }
+    }
+
+    /// Cached resolution is indistinguishable from a live VSR lookup:
+    /// whatever publish/withdraw interleaving precedes them, both paths
+    /// return identical `ServiceRecord`s (or both fail) — for every
+    /// service and from a cold or warm cache alike.
+    #[test]
+    fn cached_resolution_agrees_with_uncached(
+        ops in prop::collection::vec((0u8..5, any::<bool>()), 1..20),
+        warm_first in any::<bool>(),
+    ) {
+        let home = SmartHome::builder().manual_import().jini(false).havi(false)
+            .x10(true).mail(false).build().unwrap();
+        let gw = home.x10.as_ref().unwrap().vsg.clone();
+
+        for (slot, publish) in &ops {
+            let name = format!("svc-{slot}");
+            if *publish {
+                gw.export(
+                    VirtualService::new(&name, metaware::catalog::lamp(), Middleware::X10, gw.name()),
+                    |_: &simnet::Sim, _: &str, _: &[(String, Value)]| Ok(Value::Null),
+                ).unwrap();
+            } else {
+                gw.withdraw(&name).unwrap();
+            }
+        }
+
+        for slot in 0u8..5 {
+            let name = format!("svc-{slot}");
+            if warm_first {
+                // Populate (or re-miss) the cache before comparing.
+                let _ = gw.resolve_cached(&name);
+            }
+            let cached = gw.resolve_cached(&name);
+            let live = gw.resolve(&name);
+            match (cached, live) {
+                (Ok(c), Ok(l)) => {
+                    prop_assert_eq!(&c.name, &l.name);
+                    prop_assert_eq!(c.middleware, l.middleware);
+                    prop_assert_eq!(&c.gateway, &l.gateway);
+                    prop_assert_eq!(&*c.interface, &*l.interface);
+                    prop_assert_eq!(&c.contexts, &l.contexts);
+                }
+                (Err(_), Err(_)) => {}
+                (c, l) => prop_assert!(false, "cache/live disagree for {}: {:?} vs {:?}", name, c, l),
+            }
         }
     }
 

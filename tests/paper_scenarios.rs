@@ -18,15 +18,27 @@ fn fig4_jini_to_x10_conversion_path() {
     let jini_net = &home.jini.as_ref().unwrap().net;
     let x10 = home.x10.as_ref().unwrap();
 
-    let before_http = home.backbone.with_stats(|s| s.protocol(Protocol::Http).frames);
-    let before_x10 = x10.powerline.with_stats(|s| s.protocol(Protocol::X10).frames);
+    let before_http = home
+        .backbone
+        .with_stats(|s| s.protocol(Protocol::Http).frames);
+    let before_x10 = x10
+        .powerline
+        .with_stats(|s| s.protocol(Protocol::X10).frames);
     let before_serial = x10.serial.with_stats(|s| s.protocol(Protocol::X10).frames);
 
     // An unmodified Jini client drives the lamp through a Server-Proxy
     // RMI object (exactly the Fig. 4 transaction).
     let pcm = &home.jini.as_ref().unwrap().pcm;
-    pcm.export_remote(&home.jini.as_ref().unwrap().vsg.resolve("hall-lamp").unwrap())
-        .unwrap();
+    pcm.export_remote(
+        &home
+            .jini
+            .as_ref()
+            .unwrap()
+            .vsg
+            .resolve("hall-lamp")
+            .unwrap(),
+    )
+    .unwrap();
     let client_node = jini_net.attach("fig4-client");
     let registrars = jini::discover(jini_net, client_node, "public");
     let reg_client = jini::RegistrarClient::new(jini_net, client_node, registrars[0]);
@@ -44,7 +56,9 @@ fn fig4_jini_to_x10_conversion_path() {
         "RMI on the Jini Ethernet"
     );
     assert!(
-        home.backbone.with_stats(|s| s.protocol(Protocol::Http).frames) > before_http,
+        home.backbone
+            .with_stats(|s| s.protocol(Protocol::Http).frames)
+            > before_http,
         "SOAP/HTTP between gateways"
     );
     assert!(
@@ -52,7 +66,9 @@ fn fig4_jini_to_x10_conversion_path() {
         "CM11A serial exchanges"
     );
     assert!(
-        x10.powerline.with_stats(|s| s.protocol(Protocol::X10).frames) > before_x10,
+        x10.powerline
+            .with_stats(|s| s.protocol(Protocol::X10).frames)
+            > before_x10,
         "powerline signalling"
     );
 }
@@ -94,8 +110,14 @@ fn fig5_universal_remote_controller() {
     assert!(ld.playing);
     assert_eq!(ld.chapter, 3);
     assert_eq!(
-        home.havi.as_ref().unwrap().camcorder
-            .fcm(FcmKind::DvCamera).unwrap().state().transport,
+        home.havi
+            .as_ref()
+            .unwrap()
+            .camcorder
+            .fcm(FcmKind::DvCamera)
+            .unwrap()
+            .state()
+            .transport,
         havi::TransportState::Recording
     );
 }
@@ -108,9 +130,13 @@ fn section2_service_integration_auto_recording() {
     // The "TV program service" decides what to record...
     let channel = 42;
     // ...the home tunes and records...
-    home.invoke_from(Middleware::Mail, "tv-tuner", "set_channel",
-                     &[("channel".into(), Value::Int(channel))])
-        .unwrap();
+    home.invoke_from(
+        Middleware::Mail,
+        "tv-tuner",
+        "set_channel",
+        &[("channel".into(), Value::Int(channel))],
+    )
+    .unwrap();
     home.invoke_from(Middleware::Mail, "living-room-vcr", "record", &[])
         .unwrap();
     // ...and notifies the user by mail.
@@ -127,13 +153,20 @@ fn section2_service_integration_auto_recording() {
     .unwrap();
 
     let havi = home.havi.as_ref().unwrap();
-    assert_eq!(havi.tv.fcm(FcmKind::Tuner).unwrap().state().channel, channel as u16);
+    assert_eq!(
+        havi.tv.fcm(FcmKind::Tuner).unwrap().state().channel,
+        channel as u16
+    );
     assert_eq!(
         havi.vcr.fcm(FcmKind::Vcr).unwrap().state().transport,
         havi::TransportState::Recording
     );
     assert_eq!(
-        home.mail.as_ref().unwrap().server.mailbox_len("owner@example.org"),
+        home.mail
+            .as_ref()
+            .unwrap()
+            .server
+            .mailbox_len("owner@example.org"),
         1
     );
 }
@@ -159,7 +192,12 @@ fn section3_design_goals() {
     // 3. "New middleware can be participated effortlessly": covered by
     //    tests/federation.rs with UPnP; here we just confirm the default
     //    home has no UPnP services to mistake for it.
-    assert!(home.any_gateway().vsr().find("porch%", None).unwrap().is_empty());
+    assert!(home
+        .any_gateway()
+        .vsr()
+        .find("porch%", None)
+        .unwrap()
+        .is_empty());
 }
 
 /// The prototype's four-PCM composition (Fig. 3) reports itself.

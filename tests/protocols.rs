@@ -19,9 +19,13 @@ fn protocols() -> Vec<(&'static str, Arc<dyn VsgProtocol>)> {
 fn the_home_works_over_every_protocol() {
     for (name, protocol) in protocols() {
         let home = SmartHome::builder().protocol(protocol).build().unwrap();
-        home.invoke_from(Middleware::Jini, "hall-lamp", "switch",
-                         &[("on".into(), Value::Bool(true))])
-            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        home.invoke_from(
+            Middleware::Jini,
+            "hall-lamp",
+            "switch",
+            &[("on".into(), Value::Bool(true))],
+        )
+        .unwrap_or_else(|e| panic!("{name}: {e}"));
         assert!(home.x10.as_ref().unwrap().hall_lamp.is_on(), "{name}");
 
         let t = home
@@ -39,9 +43,11 @@ fn soap_is_heaviest_on_the_backbone() {
         let home = SmartHome::builder().protocol(protocol).build().unwrap();
         // Warm the route cache: the first call's VSR resolution rides
         // SOAP for every protocol and must not pollute the comparison.
-        home.invoke_from(Middleware::Jini, "hall-lamp", "status", &[]).unwrap();
+        home.invoke_from(Middleware::Jini, "hall-lamp", "status", &[])
+            .unwrap();
         let before = home.backbone.with_stats(|s| s.total().bytes);
-        home.invoke_from(Middleware::Jini, "hall-lamp", "status", &[]).unwrap();
+        home.invoke_from(Middleware::Jini, "hall-lamp", "status", &[])
+            .unwrap();
         let after = home.backbone.with_stats(|s| s.total().bytes);
         bytes.push((name, after - before));
     }
@@ -50,7 +56,10 @@ fn soap_is_heaviest_on_the_backbone() {
     let sip = bytes.iter().find(|(n, _)| *n == "sip").unwrap().1;
     assert!(binary < sip, "binary {binary} < sip {sip}");
     assert!(sip < soap, "sip {sip} < soap {soap}");
-    assert!(soap > binary * 5, "soap {soap} should dwarf binary {binary}");
+    assert!(
+        soap > binary * 5,
+        "soap {soap} should dwarf binary {binary}"
+    );
 }
 
 #[test]
@@ -59,7 +68,8 @@ fn soap_is_slowest_end_to_end() {
     for (name, protocol) in protocols() {
         let home = SmartHome::builder().protocol(protocol).build().unwrap();
         let t0 = home.sim.now();
-        home.invoke_from(Middleware::Havi, "fridge", "temperature", &[]).unwrap();
+        home.invoke_from(Middleware::Havi, "fridge", "temperature", &[])
+            .unwrap();
         lat.push((name, (home.sim.now() - t0).as_micros()));
     }
     let soap = lat.iter().find(|(n, _)| *n == "soap").unwrap().1;
@@ -71,14 +81,34 @@ fn soap_is_slowest_end_to_end() {
 fn protocol_traffic_rides_its_own_class() {
     // SOAP traffic is HTTP frames; SIP traffic is SIP frames. The
     // statistics must attribute them correctly (benches depend on this).
-    let home = SmartHome::builder().protocol(Arc::new(Soap11::new())).build().unwrap();
-    home.invoke_from(Middleware::Jini, "hall-lamp", "status", &[]).unwrap();
-    assert!(home.backbone.with_stats(|s| s.protocol(Protocol::Http).frames) > 0);
-    assert_eq!(home.backbone.with_stats(|s| s.protocol(Protocol::Sip).frames), 0);
+    let home = SmartHome::builder()
+        .protocol(Arc::new(Soap11::new()))
+        .build()
+        .unwrap();
+    home.invoke_from(Middleware::Jini, "hall-lamp", "status", &[])
+        .unwrap();
+    assert!(
+        home.backbone
+            .with_stats(|s| s.protocol(Protocol::Http).frames)
+            > 0
+    );
+    assert_eq!(
+        home.backbone
+            .with_stats(|s| s.protocol(Protocol::Sip).frames),
+        0
+    );
 
-    let home = SmartHome::builder().protocol(Arc::new(SipLike::new())).build().unwrap();
-    home.invoke_from(Middleware::Jini, "hall-lamp", "status", &[]).unwrap();
-    assert!(home.backbone.with_stats(|s| s.protocol(Protocol::Sip).frames) > 0);
+    let home = SmartHome::builder()
+        .protocol(Arc::new(SipLike::new()))
+        .build()
+        .unwrap();
+    home.invoke_from(Middleware::Jini, "hall-lamp", "status", &[])
+        .unwrap();
+    assert!(
+        home.backbone
+            .with_stats(|s| s.protocol(Protocol::Sip).frames)
+            > 0
+    );
 }
 
 #[test]

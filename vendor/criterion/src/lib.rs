@@ -1,0 +1,176 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The workspace's benches use criterion only as a harness:
+//! `Criterion::bench_function`, `Bencher::{iter, iter_with_setup}`,
+//! `black_box`, and the `criterion_group!`/`criterion_main!` macros.
+//! All the real measurement in this repo happens in simulated time and
+//! is reported by the benches themselves, so this stand-in just runs
+//! each routine a few times, prints a coarse wall-clock number, and
+//! stays far away from statistics.
+
+#![warn(missing_docs)]
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, re-exported like criterion's.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Per-benchmark driver handed to the closure of
+/// [`Criterion::bench_function`].
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly, timing the batch.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Calls `setup` before each (untimed) and `routine` on its output
+    /// (timed).
+    pub fn iter_with_setup<I, O, S, R>(&mut self, mut setup: S, mut routine: R)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut elapsed = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            elapsed += start.elapsed();
+        }
+        self.elapsed = elapsed;
+    }
+}
+
+/// Minimal criterion harness: runs each registered routine a small,
+/// fixed number of iterations.
+pub struct Criterion {
+    iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { iters: 3 }
+    }
+}
+
+impl Criterion {
+    /// Number of timed iterations per benchmark (default 3; the
+    /// benches in this repo measure simulated time themselves).
+    pub fn sample_size(&mut self, iters: usize) -> &mut Criterion {
+        self.iters = iters.max(1) as u64;
+        self
+    }
+
+    /// Runs `f` under the harness and prints a coarse timing line.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iters: self.iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let per_iter = b.elapsed.as_secs_f64() / self.iters.max(1) as f64;
+        println!("bench {id:<40} {:>10.3} ms/iter (wall)", per_iter * 1e3);
+        self
+    }
+
+    /// Opens a named group of benchmarks, mirroring criterion's
+    /// `BenchmarkGroup` API.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// No-op config hook kept for API compatibility.
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// No-op finalizer kept for API compatibility.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named collection of benchmarks sharing configuration, opened with
+/// [`Criterion::benchmark_group`]. Benchmark ids are printed as
+/// `group/id`, like the real crate.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed iterations per benchmark in this group.
+    pub fn sample_size(&mut self, iters: usize) -> &mut Self {
+        self.criterion.sample_size(iters);
+        self
+    }
+
+    /// Runs `f` under the harness, labelled `group/id`.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{id}", self.name);
+        self.criterion.bench_function(&label, f);
+        self
+    }
+
+    /// No-op finalizer kept for API compatibility.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+}
+
+/// Declares the bench `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_routines() {
+        let mut count = 0u64;
+        Criterion::default()
+            .sample_size(5)
+            .bench_function("counting", |b| b.iter(|| count += 1));
+        assert_eq!(count, 5);
+
+        let mut sum = 0u64;
+        Criterion::default().bench_function("setup", |b| b.iter_with_setup(|| 2u64, |x| sum += x));
+        assert_eq!(sum, 6);
+    }
+}

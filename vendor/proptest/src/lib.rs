@@ -1,0 +1,1153 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of proptest this workspace uses: the
+//! [`strategy::Strategy`] trait with `prop_map`/`prop_filter`/`boxed`,
+//! `any::<T>()` for primitives, ranges and regex-literal strings as
+//! strategies, `collection::{vec, btree_set, btree_map}`,
+//! `option::of`, the `proptest!`/`prop_oneof!`/`prop_assert*!`
+//! macros, and a deterministic [`test_runner::TestRunner`]-style
+//! driver. No shrinking: a failing case reports the panic message and
+//! the generated inputs' `Debug` form where available.
+
+pub mod test_runner {
+    //! Deterministic case driver, RNG, and config.
+
+    /// Configuration for a `proptest!` block.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required per property.
+        pub cases: u32,
+        /// Cap on generate-reject loops (filters/assume) before the
+        /// harness gives up with an error.
+        pub max_global_rejects: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            // Upstream defaults to 256; the simulators behind these
+            // properties make that needlessly slow, so default lower.
+            ProptestConfig {
+                cases: 32,
+                max_global_rejects: 4096,
+            }
+        }
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` successful cases per property.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig {
+                cases,
+                ..ProptestConfig::default()
+            }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// The case was vetoed by `prop_assume!` — try another.
+        Reject(String),
+        /// A `prop_assert*!` failed — the property is false.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Builds a failure.
+        pub fn fail(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// Builds a rejection.
+        pub fn reject(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// Deterministic generator (xoshiro256++ seeded from the test
+    /// name) so failures reproduce run-to-run.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl TestRng {
+        /// Seeds from an arbitrary label (typically the test name).
+        pub fn from_label(label: &str) -> TestRng {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in label.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            let mut sm = h;
+            TestRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+
+        /// Next raw 64-bit word.
+        pub fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform draw from `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            let zone = u64::MAX - (u64::MAX - bound + 1) % bound;
+            loop {
+                let v = self.next_u64();
+                if v <= zone {
+                    return v % bound;
+                }
+            }
+        }
+
+        /// Uniform draw from `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform usize from an inclusive range.
+        pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+            debug_assert!(lo <= hi);
+            lo + self.below((hi - lo + 1) as u64) as usize
+        }
+    }
+
+    /// Drives one property: generates cases until `config.cases` pass,
+    /// a case fails, or the reject budget is exhausted.
+    pub fn run_property<T, G, F>(name: &str, config: &ProptestConfig, generate: G, mut test: F)
+    where
+        G: Fn(&mut TestRng) -> T,
+        F: FnMut(T) -> Result<(), TestCaseError>,
+    {
+        let mut rng = TestRng::from_label(name);
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        while passed < config.cases {
+            let case = generate(&mut rng);
+            match test(case) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    if rejected > config.max_global_rejects {
+                        panic!(
+                            "proptest '{name}': too many rejected cases \
+                             ({rejected}) — prop_assume/prop_filter too strict"
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!("proptest '{name}' failed after {passed} passing cases: {msg}");
+                }
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and core combinators.
+
+    use crate::string::Pattern;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+    use std::rc::Rc;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> T,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Keeps only values satisfying `pred`; gives up loudly if the
+        /// predicate rejects too often.
+        fn prop_filter<F>(self, reason: impl ToString, pred: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                inner: self,
+                reason: reason.to_string(),
+                pred,
+            }
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy {
+                inner: Rc::new(self),
+            }
+        }
+    }
+
+    /// Object-safe mirror of [`Strategy`] for boxing.
+    trait DynStrategy<T> {
+        fn dyn_generate(&self, rng: &mut TestRng) -> T;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// A type-erased, cheaply clonable strategy.
+    pub struct BoxedStrategy<T> {
+        inner: Rc<dyn DynStrategy<T>>,
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> BoxedStrategy<T> {
+            BoxedStrategy {
+                inner: Rc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.inner.dyn_generate(rng)
+        }
+    }
+
+    /// Always yields a clone of the wrapped value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, T> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> T,
+    {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    #[derive(Clone)]
+    pub struct Filter<S, F> {
+        inner: S,
+        reason: String,
+        pred: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..500 {
+                let v = self.inner.generate(rng);
+                if (self.pred)(&v) {
+                    return v;
+                }
+            }
+            panic!(
+                "prop_filter rejected 500 candidates in a row: {}",
+                self.reason
+            );
+        }
+    }
+
+    /// Weighted choice among same-typed strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+        total: u32,
+    }
+
+    impl<T> Clone for Union<T> {
+        fn clone(&self) -> Union<T> {
+            Union {
+                arms: self.arms.clone(),
+                total: self.total,
+            }
+        }
+    }
+
+    /// Builds a [`Union`] from weighted arms (used by `prop_oneof!`).
+    pub fn union<T>(arms: Vec<(u32, BoxedStrategy<T>)>) -> Union<T> {
+        let total = arms.iter().map(|(w, _)| *w).sum();
+        assert!(total > 0, "prop_oneof: weights sum to zero");
+        Union { arms, total }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let mut pick = rng.below(self.total as u64) as u32;
+            for (weight, arm) in &self.arms {
+                if pick < *weight {
+                    return arm.generate(rng);
+                }
+                pick -= weight;
+            }
+            unreachable!("prop_oneof: weight walk overran total")
+        }
+    }
+
+    /// Primitives with a canonical uniform strategy (`any::<T>()`).
+    pub trait Arbitrary: Sized {
+        /// Draws a uniformly distributed value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            // Finite, sign-balanced, spanning many magnitudes.
+            let mag = rng.unit_f64();
+            let exp = rng.below(61) as i32 - 30;
+            let sign = if rng.next_u64() & 1 == 1 { -1.0 } else { 1.0 };
+            sign * mag * 2f64.powi(exp)
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut TestRng) -> f32 {
+            f64::arbitrary(rng) as f32
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> char {
+            // Mostly printable ASCII; occasionally wider codepoints.
+            if rng.below(8) == 0 {
+                char::from_u32(rng.below(0xD800) as u32).unwrap_or('\u{FFFD}')
+            } else {
+                (b' ' + rng.below(95) as u8) as char
+            }
+        }
+    }
+
+    /// Strategy form of [`Arbitrary`].
+    pub struct Any<T> {
+        _marker: PhantomData<T>,
+    }
+
+    impl<T> Clone for Any<T> {
+        fn clone(&self) -> Any<T> {
+            Any {
+                _marker: PhantomData,
+            }
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T` (`any::<u8>()`, …).
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any {
+            _marker: PhantomData,
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "range strategy: empty range");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "range strategy: empty range");
+                    let span = (hi as i128 - lo as i128) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    (lo as i128 + rng.below(span + 1) as i128) as $t
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "range strategy: empty range");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for &str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            Pattern::parse(self).render(rng)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident $v:ident),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($v,)+) = self;
+                    ($($v.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    impl_tuple_strategy! {
+        (A a)
+        (A a, B b)
+        (A a, B b, C c)
+        (A a, B b, C c, D d)
+        (A a, B b, C c, D d, E e)
+        (A a, B b, C c, D d, E e, F f)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`prop::collection::*`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::{BTreeMap, BTreeSet};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive length bounds for a generated collection.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.usize_in(self.lo, self.hi)
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "collection size: empty range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            assert!(r.start() <= r.end(), "collection size: empty range");
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>`.
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` with the given element strategy and length bounds.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.pick(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>`.
+    #[derive(Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `BTreeSet` with the given element strategy and size bounds.
+    /// May come up short if the element domain is too small for the
+    /// requested size.
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = self.size.pick(rng);
+            let mut out = BTreeSet::new();
+            let mut attempts = 0;
+            while out.len() < target && attempts < target * 10 + 16 {
+                out.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+
+    /// Strategy for `BTreeMap<K::Value, V::Value>`.
+    #[derive(Clone)]
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    /// `BTreeMap` with the given key/value strategies and size bounds.
+    pub fn btree_map<K, V>(key: K, value: V, size: impl Into<SizeRange>) -> BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        BTreeMapStrategy {
+            key,
+            value,
+            size: size.into(),
+        }
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+            let target = self.size.pick(rng);
+            let mut out = BTreeMap::new();
+            let mut attempts = 0;
+            while out.len() < target && attempts < target * 10 + 16 {
+                out.insert(self.key.generate(rng), self.value.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies (`prop::option::of`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for `Option<S::Value>`; `None` one time in four.
+    #[derive(Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// Wraps `inner`'s values in `Some`, mixing in `None`s.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+pub mod string {
+    //! Regex-subset string generation backing `"pat"` strategies.
+    //!
+    //! Supported: literals, `.`, escapes (`\n` `\t` `\r` `\d` `\w`
+    //! `\s` and escaped metacharacters), classes `[a-z0-9_.-]`
+    //! (ranges + literals, no negation), groups `(...)`, alternation
+    //! `|`, and quantifiers `*` `+` `?` `{n}` `{m,n}` `{m,}`.
+    //! Unsupported syntax panics at generation time so typos surface
+    //! immediately.
+
+    use crate::test_runner::TestRng;
+
+    const UNBOUNDED_EXTRA: u32 = 8;
+
+    #[derive(Debug)]
+    enum Ast {
+        Alt(Vec<Ast>),
+        Seq(Vec<Ast>),
+        Rep(Box<Ast>, u32, u32),
+        Class(Vec<(char, char)>),
+        Lit(char),
+        Dot,
+    }
+
+    /// A parsed regex-subset pattern.
+    #[derive(Debug)]
+    pub struct Pattern {
+        root: Ast,
+    }
+
+    impl Pattern {
+        /// Parses `pattern`, panicking on unsupported syntax.
+        pub fn parse(pattern: &str) -> Pattern {
+            let chars: Vec<char> = pattern.chars().collect();
+            let mut pos = 0;
+            let root = parse_alt(&chars, &mut pos, pattern);
+            if pos != chars.len() {
+                panic!("unsupported regex syntax at byte {pos} in {pattern:?}");
+            }
+            Pattern { root }
+        }
+
+        /// Generates one matching string.
+        pub fn render(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            render(&self.root, rng, &mut out);
+            out
+        }
+    }
+
+    fn parse_alt(chars: &[char], pos: &mut usize, pat: &str) -> Ast {
+        let mut branches = vec![parse_seq(chars, pos, pat)];
+        while *pos < chars.len() && chars[*pos] == '|' {
+            *pos += 1;
+            branches.push(parse_seq(chars, pos, pat));
+        }
+        if branches.len() == 1 {
+            branches.pop().unwrap()
+        } else {
+            Ast::Alt(branches)
+        }
+    }
+
+    fn parse_seq(chars: &[char], pos: &mut usize, pat: &str) -> Ast {
+        let mut items = Vec::new();
+        while *pos < chars.len() && chars[*pos] != '|' && chars[*pos] != ')' {
+            let atom = parse_atom(chars, pos, pat);
+            items.push(parse_quantifier(atom, chars, pos, pat));
+        }
+        Ast::Seq(items)
+    }
+
+    fn parse_atom(chars: &[char], pos: &mut usize, pat: &str) -> Ast {
+        match chars[*pos] {
+            '(' => {
+                *pos += 1;
+                // Non-capturing group marker is irrelevant here.
+                if chars[*pos..].starts_with(&['?', ':']) {
+                    *pos += 2;
+                }
+                let inner = parse_alt(chars, pos, pat);
+                if *pos >= chars.len() || chars[*pos] != ')' {
+                    panic!("unclosed group in regex {pat:?}");
+                }
+                *pos += 1;
+                inner
+            }
+            '[' => {
+                *pos += 1;
+                parse_class(chars, pos, pat)
+            }
+            '.' => {
+                *pos += 1;
+                Ast::Dot
+            }
+            '\\' => {
+                *pos += 1;
+                parse_escape(chars, pos, pat)
+            }
+            '*' | '+' | '?' | '{' => {
+                panic!("dangling quantifier in regex {pat:?}")
+            }
+            c => {
+                *pos += 1;
+                Ast::Lit(c)
+            }
+        }
+    }
+
+    fn parse_escape(chars: &[char], pos: &mut usize, pat: &str) -> Ast {
+        if *pos >= chars.len() {
+            panic!("trailing backslash in regex {pat:?}");
+        }
+        let c = chars[*pos];
+        *pos += 1;
+        match c {
+            'n' => Ast::Lit('\n'),
+            't' => Ast::Lit('\t'),
+            'r' => Ast::Lit('\r'),
+            '0' => Ast::Lit('\0'),
+            'd' => Ast::Class(vec![('0', '9')]),
+            'w' => Ast::Class(vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')]),
+            's' => Ast::Class(vec![(' ', ' '), ('\t', '\t'), ('\n', '\n')]),
+            c if c.is_ascii_alphanumeric() => {
+                panic!("unsupported escape \\{c} in regex {pat:?}")
+            }
+            c => Ast::Lit(c),
+        }
+    }
+
+    fn parse_class(chars: &[char], pos: &mut usize, pat: &str) -> Ast {
+        if *pos < chars.len() && chars[*pos] == '^' {
+            panic!("negated classes unsupported in regex {pat:?}");
+        }
+        let mut ranges = Vec::new();
+        loop {
+            if *pos >= chars.len() {
+                panic!("unclosed class in regex {pat:?}");
+            }
+            if chars[*pos] == ']' {
+                *pos += 1;
+                break;
+            }
+            let lo = class_char(chars, pos, pat);
+            // `-` binds a range unless it is the last char in the class.
+            if *pos + 1 < chars.len() && chars[*pos] == '-' && chars[*pos + 1] != ']' {
+                *pos += 1;
+                let hi = class_char(chars, pos, pat);
+                assert!(lo <= hi, "inverted range {lo}-{hi} in regex {pat:?}");
+                ranges.push((lo, hi));
+            } else {
+                ranges.push((lo, lo));
+            }
+        }
+        assert!(!ranges.is_empty(), "empty class in regex {pat:?}");
+        Ast::Class(ranges)
+    }
+
+    fn class_char(chars: &[char], pos: &mut usize, pat: &str) -> char {
+        let c = chars[*pos];
+        *pos += 1;
+        if c != '\\' {
+            return c;
+        }
+        if *pos >= chars.len() {
+            panic!("trailing backslash in regex {pat:?}");
+        }
+        let esc = chars[*pos];
+        *pos += 1;
+        match esc {
+            'n' => '\n',
+            't' => '\t',
+            'r' => '\r',
+            '0' => '\0',
+            c => c,
+        }
+    }
+
+    fn parse_quantifier(atom: Ast, chars: &[char], pos: &mut usize, pat: &str) -> Ast {
+        if *pos >= chars.len() {
+            return atom;
+        }
+        let (lo, hi) = match chars[*pos] {
+            '*' => {
+                *pos += 1;
+                (0, UNBOUNDED_EXTRA)
+            }
+            '+' => {
+                *pos += 1;
+                (1, 1 + UNBOUNDED_EXTRA)
+            }
+            '?' => {
+                *pos += 1;
+                (0, 1)
+            }
+            '{' => {
+                *pos += 1;
+                let lo = parse_number(chars, pos, pat);
+                let hi = if chars.get(*pos) == Some(&',') {
+                    *pos += 1;
+                    if chars.get(*pos) == Some(&'}') {
+                        lo + UNBOUNDED_EXTRA
+                    } else {
+                        parse_number(chars, pos, pat)
+                    }
+                } else {
+                    lo
+                };
+                if chars.get(*pos) != Some(&'}') {
+                    panic!("malformed {{m,n}} in regex {pat:?}");
+                }
+                *pos += 1;
+                assert!(lo <= hi, "inverted counts {{{lo},{hi}}} in regex {pat:?}");
+                (lo, hi)
+            }
+            _ => return atom,
+        };
+        Ast::Rep(Box::new(atom), lo, hi)
+    }
+
+    fn parse_number(chars: &[char], pos: &mut usize, pat: &str) -> u32 {
+        let start = *pos;
+        while *pos < chars.len() && chars[*pos].is_ascii_digit() {
+            *pos += 1;
+        }
+        if start == *pos {
+            panic!("expected a count in regex {pat:?}");
+        }
+        chars[start..*pos]
+            .iter()
+            .collect::<String>()
+            .parse()
+            .unwrap()
+    }
+
+    fn render(ast: &Ast, rng: &mut TestRng, out: &mut String) {
+        match ast {
+            Ast::Alt(branches) => {
+                let pick = rng.below(branches.len() as u64) as usize;
+                render(&branches[pick], rng, out);
+            }
+            Ast::Seq(items) => {
+                for item in items {
+                    render(item, rng, out);
+                }
+            }
+            Ast::Rep(inner, lo, hi) => {
+                let count = *lo as u64 + rng.below((*hi - *lo + 1) as u64);
+                for _ in 0..count {
+                    render(inner, rng, out);
+                }
+            }
+            Ast::Class(ranges) => {
+                // Weight by range width for uniformity over the class.
+                let total: u64 = ranges
+                    .iter()
+                    .map(|(lo, hi)| *hi as u64 - *lo as u64 + 1)
+                    .sum();
+                let mut pick = rng.below(total);
+                for (lo, hi) in ranges {
+                    let width = *hi as u64 - *lo as u64 + 1;
+                    if pick < width {
+                        out.push(char::from_u32(*lo as u32 + pick as u32).unwrap_or(*lo));
+                        return;
+                    }
+                    pick -= width;
+                }
+            }
+            Ast::Lit(c) => out.push(*c),
+            Ast::Dot => out.push((b' ' + rng.below(95) as u8) as char),
+        }
+    }
+}
+
+pub mod prelude {
+    //! `use proptest::prelude::*;` — everything the tests need.
+
+    pub use crate as prop;
+    pub use crate::strategy::{any, Any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Declares property tests. Supports an optional leading
+/// `#![proptest_config(...)]` and any number of
+/// `fn name(pat in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Internal expansion of [`proptest!`] — not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident ( $($arg:pat_param in $strat:expr),+ $(,)? ) $body:block
+      )* ) => {
+        $(
+            $(#[$meta])*
+            #[test]
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let __strategies = ( $( ($strat), )+ );
+                $crate::test_runner::run_property(
+                    stringify!($name),
+                    &__config,
+                    |__rng| $crate::strategy::Strategy::generate(&__strategies, __rng),
+                    |__case| {
+                        let ( $($arg,)+ ) = __case;
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// Weighted (or uniform) choice among strategies of the same value
+/// type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::union(vec![
+            $( (($weight) as u32, $crate::strategy::Strategy::boxed($strat)), )+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::union(vec![
+            $( (1u32, $crate::strategy::Strategy::boxed($strat)), )+
+        ])
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fails the current case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), left, right
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)*), left, right
+            )));
+        }
+    }};
+}
+
+/// Fails the current case if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if left == right {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} != {}\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left
+            )));
+        }
+    }};
+}
+
+/// Rejects the current case (drawing a fresh one) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::reject(stringify!(
+                $cond
+            )));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        fn ranges_and_maps(x in 0u8..16, y in (1i64..=8).prop_map(|v| v * 2)) {
+            prop_assert!(x < 16);
+            prop_assert!((2..=16).contains(&y) && y % 2 == 0);
+        }
+
+        fn strings_match_patterns(s in "[a-zA-Z][a-zA-Z0-9_.-]{0,8}") {
+            prop_assert!(!s.is_empty() && s.len() <= 9, "len {}", s.len());
+            prop_assert!(s.chars().next().unwrap().is_ascii_alphabetic());
+            prop_assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || "_.-".contains(c)));
+        }
+
+        fn collections_respect_bounds(
+            v in prop::collection::vec(any::<u8>(), 0..10),
+            m in prop::collection::btree_map(0u8..50, any::<bool>(), 1..5),
+            o in prop::option::of(Just(7u8)),
+        ) {
+            prop_assert!(v.len() < 10);
+            prop_assert!(!m.is_empty() && m.len() < 5);
+            prop_assert!(o.is_none() || o == Some(7));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+        fn oneof_and_filter(
+            tag in prop_oneof![4 => Just("leaf"), 1 => Just("node")],
+            n in (0u32..1_000).prop_filter("even", |n| n % 2 == 0),
+        ) {
+            prop_assert!(tag == "leaf" || tag == "node");
+            prop_assert_eq!(n % 2, 0);
+            prop_assume!(n < 990);
+            prop_assert_ne!(n, 991);
+        }
+    }
+
+    #[test]
+    fn regex_alternation_and_groups() {
+        let mut rng = TestRng::from_label("regex");
+        for _ in 0..200 {
+            let s = crate::string::Pattern::parse("(ab|cd)+x?").render(&mut rng);
+            prop_is_ab_cd(&s);
+        }
+    }
+
+    fn prop_is_ab_cd(s: &str) {
+        let body = s.strip_suffix('x').unwrap_or(s);
+        assert!(!body.is_empty());
+        let mut rest = body;
+        while !rest.is_empty() {
+            rest = rest
+                .strip_prefix("ab")
+                .or_else(|| rest.strip_prefix("cd"))
+                .unwrap_or_else(|| panic!("bad chunk in {s:?}"));
+        }
+    }
+}
