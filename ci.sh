@@ -15,4 +15,7 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test --workspace -q
 
+echo "==> cargo doc --no-deps (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace -q
+
 echo "==> ci green"

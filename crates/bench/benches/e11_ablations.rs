@@ -231,11 +231,67 @@ fn x10_repeat_ablation() {
     report.emit();
 }
 
+/// The per-gateway observability snapshot (`Vsg::metrics_snapshot`):
+/// counters + latency histogram + cache stats after a mixed workload.
+/// The raw merged-JSON snapshots land in
+/// `target/bench-results/e11_metrics_snapshot.json`.
+fn metrics_snapshot_report() {
+    let mut report = Report::new(
+        "E11d",
+        "per-gateway metrics registry after a mixed cross-island workload",
+        &[
+            "gateway",
+            "invocations",
+            "errors",
+            "mean latency",
+            "cache hit ratio",
+        ],
+    );
+    let home = SmartHome::builder().build().unwrap();
+    for _ in 0..5 {
+        home.invoke_from(Middleware::Jini, "hall-lamp", "status", &[])
+            .unwrap();
+        home.invoke_from(Middleware::Havi, "fridge", "temperature", &[])
+            .unwrap();
+        home.invoke_from(Middleware::X10, "living-room-vcr", "stop", &[])
+            .unwrap();
+    }
+    // One deliberate failure so the error-kind counters show up.
+    let _ = home.invoke_from(Middleware::Jini, "no-such-service", "ping", &[]);
+
+    let snapshots = home.metrics_snapshots();
+    for snap in &snapshots {
+        report.row(vec![
+            cell(&snap.gateway),
+            cell(snap.registry.invocations),
+            cell(snap.registry.errors.iter().map(|(_, n)| n).sum::<u64>()),
+            fmt_us(snap.registry.latency.mean_us() as u64),
+            format!("{:.0}%", 100.0 * snap.cache.hit_ratio()),
+        ]);
+    }
+    report.emit();
+
+    let json = format!(
+        "[\n{}\n]",
+        snapshots
+            .iter()
+            .map(|s| s.to_json())
+            .collect::<Vec<_>>()
+            .join(",\n")
+    );
+    let dir = std::path::PathBuf::from("target/bench-results");
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join("e11_metrics_snapshot.json");
+    let _ = std::fs::write(&path, json);
+    println!("[written {}]", path.display());
+}
+
 fn bench(c: &mut Criterion) {
     route_cache_ablation();
     hotpath_ablation();
     java_tax_ablation();
     x10_repeat_ablation();
+    metrics_snapshot_report();
 
     // Real-CPU: the cached vs uncached remote call.
     let home = SmartHome::builder().build().unwrap();

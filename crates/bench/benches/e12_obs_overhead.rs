@@ -1,0 +1,84 @@
+//! E12-obs: what observability costs.
+//!
+//! The tracing layer promises zero allocation overhead while disabled
+//! (the default) — the warm remote-call hot path must stay within noise
+//! of the pre-tracing build. Enabled, the costs are explicit and
+//! bounded: span records on each gateway plus the trace-context header
+//! riding the wire. This ablation measures both sides and writes the
+//! artefact `BENCH_obs.json`.
+
+use bench::{cell, fmt_us, Report};
+use criterion::{criterion_group, criterion_main, Criterion};
+use metaware::{Middleware, SmartHome};
+use std::time::Instant;
+
+fn obs_overhead_ablation() {
+    let mut report = Report::new(
+        "BENCH_obs",
+        "observability overhead: warm cross-island call, tracing off vs on",
+        &[
+            "mode",
+            "sim time/call",
+            "backbone bytes/call",
+            "wall clock/call",
+            "spans/call",
+        ],
+    );
+    let calls = 200u64;
+    for traced in [false, true] {
+        let home = SmartHome::builder().build().unwrap();
+        home.set_tracing(traced);
+        // Warm the route cache so every measured call rides the fast path.
+        home.invoke_from(Middleware::Jini, "hall-lamp", "status", &[])
+            .unwrap();
+        home.take_spans();
+
+        let t0 = home.sim.now();
+        let b0 = home.backbone.with_stats(|s| s.total().bytes);
+        let wall0 = Instant::now();
+        for _ in 0..calls {
+            home.invoke_from(Middleware::Jini, "hall-lamp", "status", &[])
+                .unwrap();
+        }
+        let wall_ns = wall0.elapsed().as_nanos() as u64 / calls;
+        let sim_us = (home.sim.now() - t0).as_micros() / calls;
+        let bytes = (home.backbone.with_stats(|s| s.total().bytes) - b0) / calls;
+        let spans = home.take_spans().len() as u64 / calls;
+        report.row(vec![
+            cell(if traced { "traced" } else { "untraced" }),
+            fmt_us(sim_us),
+            cell(bytes),
+            format!("{wall_ns}ns"),
+            cell(spans),
+        ]);
+    }
+    report.emit_as("BENCH_obs.json");
+}
+
+fn bench(c: &mut Criterion) {
+    obs_overhead_ablation();
+
+    // Real-CPU: the same warm call under Criterion, both modes.
+    for traced in [false, true] {
+        let home = SmartHome::builder().build().unwrap();
+        home.set_tracing(traced);
+        home.invoke_from(Middleware::Jini, "hall-lamp", "status", &[])
+            .unwrap();
+        let name = if traced {
+            "e12_obs_traced_call"
+        } else {
+            "e12_obs_untraced_call"
+        };
+        c.bench_function(name, |b| {
+            b.iter(|| {
+                home.invoke_from(Middleware::Jini, "hall-lamp", "status", &[])
+                    .unwrap()
+            })
+        });
+        // Keep span storage bounded across Criterion's many iterations.
+        home.take_spans();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -108,6 +108,21 @@ impl MetaError {
         MetaError::Repository(fault.to_owned())
     }
 
+    /// A stable short label for this error's variant, used as the
+    /// key of the per-gateway error counters in
+    /// [`crate::metrics::MetricsRegistry`].
+    pub fn kind(&self) -> &'static str {
+        match self {
+            MetaError::UnknownService(_) => "unknown-service",
+            MetaError::UnknownOperation { .. } => "unknown-operation",
+            MetaError::TypeMismatch { .. } => "type-mismatch",
+            MetaError::Protocol(_) => "protocol",
+            MetaError::Native { .. } => "native",
+            MetaError::GatewayUnreachable(_) => "gateway-unreachable",
+            MetaError::Repository(_) => "repository",
+        }
+    }
+
     /// True if the failure guarantees the operation was *not*
     /// executed — transport/availability problems, or a gateway that
     /// does not know the service (a stale route) — so re-resolving and

@@ -14,6 +14,7 @@
 //!   happens. Latency ≈ one LAN frame; zero idle cost.
 
 use crate::protocol::SipLike;
+use crate::trace::{HopKind, Tracer};
 use crate::vsg::Vsg;
 use parking_lot::Mutex;
 use simnet::{Network, NodeId, RepeatHandle, Sim, SimDuration};
@@ -53,7 +54,13 @@ impl PollingBridge {
         let sim = vsg.backbone().sim().clone();
         let handle = sim.every(period, move |sim| {
             stats2.lock().carrier_messages += 1;
-            match vsg.invoke(sim, &service, "drain_events", &[]) {
+            // A timer tick is not part of any in-flight framework call,
+            // so each poll starts a fresh trace.
+            let tracer = vsg.tracer();
+            let span = tracer.begin_root(sim, HopKind::Event, || format!("poll {service}"));
+            let result = vsg.invoke(sim, &service, "drain_events", &[]);
+            tracer.end_result(sim, span, &result);
+            match result {
                 Ok(Value::List(events)) => {
                     let mut st = stats2.lock();
                     st.events_delivered += events.len() as u64;
@@ -97,10 +104,13 @@ pub struct SipPublisher {
     proto: SipLike,
     subscribers: Arc<Mutex<Vec<(NodeId, String)>>>,
     stats: Arc<Mutex<BridgeStats>>,
+    tracer: Tracer,
 }
 
 impl SipPublisher {
     /// Creates a publisher sending from the source gateway's node.
+    /// Pushes are recorded as `event` spans only once
+    /// [`SipPublisher::with_tracer`] attaches an enabled gateway tracer.
     pub fn new(net: &Network, node: NodeId) -> SipPublisher {
         SipPublisher {
             net: net.clone(),
@@ -108,7 +118,14 @@ impl SipPublisher {
             proto: SipLike::new(),
             subscribers: Arc::new(Mutex::new(Vec::new())),
             stats: Arc::new(Mutex::new(BridgeStats::default())),
+            tracer: Tracer::new("sip-publisher"),
         }
+    }
+
+    /// Attributes pushed NOTIFYs to `tracer` (the source gateway's).
+    pub fn with_tracer(mut self, tracer: Tracer) -> SipPublisher {
+        self.tracer = tracer;
+        self
     }
 
     /// Subscribes a gateway node to events of `service` (`%` = all).
@@ -132,6 +149,12 @@ impl SipPublisher {
             .filter(|(_, pat)| pat == "%" || pat == service)
             .map(|(n, _)| *n)
             .collect();
+        // An event push originates at the device, outside any in-flight
+        // framework call: one fresh-trace span covers the whole fan-out.
+        let sim = self.net.sim();
+        let span = self
+            .tracer
+            .begin_root(sim, HopKind::Event, || format!("notify {service}"));
         for target in targets {
             let mut st = self.stats.lock();
             st.carrier_messages += 1;
@@ -142,6 +165,7 @@ impl SipPublisher {
                 st.events_delivered += 1;
             }
         }
+        self.tracer.end(sim, span);
     }
 
     /// Messages and deliveries so far.

@@ -240,6 +240,55 @@ impl SmartHome {
     pub fn service_count(&self) -> usize {
         self.vsr.service_count()
     }
+
+    /// Every gateway the home actually built.
+    pub fn gateways(&self) -> Vec<&Vsg> {
+        [
+            self.jini.as_ref().map(|i| &i.vsg),
+            self.havi.as_ref().map(|i| &i.vsg),
+            self.x10.as_ref().map(|i| &i.vsg),
+            self.mail.as_ref().map(|i| &i.vsg),
+            self.upnp.as_ref().map(|i| &i.vsg),
+        ]
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+
+    /// Turns distributed tracing on or off on every gateway at once.
+    ///
+    /// Tracing starts disabled; enabling it home-wide lets one
+    /// cross-middleware invocation produce a single causally-connected
+    /// trace tree spanning both ends (see [`crate::trace`]).
+    pub fn set_tracing(&self, on: bool) {
+        for vsg in self.gateways() {
+            vsg.set_tracing(on);
+        }
+    }
+
+    /// Drains the completed spans from every gateway's tracer, merged
+    /// into one list ready for [`crate::trace::render_all`].
+    pub fn take_spans(&self) -> Vec<crate::trace::Span> {
+        let mut spans = Vec::new();
+        for vsg in self.gateways() {
+            spans.extend(vsg.tracer().take_spans());
+        }
+        spans
+    }
+
+    /// Renders every trace recorded so far (draining the tracers) as a
+    /// text tree attributing elapsed virtual time and bytes per hop.
+    pub fn render_traces(&self) -> String {
+        crate::trace::render_all(&self.take_spans())
+    }
+
+    /// Metrics snapshots from every gateway, in island order.
+    pub fn metrics_snapshots(&self) -> Vec<crate::metrics::MetricsSnapshot> {
+        self.gateways()
+            .into_iter()
+            .map(|vsg| vsg.metrics_snapshot())
+            .collect()
+    }
 }
 
 impl SmartHomeBuilder {

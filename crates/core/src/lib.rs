@@ -64,6 +64,7 @@ pub mod protocol;
 pub mod proxygen;
 pub mod rescache;
 pub mod service;
+pub mod trace;
 pub mod vsg;
 pub mod vsr;
 
@@ -73,12 +74,16 @@ pub use error::MetaError;
 pub use events::{BridgeStats, PollingBridge, SipPublisher, SipSubscriber};
 pub use home::{house, unit, SmartHome, SmartHomeBuilder};
 pub use iface::{catalog, InterfaceCatalog, OpSig, ServiceInterface, TypeTag};
-pub use metrics::{footprint, CacheStats, Measurement, Probe};
+pub use metrics::{
+    footprint, CacheStats, LatencyHistogram, Measurement, MetricsRegistry, MetricsSnapshot, Probe,
+    RegistrySnapshot,
+};
 pub use pcm::ProtocolConversionManager;
 pub use protocol::{CompactBinary, SipLike, Soap11, VsgProtocol, VsgRequest};
 pub use proxygen::{generate, GeneratedProxy, ProxyGenCost, ProxyTarget};
 pub use rescache::ResolutionCache;
 pub use service::{Middleware, ServiceInvoker, VirtualService};
+pub use trace::{HopKind, Span, SpanId, TraceContext, TraceId, Tracer};
 pub use vsg::Vsg;
 pub use vsr::{ServiceRecord, Vsr, VsrClient};
 

@@ -29,6 +29,11 @@ impl Measurement {
     pub fn total_frames(&self) -> u64 {
         self.traffic.iter().map(|(_, c)| c.frames).sum()
     }
+
+    /// Total frames dropped by lossy links across all probed networks.
+    pub fn total_lost(&self) -> u64 {
+        self.traffic.iter().map(|(_, c)| c.lost).sum()
+    }
 }
 
 impl fmt::Display for Measurement {
@@ -40,6 +45,12 @@ impl fmt::Display for Measurement {
             self.total_bytes(),
             self.total_frames()
         )?;
+        // Silence would hide loss during bench runs on lossy media
+        // (powerline, SIP-over-UDP); zero-loss output stays unchanged.
+        let lost = self.total_lost();
+        if lost > 0 {
+            write!(f, " / {lost} lost")?;
+        }
         Ok(())
     }
 }
@@ -120,6 +131,203 @@ impl CacheStats {
             (self.hits + self.negative_hits) as f64 / total as f64
         }
     }
+}
+
+// ---- the per-gateway metrics registry --------------------------------------
+
+/// Upper bounds (virtual microseconds) of the latency histogram's
+/// buckets; one implicit overflow bucket follows. Spanning 100 µs to
+/// 1 s covers everything from a warm binary-protocol call to a chain of
+/// VSR round trips on the 2002 Java cost model.
+pub const LATENCY_BUCKETS_US: [u64; 8] =
+    [100, 500, 1_000, 5_000, 10_000, 50_000, 100_000, 1_000_000];
+
+/// A fixed-bucket histogram of virtual-time latencies.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    /// `counts[i]` — samples ≤ [`LATENCY_BUCKETS_US`]`[i]`; the last
+    /// slot counts samples above every bound.
+    pub counts: [u64; LATENCY_BUCKETS_US.len() + 1],
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples (µs), for mean latency.
+    pub total_us: u64,
+}
+
+impl LatencyHistogram {
+    /// Records one latency sample.
+    pub fn record(&mut self, us: u64) {
+        let slot = LATENCY_BUCKETS_US
+            .iter()
+            .position(|&bound| us <= bound)
+            .unwrap_or(LATENCY_BUCKETS_US.len());
+        self.counts[slot] += 1;
+        self.count += 1;
+        self.total_us += us;
+    }
+
+    /// Mean latency in µs (0.0 with no samples).
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_us as f64 / self.count as f64
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct MetricsState {
+    invocations: u64,
+    errors: std::collections::BTreeMap<&'static str, u64>,
+    per_service: std::collections::BTreeMap<String, u64>,
+    latency: LatencyHistogram,
+}
+
+/// Per-gateway monotonic counters and latency histogram, fed by every
+/// `Vsg::invoke`. Always on — unlike tracing, a handful of counter
+/// bumps behind a mutex is cheap enough to not need a switch.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    state: parking_lot::Mutex<MetricsState>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Records one invocation of `service` that took `elapsed_us` of
+    /// virtual time; `error_kind` is [`crate::MetaError::kind`] when it
+    /// failed.
+    pub fn record(&self, service: &str, elapsed_us: u64, error_kind: Option<&'static str>) {
+        let mut st = self.state.lock();
+        st.invocations += 1;
+        if let Some(kind) = error_kind {
+            *st.errors.entry(kind).or_insert(0) += 1;
+        }
+        if let Some(n) = st.per_service.get_mut(service) {
+            *n += 1;
+        } else {
+            st.per_service.insert(service.to_owned(), 1);
+        }
+        st.latency.record(elapsed_us);
+    }
+
+    /// A point-in-time copy of the counters.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let st = self.state.lock();
+        RegistrySnapshot {
+            invocations: st.invocations,
+            errors: st
+                .errors
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), *v))
+                .collect(),
+            per_service: st
+                .per_service
+                .iter()
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+            latency: st.latency,
+        }
+    }
+}
+
+/// A point-in-time copy of a [`MetricsRegistry`] (sorted by key).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RegistrySnapshot {
+    /// Total invocations through the gateway.
+    pub invocations: u64,
+    /// Failures, counted by [`crate::MetaError::kind`].
+    pub errors: Vec<(String, u64)>,
+    /// Calls per target service.
+    pub per_service: Vec<(String, u64)>,
+    /// Virtual-time latency distribution of invocations.
+    pub latency: LatencyHistogram,
+}
+
+/// A gateway's full observable state — invocation counters merged with
+/// its resolution-cache statistics — serializable to JSON for bench
+/// artefacts (`Vsg::metrics_snapshot`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// The gateway's name.
+    pub gateway: String,
+    /// Invocation counters and latency histogram.
+    pub registry: RegistrySnapshot,
+    /// Resolution-cache counters.
+    pub cache: CacheStats,
+}
+
+impl MetricsSnapshot {
+    /// Hand-rolled JSON (the workspace deliberately has no serde).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str(&format!("{{\"gateway\":{}", json_str(&self.gateway)));
+        out.push_str(&format!(",\"invocations\":{}", self.registry.invocations));
+        out.push_str(",\"errors\":{");
+        for (i, (k, v)) in self.registry.errors.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{}:{v}", json_str(k)));
+        }
+        out.push_str("},\"per_service\":{");
+        for (i, (k, v)) in self.registry.per_service.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{}:{v}", json_str(k)));
+        }
+        out.push_str("},\"latency\":{\"bounds_us\":[");
+        for (i, b) in LATENCY_BUCKETS_US.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&b.to_string());
+        }
+        out.push_str("],\"counts\":[");
+        for (i, c) in self.registry.latency.counts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&c.to_string());
+        }
+        out.push_str(&format!(
+            "],\"count\":{},\"mean_us\":{:.1}}}",
+            self.registry.latency.count,
+            self.registry.latency.mean_us()
+        ));
+        out.push_str(&format!(
+            ",\"cache\":{{\"hits\":{},\"negative_hits\":{},\"misses\":{},\"evictions\":{},\"invalidations\":{}}}}}",
+            self.cache.hits,
+            self.cache.negative_hits,
+            self.cache.misses,
+            self.cache.evictions,
+            self.cache.invalidations
+        ));
+        out
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// The §4.2 footprint model: what each protocol stack costs on 2002-era
@@ -274,6 +482,90 @@ mod tests {
         let probe = Probe::new(&sim, vec![&net]);
         let ((), m) = probe.measure(|| {});
         assert_eq!(m.total_bytes(), 0);
+    }
+
+    #[test]
+    fn display_reports_dropped_frames() {
+        let m = Measurement {
+            elapsed: SimDuration::from_millis(2),
+            traffic: vec![(
+                "powerline".into(),
+                simnet::Counter {
+                    frames: 10,
+                    bytes: 40,
+                    lost: 3,
+                },
+            )],
+        };
+        assert_eq!(m.total_lost(), 3);
+        assert!(m.to_string().contains("3 lost"), "{m}");
+        // Lossless measurements keep the historical format.
+        let clean = Measurement {
+            elapsed: SimDuration::from_millis(2),
+            traffic: vec![],
+        };
+        assert!(!clean.to_string().contains("lost"), "{clean}");
+    }
+
+    #[test]
+    fn latency_histogram_buckets_and_overflow() {
+        let mut h = LatencyHistogram::default();
+        h.record(50); // ≤ 100
+        h.record(100); // ≤ 100 (inclusive bound)
+        h.record(700); // ≤ 1000
+        h.record(2_000_000); // overflow
+        assert_eq!(h.counts[0], 2);
+        assert_eq!(h.counts[2], 1);
+        assert_eq!(h.counts[LATENCY_BUCKETS_US.len()], 1);
+        assert_eq!(h.count, 4);
+        assert!((h.mean_us() - 500_212.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn registry_counts_invocations_errors_and_services() {
+        let reg = MetricsRegistry::new();
+        reg.record("lamp", 120, None);
+        reg.record("lamp", 90, Some("unknown-operation"));
+        reg.record("vcr", 4_000, Some("unknown-operation"));
+        let snap = reg.snapshot();
+        assert_eq!(snap.invocations, 3);
+        assert_eq!(snap.errors, vec![("unknown-operation".to_owned(), 2)]);
+        assert_eq!(
+            snap.per_service,
+            vec![("lamp".to_owned(), 2), ("vcr".to_owned(), 1)]
+        );
+        assert_eq!(snap.latency.count, 3);
+    }
+
+    #[test]
+    fn snapshot_serializes_to_json() {
+        let reg = MetricsRegistry::new();
+        reg.record("hall-lamp", 300, Some("type-mismatch"));
+        let snap = MetricsSnapshot {
+            gateway: "x10-gw".into(),
+            registry: reg.snapshot(),
+            cache: CacheStats {
+                hits: 5,
+                ..CacheStats::default()
+            },
+        };
+        let json = snap.to_json();
+        for needle in [
+            "\"gateway\":\"x10-gw\"",
+            "\"invocations\":1",
+            "\"type-mismatch\":1",
+            "\"hall-lamp\":1",
+            "\"bounds_us\":[100,",
+            "\"hits\":5",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+        // Well-formed enough for a JSON parser: balanced braces.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
     }
 
     #[test]

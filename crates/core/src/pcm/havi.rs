@@ -14,6 +14,7 @@ use crate::iface::{OpSig, ServiceInterface, TypeTag};
 use crate::pcm::ProtocolConversionManager;
 use crate::proxygen::{self, ProxyGenCost, ProxyTarget};
 use crate::service::{Middleware, VirtualService};
+use crate::trace::HopKind;
 use crate::vsg::Vsg;
 use crate::vsr::ServiceRecord;
 use havi::{
@@ -263,16 +264,20 @@ impl HaviPcm {
     fn fcm_target(&self, kind: FcmKind, fcm: Seid) -> ProxyTarget {
         let ms = self.ms.clone();
         let control = self.control;
-        Arc::new(move |_sim, op, args| {
+        let tracer = self.vsg.tracer().clone();
+        Arc::new(move |sim, op, args| {
             let (opcode, params) =
                 op_to_fcm(kind, op, args).ok_or_else(|| MetaError::UnknownOperation {
                     service: kind.device_class().to_owned(),
                     operation: op.to_owned(),
                 })?;
-            let reply = ms
+            let span = tracer.begin(sim, HopKind::PcmConvert, || format!("havi {op}"));
+            let result = ms
                 .send_ok(control.handle, fcm, opcode, params)
-                .map_err(|e: HaviError| MetaError::native("havi", e))?;
-            Ok(fcm_reply_to_value(op, &reply))
+                .map_err(|e: HaviError| MetaError::native("havi", e))
+                .map(|reply| fcm_reply_to_value(op, &reply));
+            tracer.end_result(sim, span, &result);
+            result
         })
     }
 
@@ -300,7 +305,15 @@ impl HaviPcm {
             if args.len() != sig.params.len() {
                 return (HaviStatus::EParameter, vec![]);
             }
-            match vsg.invoke(sim, &service_name, &sig.name, &args) {
+            // Messages from native HAVi controllers arrive from outside
+            // any framework call: each starts a fresh trace.
+            let tracer = vsg.tracer();
+            let span = tracer.begin_root(sim, HopKind::PcmConvert, || {
+                format!("havi-bridge {service_name}.{}", sig.name)
+            });
+            let result = vsg.invoke(sim, &service_name, &sig.name, &args);
+            tracer.end_result(sim, span, &result);
+            match result {
                 Ok(Value::Null) => (HaviStatus::Success, vec![]),
                 Ok(v) => (HaviStatus::Success, vec![value_to_hvalue(&v)]),
                 Err(_) => (HaviStatus::ENetwork, vec![]),
@@ -369,7 +382,14 @@ impl HaviPcm {
         let service = record.name.clone();
         let panel = DdiPanel::install(&self.ms, tree, move |sim, id| {
             if let Some((op, args)) = actions.get(id as usize) {
-                if let Err(e) = vsg.invoke(sim, &service, op, args) {
+                // A TV-GUI button press starts a fresh trace.
+                let tracer = vsg.tracer();
+                let span = tracer.begin_root(sim, HopKind::PcmConvert, || {
+                    format!("ddi-press {service}.{op}")
+                });
+                let result = vsg.invoke(sim, &service, op, args);
+                tracer.end_result(sim, span, &result);
+                if let Err(e) = result {
                     sim.trace("havi-ddi", format!("{service}.{op} failed: {e}"));
                 }
             }

@@ -16,6 +16,7 @@ use crate::iface::{InterfaceCatalog, ServiceInterface};
 use crate::pcm::ProtocolConversionManager;
 use crate::proxygen::{self, ProxyGenCost, ProxyTarget};
 use crate::service::{Middleware, VirtualService};
+use crate::trace::HopKind;
 use crate::vsg::Vsg;
 use crate::vsr::ServiceRecord;
 use jini::{
@@ -181,7 +182,8 @@ impl JiniPcm {
     fn native_target(&self, iface: &ServiceInterface, item: &ServiceItem) -> ProxyTarget {
         let proxy = RemoteProxy::new(&self.net, self.node, item.proxy.clone());
         let iface = iface.clone();
-        Arc::new(move |_sim, op, args| {
+        let tracer = self.vsg.tracer().clone();
+        Arc::new(move |sim, op, args| {
             let sig = iface.find(op).ok_or_else(|| MetaError::UnknownOperation {
                 service: iface.name.clone(),
                 operation: op.to_owned(),
@@ -196,10 +198,13 @@ impl JiniPcm {
                         .unwrap_or(JValue::Null)
                 })
                 .collect();
-            proxy
+            let span = tracer.begin(sim, HopKind::PcmConvert, || format!("jini rmi {op}"));
+            let result = proxy
                 .invoke(op, &jargs)
                 .map(|j| jvalue_to_value(&j))
-                .map_err(|e: JiniError| MetaError::native("jini", e))
+                .map_err(|e: JiniError| MetaError::native("jini", e));
+            tracer.end_result(sim, span, &result);
+            result
         })
     }
 
@@ -224,7 +229,15 @@ impl JiniPcm {
                     .zip(jargs)
                     .map(|((name, _), j)| (name.clone(), jvalue_to_value(j)))
                     .collect();
-                vsg.invoke(sim, &service_name, method, &args)
+                // An RMI call from a native Jini client starts a fresh
+                // trace — it arrives from outside any framework call.
+                let tracer = vsg.tracer();
+                let span = tracer.begin_root(sim, HopKind::PcmConvert, || {
+                    format!("jini-bridge {service_name}.{method}")
+                });
+                let result = vsg.invoke(sim, &service_name, method, &args);
+                tracer.end_result(sim, span, &result);
+                result
                     .map(|v| value_to_jvalue(&v))
                     .map_err(|e| e.to_string())
             });

@@ -15,6 +15,7 @@ use crate::error::MetaError;
 use crate::iface::catalog;
 use crate::pcm::ProtocolConversionManager;
 use crate::service::{Middleware, VirtualService};
+use crate::trace::HopKind;
 use crate::vsg::Vsg;
 use mailsvc::{Email, MailClient};
 use parking_lot::Mutex;
@@ -45,9 +46,10 @@ impl MailPcm {
     /// Exports the mail service into the VSG under `name`.
     fn import_service(&self, name: &str, client: MailClient) -> Result<(), MetaError> {
         let from = self.home_address.clone();
+        let tracer = self.vsg.tracer().clone();
         self.vsg.export(
             VirtualService::new(name, catalog::mailer(), Middleware::Mail, self.vsg.name()),
-            move |_sim: &simnet::Sim, op: &str, args: &[(String, Value)]| {
+            move |sim: &simnet::Sim, op: &str, args: &[(String, Value)]| {
                 let str_arg = |k: &str| -> Result<String, MetaError> {
                     args.iter()
                         .find(|(n, _)| n == k)
@@ -55,7 +57,8 @@ impl MailPcm {
                         .map(str::to_owned)
                         .ok_or_else(|| MetaError::native("mail", format!("missing '{k}'")))
                 };
-                match op {
+                let span = tracer.begin(sim, HopKind::PcmConvert, || format!("mail {op}"));
+                let result = (|| match op {
                     "send" => {
                         let mail = Email::new(
                             &from,
@@ -78,7 +81,9 @@ impl MailPcm {
                         service: "mailer".into(),
                         operation: other.to_owned(),
                     }),
-                }
+                })();
+                tracer.end_result(sim, span, &result);
+                result
             },
         )?;
         self.imported.lock().push(name.to_owned());

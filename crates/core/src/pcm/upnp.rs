@@ -11,6 +11,7 @@ use crate::iface::{OpSig, ServiceInterface, TypeTag};
 use crate::pcm::ProtocolConversionManager;
 use crate::proxygen::{self, ProxyGenCost, ProxyTarget};
 use crate::service::{Middleware, VirtualService};
+use crate::trace::HopKind;
 use crate::vsg::Vsg;
 use crate::vsr::ServiceRecord;
 use parking_lot::Mutex;
@@ -138,7 +139,8 @@ impl UpnpPcm {
         dimming_url: Option<String>,
     ) -> ProxyTarget {
         let cp = self.cp.clone();
-        Arc::new(move |_sim, op, args| {
+        let tracer = self.vsg.tracer().clone();
+        Arc::new(move |sim, op, args| {
             let (service_type, action, action_args) =
                 op_to_action(op, args).ok_or_else(|| MetaError::UnknownOperation {
                     service: "upnp-device".into(),
@@ -155,8 +157,12 @@ impl UpnpPcm {
                 .iter()
                 .map(|(k, v)| (k.as_str(), v.clone()))
                 .collect();
-            cp.invoke(device, url, service_type, &action, &refs)
-                .map_err(|e| MetaError::native("upnp", e))
+            let span = tracer.begin(sim, HopKind::PcmConvert, || format!("upnp {action}"));
+            let result = cp
+                .invoke(device, url, service_type, &action, &refs)
+                .map_err(|e| MetaError::native("upnp", e));
+            tracer.end_result(sim, span, &result);
+            result
         })
     }
 
@@ -182,8 +188,15 @@ impl UpnpPcm {
         device.implement(&service_type, move |sim: &Sim, action: &str, args| {
             let named: Vec<(String, Value)> =
                 args.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
-            vsg.invoke(sim, &service_name, action, &named)
-                .map_err(|e| e.to_string())
+            // A control-point action arrives from outside any framework
+            // call: each starts a fresh trace.
+            let tracer = vsg.tracer();
+            let span = tracer.begin_root(sim, HopKind::PcmConvert, || {
+                format!("upnp-bridge {service_name}.{action}")
+            });
+            let result = vsg.invoke(sim, &service_name, action, &named);
+            tracer.end_result(sim, span, &result);
+            result.map_err(|e| e.to_string())
         });
         self.hosted.lock().push(device);
         self.exported.lock().push(record.name.clone());

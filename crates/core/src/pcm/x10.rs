@@ -19,6 +19,7 @@ use crate::error::MetaError;
 use crate::iface::catalog;
 use crate::pcm::ProtocolConversionManager;
 use crate::service::{Middleware, VirtualService};
+use crate::trace::HopKind;
 use crate::vsg::Vsg;
 use parking_lot::Mutex;
 use simnet::{RepeatHandle, Sim, SimDuration};
@@ -146,8 +147,12 @@ impl X10Pcm {
         }
         self.inner.vsg.export(
             service,
-            move |_sim: &Sim, op: &str, args: &[(String, Value)]| {
-                inner.module_invoke(house, unit, op, args)
+            move |sim: &Sim, op: &str, args: &[(String, Value)]| {
+                let tracer = inner.vsg.tracer();
+                let span = tracer.begin(sim, HopKind::PcmConvert, || format!("x10 {op}"));
+                let result = inner.module_invoke(house, unit, op, args);
+                tracer.end_result(sim, span, &result);
+                result
             },
         )?;
         self.inner.imported.lock().push(name.to_owned());
@@ -191,23 +196,29 @@ impl X10Pcm {
         }
         self.inner.vsg.export(
             svc,
-            move |_sim: &Sim, op: &str, _args: &[(String, Value)]| {
+            move |sim: &Sim, op: &str, _args: &[(String, Value)]| {
+                let tracer = inner.vsg.tracer().clone();
+                let span = tracer.begin(sim, HopKind::PcmConvert, || format!("x10 sensor {op}"));
                 // Refresh from the interface buffer before answering —
                 // this *is* polling; X10 cannot push to us through the
                 // CM11A's request/response serial protocol.
                 inner.pump();
-                let mut sensors = inner.sensors.lock();
-                let st = sensors
-                    .get_mut(&(house, unit))
-                    .ok_or_else(|| MetaError::UnknownService("sensor".into()))?;
-                match op {
-                    "state" => Ok(Value::Bool(st.active)),
-                    "drain_events" => Ok(Value::List(std::mem::take(&mut st.events))),
-                    other => Err(MetaError::UnknownOperation {
-                        service: "motion-sensor".into(),
-                        operation: other.to_owned(),
-                    }),
-                }
+                let result = (|| {
+                    let mut sensors = inner.sensors.lock();
+                    let st = sensors
+                        .get_mut(&(house, unit))
+                        .ok_or_else(|| MetaError::UnknownService("sensor".into()))?;
+                    match op {
+                        "state" => Ok(Value::Bool(st.active)),
+                        "drain_events" => Ok(Value::List(std::mem::take(&mut st.events))),
+                        other => Err(MetaError::UnknownOperation {
+                            service: "motion-sensor".into(),
+                            operation: other.to_owned(),
+                        }),
+                    }
+                })();
+                tracer.end_result(sim, span, &result);
+                result
             },
         )?;
         self.inner.imported.lock().push(name.to_owned());
@@ -421,9 +432,16 @@ impl X10Inner {
             .cloned()
             .collect();
         for route in routes {
+            // Route firings originate on the powerline, not inside any
+            // in-flight framework call, so each starts a fresh trace.
+            let tracer = self.vsg.tracer();
+            let span = tracer.begin_root(&self.sim, HopKind::PcmConvert, || {
+                format!("x10-route {}.{}", route.service, route.operation)
+            });
             let result = self
                 .vsg
                 .invoke(&self.sim, &route.service, &route.operation, &route.args);
+            tracer.end_result(&self.sim, span, &result);
             match result {
                 Ok(_) => self.sim.trace(
                     "x10-pcm",

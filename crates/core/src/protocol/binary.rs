@@ -24,16 +24,19 @@ impl CompactBinary {
 }
 
 fn encode_request(req: &VsgRequest) -> Vec<u8> {
-    // Wire form of Record{s, o, a}, marshalled from borrows — no clone
-    // of the service name, operation, or argument list.
+    // Wire form of Record{s, o, a[, t]}, marshalled from borrows — no
+    // clone of the service name, operation, or argument list. The "t"
+    // field carries the caller's trace context and is simply absent
+    // when tracing is off, so the untraced wire form is unchanged.
     let mut out = MAGIC.to_vec();
-    binval::begin_record(3, &mut out);
-    binval::encode_field_key("s", &mut out);
-    binval::encode_str(&req.service, &mut out);
-    binval::encode_field_key("o", &mut out);
-    binval::encode_str(&req.operation, &mut out);
+    binval::begin_record(if req.trace.is_some() { 4 } else { 3 }, &mut out);
+    binval::encode_str_field("s", &req.service, &mut out);
+    binval::encode_str_field("o", &req.operation, &mut out);
     binval::encode_field_key("a", &mut out);
     binval::encode_record_fields(&req.args, &mut out);
+    if let Some(ctx) = &req.trace {
+        binval::encode_str_field("t", &ctx.to_wire(), &mut out);
+    }
     out
 }
 
@@ -45,10 +48,15 @@ fn decode_request(data: &[u8]) -> Option<VsgRequest> {
         Value::Record(fields) => fields.clone(),
         _ => return None,
     };
+    let trace = body
+        .field("t")
+        .and_then(Value::as_str)
+        .and_then(crate::trace::TraceContext::from_wire);
     Some(VsgRequest {
         service,
         operation,
         args,
+        trace,
     })
 }
 
@@ -149,6 +157,24 @@ mod tests {
             .arg("title", "News");
         assert_eq!(decode_request(&encode_request(&req)), Some(req));
         assert_eq!(decode_request(b"nope"), None);
+    }
+
+    #[test]
+    fn trace_context_rides_a_tagged_field() {
+        use crate::trace::{SpanId, TraceContext, TraceId};
+        let untraced = VsgRequest::new("vcr", "record").arg("channel", 42);
+        let mut traced = untraced.clone();
+        traced.trace = Some(TraceContext {
+            trace: TraceId(7),
+            parent: SpanId(9),
+        });
+        let plain = encode_request(&untraced);
+        let tagged = encode_request(&traced);
+        // Tracing off leaves the wire form byte-identical to before the
+        // field existed; on, it costs only the one extra field.
+        assert!(tagged.len() > plain.len());
+        assert_eq!(decode_request(&plain), Some(untraced));
+        assert_eq!(decode_request(&tagged), Some(traced));
     }
 
     #[test]

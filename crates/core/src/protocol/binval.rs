@@ -84,6 +84,14 @@ pub fn encode_field_key(key: &str, out: &mut Vec<u8>) {
     out.extend_from_slice(key.as_bytes());
 }
 
+/// Encodes one complete string-valued record field — key then
+/// `Value::Str` wire form — from borrows. The shape every tagged
+/// metadata field of the binary VSG request (`s`, `o`, `t`) uses.
+pub fn encode_str_field(key: &str, value: &str, out: &mut Vec<u8>) {
+    encode_field_key(key, out);
+    encode_str(value, out);
+}
+
 /// Encodes borrowed `(name, value)` pairs in `Value::Record` wire form.
 pub fn encode_record_fields(fields: &[(String, Value)], out: &mut Vec<u8>) {
     begin_record(fields.len(), out);
@@ -267,8 +275,7 @@ mod tests {
         // Piecewise record assembly matches too.
         let mut piecewise = Vec::new();
         begin_record(1, &mut piecewise);
-        encode_field_key("name", &mut piecewise);
-        encode_str("hall", &mut piecewise);
+        encode_str_field("name", "hall", &mut piecewise);
         assert_eq!(
             piecewise,
             to_bytes(&Value::Record(vec![(

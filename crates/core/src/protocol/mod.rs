@@ -25,6 +25,7 @@ pub use siplike::{PushHandler, SipLike};
 pub use soap11::Soap11;
 
 use crate::error::MetaError;
+use crate::trace::TraceContext;
 use simnet::{Network, NodeId, Sim};
 use soap::Value;
 use std::sync::Arc;
@@ -38,6 +39,11 @@ pub struct VsgRequest {
     pub operation: String,
     /// Canonical arguments.
     pub args: Vec<(String, Value)>,
+    /// The caller's trace context, when tracing is enabled — carried
+    /// by every wire protocol (SOAP header element, SIP-style header
+    /// line, tagged binary field) so the serving gateway's spans join
+    /// the caller's trace.
+    pub trace: Option<TraceContext>,
 }
 
 impl VsgRequest {
@@ -47,6 +53,7 @@ impl VsgRequest {
             service: service.into(),
             operation: operation.into(),
             args: Vec::new(),
+            trace: None,
         }
     }
 
@@ -148,5 +155,41 @@ pub(crate) mod conformance {
             protocol.name()
         );
         assert!(!err.is_retry_safe());
+
+        // A trace context must survive the wire intact, and an absent
+        // one must stay absent — distributed tracing depends on every
+        // protocol round-tripping the caller's identity.
+        let seen = Arc::new(parking_lot::Mutex::new(None));
+        let seen2 = seen.clone();
+        let traced_gw = protocol.bind(
+            &net,
+            "gw-traced",
+            Arc::new(move |_, req: &VsgRequest| {
+                *seen2.lock() = req.trace;
+                Ok(Value::Null)
+            }),
+        );
+        let ctx = TraceContext {
+            trace: crate::trace::TraceId(0xabc),
+            parent: crate::trace::SpanId(0x17),
+        };
+        let mut req = VsgRequest::new("lamp", "echo");
+        req.trace = Some(ctx);
+        protocol.call(&net, client, traced_gw, &req).unwrap();
+        assert_eq!(
+            *seen.lock(),
+            Some(ctx),
+            "{}: trace context lost on the wire",
+            protocol.name()
+        );
+        protocol
+            .call(&net, client, traced_gw, &VsgRequest::new("lamp", "echo"))
+            .unwrap();
+        assert_eq!(
+            *seen.lock(),
+            None,
+            "{}: phantom trace context appeared",
+            protocol.name()
+        );
     }
 }

@@ -84,12 +84,21 @@ fn split_head(payload: &[u8]) -> Option<(&str, &[u8])> {
     Some((first_line, &payload[sep + 4..]))
 }
 
+/// The SIP-style header line carrying the caller's trace context.
+const TRACE_HEADER: &str = "Trace-Context: ";
+
 fn encode_invite(req: &VsgRequest) -> Vec<u8> {
-    let mut out = format!(
-        "INVITE vsg:{} VSG-SIP/1.0\r\nOperation: {}\r\n\r\n",
+    let mut head = format!(
+        "INVITE vsg:{} VSG-SIP/1.0\r\nOperation: {}\r\n",
         req.service, req.operation
-    )
-    .into_bytes();
+    );
+    if let Some(ctx) = &req.trace {
+        head.push_str(TRACE_HEADER);
+        head.push_str(&ctx.to_wire());
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    let mut out = head.into_bytes();
     // Body marshalled from borrowed args — no clone into an owned record.
     binval::encode_record_fields(&req.args, &mut out);
     out
@@ -105,17 +114,26 @@ fn decode_invite(payload: &[u8]) -> Option<VsgRequest> {
         .split_whitespace()
         .next()?
         .to_owned();
-    let operation = lines
-        .find_map(|l| l.strip_prefix("Operation: "))?
-        .to_owned();
+    // Remaining header lines in any order; unknown ones are tolerated
+    // (real SIP parsers skip headers they don't understand).
+    let mut operation = None;
+    let mut trace = None;
+    for line in lines {
+        if let Some(op) = line.strip_prefix("Operation: ") {
+            operation = Some(op.to_owned());
+        } else if let Some(ctx) = line.strip_prefix(TRACE_HEADER) {
+            trace = crate::trace::TraceContext::from_wire(ctx);
+        }
+    }
     let args = match binval::from_bytes(&payload[sep + 4..])? {
         Value::Record(fields) => fields,
         _ => return None,
     };
     Some(VsgRequest {
         service,
-        operation,
+        operation: operation?,
         args,
+        trace,
     })
 }
 
@@ -205,6 +223,25 @@ mod tests {
         let req = VsgRequest::new("camera", "record").arg("channel", 3);
         assert_eq!(decode_invite(&encode_invite(&req)), Some(req));
         assert_eq!(decode_invite(b"garbage"), None);
+    }
+
+    #[test]
+    fn invite_carries_trace_context_as_header_line() {
+        use crate::trace::{SpanId, TraceContext, TraceId};
+        let mut req = VsgRequest::new("camera", "record").arg("channel", 3);
+        req.trace = Some(TraceContext {
+            trace: TraceId(0xfeed),
+            parent: SpanId(0xbee),
+        });
+        let wire = encode_invite(&req);
+        let head = String::from_utf8_lossy(&wire);
+        assert!(head.contains("Trace-Context: "), "{head}");
+        assert_eq!(decode_invite(&wire), Some(req));
+        // A mangled header is dropped, never fatal.
+        let mangled =
+            String::from_utf8_lossy(&wire).replace("Trace-Context: ", "Trace-Context: zz");
+        let decoded = decode_invite(mangled.as_bytes()).unwrap();
+        assert_eq!(decoded.trace, None);
     }
 
     #[test]

@@ -16,6 +16,8 @@ use std::sync::Arc;
 /// The namespace every gateway mounts.
 pub const GATEWAY_NS: &str = "urn:vsg:gateway";
 const SERVICE_ARG: &str = "__service";
+/// The `SOAP-ENV:Header` entry carrying the caller's trace context.
+const TRACE_HEADER: &str = "TraceContext";
 
 /// SOAP 1.1 over simulated HTTP.
 ///
@@ -90,6 +92,9 @@ impl VsgProtocol for Soap11 {
                 service,
                 operation: call.method.clone(),
                 args,
+                trace: call
+                    .get_header(TRACE_HEADER)
+                    .and_then(crate::trace::TraceContext::from_wire),
             };
             handler(sim, &req).map_err(|e| Fault::server(e.to_string()))
         });
@@ -109,16 +114,23 @@ impl VsgProtocol for Soap11 {
         let service = Value::Str(req.service.clone());
         let args = std::iter::once((SERVICE_ARG, &service))
             .chain(req.args.iter().map(|(k, v)| (k.as_str(), v)));
-        client
-            .call_parts(to, GATEWAY_NS, &req.operation, args)
-            .map_err(|e| match e {
-                // Fault strings carry a Display-formatted MetaError from
-                // the serving gateway; recover the typed error so stale
-                // routes (UnknownService) stay distinguishable from
-                // application faults.
-                SoapError::Fault(f) => MetaError::from_fault_string(&f.string),
-                other => MetaError::Protocol(other.to_string()),
-            })
+        let result = match &req.trace {
+            // A trace context rides as a SOAP header element, never as
+            // a call argument.
+            Some(ctx) => {
+                let headers = [(TRACE_HEADER.to_owned(), ctx.to_wire())];
+                client.call_parts_with_headers(to, GATEWAY_NS, &req.operation, args, &headers)
+            }
+            None => client.call_parts(to, GATEWAY_NS, &req.operation, args),
+        };
+        result.map_err(|e| match e {
+            // Fault strings carry a Display-formatted MetaError from
+            // the serving gateway; recover the typed error so stale
+            // routes (UnknownService) stay distinguishable from
+            // application faults.
+            SoapError::Fault(f) => MetaError::from_fault_string(&f.string),
+            other => MetaError::Protocol(other.to_string()),
+        })
     }
 }
 

@@ -54,6 +54,17 @@ pub enum Lookup {
     Miss,
 }
 
+impl Lookup {
+    /// A short outcome label (used to name `cache-hit` trace spans).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Lookup::Hit(..) => "hit",
+            Lookup::NegativeHit => "negative-hit",
+            Lookup::Miss => "miss",
+        }
+    }
+}
+
 /// A bounded LRU cache of VSR resolutions.
 pub struct ResolutionCache {
     entries: HashMap<String, Entry>,

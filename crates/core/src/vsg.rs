@@ -7,10 +7,11 @@
 //! [`VsgProtocol`].
 
 use crate::error::MetaError;
-use crate::metrics::CacheStats;
+use crate::metrics::{CacheStats, MetricsRegistry, MetricsSnapshot};
 use crate::protocol::{VsgProtocol, VsgRequest};
 use crate::rescache::{Lookup, ResolutionCache};
 use crate::service::{ServiceInvoker, VirtualService};
+use crate::trace::{HopKind, Tracer};
 use crate::vsr::{ServiceRecord, VsrClient};
 use parking_lot::Mutex;
 use simnet::{Network, NodeId, Sim};
@@ -32,6 +33,8 @@ struct VsgInner {
     local: Arc<Mutex<HashMap<String, LocalEntry>>>,
     vsr: VsrClient,
     rescache: Mutex<ResolutionCache>,
+    tracer: Tracer,
+    metrics: MetricsRegistry,
 }
 
 /// A running gateway.
@@ -51,14 +54,14 @@ impl Vsg {
     ) -> Result<Vsg, MetaError> {
         let local: Arc<Mutex<HashMap<String, LocalEntry>>> = Arc::new(Mutex::new(HashMap::new()));
         let local2 = local.clone();
+        let tracer = Tracer::new(name);
+        let tracer2 = tracer.clone();
         let node = protocol.bind(
             backbone,
             name,
-            Arc::new(move |sim: &Sim, req: &VsgRequest| {
-                dispatch_local(&local2, sim, &req.service, &req.operation, &req.args)
-            }),
+            Arc::new(move |sim: &Sim, req: &VsgRequest| serve_remote(&local2, &tracer2, sim, req)),
         );
-        let vsr = VsrClient::new(backbone, node, vsr_node);
+        let vsr = VsrClient::new(backbone, node, vsr_node).with_tracer(tracer.clone());
         vsr.register_gateway(name, node)?;
         Ok(Vsg {
             inner: Arc::new(VsgInner {
@@ -69,6 +72,8 @@ impl Vsg {
                 local,
                 vsr,
                 rescache: Mutex::new(ResolutionCache::default()),
+                tracer,
+                metrics: MetricsRegistry::new(),
             }),
         })
     }
@@ -161,14 +166,29 @@ impl Vsg {
         operation: &str,
         args: &[(String, Value)],
     ) -> Result<Value, MetaError> {
-        if self.inner.local.lock().contains_key(service) {
-            return dispatch_local(&self.inner.local, sim, service, operation, args);
-        }
-        self.invoke_remote(service, operation, args)
+        let tracer = &self.inner.tracer;
+        let span = tracer.begin(sim, HopKind::ClientProxy, || {
+            format!("{service}.{operation}")
+        });
+        let started = sim.now();
+        let result = if self.inner.local.lock().contains_key(service) {
+            dispatch_local(&self.inner.local, tracer, sim, service, operation, args)
+        } else {
+            self.invoke_remote(sim, service, operation, args)
+        };
+        let elapsed_us = (sim.now() - started).as_micros();
+        self.inner.metrics.record(
+            service,
+            elapsed_us,
+            result.as_ref().err().map(MetaError::kind),
+        );
+        tracer.end_result(sim, span, &result);
+        result
     }
 
     fn invoke_remote(
         &self,
+        sim: &Sim,
         service: &str,
         operation: &str,
         args: &[(String, Value)],
@@ -180,13 +200,11 @@ impl Vsg {
         // serving gateway's node — zero VSR round trips. (Bound to a
         // local so the cache guard is released before the network call.)
         let looked_up = self.inner.rescache.lock().lookup(service);
+        let looked_up_label = looked_up.label();
         match looked_up {
-            Lookup::Hit(_, gw_node) => {
-                match self
-                    .inner
-                    .protocol
-                    .call(&self.inner.backbone, self.inner.node, gw_node, &req)
-                {
+            Lookup::Hit(record, gw_node) => {
+                self.note_cache(sim, looked_up_label, service);
+                match self.wire_call(sim, gw_node, &record.gateway, &mut req) {
                     Ok(v) => return Ok(v),
                     // Only errors that guarantee the operation did not
                     // execute (gateway gone, stale route) may evict and
@@ -200,7 +218,10 @@ impl Vsg {
                     Err(e) => return Err(e),
                 }
             }
-            Lookup::NegativeHit => return Err(MetaError::UnknownService(service.to_owned())),
+            Lookup::NegativeHit => {
+                self.note_cache(sim, looked_up_label, service);
+                return Err(MetaError::UnknownService(service.to_owned()));
+            }
             Lookup::Miss => {}
         }
 
@@ -219,10 +240,7 @@ impl Vsg {
             .vsr
             .gateway_node(&record.gateway)
             .map_err(|_| MetaError::GatewayUnreachable(record.gateway.clone()))?;
-        let result = self
-            .inner
-            .protocol
-            .call(&self.inner.backbone, self.inner.node, gw_node, &req);
+        let result = self.wire_call(sim, gw_node, &record.gateway, &mut req);
         // Cache the resolution unless the call failed in a way that
         // leaves the route in doubt (an application fault proves the
         // remote gateway serves this record, so the route is good).
@@ -240,6 +258,60 @@ impl Vsg {
                     .insert_resolved(service, record, gw_node);
             }
             Err(_) => {}
+        }
+        result
+    }
+
+    /// Records an instant `cache-hit` span for a resolution-cache
+    /// outcome (positive or negative). Free when tracing is off.
+    fn note_cache(&self, sim: &Sim, outcome: &'static str, service: &str) {
+        let span = self
+            .inner
+            .tracer
+            .begin(sim, HopKind::CacheHit, || format!("{outcome} {service}"));
+        self.inner.tracer.end(sim, span);
+    }
+
+    /// One gateway-to-gateway protocol call under a `vsg-wire` span.
+    /// The span's context rides the wire (SOAP header / SIP header /
+    /// binary tagged field) so the serving gateway's spans join this
+    /// trace; the span is charged the backbone bytes the exchange moved.
+    fn wire_call(
+        &self,
+        sim: &Sim,
+        gw_node: NodeId,
+        gateway: &str,
+        req: &mut VsgRequest,
+    ) -> Result<Value, MetaError> {
+        let tracer = &self.inner.tracer;
+        let traced = tracer.is_enabled();
+        let span = tracer.begin(sim, HopKind::VsgWire, || {
+            format!("{} to {gateway}", self.inner.protocol.name())
+        });
+        req.trace = tracer.current_context();
+        let bytes_before = if traced {
+            self.inner.backbone.with_stats(|s| s.total().bytes)
+        } else {
+            0
+        };
+        let result = self
+            .inner
+            .protocol
+            .call(&self.inner.backbone, self.inner.node, gw_node, req);
+        if traced {
+            let bytes = self
+                .inner
+                .backbone
+                .with_stats(|s| s.total().bytes)
+                .saturating_sub(bytes_before);
+            tracer.end_with(
+                sim,
+                span,
+                bytes,
+                result.as_ref().err().map(|e| e.to_string()),
+            );
+        } else {
+            tracer.end_result(sim, span, &result);
         }
         result
     }
@@ -300,6 +372,36 @@ impl Vsg {
     pub fn cache_stats(&self) -> CacheStats {
         self.inner.rescache.lock().stats()
     }
+
+    // ---- observability ---------------------------------------------------
+
+    /// This gateway's tracer. Disabled (and allocation-free) until
+    /// [`Vsg::set_tracing`] turns it on.
+    pub fn tracer(&self) -> &Tracer {
+        &self.inner.tracer
+    }
+
+    /// Enables or disables span recording on this gateway.
+    pub fn set_tracing(&self, on: bool) {
+        self.inner.tracer.set_enabled(on);
+    }
+
+    /// This gateway's always-on invocation counters and latency
+    /// histogram.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.inner.metrics
+    }
+
+    /// One merged, JSON-serializable snapshot of everything this
+    /// gateway counts: invocation metrics plus resolution-cache
+    /// counters.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            gateway: self.inner.name.clone(),
+            registry: self.inner.metrics.snapshot(),
+            cache: self.cache_stats(),
+        }
+    }
 }
 
 impl fmt::Debug for Vsg {
@@ -312,8 +414,30 @@ impl fmt::Debug for Vsg {
     }
 }
 
+/// Serves one request arriving over the gateway-to-gateway wire: joins
+/// the caller's trace (when a context rode along), records the
+/// `server-proxy` hop, and dispatches to the local invoker.
+fn serve_remote(
+    local: &Mutex<HashMap<String, LocalEntry>>,
+    tracer: &Tracer,
+    sim: &Sim,
+    req: &VsgRequest,
+) -> Result<Value, MetaError> {
+    let adopted = req.trace.is_some_and(|ctx| tracer.adopt(ctx));
+    let span = tracer.begin(sim, HopKind::ServerProxy, || {
+        format!("{}.{}", req.service, req.operation)
+    });
+    let result = dispatch_local(local, tracer, sim, &req.service, &req.operation, &req.args);
+    tracer.end_result(sim, span, &result);
+    if adopted {
+        tracer.unadopt();
+    }
+    result
+}
+
 fn dispatch_local(
     local: &Mutex<HashMap<String, LocalEntry>>,
+    tracer: &Tracer,
     sim: &Sim,
     service: &str,
     operation: &str,
@@ -336,8 +460,11 @@ fn dispatch_local(
             sig.check_args(args)?;
             entry.invoker.clone()
         };
+    let span = tracer.begin(sim, HopKind::App, || format!("{service}.{operation}"));
     let mut invoker = invoker.lock();
-    invoker.invoke(sim, operation, args)
+    let result = invoker.invoke(sim, operation, args);
+    tracer.end_result(sim, span, &result);
+    result
 }
 
 #[cfg(test)]

@@ -11,6 +11,7 @@
 use crate::error::MetaError;
 use crate::iface::ServiceInterface;
 use crate::service::{Middleware, VirtualService};
+use crate::trace::{HopKind, Tracer};
 use parking_lot::Mutex;
 use simnet::{Network, NodeId};
 use soap::{Fault, RpcCall, SoapClient, SoapError, SoapServer, Value};
@@ -312,10 +313,14 @@ fn service_to_value(registry: &mut UddiRegistry, svc: &wsdl::BusinessService) ->
 pub struct VsrClient {
     soap: SoapClient,
     vsr: NodeId,
+    sim: simnet::Sim,
+    tracer: Tracer,
 }
 
 impl VsrClient {
-    /// Creates a client calling from `node` on the backbone.
+    /// Creates a client calling from `node` on the backbone. Spans are
+    /// recorded only once [`VsrClient::with_tracer`] attaches an
+    /// enabled gateway tracer.
     pub fn new(net: &Network, node: NodeId, vsr: NodeId) -> VsrClient {
         VsrClient {
             soap: SoapClient::on_node(
@@ -325,14 +330,28 @@ impl VsrClient {
                 soap::TcpModel::default(),
             ),
             vsr,
+            sim: net.sim().clone(),
+            tracer: Tracer::new("vsr-client"),
         }
     }
 
+    /// Attributes this client's repository round trips to `tracer`
+    /// (the owning gateway's), as `vsr-lookup` spans.
+    pub fn with_tracer(mut self, tracer: Tracer) -> VsrClient {
+        self.tracer = tracer;
+        self
+    }
+
     fn call(&self, call: &RpcCall) -> Result<Value, MetaError> {
-        self.soap.call(self.vsr, call).map_err(|e| match e {
+        let span = self
+            .tracer
+            .begin(&self.sim, HopKind::VsrLookup, || call.method.clone());
+        let result = self.soap.call(self.vsr, call).map_err(|e| match e {
             SoapError::Fault(f) => MetaError::from_fault_string(&f.string),
             other => MetaError::Protocol(other.to_string()),
-        })
+        });
+        self.tracer.end_result(&self.sim, span, &result);
+        result
     }
 
     /// Registers a gateway's backbone node under its name.

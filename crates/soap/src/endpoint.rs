@@ -220,6 +220,20 @@ impl SoapClient {
         self.dispatch(server, namespace, method, body)
     }
 
+    /// [`SoapClient::call_parts`] with `SOAP-ENV:Header` entries
+    /// (out-of-band metadata such as a trace context).
+    pub fn call_parts_with_headers<'a>(
+        &self,
+        server: NodeId,
+        namespace: &str,
+        method: &str,
+        args: impl IntoIterator<Item = (&'a str, &'a Value)>,
+        headers: &[(String, String)],
+    ) -> Result<Value, SoapError> {
+        let body = crate::rpc::call_envelope_with_headers(namespace, method, args, headers);
+        self.dispatch(server, namespace, method, body)
+    }
+
     fn dispatch(
         &self,
         server: NodeId,

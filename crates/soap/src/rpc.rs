@@ -20,6 +20,10 @@ pub struct RpcCall {
     pub method: String,
     /// Named arguments, in call order.
     pub args: Vec<(String, Value)>,
+    /// Out-of-band `SOAP-ENV:Header` entries as `(local-name, text)`
+    /// pairs — metadata (e.g. a trace context) that rides the envelope
+    /// without polluting the method arguments.
+    pub headers: Vec<(String, String)>,
 }
 
 impl RpcCall {
@@ -29,6 +33,7 @@ impl RpcCall {
             namespace: namespace.into(),
             method: method.into(),
             args: Vec::new(),
+            headers: Vec::new(),
         }
     }
 
@@ -38,18 +43,33 @@ impl RpcCall {
         self
     }
 
+    /// Adds a header entry (builder style).
+    pub fn header(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.headers.push((name.into(), value.into()));
+        self
+    }
+
     /// Encodes as a complete SOAP envelope document.
     pub fn to_envelope(&self) -> String {
-        call_envelope(
+        call_envelope_with_headers(
             &self.namespace,
             &self.method,
             self.args.iter().map(|(k, v)| (k.as_str(), v)),
+            &self.headers,
         )
     }
 
     /// Decodes a call envelope.
     pub fn from_envelope(doc: &str) -> Result<RpcCall, SoapError> {
         let root = minixml::parse(doc)?;
+        let headers = root
+            .find("Header")
+            .map(|h| {
+                h.elements()
+                    .map(|e| (e.local_name().to_owned(), e.text_content()))
+                    .collect()
+            })
+            .unwrap_or_default();
         let body = body_of(&root)?;
         let call = body
             .elements()
@@ -70,12 +90,21 @@ impl RpcCall {
             namespace,
             method,
             args,
+            headers,
         })
     }
 
     /// Looks up an argument by name.
     pub fn get(&self, name: &str) -> Option<&Value> {
         self.args.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+
+    /// Looks up a header entry by local name.
+    pub fn get_header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
     }
 }
 
@@ -138,11 +167,23 @@ pub fn call_envelope<'a>(
     method: &str,
     args: impl IntoIterator<Item = (&'a str, &'a Value)>,
 ) -> String {
+    call_envelope_with_headers(namespace, method, args, &[])
+}
+
+/// Like [`call_envelope`], with `SOAP-ENV:Header` entries. Headers are
+/// emitted as text elements in the `urn:vsg:ext` namespace, before the
+/// Body as SOAP 1.1 requires.
+pub fn call_envelope_with_headers<'a>(
+    namespace: &str,
+    method: &str,
+    args: impl IntoIterator<Item = (&'a str, &'a Value)>,
+    headers: &[(String, String)],
+) -> String {
     let mut call = Element::new(format!("ns1:{method}")).attr("xmlns:ns1", namespace);
     for (name, value) in args {
         call.push(value.to_element(name));
     }
-    envelope(call).to_document()
+    envelope_with(headers, call).to_document()
 }
 
 /// Encodes a fault as a complete SOAP envelope document.
@@ -151,12 +192,27 @@ pub fn fault_envelope(fault: &Fault) -> String {
 }
 
 fn envelope(body_child: Element) -> Element {
-    Element::new("SOAP-ENV:Envelope")
+    envelope_with(&[], body_child)
+}
+
+fn envelope_with(headers: &[(String, String)], body_child: Element) -> Element {
+    let mut env = Element::new("SOAP-ENV:Envelope")
         .attr("xmlns:SOAP-ENV", ENVELOPE_NS)
         .attr("xmlns:xsd", XSD_NS)
         .attr("xmlns:xsi", XSI_NS)
-        .attr("SOAP-ENV:encodingStyle", ENCODING_NS)
-        .child(Element::new("SOAP-ENV:Body").child(body_child))
+        .attr("SOAP-ENV:encodingStyle", ENCODING_NS);
+    if !headers.is_empty() {
+        let mut header = Element::new("SOAP-ENV:Header");
+        for (name, value) in headers {
+            header.push(
+                Element::new(format!("vsg:{name}"))
+                    .attr("xmlns:vsg", "urn:vsg:ext")
+                    .text(value),
+            );
+        }
+        env = env.child(header);
+    }
+    env.child(Element::new("SOAP-ENV:Body").child(body_child))
 }
 
 fn body_of(root: &Element) -> Result<&Element, SoapError> {
@@ -233,6 +289,32 @@ mod tests {
         assert_eq!(back, call);
         assert_eq!(back.get("channel").and_then(Value::as_int), Some(42));
         assert_eq!(back.get("missing"), None);
+    }
+
+    #[test]
+    fn header_entries_round_trip() {
+        let call = RpcCall::new("urn:vsg:gateway", "play")
+            .arg("chapter", 1)
+            .header("TraceContext", "1f-2e");
+        let doc = call.to_envelope();
+        assert!(doc.contains("SOAP-ENV:Header"), "{doc}");
+        // SOAP 1.1: the Header element precedes the Body.
+        assert!(
+            doc.find("SOAP-ENV:Header").unwrap() < doc.find("SOAP-ENV:Body").unwrap(),
+            "{doc}"
+        );
+        let back = RpcCall::from_envelope(&doc).unwrap();
+        assert_eq!(back, call);
+        assert_eq!(back.get_header("TraceContext"), Some("1f-2e"));
+        assert_eq!(back.get_header("absent"), None);
+        // Headers never leak into the argument list.
+        assert_eq!(back.args.len(), 1);
+    }
+
+    #[test]
+    fn headerless_envelopes_have_no_header_element() {
+        let doc = RpcCall::new("urn:x", "ping").to_envelope();
+        assert!(!doc.contains("SOAP-ENV:Header"), "{doc}");
     }
 
     #[test]

@@ -19,6 +19,10 @@ fn main() {
     let home = SmartHome::builder().build().expect("home assembles");
     let x10 = home.x10.as_ref().unwrap();
 
+    // Watch the remote's presses cross the middleware boundary: every
+    // gateway records spans, stitched per trace across islands.
+    home.set_tracing(true);
+
     // --- Server Proxy configuration: the PCM routing table ----------------
     // Button 1 stays native X10 (the hall lamp). Buttons 5 and 6 are
     // re-routed to the Jini laserdisc and the HAVi DV camera.
@@ -92,6 +96,11 @@ fn main() {
             .transport
             .label(),
     );
+
+    // Where did each press spend its time? One trace tree per press,
+    // hop by hop across both gateways.
+    println!("\n--- trace trees (virtual time and backbone bytes per hop) ---");
+    print!("{}", home.render_traces());
 
     println!(
         "\n\"We could develop this application without any difficulties since\n\

@@ -1,0 +1,158 @@
+//! Cross-middleware distributed tracing: one invocation must yield one
+//! causally-connected trace tree spanning both gateways, whichever VSG
+//! protocol carries the trace context — and tracing must never change
+//! what an invocation returns.
+
+use metaware::{
+    CompactBinary, HopKind, Middleware, SipLike, SmartHome, Soap11, TraceId, VsgProtocol,
+};
+use proptest::prelude::*;
+use soap::Value;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+fn protocols() -> Vec<(&'static str, Arc<dyn VsgProtocol>)> {
+    vec![
+        ("soap", Arc::new(Soap11::new())),
+        ("binary", Arc::new(CompactBinary::new())),
+        ("sip", Arc::new(SipLike::new())),
+    ]
+}
+
+/// One cross-island call with tracing on; returns the merged spans.
+fn traced_cross_call(protocol: Arc<dyn VsgProtocol>) -> Vec<metaware::Span> {
+    let home = SmartHome::builder().protocol(protocol).build().unwrap();
+    home.set_tracing(true);
+    home.invoke_from(
+        Middleware::Jini,
+        "hall-lamp",
+        "switch",
+        &[("on".into(), Value::Bool(true))],
+    )
+    .unwrap();
+    assert!(home.x10.as_ref().unwrap().hall_lamp.is_on());
+    home.take_spans()
+}
+
+fn assert_one_connected_trace(name: &str, spans: &[metaware::Span]) {
+    // Every span of the invocation joins the caller's trace.
+    let traces: HashSet<TraceId> = spans.iter().map(|s| s.trace).collect();
+    assert_eq!(
+        traces.len(),
+        1,
+        "{name}: expected one trace, got {traces:?}"
+    );
+
+    // The tree spans both gateways...
+    let gateways: HashSet<&str> = spans.iter().map(|s| s.gateway.as_str()).collect();
+    assert!(gateways.contains("jini-gw"), "{name}: {gateways:?}");
+    assert!(gateways.contains("x10-gw"), "{name}: {gateways:?}");
+
+    // ...covers at least five hops, including both proxy ends...
+    assert!(spans.len() >= 5, "{name}: only {} spans", spans.len());
+    let kinds: HashSet<HopKind> = spans.iter().map(|s| s.kind).collect();
+    for kind in [
+        HopKind::ClientProxy,
+        HopKind::VsgWire,
+        HopKind::ServerProxy,
+        HopKind::App,
+    ] {
+        assert!(kinds.contains(&kind), "{name}: no {kind} span in {kinds:?}");
+    }
+
+    // ...and is causally connected: exactly one root, every other span's
+    // parent is a recorded span.
+    let ids: HashSet<_> = spans.iter().map(|s| s.id).collect();
+    let roots = spans.iter().filter(|s| s.parent.is_none()).count();
+    assert_eq!(roots, 1, "{name}: {roots} roots");
+    for s in spans {
+        if let Some(parent) = s.parent {
+            assert!(ids.contains(&parent), "{name}: orphan span {s:?}");
+        }
+    }
+}
+
+#[test]
+fn soap_propagates_the_trace_across_gateways() {
+    let (name, protocol) = protocols().remove(0);
+    assert_one_connected_trace(name, &traced_cross_call(protocol));
+}
+
+#[test]
+fn binary_propagates_the_trace_across_gateways() {
+    let (name, protocol) = protocols().remove(1);
+    assert_one_connected_trace(name, &traced_cross_call(protocol));
+}
+
+#[test]
+fn siplike_propagates_the_trace_across_gateways() {
+    let (name, protocol) = protocols().remove(2);
+    assert_one_connected_trace(name, &traced_cross_call(protocol));
+}
+
+#[test]
+fn the_rendered_tree_attributes_time_and_bytes() {
+    let spans = traced_cross_call(Arc::new(Soap11::new()));
+    let trace = spans[0].trace;
+    let tree = metaware::trace::render_trace(trace, &spans);
+    // The renderer names each hop kind and attributes wire bytes.
+    assert!(tree.contains("client-proxy"), "{tree}");
+    assert!(tree.contains("vsg-wire"), "{tree}");
+    assert!(tree.contains("server-proxy"), "{tree}");
+    assert!(tree.contains("hall-lamp.switch"), "{tree}");
+    assert!(tree.contains('B'), "no byte attribution:\n{tree}");
+}
+
+/// The operations the equivalence proptest draws from. Mixed islands,
+/// existing and missing services, good and bad arguments — errors must
+/// be identical too.
+fn arb_call() -> impl Strategy<Value = (u8, &'static str, &'static str, bool)> {
+    (
+        0u8..4,
+        prop_oneof![
+            Just("hall-lamp"),
+            Just("desk-lamp"),
+            Just("fridge"),
+            Just("no-such-service"),
+        ],
+        prop_oneof![Just("switch"), Just("status"), Just("temperature")],
+        any::<bool>(),
+    )
+}
+
+fn island(i: u8) -> Middleware {
+    match i {
+        0 => Middleware::Jini,
+        1 => Middleware::Havi,
+        2 => Middleware::X10,
+        _ => Middleware::Mail,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Tracing is pure observation: the same deterministic world run
+    /// with and without it returns bit-identical results for every call.
+    #[test]
+    fn tracing_never_changes_results(ops in proptest::collection::vec(arb_call(), 1..12)) {
+        let traced = SmartHome::builder().build().unwrap();
+        traced.set_tracing(true);
+        let plain = SmartHome::builder().build().unwrap();
+
+        for (from, service, op, on) in ops {
+            let args = if op == "switch" {
+                vec![("on".to_owned(), Value::Bool(on))]
+            } else {
+                Vec::new()
+            };
+            let a = traced.invoke_from(island(from), service, op, &args);
+            let b = plain.invoke_from(island(from), service, op, &args);
+            match (a, b) {
+                (Ok(x), Ok(y)) => prop_assert_eq!(x, y),
+                (Err(x), Err(y)) => prop_assert_eq!(x.to_string(), y.to_string()),
+                (x, y) => prop_assert!(false, "diverged: {:?} vs {:?}", x, y),
+            }
+        }
+    }
+}

@@ -5,7 +5,7 @@
 //! `any::<T>()` for primitives, ranges and regex-literal strings as
 //! strategies, `collection::{vec, btree_set, btree_map}`,
 //! `option::of`, the `proptest!`/`prop_oneof!`/`prop_assert*!`
-//! macros, and a deterministic [`test_runner::TestRunner`]-style
+//! macros, and a deterministic `test_runner::TestRunner`-style
 //! driver. No shrinking: a failing case reports the panic message and
 //! the generated inputs' `Debug` form where available.
 
