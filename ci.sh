@@ -15,6 +15,13 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test --workspace -q
 
+# The failure and chaos suites replay their randomized fault schedules
+# from CHAOS_SEED; three fixed seeds keep the coverage deterministic.
+for seed in 1 7 1234; do
+    echo "==> chaos + failure suites (CHAOS_SEED=$seed)"
+    CHAOS_SEED=$seed cargo test -q --test chaos --test failures
+done
+
 echo "==> cargo doc --no-deps (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace -q
 

@@ -1,5 +1,7 @@
 //! Framework-level errors.
 
+use simnet::{NodeId, SimError};
+use soap::HttpError;
 use std::fmt;
 
 /// Errors surfaced by the meta-middleware framework.
@@ -38,6 +40,34 @@ pub enum MetaError {
     GatewayUnreachable(String),
     /// The repository rejected or failed a request.
     Repository(String),
+    /// The wire path itself failed (link loss, crash, partition).
+    Transport {
+        /// What the network layer reported.
+        detail: String,
+        /// `true` when the failure guarantees the request never
+        /// reached the serving side (safe to retry unconditionally);
+        /// `false` when the outcome is unknown — the response was lost
+        /// after delivery, so the remote side may have executed and
+        /// only idempotent operations may be retried.
+        not_executed: bool,
+    },
+    /// The invocation's virtual-time budget ran out before any attempt
+    /// succeeded. Terminal: the resilience layer already retried as
+    /// far as the deadline allowed.
+    DeadlineExceeded {
+        /// The service being invoked.
+        service: String,
+        /// How long the caller waited, in virtual milliseconds.
+        waited_ms: u64,
+    },
+    /// The per-gateway circuit breaker is open: recent calls to this
+    /// gateway kept failing, so the call was rejected without touching
+    /// the wire. Guaranteed not executed, but retrying immediately
+    /// would defeat the breaker — wait for its half-open probe.
+    CircuitOpen {
+        /// The gateway the breaker protects.
+        gateway: String,
+    },
 }
 
 impl MetaError {
@@ -46,6 +76,32 @@ impl MetaError {
         MetaError::Native {
             middleware: middleware.to_owned(),
             detail: detail.to_string(),
+        }
+    }
+
+    /// Convenience constructor for wire-path transport failures.
+    pub fn transport(detail: impl fmt::Display, not_executed: bool) -> MetaError {
+        MetaError::Transport {
+            detail: detail.to_string(),
+            not_executed,
+        }
+    }
+
+    /// Types a raw [`SimError`] returned by a request issued from
+    /// `caller` (protocols that talk to the network directly — binary,
+    /// SIP-like — use this; SOAP classifies inside its HTTP client).
+    /// The request-leg/response-leg split decides
+    /// [`MetaError::is_retry_safe`].
+    pub fn from_wire_error(e: &SimError, caller: NodeId) -> MetaError {
+        MetaError::transport(e, e.before_delivery(caller))
+    }
+
+    /// Types an [`HttpError`] from the SOAP transport stack.
+    pub fn from_http_error(e: &HttpError) -> MetaError {
+        match e {
+            HttpError::Unreachable(inner) => MetaError::transport(inner, true),
+            HttpError::ResponseLost(inner) => MetaError::transport(inner, false),
+            other => MetaError::Protocol(other.to_string()),
         }
     }
 
@@ -97,6 +153,30 @@ impl MetaError {
         if let Some(msg) = fault.strip_prefix("VSG protocol error: ") {
             return MetaError::Protocol(msg.to_owned());
         }
+        if let Some(detail) = fault.strip_prefix("transport failure before delivery: ") {
+            return MetaError::transport(detail, true);
+        }
+        if let Some(detail) = fault.strip_prefix("transport failure, outcome unknown: ") {
+            return MetaError::transport(detail, false);
+        }
+        if let Some(rest) = fault.strip_prefix("deadline exceeded after ") {
+            if let Some((ms, service)) = rest.split_once("ms invoking '") {
+                if let (Ok(waited_ms), Some(service)) = (ms.parse(), service.strip_suffix('\'')) {
+                    return MetaError::DeadlineExceeded {
+                        service: service.to_owned(),
+                        waited_ms,
+                    };
+                }
+            }
+        }
+        if let Some(gw) = fault
+            .strip_prefix("circuit open for gateway '")
+            .and_then(|rest| rest.strip_suffix('\''))
+        {
+            return MetaError::CircuitOpen {
+                gateway: gw.to_owned(),
+            };
+        }
         if let Some(msg) = fault.strip_prefix("repository error: ") {
             return MetaError::Repository(msg.to_owned());
         }
@@ -120,21 +200,45 @@ impl MetaError {
             MetaError::Native { .. } => "native",
             MetaError::GatewayUnreachable(_) => "gateway-unreachable",
             MetaError::Repository(_) => "repository",
+            MetaError::Transport { .. } => "transport",
+            MetaError::DeadlineExceeded { .. } => "deadline-exceeded",
+            MetaError::CircuitOpen { .. } => "circuit-open",
         }
     }
 
     /// True if the failure guarantees the operation was *not*
-    /// executed — transport/availability problems, or a gateway that
-    /// does not know the service (a stale route) — so re-resolving and
-    /// retrying cannot double-invoke it. Application-level faults
-    /// (unknown operation, type mismatch, native middleware errors)
-    /// mean the remote side did process the call and must propagate.
+    /// executed — transport/availability problems before delivery, or
+    /// a gateway that does not know the service (a stale route) — so
+    /// re-resolving and retrying cannot double-invoke it.
+    /// Application-level faults (unknown operation, type mismatch,
+    /// native middleware errors) mean the remote side did process the
+    /// call and must propagate; a [`MetaError::Transport`] whose
+    /// outcome is unknown (lost *response*) is only retryable for
+    /// idempotent operations and therefore reports `false` here.
+    /// [`MetaError::CircuitOpen`] also reports `false`: nothing
+    /// executed, but an immediate retry would defeat the breaker.
     pub fn is_retry_safe(&self) -> bool {
         matches!(
             self,
             MetaError::Protocol(_)
                 | MetaError::GatewayUnreachable(_)
                 | MetaError::UnknownService(_)
+                | MetaError::Transport {
+                    not_executed: true,
+                    ..
+                }
+        )
+    }
+
+    /// True for failures of the wire path itself — the class the
+    /// resilience layer retries with backoff and counts against the
+    /// per-gateway circuit breaker. Application faults and definitive
+    /// repository answers are *successes* from the transport's point
+    /// of view: the remote side was reached and responded.
+    pub fn is_transport_failure(&self) -> bool {
+        matches!(
+            self,
+            MetaError::Transport { .. } | MetaError::GatewayUnreachable(_)
         )
     }
 }
@@ -161,6 +265,23 @@ impl fmt::Display for MetaError {
             }
             MetaError::GatewayUnreachable(g) => write!(f, "gateway '{g}' unreachable"),
             MetaError::Repository(m) => write!(f, "repository error: {m}"),
+            MetaError::Transport {
+                detail,
+                not_executed: true,
+            } => write!(f, "transport failure before delivery: {detail}"),
+            MetaError::Transport {
+                detail,
+                not_executed: false,
+            } => write!(f, "transport failure, outcome unknown: {detail}"),
+            MetaError::DeadlineExceeded { service, waited_ms } => {
+                write!(
+                    f,
+                    "deadline exceeded after {waited_ms}ms invoking '{service}'"
+                )
+            }
+            MetaError::CircuitOpen { gateway } => {
+                write!(f, "circuit open for gateway '{gateway}'")
+            }
         }
     }
 }
@@ -206,6 +327,15 @@ mod tests {
             MetaError::Protocol("link down".into()),
             MetaError::Repository("tModel missing".into()),
             MetaError::native("x10", "device jammed"),
+            MetaError::transport("frame to node 3 lost", true),
+            MetaError::transport("frame to node 1 lost", false),
+            MetaError::DeadlineExceeded {
+                service: "hall-lamp".into(),
+                waited_ms: 2000,
+            },
+            MetaError::CircuitOpen {
+                gateway: "havi-gw".into(),
+            },
         ] {
             assert_eq!(MetaError::from_fault_string(&e.to_string()), e);
         }
@@ -216,10 +346,51 @@ mod tests {
     }
 
     #[test]
+    fn wire_errors_classify_by_leg_and_http_errors_by_variant() {
+        let caller = NodeId(1);
+        let server = NodeId(2);
+        let lost_req = SimError::FrameLost {
+            dst: server,
+            at: simnet::SimTime::ZERO,
+        };
+        let lost_resp = SimError::FrameLost {
+            dst: caller,
+            at: simnet::SimTime::ZERO,
+        };
+        assert!(MetaError::from_wire_error(&lost_req, caller).is_retry_safe());
+        let ambiguous = MetaError::from_wire_error(&lost_resp, caller);
+        assert!(!ambiguous.is_retry_safe(), "lost response must not retry");
+        assert!(ambiguous.is_transport_failure());
+        assert!(
+            MetaError::from_http_error(&HttpError::Unreachable(lost_req.clone())).is_retry_safe()
+        );
+        assert!(!MetaError::from_http_error(&HttpError::ResponseLost(lost_resp)).is_retry_safe());
+        assert_eq!(
+            MetaError::from_http_error(&HttpError::Malformed("junk")).kind(),
+            "protocol"
+        );
+    }
+
+    #[test]
     fn retry_safety_classification() {
         assert!(MetaError::Protocol("link down".into()).is_retry_safe());
         assert!(MetaError::GatewayUnreachable("gw".into()).is_retry_safe());
         assert!(MetaError::UnknownService("s".into()).is_retry_safe());
+        assert!(MetaError::transport("lost", true).is_retry_safe());
+        assert!(!MetaError::transport("lost", false).is_retry_safe());
+        assert!(!MetaError::DeadlineExceeded {
+            service: "s".into(),
+            waited_ms: 1
+        }
+        .is_retry_safe());
+        assert!(!MetaError::CircuitOpen {
+            gateway: "gw".into()
+        }
+        .is_retry_safe());
+        assert!(MetaError::transport("lost", false).is_transport_failure());
+        assert!(MetaError::GatewayUnreachable("gw".into()).is_transport_failure());
+        assert!(!MetaError::native("x10", "jam").is_transport_failure());
+        assert!(!MetaError::UnknownService("s".into()).is_transport_failure());
         assert!(!MetaError::native("x10", "device jammed").is_retry_safe());
         assert!(!MetaError::Repository("corrupt".into()).is_retry_safe());
         assert!(!MetaError::UnknownOperation {

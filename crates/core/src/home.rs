@@ -18,6 +18,7 @@ use crate::pcm::mail::MailPcm;
 use crate::pcm::upnp::UpnpPcm;
 use crate::pcm::x10::X10Pcm;
 use crate::protocol::{Soap11, VsgProtocol};
+use crate::resilience::ResiliencePolicy;
 use crate::service::Middleware;
 use crate::vsg::Vsg;
 use crate::vsr::Vsr;
@@ -155,6 +156,9 @@ pub struct SmartHome {
     pub mail: Option<MailIsland>,
     /// The UPnP island, if built.
     pub upnp: Option<UpnpIsland>,
+    /// Handles of the gateway re-registration heartbeats, when the
+    /// builder armed them (kept so the timers stay cancellable).
+    pub heartbeats: Vec<simnet::RepeatHandle>,
 }
 
 /// Builder for [`SmartHome`].
@@ -168,6 +172,9 @@ pub struct SmartHomeBuilder {
     upnp: bool,
     lossless_powerline: bool,
     auto_import: bool,
+    resilience: Option<ResiliencePolicy>,
+    vsr_lease: Option<SimDuration>,
+    heartbeat: Option<SimDuration>,
 }
 
 /// Shorthand used throughout: house code from a letter.
@@ -193,6 +200,9 @@ impl SmartHome {
             upnp: false,
             lossless_powerline: true,
             auto_import: true,
+            resilience: None,
+            vsr_lease: None,
+            heartbeat: None,
         }
     }
 
@@ -289,6 +299,14 @@ impl SmartHome {
             .map(|vsg| vsg.metrics_snapshot())
             .collect()
     }
+
+    /// Installs `policy` on every gateway at once (benches flip the
+    /// whole home between resilient and raw wire paths this way).
+    pub fn set_resilience(&self, policy: ResiliencePolicy) {
+        for vsg in self.gateways() {
+            vsg.set_resilience(policy.clone());
+        }
+    }
 }
 
 impl SmartHomeBuilder {
@@ -347,11 +365,38 @@ impl SmartHomeBuilder {
         self
     }
 
+    /// Installs a resilience policy on every gateway at build time
+    /// (each gateway otherwise starts with the defaults).
+    pub fn resilience(mut self, policy: ResiliencePolicy) -> Self {
+        self.resilience = Some(policy);
+        self
+    }
+
+    /// Turns on VSR record leases of the given duration: services not
+    /// renewed or re-published in time are reaped, so a crashed
+    /// gateway's exports stop resolving.
+    pub fn vsr_lease(mut self, duration: SimDuration) -> Self {
+        self.vsr_lease = Some(duration);
+        self
+    }
+
+    /// Arms a per-gateway heartbeat that re-registers the gateway and
+    /// re-publishes its exports every `period` — the recovery half of
+    /// VSR leases. The timers fire when the simulation event loop is
+    /// pumped (`run_for`/`run_until`), not on bare `advance`.
+    pub fn heartbeat(mut self, period: SimDuration) -> Self {
+        self.heartbeat = Some(period);
+        self
+    }
+
     /// Assembles the home.
     pub fn build(self) -> Result<SmartHome, MetaError> {
         let sim = Sim::new(self.seed);
         let backbone = Network::ethernet(&sim);
         let vsr = Vsr::start(&backbone);
+        if let Some(lease) = self.vsr_lease {
+            vsr.set_lease_duration(Some(lease));
+        }
 
         let jini = if self.jini {
             Some(build_jini(
@@ -404,7 +449,7 @@ impl SmartHomeBuilder {
             None
         };
 
-        Ok(SmartHome {
+        let home = SmartHome {
             sim,
             backbone,
             vsr,
@@ -413,7 +458,25 @@ impl SmartHomeBuilder {
             x10,
             mail,
             upnp,
-        })
+            heartbeats: Vec::new(),
+        };
+        if let Some(policy) = self.resilience {
+            home.set_resilience(policy);
+        }
+        let mut home = home;
+        if let Some(period) = self.heartbeat {
+            home.heartbeats = home
+                .gateways()
+                .into_iter()
+                .cloned()
+                .map(|vsg| {
+                    home.sim.every(period, move |_sim| {
+                        let _ = vsg.republish_all();
+                    })
+                })
+                .collect();
+        }
+        Ok(home)
     }
 }
 

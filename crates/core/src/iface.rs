@@ -90,6 +90,12 @@ pub struct OpSig {
     pub params: Vec<(String, TypeTag)>,
     /// Return type; `None` for void.
     pub returns: Option<TypeTag>,
+    /// Whether calling the operation twice is equivalent to calling it
+    /// once (a pure read, or an absolute state set). The resilience
+    /// layer only re-sends an operation whose response was lost — an
+    /// *ambiguous* failure — when this is `true`. Defaults to `false`:
+    /// the safe assumption for an operation nobody has classified.
+    pub idempotent: bool,
 }
 
 impl OpSig {
@@ -99,6 +105,7 @@ impl OpSig {
             name: name.into(),
             params: Vec::new(),
             returns: None,
+            idempotent: false,
         }
     }
 
@@ -111,6 +118,12 @@ impl OpSig {
     /// Sets the return type (builder style).
     pub fn returns(mut self, ty: TypeTag) -> OpSig {
         self.returns = Some(ty);
+        self
+    }
+
+    /// Marks the operation idempotent (builder style).
+    pub fn idempotent(mut self) -> OpSig {
+        self.idempotent = true;
         self
     }
 
@@ -188,6 +201,9 @@ impl ServiceInterface {
             .doc(format!("interface {}", self.name));
         for op in &self.operations {
             let mut w = Operation::new(&op.name);
+            if op.idempotent {
+                w = w.idempotent();
+            }
             for (p, t) in &op.params {
                 w = w.input(p, t.to_xsd());
             }
@@ -210,6 +226,9 @@ impl ServiceInterface {
         );
         for op in &desc.operations {
             let mut sig = OpSig::new(&op.name);
+            if op.idempotent {
+                sig = sig.idempotent();
+            }
             for part in &op.inputs {
                 sig = sig.param(&part.name, TypeTag::from_xsd(part.ty));
             }
@@ -290,7 +309,7 @@ pub mod catalog {
         ServiceInterface::new("Lamp")
             .op(OpSig::new("switch").param("on", TypeTag::Bool))
             .op(OpSig::new("dim").param("steps", TypeTag::Int))
-            .op(OpSig::new("status").returns(TypeTag::Bool))
+            .op(OpSig::new("status").returns(TypeTag::Bool).idempotent())
     }
 
     /// A VCR with transport and timer recording.
@@ -302,7 +321,7 @@ pub mod catalog {
                 .param("channel", TypeTag::Int)
                 .param("title", TypeTag::Str)
                 .returns(TypeTag::Bool))
-            .op(OpSig::new("position").returns(TypeTag::Int))
+            .op(OpSig::new("position").returns(TypeTag::Int).idempotent())
     }
 
     /// The Jini Laserdisc player of Fig. 5.
@@ -310,7 +329,7 @@ pub mod catalog {
         ServiceInterface::new("LaserdiscPlayer")
             .op(OpSig::new("play").param("chapter", TypeTag::Int))
             .op(OpSig::new("stop"))
-            .op(OpSig::new("status").returns(TypeTag::Str))
+            .op(OpSig::new("status").returns(TypeTag::Str).idempotent())
     }
 
     /// The HAVi DV camera of Fig. 5.
@@ -326,7 +345,7 @@ pub mod catalog {
     pub fn tuner() -> ServiceInterface {
         ServiceInterface::new("Tuner")
             .op(OpSig::new("set_channel").param("channel", TypeTag::Int))
-            .op(OpSig::new("channel").returns(TypeTag::Int))
+            .op(OpSig::new("channel").returns(TypeTag::Int).idempotent())
     }
 
     /// A display panel (for OSD).
@@ -337,7 +356,9 @@ pub mod catalog {
     /// A refrigerator (the §1 Jini appliance).
     pub fn fridge() -> ServiceInterface {
         ServiceInterface::new("Fridge")
-            .op(OpSig::new("temperature").returns(TypeTag::Float))
+            .op(OpSig::new("temperature")
+                .returns(TypeTag::Float)
+                .idempotent())
             .op(OpSig::new("set_target").param("celsius", TypeTag::Float))
     }
 
@@ -346,7 +367,7 @@ pub mod catalog {
         ServiceInterface::new("AirConditioner")
             .op(OpSig::new("switch").param("on", TypeTag::Bool))
             .op(OpSig::new("set_target").param("celsius", TypeTag::Float))
-            .op(OpSig::new("status").returns(TypeTag::Str))
+            .op(OpSig::new("status").returns(TypeTag::Str).idempotent())
     }
 
     /// A mail notification service.
@@ -358,13 +379,14 @@ pub mod catalog {
                 .param("body", TypeTag::Str))
             .op(OpSig::new("unread")
                 .param("mailbox", TypeTag::Str)
-                .returns(TypeTag::Int))
+                .returns(TypeTag::Int)
+                .idempotent())
     }
 
     /// A motion sensor (event source, pollable).
     pub fn motion_sensor() -> ServiceInterface {
         ServiceInterface::new("MotionSensor")
-            .op(OpSig::new("state").returns(TypeTag::Bool))
+            .op(OpSig::new("state").returns(TypeTag::Bool).idempotent())
             .op(OpSig::new("drain_events").returns(TypeTag::Any))
     }
 }

@@ -63,6 +63,7 @@ pub mod pcm;
 pub mod protocol;
 pub mod proxygen;
 pub mod rescache;
+pub mod resilience;
 pub mod service;
 pub mod trace;
 pub mod vsg;
@@ -82,6 +83,7 @@ pub use pcm::ProtocolConversionManager;
 pub use protocol::{CompactBinary, SipLike, Soap11, VsgProtocol, VsgRequest};
 pub use proxygen::{generate, GeneratedProxy, ProxyGenCost, ProxyTarget};
 pub use rescache::ResolutionCache;
+pub use resilience::{BreakerState, CircuitBreaker, ResiliencePolicy};
 pub use service::{Middleware, ServiceInvoker, VirtualService};
 pub use trace::{HopKind, Span, SpanId, TraceContext, TraceId, Tracer};
 pub use vsg::Vsg;

@@ -119,6 +119,10 @@ pub struct CacheStats {
     /// Entries dropped by explicit invalidation (withdraw/re-export or
     /// a stale route detected mid-invocation).
     pub invalidations: u64,
+    /// Invalidated entries served anyway because the VSR was
+    /// unreachable and the gateway preferred availability (degraded
+    /// mode).
+    pub stale_serves: u64,
 }
 
 impl CacheStats {
@@ -182,6 +186,10 @@ struct MetricsState {
     errors: std::collections::BTreeMap<&'static str, u64>,
     per_service: std::collections::BTreeMap<String, u64>,
     latency: LatencyHistogram,
+    retries: u64,
+    degraded_serves: u64,
+    breaker_transitions: u64,
+    breaker_state: std::collections::BTreeMap<String, &'static str>,
 }
 
 /// Per-gateway monotonic counters and latency histogram, fed by every
@@ -215,6 +223,26 @@ impl MetricsRegistry {
         st.latency.record(elapsed_us);
     }
 
+    /// Records one wire-call retry (the resilience layer re-sending
+    /// after a transport failure).
+    pub fn record_retry(&self) {
+        self.state.lock().retries += 1;
+    }
+
+    /// Records one invocation answered from a stale route because the
+    /// VSR was unreachable (degraded mode).
+    pub fn record_degraded_serve(&self) {
+        self.state.lock().degraded_serves += 1;
+    }
+
+    /// Records a circuit-breaker state transition for `gateway` and
+    /// updates the per-gateway state gauge.
+    pub fn record_breaker_transition(&self, gateway: &str, state: &'static str) {
+        let mut st = self.state.lock();
+        st.breaker_transitions += 1;
+        st.breaker_state.insert(gateway.to_owned(), state);
+    }
+
     /// A point-in-time copy of the counters.
     pub fn snapshot(&self) -> RegistrySnapshot {
         let st = self.state.lock();
@@ -231,6 +259,14 @@ impl MetricsRegistry {
                 .map(|(k, v)| (k.clone(), *v))
                 .collect(),
             latency: st.latency,
+            retries: st.retries,
+            degraded_serves: st.degraded_serves,
+            breaker_transitions: st.breaker_transitions,
+            breakers: st
+                .breaker_state
+                .iter()
+                .map(|(k, v)| (k.clone(), (*v).to_owned()))
+                .collect(),
         }
     }
 }
@@ -246,6 +282,14 @@ pub struct RegistrySnapshot {
     pub per_service: Vec<(String, u64)>,
     /// Virtual-time latency distribution of invocations.
     pub latency: LatencyHistogram,
+    /// Wire-call retries performed by the resilience layer.
+    pub retries: u64,
+    /// Invocations served from a stale route during a VSR outage.
+    pub degraded_serves: u64,
+    /// Circuit-breaker state transitions (open/half-open/closed).
+    pub breaker_transitions: u64,
+    /// Current breaker state per remote gateway (gauge).
+    pub breakers: Vec<(String, String)>,
 }
 
 /// A gateway's full observable state — invocation counters merged with
@@ -301,12 +345,24 @@ impl MetricsSnapshot {
             self.registry.latency.mean_us()
         ));
         out.push_str(&format!(
-            ",\"cache\":{{\"hits\":{},\"negative_hits\":{},\"misses\":{},\"evictions\":{},\"invalidations\":{}}}}}",
+            ",\"resilience\":{{\"retries\":{},\"degraded_serves\":{},\"breaker_transitions\":{},\"breakers\":{{",
+            self.registry.retries, self.registry.degraded_serves, self.registry.breaker_transitions
+        ));
+        for (i, (gw, state)) in self.registry.breakers.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{}:{}", json_str(gw), json_str(state)));
+        }
+        out.push_str("}}");
+        out.push_str(&format!(
+            ",\"cache\":{{\"hits\":{},\"negative_hits\":{},\"misses\":{},\"evictions\":{},\"invalidations\":{},\"stale_serves\":{}}}}}",
             self.cache.hits,
             self.cache.negative_hits,
             self.cache.misses,
             self.cache.evictions,
-            self.cache.invalidations
+            self.cache.invalidations,
+            self.cache.stale_serves
         ));
         out
     }
@@ -535,6 +591,43 @@ mod tests {
             vec![("lamp".to_owned(), 2), ("vcr".to_owned(), 1)]
         );
         assert_eq!(snap.latency.count, 3);
+    }
+
+    #[test]
+    fn registry_tracks_resilience_events() {
+        let reg = MetricsRegistry::new();
+        reg.record_retry();
+        reg.record_retry();
+        reg.record_degraded_serve();
+        reg.record_breaker_transition("havi-gw", "open");
+        reg.record_breaker_transition("havi-gw", "half-open");
+        reg.record_breaker_transition("jini-gw", "open");
+        let snap = reg.snapshot();
+        assert_eq!(snap.retries, 2);
+        assert_eq!(snap.degraded_serves, 1);
+        assert_eq!(snap.breaker_transitions, 3);
+        assert_eq!(
+            snap.breakers,
+            vec![
+                ("havi-gw".to_owned(), "half-open".to_owned()),
+                ("jini-gw".to_owned(), "open".to_owned()),
+            ]
+        );
+        let json = MetricsSnapshot {
+            gateway: "soap-gw".into(),
+            registry: snap,
+            cache: CacheStats::default(),
+        }
+        .to_json();
+        for needle in [
+            "\"retries\":2",
+            "\"degraded_serves\":1",
+            "\"breaker_transitions\":3",
+            "\"havi-gw\":\"half-open\"",
+            "\"stale_serves\":0",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
     }
 
     #[test]

@@ -135,7 +135,7 @@ impl VsgProtocol for CompactBinary {
     ) -> Result<Value, MetaError> {
         let reply = net
             .request(from, to, Protocol::Raw, encode_request(req))
-            .map_err(|e| MetaError::Protocol(e.to_string()))?;
+            .map_err(|e| MetaError::from_wire_error(&e, from))?;
         decode_reply(&reply)
     }
 }

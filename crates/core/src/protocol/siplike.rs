@@ -198,7 +198,7 @@ impl VsgProtocol for SipLike {
     ) -> Result<Value, MetaError> {
         let reply = net
             .request(from, to, Protocol::Sip, encode_invite(req))
-            .map_err(|e| MetaError::Protocol(e.to_string()))?;
+            .map_err(|e| MetaError::from_wire_error(&e, from))?;
         decode_response(&reply)
     }
 

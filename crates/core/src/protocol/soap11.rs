@@ -129,6 +129,10 @@ impl VsgProtocol for Soap11 {
             // routes (UnknownService) stay distinguishable from
             // application faults.
             SoapError::Fault(f) => MetaError::from_fault_string(&f.string),
+            // HTTP-layer failures arrive pre-classified by delivery
+            // leg, so the resilience layer knows whether the remote
+            // gateway may have executed the operation.
+            SoapError::Http(h) => MetaError::from_http_error(&h),
             other => MetaError::Protocol(other.to_string()),
         })
     }

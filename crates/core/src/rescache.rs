@@ -32,12 +32,23 @@ enum Entry {
         budget: u32,
         last_used: u64,
     },
+    /// An invalidated resolution kept around as a last resort: normal
+    /// lookups skip it (the route is suspect), but when the VSR itself
+    /// is unreachable a gateway in degraded mode may still serve it via
+    /// [`ResolutionCache::stale_lookup`] — availability over freshness.
+    Stale {
+        record: ServiceRecord,
+        gw_node: NodeId,
+        last_used: u64,
+    },
 }
 
 impl Entry {
     fn last_used(&self) -> u64 {
         match self {
-            Entry::Resolved { last_used, .. } | Entry::Negative { last_used, .. } => *last_used,
+            Entry::Resolved { last_used, .. }
+            | Entry::Negative { last_used, .. }
+            | Entry::Stale { last_used, .. } => *last_used,
         }
     }
 }
@@ -114,10 +125,31 @@ impl ResolutionCache {
                 }
                 Lookup::NegativeHit
             }
-            None => {
+            // A stale entry is not a route — the VSR must be re-asked.
+            Some(Entry::Stale { .. }) | None => {
                 self.stats.misses += 1;
                 Lookup::Miss
             }
+        }
+    }
+
+    /// Serves an invalidated (stale) resolution, if one survives. Only
+    /// for degraded mode: the caller has already failed to reach the
+    /// VSR and prefers a possibly-outdated route over no route at all.
+    pub fn stale_lookup(&mut self, service: &str) -> Option<(ServiceRecord, NodeId)> {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.entries.get_mut(service) {
+            Some(Entry::Stale {
+                record,
+                gw_node,
+                last_used,
+            }) => {
+                *last_used = tick;
+                self.stats.stale_serves += 1;
+                Some((record.clone(), *gw_node))
+            }
+            _ => None,
         }
     }
 
@@ -164,19 +196,47 @@ impl ResolutionCache {
         }
     }
 
-    /// Drops the entry for `service` (withdraw, re-export, or a stale
-    /// route detected mid-invocation). Returns whether one existed.
+    /// Invalidates the entry for `service` (withdraw, re-export, or a
+    /// stale route detected mid-invocation). A resolved entry is
+    /// demoted to stale — invisible to [`Self::lookup`] but available
+    /// to [`Self::stale_lookup`] when the VSR is down; a negative entry
+    /// is dropped. Returns whether a live entry was invalidated.
     pub fn invalidate(&mut self, service: &str) -> bool {
-        let existed = self.entries.remove(service).is_some();
-        if existed {
-            self.stats.invalidations += 1;
+        match self.entries.get_mut(service) {
+            Some(entry @ Entry::Resolved { .. }) => {
+                let demoted = match entry {
+                    Entry::Resolved {
+                        record,
+                        gw_node,
+                        last_used,
+                    } => Entry::Stale {
+                        record: record.clone(),
+                        gw_node: *gw_node,
+                        last_used: *last_used,
+                    },
+                    _ => unreachable!(),
+                };
+                *entry = demoted;
+                self.stats.invalidations += 1;
+                true
+            }
+            Some(Entry::Negative { .. }) => {
+                self.entries.remove(service);
+                self.stats.invalidations += 1;
+                true
+            }
+            Some(Entry::Stale { .. }) | None => false,
         }
-        existed
     }
 
-    /// Drops every entry (counted as invalidations).
+    /// Drops every entry. Live (resolved/negative) entries count as
+    /// invalidations; stale entries were already counted when demoted.
     pub fn clear(&mut self) {
-        self.stats.invalidations += self.entries.len() as u64;
+        self.stats.invalidations += self
+            .entries
+            .values()
+            .filter(|e| !matches!(e, Entry::Stale { .. }))
+            .count() as u64;
         self.entries.clear();
     }
 
@@ -303,6 +363,25 @@ mod tests {
             matches!(cache.lookup("d"), Lookup::Hit(..)),
             "newest survives"
         );
+    }
+
+    #[test]
+    fn invalidated_entries_remain_servable_as_stale() {
+        let mut cache = ResolutionCache::new(8);
+        cache.insert_resolved("lamp", record("lamp"), NodeId(7));
+        assert!(cache.invalidate("lamp"));
+        // Invisible to the normal path…
+        assert_eq!(cache.lookup("lamp"), Lookup::Miss);
+        // …but a degraded gateway can still get a route.
+        let (rec, node) = cache.stale_lookup("lamp").expect("stale route");
+        assert_eq!((rec.name.as_str(), node), ("lamp", NodeId(7)));
+        assert_eq!(cache.stats().stale_serves, 1);
+        // A fresh resolution replaces the stale entry outright.
+        cache.insert_resolved("lamp", record("lamp"), NodeId(9));
+        assert!(matches!(cache.lookup("lamp"), Lookup::Hit(..)));
+        assert!(cache.stale_lookup("lamp").is_none());
+        // Nothing stale for unknown services.
+        assert!(cache.stale_lookup("ghost").is_none());
     }
 
     #[test]

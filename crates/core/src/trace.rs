@@ -78,6 +78,9 @@ pub enum HopKind {
     App,
     /// An event delivery (polling-bridge tick or SIP NOTIFY push).
     Event,
+    /// A resilience-layer decision: a retry, a circuit-breaker state
+    /// transition, or a degraded (stale-route) serve.
+    Resilience,
 }
 
 impl HopKind {
@@ -92,6 +95,7 @@ impl HopKind {
             HopKind::ServerProxy => "server-proxy",
             HopKind::App => "app",
             HopKind::Event => "event",
+            HopKind::Resilience => "resilience",
         }
     }
 }

@@ -10,11 +10,12 @@ use crate::error::MetaError;
 use crate::metrics::{CacheStats, MetricsRegistry, MetricsSnapshot};
 use crate::protocol::{VsgProtocol, VsgRequest};
 use crate::rescache::{Lookup, ResolutionCache};
+use crate::resilience::{BreakerState, CircuitBreaker, ResiliencePolicy};
 use crate::service::{ServiceInvoker, VirtualService};
 use crate::trace::{HopKind, Tracer};
 use crate::vsr::{ServiceRecord, VsrClient};
 use parking_lot::Mutex;
-use simnet::{Network, NodeId, Sim};
+use simnet::{Network, NodeId, Sim, SimDuration, SimTime};
 use soap::Value;
 use std::collections::HashMap;
 use std::fmt;
@@ -35,6 +36,8 @@ struct VsgInner {
     rescache: Mutex<ResolutionCache>,
     tracer: Tracer,
     metrics: MetricsRegistry,
+    resilience: Mutex<ResiliencePolicy>,
+    breakers: Mutex<HashMap<String, CircuitBreaker>>,
 }
 
 /// A running gateway.
@@ -74,6 +77,8 @@ impl Vsg {
                 rescache: Mutex::new(ResolutionCache::default()),
                 tracer,
                 metrics: MetricsRegistry::new(),
+                resilience: Mutex::new(ResiliencePolicy::default()),
+                breakers: Mutex::new(HashMap::new()),
             }),
         })
     }
@@ -195,6 +200,9 @@ impl Vsg {
     ) -> Result<Value, MetaError> {
         let mut req = VsgRequest::new(service, operation);
         req.args = args.to_vec();
+        // The invocation's deadline spans everything that follows:
+        // cached attempt, re-resolution, retries, and backoff waits.
+        let started = sim.now();
 
         // Fast path: a warm cache entry carries the full record and the
         // serving gateway's node — zero VSR round trips. (Bound to a
@@ -204,7 +212,15 @@ impl Vsg {
         match looked_up {
             Lookup::Hit(record, gw_node) => {
                 self.note_cache(sim, looked_up_label, service);
-                match self.wire_call(sim, gw_node, &record.gateway, &mut req) {
+                let idempotent = op_is_idempotent(&record, operation);
+                match self.resilient_wire_call(
+                    sim,
+                    gw_node,
+                    &record.gateway,
+                    &mut req,
+                    idempotent,
+                    started,
+                ) {
                     Ok(v) => return Ok(v),
                     // Only errors that guarantee the operation did not
                     // execute (gateway gone, stale route) may evict and
@@ -233,6 +249,12 @@ impl Vsg {
                 self.inner.rescache.lock().insert_negative(service);
                 return Err(MetaError::UnknownService(name));
             }
+            // The VSR itself is unreachable. Degraded mode: a stale
+            // (previously invalidated) route beats failing the call —
+            // §3.1's backbone still works even when discovery is down.
+            Err(e) if e.is_transport_failure() => {
+                return self.invoke_degraded(sim, service, operation, &mut req, started, e);
+            }
             Err(e) => return Err(e),
         };
         let gw_node = self
@@ -240,7 +262,9 @@ impl Vsg {
             .vsr
             .gateway_node(&record.gateway)
             .map_err(|_| MetaError::GatewayUnreachable(record.gateway.clone()))?;
-        let result = self.wire_call(sim, gw_node, &record.gateway, &mut req);
+        let idempotent = op_is_idempotent(&record, operation);
+        let result =
+            self.resilient_wire_call(sim, gw_node, &record.gateway, &mut req, idempotent, started);
         // Cache the resolution unless the call failed in a way that
         // leaves the route in doubt (an application fault proves the
         // remote gateway serves this record, so the route is good).
@@ -260,6 +284,175 @@ impl Vsg {
             Err(_) => {}
         }
         result
+    }
+
+    /// The VSR is down. If degraded reads are allowed and an
+    /// invalidated route survives in the cache, serve over it; a
+    /// success re-promotes the route to resolved. Otherwise the
+    /// original resolution error propagates.
+    fn invoke_degraded(
+        &self,
+        sim: &Sim,
+        service: &str,
+        operation: &str,
+        req: &mut VsgRequest,
+        started: SimTime,
+        resolve_err: MetaError,
+    ) -> Result<Value, MetaError> {
+        if !{
+            let p = self.inner.resilience.lock();
+            p.enabled && p.degraded_reads
+        } {
+            return Err(resolve_err);
+        }
+        let Some((record, gw_node)) = self.inner.rescache.lock().stale_lookup(service) else {
+            return Err(resolve_err);
+        };
+        self.inner.metrics.record_degraded_serve();
+        self.note_resilience(sim, || {
+            format!(
+                "degraded: VSR down, stale route for {service} via {}",
+                record.gateway
+            )
+        });
+        let idempotent = op_is_idempotent(&record, operation);
+        let result =
+            self.resilient_wire_call(sim, gw_node, &record.gateway, req, idempotent, started);
+        if result.is_ok() {
+            self.inner
+                .rescache
+                .lock()
+                .insert_resolved(service, record, gw_node);
+        }
+        result
+    }
+
+    /// One logical wire call under the resilience policy: circuit
+    /// breaker admission, then up to `1 + max_retries` attempts paced
+    /// by jittered exponential backoff, all bounded by the deadline.
+    /// Only transport failures are retried, and an ambiguous one (the
+    /// remote may have executed) is retried only when the operation is
+    /// idempotent — the no-double-invoke guarantee.
+    fn resilient_wire_call(
+        &self,
+        sim: &Sim,
+        gw_node: NodeId,
+        gateway: &str,
+        req: &mut VsgRequest,
+        idempotent: bool,
+        started: SimTime,
+    ) -> Result<Value, MetaError> {
+        let policy = self.inner.resilience.lock().clone();
+        if !policy.enabled {
+            return self.wire_call(sim, gw_node, gateway, req);
+        }
+        if !self.breaker_admit(sim, gateway, &policy) {
+            self.note_resilience(sim, || format!("breaker open: fail fast to {gateway}"));
+            return Err(MetaError::CircuitOpen {
+                gateway: gateway.to_owned(),
+            });
+        }
+        let mut attempt: u32 = 0;
+        loop {
+            let result = self.wire_call(sim, gw_node, gateway, req);
+            let err = match result {
+                Ok(v) => {
+                    self.breaker_success(sim, gateway);
+                    return Ok(v);
+                }
+                Err(e) if e.is_transport_failure() => {
+                    self.breaker_failure(sim, gateway);
+                    e
+                }
+                // Any typed answer from the remote — an application
+                // fault, unknown service/operation, a type error —
+                // proves the gateway alive: the breaker sees success.
+                Err(e) => {
+                    self.breaker_success(sim, gateway);
+                    return Err(e);
+                }
+            };
+            // An ambiguous loss (the request may have executed) is only
+            // re-sent when the operation tolerates double execution.
+            if !(idempotent || err.is_retry_safe()) {
+                return Err(err);
+            }
+            if attempt >= policy.max_retries {
+                return Err(err);
+            }
+            let waited = sim.now().since(started);
+            let mut wait = policy.backoff(attempt, sim);
+            if waited + wait >= policy.deadline {
+                if waited >= policy.deadline {
+                    return Err(MetaError::DeadlineExceeded {
+                        service: req.service.clone(),
+                        waited_ms: waited.as_millis(),
+                    });
+                }
+                // The full backoff would overshoot, but budget remains:
+                // spend all of it on one final, deadline-aligned attempt
+                // rather than giving up with time on the clock.
+                wait = SimDuration::from_micros(policy.deadline.as_micros() - waited.as_micros());
+            }
+            attempt += 1;
+            self.inner.metrics.record_retry();
+            self.note_resilience(sim, || {
+                format!("retry {attempt} to {gateway} after {wait} ({err})")
+            });
+            sim.advance(wait);
+        }
+    }
+
+    // ---- the per-remote-gateway circuit breaker --------------------------
+
+    /// Runs `f` on `gateway`'s breaker (created closed on first use)
+    /// and reports any state transition to metrics and the tracer.
+    fn with_breaker<T>(
+        &self,
+        sim: &Sim,
+        gateway: &str,
+        policy: Option<&ResiliencePolicy>,
+        f: impl FnOnce(&mut CircuitBreaker) -> T,
+    ) -> T {
+        let (out, transition) = {
+            let mut breakers = self.inner.breakers.lock();
+            let br = breakers.entry(gateway.to_owned()).or_insert_with(|| {
+                let p = policy
+                    .cloned()
+                    .unwrap_or_else(|| self.inner.resilience.lock().clone());
+                CircuitBreaker::new(p.breaker_threshold, p.breaker_open_window)
+            });
+            let before = br.state();
+            let out = f(br);
+            let after = br.state();
+            (out, (before != after).then_some(after))
+        };
+        if let Some(state) = transition {
+            self.inner
+                .metrics
+                .record_breaker_transition(gateway, state.label());
+            self.note_resilience(sim, || format!("breaker {state} for {gateway}"));
+        }
+        out
+    }
+
+    fn breaker_admit(&self, sim: &Sim, gateway: &str, policy: &ResiliencePolicy) -> bool {
+        self.with_breaker(sim, gateway, Some(policy), |br| br.admit(sim.now()))
+    }
+
+    fn breaker_success(&self, sim: &Sim, gateway: &str) {
+        self.with_breaker(sim, gateway, None, |br| br.on_success());
+    }
+
+    fn breaker_failure(&self, sim: &Sim, gateway: &str) {
+        self.with_breaker(sim, gateway, None, |br| br.on_failure(sim.now()));
+    }
+
+    /// Records an instant `resilience` span (retry, breaker transition,
+    /// degraded serve). Free when tracing is off.
+    fn note_resilience(&self, sim: &Sim, label: impl FnOnce() -> String) {
+        let span = self.inner.tracer.begin(sim, HopKind::Resilience, label);
+        self.inner.tracer.end(sim, span);
     }
 
     /// Records an instant `cache-hit` span for a resolution-cache
@@ -373,6 +566,52 @@ impl Vsg {
         self.inner.rescache.lock().stats()
     }
 
+    // ---- resilience ------------------------------------------------------
+
+    /// Replaces this gateway's resilience policy. Existing breakers
+    /// keep the thresholds they were created with; new remote gateways
+    /// get the new ones.
+    pub fn set_resilience(&self, policy: ResiliencePolicy) {
+        *self.inner.resilience.lock() = policy;
+    }
+
+    /// A copy of the current resilience policy.
+    pub fn resilience(&self) -> ResiliencePolicy {
+        self.inner.resilience.lock().clone()
+    }
+
+    /// The circuit-breaker state this gateway holds for a remote
+    /// gateway ([`BreakerState::Closed`] before any call reached it).
+    pub fn breaker_state(&self, gateway: &str) -> BreakerState {
+        self.inner
+            .breakers
+            .lock()
+            .get(gateway)
+            .map(CircuitBreaker::state)
+            .unwrap_or(BreakerState::Closed)
+    }
+
+    /// Crash recovery: re-registers this gateway and re-publishes every
+    /// locally exported service with the VSR. Call after a VSR restart
+    /// (lost registry) or this gateway's own restart; returns how many
+    /// services were re-published.
+    pub fn republish_all(&self) -> Result<usize, MetaError> {
+        self.inner
+            .vsr
+            .register_gateway(&self.inner.name, self.inner.node)?;
+        let services: Vec<VirtualService> = self
+            .inner
+            .local
+            .lock()
+            .values()
+            .map(|e| e.service.clone())
+            .collect();
+        for s in &services {
+            self.inner.vsr.publish(s)?;
+        }
+        Ok(services.len())
+    }
+
     // ---- observability ---------------------------------------------------
 
     /// This gateway's tracer. Disabled (and allocation-free) until
@@ -412,6 +651,16 @@ impl fmt::Debug for Vsg {
             .field("local_services", &self.inner.local.lock().len())
             .finish()
     }
+}
+
+/// Whether `operation` is declared idempotent in the resolved record's
+/// interface. Unknown operations default to *not* idempotent — the
+/// server rejects them anyway, and that answer is never ambiguous.
+fn op_is_idempotent(record: &ServiceRecord, operation: &str) -> bool {
+    record
+        .interface
+        .find(operation)
+        .is_some_and(|sig| sig.idempotent)
 }
 
 /// Serves one request arriving over the gateway-to-gateway wire: joins
@@ -742,6 +991,116 @@ mod tests {
         export_lamp(&gw_a);
         let recovered = (0..8).any(|_| gw_b.invoke(&sim, "hall-lamp", "status", &[]).is_ok());
         assert!(recovered, "negative entry never expired");
+    }
+
+    #[test]
+    fn lost_requests_are_retried_until_the_spike_heals() {
+        let (sim, net, _vsr, gw_a, gw_b) = world(Arc::new(Soap11::new()));
+        export_lamp(&gw_a);
+        gw_b.invoke(&sim, "hall-lamp", "status", &[]).unwrap(); // warm the route
+        let t = sim.now();
+        net.set_fault_plan(simnet::FaultPlan::new().loss_spike(
+            t,
+            t + simnet::SimDuration::from_millis(120),
+            1.0,
+        ));
+        // Every request in the window is lost before delivery; backoff
+        // paces the retries across the spike and the call lands.
+        let v = gw_b.invoke(&sim, "hall-lamp", "status", &[]).unwrap();
+        assert_eq!(v, Value::Bool(false));
+        let snap = gw_b.metrics().snapshot();
+        assert!(snap.retries >= 1, "retries recorded: {}", snap.retries);
+        assert_eq!(
+            gw_b.breaker_state("gw-a"),
+            BreakerState::Closed,
+            "success reset the failure run"
+        );
+    }
+
+    #[test]
+    fn ambiguous_response_loss_never_double_invokes() {
+        let (sim, net, _vsr, gw_a, gw_b) = world(Arc::new(Soap11::new()));
+        let count = Arc::new(Mutex::new(0u32));
+        let c = count.clone();
+        gw_a.export(
+            VirtualService::new("vault", catalog::lamp(), Middleware::X10, "gw-a"),
+            move |sim: &Sim, _: &str, _: &[(String, Value)]| {
+                *c.lock() += 1;
+                // Long enough that the partition window opens mid-call.
+                sim.advance(simnet::SimDuration::from_millis(10));
+                Ok(Value::Null)
+            },
+        )
+        .unwrap();
+        gw_b.invoke(&sim, "vault", "switch", &[("on".into(), Value::Bool(true))])
+            .unwrap();
+        assert_eq!(*count.lock(), 1);
+
+        // The backbone partitions while the handler is running: the
+        // request was delivered, the response is lost. `switch` is not
+        // idempotent, so the resilience layer must NOT re-send.
+        let t = sim.now();
+        net.set_fault_plan(simnet::FaultPlan::new().partition(
+            vec![gw_a.node()],
+            vec![gw_b.node()],
+            t + simnet::SimDuration::from_millis(5),
+            t + simnet::SimDuration::from_millis(500),
+        ));
+        let err = gw_b
+            .invoke(&sim, "vault", "switch", &[("on".into(), Value::Bool(true))])
+            .unwrap_err();
+        assert_eq!(err.kind(), "transport");
+        assert!(
+            matches!(
+                err,
+                MetaError::Transport {
+                    not_executed: false,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        assert_eq!(
+            *count.lock(),
+            2,
+            "executed once; ambiguous loss not re-sent"
+        );
+    }
+
+    #[test]
+    fn vsr_outage_serves_stale_routes_degraded() {
+        let (sim, net, vsr, gw_a, gw_b) = world(Arc::new(Soap11::new()));
+        export_lamp(&gw_a);
+        gw_b.invoke(&sim, "hall-lamp", "status", &[]).unwrap(); // warm the route
+        gw_b.set_resilience(ResiliencePolicy {
+            max_retries: 0,
+            ..ResiliencePolicy::default()
+        });
+        let t = sim.now();
+        net.set_fault_plan(
+            simnet::FaultPlan::new()
+                .node_down(gw_a.node(), t, t + simnet::SimDuration::from_secs(1))
+                .node_down(vsr.node(), t, t + simnet::SimDuration::from_secs(3600)),
+        );
+        // Gateway and VSR both down: the wire call fails, the route is
+        // demoted to stale, re-resolution fails, the stale route is
+        // tried (degraded) and fails too — but gracefully typed.
+        let err = gw_b.invoke(&sim, "hall-lamp", "status", &[]).unwrap_err();
+        assert!(err.is_transport_failure(), "{err}");
+
+        // gw-a recovers; the VSR is still down for an hour. Degraded
+        // mode keeps the home controllable from the stale route.
+        sim.advance(simnet::SimDuration::from_secs(2));
+        let v = gw_b.invoke(&sim, "hall-lamp", "status", &[]).unwrap();
+        assert_eq!(v, Value::Bool(false));
+        assert_eq!(gw_b.metrics().snapshot().degraded_serves, 2);
+        assert_eq!(gw_b.cache_stats().stale_serves, 2);
+
+        // The degraded success re-promoted the route: next call is a
+        // plain cache hit, no VSR needed.
+        let hits_before = gw_b.cache_stats().hits;
+        gw_b.invoke(&sim, "hall-lamp", "status", &[]).unwrap();
+        assert_eq!(gw_b.cache_stats().hits, hits_before + 1);
     }
 
     #[test]

@@ -13,7 +13,7 @@ use crate::iface::ServiceInterface;
 use crate::service::{Middleware, VirtualService};
 use crate::trace::{HopKind, Tracer};
 use parking_lot::Mutex;
-use simnet::{Network, NodeId};
+use simnet::{Network, NodeId, Sim, SimDuration, SimTime};
 use soap::{Fault, RpcCall, SoapClient, SoapError, SoapServer, Value};
 use std::collections::HashMap;
 use std::fmt;
@@ -79,6 +79,32 @@ struct VsrState {
     registry: UddiRegistry,
     business: Key,
     gateways: HashMap<String, u32>,
+    /// When `Some`, every published record carries a lease of this
+    /// length and must be renewed (or re-published) before it runs out.
+    /// `None` (the default) keeps the original never-expiring registry.
+    lease: Option<SimDuration>,
+    expiry: HashMap<String, SimTime>,
+}
+
+impl VsrState {
+    /// Lazily reaps expired leases — called on every repository
+    /// operation, so a dead gateway's records disappear the next time
+    /// anyone talks to the VSR (no timer machinery needed).
+    fn expire_leases(&mut self, now: SimTime) {
+        if self.lease.is_none() {
+            return;
+        }
+        let dead: Vec<String> = self
+            .expiry
+            .iter()
+            .filter(|(_, at)| **at <= now)
+            .map(|(name, _)| name.clone())
+            .collect();
+        for name in dead {
+            delete_by_name(&mut self.registry, &name);
+            self.expiry.remove(&name);
+        }
+    }
 }
 
 /// The running repository service.
@@ -97,11 +123,13 @@ impl Vsr {
             registry,
             business,
             gateways: HashMap::new(),
+            lease: None,
+            expiry: HashMap::new(),
         }));
         let server = SoapServer::bind(net, "vsr");
         let state2 = state.clone();
-        server.mount(VSR_NS, move |_sim, call: &RpcCall| {
-            handle(&state2, call).map_err(|e| Fault::server(e.to_string()))
+        server.mount(VSR_NS, move |sim, call: &RpcCall| {
+            handle(&state2, sim, call).map_err(|e| Fault::server(e.to_string()))
         });
         Vsr {
             node: server.node(),
@@ -130,6 +158,16 @@ impl Vsr {
     pub fn set_indexing(&self, enabled: bool) {
         self.state.lock().registry.set_indexing(enabled);
     }
+
+    /// Turns record leases on (`Some(duration)`) or off (`None`, the
+    /// default). With leases on, a record not renewed or re-published
+    /// within `duration` is reaped lazily on the next repository
+    /// operation — a crashed gateway's exports stop resolving instead
+    /// of lingering forever. Records published before the switch have
+    /// no lease until their next publish/renew.
+    pub fn set_lease_duration(&self, duration: Option<SimDuration>) {
+        self.state.lock().lease = duration;
+    }
 }
 
 impl fmt::Debug for Vsr {
@@ -141,8 +179,9 @@ impl fmt::Debug for Vsr {
     }
 }
 
-fn handle(state: &Mutex<VsrState>, call: &RpcCall) -> Result<Value, MetaError> {
+fn handle(state: &Mutex<VsrState>, sim: &Sim, call: &RpcCall) -> Result<Value, MetaError> {
     let mut st = state.lock();
+    st.expire_leases(sim.now());
     let str_arg = |name: &str| -> Result<String, MetaError> {
         call.get(name)
             .and_then(Value::as_str)
@@ -197,12 +236,32 @@ fn handle(state: &Mutex<VsrState>, call: &RpcCall) -> Result<Value, MetaError> {
             st.registry
                 .save_service(&business, &name, categories, &endpoint, Some(tmodel))
                 .ok_or_else(|| MetaError::Repository("publish failed".into()))?;
+            if let Some(lease) = st.lease {
+                let at = sim.now() + lease;
+                st.expiry.insert(name, at);
+            }
             Ok(Value::Null)
         }
         "unpublish" => {
             let name = str_arg("name")?;
             let found = delete_by_name(&mut st.registry, &name);
+            st.expiry.remove(&name);
             Ok(Value::Bool(found))
+        }
+        "renew" => {
+            let name = str_arg("name")?;
+            let exists = st
+                .registry
+                .find_service(&name, &[])
+                .iter()
+                .any(|s| s.name == name);
+            if exists {
+                if let Some(lease) = st.lease {
+                    let at = sim.now() + lease;
+                    st.expiry.insert(name, at);
+                }
+            }
+            Ok(Value::Bool(exists))
         }
         "find" => {
             let pattern = str_arg("pattern")?;
@@ -348,6 +407,9 @@ impl VsrClient {
             .begin(&self.sim, HopKind::VsrLookup, || call.method.clone());
         let result = self.soap.call(self.vsr, call).map_err(|e| match e {
             SoapError::Fault(f) => MetaError::from_fault_string(&f.string),
+            // A wire failure on the repository leg: typed, so callers
+            // can tell "VSR down" from a protocol bug and degrade.
+            SoapError::Http(h) => MetaError::from_http_error(&h),
             other => MetaError::Protocol(other.to_string()),
         });
         self.tracer.end_result(&self.sim, span, &result);
@@ -422,6 +484,14 @@ impl VsrClient {
             Value::List(items) => Ok(items.iter().filter_map(ServiceRecord::from_value).collect()),
             _ => Err(MetaError::Repository("bad find_ctx reply".into())),
         }
+    }
+
+    /// Renews `name`'s lease (a no-op when the repository runs without
+    /// leases). Returns whether the service is currently registered.
+    pub fn renew(&self, name: &str) -> Result<bool, MetaError> {
+        let v = self.call(&RpcCall::new(VSR_NS, "renew").arg("name", name))?;
+        v.as_bool()
+            .ok_or_else(|| MetaError::Repository("bad renew reply".into()))
     }
 
     /// Withdraws a service by name. Returns whether it existed.
@@ -565,6 +635,41 @@ mod tests {
             client.gateway_node("ghost-gw"),
             Err(MetaError::GatewayUnreachable(_))
         ));
+    }
+
+    #[test]
+    fn leases_reap_unrenewed_records_lazily() {
+        let (sim, _net, vsr, client) = world();
+        vsr.set_lease_duration(Some(SimDuration::from_secs(60)));
+        client.publish(&lamp_service()).unwrap();
+
+        sim.advance(SimDuration::from_secs(30));
+        assert!(client.resolve("hall-lamp").is_ok(), "mid-lease");
+        // Renewal restarts the clock.
+        assert!(client.renew("hall-lamp").unwrap());
+        sim.advance(SimDuration::from_secs(45));
+        assert!(client.resolve("hall-lamp").is_ok(), "renewed lease holds");
+
+        // 45 + 20 > 60: the record is reaped on the next operation.
+        sim.advance(SimDuration::from_secs(20));
+        assert!(matches!(
+            client.resolve("hall-lamp"),
+            Err(MetaError::UnknownService(_))
+        ));
+        assert_eq!(vsr.service_count(), 0, "expired record gone");
+        assert!(!client.renew("hall-lamp").unwrap(), "nothing to renew");
+
+        // Re-publishing (a recovered gateway) brings it back.
+        client.publish(&lamp_service()).unwrap();
+        assert!(client.resolve("hall-lamp").is_ok());
+    }
+
+    #[test]
+    fn leases_off_by_default_records_never_expire() {
+        let (sim, _net, _vsr, client) = world();
+        client.publish(&lamp_service()).unwrap();
+        sim.advance(SimDuration::from_secs(3600));
+        assert!(client.resolve("hall-lamp").is_ok());
     }
 
     #[test]

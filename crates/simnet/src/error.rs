@@ -34,6 +34,37 @@ pub enum SimError {
     },
     /// The network itself is down (e.g. a 1394 bus in reset).
     NetworkDown(String),
+    /// The node has crashed (an active [`crate::FaultPlan`] window);
+    /// it can neither send nor be reached until it restarts.
+    NodeDown(NodeId),
+    /// An active partition separates the two nodes; the frame could
+    /// not even be put on the medium.
+    Partitioned {
+        /// The node that tried to send.
+        src: NodeId,
+        /// The unreachable destination.
+        dst: NodeId,
+    },
+}
+
+impl SimError {
+    /// Classifies an error returned by [`crate::Network::request`]
+    /// issued from `caller`: `true` if the failure is guaranteed to
+    /// have happened *before* the request reached the destination's
+    /// handler (unknown node, network/node down, request-leg loss or
+    /// partition), so the exchange certainly did not execute. `false`
+    /// when the outcome is ambiguous: the response leg failed
+    /// ([`SimError::FrameLost`]/[`SimError::Partitioned`] aimed back
+    /// at `caller`), the call timed out in flight, or the handler
+    /// itself ran and refused.
+    pub fn before_delivery(&self, caller: NodeId) -> bool {
+        match self {
+            SimError::FrameLost { dst, .. } => *dst != caller,
+            SimError::Partitioned { dst, .. } => *dst != caller,
+            SimError::Refused(_) | SimError::Timeout { .. } => false,
+            _ => true,
+        }
+    }
 }
 
 impl fmt::Display for SimError {
@@ -52,6 +83,10 @@ impl fmt::Display for SimError {
                 write!(f, "timed out after {after_millis}ms")
             }
             SimError::NetworkDown(name) => write!(f, "network {name} is down"),
+            SimError::NodeDown(id) => write!(f, "node {id} is down"),
+            SimError::Partitioned { src, dst } => {
+                write!(f, "partition separates {src} from {dst}")
+            }
         }
     }
 }
@@ -75,6 +110,34 @@ mod tests {
         assert!(e.to_string().contains("1500"));
         let e = SimError::Timeout { after_millis: 250 };
         assert!(e.to_string().contains("250ms"));
+    }
+
+    #[test]
+    fn before_delivery_separates_request_leg_from_response_leg() {
+        let caller = NodeId(1);
+        let server = NodeId(2);
+        let at = SimTime::from_micros(0);
+        // Request never made it out — certainly not executed.
+        assert!(SimError::NetworkDown("eth".into()).before_delivery(caller));
+        assert!(SimError::NodeDown(server).before_delivery(caller));
+        assert!(SimError::UnknownNode(server).before_delivery(caller));
+        assert!(SimError::NoHandler(server).before_delivery(caller));
+        assert!(SimError::FrameLost { dst: server, at }.before_delivery(caller));
+        assert!(SimError::Partitioned {
+            src: caller,
+            dst: server
+        }
+        .before_delivery(caller));
+        // Response-leg failures (aimed back at the caller) and handler
+        // refusals: the remote side may have executed.
+        assert!(!SimError::FrameLost { dst: caller, at }.before_delivery(caller));
+        assert!(!SimError::Partitioned {
+            src: server,
+            dst: caller
+        }
+        .before_delivery(caller));
+        assert!(!SimError::Refused("busy".into()).before_delivery(caller));
+        assert!(!SimError::Timeout { after_millis: 5 }.before_delivery(caller));
     }
 
     #[test]

@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod chaos;
 pub mod error;
 pub mod frame;
 pub mod link;
@@ -44,6 +45,7 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
+pub use chaos::{FaultKind, FaultPlan, FaultWindow};
 pub use error::{SimError, SimResult};
 pub use frame::{Frame, Protocol};
 pub use link::LinkModel;

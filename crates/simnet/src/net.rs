@@ -6,12 +6,14 @@
 //! (datagrams, broadcasts) and synchronous request/response exchanges —
 //! the two interaction patterns every home middleware in the paper uses.
 
+use crate::chaos::FaultPlan;
 use crate::error::{SimError, SimResult};
 use crate::frame::{Frame, Protocol};
 use crate::link::LinkModel;
 use crate::node::{Addr, NodeId};
 use crate::sim::Sim;
 use crate::stats::NetStats;
+use crate::time::SimDuration;
 use bytes::Bytes;
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
@@ -41,6 +43,22 @@ struct NetInner {
     next_node: Mutex<u32>,
     stats: Mutex<NetStats>,
     down: AtomicBool,
+    chaos: Mutex<Option<FaultPlan>>,
+}
+
+/// The chaos effects in force at one instant, captured under one lock
+/// acquisition so transfer code never holds the plan lock while the
+/// clock advances.
+struct ChaosGate {
+    extra_latency: SimDuration,
+    extra_loss: f64,
+}
+
+impl ChaosGate {
+    const CLEAR: ChaosGate = ChaosGate {
+        extra_latency: SimDuration::ZERO,
+        extra_loss: 0.0,
+    };
 }
 
 /// A cheaply clonable handle to one simulated network.
@@ -61,6 +79,7 @@ impl Network {
                 next_node: Mutex::new(0),
                 stats: Mutex::new(NetStats::new()),
                 down: AtomicBool::new(false),
+                chaos: Mutex::new(None),
             }),
         }
     }
@@ -177,6 +196,62 @@ impl Network {
         self.inner.down.load(Ordering::SeqCst)
     }
 
+    // ---- fault injection ------------------------------------------------
+
+    /// Installs a [`FaultPlan`]: from now on every transfer consults the
+    /// plan against the virtual clock, so crashes, partitions, loss and
+    /// latency spikes strike exactly when scripted. Replaces any
+    /// previous plan.
+    pub fn set_fault_plan(&self, plan: FaultPlan) {
+        *self.inner.chaos.lock() = Some(plan);
+    }
+
+    /// Removes the fault plan, healing every injected fault at once.
+    pub fn clear_fault_plan(&self) {
+        *self.inner.chaos.lock() = None;
+    }
+
+    /// A copy of the installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        self.inner.chaos.lock().clone()
+    }
+
+    /// Checks crash/partition faults for a transfer `src → dst` and
+    /// captures the loss/latency effects in force right now.
+    fn chaos_gate(&self, src: NodeId, dst: Option<NodeId>) -> SimResult<ChaosGate> {
+        let chaos = self.inner.chaos.lock();
+        let Some(plan) = chaos.as_ref() else {
+            return Ok(ChaosGate::CLEAR);
+        };
+        let now = self.inner.sim.now();
+        if plan.node_down_at(now, src) {
+            return Err(SimError::NodeDown(src));
+        }
+        if let Some(dst) = dst {
+            if plan.node_down_at(now, dst) {
+                return Err(SimError::NodeDown(dst));
+            }
+            if plan.partitioned_at(now, src, dst) {
+                return Err(SimError::Partitioned { src, dst });
+            }
+        }
+        Ok(ChaosGate {
+            extra_latency: plan.extra_latency_at(now),
+            extra_loss: plan.extra_loss_at(now),
+        })
+    }
+
+    /// Draws against the gate's extra loss probability, recording a
+    /// chaos-injected drop in the stats.
+    fn chaos_drop(&self, gate: &ChaosGate, frame: &Frame) -> bool {
+        if gate.extra_loss > 0.0 && self.inner.sim.chance(gate.extra_loss) {
+            self.inner.stats.lock().record_lost(frame.protocol);
+            true
+        } else {
+            false
+        }
+    }
+
     // ---- transfer -------------------------------------------------------
 
     /// Sends a one-way frame, advancing the virtual clock by the transfer
@@ -190,9 +265,19 @@ impl Network {
                 mtu: self.inner.link.mtu,
             });
         }
+        // Chaos gate: a crashed endpoint or an active partition stops
+        // the frame before it reaches the medium. (Broadcasts check
+        // only the sender; delivery to each receiver is best-effort.)
+        let gate = self.chaos_gate(
+            frame.src,
+            match frame.dst {
+                Addr::Unicast(n) => Some(n),
+                Addr::Broadcast => None,
+            },
+        )?;
         let sim = &self.inner.sim;
-        sim.advance(self.inner.link.transfer_time(frame.len()));
-        if self.lossy_drop(&frame) {
+        sim.advance(self.inner.link.transfer_time(frame.len()) + gate.extra_latency);
+        if self.lossy_drop(&frame) || self.chaos_drop(&gate, &frame) {
             return Err(SimError::FrameLost {
                 dst: match frame.dst {
                     Addr::Unicast(n) => n,
@@ -226,9 +311,11 @@ impl Network {
         let sim = self.inner.sim.clone();
         let frame = Frame::new(src, dst, protocol, payload);
 
-        // Request leg.
-        sim.advance(self.inner.link.fragmented_transfer_time(frame.len()));
-        if self.lossy_drop(&frame) {
+        // Request leg. The chaos gate runs before any clock advance:
+        // these failures guarantee the request never reached `dst`.
+        let gate = self.chaos_gate(src, Some(dst))?;
+        sim.advance(self.inner.link.fragmented_transfer_time(frame.len()) + gate.extra_latency);
+        if self.lossy_drop(&frame) || self.chaos_drop(&gate, &frame) {
             return Err(SimError::FrameLost { dst, at: sim.now() });
         }
         self.record_delivered(&frame);
@@ -246,10 +333,25 @@ impl Network {
             (h)(&sim, &frame).map_err(SimError::Refused)?
         };
 
-        // Response leg.
+        // Response leg. The handler has already run, so every failure
+        // from here on must read as a *response* loss — ambiguous to
+        // the caller ([`SimError::before_delivery`] returns false) —
+        // including a partition or crash whose window opened while the
+        // handler was executing.
         let resp_frame = Frame::new(dst, src, protocol, response.clone());
-        sim.advance(self.inner.link.fragmented_transfer_time(resp_frame.len()));
-        if self.lossy_drop(&resp_frame) {
+        let resp_gate = match self.chaos_gate(dst, Some(src)) {
+            Ok(gate) => gate,
+            Err(_) => {
+                return Err(SimError::FrameLost {
+                    dst: src,
+                    at: sim.now(),
+                })
+            }
+        };
+        sim.advance(
+            self.inner.link.fragmented_transfer_time(resp_frame.len()) + resp_gate.extra_latency,
+        );
+        if self.lossy_drop(&resp_frame) || self.chaos_drop(&resp_gate, &resp_frame) {
             return Err(SimError::FrameLost {
                 dst: src,
                 at: sim.now(),
@@ -546,6 +648,120 @@ mod tests {
         .unwrap();
         let resp = net.request(client, front, Protocol::Raw, vec![1]).unwrap();
         assert_eq!(&resp[..], b"deep");
+    }
+
+    #[test]
+    fn fault_plan_crashes_partitions_and_heals_on_schedule() {
+        use crate::chaos::FaultPlan;
+        use crate::time::SimTime;
+        let sim = Sim::new(1);
+        let net = fast_net(&sim);
+        let a = net.attach("a");
+        let b = net.attach("b");
+        let c = net.attach("c");
+        net.set_request_handler(b, |_, _| Ok(Bytes::from_static(b"ok")))
+            .unwrap();
+        net.set_request_handler(c, |_, _| Ok(Bytes::from_static(b"ok")))
+            .unwrap();
+        net.set_fault_plan(
+            FaultPlan::new()
+                .node_down(c, SimTime::ZERO, SimTime::from_micros(10_000))
+                .partition(
+                    vec![a],
+                    vec![b],
+                    SimTime::from_micros(5_000),
+                    SimTime::from_micros(20_000),
+                ),
+        );
+        // c is crashed, b still reachable (partition not yet open).
+        assert_eq!(
+            net.request(a, c, Protocol::Raw, vec![1]),
+            Err(SimError::NodeDown(c))
+        );
+        net.request(a, b, Protocol::Raw, vec![1]).unwrap();
+        // Enter the partition window: a↔b blocked before any time is
+        // charged, both directions.
+        sim.advance(SimDuration::from_micros(5_000) - (sim.now() - SimTime::ZERO));
+        let before = sim.now();
+        assert_eq!(
+            net.request(a, b, Protocol::Raw, vec![1]),
+            Err(SimError::Partitioned { src: a, dst: b })
+        );
+        assert_eq!(sim.now(), before, "partition rejects without delay");
+        // A crashed node cannot send either.
+        assert_eq!(
+            net.request(c, b, Protocol::Raw, vec![1]),
+            Err(SimError::NodeDown(c))
+        );
+        // Run past every window: all healed.
+        sim.advance(SimDuration::from_micros(20_000));
+        net.request(a, b, Protocol::Raw, vec![1]).unwrap();
+        net.request(a, c, Protocol::Raw, vec![1]).unwrap();
+        net.clear_fault_plan();
+        assert!(net.fault_plan().is_none());
+    }
+
+    #[test]
+    fn loss_and_latency_spikes_shape_traffic_during_their_window() {
+        use crate::chaos::FaultPlan;
+        use crate::time::SimTime;
+        let sim = Sim::new(42);
+        let net = fast_net(&sim);
+        let a = net.attach("a");
+        let b = net.attach("b");
+        net.set_fault_plan(
+            FaultPlan::new()
+                .latency_spike(
+                    SimTime::ZERO,
+                    SimTime::from_micros(u64::MAX / 2),
+                    SimDuration::from_micros(700),
+                )
+                .loss_spike(SimTime::ZERO, SimTime::from_micros(u64::MAX / 2), 0.5),
+        );
+        let mut lost = 0;
+        for _ in 0..100 {
+            let before = sim.now();
+            let r = net.send(Frame::new(a, b, Protocol::Raw, vec![0u8; 100]));
+            // 100B at 1B/us + 100us latency + 700us spike = 900us.
+            assert_eq!((sim.now() - before).as_micros(), 900);
+            if r.is_err() {
+                lost += 1;
+            }
+        }
+        assert!((25..75).contains(&lost), "lost {lost} of 100");
+    }
+
+    #[test]
+    fn mid_call_partition_reads_as_a_lost_response() {
+        use crate::chaos::FaultPlan;
+        use crate::time::SimTime;
+        let sim = Sim::new(1);
+        let net = fast_net(&sim);
+        let a = net.attach("a");
+        let b = net.attach("b");
+        // The handler burns enough virtual time that the partition
+        // window opens while it runs: the request was delivered and
+        // executed, so the caller must see an *ambiguous* failure.
+        net.set_request_handler(b, |sim, _| {
+            sim.advance(SimDuration::from_micros(50_000));
+            Ok(Bytes::from_static(b"done"))
+        })
+        .unwrap();
+        net.set_fault_plan(FaultPlan::new().partition(
+            vec![a],
+            vec![b],
+            SimTime::from_micros(10_000),
+            SimTime::from_micros(100_000),
+        ));
+        let err = net.request(a, b, Protocol::Raw, vec![1]).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::FrameLost {
+                dst: a,
+                at: sim.now()
+            }
+        );
+        assert!(!err.before_delivery(a), "must read as ambiguous");
     }
 
     #[test]

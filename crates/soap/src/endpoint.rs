@@ -244,10 +244,7 @@ impl SoapClient {
         self.sim.advance(self.cpu.emit_cost(body.len()));
         let req = HttpRequest::post(RPC_ROUTER_PATH, "text/xml; charset=utf-8", body)
             .header("SOAPAction", format!("\"{namespace}#{method}\""));
-        let resp = self
-            .http
-            .send(server, &req)
-            .map_err(|e| SoapError::Http(e.to_string()))?;
+        let resp = self.http.send(server, &req).map_err(SoapError::Http)?;
         self.sim.advance(self.cpu.parse_cost(resp.body.len()));
         let doc = String::from_utf8_lossy(&resp.body);
         // Both 200s and 500-carried faults parse as envelopes.

@@ -9,7 +9,7 @@
 
 use bytes::Bytes;
 use parking_lot::Mutex;
-use simnet::{Frame, Network, NodeId, Protocol, Sim, SimDuration};
+use simnet::{Frame, Network, NodeId, Protocol, Sim, SimDuration, SimError};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
@@ -242,12 +242,22 @@ fn parse_headers<'a>(
 }
 
 /// HTTP transport failures.
+///
+/// Network failures stay typed — they carry the underlying
+/// [`SimError`], split by whether the request provably never reached
+/// the server — so retry classification upstream never depends on
+/// message text.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum HttpError {
     /// The bytes did not parse as HTTP.
     Malformed(&'static str),
-    /// The underlying network failed.
-    Network(String),
+    /// The network failed before the request reached the server: the
+    /// exchange is guaranteed not to have executed.
+    Unreachable(SimError),
+    /// The network failed after the request was delivered (the
+    /// response was lost in transit): the server may well have
+    /// processed the request.
+    ResponseLost(SimError),
     /// Non-success status from the server.
     Status(u16, String),
 }
@@ -256,7 +266,8 @@ impl fmt::Display for HttpError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             HttpError::Malformed(m) => write!(f, "malformed HTTP message: {m}"),
-            HttpError::Network(m) => write!(f, "network error: {m}"),
+            HttpError::Unreachable(e) => write!(f, "network error before delivery: {e}"),
+            HttpError::ResponseLost(e) => write!(f, "network error, response lost: {e}"),
             HttpError::Status(code, body) => write!(f, "HTTP {code}: {body}"),
         }
     }
@@ -391,7 +402,16 @@ impl HttpClient {
         let raw = self
             .net
             .request(self.node, server, Protocol::Http, req.to_bytes())
-            .map_err(|e| HttpError::Network(e.to_string()))?;
+            .map_err(|e| {
+                // The client knows its own node, so it can tell a
+                // request-leg failure (server never saw the request)
+                // from a lost response (it may have executed).
+                if e.before_delivery(self.node) {
+                    HttpError::Unreachable(e)
+                } else {
+                    HttpError::ResponseLost(e)
+                }
+            })?;
         HttpResponse::from_bytes(&raw)
     }
 

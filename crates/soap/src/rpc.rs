@@ -1,6 +1,7 @@
 //! SOAP 1.1 RPC envelopes: calls, responses, and their wire encoding.
 
 use crate::fault::Fault;
+use crate::http::HttpError;
 use crate::value::{Value, ValueError};
 use minixml::{Element, ParseError};
 use std::fmt;
@@ -238,7 +239,10 @@ pub enum SoapError {
     /// The peer returned a SOAP fault.
     Fault(Fault),
     /// The HTTP layer failed (connection refused, lost, bad status).
-    Http(String),
+    /// Carries the typed [`HttpError`] so callers can classify the
+    /// failure (request never delivered vs. response lost) without
+    /// parsing message text.
+    Http(HttpError),
 }
 
 impl SoapError {

@@ -56,7 +56,7 @@ impl ControlPoint {
         let resp = self
             .http
             .send_expect_ok(hit.node, &HttpRequest::get(hit.location.clone()))
-            .map_err(|e| SoapError::Http(e.to_string()))?;
+            .map_err(SoapError::Http)?;
         let doc = String::from_utf8_lossy(&resp.body);
         let root = minixml::parse(&doc)?;
         DeviceDescription::from_xml(&root)
@@ -78,10 +78,7 @@ impl ControlPoint {
         }
         let req = HttpRequest::post(control_url, "text/xml; charset=utf-8", call.to_envelope())
             .header("SOAPACTION", format!("\"{service_type}#{action}\""));
-        let resp = self
-            .http
-            .send(device, &req)
-            .map_err(|e| SoapError::Http(e.to_string()))?;
+        let resp = self.http.send(device, &req).map_err(SoapError::Http)?;
         RpcResponse::from_envelope(&String::from_utf8_lossy(&resp.body)).map(|r| r.value)
     }
 
@@ -125,7 +122,7 @@ impl ControlPoint {
         let resp = self
             .http
             .send_expect_ok(device, &req)
-            .map_err(|e| SoapError::Http(e.to_string()))?;
+            .map_err(SoapError::Http)?;
         resp.get_header("SID")
             .map(str::to_owned)
             .ok_or_else(|| SoapError::Malformed("subscription reply missing SID".into()))
@@ -147,7 +144,7 @@ impl ControlPoint {
         self.http
             .send_expect_ok(device, &req)
             .map(|_| ())
-            .map_err(|e| SoapError::Http(e.to_string()))
+            .map_err(SoapError::Http)
     }
 }
 

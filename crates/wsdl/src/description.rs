@@ -38,6 +38,11 @@ pub struct Operation {
     pub inputs: Vec<Part>,
     /// Output part; `None` for one-way/void operations.
     pub output: Option<Part>,
+    /// Whether invoking the operation twice is equivalent to invoking
+    /// it once (a pure read, or an absolute state set). Carried as an
+    /// `idempotent="true"` attribute so resilience layers on *other*
+    /// gateways can decide retry safety from the description alone.
+    pub idempotent: bool,
 }
 
 impl Operation {
@@ -47,7 +52,14 @@ impl Operation {
             name: name.into(),
             inputs: Vec::new(),
             output: None,
+            idempotent: false,
         }
+    }
+
+    /// Marks the operation idempotent (builder style).
+    pub fn idempotent(mut self) -> Operation {
+        self.idempotent = true;
+        self
     }
 
     /// Adds an input part (builder style).
@@ -119,6 +131,9 @@ impl ServiceDescription {
         let mut port_type = Element::new("portType").attr("name", format!("{}PortType", self.name));
         for op in &self.operations {
             let mut op_el = Element::new("operation").attr("name", &op.name);
+            if op.idempotent {
+                op_el = op_el.attr("idempotent", "true");
+            }
             let mut input = Element::new("input");
             for p in &op.inputs {
                 input.push(
@@ -177,6 +192,7 @@ impl ServiceDescription {
                     .ok_or_else(|| DescriptionError::new("operation missing name"))?
                     .to_owned();
                 let mut op = Operation::new(op_name);
+                op.idempotent = op_el.get_attr("idempotent") == Some("true");
                 if let Some(input) = op_el.find("input") {
                     for p in input.find_all("part") {
                         op.inputs.push(Part::new(
@@ -247,7 +263,11 @@ mod tests {
                     .returns(XsdType::Boolean),
             )
             .operation(Operation::new("stop"))
-            .operation(Operation::new("position").returns(XsdType::Int))
+            .operation(
+                Operation::new("position")
+                    .returns(XsdType::Int)
+                    .idempotent(),
+            )
     }
 
     #[test]
@@ -263,6 +283,15 @@ mod tests {
         let doc = d.to_xml().to_document();
         let parsed = minixml::parse(&doc).unwrap();
         assert_eq!(ServiceDescription::from_xml(&parsed).unwrap(), d);
+    }
+
+    #[test]
+    fn idempotence_survives_the_wire() {
+        let d = vcr();
+        let doc = d.to_xml().to_document();
+        let back = ServiceDescription::from_xml(&minixml::parse(&doc).unwrap()).unwrap();
+        assert!(back.find_operation("position").unwrap().idempotent);
+        assert!(!back.find_operation("record").unwrap().idempotent);
     }
 
     #[test]

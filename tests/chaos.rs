@@ -1,0 +1,264 @@
+//! Chaos schedules: randomized fault plans against the backbone. Two
+//! promises must survive any schedule the generator can produce:
+//!
+//! 1. **No double-invoke.** A non-idempotent operation executes at most
+//!    once per invocation, no matter which leg of which attempt the
+//!    chaos eats. A reported success always means exactly one execution.
+//! 2. **Convergence.** Once every window has lapsed and the breaker's
+//!    open period has run out, cross-gateway calls succeed again with
+//!    no operator intervention.
+//!
+//! The schedule seed comes from `CHAOS_SEED` (ci.sh pins three), so a
+//! failing schedule can be replayed exactly.
+
+use metaware::{
+    catalog, BreakerState, MetaError, Middleware, Soap11, VirtualService, Vsg, VsgProtocol, Vsr,
+};
+use parking_lot::Mutex;
+use proptest::prelude::*;
+use simnet::{FaultPlan, Network, Sim, SimDuration, SimTime};
+use soap::Value;
+use std::sync::Arc;
+
+/// A fault window before node ids exist: concretized in `build_plan`.
+#[derive(Debug, Clone)]
+enum WindowSpec {
+    Loss { prob_pct: u8 },
+    Latency { extra_ms: u16 },
+    ServerDown,
+    Partition,
+}
+
+#[derive(Debug, Clone)]
+struct ChaosWindow {
+    spec: WindowSpec,
+    from_ms: u16,
+    len_ms: u16,
+}
+
+fn arb_window() -> impl Strategy<Value = ChaosWindow> {
+    let spec = prop_oneof![
+        (30u8..=100).prop_map(|prob_pct| WindowSpec::Loss { prob_pct }),
+        (1u16..50).prop_map(|extra_ms| WindowSpec::Latency { extra_ms }),
+        Just(WindowSpec::ServerDown),
+        Just(WindowSpec::Partition),
+    ];
+    (spec, 0u16..500, 10u16..300).prop_map(|(spec, from_ms, len_ms)| ChaosWindow {
+        spec,
+        from_ms,
+        len_ms,
+    })
+}
+
+/// `true` = non-idempotent `switch`, `false` = idempotent `status`.
+fn arb_ops() -> impl Strategy<Value = Vec<bool>> {
+    prop::collection::vec(any::<bool>(), 4..12)
+}
+
+fn chaos_seed() -> u64 {
+    std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+}
+
+struct ChaosWorld {
+    sim: Sim,
+    net: Network,
+    caller: Vsg,
+    server: Vsg,
+    /// Executions of the non-idempotent `switch` on the server.
+    switches: Arc<Mutex<u64>>,
+}
+
+fn build_world(seed: u64) -> ChaosWorld {
+    let sim = Sim::new(seed);
+    let net = Network::ethernet(&sim);
+    let vsr = Vsr::start(&net);
+    let protocol: Arc<dyn VsgProtocol> = Arc::new(Soap11::new());
+    let server = Vsg::start(&net, "gw-server", protocol.clone(), vsr.node()).unwrap();
+    let caller = Vsg::start(&net, "gw-caller", protocol, vsr.node()).unwrap();
+
+    let switches = Arc::new(Mutex::new(0u64));
+    let count = switches.clone();
+    server
+        .export(
+            VirtualService::new("chaos-lamp", catalog::lamp(), Middleware::X10, "gw-server"),
+            move |_: &Sim, op: &str, _: &[(String, Value)]| match op {
+                "switch" => {
+                    *count.lock() += 1;
+                    Ok(Value::Null)
+                }
+                "status" => Ok(Value::Bool(true)),
+                _ => Ok(Value::Null),
+            },
+        )
+        .unwrap();
+
+    ChaosWorld {
+        sim,
+        net,
+        caller,
+        server,
+        switches,
+    }
+}
+
+fn build_plan(windows: &[ChaosWindow], t0: SimTime, world: &ChaosWorld) -> FaultPlan {
+    let mut plan = FaultPlan::new();
+    for w in windows {
+        let from = t0 + SimDuration::from_millis(w.from_ms as u64);
+        let until = from + SimDuration::from_millis(w.len_ms as u64);
+        plan = match &w.spec {
+            WindowSpec::Loss { prob_pct } => plan.loss_spike(from, until, *prob_pct as f64 / 100.0),
+            WindowSpec::Latency { extra_ms } => {
+                plan.latency_spike(from, until, SimDuration::from_millis(*extra_ms as u64))
+            }
+            WindowSpec::ServerDown => plan.node_down(world.server.node(), from, until),
+            WindowSpec::Partition => plan.partition(
+                vec![world.caller.node()],
+                vec![world.server.node()],
+                from,
+                until,
+            ),
+        };
+    }
+    plan
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Invariant 1+2 under arbitrary schedules. Each case builds a
+    /// fresh two-gateway world, runs a random op mix through a random
+    /// fault plan, then heals and demands convergence.
+    #[test]
+    fn chaos_never_double_invokes_and_always_converges(
+        windows in prop::collection::vec(arb_window(), 1..6),
+        ops in arb_ops(),
+    ) {
+        let world = build_world(chaos_seed());
+        // Warm the route so the chaos hits the cached fast path too.
+        world.caller.invoke(&world.sim, "chaos-lamp", "status", &[]).unwrap();
+
+        let t0 = world.sim.now();
+        let plan = build_plan(&windows, t0, &world);
+        let healed_by = plan.healed_by();
+        world.net.set_fault_plan(plan);
+
+        for &is_switch in &ops {
+            let before = *world.switches.lock();
+            let result = if is_switch {
+                world.caller.invoke(
+                    &world.sim,
+                    "chaos-lamp",
+                    "switch",
+                    &[("on".into(), Value::Bool(true))],
+                )
+            } else {
+                world.caller.invoke(&world.sim, "chaos-lamp", "status", &[])
+            };
+            let delta = *world.switches.lock() - before;
+
+            if is_switch {
+                prop_assert!(
+                    delta <= 1,
+                    "non-idempotent op executed {delta}x in one invocation"
+                );
+                if result.is_ok() {
+                    prop_assert_eq!(
+                        delta, 1,
+                        "reported success without exactly one execution"
+                    );
+                }
+            } else {
+                prop_assert_eq!(delta, 0, "status must never execute switch");
+            }
+            if let Err(e) = &result {
+                // Chaos may surface only as typed, expected failures.
+                prop_assert!(
+                    matches!(
+                        e,
+                        MetaError::Transport { .. }
+                            | MetaError::DeadlineExceeded { .. }
+                            | MetaError::CircuitOpen { .. }
+                            | MetaError::GatewayUnreachable(_)
+                            | MetaError::Repository(_)
+                    ),
+                    "unexpected error class under chaos: {e:?}"
+                );
+            }
+            world.sim.advance(SimDuration::from_millis(20));
+        }
+
+        // Heal: run out every window and the breaker's open period,
+        // then drop the plan entirely.
+        let past = healed_by + SimDuration::from_secs(10);
+        if world.sim.now() < past {
+            world.sim.advance(past.since(world.sim.now()));
+        }
+        world.net.clear_fault_plan();
+
+        // Convergence: both op classes succeed, and a switch executes
+        // exactly once again.
+        world.caller.invoke(&world.sim, "chaos-lamp", "status", &[]).unwrap();
+        let before = *world.switches.lock();
+        world.caller.invoke(
+            &world.sim,
+            "chaos-lamp",
+            "switch",
+            &[("on".into(), Value::Bool(false))],
+        ).unwrap();
+        prop_assert_eq!(*world.switches.lock(), before + 1);
+        prop_assert_eq!(
+            world.caller.breaker_state("gw-server"),
+            BreakerState::Closed
+        );
+    }
+}
+
+/// The same seed and schedule must reproduce the exact same run —
+/// retries, backoff jitter, breaker flips and all. This is what makes a
+/// chaos failure replayable from its CHAOS_SEED.
+#[test]
+fn chaos_runs_are_deterministic_per_seed() {
+    let run = |seed: u64| {
+        let world = build_world(seed);
+        world
+            .caller
+            .invoke(&world.sim, "chaos-lamp", "status", &[])
+            .unwrap();
+        let t0 = world.sim.now();
+        world.net.set_fault_plan(
+            FaultPlan::new()
+                .loss_spike(t0, t0 + SimDuration::from_millis(200), 0.7)
+                .node_down(
+                    world.server.node(),
+                    t0 + SimDuration::from_millis(250),
+                    t0 + SimDuration::from_millis(400),
+                ),
+        );
+        let on_arg = [("on".to_owned(), Value::Bool(true))];
+        let mut outcomes = Vec::new();
+        for i in 0..6 {
+            let (op, args): (&str, &[(String, Value)]) = if i % 2 == 0 {
+                ("status", &[])
+            } else {
+                ("switch", &on_arg)
+            };
+            let r = world.caller.invoke(&world.sim, "chaos-lamp", op, args);
+            outcomes.push(r.map_err(|e| e.to_string()));
+            world.sim.advance(SimDuration::from_millis(30));
+        }
+        let snap = world.caller.metrics().snapshot();
+        let executed = *world.switches.lock();
+        (
+            outcomes,
+            world.sim.now(),
+            snap.retries,
+            snap.breaker_transitions,
+            executed,
+        )
+    };
+    assert_eq!(run(42), run(42), "same seed, same run");
+}

@@ -2,8 +2,8 @@
 //! leases lapse and the powerline eats frames.
 
 use havi::bus_reset;
-use metaware::{Middleware, SmartHome};
-use simnet::SimDuration;
+use metaware::{BreakerState, MetaError, Middleware, SmartHome};
+use simnet::{FaultPlan, SimDuration};
 use soap::Value;
 
 #[test]
@@ -12,15 +12,16 @@ fn havi_bus_reset_blocks_then_recovers() {
     let havi = home.havi.as_ref().unwrap();
 
     // During the reset window the bus is down: cross-island HAVi calls
-    // fail with a native error.
+    // fail with the middleware's own typed error, not a generic string.
     havi.bus.set_down(true);
     let err = home
         .invoke_from(Middleware::Jini, "dv-camera", "record", &[])
         .unwrap_err();
     assert!(
-        err.to_string().contains("havi") || err.to_string().contains("down"),
-        "{err}"
+        matches!(&err, MetaError::Native { middleware, .. } if middleware == "havi"),
+        "expected a HAVi-native error, got {err:?}"
     );
+    assert_eq!(err.kind(), "native");
 
     // The bus recovers; no re-configuration needed for messaging.
     havi.bus.set_down(false);
@@ -109,15 +110,82 @@ fn x10_commands_may_still_miss_on_noise_and_shadow_tracks_belief() {
 #[test]
 fn gateway_outage_yields_clean_errors_and_recovery() {
     let home = SmartHome::builder().build().unwrap();
-    // Take the backbone down: all cross-island traffic fails cleanly.
+    // Take the backbone down: all cross-island traffic fails with a
+    // typed transport error that says the request never got out — the
+    // resolution request to the VSR itself could not be delivered.
     home.backbone.set_down(true);
     let err = home
         .invoke_from(Middleware::Jini, "dv-camera", "status", &[])
         .unwrap_err();
-    assert!(!err.to_string().is_empty());
+    assert!(err.is_transport_failure(), "{err:?}");
+    assert!(
+        matches!(
+            err,
+            MetaError::Transport {
+                not_executed: true,
+                ..
+            }
+        ),
+        "a dead backbone means guaranteed-not-executed: {err:?}"
+    );
     home.backbone.set_down(false);
     home.invoke_from(Middleware::Jini, "dv-camera", "status", &[])
         .unwrap();
+}
+
+#[test]
+fn backbone_partition_trips_the_breaker_then_a_probe_recloses_it() {
+    let home = SmartHome::builder().build().unwrap();
+    let jini_gw = home.jini.as_ref().unwrap().vsg.clone();
+    let havi_gw = home.havi.as_ref().unwrap().vsg.clone();
+
+    // Warm the route so the partitioned call takes the cached fast
+    // path straight at havi-gw.
+    home.invoke_from(Middleware::Jini, "dv-camera", "status", &[])
+        .unwrap();
+
+    // Partition the two gateways mid-run. Every attempt fails before
+    // delivery; the resilience layer retries with backoff until the
+    // virtual-time deadline binds, and the repeated failures trip the
+    // per-gateway breaker.
+    let t = home.sim.now();
+    home.backbone.set_fault_plan(FaultPlan::new().partition(
+        vec![jini_gw.node()],
+        vec![havi_gw.node()],
+        t,
+        t + SimDuration::from_secs(30),
+    ));
+    let err = home
+        .invoke_from(Middleware::Jini, "dv-camera", "status", &[])
+        .unwrap_err();
+    assert!(
+        matches!(err, MetaError::DeadlineExceeded { .. }),
+        "expected the deadline to bind: {err:?}"
+    );
+    assert_eq!(err.kind(), "deadline-exceeded");
+    assert_eq!(jini_gw.breaker_state("havi-gw"), BreakerState::Open);
+    assert!(
+        jini_gw.metrics().snapshot().retries > 0,
+        "retries were recorded"
+    );
+
+    // While the breaker is open, calls are rejected without touching
+    // the wire at all.
+    let err = home
+        .invoke_from(Middleware::Jini, "dv-camera", "status", &[])
+        .unwrap_err();
+    assert!(
+        matches!(&err, MetaError::CircuitOpen { gateway } if gateway == "havi-gw"),
+        "{err:?}"
+    );
+
+    // The partition heals and the open window lapses: the next call is
+    // admitted as a half-open probe, succeeds, and recloses the breaker.
+    home.sim.advance(SimDuration::from_secs(40));
+    home.backbone.clear_fault_plan();
+    home.invoke_from(Middleware::Jini, "dv-camera", "status", &[])
+        .unwrap();
+    assert_eq!(jini_gw.breaker_state("havi-gw"), BreakerState::Closed);
 }
 
 #[test]
