@@ -22,6 +22,16 @@ for seed in 1 7 1234; do
     CHAOS_SEED=$seed cargo test -q --test chaos --test failures
 done
 
+echo "==> cargo bench --no-run (benches compile)"
+cargo bench --workspace --no-run -q
+
+# E14 smoke run: its report functions assert the multiplexed-wire
+# thresholds (batched events/sec >= 3x unbatched at fan-out 64, wire
+# bytes/event <= 0.5x, idle p50 within 10%), so a regression in the
+# batching path fails this step outright.
+echo "==> e14 throughput smoke (threshold assertions)"
+cargo bench -p bench --bench e14_throughput -- --test
+
 echo "==> cargo doc --no-deps (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace -q
 

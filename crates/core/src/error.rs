@@ -68,6 +68,17 @@ pub enum MetaError {
         /// The gateway the breaker protects.
         gateway: String,
     },
+    /// The batching layer's bounded per-peer queue is full: the call was
+    /// rejected before touching the wire rather than growing the queue
+    /// without bound. Guaranteed not executed, but an immediate retry
+    /// would add to the very load that overflowed the queue — back off
+    /// and let the coalescer drain.
+    Overloaded {
+        /// The remote gateway whose queue overflowed.
+        gateway: String,
+        /// How many members were already queued for that gateway.
+        queued: u64,
+    },
 }
 
 impl MetaError {
@@ -177,6 +188,17 @@ impl MetaError {
                 gateway: gw.to_owned(),
             };
         }
+        if let Some((gw, rest)) = fault
+            .strip_prefix("gateway '")
+            .and_then(|rest| rest.split_once("' overloaded ("))
+        {
+            if let Some(queued) = rest.strip_suffix(" queued)").and_then(|n| n.parse().ok()) {
+                return MetaError::Overloaded {
+                    gateway: gw.to_owned(),
+                    queued,
+                };
+            }
+        }
         if let Some(msg) = fault.strip_prefix("repository error: ") {
             return MetaError::Repository(msg.to_owned());
         }
@@ -203,6 +225,7 @@ impl MetaError {
             MetaError::Transport { .. } => "transport",
             MetaError::DeadlineExceeded { .. } => "deadline-exceeded",
             MetaError::CircuitOpen { .. } => "circuit-open",
+            MetaError::Overloaded { .. } => "overloaded",
         }
     }
 
@@ -282,6 +305,9 @@ impl fmt::Display for MetaError {
             MetaError::CircuitOpen { gateway } => {
                 write!(f, "circuit open for gateway '{gateway}'")
             }
+            MetaError::Overloaded { gateway, queued } => {
+                write!(f, "gateway '{gateway}' overloaded ({queued} queued)")
+            }
         }
     }
 }
@@ -336,6 +362,10 @@ mod tests {
             MetaError::CircuitOpen {
                 gateway: "havi-gw".into(),
             },
+            MetaError::Overloaded {
+                gateway: "sip-gw".into(),
+                queued: 256,
+            },
         ] {
             assert_eq!(MetaError::from_fault_string(&e.to_string()), e);
         }
@@ -387,6 +417,16 @@ mod tests {
             gateway: "gw".into()
         }
         .is_retry_safe());
+        assert!(!MetaError::Overloaded {
+            gateway: "gw".into(),
+            queued: 256
+        }
+        .is_retry_safe());
+        assert!(!MetaError::Overloaded {
+            gateway: "gw".into(),
+            queued: 256
+        }
+        .is_transport_failure());
         assert!(MetaError::transport("lost", false).is_transport_failure());
         assert!(MetaError::GatewayUnreachable("gw".into()).is_transport_failure());
         assert!(!MetaError::native("x10", "jam").is_transport_failure());

@@ -12,12 +12,18 @@
 //! * [`SipPublisher`] / [`SipSubscriber`] — what the §5 SIP discussion
 //!   enables: the source island pushes a NOTIFY the moment the event
 //!   happens. Latency ≈ one LAN frame; zero idle cost.
+//! * [`SipPublisher::with_batching`] — the multiplexed fan-out: one
+//!   published event is marshalled once, queued per peer, and flushed
+//!   as shared NOTIFY batch frames under an adaptive (Nagle-with-a-
+//!   deadline) policy, amortising the per-frame cost across members.
 
+use crate::batch::BatchPolicy;
+use crate::metrics::MetricsRegistry;
 use crate::protocol::SipLike;
 use crate::trace::{HopKind, Tracer};
 use crate::vsg::Vsg;
 use parking_lot::Mutex;
-use simnet::{Network, NodeId, RepeatHandle, Sim, SimDuration};
+use simnet::{Network, NodeId, RepeatHandle, Sim, SimDuration, SimTime};
 use soap::Value;
 use std::fmt;
 use std::sync::Arc;
@@ -29,6 +35,10 @@ pub struct BridgeStats {
     pub carrier_messages: u64,
     /// Events actually delivered to the handler.
     pub events_delivered: u64,
+    /// Events that never reached their subscriber: the NOTIFY was lost
+    /// in transport, or a full per-peer queue rejected the event
+    /// (backpressure).
+    pub events_dropped: u64,
 }
 
 /// The HTTP-era strategy: poll the source service through the VSG.
@@ -95,6 +105,123 @@ impl fmt::Debug for PollingBridge {
     }
 }
 
+/// One pre-marshalled event waiting in a peer's queue: the payload
+/// bytes were produced once at publish time, never re-encoded at
+/// flush; the service tag lets the flush splice consecutive
+/// same-service members into shared run groups.
+struct QueuedEvent {
+    service: String,
+    payload: Vec<u8>,
+    queued_at: SimTime,
+}
+
+/// Per-peer queues of the batched fan-out path (small-N association
+/// lists: a home has a handful of gateways, not thousands).
+#[derive(Default)]
+struct MuxState {
+    queues: Vec<(NodeId, Vec<QueuedEvent>)>,
+    last_flush: Vec<(NodeId, SimTime)>,
+}
+
+impl MuxState {
+    fn queue_mut(&mut self, peer: NodeId) -> &mut Vec<QueuedEvent> {
+        if let Some(i) = self.queues.iter().position(|(n, _)| *n == peer) {
+            &mut self.queues[i].1
+        } else {
+            self.queues.push((peer, Vec::new()));
+            &mut self.queues.last_mut().expect("just pushed").1
+        }
+    }
+
+    fn last_flush(&self, peer: NodeId) -> Option<SimTime> {
+        self.last_flush
+            .iter()
+            .find(|(n, _)| *n == peer)
+            .map(|(_, t)| *t)
+    }
+
+    fn note_flush(&mut self, peer: NodeId, now: SimTime) {
+        if let Some(i) = self.last_flush.iter().position(|(n, _)| *n == peer) {
+            self.last_flush[i].1 = now;
+        } else {
+            self.last_flush.push((peer, now));
+        }
+    }
+
+    /// Drains every peer whose oldest queued event has waited at least
+    /// `max_delay` — the Nagle deadline.
+    fn take_due(
+        &mut self,
+        now: SimTime,
+        max_delay: SimDuration,
+    ) -> Vec<(NodeId, Vec<QueuedEvent>)> {
+        self.queues
+            .iter_mut()
+            .filter(|(_, q)| {
+                q.first()
+                    .is_some_and(|e| now.since(e.queued_at) >= max_delay)
+            })
+            .map(|(peer, q)| (*peer, std::mem::take(q)))
+            .collect()
+    }
+
+    fn take_all(&mut self) -> Vec<(NodeId, Vec<QueuedEvent>)> {
+        self.queues
+            .iter_mut()
+            .filter(|(_, q)| !q.is_empty())
+            .map(|(peer, q)| (*peer, std::mem::take(q)))
+            .collect()
+    }
+}
+
+/// Everything a flush needs, cloneable into the max-delay timer.
+#[derive(Clone)]
+struct FlushCtx {
+    net: Network,
+    node: NodeId,
+    proto: SipLike,
+    stats: Arc<Mutex<BridgeStats>>,
+    tracer: Tracer,
+    metrics: Arc<MetricsRegistry>,
+}
+
+impl FlushCtx {
+    /// Sends one peer's queued events as a single NOTIFY batch frame:
+    /// one carrier message whatever the member count, one shared
+    /// transport fate, per-event queue wait recorded at flush.
+    fn flush_peer(&self, peer: NodeId, items: Vec<QueuedEvent>) {
+        if items.is_empty() {
+            return;
+        }
+        let sim = self.net.sim();
+        let n = items.len() as u64;
+        let span = self
+            .tracer
+            .begin_root(sim, HopKind::Event, || format!("notify batch of {n}"));
+        let now = sim.now();
+        for q in &items {
+            self.metrics
+                .record_queue_wait(now.since(q.queued_at).as_micros());
+        }
+        let members: Vec<(&str, &[u8])> = items
+            .iter()
+            .map(|q| (q.service.as_str(), q.payload.as_slice()))
+            .collect();
+        self.stats.lock().carrier_messages += 1;
+        let ok = self
+            .proto
+            .notify_batch(&self.net, self.node, peer, &members);
+        let mut st = self.stats.lock();
+        if ok {
+            st.events_delivered += n;
+        } else {
+            st.events_dropped += n;
+        }
+        drop(st);
+        self.tracer.end(sim, span);
+    }
+}
+
 /// The SIP-era strategy, source side: pushes events to subscribers the
 /// moment they occur.
 #[derive(Clone)]
@@ -105,6 +232,10 @@ pub struct SipPublisher {
     subscribers: Arc<Mutex<Vec<(NodeId, String)>>>,
     stats: Arc<Mutex<BridgeStats>>,
     tracer: Tracer,
+    metrics: Arc<MetricsRegistry>,
+    policy: BatchPolicy,
+    mux: Option<Arc<Mutex<MuxState>>>,
+    _timer: Option<Arc<RepeatHandle>>,
 }
 
 impl SipPublisher {
@@ -119,6 +250,10 @@ impl SipPublisher {
             subscribers: Arc::new(Mutex::new(Vec::new())),
             stats: Arc::new(Mutex::new(BridgeStats::default())),
             tracer: Tracer::new("sip-publisher"),
+            metrics: Arc::new(MetricsRegistry::new()),
+            policy: BatchPolicy::disabled(),
+            mux: None,
+            _timer: None,
         }
     }
 
@@ -126,6 +261,55 @@ impl SipPublisher {
     pub fn with_tracer(mut self, tracer: Tracer) -> SipPublisher {
         self.tracer = tracer;
         self
+    }
+
+    /// Switches the publisher onto the multiplexed fan-out: each
+    /// publish marshals the event once; per-peer queues coalesce
+    /// members into shared NOTIFY batch frames under `policy` (flush
+    /// immediately for idle peers, otherwise at
+    /// [`BatchPolicy::max_batch`] members or after
+    /// [`BatchPolicy::max_delay`], enforced by a repeating timer that
+    /// fires under `Sim::run_for`). A full peer queue drops the event
+    /// and counts it in [`BridgeStats::events_dropped`].
+    pub fn with_batching(mut self, policy: BatchPolicy) -> SipPublisher {
+        if !policy.enabled {
+            self.policy = policy;
+            self.mux = None;
+            self._timer = None;
+            return self;
+        }
+        let mux = Arc::new(Mutex::new(MuxState::default()));
+        let ctx = self.flush_ctx();
+        let mux2 = mux.clone();
+        let max_delay = policy.max_delay;
+        let timer = self.net.sim().every(max_delay, move |sim| {
+            let due = {
+                let mut state = mux2.lock();
+                let due = state.take_due(sim.now(), max_delay);
+                for (peer, _) in &due {
+                    state.note_flush(*peer, sim.now());
+                }
+                due
+            };
+            for (peer, items) in due {
+                ctx.flush_peer(peer, items);
+            }
+        });
+        self.policy = policy;
+        self.mux = Some(mux);
+        self._timer = Some(Arc::new(timer));
+        self
+    }
+
+    fn flush_ctx(&self) -> FlushCtx {
+        FlushCtx {
+            net: self.net.clone(),
+            node: self.node,
+            proto: self.proto,
+            stats: self.stats.clone(),
+            tracer: self.tracer.clone(),
+            metrics: self.metrics.clone(),
+        }
     }
 
     /// Subscribes a gateway node to events of `service` (`%` = all).
@@ -140,7 +324,9 @@ impl SipPublisher {
         self.subscribers.lock().retain(|(n, _)| *n != subscriber);
     }
 
-    /// Pushes one event for `service` to every matching subscriber.
+    /// Pushes one event for `service` to every matching subscriber —
+    /// immediately (one NOTIFY each) on an unbatched publisher, through
+    /// the per-peer coalescing queues on a batched one.
     pub fn publish(&self, service: &str, event: &Value) {
         let targets: Vec<NodeId> = self
             .subscribers
@@ -149,23 +335,103 @@ impl SipPublisher {
             .filter(|(_, pat)| pat == "%" || pat == service)
             .map(|(n, _)| *n)
             .collect();
-        // An event push originates at the device, outside any in-flight
-        // framework call: one fresh-trace span covers the whole fan-out.
         let sim = self.net.sim();
-        let span = self
-            .tracer
-            .begin_root(sim, HopKind::Event, || format!("notify {service}"));
+        let Some(mux) = &self.mux else {
+            // The unbatched wire: one NOTIFY per subscriber, inline. An
+            // event push originates at the device, outside any
+            // in-flight framework call: one fresh-trace span covers the
+            // whole fan-out.
+            let span = self
+                .tracer
+                .begin_root(sim, HopKind::Event, || format!("notify {service}"));
+            for target in targets {
+                self.stats.lock().carrier_messages += 1;
+                let ok = self
+                    .proto
+                    .notify(&self.net, self.node, target, service, event);
+                let mut st = self.stats.lock();
+                if ok {
+                    st.events_delivered += 1;
+                } else {
+                    st.events_dropped += 1;
+                }
+            }
+            self.tracer.end(sim, span);
+            return;
+        };
+        // Marshal once: every peer's queue takes a copy of the payload
+        // bytes, not a re-encoding.
+        let payload = SipLike::encode_event_payload(event);
+        let ctx = self.flush_ctx();
         for target in targets {
-            let mut st = self.stats.lock();
-            st.carrier_messages += 1;
-            if self
-                .proto
-                .notify(&self.net, self.node, target, service, event)
-            {
-                st.events_delivered += 1;
+            let flush_now = {
+                let mut state = mux.lock();
+                let last = state.last_flush(target);
+                let q = state.queue_mut(target);
+                let idle = q.is_empty()
+                    && last.is_none_or(|t| sim.now().since(t) >= self.policy.idle_threshold);
+                if idle {
+                    // An idle peer pays no coalescing tax: its event
+                    // leaves as a batch of one, right now.
+                    state.note_flush(target, sim.now());
+                    Some(vec![QueuedEvent {
+                        service: service.to_owned(),
+                        payload: payload.clone(),
+                        queued_at: sim.now(),
+                    }])
+                } else if q.len() >= self.policy.max_queue {
+                    // Backpressure: drop loudly rather than queue
+                    // without bound.
+                    self.stats.lock().events_dropped += 1;
+                    None
+                } else {
+                    q.push(QueuedEvent {
+                        service: service.to_owned(),
+                        payload: payload.clone(),
+                        queued_at: sim.now(),
+                    });
+                    if q.len() >= self.policy.max_batch {
+                        let items = std::mem::take(q);
+                        state.note_flush(target, sim.now());
+                        Some(items)
+                    } else {
+                        None
+                    }
+                }
+            };
+            if let Some(items) = flush_now {
+                ctx.flush_peer(target, items);
             }
         }
-        self.tracer.end(sim, span);
+    }
+
+    /// Flushes every queued event now (a no-op on an unbatched
+    /// publisher). The max-delay timer does this automatically while
+    /// the sim runs; explicit flush serves callers driving virtual time
+    /// by hand.
+    pub fn flush(&self) {
+        let Some(mux) = &self.mux else {
+            return;
+        };
+        let sim = self.net.sim();
+        let all = {
+            let mut state = mux.lock();
+            let all = state.take_all();
+            for (peer, _) in &all {
+                state.note_flush(*peer, sim.now());
+            }
+            all
+        };
+        let ctx = self.flush_ctx();
+        for (peer, items) in all {
+            ctx.flush_peer(peer, items);
+        }
+    }
+
+    /// The publisher's own metrics registry; its queue-wait histogram
+    /// records how long each batched event sat queued before its flush.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
     }
 
     /// Messages and deliveries so far.
@@ -341,5 +607,127 @@ mod tests {
         publisher.publish("hall-motion", &Value::Bool(false));
         assert_eq!(sub_a.received(), 2);
         assert_eq!(publisher.stats().carrier_messages, 3);
+    }
+
+    /// Two subscribing sink gateways with handlers that record
+    /// `(service, event)` per delivery, plus the publisher's network.
+    #[allow(clippy::type_complexity)]
+    fn fanout_world() -> (
+        Sim,
+        Network,
+        NodeId,
+        (NodeId, Arc<Mutex<Vec<(String, Value)>>>),
+        (NodeId, Arc<Mutex<Vec<(String, Value)>>>),
+    ) {
+        let sim = Sim::new(1);
+        let net = Network::ethernet(&sim);
+        let source = net.attach("src-gw");
+        let proto = SipLike::new();
+        let mut sinks = Vec::new();
+        for name in ["gw-a", "gw-b"] {
+            let node = proto.bind(&net, name, Arc::new(|_, _| Ok(Value::Null)));
+            let got: Arc<Mutex<Vec<(String, Value)>>> = Arc::new(Mutex::new(Vec::new()));
+            let got2 = got.clone();
+            // The handler stays installed on the network; the
+            // subscriber guard only carries a counter.
+            let _sub = SipSubscriber::install(&net, node, move |_, svc, e| {
+                got2.lock().push((svc.to_owned(), e.clone()));
+            });
+            sinks.push((node, got));
+        }
+        let b = sinks.pop().unwrap();
+        let a = sinks.pop().unwrap();
+        (sim, net, source, a, b)
+    }
+
+    #[test]
+    fn batched_publisher_coalesces_the_fanout() {
+        let (_sim, net, source, (sink_a, got_a), (sink_b, got_b)) = fanout_world();
+        let publisher = SipPublisher::new(&net, source).with_batching(BatchPolicy::default());
+        publisher.subscribe(sink_a, "%");
+        publisher.subscribe(sink_b, "%");
+
+        // Eight events back-to-back: the first finds both peers idle
+        // and leaves immediately; the other seven coalesce per peer.
+        for i in 0..8 {
+            publisher.publish("hall-motion", &Value::Int(i));
+        }
+        publisher.flush();
+
+        let stats = publisher.stats();
+        assert_eq!(stats.events_delivered, 16);
+        assert_eq!(stats.events_dropped, 0);
+        assert_eq!(
+            stats.carrier_messages, 4,
+            "2 idle singles + 2 batch frames, not 16 NOTIFYs"
+        );
+        // Every event arrived, in publish order, on both sinks.
+        let want: Vec<(String, Value)> = (0..8)
+            .map(|i| ("hall-motion".to_owned(), Value::Int(i)))
+            .collect();
+        assert_eq!(*got_a.lock(), want);
+        assert_eq!(*got_b.lock(), want);
+        // Each delivered event recorded its queue wait.
+        assert_eq!(publisher.metrics().snapshot().queue_wait.count, 16);
+    }
+
+    #[test]
+    fn batched_publisher_deadline_timer_flushes_stragglers() {
+        let (sim, net, source, (sink_a, got_a), _b) = fanout_world();
+        let publisher = SipPublisher::new(&net, source).with_batching(BatchPolicy::default());
+        publisher.subscribe(sink_a, "%");
+        for i in 0..3 {
+            publisher.publish("hall-motion", &Value::Int(i));
+        }
+        // No explicit flush: the max-delay timer drains the queue as
+        // virtual time passes.
+        sim.run_for(SimDuration::from_millis(10));
+        assert_eq!(publisher.stats().events_delivered, 3);
+        assert_eq!(got_a.lock().len(), 3);
+        // And the straggler wait is bounded by the Nagle deadline plus
+        // one timer period.
+        let snap = publisher.metrics().snapshot();
+        let mean = snap.queue_wait.mean_us();
+        assert!(mean < 5_000.0, "mean queue wait {mean}us");
+    }
+
+    #[test]
+    fn batched_publisher_drops_loudly_when_a_peer_queue_fills() {
+        let (_sim, net, source, (sink_a, _got_a), _b) = fanout_world();
+        let publisher = SipPublisher::new(&net, source).with_batching(BatchPolicy {
+            max_batch: 64,
+            max_queue: 2,
+            ..BatchPolicy::default()
+        });
+        publisher.subscribe(sink_a, "%");
+        for i in 0..5 {
+            publisher.publish("hall-motion", &Value::Int(i));
+        }
+        // 1 idle single + 2 queued; events 3 and 4 hit the bound.
+        assert_eq!(publisher.stats().events_dropped, 2);
+        publisher.flush();
+        assert_eq!(publisher.stats().events_delivered, 3);
+    }
+
+    #[test]
+    fn unbatched_publish_counts_undeliverable_events() {
+        let (sim, net, source, (sink_a, _got_a), _b) = fanout_world();
+        let publisher = SipPublisher::new(&net, source);
+        publisher.subscribe(sink_a, "%");
+        publisher.publish("hall-motion", &Value::Bool(true));
+        let t = sim.now();
+        net.set_fault_plan(simnet::FaultPlan::new().node_down(
+            sink_a,
+            t,
+            t + SimDuration::from_secs(1),
+        ));
+        publisher.publish("hall-motion", &Value::Bool(false));
+        let stats = publisher.stats();
+        assert_eq!(stats.carrier_messages, 2);
+        assert_eq!(stats.events_delivered, 1);
+        assert_eq!(
+            stats.events_dropped, 1,
+            "a lost NOTIFY must be counted, not silently forgotten"
+        );
     }
 }

@@ -10,6 +10,7 @@
 //! the VSR — then bridges everything. Examples, integration tests and
 //! every benchmark build on it.
 
+use crate::batch::BatchPolicy;
 use crate::error::MetaError;
 use crate::iface::{catalog, InterfaceCatalog};
 use crate::pcm::havi::HaviPcm;
@@ -173,6 +174,7 @@ pub struct SmartHomeBuilder {
     lossless_powerline: bool,
     auto_import: bool,
     resilience: Option<ResiliencePolicy>,
+    batching: Option<BatchPolicy>,
     vsr_lease: Option<SimDuration>,
     heartbeat: Option<SimDuration>,
 }
@@ -201,6 +203,7 @@ impl SmartHome {
             lossless_powerline: true,
             auto_import: true,
             resilience: None,
+            batching: None,
             vsr_lease: None,
             heartbeat: None,
         }
@@ -307,6 +310,14 @@ impl SmartHome {
             vsg.set_resilience(policy.clone());
         }
     }
+
+    /// Installs a batching policy on every gateway at once, switching
+    /// the whole home between the multiplexed and unbatched wire.
+    pub fn set_batching(&self, policy: BatchPolicy) {
+        for vsg in self.gateways() {
+            vsg.set_batching(policy.clone());
+        }
+    }
 }
 
 impl SmartHomeBuilder {
@@ -369,6 +380,15 @@ impl SmartHomeBuilder {
     /// (each gateway otherwise starts with the defaults).
     pub fn resilience(mut self, policy: ResiliencePolicy) -> Self {
         self.resilience = Some(policy);
+        self
+    }
+
+    /// Installs a batching policy on every gateway at build time —
+    /// [`BatchPolicy::disabled`] pins the home to the unbatched wire,
+    /// a tuned policy adjusts the coalescing knobs. Gateways otherwise
+    /// start with [`BatchPolicy::default`].
+    pub fn batching(mut self, policy: BatchPolicy) -> Self {
+        self.batching = Some(policy);
         self
     }
 
@@ -462,6 +482,9 @@ impl SmartHomeBuilder {
         };
         if let Some(policy) = self.resilience {
             home.set_resilience(policy);
+        }
+        if let Some(policy) = self.batching {
+            home.set_batching(policy);
         }
         let mut home = home;
         if let Some(period) = self.heartbeat {

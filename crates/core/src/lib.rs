@@ -54,6 +54,7 @@
 
 pub mod activation;
 pub mod avmeta;
+pub mod batch;
 pub mod error;
 pub mod events;
 pub mod home;
@@ -71,6 +72,7 @@ pub mod vsr;
 
 pub use activation::{ActivationStats, Activator};
 pub use avmeta::{AvBroker, AvFormat, AvReport, AvSession};
+pub use batch::{BatchCall, BatchItem, BatchPolicy};
 pub use error::MetaError;
 pub use events::{BridgeStats, PollingBridge, SipPublisher, SipSubscriber};
 pub use home::{house, unit, SmartHome, SmartHomeBuilder};

@@ -186,6 +186,7 @@ struct MetricsState {
     errors: std::collections::BTreeMap<&'static str, u64>,
     per_service: std::collections::BTreeMap<String, u64>,
     latency: LatencyHistogram,
+    queue_wait: LatencyHistogram,
     retries: u64,
     degraded_serves: u64,
     breaker_transitions: u64,
@@ -229,6 +230,14 @@ impl MetricsRegistry {
         self.state.lock().retries += 1;
     }
 
+    /// Records how long one batched call or event sat in its per-peer
+    /// queue between enqueue and flush. Kept separate from the
+    /// invocation latency histogram so coalescing delay is observable
+    /// on its own rather than hidden inside end-to-end time.
+    pub fn record_queue_wait(&self, us: u64) {
+        self.state.lock().queue_wait.record(us);
+    }
+
     /// Records one invocation answered from a stale route because the
     /// VSR was unreachable (degraded mode).
     pub fn record_degraded_serve(&self) {
@@ -259,6 +268,7 @@ impl MetricsRegistry {
                 .map(|(k, v)| (k.clone(), *v))
                 .collect(),
             latency: st.latency,
+            queue_wait: st.queue_wait,
             retries: st.retries,
             degraded_serves: st.degraded_serves,
             breaker_transitions: st.breaker_transitions,
@@ -282,6 +292,9 @@ pub struct RegistrySnapshot {
     pub per_service: Vec<(String, u64)>,
     /// Virtual-time latency distribution of invocations.
     pub latency: LatencyHistogram,
+    /// Time batched calls/events spent queued before their flush
+    /// (empty unless batching is enabled).
+    pub queue_wait: LatencyHistogram,
     /// Wire-call retries performed by the resilience layer.
     pub retries: u64,
     /// Invocations served from a stale route during a VSR outage.
@@ -343,6 +356,18 @@ impl MetricsSnapshot {
             "],\"count\":{},\"mean_us\":{:.1}}}",
             self.registry.latency.count,
             self.registry.latency.mean_us()
+        ));
+        out.push_str(",\"queue_wait\":{\"counts\":[");
+        for (i, c) in self.registry.queue_wait.counts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&c.to_string());
+        }
+        out.push_str(&format!(
+            "],\"count\":{},\"mean_us\":{:.1}}}",
+            self.registry.queue_wait.count,
+            self.registry.queue_wait.mean_us()
         ));
         out.push_str(&format!(
             ",\"resilience\":{{\"retries\":{},\"degraded_serves\":{},\"breaker_transitions\":{},\"breakers\":{{",
@@ -591,6 +616,31 @@ mod tests {
             vec![("lamp".to_owned(), 2), ("vcr".to_owned(), 1)]
         );
         assert_eq!(snap.latency.count, 3);
+    }
+
+    #[test]
+    fn queue_wait_is_tracked_separately_from_latency() {
+        let reg = MetricsRegistry::new();
+        reg.record("lamp", 120, None);
+        reg.record_queue_wait(1_500);
+        reg.record_queue_wait(40);
+        let snap = reg.snapshot();
+        assert_eq!(snap.latency.count, 1);
+        assert_eq!(snap.queue_wait.count, 2);
+        assert_eq!(snap.queue_wait.total_us, 1_540);
+        let json = MetricsSnapshot {
+            gateway: "gw".into(),
+            registry: snap,
+            cache: CacheStats::default(),
+        }
+        .to_json();
+        assert!(json.contains("\"queue_wait\":{"), "{json}");
+        assert!(json.contains("\"mean_us\":770.0"), "{json}");
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
     }
 
     #[test]

@@ -5,7 +5,10 @@
 //! no HTTP, no per-request connection. It exists to quantify the cost of
 //! the prototype's "simple protocol" choice.
 
-use super::{binval, GatewayHandler, VsgProtocol, VsgRequest};
+use super::{
+    binval, member_from_value, member_to_value, result_from_value, result_to_value, GatewayHandler,
+    VsgProtocol, VsgRequest,
+};
 use crate::error::MetaError;
 use simnet::{Network, NodeId, Protocol, SimDuration};
 use soap::Value;
@@ -66,6 +69,54 @@ fn decode_request(data: &[u8]) -> Option<VsgRequest> {
 const TAG_FAULT: u8 = 0;
 const TAG_OK: u8 = 1;
 const TAG_UNKNOWN_SERVICE: u8 = 2;
+// A batch reply: a list of per-member result records.
+const TAG_BATCH: u8 = 3;
+
+// A batch request is MAGIC + Record{"B": List[member records]} — the
+// "B" key cannot collide with a single request, which always carries
+// "s"/"o"/"a" fields.
+fn encode_batch_request(reqs: &[VsgRequest]) -> Vec<u8> {
+    let mut out = MAGIC.to_vec();
+    binval::begin_record(1, &mut out);
+    binval::encode_field_key("B", &mut out);
+    binval::begin_list(reqs.len(), &mut out);
+    for req in reqs {
+        binval::encode(&member_to_value(req), &mut out);
+    }
+    out
+}
+
+fn decode_batch_request(data: &[u8]) -> Option<Vec<VsgRequest>> {
+    let body = binval::from_bytes(data.strip_prefix(MAGIC)?)?;
+    let Value::List(items) = body.field("B")? else {
+        return None;
+    };
+    items.iter().map(member_from_value).collect()
+}
+
+fn encode_batch_reply(results: &[Result<Value, MetaError>]) -> Vec<u8> {
+    let mut out = vec![TAG_BATCH];
+    binval::begin_list(results.len(), &mut out);
+    for r in results {
+        binval::encode(&result_to_value(r), &mut out);
+    }
+    out
+}
+
+fn decode_batch_reply(data: &[u8]) -> Result<Vec<Result<Value, MetaError>>, MetaError> {
+    match data.split_first() {
+        Some((&TAG_BATCH, rest)) => match binval::from_bytes(rest) {
+            Some(Value::List(items)) => Ok(items.iter().map(result_from_value).collect()),
+            _ => Err(MetaError::Protocol("bad batch reply body".into())),
+        },
+        // The server answered in single-reply form (e.g. it rejected
+        // the frame as malformed): surface that as the whole-batch
+        // error.
+        _ => Err(decode_reply(data)
+            .err()
+            .unwrap_or_else(|| MetaError::Protocol("single reply to a batch request".into()))),
+    }
+}
 
 fn encode_reply(result: &Result<Value, MetaError>) -> Vec<u8> {
     let mut out = Vec::with_capacity(16);
@@ -116,6 +167,10 @@ impl VsgProtocol for CompactBinary {
         let node = net.attach(label);
         net.set_request_handler(node, move |sim, frame| {
             sim.advance(SimDuration::from_micros(20)); // cheap dispatch
+            if let Some(reqs) = decode_batch_request(&frame.payload) {
+                let results: Vec<_> = reqs.iter().map(|req| handler(sim, req)).collect();
+                return Ok(encode_batch_reply(&results).into());
+            }
             let result = match decode_request(&frame.payload) {
                 Some(req) => handler(sim, &req),
                 None => Err(MetaError::Protocol("malformed binary request".into())),
@@ -137,6 +192,26 @@ impl VsgProtocol for CompactBinary {
             .request(from, to, Protocol::Raw, encode_request(req))
             .map_err(|e| MetaError::from_wire_error(&e, from))?;
         decode_reply(&reply)
+    }
+
+    fn call_batch(
+        &self,
+        net: &Network,
+        from: NodeId,
+        to: NodeId,
+        reqs: &[VsgRequest],
+    ) -> Result<Vec<Result<Value, MetaError>>, MetaError> {
+        if reqs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let reply = net
+            .request(from, to, Protocol::Raw, encode_batch_request(reqs))
+            .map_err(|e| MetaError::from_wire_error(&e, from))?;
+        let results = decode_batch_reply(&reply)?;
+        if results.len() != reqs.len() {
+            return Err(MetaError::Protocol("batch reply arity mismatch".into()));
+        }
+        Ok(results)
     }
 }
 

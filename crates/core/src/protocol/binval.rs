@@ -78,6 +78,15 @@ pub fn begin_record(len: usize, out: &mut Vec<u8>) {
     write_len(out, len);
 }
 
+/// Writes a list header for `len` items. The caller must follow with
+/// exactly `len` encoded values — this is how a batch frame splices
+/// members that were each marshalled once, ahead of time, into one
+/// `Value::List` wire form without re-encoding them per flush.
+pub fn begin_list(len: usize, out: &mut Vec<u8>) {
+    out.push(6);
+    write_len(out, len);
+}
+
 /// Writes one record field key; follow with the field's value.
 pub fn encode_field_key(key: &str, out: &mut Vec<u8>) {
     write_len(out, key.len());
@@ -283,6 +292,16 @@ mod tests {
                 Value::Str("hall".into())
             )]))
         );
+
+        // Splicing pre-encoded items after a list header matches the
+        // owned list encoding.
+        let items = vec![Value::Int(1), Value::Str("x".into())];
+        let mut spliced = Vec::new();
+        begin_list(items.len(), &mut spliced);
+        for item in &items {
+            encode(item, &mut spliced);
+        }
+        assert_eq!(spliced, to_bytes(&Value::List(items)));
     }
 
     #[test]

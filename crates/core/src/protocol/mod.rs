@@ -67,6 +67,63 @@ impl VsgRequest {
 /// What a gateway does with an arriving request.
 pub type GatewayHandler = Arc<dyn Fn(&Sim, &VsgRequest) -> Result<Value, MetaError> + Send + Sync>;
 
+// ---- batch member / result codecs --------------------------------------
+//
+// Every wire protocol's batch frame carries the same canonical member
+// and per-member-result shapes, expressed as `Value`s so each codec can
+// reuse its existing value encoding. A member is `{s, o, a[, t]}`; a
+// result is `{ok: value}` or `{err: "<Display-formatted MetaError>"}` —
+// the error text round-trips back to a typed error through
+// `MetaError::from_fault_string`, exactly like single-call faults.
+
+pub(crate) fn member_to_value(req: &VsgRequest) -> Value {
+    let mut fields = vec![
+        ("s".to_owned(), Value::Str(req.service.clone())),
+        ("o".to_owned(), Value::Str(req.operation.clone())),
+        ("a".to_owned(), Value::Record(req.args.clone())),
+    ];
+    if let Some(ctx) = &req.trace {
+        fields.push(("t".to_owned(), Value::Str(ctx.to_wire())));
+    }
+    Value::Record(fields)
+}
+
+pub(crate) fn member_from_value(v: &Value) -> Option<VsgRequest> {
+    let service = v.field("s")?.as_str()?.to_owned();
+    let operation = v.field("o")?.as_str()?.to_owned();
+    let args = match v.field("a")? {
+        Value::Record(fields) => fields.clone(),
+        _ => return None,
+    };
+    let trace = v
+        .field("t")
+        .and_then(Value::as_str)
+        .and_then(TraceContext::from_wire);
+    Some(VsgRequest {
+        service,
+        operation,
+        args,
+        trace,
+    })
+}
+
+pub(crate) fn result_to_value(result: &Result<Value, MetaError>) -> Value {
+    match result {
+        Ok(v) => Value::Record(vec![("ok".to_owned(), v.clone())]),
+        Err(e) => Value::Record(vec![("err".to_owned(), Value::Str(e.to_string()))]),
+    }
+}
+
+pub(crate) fn result_from_value(v: &Value) -> Result<Value, MetaError> {
+    if let Some(ok) = v.field("ok") {
+        return Ok(ok.clone());
+    }
+    match v.field("err").and_then(Value::as_str) {
+        Some(fault) => Err(MetaError::from_fault_string(fault)),
+        None => Err(MetaError::Protocol("malformed batch member result".into())),
+    }
+}
+
 /// A wire protocol connecting Virtual Service Gateways.
 pub trait VsgProtocol: Send + Sync {
     /// The protocol's display name (`"soap"`, `"binary"`, `"sip"`).
@@ -83,6 +140,28 @@ pub trait VsgProtocol: Send + Sync {
         to: NodeId,
         req: &VsgRequest,
     ) -> Result<Value, MetaError>;
+
+    /// Carries several requests bound for the same gateway endpoint.
+    ///
+    /// An outer `Err` means the *frame* failed in transport — none of
+    /// the members got an answer, and the error's retry classification
+    /// applies to all of them at once. `Ok` carries one result per
+    /// member, in member order: application faults are demultiplexed
+    /// per member instead of failing the batch.
+    ///
+    /// The default implementation loops [`VsgProtocol::call`], one wire
+    /// exchange per member (so each member has its own transport fate);
+    /// protocols override it with a native batch frame that shares one
+    /// exchange.
+    fn call_batch(
+        &self,
+        net: &Network,
+        from: NodeId,
+        to: NodeId,
+        reqs: &[VsgRequest],
+    ) -> Result<Vec<Result<Value, MetaError>>, MetaError> {
+        Ok(reqs.iter().map(|r| self.call(net, from, to, r)).collect())
+    }
 
     /// Whether the protocol can push unsolicited server→client messages
     /// (SIP can; HTTP cannot — the §4.2 limitation).
@@ -190,6 +269,51 @@ pub(crate) mod conformance {
             None,
             "{}: phantom trace context appeared",
             protocol.name()
+        );
+
+        // Batch: several members share one carrier, but answers and
+        // application faults stay per-member, in member order.
+        let batch = [
+            VsgRequest::new("lamp", "echo").arg("level", 3),
+            VsgRequest::new("lamp", "explode"),
+            VsgRequest::new("ghost", "fail"),
+            VsgRequest::new("lamp", "echo").arg("name", "den"),
+        ];
+        let results = protocol.call_batch(&net, client, server, &batch).unwrap();
+        assert_eq!(
+            results.len(),
+            4,
+            "{}: one result per member",
+            protocol.name()
+        );
+        assert_eq!(
+            results[0].as_ref().unwrap().field("level"),
+            Some(&Value::Int(3))
+        );
+        assert_eq!(
+            results[1],
+            Err(MetaError::UnknownOperation {
+                service: "lamp".into(),
+                operation: "explode".into()
+            }),
+            "{}: batched application fault must decode typed",
+            protocol.name()
+        );
+        assert_eq!(
+            results[2],
+            Err(MetaError::UnknownService("ghost".into())),
+            "{}: batched stale route must decode typed",
+            protocol.name()
+        );
+        assert_eq!(
+            results[3].as_ref().unwrap().field("name"),
+            Some(&Value::Str("den".into()))
+        );
+
+        // An empty batch is a no-op, not a wire exchange.
+        assert_eq!(
+            protocol.call_batch(&net, client, server, &[]).unwrap(),
+            Vec::new()
         );
     }
 }

@@ -9,7 +9,10 @@
 //! connection, and — crucially — an unsolicited **NOTIFY** push path
 //! that the HTTP-based prototype lacks (§4.2).
 
-use super::{binval, GatewayHandler, VsgProtocol, VsgRequest};
+use super::{
+    binval, member_from_value, member_to_value, result_from_value, result_to_value, GatewayHandler,
+    VsgProtocol, VsgRequest,
+};
 use crate::error::MetaError;
 use parking_lot::Mutex;
 use simnet::{Frame, Network, NodeId, Protocol, Sim, SimDuration};
@@ -48,6 +51,60 @@ impl SipLike {
             .is_ok()
     }
 
+    /// Sends one NOTIFY frame carrying several `(service, payload)`
+    /// members, each payload already marshalled by
+    /// [`SipLike::encode_event_payload`]. Members are framed as runs —
+    /// consecutive same-service members share one `Record{s, l}` group
+    /// — so a burst from one sensor pays for its service name once, not
+    /// per member, while delivery order is preserved exactly.
+    ///
+    /// Returns `false` if the frame was lost — the whole batch shares
+    /// one transport fate.
+    pub fn notify_batch(
+        &self,
+        net: &Network,
+        from: NodeId,
+        to: NodeId,
+        members: &[(&str, &[u8])],
+    ) -> bool {
+        let mut payload = b"NOTIFY vsg:* VSG-SIP/1.0\r\n\r\n".to_vec();
+        let mut runs = 0usize;
+        let mut prev: Option<&str> = None;
+        for (svc, _) in members {
+            if prev != Some(*svc) {
+                runs += 1;
+                prev = Some(svc);
+            }
+        }
+        binval::begin_list(runs, &mut payload);
+        let mut i = 0;
+        while i < members.len() {
+            let svc = members[i].0;
+            let mut j = i;
+            while j < members.len() && members[j].0 == svc {
+                j += 1;
+            }
+            binval::begin_record(2, &mut payload);
+            binval::encode_str_field("s", svc, &mut payload);
+            binval::encode_field_key("l", &mut payload);
+            binval::begin_list(j - i, &mut payload);
+            for (_, blob) in &members[i..j] {
+                payload.extend_from_slice(blob);
+            }
+            i = j;
+        }
+        net.send(Frame::new(from, to, Protocol::Sip, payload))
+            .is_ok()
+    }
+
+    /// Marshals one event payload to the wire bytes
+    /// [`SipLike::notify_batch`] splices into its run groups.
+    pub fn encode_event_payload(event: &Value) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16);
+        binval::encode(event, &mut out);
+        out
+    }
+
     /// Installs the push receiver on a bound gateway node. NOTIFYs
     /// arriving at `node` are decoded and handed to `handler`.
     pub fn install_push_handler(
@@ -67,6 +124,27 @@ impl SipLike {
             else {
                 return;
             };
+            // `vsg:*` marks a coalesced frame: a list of `{s, l}` run
+            // groups, each a service name and its consecutive events,
+            // delivered one by one in enqueue order.
+            if service == "*" {
+                let Some(Value::List(groups)) = binval::from_bytes(body) else {
+                    return;
+                };
+                let mut h = handler.lock();
+                for group in &groups {
+                    let Some(svc) = group.field("s").and_then(Value::as_str) else {
+                        continue;
+                    };
+                    let Some(Value::List(events)) = group.field("l") else {
+                        continue;
+                    };
+                    for event in events {
+                        h(sim, svc, event);
+                    }
+                }
+                return;
+            }
             let Some(event) = binval::from_bytes(body) else {
                 return;
             };
@@ -137,6 +215,56 @@ fn decode_invite(payload: &[u8]) -> Option<VsgRequest> {
     })
 }
 
+// A batch rides a `BATCH vsg:- VSG-SIP/1.0` request line with a
+// `Members:` count header and a binval list of member records as the
+// body; the response is a 200 whose body is the list of per-member
+// result records.
+fn encode_batch(reqs: &[VsgRequest]) -> Vec<u8> {
+    let mut out =
+        format!("BATCH vsg:- VSG-SIP/1.0\r\nMembers: {}\r\n\r\n", reqs.len()).into_bytes();
+    binval::begin_list(reqs.len(), &mut out);
+    for req in reqs {
+        binval::encode(&member_to_value(req), &mut out);
+    }
+    out
+}
+
+fn decode_batch(payload: &[u8]) -> Option<Vec<VsgRequest>> {
+    let sep = payload.windows(4).position(|w| w == b"\r\n\r\n")?;
+    let head = std::str::from_utf8(&payload[..sep]).ok()?;
+    head.lines().next()?.strip_prefix("BATCH vsg:")?;
+    match binval::from_bytes(&payload[sep + 4..])? {
+        Value::List(items) => items.iter().map(member_from_value).collect(),
+        _ => None,
+    }
+}
+
+fn encode_batch_response(results: &[Result<Value, MetaError>]) -> Vec<u8> {
+    let mut out = b"VSG-SIP/1.0 200 OK\r\n\r\n".to_vec();
+    binval::begin_list(results.len(), &mut out);
+    for r in results {
+        binval::encode(&result_to_value(r), &mut out);
+    }
+    out
+}
+
+fn decode_batch_response(payload: &[u8]) -> Result<Vec<Result<Value, MetaError>>, MetaError> {
+    let (head, body) =
+        split_head(payload).ok_or_else(|| MetaError::Protocol("malformed SIP response".into()))?;
+    if head.strip_prefix("VSG-SIP/1.0 200").is_some() {
+        match binval::from_bytes(body) {
+            Some(Value::List(items)) => Ok(items.iter().map(result_from_value).collect()),
+            _ => Err(MetaError::Protocol("bad SIP batch body".into())),
+        }
+    } else {
+        // Non-200 means the frame itself was rejected; decode it the
+        // single-response way and apply the error to the whole batch.
+        Err(decode_response(payload)
+            .err()
+            .unwrap_or_else(|| MetaError::Protocol("unexpected SIP batch status".into())))
+    }
+}
+
 fn encode_response(result: &Result<Value, MetaError>) -> Vec<u8> {
     match result {
         Ok(v) => {
@@ -179,6 +307,10 @@ impl VsgProtocol for SipLike {
         let node = net.attach(label);
         net.set_request_handler(node, move |sim, frame| {
             sim.advance(SimDuration::from_micros(60)); // header parse
+            if let Some(reqs) = decode_batch(&frame.payload) {
+                let results: Vec<_> = reqs.iter().map(|req| handler(sim, req)).collect();
+                return Ok(encode_batch_response(&results).into());
+            }
             let result = match decode_invite(&frame.payload) {
                 Some(req) => handler(sim, &req),
                 None => Err(MetaError::Protocol("malformed INVITE".into())),
@@ -200,6 +332,26 @@ impl VsgProtocol for SipLike {
             .request(from, to, Protocol::Sip, encode_invite(req))
             .map_err(|e| MetaError::from_wire_error(&e, from))?;
         decode_response(&reply)
+    }
+
+    fn call_batch(
+        &self,
+        net: &Network,
+        from: NodeId,
+        to: NodeId,
+        reqs: &[VsgRequest],
+    ) -> Result<Vec<Result<Value, MetaError>>, MetaError> {
+        if reqs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let reply = net
+            .request(from, to, Protocol::Sip, encode_batch(reqs))
+            .map_err(|e| MetaError::from_wire_error(&e, from))?;
+        let results = decode_batch_response(&reply)?;
+        if results.len() != reqs.len() {
+            return Err(MetaError::Protocol("batch reply arity mismatch".into()));
+        }
+        Ok(results)
     }
 
     fn supports_push(&self) -> bool {

@@ -5,7 +5,10 @@
 //! scalability, vendor-neutral XML) — and §4.2 its costs (client/server
 //! only, heavy TCP).
 
-use super::{GatewayHandler, VsgProtocol, VsgRequest};
+use super::{
+    member_from_value, member_to_value, result_from_value, result_to_value, GatewayHandler,
+    VsgProtocol, VsgRequest,
+};
 use crate::error::MetaError;
 use parking_lot::Mutex;
 use simnet::{Network, NodeId};
@@ -18,6 +21,14 @@ pub const GATEWAY_NS: &str = "urn:vsg:gateway";
 const SERVICE_ARG: &str = "__service";
 /// The `SOAP-ENV:Header` entry carrying the caller's trace context.
 const TRACE_HEADER: &str = "TraceContext";
+/// The method name of a batch envelope. Its `SOAP-ENV:Header` carries a
+/// [`BATCH_HEADER`] entry (the moral equivalent of a `mustUnderstand`
+/// extension: an endpoint that doesn't implement batching rejects the
+/// unknown method rather than half-executing it), and its arguments
+/// `m0…mN` are the member records.
+const BATCH_METHOD: &str = "__batch__";
+/// The header entry declaring the member count of a batch envelope.
+const BATCH_HEADER: &str = "Batch";
 
 /// SOAP 1.1 over simulated HTTP.
 ///
@@ -38,6 +49,14 @@ impl Soap11 {
     /// TCP connections).
     pub fn new() -> Soap11 {
         Soap11::with_models(CpuModel::default(), TcpModel::default())
+    }
+
+    /// The multiplexed-wire configuration: same CPU model, but
+    /// persistent per-peer TCP connections instead of the prototype's
+    /// connect-per-call (only the first exchange to each gateway pays
+    /// the handshake).
+    pub fn multiplexed() -> Soap11 {
+        Soap11::with_models(CpuModel::default(), TcpModel::persistent())
     }
 
     /// A configuration with custom cost models (for ablations).
@@ -76,6 +95,20 @@ impl VsgProtocol for Soap11 {
     fn bind(&self, net: &Network, label: &str, handler: GatewayHandler) -> NodeId {
         let server = SoapServer::bind_with(net, label, self.cpu, self.tcp);
         server.mount(GATEWAY_NS, move |sim, call: &RpcCall| {
+            // A batch envelope: every `mN` argument is a member record;
+            // the reply is the list of per-member results (application
+            // faults stay per member, so the envelope itself is a 200).
+            if call.method == BATCH_METHOD && call.get_header(BATCH_HEADER).is_some() {
+                let mut results = Vec::with_capacity(call.args.len());
+                for (_, member) in &call.args {
+                    let result = match member_from_value(member) {
+                        Some(req) => handler(sim, &req),
+                        None => Err(MetaError::Protocol("malformed batch member".into())),
+                    };
+                    results.push(result_to_value(&result));
+                }
+                return Ok(Value::List(results));
+            }
             let mut service = None;
             let mut args = Vec::with_capacity(call.args.len());
             for (k, v) in &call.args {
@@ -135,6 +168,40 @@ impl VsgProtocol for Soap11 {
             SoapError::Http(h) => MetaError::from_http_error(&h),
             other => MetaError::Protocol(other.to_string()),
         })
+    }
+
+    fn call_batch(
+        &self,
+        net: &Network,
+        from: NodeId,
+        to: NodeId,
+        reqs: &[VsgRequest],
+    ) -> Result<Vec<Result<Value, MetaError>>, MetaError> {
+        if reqs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let client = self.client(net, from);
+        let members: Vec<(String, Value)> = reqs
+            .iter()
+            .enumerate()
+            .map(|(i, req)| (format!("m{i}"), member_to_value(req)))
+            .collect();
+        let args = members.iter().map(|(k, v)| (k.as_str(), v));
+        let headers = [(BATCH_HEADER.to_owned(), reqs.len().to_string())];
+        let reply = client
+            .call_parts_with_headers(to, GATEWAY_NS, BATCH_METHOD, args, &headers)
+            .map_err(|e| match e {
+                SoapError::Fault(f) => MetaError::from_fault_string(&f.string),
+                SoapError::Http(h) => MetaError::from_http_error(&h),
+                other => MetaError::Protocol(other.to_string()),
+            })?;
+        let Value::List(items) = reply else {
+            return Err(MetaError::Protocol("bad batch reply body".into()));
+        };
+        if items.len() != reqs.len() {
+            return Err(MetaError::Protocol("batch reply arity mismatch".into()));
+        }
+        Ok(items.iter().map(result_from_value).collect())
     }
 }
 

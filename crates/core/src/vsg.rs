@@ -6,6 +6,7 @@
 //! other islands travel gateway-to-gateway over the pluggable
 //! [`VsgProtocol`].
 
+use crate::batch::{BatchItem, BatchPolicy, EVENT_ARG, EVENT_OP};
 use crate::error::MetaError;
 use crate::metrics::{CacheStats, MetricsRegistry, MetricsSnapshot};
 use crate::protocol::{VsgProtocol, VsgRequest};
@@ -26,6 +27,10 @@ struct LocalEntry {
     invoker: Arc<Mutex<Box<dyn ServiceInvoker>>>,
 }
 
+/// Receives event notifications that arrived as batch members over the
+/// gateway-to-gateway wire.
+type EventSink = Box<dyn FnMut(&Sim, &str, &Value) + Send>;
+
 struct VsgInner {
     name: String,
     backbone: Network,
@@ -38,6 +43,8 @@ struct VsgInner {
     metrics: MetricsRegistry,
     resilience: Mutex<ResiliencePolicy>,
     breakers: Mutex<HashMap<String, CircuitBreaker>>,
+    batching: Mutex<BatchPolicy>,
+    event_sink: Arc<Mutex<Option<EventSink>>>,
 }
 
 /// A running gateway.
@@ -59,10 +66,17 @@ impl Vsg {
         let local2 = local.clone();
         let tracer = Tracer::new(name);
         let tracer2 = tracer.clone();
+        // The sink must exist before `bind`: the serve closure captures
+        // it, and a batched event can arrive the moment the endpoint is
+        // reachable.
+        let event_sink: Arc<Mutex<Option<EventSink>>> = Arc::new(Mutex::new(None));
+        let sink2 = event_sink.clone();
         let node = protocol.bind(
             backbone,
             name,
-            Arc::new(move |sim: &Sim, req: &VsgRequest| serve_remote(&local2, &tracer2, sim, req)),
+            Arc::new(move |sim: &Sim, req: &VsgRequest| {
+                serve_remote(&local2, &tracer2, &sink2, sim, req)
+            }),
         );
         let vsr = VsrClient::new(backbone, node, vsr_node).with_tracer(tracer.clone());
         vsr.register_gateway(name, node)?;
@@ -79,6 +93,8 @@ impl Vsg {
                 metrics: MetricsRegistry::new(),
                 resilience: Mutex::new(ResiliencePolicy::default()),
                 breakers: Mutex::new(HashMap::new()),
+                batching: Mutex::new(BatchPolicy::default()),
+                event_sink,
             }),
         })
     }
@@ -188,6 +204,400 @@ impl Vsg {
             result.as_ref().err().map(MetaError::kind),
         );
         tracer.end_result(sim, span, &result);
+        result
+    }
+
+    // ---- batched invocation (the multiplexed wire) -----------------------
+
+    /// Replaces this gateway's batching policy (defaults to
+    /// [`BatchPolicy::default`], i.e. enabled).
+    pub fn set_batching(&self, policy: BatchPolicy) {
+        *self.inner.batching.lock() = policy;
+    }
+
+    /// A copy of the current batching policy.
+    pub fn batching(&self) -> BatchPolicy {
+        self.inner.batching.lock().clone()
+    }
+
+    /// Installs the receiver for event notifications that arrive as
+    /// batch members over the gateway-to-gateway wire; `handler` gets
+    /// `(service, event)` per delivered member. Replaces any previous
+    /// sink.
+    pub fn set_event_sink(&self, handler: impl FnMut(&Sim, &str, &Value) + Send + 'static) {
+        *self.inner.event_sink.lock() = Some(Box::new(handler));
+    }
+
+    /// Invokes a batch of work, coalescing members bound for the same
+    /// remote gateway into shared wire frames (chunked by
+    /// [`BatchPolicy::max_batch`]), and returns one result per item in
+    /// item order.
+    ///
+    /// Semantics match per-item [`Vsg::invoke`]: local members dispatch
+    /// directly, application faults stay per member, and order is
+    /// preserved per peer. A whole-frame transport failure is applied
+    /// to every member of that frame; a lost frame containing any
+    /// non-idempotent member is never re-sent (the no-double-invoke
+    /// guarantee extends to batches). Members beyond
+    /// [`BatchPolicy::max_queue`] for one peer are rejected with
+    /// [`MetaError::Overloaded`] — backpressure, not silent queueing.
+    /// With batching disabled every item takes the ordinary unbatched
+    /// path, one wire exchange each.
+    pub fn invoke_batch(&self, sim: &Sim, items: &[BatchItem]) -> Vec<Result<Value, MetaError>> {
+        let policy = self.inner.batching.lock().clone();
+        if !policy.enabled {
+            return items
+                .iter()
+                .map(|item| self.invoke_item_unbatched(sim, item))
+                .collect();
+        }
+        let started = sim.now();
+        let tracer = &self.inner.tracer;
+        let root = tracer.begin(sim, HopKind::ClientProxy, || {
+            format!("batch[{}]", items.len())
+        });
+        let mut results: Vec<Option<Result<Value, MetaError>>> =
+            (0..items.len()).map(|_| None).collect();
+
+        // Members bound for one remote gateway, queued in submission
+        // order (kept as parallel vectors so a chunk of requests can be
+        // borrowed mutably for the wire without cloning).
+        struct PeerQueue {
+            gw_node: NodeId,
+            gateway: String,
+            indices: Vec<usize>,
+            reqs: Vec<VsgRequest>,
+            idempotent: Vec<bool>,
+        }
+        let mut peers: Vec<PeerQueue> = Vec::new();
+
+        for (i, item) in items.iter().enumerate() {
+            let (service, req, declared_idempotent) = match item {
+                BatchItem::Call(call) => {
+                    if self.inner.local.lock().contains_key(&call.service) {
+                        // No wire to coalesce for: dispatch in place.
+                        let r = dispatch_local(
+                            &self.inner.local,
+                            tracer,
+                            sim,
+                            &call.service,
+                            &call.operation,
+                            &call.args,
+                        );
+                        self.record_member(sim, &call.service, started, &r);
+                        results[i] = Some(r);
+                        continue;
+                    }
+                    let mut req = VsgRequest::new(&call.service, &call.operation);
+                    req.args = call.args.clone();
+                    (call.service.as_str(), req, None)
+                }
+                BatchItem::Event { service, event } => {
+                    if self.inner.local.lock().contains_key(service) {
+                        if let Some(sink) = self.inner.event_sink.lock().as_mut() {
+                            sink(sim, service, event);
+                        }
+                        let r = Ok(Value::Null);
+                        self.record_member(sim, service, started, &r);
+                        results[i] = Some(r);
+                        continue;
+                    }
+                    let req =
+                        VsgRequest::new(service.as_str(), EVENT_OP).arg(EVENT_ARG, event.clone());
+                    // A duplicated notification is tolerable; a dropped
+                    // one is not — events never block a frame re-send.
+                    (service.as_str(), req, Some(true))
+                }
+            };
+            let (record, gw_node) = match self.resolve_route(service) {
+                Ok(pair) => pair,
+                Err(e) => {
+                    let r = Err(e);
+                    self.record_member(sim, service, started, &r);
+                    results[i] = Some(r);
+                    continue;
+                }
+            };
+            let idempotent =
+                declared_idempotent.unwrap_or_else(|| op_is_idempotent(&record, &req.operation));
+            let pidx = peers
+                .iter()
+                .position(|p| p.gw_node == gw_node)
+                .unwrap_or_else(|| {
+                    peers.push(PeerQueue {
+                        gw_node,
+                        gateway: record.gateway.clone(),
+                        indices: Vec::new(),
+                        reqs: Vec::new(),
+                        idempotent: Vec::new(),
+                    });
+                    peers.len() - 1
+                });
+            let peer = &mut peers[pidx];
+            if peer.reqs.len() >= policy.max_queue {
+                let r = Err(MetaError::Overloaded {
+                    gateway: peer.gateway.clone(),
+                    queued: peer.reqs.len() as u64,
+                });
+                self.record_member(sim, service, started, &r);
+                results[i] = Some(r);
+                continue;
+            }
+            peer.indices.push(i);
+            peer.reqs.push(req);
+            peer.idempotent.push(idempotent);
+        }
+
+        for mut peer in peers {
+            let n = peer.reqs.len();
+            let mut start = 0;
+            while start < n {
+                let end = (start + policy.max_batch).min(n);
+                // Everything queued behind earlier frames to this (or
+                // another) peer waited from submission until now — the
+                // coalescing delay the queue-wait histogram exposes.
+                let wait_us = sim.now().since(started).as_micros();
+                for _ in start..end {
+                    self.inner.metrics.record_queue_wait(wait_us);
+                }
+                let all_idempotent = peer.idempotent[start..end].iter().all(|b| *b);
+                let outcome = self.resilient_batch_call(
+                    sim,
+                    peer.gw_node,
+                    &peer.gateway,
+                    &mut peer.reqs[start..end],
+                    all_idempotent,
+                    started,
+                );
+                match outcome {
+                    Ok(rs) => {
+                        for (k, r) in rs.into_iter().enumerate() {
+                            self.record_member(sim, &peer.reqs[start + k].service, started, &r);
+                            results[peer.indices[start + k]] = Some(r);
+                        }
+                    }
+                    Err(e) => {
+                        for k in start..end {
+                            let r = Err(e.clone());
+                            self.record_member(sim, &peer.reqs[k].service, started, &r);
+                            results[peer.indices[k]] = Some(r);
+                        }
+                    }
+                }
+                start = end;
+            }
+        }
+
+        tracer.end(sim, root);
+        results
+            .into_iter()
+            .map(|r| r.unwrap_or_else(|| Err(MetaError::Protocol("batch member lost".into()))))
+            .collect()
+    }
+
+    /// The unbatched fallback for one batch item: calls route through
+    /// [`Vsg::invoke`]; events go out as single event-operation frames.
+    fn invoke_item_unbatched(&self, sim: &Sim, item: &BatchItem) -> Result<Value, MetaError> {
+        match item {
+            BatchItem::Call(call) => self.invoke(sim, &call.service, &call.operation, &call.args),
+            BatchItem::Event { service, event } => {
+                if self.inner.local.lock().contains_key(service) {
+                    if let Some(sink) = self.inner.event_sink.lock().as_mut() {
+                        sink(sim, service, event);
+                    }
+                    return Ok(Value::Null);
+                }
+                let (record, gw_node) = self.resolve_route(service)?;
+                let mut req =
+                    VsgRequest::new(service.as_str(), EVENT_OP).arg(EVENT_ARG, event.clone());
+                self.resilient_wire_call(sim, gw_node, &record.gateway, &mut req, true, sim.now())
+            }
+        }
+    }
+
+    /// Records one batch member in the invocation metrics, mirroring
+    /// what [`Vsg::invoke`] records per call.
+    fn record_member(
+        &self,
+        sim: &Sim,
+        service: &str,
+        started: SimTime,
+        result: &Result<Value, MetaError>,
+    ) {
+        let elapsed_us = (sim.now() - started).as_micros();
+        self.inner.metrics.record(
+            service,
+            elapsed_us,
+            result.as_ref().err().map(MetaError::kind),
+        );
+    }
+
+    /// Resolves `service` to its record and serving gateway node via
+    /// the cache, falling back to the VSR (and filling the cache, both
+    /// positively and negatively) — the route half of
+    /// [`Vsg::invoke_remote`] without the call.
+    fn resolve_route(&self, service: &str) -> Result<(ServiceRecord, NodeId), MetaError> {
+        let looked_up = self.inner.rescache.lock().lookup(service);
+        match looked_up {
+            Lookup::Hit(record, gw_node) => return Ok((record, gw_node)),
+            Lookup::NegativeHit => return Err(MetaError::UnknownService(service.to_owned())),
+            Lookup::Miss => {}
+        }
+        match self.inner.vsr.resolve(service) {
+            Ok(record) => {
+                let gw_node = self
+                    .inner
+                    .vsr
+                    .gateway_node(&record.gateway)
+                    .map_err(|_| MetaError::GatewayUnreachable(record.gateway.clone()))?;
+                self.inner
+                    .rescache
+                    .lock()
+                    .insert_resolved(service, record.clone(), gw_node);
+                Ok((record, gw_node))
+            }
+            Err(MetaError::UnknownService(name)) => {
+                self.inner.rescache.lock().insert_negative(service);
+                Err(MetaError::UnknownService(name))
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// One logical batch wire call under the resilience policy — the
+    /// batch twin of [`Vsg::resilient_wire_call`]. The retry gate is
+    /// collective: an ambiguous frame loss is re-sent only when *every*
+    /// member is idempotent, because the remote may have executed all
+    /// of them.
+    fn resilient_batch_call(
+        &self,
+        sim: &Sim,
+        gw_node: NodeId,
+        gateway: &str,
+        reqs: &mut [VsgRequest],
+        all_idempotent: bool,
+        started: SimTime,
+    ) -> Result<Vec<Result<Value, MetaError>>, MetaError> {
+        let policy = self.inner.resilience.lock().clone();
+        if !policy.enabled {
+            return self.wire_batch_call(sim, gw_node, gateway, reqs);
+        }
+        if !self.breaker_admit(sim, gateway, &policy) {
+            self.note_resilience(sim, || format!("breaker open: fail fast to {gateway}"));
+            return Err(MetaError::CircuitOpen {
+                gateway: gateway.to_owned(),
+            });
+        }
+        let mut attempt: u32 = 0;
+        loop {
+            let result = self.wire_batch_call(sim, gw_node, gateway, reqs);
+            let err = match result {
+                Ok(rs) => {
+                    self.breaker_success(sim, gateway);
+                    return Ok(rs);
+                }
+                Err(e) if e.is_transport_failure() => {
+                    self.breaker_failure(sim, gateway);
+                    e
+                }
+                Err(e) => {
+                    self.breaker_success(sim, gateway);
+                    return Err(e);
+                }
+            };
+            if !(all_idempotent || err.is_retry_safe()) {
+                return Err(err);
+            }
+            if attempt >= policy.max_retries {
+                return Err(err);
+            }
+            let waited = sim.now().since(started);
+            let mut wait = policy.backoff(attempt, sim);
+            if waited + wait >= policy.deadline {
+                if waited >= policy.deadline {
+                    return Err(MetaError::DeadlineExceeded {
+                        service: reqs.first().map(|r| r.service.clone()).unwrap_or_default(),
+                        waited_ms: waited.as_millis(),
+                    });
+                }
+                wait = SimDuration::from_micros(policy.deadline.as_micros() - waited.as_micros());
+            }
+            attempt += 1;
+            self.inner.metrics.record_retry();
+            self.note_resilience(sim, || {
+                format!(
+                    "retry {attempt} (batch of {}) to {gateway} after {wait} ({err})",
+                    reqs.len()
+                )
+            });
+            sim.advance(wait);
+        }
+    }
+
+    /// One batch frame exchange under a `vsg-wire` span. The frame span
+    /// carries no bytes itself; per-member child spans subdivide the
+    /// frame's byte delta (remainder on the first member), so summing
+    /// wire bytes across spans stays honest.
+    fn wire_batch_call(
+        &self,
+        sim: &Sim,
+        gw_node: NodeId,
+        gateway: &str,
+        reqs: &mut [VsgRequest],
+    ) -> Result<Vec<Result<Value, MetaError>>, MetaError> {
+        let tracer = &self.inner.tracer;
+        let traced = tracer.is_enabled();
+        let span = tracer.begin(sim, HopKind::VsgWire, || {
+            format!(
+                "batch of {} via {} to {gateway}",
+                reqs.len(),
+                self.inner.protocol.name()
+            )
+        });
+        let ctx = tracer.current_context();
+        for req in reqs.iter_mut() {
+            req.trace = ctx;
+        }
+        let bytes_before = if traced {
+            self.inner.backbone.with_stats(|s| s.total().bytes)
+        } else {
+            0
+        };
+        let result =
+            self.inner
+                .protocol
+                .call_batch(&self.inner.backbone, self.inner.node, gw_node, reqs);
+        if traced {
+            let bytes = self
+                .inner
+                .backbone
+                .with_stats(|s| s.total().bytes)
+                .saturating_sub(bytes_before);
+            match &result {
+                Ok(members) if !reqs.is_empty() => {
+                    let share = bytes / reqs.len() as u64;
+                    let remainder = bytes - share * reqs.len() as u64;
+                    for (k, (req, r)) in reqs.iter().zip(members).enumerate() {
+                        let mspan = tracer.begin(sim, HopKind::VsgWire, || {
+                            format!("member {}.{}", req.service, req.operation)
+                        });
+                        let b = share + if k == 0 { remainder } else { 0 };
+                        tracer.end_with(sim, mspan, b, r.as_ref().err().map(|e| e.to_string()));
+                    }
+                    tracer.end_with(sim, span, 0, None);
+                }
+                _ => {
+                    tracer.end_with(
+                        sim,
+                        span,
+                        bytes,
+                        result.as_ref().err().map(|e| e.to_string()),
+                    );
+                }
+            }
+        } else {
+            tracer.end(sim, span);
+        }
         result
     }
 
@@ -665,19 +1075,42 @@ fn op_is_idempotent(record: &ServiceRecord, operation: &str) -> bool {
 
 /// Serves one request arriving over the gateway-to-gateway wire: joins
 /// the caller's trace (when a context rode along), records the
-/// `server-proxy` hop, and dispatches to the local invoker.
+/// `server-proxy` hop, and dispatches to the local invoker. A member
+/// carrying the reserved event operation goes to the gateway's event
+/// sink instead of a service invoker.
 fn serve_remote(
     local: &Mutex<HashMap<String, LocalEntry>>,
     tracer: &Tracer,
+    event_sink: &Mutex<Option<EventSink>>,
     sim: &Sim,
     req: &VsgRequest,
 ) -> Result<Value, MetaError> {
     let adopted = req.trace.is_some_and(|ctx| tracer.adopt(ctx));
-    let span = tracer.begin(sim, HopKind::ServerProxy, || {
-        format!("{}.{}", req.service, req.operation)
-    });
-    let result = dispatch_local(local, tracer, sim, &req.service, &req.operation, &req.args);
-    tracer.end_result(sim, span, &result);
+    let result = if req.operation == EVENT_OP {
+        let span = tracer.begin(sim, HopKind::Event, || format!("event {}", req.service));
+        let payload = req
+            .args
+            .iter()
+            .find(|(k, _)| k == EVENT_ARG)
+            .map(|(_, v)| v.clone())
+            .unwrap_or(Value::Null);
+        if let Some(sink) = event_sink.lock().as_mut() {
+            sink(sim, &req.service, &payload);
+        }
+        // Delivery is acknowledged even with no sink installed — events
+        // are notifications, not queries; an uninterested gateway is
+        // not an error.
+        let result = Ok(Value::Null);
+        tracer.end_result(sim, span, &result);
+        result
+    } else {
+        let span = tracer.begin(sim, HopKind::ServerProxy, || {
+            format!("{}.{}", req.service, req.operation)
+        });
+        let result = dispatch_local(local, tracer, sim, &req.service, &req.operation, &req.args);
+        tracer.end_result(sim, span, &result);
+        result
+    };
     if adopted {
         tracer.unadopt();
     }
@@ -1101,6 +1534,164 @@ mod tests {
         let hits_before = gw_b.cache_stats().hits;
         gw_b.invoke(&sim, "hall-lamp", "status", &[]).unwrap();
         assert_eq!(gw_b.cache_stats().hits, hits_before + 1);
+    }
+
+    #[test]
+    fn batched_agrees_with_unbatched_and_shares_the_wire() {
+        use crate::batch::{BatchCall, BatchItem};
+        let items = vec![
+            BatchItem::Call(BatchCall::new("hall-lamp", "switch").arg("on", true)),
+            BatchItem::Call(BatchCall::new("hall-lamp", "status")),
+            BatchItem::Event {
+                service: "hall-lamp".into(),
+                event: Value::Int(7),
+            },
+            BatchItem::Call(BatchCall::new("hall-lamp", "explode")),
+            BatchItem::Call(BatchCall::new("ghost", "status")),
+            BatchItem::Call(BatchCall::new("hall-lamp", "status")),
+        ];
+        let run = |batched: bool| {
+            let (sim, net, _vsr, gw_a, gw_b) = world(Arc::new(CompactBinary::new()));
+            export_lamp(&gw_a);
+            gw_b.set_batching(if batched {
+                BatchPolicy::default()
+            } else {
+                BatchPolicy::disabled()
+            });
+            gw_b.invoke(&sim, "hall-lamp", "status", &[]).unwrap(); // warm the route
+            let frames_before = net.with_stats(|s| s.total().frames);
+            let results = gw_b.invoke_batch(&sim, &items);
+            (
+                results,
+                net.with_stats(|s| s.total().frames) - frames_before,
+            )
+        };
+        let (batched, batched_frames) = run(true);
+        let (unbatched, unbatched_frames) = run(false);
+        assert_eq!(batched, unbatched, "batching must not change answers");
+        assert_eq!(batched[1], Ok(Value::Bool(true)));
+        assert_eq!(batched[2], Ok(Value::Null));
+        assert!(matches!(
+            batched[3],
+            Err(MetaError::UnknownOperation { .. })
+        ));
+        assert!(matches!(batched[4], Err(MetaError::UnknownService(_))));
+        assert!(
+            batched_frames < unbatched_frames,
+            "batched moved {batched_frames} frames, unbatched {unbatched_frames}"
+        );
+    }
+
+    #[test]
+    fn batched_events_reach_the_remote_sink_in_order() {
+        use crate::batch::BatchItem;
+        let (sim, _net, _vsr, gw_a, gw_b) = world(Arc::new(SipLike::new()));
+        export_lamp(&gw_a);
+        let seen: Arc<Mutex<Vec<(String, Value)>>> = Arc::new(Mutex::new(Vec::new()));
+        let seen2 = seen.clone();
+        gw_a.set_event_sink(move |_, service, event| {
+            seen2.lock().push((service.to_owned(), event.clone()));
+        });
+        let items: Vec<BatchItem> = (0..3)
+            .map(|i| BatchItem::Event {
+                service: "hall-lamp".into(),
+                event: Value::Int(i),
+            })
+            .collect();
+        let results = gw_b.invoke_batch(&sim, &items);
+        assert!(results.iter().all(|r| r == &Ok(Value::Null)), "{results:?}");
+        assert_eq!(
+            *seen.lock(),
+            vec![
+                ("hall-lamp".to_owned(), Value::Int(0)),
+                ("hall-lamp".to_owned(), Value::Int(1)),
+                ("hall-lamp".to_owned(), Value::Int(2)),
+            ]
+        );
+    }
+
+    #[test]
+    fn batch_backpressure_rejects_members_beyond_the_queue_bound() {
+        use crate::batch::{BatchCall, BatchItem, BatchPolicy};
+        let (sim, _net, _vsr, gw_a, gw_b) = world(Arc::new(CompactBinary::new()));
+        export_lamp(&gw_a);
+        gw_b.set_batching(BatchPolicy {
+            max_queue: 2,
+            ..BatchPolicy::default()
+        });
+        let items: Vec<BatchItem> = (0..4)
+            .map(|_| BatchItem::Call(BatchCall::new("hall-lamp", "status")))
+            .collect();
+        let results = gw_b.invoke_batch(&sim, &items);
+        assert!(results[0].is_ok() && results[1].is_ok());
+        for r in &results[2..] {
+            assert!(
+                matches!(r, Err(MetaError::Overloaded { queued: 2, .. })),
+                "{r:?}"
+            );
+        }
+        // Rejections land in the metrics under their own kind, and the
+        // accepted members recorded their queue wait.
+        let snap = gw_b.metrics().snapshot();
+        let overloaded = snap
+            .errors
+            .iter()
+            .find(|(k, _)| k == "overloaded")
+            .map(|(_, n)| *n);
+        assert_eq!(overloaded, Some(2));
+        assert_eq!(snap.queue_wait.count, 2);
+    }
+
+    #[test]
+    fn lost_batch_with_non_idempotent_member_is_not_resent() {
+        use crate::batch::{BatchCall, BatchItem};
+        let (sim, net, _vsr, gw_a, gw_b) = world(Arc::new(Soap11::new()));
+        let count = Arc::new(Mutex::new(0u32));
+        let c = count.clone();
+        gw_a.export(
+            VirtualService::new("vault", catalog::lamp(), Middleware::X10, "gw-a"),
+            move |sim: &Sim, _: &str, _: &[(String, Value)]| {
+                *c.lock() += 1;
+                sim.advance(simnet::SimDuration::from_millis(10));
+                Ok(Value::Null)
+            },
+        )
+        .unwrap();
+        gw_b.invoke(&sim, "vault", "status", &[]).unwrap(); // warm the route
+        let executed_before = *count.lock();
+
+        // The response frame is lost mid-batch: the members may all
+        // have executed. `switch` is not idempotent, so the whole frame
+        // must not be re-sent — every member fails ambiguously instead.
+        let t = sim.now();
+        net.set_fault_plan(simnet::FaultPlan::new().partition(
+            vec![gw_a.node()],
+            vec![gw_b.node()],
+            t + simnet::SimDuration::from_millis(5),
+            t + simnet::SimDuration::from_millis(500),
+        ));
+        let items = vec![
+            BatchItem::Call(BatchCall::new("vault", "status")),
+            BatchItem::Call(BatchCall::new("vault", "switch").arg("on", true)),
+        ];
+        let results = gw_b.invoke_batch(&sim, &items);
+        for r in &results {
+            assert!(
+                matches!(
+                    r,
+                    Err(MetaError::Transport {
+                        not_executed: false,
+                        ..
+                    })
+                ),
+                "{r:?}"
+            );
+        }
+        assert_eq!(
+            *count.lock() - executed_before,
+            2,
+            "each member executed exactly once despite the lost reply"
+        );
     }
 
     #[test]

@@ -21,6 +21,7 @@ pub struct Counter {
 #[derive(Debug, Clone, Default)]
 pub struct NetStats {
     by_protocol: BTreeMap<&'static str, Counter>,
+    conns_opened: u64,
 }
 
 impl NetStats {
@@ -66,6 +67,19 @@ impl NetStats {
             .lost += 1;
     }
 
+    /// Records one transport connection establishment (a TCP-style
+    /// handshake). Persistent-connection clients call this once per
+    /// peer; connect-per-call clients once per exchange, which is what
+    /// makes the saving visible in bench output.
+    pub fn record_conn_open(&mut self) {
+        self.conns_opened += 1;
+    }
+
+    /// Transport connections opened since the last [`NetStats::reset`].
+    pub fn conns_opened(&self) -> u64 {
+        self.conns_opened
+    }
+
     /// The counter for one protocol family (zeroes if never seen).
     pub fn protocol(&self, protocol: Protocol) -> Counter {
         self.by_protocol
@@ -93,6 +107,7 @@ impl NetStats {
     /// Resets all counters to zero.
     pub fn reset(&mut self) {
         self.by_protocol.clear();
+        self.conns_opened = 0;
     }
 }
 
@@ -147,9 +162,12 @@ mod tests {
     fn reset_clears() {
         let mut s = NetStats::new();
         s.record_delivered(Protocol::Mail, 10);
+        s.record_conn_open();
+        assert_eq!(s.conns_opened(), 1);
         s.reset();
         assert_eq!(s.total(), Counter::default());
         assert_eq!(s.iter().count(), 0);
+        assert_eq!(s.conns_opened(), 0);
     }
 
     #[test]

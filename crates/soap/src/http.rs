@@ -10,9 +10,13 @@
 use bytes::Bytes;
 use parking_lot::Mutex;
 use simnet::{Frame, Network, NodeId, Protocol, Sim, SimDuration, SimError};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::Arc;
+
+/// Header a pipelining client stamps on each request so it can match
+/// responses that the server finishes in a different order.
+const CORR_HEADER: &str = "X-Corr-Id";
 
 /// An HTTP request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -215,6 +219,33 @@ impl HttpResponse {
     }
 }
 
+/// Length of the first self-delimiting HTTP message in `data`: head,
+/// `\r\n\r\n`, then `Content-Length` body bytes. A message without
+/// `Content-Length` runs to the end of the buffer (the
+/// `Connection: close` convention), so only messages that declare their
+/// length can share a pipelined payload.
+fn message_len(data: &[u8]) -> Result<usize, HttpError> {
+    let sep = data
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or(HttpError::Malformed("missing header terminator"))?;
+    let head = std::str::from_utf8(&data[..sep])
+        .map_err(|_| HttpError::Malformed("non-UTF8 header block"))?;
+    let mut content_length = None;
+    for line in head.lines().skip(1) {
+        if let Some((k, v)) = line.split_once(':') {
+            if k.trim().eq_ignore_ascii_case("content-length") {
+                content_length = v.trim().parse::<usize>().ok();
+            }
+        }
+    }
+    match content_length {
+        Some(n) if sep + 4 + n <= data.len() => Ok(sep + 4 + n),
+        Some(_) => Err(HttpError::Malformed("truncated body")),
+        None => Ok(data.len()),
+    }
+}
+
 fn split_head(data: &[u8]) -> Result<(&str, Vec<u8>), HttpError> {
     let sep = data
         .windows(4)
@@ -287,6 +318,11 @@ pub struct TcpModel {
     /// Fixed per-request processing charged on the server (accept, parse
     /// headers, dispatch).
     pub server_overhead: SimDuration,
+    /// When `true`, the client keeps one connection per peer alive
+    /// (HTTP/1.1 keep-alive): only the first exchange to a peer pays
+    /// the handshake, and a transport fault tears the connection down
+    /// so the next exchange pays it again.
+    pub persistent: bool,
 }
 
 impl Default for TcpModel {
@@ -294,6 +330,19 @@ impl Default for TcpModel {
         TcpModel {
             handshake_rtts: 2, // SYN/SYN-ACK/ACK + FIN exchange, amortised
             server_overhead: SimDuration::from_micros(300),
+            persistent: false,
+        }
+    }
+}
+
+impl TcpModel {
+    /// The default cost model with persistent per-peer connections —
+    /// the multiplexed wire path's transport, as opposed to 2002's
+    /// connect-per-call.
+    pub fn persistent() -> Self {
+        TcpModel {
+            persistent: true,
+            ..TcpModel::default()
         }
     }
 }
@@ -317,18 +366,56 @@ impl HttpServer {
             Arc::new(Mutex::new(HashMap::new()));
         let routes2 = routes.clone();
         net.set_request_handler(node, move |sim, frame: &Frame| {
-            sim.advance(tcp.server_overhead);
-            let resp = match HttpRequest::from_bytes(&frame.payload) {
-                Ok(req) => {
-                    let mut routes = routes2.lock();
-                    match routes.get_mut(&req.path) {
-                        Some(h) => h(sim, &req),
-                        None => HttpResponse::not_found(&req.path),
+            // A payload may carry several pipelined requests; each is
+            // self-delimiting (Content-Length) and each pays the
+            // per-request server overhead.
+            let mut data: &[u8] = &frame.payload;
+            let mut responses: Vec<HttpResponse> = Vec::new();
+            loop {
+                sim.advance(tcp.server_overhead);
+                let (msg, rest) = match message_len(data) {
+                    Ok(n) => data.split_at(n),
+                    Err(e) => {
+                        responses.push(HttpResponse::error(400, "Bad Request", e.to_string()));
+                        break;
                     }
+                };
+                let resp = match HttpRequest::from_bytes(msg) {
+                    Ok(req) => {
+                        let mut resp = {
+                            let mut routes = routes2.lock();
+                            match routes.get_mut(&req.path) {
+                                Some(h) => h(sim, &req),
+                                None => HttpResponse::not_found(&req.path),
+                            }
+                        };
+                        // Echo the correlation id so the client can
+                        // match responses regardless of completion
+                        // order.
+                        if let Some(id) = req.get_header(CORR_HEADER) {
+                            resp.headers.push((CORR_HEADER.into(), id.to_owned()));
+                        }
+                        resp
+                    }
+                    Err(e) => HttpResponse::error(400, "Bad Request", e.to_string()),
+                };
+                responses.push(resp);
+                data = rest;
+                if data.is_empty() {
+                    break;
                 }
-                Err(e) => HttpResponse::error(400, "Bad Request", e.to_string()),
-            };
-            Ok(Bytes::from(resp.to_bytes()))
+            }
+            // A pipelined server may finish requests in any order; we
+            // reverse deliberately so clients must correlate by id
+            // instead of assuming FIFO.
+            if responses.len() > 1 {
+                responses.reverse();
+            }
+            let mut out = Vec::new();
+            for resp in &responses {
+                out.extend_from_slice(&resp.to_bytes());
+            }
+            Ok(Bytes::from(out))
         })
         .expect("node attached above");
         HttpServer { node, routes }
@@ -369,6 +456,10 @@ pub struct HttpClient {
     net: Network,
     node: NodeId,
     tcp: TcpModel,
+    /// Peers with an established connection (persistent mode only).
+    /// Shared across clones so every handle to the same node reuses
+    /// the same connections.
+    conns: Arc<Mutex<HashSet<NodeId>>>,
 }
 
 impl HttpClient {
@@ -378,6 +469,7 @@ impl HttpClient {
             net: net.clone(),
             node,
             tcp,
+            conns: Arc::new(Mutex::new(HashSet::new())),
         }
     }
 
@@ -392,17 +484,36 @@ impl HttpClient {
         self.node
     }
 
-    /// Executes one HTTP exchange, charging connection setup plus both
-    /// transfer legs to the virtual clock.
-    pub fn send(&self, server: NodeId, req: &HttpRequest) -> Result<HttpResponse, HttpError> {
-        let sim = self.net.sim().clone();
-        // Per-request TCP connection (Connection: close, as in 2002).
+    /// Charges connection establishment unless a persistent connection
+    /// to `server` is already up. Every handshake is counted in the
+    /// network's [`simnet::NetStats`] so benches can report connection
+    /// churn.
+    fn connect(&self, sim: &Sim, server: NodeId) {
+        if self.tcp.persistent && self.conns.lock().contains(&server) {
+            return;
+        }
+        // Per-request TCP connection (Connection: close, as in 2002) —
+        // or the first exchange on a persistent connection.
         let rtt = self.net.link().latency * 2;
         sim.advance(rtt * u64::from(self.tcp.handshake_rtts));
-        let raw = self
-            .net
-            .request(self.node, server, Protocol::Http, req.to_bytes())
+        self.net.with_stats(|s| s.record_conn_open());
+        if self.tcp.persistent {
+            self.conns.lock().insert(server);
+        }
+    }
+
+    /// One raw exchange: connect (if needed), send `payload`, return
+    /// the raw response bytes. A transport fault tears a persistent
+    /// connection down, so the next exchange pays a fresh handshake.
+    fn exchange(&self, server: NodeId, payload: Vec<u8>) -> Result<Bytes, HttpError> {
+        let sim = self.net.sim().clone();
+        self.connect(&sim, server);
+        self.net
+            .request(self.node, server, Protocol::Http, payload)
             .map_err(|e| {
+                if self.tcp.persistent {
+                    self.conns.lock().remove(&server);
+                }
                 // The client knows its own node, so it can tell a
                 // request-leg failure (server never saw the request)
                 // from a lost response (it may have executed).
@@ -411,8 +522,56 @@ impl HttpClient {
                 } else {
                     HttpError::ResponseLost(e)
                 }
-            })?;
+            })
+    }
+
+    /// Executes one HTTP exchange, charging connection setup plus both
+    /// transfer legs to the virtual clock.
+    pub fn send(&self, server: NodeId, req: &HttpRequest) -> Result<HttpResponse, HttpError> {
+        let raw = self.exchange(server, req.to_bytes())?;
         HttpResponse::from_bytes(&raw)
+    }
+
+    /// Pipelines several requests over one exchange: all requests go
+    /// out back-to-back on one connection, the server may finish them
+    /// in any order, and responses are matched back to their requests
+    /// by correlation id. Returns responses in *request* order. The
+    /// whole pipeline shares one transport fate: a network error fails
+    /// every request in it.
+    pub fn send_pipelined(
+        &self,
+        server: NodeId,
+        reqs: &[HttpRequest],
+    ) -> Result<Vec<HttpResponse>, HttpError> {
+        if reqs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut payload = Vec::new();
+        for (i, req) in reqs.iter().enumerate() {
+            let tagged = req.clone().header(CORR_HEADER, i.to_string());
+            payload.extend_from_slice(&tagged.to_bytes());
+        }
+        let raw = self.exchange(server, payload)?;
+        let mut slots: Vec<Option<HttpResponse>> = vec![None; reqs.len()];
+        let mut data: &[u8] = &raw;
+        while !data.is_empty() {
+            let (msg, rest) = data.split_at(message_len(data)?);
+            let resp = HttpResponse::from_bytes(msg)?;
+            let idx = resp
+                .get_header(CORR_HEADER)
+                .and_then(|id| id.parse::<usize>().ok())
+                .filter(|i| *i < slots.len())
+                .ok_or(HttpError::Malformed("missing or bad correlation id"))?;
+            if slots[idx].is_some() {
+                return Err(HttpError::Malformed("duplicate correlation id"));
+            }
+            slots[idx] = Some(resp);
+            data = rest;
+        }
+        slots
+            .into_iter()
+            .collect::<Option<Vec<_>>>()
+            .ok_or(HttpError::Malformed("missing pipelined response"))
     }
 
     /// `send` + non-2xx as error.
@@ -500,6 +659,98 @@ mod tests {
         // overhead (300us) on 100Mb Ethernet with 200us latency.
         assert!(elapsed.as_micros() >= 1_500, "elapsed {elapsed}");
         assert!(elapsed.as_millis() < 10, "elapsed {elapsed}");
+    }
+
+    #[test]
+    fn persistent_connection_pays_one_handshake() {
+        let sim = Sim::new(1);
+        let net = Network::ethernet(&sim);
+        let server = HttpServer::bind(&net, "web", TcpModel::default());
+        server.route("/", |_, _| HttpResponse::ok("text/plain", "x"));
+        let client = HttpClient::attach(&net, "pc", TcpModel::persistent());
+        let before = sim.now();
+        client.send(server.node(), &HttpRequest::get("/")).unwrap();
+        let first = sim.now() - before;
+        let before = sim.now();
+        client.send(server.node(), &HttpRequest::get("/")).unwrap();
+        let second = sim.now() - before;
+        // Second exchange skips the 2-RTT handshake (800us here).
+        assert!(
+            second.as_micros() + 800 <= first.as_micros(),
+            "first {first}, second {second}"
+        );
+        assert_eq!(net.with_stats(|s| s.conns_opened()), 1);
+    }
+
+    #[test]
+    fn connect_per_call_opens_a_connection_every_time() {
+        let sim = Sim::new(1);
+        let net = Network::ethernet(&sim);
+        let server = HttpServer::bind(&net, "web", TcpModel::default());
+        server.route("/", |_, _| HttpResponse::ok("text/plain", "x"));
+        let client = HttpClient::attach(&net, "pc", TcpModel::default());
+        for _ in 0..3 {
+            client.send(server.node(), &HttpRequest::get("/")).unwrap();
+        }
+        assert_eq!(net.with_stats(|s| s.conns_opened()), 3);
+    }
+
+    #[test]
+    fn pipelined_responses_correlate_despite_reordering() {
+        let sim = Sim::new(1);
+        let net = Network::ethernet(&sim);
+        let server = HttpServer::bind(&net, "web", TcpModel::default());
+        server.route("/echo", |_, req| {
+            HttpResponse::ok("text/plain", req.body.clone())
+        });
+        let client = HttpClient::attach(&net, "pc", TcpModel::persistent());
+        let reqs: Vec<HttpRequest> = (0..4)
+            .map(|i| HttpRequest::post("/echo", "text/plain", format!("body-{i}")))
+            .collect();
+        let resps = client.send_pipelined(server.node(), &reqs).unwrap();
+        assert_eq!(resps.len(), 4);
+        // The server reverses completion order, so matching in request
+        // order proves correlation really happened.
+        for (i, resp) in resps.iter().enumerate() {
+            assert_eq!(resp.body, format!("body-{i}").into_bytes());
+        }
+        // One connection, one request frame for the whole pipeline.
+        assert_eq!(net.with_stats(|s| s.conns_opened()), 1);
+    }
+
+    #[test]
+    fn pipelined_batch_is_cheaper_than_serial_sends() {
+        let elapsed_for = |pipelined: bool| {
+            let sim = Sim::new(1);
+            let net = Network::ethernet(&sim);
+            let server = HttpServer::bind(&net, "web", TcpModel::default());
+            server.route("/x", |_, _| HttpResponse::ok("text/plain", "ok"));
+            let tcp = if pipelined {
+                TcpModel::persistent()
+            } else {
+                TcpModel::default()
+            };
+            let client = HttpClient::attach(&net, "pc", tcp);
+            let reqs: Vec<HttpRequest> = (0..8)
+                .map(|_| HttpRequest::post("/x", "text/plain", "b"))
+                .collect();
+            let before = sim.now();
+            if pipelined {
+                let resps = client.send_pipelined(server.node(), &reqs).unwrap();
+                assert!(resps.iter().all(|r| r.is_success()));
+            } else {
+                for req in &reqs {
+                    assert!(client.send(server.node(), req).unwrap().is_success());
+                }
+            }
+            (sim.now() - before).as_micros()
+        };
+        let serial = elapsed_for(false);
+        let batched = elapsed_for(true);
+        assert!(
+            batched * 3 < serial,
+            "pipelined {batched}us vs serial {serial}us"
+        );
     }
 
     #[test]

@@ -12,7 +12,8 @@
 //! failing schedule can be replayed exactly.
 
 use metaware::{
-    catalog, BreakerState, MetaError, Middleware, Soap11, VirtualService, Vsg, VsgProtocol, Vsr,
+    catalog, BatchCall, BatchItem, BreakerState, MetaError, Middleware, Soap11, VirtualService,
+    Vsg, VsgProtocol, Vsr,
 };
 use parking_lot::Mutex;
 use proptest::prelude::*;
@@ -215,6 +216,91 @@ proptest! {
             BreakerState::Closed
         );
     }
+}
+
+/// A fault window eats an in-flight batch frame's response. With a
+/// non-idempotent member aboard, the frame must not be re-sent — the
+/// remote may have executed every member — so each member fails with
+/// the ambiguous typed transport error and `switch` ran exactly once.
+/// The contrast case: an all-idempotent batch lost on the *request*
+/// leg is retried and lands.
+#[test]
+fn lost_batch_with_non_idempotent_member_is_not_resent() {
+    let sim = Sim::new(chaos_seed());
+    let net = Network::ethernet(&sim);
+    let vsr = Vsr::start(&net);
+    let protocol: Arc<dyn VsgProtocol> = Arc::new(Soap11::new());
+    let server = Vsg::start(&net, "gw-server", protocol.clone(), vsr.node()).unwrap();
+    let caller = Vsg::start(&net, "gw-caller", protocol, vsr.node()).unwrap();
+    let switches = Arc::new(Mutex::new(0u64));
+    let count = switches.clone();
+    server
+        .export(
+            VirtualService::new("chaos-lamp", catalog::lamp(), Middleware::X10, "gw-server"),
+            move |sim: &Sim, op: &str, _: &[(String, Value)]| {
+                if op == "switch" {
+                    *count.lock() += 1;
+                }
+                // Slow enough that the fault window opens while the
+                // batch is being served: the response leg is what dies.
+                sim.advance(SimDuration::from_millis(10));
+                Ok(Value::Bool(true))
+            },
+        )
+        .unwrap();
+    caller.invoke(&sim, "chaos-lamp", "status", &[]).unwrap(); // warm the route
+
+    let t = sim.now();
+    net.set_fault_plan(FaultPlan::new().partition(
+        vec![server.node()],
+        vec![caller.node()],
+        t + SimDuration::from_millis(5),
+        t + SimDuration::from_millis(500),
+    ));
+    let executed_before = *switches.lock();
+    let items = vec![
+        BatchItem::Call(BatchCall::new("chaos-lamp", "status")),
+        BatchItem::Call(BatchCall::new("chaos-lamp", "switch").arg("on", true)),
+        BatchItem::Call(BatchCall::new("chaos-lamp", "status")),
+    ];
+    let results = caller.invoke_batch(&sim, &items);
+    for r in &results {
+        assert!(
+            matches!(
+                r,
+                Err(MetaError::Transport {
+                    not_executed: false,
+                    ..
+                })
+            ),
+            "ambiguous batch loss must surface per member as ambiguous transport: {r:?}"
+        );
+    }
+    assert_eq!(
+        *switches.lock() - executed_before,
+        1,
+        "the lost frame must not be re-sent: switch executes exactly once"
+    );
+
+    // Heal, close the breaker's books, then lose a pure request leg:
+    // every member is idempotent, so the frame is retried and lands.
+    sim.advance(SimDuration::from_secs(30));
+    net.clear_fault_plan();
+    caller.invoke(&sim, "chaos-lamp", "status", &[]).unwrap();
+    let t2 = sim.now();
+    net.set_fault_plan(FaultPlan::new().loss_spike(t2, t2 + SimDuration::from_millis(120), 1.0));
+    let results = caller.invoke_batch(
+        &sim,
+        &[
+            BatchItem::Call(BatchCall::new("chaos-lamp", "status")),
+            BatchItem::Call(BatchCall::new("chaos-lamp", "status")),
+        ],
+    );
+    assert!(
+        results.iter().all(|r| r == &Ok(Value::Bool(true))),
+        "all-idempotent batch should retry through the spike: {results:?}"
+    );
+    assert!(caller.metrics().snapshot().retries >= 1);
 }
 
 /// The same seed and schedule must reproduce the exact same run —

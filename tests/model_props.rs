@@ -2,10 +2,12 @@
 //! operation sequences must keep the framework's view and the physical
 //! devices' state in agreement.
 
-use metaware::{Middleware, SmartHome, VirtualService};
+use metaware::{BatchCall, BatchItem, BatchPolicy, Middleware, SmartHome, VirtualService};
+use parking_lot::Mutex;
 use proptest::prelude::*;
 use soap::Value;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 #[derive(Debug, Clone)]
 enum LampOp {
@@ -41,6 +43,26 @@ fn lamp_name(l: u8) -> &'static str {
     } else {
         "desk-lamp"
     }
+}
+
+/// Batch members mixing well-typed calls, application faults (unknown
+/// operation), unknown services, and event notifications.
+fn arb_batch_item() -> impl Strategy<Value = BatchItem> {
+    prop_oneof![
+        (0u8..2, any::<bool>()).prop_map(|(l, on)| BatchItem::Call(
+            BatchCall::new(lamp_name(l), "switch").arg("on", on)
+        )),
+        (0u8..2).prop_map(|l| BatchItem::Call(BatchCall::new(lamp_name(l), "status"))),
+        (0u8..2, 1i64..5).prop_map(|(l, s)| BatchItem::Call(
+            BatchCall::new(lamp_name(l), "dim").arg("steps", s)
+        )),
+        (0u8..2).prop_map(|l| BatchItem::Call(BatchCall::new(lamp_name(l), "explode"))),
+        Just(BatchItem::Call(BatchCall::new("ghost", "status"))),
+        (0u8..2, any::<i64>()).prop_map(|(l, v)| BatchItem::Event {
+            service: lamp_name(l).to_owned(),
+            event: Value::Int(v),
+        }),
+    ]
 }
 
 proptest! {
@@ -154,6 +176,41 @@ proptest! {
                 (c, l) => prop_assert!(false, "cache/live disagree for {}: {:?} vs {:?}", name, c, l),
             }
         }
+    }
+
+    /// The multiplexed wire is semantically invisible: for an arbitrary
+    /// interleaving of calls, faults, unknown services, and events, the
+    /// batched and unbatched paths return identical per-item results,
+    /// surface the same application faults, deliver events in the same
+    /// order, and leave the physical devices in the same state.
+    #[test]
+    fn batched_wire_is_equivalent_to_unbatched(
+        items in prop::collection::vec(arb_batch_item(), 1..16),
+    ) {
+        let run = |batched: bool| {
+            let policy = if batched {
+                // A small frame bound so multi-chunk flushes happen.
+                BatchPolicy { max_batch: 4, ..BatchPolicy::default() }
+            } else {
+                BatchPolicy::disabled()
+            };
+            let home = SmartHome::builder().batching(policy).build().unwrap();
+            let caller = home.gateway(Middleware::Jini).unwrap().clone();
+            let server = home.gateway(Middleware::X10).unwrap().clone();
+            let seen: Arc<Mutex<Vec<(String, Value)>>> = Arc::new(Mutex::new(Vec::new()));
+            let seen2 = seen.clone();
+            server.set_event_sink(move |_, svc, e| seen2.lock().push((svc.to_owned(), e.clone())));
+            let results = caller.invoke_batch(&home.sim, &items);
+            let x10 = home.x10.as_ref().unwrap();
+            let lamps = (x10.hall_lamp.is_on(), x10.desk_lamp.is_on());
+            let events = seen.lock().clone();
+            (results, events, lamps)
+        };
+        let (batched, batched_events, batched_lamps) = run(true);
+        let (unbatched, unbatched_events, unbatched_lamps) = run(false);
+        prop_assert_eq!(batched, unbatched);
+        prop_assert_eq!(batched_events, unbatched_events);
+        prop_assert_eq!(batched_lamps, unbatched_lamps);
     }
 
     /// Dim sequences through the framework keep the physical level and
