@@ -1,38 +1,81 @@
 #!/usr/bin/env sh
-# The full local gate: formatting, lints, release build, tests.
+# The full local gate: formatting, lints, release build, tests, chaos
+# replays, bench smokes, docs, and the bench regression gate.
 # Run from the repo root; fails fast on the first broken step.
+#
+# Overridables:
+#   CHAOS_SEEDS      space-separated seed list for the chaos/failure
+#                    replays (default "1 7 1234")
+#   BENCH_TOLERANCE  relative drift band for the bench gate (default 0.25)
 set -eu
 
-echo "==> cargo fmt --check"
+CHAOS_SEEDS="${CHAOS_SEEDS:-1 7 1234}"
+
+# Each stage is timed; a summary prints at the end so slow stages are
+# obvious without scrolling.
+STAGE_SUMMARY=""
+STAGE_NAME=""
+STAGE_T0=0
+
+stage() {
+    stage_end
+    STAGE_NAME="$1"
+    STAGE_T0=$(date +%s)
+    echo "==> $STAGE_NAME"
+}
+
+stage_end() {
+    if [ -n "$STAGE_NAME" ]; then
+        STAGE_SUMMARY="$STAGE_SUMMARY$(printf '%5ss  %s' "$(($(date +%s) - STAGE_T0))" "$STAGE_NAME")\n"
+        STAGE_NAME=""
+    fi
+}
+
+stage "cargo fmt --check"
 cargo fmt --check
 
-echo "==> cargo clippy -- -D warnings"
+stage "cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> cargo build --release"
+stage "cargo build --release"
 cargo build --release
 
-echo "==> cargo test -q"
+stage "cargo test -q"
 cargo test --workspace -q
 
 # The failure and chaos suites replay their randomized fault schedules
-# from CHAOS_SEED; three fixed seeds keep the coverage deterministic.
-for seed in 1 7 1234; do
-    echo "==> chaos + failure suites (CHAOS_SEED=$seed)"
+# from CHAOS_SEED; a few fixed seeds keep the coverage deterministic.
+for seed in $CHAOS_SEEDS; do
+    stage "chaos + failure suites (CHAOS_SEED=$seed)"
     CHAOS_SEED=$seed cargo test -q --test chaos --test failures
 done
 
-echo "==> cargo bench --no-run (benches compile)"
+stage "cargo bench --no-run (benches compile)"
 cargo bench --workspace --no-run -q
 
 # E14 smoke run: its report functions assert the multiplexed-wire
 # thresholds (batched events/sec >= 3x unbatched at fan-out 64, wire
 # bytes/event <= 0.5x, idle p50 within 10%), so a regression in the
 # batching path fails this step outright.
-echo "==> e14 throughput smoke (threshold assertions)"
+stage "e14 throughput smoke (threshold assertions)"
 cargo bench -p bench --bench e14_throughput -- --test
 
-echo "==> cargo doc --no-deps (warnings denied)"
+# E15 smoke run: asserts the federated VSR holds >= 99% invoke
+# availability through primary-crash windows with replication on (and
+# that a single replica doesn't), and that anti-entropy converges.
+stage "e15 federated VSR smoke (threshold assertions)"
+cargo bench -p bench --bench e15_vsr_scale -- --test
+
+stage "cargo doc --no-deps (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace -q
 
+# Last stage: compare the freshly emitted BENCH_*.json from the smoke
+# runs above against bench-baselines/ within a tolerance band.
+stage "bench regression gate (scripts/bench_gate.py)"
+python3 scripts/bench_gate.py
+
+stage_end
+echo ""
+echo "==> stage timings"
+printf "%b" "$STAGE_SUMMARY"
 echo "==> ci green"

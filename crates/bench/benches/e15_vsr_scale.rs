@@ -1,0 +1,235 @@
+//! E15: the federated VSR at scale (DESIGN.md §11).
+//!
+//! The paper's repository is one process; ours can be a sharded,
+//! replicated federation. This bench measures what that buys and what
+//! it costs:
+//!
+//!  * **repository throughput vs cluster shape** — publishes/sec and
+//!    resolves/sec at (1 replica, 1 shard), (2, 4) and (4, 8).
+//!    Replication taxes writes (eager push per backup); reads must
+//!    stay a single round trip regardless of shape;
+//!  * **availability under primary-crash chaos** — a gateway polling
+//!    an invoke (route cache cleared per poll, degraded stale-serving
+//!    off) while the service's shard primary crashes for two 10-second
+//!    windows out of 60. Replication on must hold ≥ 99%; a single
+//!    replica under the same schedule must not.
+//!
+//! The threshold assertions live inside the report functions so
+//! `cargo bench --bench e15_vsr_scale -- --test` (ci.sh's smoke gate)
+//! exercises them.
+//!
+//! Emits `BENCH_vsr_scale.json`.
+
+use bench::{cell, Report};
+use criterion::{criterion_group, criterion_main, Criterion};
+use metaware::{
+    catalog, FederationConfig, Middleware, ResiliencePolicy, Soap11, VirtualService, Vsg,
+    VsgProtocol, Vsr, VsrClient,
+};
+use simnet::{FaultPlan, Network, Sim, SimDuration};
+use soap::Value;
+use std::sync::Arc;
+
+const SERVICES: usize = 48;
+const RESOLVES: usize = 192;
+
+fn service(name: &str, gateway: &str) -> VirtualService {
+    VirtualService::new(name, catalog::lamp(), Middleware::X10, gateway)
+}
+
+fn cluster(seed: u64, shards: u32, replicas: usize) -> (Sim, Network, Vsr, VsrClient) {
+    let sim = Sim::new(seed);
+    let net = Network::ethernet(&sim);
+    let vsr = Vsr::start_federated(
+        &net,
+        &FederationConfig {
+            shards,
+            replicas,
+            replication: 2,
+            ..FederationConfig::default()
+        },
+    );
+    let node = net.attach("pcm");
+    let client = VsrClient::new(&net, node, vsr.node());
+    (sim, net, vsr, client)
+}
+
+struct ShapeRun {
+    publishes_per_sec: f64,
+    resolves_per_sec: f64,
+    lag_after_sync: u64,
+}
+
+/// Publishes `SERVICES` services then resolves round-robin, measuring
+/// both against virtual time.
+fn run_shape(shards: u32, replicas: usize) -> ShapeRun {
+    let (sim, _net, vsr, client) = cluster(13, shards, replicas);
+    let names: Vec<String> = (0..SERVICES).map(|i| format!("svc-{i:02}")).collect();
+
+    let t0 = sim.now();
+    for name in &names {
+        client.publish(&service(name, "x10-gw")).unwrap();
+    }
+    let publish_dt = sim.now().since(t0);
+
+    let t1 = sim.now();
+    for i in 0..RESOLVES {
+        client.resolve(&names[i % names.len()]).unwrap();
+    }
+    let resolve_dt = sim.now().since(t1);
+
+    ShapeRun {
+        publishes_per_sec: SERVICES as f64 / publish_dt.as_secs_f64(),
+        resolves_per_sec: RESOLVES as f64 / resolve_dt.as_secs_f64(),
+        lag_after_sync: {
+            vsr.sync_now();
+            vsr.replication_lag()
+        },
+    }
+}
+
+/// A gateway pair on a federated cluster, polling one invoke per 500ms
+/// for 60s while the service's shard primary is crashed for two
+/// 10-second windows. Degraded stale-route serving is disabled and the
+/// route cache cleared per poll, so every poll needs a live resolve —
+/// the measurement isolates what replication buys. Returns the success
+/// ratio.
+fn availability_under_primary_crash(replicas: usize) -> f64 {
+    let (sim, net, vsr, _client) = cluster(42, 4, replicas);
+    let protocol: Arc<dyn VsgProtocol> = Arc::new(Soap11::new());
+    let server = Vsg::start(&net, "gw-server", protocol.clone(), vsr.node()).unwrap();
+    let caller = Vsg::start(&net, "gw-caller", protocol, vsr.node()).unwrap();
+    server
+        .export(
+            service("chaos-lamp", "gw-server"),
+            |_: &Sim, op: &str, _: &[(String, Value)]| match op {
+                "status" => Ok(Value::Bool(true)),
+                _ => Ok(Value::Null),
+            },
+        )
+        .unwrap();
+    caller.set_resilience(ResiliencePolicy {
+        degraded_reads: false,
+        ..ResiliencePolicy::default()
+    });
+
+    let t0 = sim.now();
+    let primary = vsr.primary_for("chaos-lamp");
+    let at = |s: u64| t0 + SimDuration::from_secs(s);
+    net.set_fault_plan(
+        FaultPlan::new()
+            .node_down(primary, at(10), at(20))
+            .node_down(primary, at(30), at(40)),
+    );
+    let step = SimDuration::from_millis(500);
+    let total_steps = 120u32; // 60 s
+    let mut ok = 0u32;
+    for _ in 0..total_steps {
+        sim.advance(step);
+        caller.clear_route_cache();
+        if caller.invoke(&sim, "chaos-lamp", "status", &[]).is_ok() {
+            ok += 1;
+        }
+    }
+    net.clear_fault_plan();
+    f64::from(ok) / f64::from(total_steps)
+}
+
+fn scale_report() {
+    let mut report = Report::new(
+        "E15",
+        "federated VSR: throughput vs cluster shape, availability under primary crashes",
+        &["workload", "cluster", "value", "unit"],
+    );
+
+    let mut base_resolves = 0.0;
+    let mut wide_resolves = 0.0;
+    for (replicas, shards) in [(1usize, 1u32), (2, 4), (4, 8)] {
+        let run = run_shape(shards, replicas);
+        let label = format!("{replicas}r/{shards}s");
+        report.row(vec![
+            "publish".into(),
+            label.clone(),
+            format!("{:.0}", run.publishes_per_sec),
+            "publishes/sec".into(),
+        ]);
+        report.row(vec![
+            "resolve".into(),
+            label.clone(),
+            format!("{:.0}", run.resolves_per_sec),
+            "resolves/sec".into(),
+        ]);
+        report.row(vec![
+            "replication lag after sync".into(),
+            label,
+            cell(run.lag_after_sync),
+            "entries".into(),
+        ]);
+        assert_eq!(
+            run.lag_after_sync, 0,
+            "anti-entropy must converge a quiet cluster ({replicas}r/{shards}s)"
+        );
+        if replicas == 1 {
+            base_resolves = run.resolves_per_sec;
+        }
+        if replicas == 4 {
+            wide_resolves = run.resolves_per_sec;
+        }
+    }
+    assert!(
+        wide_resolves >= 0.5 * base_resolves,
+        "sharding must not crater reads: {wide_resolves:.0}/sec vs {base_resolves:.0}/sec single-node"
+    );
+
+    let replicated = availability_under_primary_crash(3);
+    let single = availability_under_primary_crash(1);
+    report.row(vec![
+        "invoke availability, primary crashed 20s/60s".into(),
+        "3r/4s".into(),
+        format!("{:.1}", replicated * 100.0),
+        "%".into(),
+    ]);
+    report.row(vec![
+        "invoke availability, primary crashed 20s/60s".into(),
+        "1r/4s".into(),
+        format!("{:.1}", single * 100.0),
+        "%".into(),
+    ]);
+    assert!(
+        replicated >= 0.99,
+        "replication must hold >= 99% invoke availability through primary crashes, got {:.1}%",
+        replicated * 100.0
+    );
+    assert!(
+        single < 0.99,
+        "a single replica must not mask its own crash windows, got {:.1}%",
+        single * 100.0
+    );
+    assert!(
+        replicated > single,
+        "replication must strictly improve availability"
+    );
+
+    report.emit_as("BENCH_vsr_scale.json");
+}
+
+fn bench(c: &mut Criterion) {
+    scale_report();
+
+    let mut group = c.benchmark_group("e15_vsr_scale");
+    group.sample_size(10);
+    group.bench_function("resolve_3r8s", |b| {
+        let (_sim, _net, _vsr, client) = cluster(13, 8, 3);
+        client.publish(&service("bench-lamp", "x10-gw")).unwrap();
+        b.iter(|| client.resolve("bench-lamp").unwrap())
+    });
+    group.bench_function("publish_3r8s", |b| {
+        let (_sim, _net, _vsr, client) = cluster(13, 8, 3);
+        let svc = service("bench-lamp", "x10-gw");
+        b.iter(|| client.publish(&svc).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -68,6 +68,16 @@ pub enum MetaError {
         /// The gateway the breaker protects.
         gateway: String,
     },
+    /// A federated repository replica refused an operation because the
+    /// service's shard is owned by another replica (the client's cached
+    /// shard map is stale). Nothing executed: the caller should refresh
+    /// its shard map and re-route to the indicated node.
+    MovedShard {
+        /// The shard the operation hashed to.
+        shard: u32,
+        /// The backbone node that currently owns the shard's primary.
+        node: u32,
+    },
     /// The batching layer's bounded per-peer queue is full: the call was
     /// rejected before touching the wire rather than growing the queue
     /// without bound. Guaranteed not executed, but an immediate retry
@@ -199,6 +209,14 @@ impl MetaError {
                 };
             }
         }
+        if let Some((shard, node)) = fault
+            .strip_prefix("shard ")
+            .and_then(|rest| rest.split_once(" moved to node "))
+        {
+            if let (Ok(shard), Ok(node)) = (shard.parse(), node.parse()) {
+                return MetaError::MovedShard { shard, node };
+            }
+        }
         if let Some(msg) = fault.strip_prefix("repository error: ") {
             return MetaError::Repository(msg.to_owned());
         }
@@ -225,6 +243,7 @@ impl MetaError {
             MetaError::Transport { .. } => "transport",
             MetaError::DeadlineExceeded { .. } => "deadline-exceeded",
             MetaError::CircuitOpen { .. } => "circuit-open",
+            MetaError::MovedShard { .. } => "moved-shard",
             MetaError::Overloaded { .. } => "overloaded",
         }
     }
@@ -246,6 +265,7 @@ impl MetaError {
             MetaError::Protocol(_)
                 | MetaError::GatewayUnreachable(_)
                 | MetaError::UnknownService(_)
+                | MetaError::MovedShard { .. }
                 | MetaError::Transport {
                     not_executed: true,
                     ..
@@ -305,6 +325,9 @@ impl fmt::Display for MetaError {
             MetaError::CircuitOpen { gateway } => {
                 write!(f, "circuit open for gateway '{gateway}'")
             }
+            MetaError::MovedShard { shard, node } => {
+                write!(f, "shard {shard} moved to node {node}")
+            }
             MetaError::Overloaded { gateway, queued } => {
                 write!(f, "gateway '{gateway}' overloaded ({queued} queued)")
             }
@@ -362,6 +385,7 @@ mod tests {
             MetaError::CircuitOpen {
                 gateway: "havi-gw".into(),
             },
+            MetaError::MovedShard { shard: 3, node: 17 },
             MetaError::Overloaded {
                 gateway: "sip-gw".into(),
                 queued: 256,
@@ -422,6 +446,8 @@ mod tests {
             queued: 256
         }
         .is_retry_safe());
+        assert!(MetaError::MovedShard { shard: 0, node: 2 }.is_retry_safe());
+        assert!(!MetaError::MovedShard { shard: 0, node: 2 }.is_transport_failure());
         assert!(!MetaError::Overloaded {
             gateway: "gw".into(),
             queued: 256

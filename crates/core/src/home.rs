@@ -160,6 +160,9 @@ pub struct SmartHome {
     /// Handles of the gateway re-registration heartbeats, when the
     /// builder armed them (kept so the timers stay cancellable).
     pub heartbeats: Vec<simnet::RepeatHandle>,
+    /// Handle of the VSR anti-entropy timer, armed automatically when
+    /// the repository runs with more than one replica.
+    pub vsr_sync_timer: Option<simnet::RepeatHandle>,
 }
 
 /// Builder for [`SmartHome`].
@@ -177,6 +180,9 @@ pub struct SmartHomeBuilder {
     batching: Option<BatchPolicy>,
     vsr_lease: Option<SimDuration>,
     heartbeat: Option<SimDuration>,
+    vsr_replicas: usize,
+    vsr_shards: u32,
+    vsr_sync: SimDuration,
 }
 
 /// Shorthand used throughout: house code from a letter.
@@ -206,6 +212,9 @@ impl SmartHome {
             batching: None,
             vsr_lease: None,
             heartbeat: None,
+            vsr_replicas: 1,
+            vsr_shards: 1,
+            vsr_sync: SimDuration::from_secs(2),
         }
     }
 
@@ -274,6 +283,7 @@ impl SmartHome {
     /// cross-middleware invocation produce a single causally-connected
     /// trace tree spanning both ends (see [`crate::trace`]).
     pub fn set_tracing(&self, on: bool) {
+        self.vsr.set_tracing(on);
         for vsg in self.gateways() {
             vsg.set_tracing(on);
         }
@@ -286,6 +296,7 @@ impl SmartHome {
         for vsg in self.gateways() {
             spans.extend(vsg.tracer().take_spans());
         }
+        spans.extend(self.vsr.take_spans());
         spans
     }
 
@@ -409,11 +420,47 @@ impl SmartHomeBuilder {
         self
     }
 
+    /// Runs the VSR as a federation of `n` replicas (default 1 — the
+    /// original single-node repository). With more than one replica
+    /// the builder also arms a periodic anti-entropy pass (see
+    /// [`SmartHomeBuilder::vsr_sync_interval`]); writes replicate
+    /// eagerly, and clients fail over (promoting a backup) when a
+    /// shard's primary is unreachable.
+    pub fn vsr_replicas(mut self, n: usize) -> Self {
+        self.vsr_replicas = n.max(1);
+        self
+    }
+
+    /// Partitions the VSR namespace over `n` shards by consistent
+    /// hashing (default 1). Each shard gets its own primary/backup
+    /// preference list over the replicas.
+    pub fn vsr_shards(mut self, n: u32) -> Self {
+        self.vsr_shards = n.max(1);
+        self
+    }
+
+    /// Period of the VSR anti-entropy exchange (default 2s). Only
+    /// meaningful with [`SmartHomeBuilder::vsr_replicas`] above 1; the
+    /// timer fires when the event loop is pumped (`run_for`), not on
+    /// bare `advance`.
+    pub fn vsr_sync_interval(mut self, period: SimDuration) -> Self {
+        self.vsr_sync = period;
+        self
+    }
+
     /// Assembles the home.
     pub fn build(self) -> Result<SmartHome, MetaError> {
         let sim = Sim::new(self.seed);
         let backbone = Network::ethernet(&sim);
-        let vsr = Vsr::start(&backbone);
+        let vsr = Vsr::start_federated(
+            &backbone,
+            &crate::federation::FederationConfig {
+                shards: self.vsr_shards,
+                replicas: self.vsr_replicas,
+                sync_interval: self.vsr_sync,
+                ..crate::federation::FederationConfig::default()
+            },
+        );
         if let Some(lease) = self.vsr_lease {
             vsr.set_lease_duration(Some(lease));
         }
@@ -479,6 +526,7 @@ impl SmartHomeBuilder {
             mail,
             upnp,
             heartbeats: Vec::new(),
+            vsr_sync_timer: None,
         };
         if let Some(policy) = self.resilience {
             home.set_resilience(policy);
@@ -487,6 +535,12 @@ impl SmartHomeBuilder {
             home.set_batching(policy);
         }
         let mut home = home;
+        if self.vsr_replicas > 1 {
+            let vsr = home.vsr.clone();
+            home.vsr_sync_timer = Some(home.sim.every(self.vsr_sync, move |_sim| {
+                vsr.sync_now();
+            }));
+        }
         if let Some(period) = self.heartbeat {
             home.heartbeats = home
                 .gateways()

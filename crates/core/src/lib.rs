@@ -57,6 +57,7 @@ pub mod avmeta;
 pub mod batch;
 pub mod error;
 pub mod events;
+pub mod federation;
 pub mod home;
 pub mod iface;
 pub mod metrics;
@@ -75,6 +76,7 @@ pub use avmeta::{AvBroker, AvFormat, AvReport, AvSession};
 pub use batch::{BatchCall, BatchItem, BatchPolicy};
 pub use error::MetaError;
 pub use events::{BridgeStats, PollingBridge, SipPublisher, SipSubscriber};
+pub use federation::{FederationConfig, ShardMap, Version};
 pub use home::{house, unit, SmartHome, SmartHomeBuilder};
 pub use iface::{catalog, InterfaceCatalog, OpSig, ServiceInterface, TypeTag};
 pub use metrics::{
@@ -84,8 +86,8 @@ pub use metrics::{
 pub use pcm::ProtocolConversionManager;
 pub use protocol::{CompactBinary, SipLike, Soap11, VsgProtocol, VsgRequest};
 pub use proxygen::{generate, GeneratedProxy, ProxyGenCost, ProxyTarget};
-pub use rescache::ResolutionCache;
-pub use resilience::{BreakerState, CircuitBreaker, ResiliencePolicy};
+pub use rescache::{ResolutionCache, ShardMapCache};
+pub use resilience::{BreakerBank, BreakerState, CircuitBreaker, ResiliencePolicy};
 pub use service::{Middleware, ServiceInvoker, VirtualService};
 pub use trace::{HopKind, Span, SpanId, TraceContext, TraceId, Tracer};
 pub use vsg::Vsg;

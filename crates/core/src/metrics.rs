@@ -191,6 +191,10 @@ struct MetricsState {
     degraded_serves: u64,
     breaker_transitions: u64,
     breaker_state: std::collections::BTreeMap<String, &'static str>,
+    shard_ops: std::collections::BTreeMap<u32, u64>,
+    vsr_failovers: u64,
+    shard_map_refreshes: u64,
+    replication_lag: std::collections::BTreeMap<u32, u64>,
 }
 
 /// Per-gateway monotonic counters and latency histogram, fed by every
@@ -252,6 +256,32 @@ impl MetricsRegistry {
         st.breaker_state.insert(gateway.to_owned(), state);
     }
 
+    /// Records one repository operation routed to `shard` of the
+    /// federated VSR (per-shard load visibility).
+    pub fn record_shard_op(&self, shard: u32) {
+        *self.state.lock().shard_ops.entry(shard).or_insert(0) += 1;
+    }
+
+    /// Records one VSR replica failover: the shard's preferred replica
+    /// could not be reached and the operation moved down the
+    /// preference list.
+    pub fn record_vsr_failover(&self) {
+        self.state.lock().vsr_failovers += 1;
+    }
+
+    /// Records one client-side shard-map refresh (a fetch forced by a
+    /// cold cache or a `moved-shard` redirect).
+    pub fn record_shard_map_refresh(&self) {
+        self.state.lock().shard_map_refreshes += 1;
+    }
+
+    /// Sets the replication-lag gauge for `shard`: how many records on
+    /// the shard's primary its laggiest backup has not yet caught up
+    /// on (0 when fully converged).
+    pub fn set_replication_lag(&self, shard: u32, lag: u64) {
+        self.state.lock().replication_lag.insert(shard, lag);
+    }
+
     /// A point-in-time copy of the counters.
     pub fn snapshot(&self) -> RegistrySnapshot {
         let st = self.state.lock();
@@ -277,6 +307,10 @@ impl MetricsRegistry {
                 .iter()
                 .map(|(k, v)| (k.clone(), (*v).to_owned()))
                 .collect(),
+            shard_ops: st.shard_ops.iter().map(|(k, v)| (*k, *v)).collect(),
+            vsr_failovers: st.vsr_failovers,
+            shard_map_refreshes: st.shard_map_refreshes,
+            replication_lag: st.replication_lag.iter().map(|(k, v)| (*k, *v)).collect(),
         }
     }
 }
@@ -303,6 +337,15 @@ pub struct RegistrySnapshot {
     pub breaker_transitions: u64,
     /// Current breaker state per remote gateway (gauge).
     pub breakers: Vec<(String, String)>,
+    /// Repository operations per shard of the federated VSR.
+    pub shard_ops: Vec<(u32, u64)>,
+    /// VSR replica failovers (preferred replica skipped or failed).
+    pub vsr_failovers: u64,
+    /// Client-side shard-map refreshes.
+    pub shard_map_refreshes: u64,
+    /// Replication-lag gauge per shard (records the laggiest backup is
+    /// behind its primary by).
+    pub replication_lag: Vec<(u32, u64)>,
 }
 
 /// A gateway's full observable state — invocation counters merged with
@@ -378,6 +421,24 @@ impl MetricsSnapshot {
                 out.push(',');
             }
             out.push_str(&format!("{}:{}", json_str(gw), json_str(state)));
+        }
+        out.push_str("}}");
+        out.push_str(&format!(
+            ",\"federation\":{{\"vsr_failovers\":{},\"shard_map_refreshes\":{},\"shard_ops\":{{",
+            self.registry.vsr_failovers, self.registry.shard_map_refreshes
+        ));
+        for (i, (shard, n)) in self.registry.shard_ops.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{shard}\":{n}"));
+        }
+        out.push_str("},\"replication_lag\":{");
+        for (i, (shard, lag)) in self.registry.replication_lag.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{shard}\":{lag}"));
         }
         out.push_str("}}");
         out.push_str(&format!(
@@ -678,6 +739,44 @@ mod tests {
         ] {
             assert!(json.contains(needle), "missing {needle} in {json}");
         }
+    }
+
+    #[test]
+    fn registry_tracks_federation_events() {
+        let reg = MetricsRegistry::new();
+        reg.record_shard_op(0);
+        reg.record_shard_op(3);
+        reg.record_shard_op(3);
+        reg.record_vsr_failover();
+        reg.record_shard_map_refresh();
+        reg.record_shard_map_refresh();
+        reg.set_replication_lag(3, 7);
+        reg.set_replication_lag(3, 0); // gauge: latest value wins
+        let snap = reg.snapshot();
+        assert_eq!(snap.shard_ops, vec![(0, 1), (3, 2)]);
+        assert_eq!(snap.vsr_failovers, 1);
+        assert_eq!(snap.shard_map_refreshes, 2);
+        assert_eq!(snap.replication_lag, vec![(3, 0)]);
+        let json = MetricsSnapshot {
+            gateway: "jini-gw".into(),
+            registry: snap,
+            cache: CacheStats::default(),
+        }
+        .to_json();
+        for needle in [
+            "\"federation\":{",
+            "\"vsr_failovers\":1",
+            "\"shard_map_refreshes\":2",
+            "\"shard_ops\":{\"0\":1,\"3\":2}",
+            "\"replication_lag\":{\"3\":0}",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
     }
 
     #[test]

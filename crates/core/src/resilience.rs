@@ -12,7 +12,9 @@
 //! Everything is computed on virtual time and the simulation's seeded
 //! RNG, so a chaos schedule replays identically run after run.
 
-use simnet::{Sim, SimDuration, SimTime};
+use parking_lot::Mutex;
+use simnet::{NodeId, Sim, SimDuration, SimTime};
+use std::collections::HashMap;
 use std::fmt;
 
 /// Per-gateway knobs for the resilient wire path.
@@ -215,6 +217,66 @@ impl CircuitBreaker {
     }
 }
 
+/// A bank of circuit breakers keyed by backbone node — one per VSR
+/// replica. The shard-aware [`crate::VsrClient`] consults it while
+/// walking a shard's preference list: a replica whose breaker is open
+/// is skipped without touching the wire, so failover to the next
+/// replica costs nothing once a crash has been observed a few times.
+///
+/// Breakers are created closed on first use. The bank is internally
+/// locked so one bank can be shared by every clone of a client.
+#[derive(Debug)]
+pub struct BreakerBank {
+    threshold: u32,
+    open_window: SimDuration,
+    breakers: Mutex<HashMap<NodeId, CircuitBreaker>>,
+}
+
+impl BreakerBank {
+    /// Creates an empty bank whose breakers open after `threshold`
+    /// consecutive transport failures and admit a half-open probe once
+    /// `open_window` has elapsed.
+    pub fn new(threshold: u32, open_window: SimDuration) -> BreakerBank {
+        BreakerBank {
+            threshold: threshold.max(1),
+            open_window,
+            breakers: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn with<T>(&self, node: NodeId, f: impl FnOnce(&mut CircuitBreaker) -> T) -> T {
+        let mut breakers = self.breakers.lock();
+        let br = breakers
+            .entry(node)
+            .or_insert_with(|| CircuitBreaker::new(self.threshold, self.open_window));
+        f(br)
+    }
+
+    /// Whether a call to `node` may proceed at `now` (an elapsed open
+    /// window admits the call as its half-open probe).
+    pub fn admit(&self, node: NodeId, now: SimTime) -> bool {
+        self.with(node, |br| br.admit(now))
+    }
+
+    /// Records a successful (or liveness-proving) call to `node`.
+    pub fn on_success(&self, node: NodeId) {
+        self.with(node, CircuitBreaker::on_success);
+    }
+
+    /// Records a transport failure against `node` at `now`.
+    pub fn on_failure(&self, node: NodeId, now: SimTime) {
+        self.with(node, |br| br.on_failure(now));
+    }
+
+    /// The breaker state held for `node` (closed if never touched).
+    pub fn state(&self, node: NodeId) -> BreakerState {
+        self.breakers
+            .lock()
+            .get(&node)
+            .map_or(BreakerState::Closed, CircuitBreaker::state)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -296,5 +358,22 @@ mod tests {
         br.on_success();
         br.on_failure(sim.now());
         assert_eq!(br.state(), BreakerState::Closed, "run was reset");
+    }
+
+    #[test]
+    fn breaker_bank_tracks_replicas_independently() {
+        let sim = Sim::new(1);
+        let bank = BreakerBank::new(2, SimDuration::from_secs(5));
+        let (a, b) = (NodeId(10), NodeId(11));
+        assert_eq!(bank.state(a), BreakerState::Closed, "untouched is closed");
+        bank.on_failure(a, sim.now());
+        bank.on_failure(a, sim.now());
+        assert_eq!(bank.state(a), BreakerState::Open);
+        assert!(!bank.admit(a, sim.now()), "a rejects");
+        assert!(bank.admit(b, sim.now()), "b unaffected");
+        sim.advance(SimDuration::from_secs(5));
+        assert!(bank.admit(a, sim.now()), "probe after window");
+        bank.on_success(a);
+        assert_eq!(bank.state(a), BreakerState::Closed);
     }
 }

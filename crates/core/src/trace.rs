@@ -81,6 +81,10 @@ pub enum HopKind {
     /// A resilience-layer decision: a retry, a circuit-breaker state
     /// transition, or a degraded (stale-route) serve.
     Resilience,
+    /// A federated-repository decision: shard routing, a replica
+    /// failover, a shard-map refresh, a backup promotion, or one
+    /// anti-entropy sync exchange.
+    Federation,
 }
 
 impl HopKind {
@@ -96,6 +100,7 @@ impl HopKind {
             HopKind::App => "app",
             HopKind::Event => "event",
             HopKind::Resilience => "resilience",
+            HopKind::Federation => "federation",
         }
     }
 }

@@ -40,7 +40,7 @@ struct VsgInner {
     vsr: VsrClient,
     rescache: Mutex<ResolutionCache>,
     tracer: Tracer,
-    metrics: MetricsRegistry,
+    metrics: Arc<MetricsRegistry>,
     resilience: Mutex<ResiliencePolicy>,
     breakers: Mutex<HashMap<String, CircuitBreaker>>,
     batching: Mutex<BatchPolicy>,
@@ -78,7 +78,10 @@ impl Vsg {
                 serve_remote(&local2, &tracer2, &sink2, sim, req)
             }),
         );
-        let vsr = VsrClient::new(backbone, node, vsr_node).with_tracer(tracer.clone());
+        let metrics = Arc::new(MetricsRegistry::new());
+        let vsr = VsrClient::new(backbone, node, vsr_node)
+            .with_tracer(tracer.clone())
+            .with_metrics(metrics.clone());
         vsr.register_gateway(name, node)?;
         Ok(Vsg {
             inner: Arc::new(VsgInner {
@@ -90,7 +93,7 @@ impl Vsg {
                 vsr,
                 rescache: Mutex::new(ResolutionCache::default()),
                 tracer,
-                metrics: MetricsRegistry::new(),
+                metrics,
                 resilience: Mutex::new(ResiliencePolicy::default()),
                 breakers: Mutex::new(HashMap::new()),
                 batching: Mutex::new(BatchPolicy::default()),

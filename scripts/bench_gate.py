@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Bench regression gate.
+
+Compares freshly emitted ``BENCH_*.json`` reports (written by the bench
+smoke runs into ``crates/bench/target/bench-results/``) against the
+checked-in baselines in ``bench-baselines/`` and fails on drift beyond a
+tolerance band.
+
+Report shape (see ``crates/bench/src/lib.rs``)::
+
+    {"id": ..., "title": ..., "headers": [...], "rows": [[cell, ...], ...]}
+
+Cells are strings; numeric cells may carry a unit suffix ("7663us",
+"99.2"). A cell that parses as a leading float in the baseline must
+parse in the fresh run too and stay within ``BENCH_TOLERANCE`` (relative,
+default 0.25) — the band is symmetric because a metric that silently
+doubled is as suspicious as one that halved. Label cells must match
+exactly; any header/row-count mismatch is a shape change and fails hard.
+
+Only baselines with a fresh counterpart are compared (ci.sh smokes a
+subset of the benches), but at least one comparison must happen.
+
+Exit status: 0 green, 1 regression/shape change/nothing compared.
+"""
+
+import json
+import os
+import re
+import sys
+from pathlib import Path
+
+LEADING_FLOAT = re.compile(r"^\s*([-+]?\d+(?:\.\d+)?(?:[eE][-+]?\d+)?)")
+# Cells at or below this magnitude are compared absolutely: a lag of
+# 0 entries vs 1 entry is meaningful, but a relative band around 0 is
+# degenerate.
+ABSOLUTE_FLOOR = 1.0
+
+
+def leading_float(cell):
+    m = LEADING_FLOAT.match(cell)
+    return float(m.group(1)) if m else None
+
+
+def compare_report(name, base, fresh, tolerance):
+    """Returns a list of failure strings (empty means the file is green)."""
+    failures = []
+    if base.get("headers") != fresh.get("headers"):
+        return [f"{name}: headers changed {base.get('headers')} -> {fresh.get('headers')}"]
+    base_rows, fresh_rows = base.get("rows", []), fresh.get("rows", [])
+    if len(base_rows) != len(fresh_rows):
+        return [f"{name}: row count changed {len(base_rows)} -> {len(fresh_rows)}"]
+    for i, (brow, frow) in enumerate(zip(base_rows, fresh_rows)):
+        if len(brow) != len(frow):
+            failures.append(f"{name} row {i}: cell count changed {len(brow)} -> {len(frow)}")
+            continue
+        for j, (bcell, fcell) in enumerate(zip(brow, frow)):
+            bval, fval = leading_float(bcell), leading_float(fcell)
+            if bval is None or fval is None:
+                if bcell != fcell:
+                    failures.append(
+                        f"{name} row {i} col {j}: label changed {bcell!r} -> {fcell!r}"
+                    )
+                continue
+            if abs(bval) <= ABSOLUTE_FLOOR:
+                drift_ok = abs(fval - bval) <= ABSOLUTE_FLOOR
+            else:
+                drift_ok = abs(fval - bval) / abs(bval) <= tolerance
+            if not drift_ok:
+                failures.append(
+                    f"{name} row {i} ({brow[0]!r}) col {j}: "
+                    f"{bcell!r} -> {fcell!r} exceeds tolerance {tolerance:.0%}"
+                )
+    return failures
+
+
+def main():
+    root = Path(__file__).resolve().parent.parent
+    baseline_dir = Path(sys.argv[1]) if len(sys.argv) > 1 else root / "bench-baselines"
+    fresh_dir = (
+        Path(sys.argv[2])
+        if len(sys.argv) > 2
+        else root / "crates" / "bench" / "target" / "bench-results"
+    )
+    tolerance = float(os.environ.get("BENCH_TOLERANCE", "0.25"))
+
+    baselines = sorted(baseline_dir.glob("BENCH_*.json"))
+    if not baselines:
+        print(f"bench gate: no BENCH_*.json baselines in {baseline_dir}", file=sys.stderr)
+        return 1
+
+    compared, skipped, failures = 0, [], []
+    for base_path in baselines:
+        fresh_path = fresh_dir / base_path.name
+        if not fresh_path.exists():
+            skipped.append(base_path.name)
+            continue
+        with open(base_path) as f:
+            base = json.load(f)
+        with open(fresh_path) as f:
+            fresh = json.load(f)
+        file_failures = compare_report(base_path.name, base, fresh, tolerance)
+        failures.extend(file_failures)
+        compared += 1
+        status = "FAIL" if file_failures else "ok"
+        print(f"bench gate: {base_path.name}: {status}")
+
+    for name in skipped:
+        print(f"bench gate: {name}: skipped (no fresh run)")
+    for failure in failures:
+        print(f"bench gate: REGRESSION: {failure}", file=sys.stderr)
+
+    if compared == 0:
+        print("bench gate: nothing compared — did the bench smoke stage run?", file=sys.stderr)
+        return 1
+    if failures:
+        return 1
+    print(f"bench gate: green ({compared} compared, tolerance {tolerance:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

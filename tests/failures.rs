@@ -246,3 +246,119 @@ fn motion_sensor_loss_is_an_absence_not_a_crash() {
         other => panic!("expected a list, got {other}"),
     }
 }
+
+/// The federated-VSR lease race: a shard primary crashes, the lease
+/// expires, and a renewal races the reaper across replicas. Two laws:
+///
+/// 1. A renewal that *failed* (the record was already reaped on the
+///    replica that took over) must not resurrect the record — not even
+///    after the old primary heals and anti-entropy runs.
+/// 2. A renewal that *succeeded* on the promoted backup must survive
+///    the old primary's stale reaper: when the healed primary later
+///    tombstones its (outdated) copy, the tombstone names the old
+///    incarnation and bounces off the renewed record.
+#[test]
+fn vsr_lease_expiry_racing_renew_does_not_resurrect() {
+    use metaware::{catalog, FederationConfig, Middleware, VirtualService, Vsr, VsrClient};
+    use simnet::{Network, Sim};
+
+    let sim = Sim::new(9);
+    let net = Network::ethernet(&sim);
+    let vsr = Vsr::start_federated(
+        &net,
+        &FederationConfig {
+            shards: 1,
+            replicas: 2,
+            replication: 2,
+            ..FederationConfig::default()
+        },
+    );
+    vsr.set_lease_duration(Some(SimDuration::from_secs(60)));
+    let client = VsrClient::new(&net, net.attach("pcm"), vsr.node());
+    let lamp = VirtualService::new("hall-lamp", catalog::lamp(), Middleware::X10, "x10-gw");
+
+    // ---- law 1: expired before the renew arrives -> stays dead ----------
+    client.publish(&lamp).unwrap();
+    let old_primary = vsr.primary_for("hall-lamp");
+    let t0 = sim.now();
+    net.set_fault_plan(FaultPlan::new().node_down(
+        old_primary,
+        t0,
+        t0 + SimDuration::from_secs(120),
+    ));
+    // Past expiry while the primary is down: the renew fails over to
+    // the backup, which reaps the lease first — nothing to renew.
+    sim.advance(SimDuration::from_secs(90));
+    assert!(
+        !client.renew("hall-lamp").unwrap(),
+        "reaped record must not renew"
+    );
+    assert_ne!(
+        vsr.primary_for("hall-lamp"),
+        old_primary,
+        "the renew write promoted the backup"
+    );
+    assert!(client.resolve("hall-lamp").is_err(), "stays dead");
+
+    // Heal and converge: the old primary still holds the record, but
+    // the backup's expiry tombstone wins on sync (it reaped exactly
+    // that incarnation). No resurrection.
+    sim.advance(SimDuration::from_secs(60));
+    net.clear_fault_plan();
+    vsr.sync_now();
+    assert!(
+        client.resolve("hall-lamp").is_err(),
+        "healed old primary must not resurrect the reaped record"
+    );
+    assert_eq!(vsr.service_count(), 0);
+
+    // Republishing (the recovered gateway) brings it back everywhere.
+    client.publish(&lamp).unwrap();
+    assert!(client.resolve("hall-lamp").is_ok());
+    vsr.sync_now();
+    assert_eq!(vsr.replication_lag(), 0);
+
+    // ---- law 2: renewed in time on the backup -> survives the stale
+    // reaper on the healed primary -----------------------------------------
+    let primary_now = vsr.primary_for("hall-lamp");
+    let t1 = sim.now();
+    net.set_fault_plan(FaultPlan::new().node_down(
+        primary_now,
+        t1,
+        t1 + SimDuration::from_secs(65),
+    ));
+    // Renew mid-lease: fails over, promotes, restamps the lease (now
+    // good until t1+90, while the crashed primary's stale copy still
+    // says t1+60).
+    sim.advance(SimDuration::from_secs(30));
+    assert!(client.renew("hall-lamp").unwrap(), "mid-lease renew lands");
+
+    // Heal after the *original* lease deadline has passed but within
+    // the renewed one. The old primary's copy looks expired to it;
+    // poke it directly (reads are served by any shard member, and
+    // serving reaps due leases) so its stale reaper actually fires
+    // before anti-entropy runs.
+    sim.advance(SimDuration::from_secs(40));
+    net.clear_fault_plan();
+    let poker = soap::SoapClient::on_node(
+        &net,
+        net.attach("poker"),
+        soap::CpuModel::default(),
+        soap::TcpModel::default(),
+    );
+    let _ = poker.call(
+        primary_now,
+        &soap::RpcCall::new("urn:vsg:repository", "count").arg("shard", 0i64),
+    );
+
+    // Anti-entropy now reconciles a stale tombstone against the renewed
+    // record: the tombstone names the pre-renewal incarnation, so the
+    // renewal wins on every replica.
+    vsr.sync_now();
+    assert!(
+        client.renew("hall-lamp").unwrap(),
+        "renewed record survives the stale reaper"
+    );
+    assert!(client.resolve("hall-lamp").is_ok());
+    assert_eq!(vsr.service_count(), 1);
+}

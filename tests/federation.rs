@@ -211,3 +211,224 @@ fn context_aware_discovery() {
     let rec = vsr.resolve("hall-lamp").unwrap();
     assert!(rec.contexts.contains(&("room".into(), "hall".into())));
 }
+
+// ---- federated VSR (sharded, replicated) -----------------------------------
+
+mod federated_vsr {
+    use metaware::{
+        catalog, FederationConfig, Middleware, ResiliencePolicy, Soap11, VirtualService, Vsg,
+        VsgProtocol, Vsr, VsrClient,
+    };
+    use proptest::prelude::*;
+    use simnet::{FaultPlan, Network, Sim, SimDuration};
+    use soap::Value;
+    use std::sync::Arc;
+
+    fn service(name: &str) -> VirtualService {
+        VirtualService::new(name, catalog::lamp(), Middleware::X10, "x10-gw")
+    }
+
+    fn cluster(sim: &Sim, shards: u32, replicas: usize) -> (Network, Vsr, VsrClient) {
+        let net = Network::ethernet(sim);
+        let vsr = Vsr::start_federated(
+            &net,
+            &FederationConfig {
+                shards,
+                replicas,
+                replication: 2,
+                ..FederationConfig::default()
+            },
+        );
+        let node = net.attach("pcm");
+        let client = VsrClient::new(&net, node, vsr.node());
+        (net, vsr, client)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// The federation is transparent: any workload of publishes and
+        /// unpublishes gives byte-identical resolve/find results on a
+        /// single-node repository and on a sharded, replicated cluster.
+        #[test]
+        fn resolve_results_identical_one_vs_n_replicas(
+            names in proptest::collection::btree_set("[a-h]{1,3}", 1..12),
+            drop_every in 2usize..5,
+        ) {
+            let sim_a = Sim::new(11);
+            let (_na, _va, single) = cluster(&sim_a, 1, 1);
+            let sim_b = Sim::new(11);
+            let (_nb, vsr_b, fed) = cluster(&sim_b, 4, 3);
+
+            let names: Vec<String> = names.into_iter().collect();
+            for name in &names {
+                single.publish(&service(name)).unwrap();
+                fed.publish(&service(name)).unwrap();
+            }
+            for (i, name) in names.iter().enumerate() {
+                if i % drop_every == 0 {
+                    prop_assert!(single.unpublish(name).unwrap());
+                    prop_assert!(fed.unpublish(name).unwrap());
+                }
+            }
+
+            let on_single: Vec<String> =
+                single.find("%", None).unwrap().into_iter().map(|r| r.name).collect();
+            let on_fed: Vec<String> =
+                fed.find("%", None).unwrap().into_iter().map(|r| r.name).collect();
+            prop_assert_eq!(&on_single, &on_fed, "find('%') diverged");
+            prop_assert_eq!(single.count().unwrap(), fed.count().unwrap());
+            prop_assert_eq!(fed.count().unwrap(), vsr_b.service_count());
+
+            for name in &names {
+                let a = single.resolve(name);
+                let b = fed.resolve(name);
+                match (a, b) {
+                    (Ok(ra), Ok(rb)) => prop_assert_eq!(ra, rb, "record diverged for {}", name),
+                    (Err(_), Err(_)) => {}
+                    (a, b) => prop_assert!(false, "presence diverged for {name}: {a:?} vs {b:?}"),
+                }
+            }
+            prop_assert_eq!(vsr_b.replication_lag(), 0, "eager replication converged");
+        }
+    }
+
+    struct AvailabilityWorld {
+        sim: Sim,
+        net: Network,
+        vsr: Vsr,
+        caller: Vsg,
+    }
+
+    fn availability_world(replicas: usize) -> AvailabilityWorld {
+        let sim = Sim::new(42);
+        let net = Network::ethernet(&sim);
+        let vsr = Vsr::start_federated(
+            &net,
+            &FederationConfig {
+                shards: 4,
+                replicas,
+                replication: 2,
+                ..FederationConfig::default()
+            },
+        );
+        let protocol: Arc<dyn VsgProtocol> = Arc::new(Soap11::new());
+        let server = Vsg::start(&net, "gw-server", protocol.clone(), vsr.node()).unwrap();
+        let caller = Vsg::start(&net, "gw-caller", protocol, vsr.node()).unwrap();
+        server
+            .export(
+                VirtualService::new("chaos-lamp", catalog::lamp(), Middleware::X10, "gw-server"),
+                |_: &Sim, op: &str, _: &[(String, Value)]| match op {
+                    "status" => Ok(Value::Bool(true)),
+                    _ => Ok(Value::Null),
+                },
+            )
+            .unwrap();
+        // Degraded stale-route serving off: every poll must survive on
+        // live repository traffic alone, so the measurement isolates
+        // what *replication* buys, not what the stale cache hides.
+        caller.set_resilience(ResiliencePolicy {
+            degraded_reads: false,
+            ..ResiliencePolicy::default()
+        });
+        AvailabilityWorld {
+            sim,
+            net,
+            vsr,
+            caller,
+        }
+    }
+
+    /// Polls an invoke (route cache cleared first, so each poll rides a
+    /// live VSR resolve) once per `step` over `total`, with the lamp's
+    /// shard primary crashed for two long windows. Returns the success
+    /// ratio.
+    fn poll_through_crash_windows(world: &AvailabilityWorld) -> f64 {
+        let t0 = world.sim.now();
+        let primary = world.vsr.primary_for("chaos-lamp");
+        let at = |s: u64| t0 + SimDuration::from_secs(s);
+        world.net.set_fault_plan(
+            FaultPlan::new()
+                .node_down(primary, at(10), at(20))
+                .node_down(primary, at(30), at(40)),
+        );
+        let step = SimDuration::from_millis(500);
+        let total_steps = 120; // 60 s
+        let mut ok = 0u32;
+        for _ in 0..total_steps {
+            world.sim.advance(step);
+            world.caller.clear_route_cache();
+            if world
+                .caller
+                .invoke(&world.sim, "chaos-lamp", "status", &[])
+                .is_ok()
+            {
+                ok += 1;
+            }
+        }
+        world.net.clear_fault_plan();
+        f64::from(ok) / f64::from(total_steps)
+    }
+
+    /// With replication, crashing a shard primary costs almost nothing:
+    /// reads fail over to the backup, writes promote it. Without
+    /// replication (one replica) the same schedule craters availability.
+    #[test]
+    fn primary_crash_availability_needs_replication() {
+        let replicated = availability_world(3);
+        let ratio_replicated = poll_through_crash_windows(&replicated);
+        assert!(
+            ratio_replicated >= 0.99,
+            "replicated cluster should ride out primary crashes, got {ratio_replicated}"
+        );
+
+        let single = availability_world(1);
+        let ratio_single = poll_through_crash_windows(&single);
+        assert!(
+            ratio_single < 0.99,
+            "a single replica cannot mask its own crash windows, got {ratio_single}"
+        );
+        assert!(
+            ratio_replicated > ratio_single,
+            "replication must strictly improve availability"
+        );
+    }
+
+    /// A write arriving while the primary is down promotes the backup
+    /// (map version bumps); after heal, anti-entropy brings the old
+    /// primary back in sync as a backup.
+    #[test]
+    fn primary_crash_promotes_backup_and_sync_heals() {
+        let sim = Sim::new(5);
+        let (net, vsr, client) = cluster(&sim, 2, 3);
+        client.publish(&service("hall-lamp")).unwrap();
+        let map0 = vsr.shard_map();
+        let shard = map0.shard_of("hall-lamp");
+        let old_primary = map0.primary(shard);
+
+        let t0 = sim.now();
+        net.set_fault_plan(FaultPlan::new().node_down(
+            old_primary,
+            t0,
+            t0 + SimDuration::from_secs(30),
+        ));
+        sim.advance(SimDuration::from_secs(1));
+
+        // A write fails over and promotes.
+        let mut relocated = service("hall-lamp");
+        relocated.gateway = "x10-gw-2".into();
+        client.publish(&relocated).unwrap();
+        let map1 = vsr.shard_map();
+        assert_ne!(map1.primary(shard), old_primary, "backup promoted");
+        assert!(map1.version() > map0.version(), "map version bumped");
+        assert_eq!(client.resolve("hall-lamp").unwrap().gateway, "x10-gw-2");
+
+        // Heal, converge, and verify the old primary caught up.
+        sim.advance(SimDuration::from_secs(60));
+        net.clear_fault_plan();
+        assert!(vsr.replication_lag() > 0, "old primary behind before sync");
+        vsr.sync_now();
+        assert_eq!(vsr.replication_lag(), 0, "anti-entropy healed the lag");
+        assert_eq!(client.resolve("hall-lamp").unwrap().gateway, "x10-gw-2");
+    }
+}
