@@ -50,6 +50,22 @@ for seed in $CHAOS_SEEDS; do
     CHAOS_SEED=$seed cargo test -q --test chaos --test failures
 done
 
+# Parallel determinism: the fleet drill's stdout (availability counts,
+# metrics snapshots, traces) must be byte-identical whether the
+# conservative scheduler runs on 1 worker thread or 4, for every seed
+# of the chaos matrix.
+stage "parallel determinism (SIM_THREADS=1 vs 4)"
+cargo build -q --example fleet_drill
+for seed in $CHAOS_SEEDS; do
+    CHAOS_SEED=$seed SIM_THREADS=1 cargo run -q --example fleet_drill \
+        >"target/fleet_drill_t1_$seed.txt" 2>/dev/null
+    CHAOS_SEED=$seed SIM_THREADS=4 cargo run -q --example fleet_drill \
+        >"target/fleet_drill_t4_$seed.txt" 2>/dev/null
+    diff "target/fleet_drill_t1_$seed.txt" "target/fleet_drill_t4_$seed.txt" \
+        || { echo "parallel determinism broken for seed $seed" >&2; exit 1; }
+    echo "seed $seed: identical"
+done
+
 stage "cargo bench --no-run (benches compile)"
 cargo bench --workspace --no-run -q
 
@@ -65,6 +81,13 @@ cargo bench -p bench --bench e14_throughput -- --test
 # that a single replica doesn't), and that anti-entropy converges.
 stage "e15 federated VSR smoke (threshold assertions)"
 cargo bench -p bench --bench e15_vsr_scale -- --test
+
+# E16 smoke run: asserts metrics snapshots and scheduler statistics
+# are bit-for-bit identical at 1/2/4 worker threads, and (on hosts
+# with >= 4 cores) that 4 threads give >= 2.5x wall-clock throughput
+# on the independent-homes topology. Emits BENCH_parallel.json.
+stage "e16 parallel fleet smoke (determinism + scaling assertions)"
+cargo bench -p bench --bench e16_parallel -- --test
 
 stage "cargo doc --no-deps (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace -q

@@ -90,6 +90,10 @@ pub struct FederationConfig {
     /// Period of the anti-entropy exchange (armed by
     /// `SmartHomeBuilder` when the cluster has more than one replica).
     pub sync_interval: SimDuration,
+    /// Extra delay before the first anti-entropy pass. Defaults to
+    /// zero; fleets stagger this per island so that thousands of homes
+    /// don't all sync at the same virtual instant.
+    pub sync_phase: SimDuration,
 }
 
 impl Default for FederationConfig {
@@ -99,6 +103,7 @@ impl Default for FederationConfig {
             replicas: 1,
             replication: 2,
             sync_interval: SimDuration::from_secs(2),
+            sync_phase: SimDuration::ZERO,
         }
     }
 }

@@ -1,0 +1,238 @@
+//! A fleet of independent smart homes advanced in lockstep on the
+//! conservative parallel scheduler.
+//!
+//! Each home is one *island*: a complete `SmartHome` (backbone, VSR,
+//! middleware networks) living on its own [`simnet::Sim`] with its own event
+//! queue and RNG stream. Homes never exchange frames, so the islands
+//! are uncoupled and [`ParSim`] can run them on worker threads with an
+//! unbounded lookahead window. Results — metrics snapshots, traces,
+//! chaos outcomes — are a pure function of the builder configuration
+//! and the seed, never of the thread count.
+
+use crate::error::MetaError;
+use crate::home::{SmartHome, SmartHomeBuilder};
+use crate::metrics::MetricsSnapshot;
+use simnet::{FaultPlan, ParRunStats, ParSim, SimDuration, SimTime};
+
+/// Many identically configured [`SmartHome`]s, one per island,
+/// stepped together under deterministic virtual time.
+pub struct HomeFleet {
+    homes: Vec<SmartHome>,
+    par: ParSim,
+}
+
+impl HomeFleet {
+    /// Builds `n` homes from `builder` — home `i` becomes island `i`.
+    ///
+    /// The worker thread count comes from
+    /// [`SmartHomeBuilder::threads`] when set, else the `SIM_THREADS`
+    /// environment variable, else 1.
+    pub fn build(builder: SmartHomeBuilder, n: usize) -> Result<HomeFleet, MetaError> {
+        HomeFleet::build_with(builder, n, |_, b| b)
+    }
+
+    /// Like [`HomeFleet::build`], but lets `tweak` adjust the cloned
+    /// builder per island — e.g. staggering the anti-entropy phase
+    /// with [`SmartHomeBuilder::vsr_sync_phase`] so homes don't all
+    /// sync at the same virtual instant.
+    pub fn build_with(
+        builder: SmartHomeBuilder,
+        n: usize,
+        mut tweak: impl FnMut(u32, SmartHomeBuilder) -> SmartHomeBuilder,
+    ) -> Result<HomeFleet, MetaError> {
+        let threads = builder.configured_threads().unwrap_or_else(env_threads);
+        let mut par = ParSim::new(threads);
+        let mut homes = Vec::with_capacity(n);
+        for i in 0..n {
+            let island = u32::try_from(i).expect("fleet size fits in u32");
+            let home = tweak(island, builder.clone().island(island)).build()?;
+            par.add_island(home.sim.clone());
+            homes.push(home);
+        }
+        Ok(HomeFleet { homes, par })
+    }
+
+    /// The homes, in island order.
+    pub fn homes(&self) -> &[SmartHome] {
+        &self.homes
+    }
+
+    /// One home by island id.
+    pub fn home(&self, island: usize) -> &SmartHome {
+        &self.homes[island]
+    }
+
+    /// Number of homes (islands).
+    pub fn len(&self) -> usize {
+        self.homes.len()
+    }
+
+    /// True when the fleet holds no homes.
+    pub fn is_empty(&self) -> bool {
+        self.homes.is_empty()
+    }
+
+    /// Worker threads the scheduler was built with.
+    pub fn threads(&self) -> usize {
+        self.par.threads()
+    }
+
+    /// The underlying parallel scheduler.
+    pub fn par(&self) -> &ParSim {
+        &self.par
+    }
+
+    /// Advances every home to `deadline` (virtual time).
+    pub fn run_until(&self, deadline: SimTime) -> ParRunStats {
+        self.par.run_until(deadline)
+    }
+
+    /// Advances every home by `d` past the latest island clock.
+    pub fn run_for(&self, d: SimDuration) -> ParRunStats {
+        self.par.run_for(d)
+    }
+
+    /// Enables or disables tracing on every home.
+    pub fn set_tracing(&self, on: bool) {
+        for home in &self.homes {
+            home.set_tracing(on);
+        }
+    }
+
+    /// Metrics snapshots from every gateway of every home, in island
+    /// order (each snapshot records its island id). Identical for any
+    /// thread count.
+    pub fn metrics_snapshots(&self) -> Vec<MetricsSnapshot> {
+        self.homes
+            .iter()
+            .flat_map(|home| home.metrics_snapshots())
+            .collect()
+    }
+
+    /// Renders every home's traces in island order, separated by a
+    /// per-island header. Identical for any thread count.
+    pub fn render_traces(&self) -> String {
+        let mut out = String::new();
+        for (i, home) in self.homes.iter().enumerate() {
+            out.push_str(&format!("=== island {i} ===\n"));
+            out.push_str(&home.render_traces());
+        }
+        out
+    }
+
+    /// Installs `plan` on every home's backbone, jittered per island
+    /// (deterministically, from `seed`) so faults don't strike every
+    /// home at the same virtual instant. Island 0 gets the plan
+    /// unshifted, preserving single-home baselines.
+    pub fn set_fault_plan_jittered(&self, plan: &FaultPlan, seed: u64, max_jitter: SimDuration) {
+        for (i, home) in self.homes.iter().enumerate() {
+            let island = u32::try_from(i).expect("fleet size fits in u32");
+            home.backbone
+                .set_fault_plan(plan.clone().jittered_for_island(seed, island, max_jitter));
+        }
+    }
+
+    /// One-line JSON describing the execution configuration, for
+    /// bench metadata: thread count, island count, window stats are
+    /// reported by [`ParRunStats`] separately.
+    pub fn metadata_json(&self) -> String {
+        format!(
+            "{{\"threads\":{},\"islands\":{}}}",
+            self.par.threads(),
+            self.homes.len()
+        )
+    }
+}
+
+/// `SIM_THREADS` environment variable, else 1. Invalid or zero values
+/// fall back to 1 rather than erroring — the knob only affects speed.
+pub fn env_threads() -> usize {
+    std::env::var("SIM_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::home::SmartHome;
+    use crate::service::Middleware;
+
+    fn drive(fleet: &HomeFleet, secs: u64) {
+        fleet.run_for(SimDuration::from_secs(secs));
+    }
+
+    #[test]
+    fn fleet_homes_are_decorrelated_but_island_zero_matches_solo() {
+        let fleet = HomeFleet::build(SmartHome::builder().threads(1), 3).expect("fleet builds");
+        let solo = SmartHome::builder().build().expect("solo builds");
+        drive(&fleet, 1);
+        solo.sim.run_for(SimDuration::from_secs(1));
+        let fleet_snaps = fleet.metrics_snapshots();
+        let solo_snaps = solo.metrics_snapshots();
+        // island 0 of the fleet is bit-for-bit the solo home
+        let island0: Vec<_> = fleet_snaps.iter().filter(|s| s.island == 0).collect();
+        assert_eq!(island0.len(), solo_snaps.len());
+        for (a, b) in island0.iter().zip(&solo_snaps) {
+            assert_eq!(a.to_json(), b.to_json());
+        }
+        // other islands carry their own id
+        assert!(fleet_snaps.iter().any(|s| s.island == 2));
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let run = |threads: usize| {
+            let fleet =
+                HomeFleet::build(SmartHome::builder().threads(threads), 4).expect("fleet builds");
+            fleet.set_tracing(true);
+            drive(&fleet, 2);
+            for home in fleet.homes() {
+                home.invoke_from(Middleware::Jini, "hall-lamp", "status", &[])
+                    .expect("cross-middleware call succeeds");
+            }
+            drive(&fleet, 1);
+            let snaps: Vec<String> = fleet
+                .metrics_snapshots()
+                .iter()
+                .map(|s| s.to_json())
+                .collect();
+            (snaps, fleet.render_traces())
+        };
+        let (snaps1, traces1) = run(1);
+        let (snaps4, traces4) = run(4);
+        assert_eq!(snaps1, snaps4);
+        assert_eq!(traces1, traces4);
+    }
+
+    #[test]
+    fn env_threads_parses_and_falls_back() {
+        // don't mutate the process env in tests; just check the parser
+        // path through explicit configuration instead.
+        let fleet = HomeFleet::build(SmartHome::builder().threads(0), 2).expect("fleet builds");
+        assert_eq!(fleet.threads(), 1, "threads(0) clamps to 1");
+        assert_eq!(fleet.metadata_json(), "{\"threads\":1,\"islands\":2}");
+    }
+
+    #[test]
+    fn staggered_sync_phase_shifts_anti_entropy_per_island() {
+        let fleet = HomeFleet::build_with(
+            SmartHome::builder().threads(1).vsr_replicas(2),
+            2,
+            |island, b| b.vsr_sync_phase(SimDuration::from_millis(u64::from(island) * 17)),
+        )
+        .expect("fleet builds");
+        drive(&fleet, 5);
+        // both homes keep replicating; the phase only shifts when the
+        // first pass happens, not whether it happens.
+        for home in fleet.homes() {
+            assert!(home
+                .vsr_sync_timer
+                .as_ref()
+                .expect("timer armed")
+                .is_active());
+        }
+    }
+}

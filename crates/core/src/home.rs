@@ -165,7 +165,9 @@ pub struct SmartHome {
     pub vsr_sync_timer: Option<simnet::RepeatHandle>,
 }
 
-/// Builder for [`SmartHome`].
+/// Builder for [`SmartHome`]. Cloneable so a fleet can stamp out many
+/// identically configured homes, varying only the island id.
+#[derive(Clone)]
 pub struct SmartHomeBuilder {
     seed: u64,
     protocol: Arc<dyn VsgProtocol>,
@@ -183,6 +185,9 @@ pub struct SmartHomeBuilder {
     vsr_replicas: usize,
     vsr_shards: u32,
     vsr_sync: SimDuration,
+    vsr_sync_phase: SimDuration,
+    island: u32,
+    threads: Option<usize>,
 }
 
 /// Shorthand used throughout: house code from a letter.
@@ -215,6 +220,9 @@ impl SmartHome {
             vsr_replicas: 1,
             vsr_shards: 1,
             vsr_sync: SimDuration::from_secs(2),
+            vsr_sync_phase: SimDuration::ZERO,
+            island: 0,
+            threads: None,
         }
     }
 
@@ -448,9 +456,40 @@ impl SmartHomeBuilder {
         self
     }
 
+    /// Extra delay before the first anti-entropy pass (default zero).
+    /// Fleets set a per-island phase so homes don't all sync at the
+    /// same virtual instant.
+    pub fn vsr_sync_phase(mut self, phase: SimDuration) -> Self {
+        self.vsr_sync_phase = phase;
+        self
+    }
+
+    /// Island id for this home's `Sim` (default 0). Determines the RNG
+    /// stream and the trace/span id well, so every island of a fleet
+    /// is deterministic yet decorrelated. Island 0 with seed `s` is
+    /// bit-for-bit identical to a plain `Sim::new(s)` home.
+    pub fn island(mut self, island: u32) -> Self {
+        self.island = island;
+        self
+    }
+
+    /// Worker threads a fleet built from this builder should use
+    /// (default: the `SIM_THREADS` environment variable, else 1).
+    /// Thread count never changes simulation results — only wall-clock
+    /// time — so this is a pure performance knob.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// The configured thread count, if any (consumed by `HomeFleet`).
+    pub fn configured_threads(&self) -> Option<usize> {
+        self.threads
+    }
+
     /// Assembles the home.
     pub fn build(self) -> Result<SmartHome, MetaError> {
-        let sim = Sim::new(self.seed);
+        let sim = Sim::with_island(self.seed, self.island);
         let backbone = Network::ethernet(&sim);
         let vsr = Vsr::start_federated(
             &backbone,
@@ -458,6 +497,7 @@ impl SmartHomeBuilder {
                 shards: self.vsr_shards,
                 replicas: self.vsr_replicas,
                 sync_interval: self.vsr_sync,
+                sync_phase: self.vsr_sync_phase,
                 ..crate::federation::FederationConfig::default()
             },
         );
@@ -537,9 +577,13 @@ impl SmartHomeBuilder {
         let mut home = home;
         if self.vsr_replicas > 1 {
             let vsr = home.vsr.clone();
-            home.vsr_sync_timer = Some(home.sim.every(self.vsr_sync, move |_sim| {
-                vsr.sync_now();
-            }));
+            home.vsr_sync_timer = Some(home.sim.every_with_phase(
+                self.vsr_sync_phase,
+                self.vsr_sync,
+                move |_sim| {
+                    vsr.sync_now();
+                },
+            ));
         }
         if let Some(period) = self.heartbeat {
             home.heartbeats = home

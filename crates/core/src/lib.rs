@@ -58,6 +58,7 @@ pub mod batch;
 pub mod error;
 pub mod events;
 pub mod federation;
+pub mod fleet;
 pub mod home;
 pub mod iface;
 pub mod metrics;
@@ -77,6 +78,7 @@ pub use batch::{BatchCall, BatchItem, BatchPolicy};
 pub use error::MetaError;
 pub use events::{BridgeStats, PollingBridge, SipPublisher, SipSubscriber};
 pub use federation::{FederationConfig, ShardMap, Version};
+pub use fleet::{env_threads, HomeFleet};
 pub use home::{house, unit, SmartHome, SmartHomeBuilder};
 pub use iface::{catalog, InterfaceCatalog, OpSig, ServiceInterface, TypeTag};
 pub use metrics::{

@@ -355,6 +355,12 @@ pub struct RegistrySnapshot {
 pub struct MetricsSnapshot {
     /// The gateway's name.
     pub gateway: String,
+    /// The simulation island this gateway's home runs on (0 for
+    /// standalone worlds). A pure function of the topology — never of
+    /// the thread count — so snapshots stay byte-identical between
+    /// `SIM_THREADS=1` and `SIM_THREADS=N` while making fleet
+    /// comparisons apples-to-apples.
+    pub island: u32,
     /// Invocation counters and latency histogram.
     pub registry: RegistrySnapshot,
     /// Resolution-cache counters.
@@ -365,7 +371,11 @@ impl MetricsSnapshot {
     /// Hand-rolled JSON (the workspace deliberately has no serde).
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(256);
-        out.push_str(&format!("{{\"gateway\":{}", json_str(&self.gateway)));
+        out.push_str(&format!(
+            "{{\"gateway\":{},\"island\":{}",
+            json_str(&self.gateway),
+            self.island
+        ));
         out.push_str(&format!(",\"invocations\":{}", self.registry.invocations));
         out.push_str(",\"errors\":{");
         for (i, (k, v)) in self.registry.errors.iter().enumerate() {
@@ -691,6 +701,7 @@ mod tests {
         assert_eq!(snap.queue_wait.total_us, 1_540);
         let json = MetricsSnapshot {
             gateway: "gw".into(),
+            island: 0,
             registry: snap,
             cache: CacheStats::default(),
         }
@@ -726,6 +737,7 @@ mod tests {
         );
         let json = MetricsSnapshot {
             gateway: "soap-gw".into(),
+            island: 0,
             registry: snap,
             cache: CacheStats::default(),
         }
@@ -759,6 +771,7 @@ mod tests {
         assert_eq!(snap.replication_lag, vec![(3, 0)]);
         let json = MetricsSnapshot {
             gateway: "jini-gw".into(),
+            island: 0,
             registry: snap,
             cache: CacheStats::default(),
         }
@@ -785,6 +798,7 @@ mod tests {
         reg.record("hall-lamp", 300, Some("type-mismatch"));
         let snap = MetricsSnapshot {
             gateway: "x10-gw".into(),
+            island: 0,
             registry: reg.snapshot(),
             cache: CacheStats {
                 hits: 5,

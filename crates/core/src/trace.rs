@@ -17,21 +17,23 @@
 use parking_lot::Mutex;
 use simnet::{Sim, SimDuration, SimTime};
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-/// Process-wide id wells. Gateways allocate from the same counters so
-/// span ids never collide when the two halves of a trace are merged.
-static NEXT_TRACE: AtomicU64 = AtomicU64::new(1);
-static NEXT_SPAN: AtomicU64 = AtomicU64::new(1);
+// Trace and span ids are drawn from the *simulation world's* serial
+// well ([`Sim::next_serial`]), not process-wide statics: every gateway
+// of one home shares one `Sim`, so the two halves of a cross-gateway
+// trace still never collide, while the id stream is a pure function of
+// that island's own event order — identical under any thread count,
+// and namespaced by island id so fleets cannot collide either.
 
 /// Identity of one end-to-end trace (shared by every hop of one call).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TraceId(pub u64);
 
 impl TraceId {
-    fn next() -> TraceId {
-        TraceId(NEXT_TRACE.fetch_add(1, Ordering::Relaxed))
+    fn next(sim: &Sim) -> TraceId {
+        TraceId(sim.next_serial())
     }
 }
 
@@ -46,8 +48,8 @@ impl fmt::Display for TraceId {
 pub struct SpanId(pub u64);
 
 impl SpanId {
-    fn next() -> SpanId {
-        SpanId(NEXT_SPAN.fetch_add(1, Ordering::Relaxed))
+    fn next(sim: &Sim) -> SpanId {
+        SpanId(sim.next_serial())
     }
 }
 
@@ -270,7 +272,7 @@ impl Tracer {
         let mut stack = self.inner.stack.lock();
         let (trace, parent) = match stack.last() {
             Some(&(t, p)) => (t, Some(p)),
-            None => (TraceId::next(), None),
+            None => (TraceId::next(sim), None),
         };
         self.open(sim, &mut stack, trace, parent, kind, name())
     }
@@ -289,7 +291,7 @@ impl Tracer {
             return SpanHandle::inert();
         }
         let mut stack = self.inner.stack.lock();
-        self.open(sim, &mut stack, TraceId::next(), None, kind, name())
+        self.open(sim, &mut stack, TraceId::next(sim), None, kind, name())
     }
 
     fn open(
@@ -301,7 +303,7 @@ impl Tracer {
         kind: HopKind,
         name: String,
     ) -> SpanHandle {
-        let id = SpanId::next();
+        let id = SpanId::next(sim);
         stack.push((trace, id));
         SpanHandle {
             live: Some(LiveSpan {

@@ -1050,6 +1050,7 @@ impl Vsg {
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
             gateway: self.inner.name.clone(),
+            island: self.inner.backbone.sim().island(),
             registry: self.inner.metrics.snapshot(),
             cache: self.cache_stats(),
         }

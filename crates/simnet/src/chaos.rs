@@ -119,6 +119,31 @@ impl FaultPlan {
         )
     }
 
+    /// Returns the plan with every window shifted `offset` later.
+    /// Used to stagger one scripted fault schedule across a fleet of
+    /// islands so they do not all fail in lockstep.
+    pub fn shifted(mut self, offset: SimDuration) -> FaultPlan {
+        for w in &mut self.windows {
+            w.from += offset;
+            w.until += offset;
+        }
+        self
+    }
+
+    /// Returns the plan staggered for island `island`: windows shift by
+    /// a jitter in `[0, max_jitter)` that is a pure function of
+    /// `(seed, island)`, so per-island chaos schedules replay
+    /// bit-for-bit under any thread count. Island 0 is unshifted,
+    /// keeping pre-fleet single-world runs byte-identical.
+    pub fn jittered_for_island(self, seed: u64, island: u32, max_jitter: SimDuration) -> FaultPlan {
+        if island == 0 || max_jitter.is_zero() {
+            return self;
+        }
+        let span = max_jitter.as_micros();
+        let jitter = crate::rng::SimRng::for_island(seed, island).range(0, span.max(1));
+        self.shifted(SimDuration::from_micros(jitter))
+    }
+
     /// Number of scheduled windows.
     pub fn len(&self) -> usize {
         self.windows.len()
@@ -251,6 +276,29 @@ mod tests {
         assert_eq!(plan.extra_latency_at(t(10)).as_micros(), 300);
         assert_eq!(plan.extra_latency_at(t(60)).as_micros(), 500);
         assert_eq!(plan.extra_latency_at(t(100)).as_micros(), 0);
+    }
+
+    #[test]
+    fn shifted_moves_every_window() {
+        let plan = FaultPlan::new()
+            .node_down(NodeId(1), t(100), t(200))
+            .loss_spike(t(300), t(400), 0.9)
+            .shifted(SimDuration::from_micros(50));
+        assert!(!plan.node_down_at(t(100), NodeId(1)));
+        assert!(plan.node_down_at(t(150), NodeId(1)));
+        assert_eq!(plan.healed_by(), t(450));
+    }
+
+    #[test]
+    fn island_jitter_is_deterministic_and_island_zero_exact() {
+        let base = || FaultPlan::new().loss_spike(t(100), t(200), 0.5);
+        let j = SimDuration::from_micros(1_000);
+        assert_eq!(base().jittered_for_island(7, 0, j), base());
+        let a = base().jittered_for_island(7, 3, j);
+        let b = base().jittered_for_island(7, 3, j);
+        assert_eq!(a, b, "same (seed, island) => same schedule");
+        let from = a.windows()[0].from;
+        assert!(t(100) <= from && from < t(1_100), "jitter within bound");
     }
 
     #[test]

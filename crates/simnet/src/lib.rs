@@ -38,6 +38,7 @@ pub mod link;
 pub mod net;
 pub mod netkind;
 pub mod node;
+pub mod par;
 pub mod rng;
 pub mod sched;
 pub mod sim;
@@ -51,6 +52,7 @@ pub use frame::{Frame, Protocol};
 pub use link::LinkModel;
 pub use net::Network;
 pub use node::{Addr, NodeId};
+pub use par::{Courier, ParRunStats, ParSim};
 pub use rng::SimRng;
 pub use sched::TimerId;
 pub use sim::{RepeatHandle, Sim};

@@ -361,6 +361,18 @@ impl Network {
         Ok(response)
     }
 
+    /// Delivers a frame that already paid its transfer cost elsewhere —
+    /// the commit half of a cross-island send. The parallel executor
+    /// charges latency on the *sending* island's clock, buffers the
+    /// frame, and injects it here on the destination island at the
+    /// scheduled delivery time; no further clock advance or loss draw
+    /// happens (the send side already drew against its own RNG stream,
+    /// keeping outcomes independent of the island partitioning).
+    pub fn inject(&self, frame: &Frame) -> SimResult<()> {
+        self.check_up()?;
+        self.deliver(frame)
+    }
+
     fn check_up(&self) -> SimResult<()> {
         if self.is_down() {
             Err(SimError::NetworkDown(self.inner.name.clone()))

@@ -23,6 +23,24 @@ impl SimRng {
         }
     }
 
+    /// Derives the generator for island `island` of a partitioned run.
+    ///
+    /// Island 0 gets exactly the stream `seeded(seed)` would, so
+    /// single-island worlds (every run before the parallel executor
+    /// existed) replay bit-for-bit against their old baselines. Other
+    /// islands mix the island id through a SplitMix64 finalizer so
+    /// their streams are decorrelated but still pure functions of
+    /// `(seed, island)` — independent of thread count or schedule.
+    pub fn for_island(seed: u64, island: u32) -> Self {
+        if island == 0 {
+            return SimRng::seeded(seed);
+        }
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(island)));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        SimRng::seeded(z ^ (z >> 31))
+    }
+
     /// The seed this generator was created with.
     pub fn seed(&self) -> u64 {
         self.seed
@@ -101,6 +119,33 @@ mod tests {
         let mut r = SimRng::seeded(11);
         let hits = (0..10_000).filter(|_| r.chance(0.3)).count();
         assert!((2_700..3_300).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn island_zero_matches_plain_seed() {
+        let mut a = SimRng::seeded(42);
+        let mut b = SimRng::for_island(42, 0);
+        for _ in 0..50 {
+            assert_eq!(a.range(0, 1_000_000), b.range(0, 1_000_000));
+        }
+    }
+
+    #[test]
+    fn island_streams_are_decorrelated_but_reproducible() {
+        let va: Vec<u64> = {
+            let mut r = SimRng::for_island(42, 3);
+            (0..20).map(|_| r.range(0, 1_000_000)).collect()
+        };
+        let vb: Vec<u64> = {
+            let mut r = SimRng::for_island(42, 3);
+            (0..20).map(|_| r.range(0, 1_000_000)).collect()
+        };
+        let vc: Vec<u64> = {
+            let mut r = SimRng::for_island(42, 4);
+            (0..20).map(|_| r.range(0, 1_000_000)).collect()
+        };
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
     }
 
     #[test]

@@ -53,9 +53,19 @@ impl Ord for Entry {
 }
 
 /// The pending-timer queue.
+///
+/// Cancellation is tombstone-based: `cancel` moves the id from the
+/// `live` set into the `cancelled` set, and the entry is discarded when
+/// it bubbles to the top of the heap. Both sets shrink as entries are
+/// popped, so long fleet runs do not accumulate state for timers that
+/// already fired or were already reaped — cancelling a dead id is a
+/// no-op rather than a permanent tombstone.
 #[derive(Default)]
 pub(crate) struct EventQueue {
     heap: BinaryHeap<Entry>,
+    /// Ids of entries still in the heap and not cancelled.
+    live: HashSet<TimerId>,
+    /// Ids of entries still in the heap but cancelled (awaiting reap).
     cancelled: HashSet<TimerId>,
     next_seq: u64,
     next_id: u64,
@@ -73,12 +83,17 @@ impl EventQueue {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Entry { at, seq, id, f });
+        self.live.insert(id);
         id
     }
 
     /// Marks a timer as cancelled. Cancelled timers are skipped on pop.
+    /// Cancelling a timer that already fired (or was already cancelled)
+    /// is a no-op, so the tombstone set stays bounded by the heap size.
     pub fn cancel(&mut self, id: TimerId) {
-        self.cancelled.insert(id);
+        if self.live.remove(&id) {
+            self.cancelled.insert(id);
+        }
     }
 
     /// The firing time of the earliest live timer, if any.
@@ -91,23 +106,47 @@ impl EventQueue {
     pub fn pop_due(&mut self, deadline: SimTime) -> Option<Entry> {
         self.skip_cancelled();
         if self.heap.peek().is_some_and(|e| e.at <= deadline) {
-            self.heap.pop()
+            let e = self.heap.pop();
+            if let Some(entry) = &e {
+                self.live.remove(&entry.id);
+            }
+            e
         } else {
             None
         }
     }
 
-    /// Number of live pending timers.
+    /// Pops the earliest live timer with `at` strictly before `bound`.
+    /// The parallel executor uses this to fire a lookahead window
+    /// half-open on the right, so cross-island deliveries landing *on*
+    /// the window boundary are never executed early.
+    pub fn pop_before(&mut self, bound: SimTime) -> Option<Entry> {
+        self.skip_cancelled();
+        if self.heap.peek().is_some_and(|e| e.at < bound) {
+            let e = self.heap.pop();
+            if let Some(entry) = &e {
+                self.live.remove(&entry.id);
+            }
+            e
+        } else {
+            None
+        }
+    }
+
+    /// Number of live pending timers (tombstones excluded), O(1).
     pub fn len(&self) -> usize {
-        self.heap
-            .iter()
-            .filter(|e| !self.cancelled.contains(&e.id))
-            .count()
+        self.live.len()
+    }
+
+    /// Number of cancelled entries still awaiting reap (diagnostics).
+    pub fn tombstones(&self) -> usize {
+        self.cancelled.len()
     }
 
     /// Discards everything.
     pub fn clear(&mut self) {
         self.heap.clear();
+        self.live.clear();
         self.cancelled.clear();
     }
 
@@ -199,5 +238,48 @@ mod tests {
         q.clear();
         assert_eq!(q.len(), 0);
         assert!(q.peek_time().is_none());
+    }
+
+    #[test]
+    fn cancelling_a_fired_timer_leaves_no_tombstone() {
+        let mut q = EventQueue::new();
+        let a = q.push(SimTime::from_micros(1), noop());
+        assert_eq!(q.pop_due(SimTime::MAX).unwrap().id, a);
+        q.cancel(a); // already fired: must not grow the tombstone set
+        assert_eq!(q.tombstones(), 0);
+        q.cancel(a); // idempotent
+        assert_eq!(q.tombstones(), 0);
+    }
+
+    #[test]
+    fn tombstones_are_reaped_on_pop() {
+        let mut q = EventQueue::new();
+        let a = q.push(SimTime::from_micros(1), noop());
+        q.push(SimTime::from_micros(2), noop());
+        q.cancel(a);
+        assert_eq!(q.tombstones(), 1);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop_due(SimTime::MAX).unwrap().at.as_micros(), 2);
+        assert_eq!(q.tombstones(), 0);
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn double_cancel_is_single_tombstone() {
+        let mut q = EventQueue::new();
+        let a = q.push(SimTime::from_micros(5), noop());
+        q.cancel(a);
+        q.cancel(a);
+        assert_eq!(q.tombstones(), 1);
+        assert!(q.pop_due(SimTime::MAX).is_none());
+        assert_eq!(q.tombstones(), 0);
+    }
+
+    #[test]
+    fn pop_before_is_strict() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_micros(10), noop());
+        assert!(q.pop_before(SimTime::from_micros(10)).is_none());
+        assert!(q.pop_before(SimTime::from_micros(11)).is_some());
     }
 }

@@ -22,7 +22,7 @@ use crate::sched::{EventQueue, TimerId};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::Tracer;
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A cheaply clonable handle to one simulation world.
@@ -40,18 +40,35 @@ struct SimInner {
     queue: Mutex<EventQueue>,
     rng: Mutex<SimRng>,
     tracer: Mutex<Tracer>,
+    /// Which island of a partitioned run this world is (0 for
+    /// standalone worlds). Baked into every id drawn from `next_serial`
+    /// so ids are unique fleet-wide without cross-island coordination.
+    island: u32,
+    /// Monotonic well for trace/span/correlation ids. Per-world (not
+    /// process-wide) so id streams depend only on this island's own
+    /// event order — identical under any thread count.
+    serial: AtomicU64,
 }
 
 /// Cancellation handle for a repeating timer created by [`Sim::every`].
 #[derive(Clone)]
 pub struct RepeatHandle {
     alive: Arc<AtomicBool>,
+    sim: Sim,
+    /// The currently scheduled occurrence, so `cancel` can reap it
+    /// eagerly instead of leaving a zombie tick in the queue.
+    current: Arc<Mutex<Option<TimerId>>>,
 }
 
 impl RepeatHandle {
-    /// Stops future repetitions.
+    /// Stops future repetitions and cancels the already-scheduled next
+    /// occurrence, so a stopped repeat leaves nothing behind in the
+    /// event queue (fleet runs stop thousands of heartbeats).
     pub fn cancel(&self) {
         self.alive.store(false, Ordering::SeqCst);
+        if let Some(id) = self.current.lock().take() {
+            self.sim.cancel(id);
+        }
     }
 
     /// True if the repetition has not been cancelled.
@@ -63,14 +80,37 @@ impl RepeatHandle {
 impl Sim {
     /// Creates a world with the given RNG seed.
     pub fn new(seed: u64) -> Self {
+        Sim::with_island(seed, 0)
+    }
+
+    /// Creates island `island` of a partitioned run. The RNG stream is
+    /// derived deterministically from `(seed, island)` — see
+    /// [`SimRng::for_island`] — and island 0 is indistinguishable from
+    /// `Sim::new(seed)`.
+    pub fn with_island(seed: u64, island: u32) -> Self {
         Sim {
             inner: Arc::new(SimInner {
                 clock: Mutex::new(SimTime::ZERO),
                 queue: Mutex::new(EventQueue::new()),
-                rng: Mutex::new(SimRng::seeded(seed)),
+                rng: Mutex::new(SimRng::for_island(seed, island)),
                 tracer: Mutex::new(Tracer::default()),
+                island,
+                serial: AtomicU64::new(0),
             }),
         }
+    }
+
+    /// The island id this world was created with (0 for standalone).
+    pub fn island(&self) -> u32 {
+        self.inner.island
+    }
+
+    /// Draws the next id from this world's serial well, namespaced by
+    /// island: `(island << 40) | serial`. Deterministic because it
+    /// depends only on this island's own event order.
+    pub fn next_serial(&self) -> u64 {
+        let serial = self.inner.serial.fetch_add(1, Ordering::Relaxed);
+        (u64::from(self.inner.island) << 40) | (serial & ((1 << 40) - 1))
     }
 
     // ---- clock ----------------------------------------------------------
@@ -110,28 +150,48 @@ impl Sim {
     /// Runs `f` every `period`, starting one period from now, until the
     /// returned handle is cancelled.
     pub fn every(&self, period: SimDuration, f: impl FnMut(&Sim) + Send + 'static) -> RepeatHandle {
+        self.every_with_phase(SimDuration::ZERO, period, f)
+    }
+
+    /// Like [`Sim::every`], but the first firing is `phase + period`
+    /// from now. Fleets use a per-island phase to stagger identical
+    /// periodic work (anti-entropy, heartbeats) so thousands of homes
+    /// don't all act at the same virtual instant.
+    pub fn every_with_phase(
+        &self,
+        phase: SimDuration,
+        period: SimDuration,
+        f: impl FnMut(&Sim) + Send + 'static,
+    ) -> RepeatHandle {
         assert!(!period.is_zero(), "repeating timer period must be non-zero");
         let alive = Arc::new(AtomicBool::new(true));
+        let current = Arc::new(Mutex::new(None));
         let handle = RepeatHandle {
             alive: alive.clone(),
+            sim: self.clone(),
+            current: current.clone(),
         };
         fn arm(
             sim: &Sim,
+            delay: SimDuration,
             period: SimDuration,
             alive: Arc<AtomicBool>,
+            current: Arc<Mutex<Option<TimerId>>>,
             mut f: impl FnMut(&Sim) + Send + 'static,
         ) {
-            sim.schedule_in(period, move |sim| {
+            let slot = current.clone();
+            let id = sim.schedule_in(delay, move |sim| {
                 if !alive.load(Ordering::SeqCst) {
                     return;
                 }
                 f(sim);
                 if alive.load(Ordering::SeqCst) {
-                    arm(sim, period, alive, f);
+                    arm(sim, period, period, alive, current, f);
                 }
             });
+            *slot.lock() = Some(id);
         }
-        arm(self, period, alive, f);
+        arm(self, phase + period, period, alive, current, f);
         handle
     }
 
@@ -140,9 +200,15 @@ impl Sim {
         self.inner.queue.lock().cancel(id);
     }
 
-    /// Number of live pending timers.
+    /// Number of live pending timers (cancelled tombstones excluded).
     pub fn pending_timers(&self) -> usize {
         self.inner.queue.lock().len()
+    }
+
+    /// Number of cancelled-timer tombstones still awaiting reap. Stays
+    /// bounded by the heap size; exposed for leak diagnostics.
+    pub fn timer_tombstones(&self) -> usize {
+        self.inner.queue.lock().tombstones()
     }
 
     /// The firing time of the earliest pending timer, if any.
@@ -176,6 +242,33 @@ impl Sim {
     /// Equivalent to `run_until(now + d)`.
     pub fn run_for(&self, d: SimDuration) {
         self.run_until(self.now() + d);
+    }
+
+    /// Fires all timers due strictly before `bound`, in order, leaving
+    /// the clock on the last event fired (it is *not* advanced to
+    /// `bound`). This is the lookahead-window pump used by the parallel
+    /// executor: windows are half-open on the right so a cross-island
+    /// delivery scheduled exactly on the boundary is never fired early,
+    /// and the clock is left free for the next window's events.
+    /// Returns the number of events fired.
+    pub fn run_window(&self, bound: SimTime) -> usize {
+        let mut fired = 0;
+        loop {
+            let entry = self.inner.queue.lock().pop_before(bound);
+            match entry {
+                Some(e) => {
+                    {
+                        let mut clock = self.inner.clock.lock();
+                        if *clock < e.at {
+                            *clock = e.at;
+                        }
+                    }
+                    (e.f)(self);
+                    fired += 1;
+                }
+                None => return fired,
+            }
+        }
     }
 
     /// Fires timers until the queue is empty (or `max_events` fired),
@@ -332,6 +425,22 @@ mod tests {
     }
 
     #[test]
+    fn cancelling_a_repeat_reaps_the_pending_tick() {
+        let sim = Sim::new(1);
+        let handle = sim.every(SimDuration::from_millis(10), |_| {});
+        sim.run_for(SimDuration::from_millis(25));
+        assert_eq!(sim.pending_timers(), 1);
+        handle.cancel();
+        assert_eq!(sim.pending_timers(), 0, "pending tick is cancelled eagerly");
+        sim.run_for(SimDuration::from_millis(50));
+        assert_eq!(
+            sim.timer_tombstones(),
+            0,
+            "tombstone reaped once time passes it"
+        );
+    }
+
+    #[test]
     fn drain_respects_event_budget() {
         let sim = Sim::new(1);
         for i in 1..=10u64 {
@@ -361,6 +470,56 @@ mod tests {
             assert_eq!(e.at, SimTime::from_micros(3_000));
             assert_eq!(e.component, "test");
         });
+    }
+
+    #[test]
+    fn run_window_is_strict_and_leaves_clock_on_last_event() {
+        let sim = Sim::new(1);
+        let log = Arc::new(Mutex::new(Vec::new()));
+        for delay in [10u64, 20, 30] {
+            let log = log.clone();
+            sim.schedule_in(SimDuration::from_micros(delay), move |sim| {
+                log.lock().push(sim.now().as_micros());
+            });
+        }
+        // Half-open window: the event at t=30 is on the bound → not fired.
+        assert_eq!(sim.run_window(SimTime::from_micros(30)), 2);
+        assert_eq!(*log.lock(), vec![10, 20]);
+        assert_eq!(sim.now(), SimTime::from_micros(20));
+        assert_eq!(sim.run_window(SimTime::from_micros(31)), 1);
+        assert_eq!(sim.now(), SimTime::from_micros(30));
+    }
+
+    #[test]
+    fn island_identity_and_serial_well() {
+        let a = Sim::with_island(42, 0);
+        let b = Sim::with_island(42, 3);
+        assert_eq!(a.island(), 0);
+        assert_eq!(b.island(), 3);
+        assert_eq!(a.next_serial(), 0);
+        assert_eq!(a.next_serial(), 1);
+        assert_eq!(b.next_serial(), 3u64 << 40);
+        assert_eq!(b.next_serial(), (3u64 << 40) | 1);
+    }
+
+    #[test]
+    fn island_zero_rng_matches_plain_new() {
+        let a = Sim::new(7);
+        let b = Sim::with_island(7, 0);
+        let va: Vec<u64> = (0..10).map(|_| a.with_rng(|r| r.range(0, 100))).collect();
+        let vb: Vec<u64> = (0..10).map(|_| b.with_rng(|r| r.range(0, 100))).collect();
+        assert_eq!(va, vb);
+    }
+
+    #[test]
+    fn tombstones_stay_bounded() {
+        let sim = Sim::new(1);
+        for _ in 0..100 {
+            let id = sim.schedule_in(SimDuration::from_micros(1), |_| {});
+            sim.run_for(SimDuration::from_micros(2));
+            sim.cancel(id); // cancel after it fired: must not accumulate
+        }
+        assert_eq!(sim.timer_tombstones(), 0);
     }
 
     #[test]

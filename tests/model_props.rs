@@ -2,9 +2,12 @@
 //! operation sequences must keep the framework's view and the physical
 //! devices' state in agreement.
 
-use metaware::{BatchCall, BatchItem, BatchPolicy, Middleware, SmartHome, VirtualService};
+use metaware::{
+    BatchCall, BatchItem, BatchPolicy, HomeFleet, Middleware, SmartHome, VirtualService,
+};
 use parking_lot::Mutex;
 use proptest::prelude::*;
+use simnet::{FaultPlan, SimDuration};
 use soap::Value;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -65,8 +68,93 @@ fn arb_batch_item() -> impl Strategy<Value = BatchItem> {
     ]
 }
 
+/// A fleet run's complete observable state at a given worker thread
+/// count: per-island chaos availability counts, every island-tagged
+/// metrics snapshot, and every rendered trace. Any difference between
+/// thread counts is a determinism bug in the parallel scheduler.
+fn fleet_fingerprint(seed: u64, threads: usize) -> (Vec<(u32, u32)>, Vec<String>, String) {
+    let fleet = HomeFleet::build_with(
+        SmartHome::builder()
+            .seed(seed)
+            .threads(threads)
+            .vsr_replicas(2),
+        3,
+        |island, b| b.vsr_sync_phase(SimDuration::from_millis(u64::from(island) * 17)),
+    )
+    .unwrap();
+    for home in fleet.homes() {
+        home.invoke_from(Middleware::Jini, "hall-lamp", "status", &[])
+            .unwrap();
+    }
+    fleet.set_tracing(true);
+
+    let t0 = fleet.home(0).sim.now();
+    let plan = FaultPlan::new().loss_spike(
+        t0 + SimDuration::from_millis(100),
+        t0 + SimDuration::from_millis(600),
+        0.8,
+    );
+    fleet.set_fault_plan_jittered(&plan, seed, SimDuration::from_millis(250));
+
+    let mut avail = Vec::new();
+    for home in fleet.homes() {
+        let (mut ok, mut err) = (0u32, 0u32);
+        for i in 0..6u64 {
+            let target = t0 + SimDuration::from_millis(i * 200);
+            if home.sim.now() < target {
+                home.sim.advance(target.since(home.sim.now()));
+            }
+            match home.invoke_from(Middleware::Jini, "hall-lamp", "status", &[]) {
+                Ok(_) => ok += 1,
+                Err(_) => err += 1,
+            }
+        }
+        avail.push((ok, err));
+    }
+    // Drain periodic timers (anti-entropy, mux flushes) on the
+    // parallel scheduler itself.
+    fleet.run_for(SimDuration::from_secs(3));
+    (
+        avail,
+        fleet
+            .metrics_snapshots()
+            .iter()
+            .map(|s| s.to_json())
+            .collect(),
+        fleet.render_traces(),
+    )
+}
+
+/// The chaos seed matrix CI replays (`CHAOS_SEED` narrows it to one):
+/// 1-thread and 4-thread runs must be bit-for-bit identical.
+#[test]
+fn parallel_determinism_over_seed_matrix() {
+    let seeds: Vec<u64> = std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .map(|s| vec![s])
+        .unwrap_or_else(|| vec![1, 7, 1234]);
+    for seed in seeds {
+        let sequential = fleet_fingerprint(seed, 1);
+        let parallel = fleet_fingerprint(seed, 4);
+        assert_eq!(
+            sequential, parallel,
+            "seed {seed}: worker thread count changed observable state"
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Conservative parallel execution is invisible: for any seed, a
+    /// 4-thread fleet run fingerprints identically to a 1-thread run.
+    #[test]
+    fn parallel_execution_is_invisible(seed in 0u64..1_000_000) {
+        let sequential = fleet_fingerprint(seed, 1);
+        let parallel = fleet_fingerprint(seed, 4);
+        prop_assert_eq!(sequential, parallel);
+    }
 
     /// Whatever sequence of cross-island switches happens, the physical
     /// module, the PCM's shadow, and every island's queried view agree.

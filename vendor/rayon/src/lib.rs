@@ -1,0 +1,254 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! shim provides the small slice of `rayon` the workspace actually
+//! uses: `ThreadPoolBuilder` → `ThreadPool` → `scope`/`spawn`. It is a
+//! fixed-size worker pool over `std::thread` with a shared injector
+//! queue — no work stealing, no parallel iterators. One deliberate
+//! deviation from the real crate: `Scope::spawn` takes a plain
+//! `FnOnce() + Send + 'static` (no `&Scope` argument and no borrowed
+//! captures), which is all the conservative simulation executor needs
+//! since it hands each worker cheap `'static` clones of island
+//! handles.
+
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+
+type Job = Box<dyn FnOnce() + Send>;
+
+struct Injector {
+    queue: Mutex<VecDeque<Job>>,
+    /// Signalled when a job is pushed or the pool shuts down.
+    work: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl Injector {
+    fn push(&self, job: Job) {
+        self.queue.lock().unwrap().push_back(job);
+        self.work.notify_one();
+    }
+
+    fn pop_blocking(&self) -> Option<Job> {
+        let mut queue = self.queue.lock().unwrap();
+        loop {
+            if let Some(job) = queue.pop_front() {
+                return Some(job);
+            }
+            if self.shutdown.load(Ordering::SeqCst) {
+                return None;
+            }
+            queue = self.work.wait(queue).unwrap();
+        }
+    }
+}
+
+/// Configures and builds a [`ThreadPool`], mirroring rayon's builder.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with default configuration.
+    pub fn new() -> ThreadPoolBuilder {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Sets the number of worker threads (0 = one per available core).
+    pub fn num_threads(mut self, n: usize) -> ThreadPoolBuilder {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool, spawning its workers.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            thread::available_parallelism().map_or(1, |p| p.get())
+        } else {
+            self.num_threads
+        };
+        let injector = Arc::new(Injector {
+            queue: Mutex::new(VecDeque::new()),
+            work: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let workers = (0..n)
+            .map(|i| {
+                let injector = injector.clone();
+                thread::Builder::new()
+                    .name(format!("pool-worker-{i}"))
+                    .spawn(move || {
+                        while let Some(job) = injector.pop_blocking() {
+                            job();
+                        }
+                    })
+                    .map_err(|e| ThreadPoolBuildError(e.to_string()))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ThreadPool { injector, workers })
+    }
+}
+
+/// Error building a [`ThreadPool`] (worker thread spawn failed).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(String);
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "thread pool build failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A fixed set of worker threads fed from one shared queue.
+pub struct ThreadPool {
+    injector: Arc<Injector>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+struct ScopeState {
+    pending: Mutex<usize>,
+    done: Condvar,
+}
+
+/// Handle for spawning work inside [`ThreadPool::scope`]; the scope
+/// call does not return until every spawned job has finished.
+pub struct Scope<'pool> {
+    pool: &'pool ThreadPool,
+    state: Arc<ScopeState>,
+}
+
+impl Scope<'_> {
+    /// Queues `f` on the pool. Unlike real rayon the closure must be
+    /// `'static`: pass owned handles (e.g. `Arc` clones), not borrows.
+    pub fn spawn<F: FnOnce() + Send + 'static>(&self, f: F) {
+        *self.state.pending.lock().unwrap() += 1;
+        let state = self.state.clone();
+        self.pool.injector.push(Box::new(move || {
+            f();
+            let mut pending = state.pending.lock().unwrap();
+            *pending -= 1;
+            if *pending == 0 {
+                state.done.notify_all();
+            }
+        }));
+    }
+}
+
+impl ThreadPool {
+    /// Number of worker threads in the pool.
+    pub fn current_num_threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Runs `f`, then blocks until every job it spawned has completed.
+    pub fn scope<R>(&self, f: impl FnOnce(&Scope<'_>) -> R) -> R {
+        let scope = Scope {
+            pool: self,
+            state: Arc::new(ScopeState {
+                pending: Mutex::new(0),
+                done: Condvar::new(),
+            }),
+        };
+        let result = f(&scope);
+        let mut pending = scope.state.pending.lock().unwrap();
+        while *pending > 0 {
+            pending = scope.state.done.wait(pending).unwrap();
+        }
+        result
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.injector.shutdown.store(true, Ordering::SeqCst);
+        self.injector.work.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("threads", &self.workers.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn scope_runs_all_jobs_before_returning() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let count = Arc::new(AtomicU64::new(0));
+        pool.scope(|s| {
+            for _ in 0..100 {
+                let count = count.clone();
+                s.spawn(move || {
+                    count.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn sequential_scopes_reuse_workers() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 2);
+        let total = Arc::new(AtomicU64::new(0));
+        for round in 1..=3u64 {
+            let before = total.load(Ordering::SeqCst);
+            pool.scope(|s| {
+                for _ in 0..10 {
+                    let total = total.clone();
+                    s.spawn(move || {
+                        total.fetch_add(round, Ordering::SeqCst);
+                    });
+                }
+            });
+            assert_eq!(total.load(Ordering::SeqCst), before + 10 * round);
+        }
+    }
+
+    #[test]
+    fn empty_scope_returns_immediately() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let out = pool.scope(|_| 42);
+        assert_eq!(out, 42);
+    }
+
+    #[test]
+    fn zero_threads_defaults_to_available_cores() {
+        let pool = ThreadPoolBuilder::new().build().unwrap();
+        assert!(pool.current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let hits = Arc::new(AtomicU64::new(0));
+        pool.scope(|s| {
+            for _ in 0..5 {
+                let hits = hits.clone();
+                s.spawn(move || {
+                    hits.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        drop(pool);
+        assert_eq!(hits.load(Ordering::SeqCst), 5);
+    }
+}
