@@ -82,6 +82,12 @@ cargo bench -p bench --bench e14_throughput -- --test
 stage "e15 federated VSR smoke (threshold assertions)"
 cargo bench -p bench --bench e15_vsr_scale -- --test
 
+# E12 smoke run: tracing off/on/sampled ablation plus the sketch-vs-
+# exact quantile rows; asserts the sketch's p99 stays within one
+# bucket of exact. Emits BENCH_obs.json for the gate below.
+stage "e12 observability smoke (sketch/sampling assertions)"
+cargo bench -p bench --bench e12_obs_overhead -- --test
+
 # E16 smoke run: asserts metrics snapshots and scheduler statistics
 # are bit-for-bit identical at 1/2/4 worker threads, and (on hosts
 # with >= 4 cores) that 4 threads give >= 2.5x wall-clock throughput

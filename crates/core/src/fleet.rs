@@ -12,6 +12,7 @@
 use crate::error::MetaError;
 use crate::home::{SmartHome, SmartHomeBuilder};
 use crate::metrics::MetricsSnapshot;
+use crate::obs::{KeptTrace, RecorderStats, SamplePolicy};
 use simnet::{FaultPlan, ParRunStats, ParSim, SimDuration, SimTime};
 
 /// Many identically configured [`SmartHome`]s, one per island,
@@ -109,6 +110,66 @@ impl HomeFleet {
             .collect()
     }
 
+    /// One snapshot for the whole fleet: every gateway of every home
+    /// merged bucket-wise into a single `fleet` snapshot. Cost is
+    /// O(homes × buckets), not O(samples) — aggregate p50/p99 and
+    /// error rates at a thousand homes stay cheap. Identical for any
+    /// thread count.
+    pub fn fleet_snapshot(&self) -> MetricsSnapshot {
+        let mut merged = MetricsSnapshot::empty("fleet", 0);
+        for snap in self.metrics_snapshots() {
+            merged.merge_from(&snap);
+        }
+        merged
+    }
+
+    /// Installs `policy` on every home's flight recorder.
+    pub fn set_sampling(&self, policy: SamplePolicy) {
+        for home in &self.homes {
+            home.set_sampling(policy);
+        }
+    }
+
+    /// Harvests every home's completed spans into its flight recorder,
+    /// island order. Returns the fleet-wide keep/drop counters summed
+    /// across homes. Identical for any thread count.
+    pub fn harvest_traces(&self) -> RecorderStats {
+        let mut total = RecorderStats::default();
+        for home in &self.homes {
+            let stats = home.harvest_traces();
+            total.seen += stats.seen;
+            total.kept += stats.kept;
+            total.sampled_out += stats.sampled_out;
+            total.evicted += stats.evicted;
+        }
+        total
+    }
+
+    /// Drains every home's flight recorder, island-ordered: all of
+    /// island 0's kept traces, then island 1's, and so on.
+    pub fn drain_flight(&self) -> Vec<KeptTrace> {
+        self.homes
+            .iter()
+            .flat_map(|home| home.drain_flight())
+            .collect()
+    }
+
+    /// Exports every gateway's metrics, island-ordered, in OpenMetrics
+    /// text format. Identical for any thread count.
+    pub fn export_openmetrics(&self) -> String {
+        crate::obs::openmetrics(&self.metrics_snapshots())
+    }
+
+    /// Exports all snapshots plus every home's currently kept traces
+    /// as JSON lines, island-ordered, without draining the recorders.
+    pub fn export_events_jsonl(&self) -> String {
+        let mut out = String::new();
+        for home in &self.homes {
+            out.push_str(&home.export_events_jsonl());
+        }
+        out
+    }
+
     /// Renders every home's traces in island order, separated by a
     /// per-island header. Identical for any thread count.
     pub fn render_traces(&self) -> String {
@@ -130,6 +191,18 @@ impl HomeFleet {
             home.backbone
                 .set_fault_plan(plan.clone().jittered_for_island(seed, island, max_jitter));
         }
+    }
+
+    /// Deterministic per-island profiler lines (windows, events,
+    /// commits — never wall clock), one per home, newline-terminated.
+    /// Safe to print in thread-count-diffed output.
+    pub fn profile_lines(&self) -> String {
+        let mut out = String::new();
+        for (i, p) in self.par.profiles().iter().enumerate() {
+            out.push_str(&p.deterministic_line(i));
+            out.push('\n');
+        }
+        out
     }
 
     /// One-line JSON describing the execution configuration, for

@@ -13,6 +13,7 @@
 use crate::batch::BatchPolicy;
 use crate::error::MetaError;
 use crate::iface::{catalog, InterfaceCatalog};
+use crate::obs::{FlightRecorder, KeptTrace, SamplePolicy};
 use crate::pcm::havi::HaviPcm;
 use crate::pcm::jini::JiniPcm;
 use crate::pcm::mail::MailPcm;
@@ -163,6 +164,10 @@ pub struct SmartHome {
     /// Handle of the VSR anti-entropy timer, armed automatically when
     /// the repository runs with more than one replica.
     pub vsr_sync_timer: Option<simnet::RepeatHandle>,
+    /// The home's flight recorder: a bounded ring of sampled traces
+    /// (see [`crate::obs`]). One per home, not per gateway, because a
+    /// single trace crosses gateways.
+    flight: Mutex<FlightRecorder>,
 }
 
 /// Builder for [`SmartHome`]. Cloneable so a fleet can stamp out many
@@ -320,6 +325,56 @@ impl SmartHome {
             .into_iter()
             .map(|vsg| vsg.metrics_snapshot())
             .collect()
+    }
+
+    /// One snapshot for the whole home: every gateway's registry merged
+    /// bucket-wise into a single `home` snapshot. O(buckets) memory no
+    /// matter how many invocations the gateways served.
+    pub fn merged_snapshot(&self) -> crate::metrics::MetricsSnapshot {
+        let island = self.sim.island();
+        let mut merged = crate::metrics::MetricsSnapshot::empty("home", island);
+        for snap in self.metrics_snapshots() {
+            merged.merge_from(&snap);
+        }
+        merged
+    }
+
+    /// Replaces the flight recorder's sampling policy (head rate, tail
+    /// rescue width, ring capacity). Traces already kept stay kept.
+    pub fn set_sampling(&self, policy: SamplePolicy) {
+        self.flight.lock().set_policy(policy);
+    }
+
+    /// Drains completed spans from every tracer and runs them through
+    /// the flight recorder's keep/drop rules. Returns the recorder's
+    /// running stats after the harvest.
+    pub fn harvest_traces(&self) -> crate::obs::RecorderStats {
+        let spans = self.take_spans();
+        let mut flight = self.flight.lock();
+        flight.harvest(spans);
+        flight.stats()
+    }
+
+    /// Drains the kept traces out of the flight recorder, oldest first.
+    pub fn drain_flight(&self) -> Vec<KeptTrace> {
+        self.flight.lock().drain()
+    }
+
+    /// The flight recorder's running keep/drop counters.
+    pub fn flight_stats(&self) -> crate::obs::RecorderStats {
+        self.flight.lock().stats()
+    }
+
+    /// Exports every gateway's metrics in OpenMetrics text format.
+    pub fn export_openmetrics(&self) -> String {
+        crate::obs::openmetrics(&self.metrics_snapshots())
+    }
+
+    /// Exports snapshots plus the currently kept traces as JSON lines,
+    /// without draining the flight recorder.
+    pub fn export_events_jsonl(&self) -> String {
+        let kept: Vec<KeptTrace> = self.flight.lock().kept().cloned().collect();
+        crate::obs::events_jsonl(&self.metrics_snapshots(), &kept)
     }
 
     /// Installs `policy` on every gateway at once (benches flip the
@@ -567,6 +622,7 @@ impl SmartHomeBuilder {
             upnp,
             heartbeats: Vec::new(),
             vsr_sync_timer: None,
+            flight: Mutex::new(FlightRecorder::new(SamplePolicy::default())),
         };
         if let Some(policy) = self.resilience {
             home.set_resilience(policy);

@@ -62,6 +62,7 @@ pub mod fleet;
 pub mod home;
 pub mod iface;
 pub mod metrics;
+pub mod obs;
 pub mod pcm;
 pub mod protocol;
 pub mod proxygen;
@@ -82,8 +83,10 @@ pub use fleet::{env_threads, HomeFleet};
 pub use home::{house, unit, SmartHome, SmartHomeBuilder};
 pub use iface::{catalog, InterfaceCatalog, OpSig, ServiceInterface, TypeTag};
 pub use metrics::{
-    footprint, CacheStats, LatencyHistogram, Measurement, MetricsRegistry, MetricsSnapshot, Probe,
-    RegistrySnapshot,
+    footprint, CacheStats, Measurement, MetricsRegistry, MetricsSnapshot, Probe, RegistrySnapshot,
+};
+pub use obs::{
+    FlightRecorder, HistSketch, KeepReason, KeptTrace, Layer, RecorderStats, SamplePolicy,
 };
 pub use pcm::ProtocolConversionManager;
 pub use protocol::{CompactBinary, SipLike, Soap11, VsgProtocol, VsgRequest};

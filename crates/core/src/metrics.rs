@@ -139,54 +139,17 @@ impl CacheStats {
 
 // ---- the per-gateway metrics registry --------------------------------------
 
-/// Upper bounds (virtual microseconds) of the latency histogram's
-/// buckets; one implicit overflow bucket follows. Spanning 100 µs to
-/// 1 s covers everything from a warm binary-protocol call to a chain of
-/// VSR round trips on the 2002 Java cost model.
-pub const LATENCY_BUCKETS_US: [u64; 8] =
-    [100, 500, 1_000, 5_000, 10_000, 50_000, 100_000, 1_000_000];
-
-/// A fixed-bucket histogram of virtual-time latencies.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct LatencyHistogram {
-    /// `counts[i]` — samples ≤ [`LATENCY_BUCKETS_US`]`[i]`; the last
-    /// slot counts samples above every bound.
-    pub counts: [u64; LATENCY_BUCKETS_US.len() + 1],
-    /// Total samples.
-    pub count: u64,
-    /// Sum of all samples (µs), for mean latency.
-    pub total_us: u64,
-}
-
-impl LatencyHistogram {
-    /// Records one latency sample.
-    pub fn record(&mut self, us: u64) {
-        let slot = LATENCY_BUCKETS_US
-            .iter()
-            .position(|&bound| us <= bound)
-            .unwrap_or(LATENCY_BUCKETS_US.len());
-        self.counts[slot] += 1;
-        self.count += 1;
-        self.total_us += us;
-    }
-
-    /// Mean latency in µs (0.0 with no samples).
-    pub fn mean_us(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.total_us as f64 / self.count as f64
-        }
-    }
-}
+use crate::obs::{HistSketch, Layer, LAYERS};
+use crate::trace::TraceId;
 
 #[derive(Debug, Default)]
 struct MetricsState {
     invocations: u64,
     errors: std::collections::BTreeMap<&'static str, u64>,
     per_service: std::collections::BTreeMap<String, u64>,
-    latency: LatencyHistogram,
-    queue_wait: LatencyHistogram,
+    latency: HistSketch,
+    queue_wait: HistSketch,
+    layers: [HistSketch; LAYERS.len()],
     retries: u64,
     degraded_serves: u64,
     breaker_transitions: u64,
@@ -215,6 +178,20 @@ impl MetricsRegistry {
     /// virtual time; `error_kind` is [`crate::MetaError::kind`] when it
     /// failed.
     pub fn record(&self, service: &str, elapsed_us: u64, error_kind: Option<&'static str>) {
+        self.record_with_exemplar(service, elapsed_us, error_kind, None);
+    }
+
+    /// [`MetricsRegistry::record`] plus an exemplar: the trace id of
+    /// the invocation (when tracing is on), stored on the latency
+    /// bucket the sample lands in so a slow bucket in a fleet-merged
+    /// snapshot points at one concrete kept trace.
+    pub fn record_with_exemplar(
+        &self,
+        service: &str,
+        elapsed_us: u64,
+        error_kind: Option<&'static str>,
+        exemplar: Option<TraceId>,
+    ) {
         let mut st = self.state.lock();
         st.invocations += 1;
         if let Some(kind) = error_kind {
@@ -225,7 +202,24 @@ impl MetricsRegistry {
         } else {
             st.per_service.insert(service.to_owned(), 1);
         }
-        st.latency.record(elapsed_us);
+        st.latency.record_with_exemplar(elapsed_us, exemplar);
+    }
+
+    /// Records `elapsed_us` against one attribution layer (VSR lookup,
+    /// VSG wire, PCM conversion, app body). Always on, like the other
+    /// counters.
+    pub fn record_layer(&self, layer: Layer, elapsed_us: u64) {
+        self.record_layer_with_exemplar(layer, elapsed_us, None);
+    }
+
+    /// [`MetricsRegistry::record_layer`] with a trace-id exemplar.
+    pub fn record_layer_with_exemplar(
+        &self,
+        layer: Layer,
+        elapsed_us: u64,
+        exemplar: Option<TraceId>,
+    ) {
+        self.state.lock().layers[layer.index()].record_with_exemplar(elapsed_us, exemplar);
     }
 
     /// Records one wire-call retry (the resilience layer re-sending
@@ -299,6 +293,7 @@ impl MetricsRegistry {
                 .collect(),
             latency: st.latency,
             queue_wait: st.queue_wait,
+            layers: st.layers,
             retries: st.retries,
             degraded_serves: st.degraded_serves,
             breaker_transitions: st.breaker_transitions,
@@ -324,11 +319,13 @@ pub struct RegistrySnapshot {
     pub errors: Vec<(String, u64)>,
     /// Calls per target service.
     pub per_service: Vec<(String, u64)>,
-    /// Virtual-time latency distribution of invocations.
-    pub latency: LatencyHistogram,
+    /// Virtual-time latency sketch of end-to-end invocations.
+    pub latency: HistSketch,
     /// Time batched calls/events spent queued before their flush
     /// (empty unless batching is enabled).
-    pub queue_wait: LatencyHistogram,
+    pub queue_wait: HistSketch,
+    /// Per-layer latency sketches, indexed by [`Layer::index`].
+    pub layers: [HistSketch; LAYERS.len()],
     /// Wire-call retries performed by the resilience layer.
     pub retries: u64,
     /// Invocations served from a stale route during a VSR outage.
@@ -346,6 +343,82 @@ pub struct RegistrySnapshot {
     /// Replication-lag gauge per shard (records the laggiest backup is
     /// behind its primary by).
     pub replication_lag: Vec<(u32, u64)>,
+}
+
+/// Merges two sorted `(key, count)` vectors, summing on key collision.
+fn merge_counts<K: Ord + Clone>(a: &mut Vec<(K, u64)>, b: &[(K, u64)]) {
+    merge_sorted(a, b, |mine, theirs| *mine += theirs);
+}
+
+fn merge_sorted<K: Ord + Clone, V: Clone>(
+    a: &mut Vec<(K, V)>,
+    b: &[(K, V)],
+    mut collide: impl FnMut(&mut V, &V),
+) {
+    let mut out: Vec<(K, V)> = Vec::with_capacity(a.len() + b.len());
+    let mut i = 0;
+    let mut j = 0;
+    while i < a.len() && j < b.len() {
+        match a[i].0.cmp(&b[j].0) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i].clone());
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j].clone());
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                let mut entry = a[i].clone();
+                collide(&mut entry.1, &b[j].1);
+                out.push(entry);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    *a = out;
+}
+
+impl RegistrySnapshot {
+    /// The latency sketch for one attribution layer.
+    pub fn layer(&self, layer: Layer) -> &HistSketch {
+        &self.layers[layer.index()]
+    }
+
+    /// Folds `other` into `self`: counters add, sketches bucket-merge,
+    /// the replication-lag gauge keeps the worst (max) value per shard
+    /// and breaker gauges collapse to `"mixed"` when homes disagree.
+    /// Associative and commutative except for the `"mixed"` collapse,
+    /// which is still order-independent in its final value.
+    pub fn merge_from(&mut self, other: &RegistrySnapshot) {
+        self.invocations += other.invocations;
+        merge_counts(&mut self.errors, &other.errors);
+        merge_counts(&mut self.per_service, &other.per_service);
+        self.latency.merge(&other.latency);
+        self.queue_wait.merge(&other.queue_wait);
+        for (mine, theirs) in self.layers.iter_mut().zip(&other.layers) {
+            mine.merge(theirs);
+        }
+        self.retries += other.retries;
+        self.degraded_serves += other.degraded_serves;
+        self.breaker_transitions += other.breaker_transitions;
+        merge_sorted(&mut self.breakers, &other.breakers, |mine, theirs| {
+            if *mine != *theirs {
+                *mine = "mixed".to_owned();
+            }
+        });
+        merge_counts(&mut self.shard_ops, &other.shard_ops);
+        self.vsr_failovers += other.vsr_failovers;
+        self.shard_map_refreshes += other.shard_map_refreshes;
+        merge_sorted(
+            &mut self.replication_lag,
+            &other.replication_lag,
+            |mine, theirs| *mine = (*mine).max(*theirs),
+        );
+    }
 }
 
 /// A gateway's full observable state — invocation counters merged with
@@ -368,6 +441,32 @@ pub struct MetricsSnapshot {
 }
 
 impl MetricsSnapshot {
+    /// An empty snapshot to fold others into, labelled `gateway`.
+    /// [`MetricsSnapshot::merge_from`] accumulates per-gateway
+    /// snapshots in O(buckets) memory regardless of sample count.
+    pub fn empty(gateway: &str, island: u32) -> MetricsSnapshot {
+        MetricsSnapshot {
+            gateway: gateway.to_owned(),
+            island,
+            registry: RegistrySnapshot::default(),
+            cache: CacheStats::default(),
+        }
+    }
+
+    /// Folds `other` into `self` (see [`RegistrySnapshot::merge_from`]
+    /// for the per-field rules; cache counters add). The gateway label
+    /// and island id of `self` are kept — a fleet rollup labels itself
+    /// once and absorbs everything else.
+    pub fn merge_from(&mut self, other: &MetricsSnapshot) {
+        self.registry.merge_from(&other.registry);
+        self.cache.hits += other.cache.hits;
+        self.cache.negative_hits += other.cache.negative_hits;
+        self.cache.misses += other.cache.misses;
+        self.cache.evictions += other.cache.evictions;
+        self.cache.invalidations += other.cache.invalidations;
+        self.cache.stale_serves += other.cache.stale_serves;
+    }
+
     /// Hand-rolled JSON (the workspace deliberately has no serde).
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(256);
@@ -391,37 +490,22 @@ impl MetricsSnapshot {
             }
             out.push_str(&format!("{}:{v}", json_str(k)));
         }
-        out.push_str("},\"latency\":{\"bounds_us\":[");
-        for (i, b) in LATENCY_BUCKETS_US.iter().enumerate() {
+        out.push_str("},\"latency\":");
+        out.push_str(&self.registry.latency.to_json());
+        out.push_str(",\"queue_wait\":");
+        out.push_str(&self.registry.queue_wait.to_json());
+        out.push_str(",\"layers\":{");
+        for (i, layer) in LAYERS.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
-            out.push_str(&b.to_string());
+            out.push_str(&format!(
+                "\"{}\":{}",
+                layer.label(),
+                self.registry.layer(*layer).to_json()
+            ));
         }
-        out.push_str("],\"counts\":[");
-        for (i, c) in self.registry.latency.counts.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            out.push_str(&c.to_string());
-        }
-        out.push_str(&format!(
-            "],\"count\":{},\"mean_us\":{:.1}}}",
-            self.registry.latency.count,
-            self.registry.latency.mean_us()
-        ));
-        out.push_str(",\"queue_wait\":{\"counts\":[");
-        for (i, c) in self.registry.queue_wait.counts.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            out.push_str(&c.to_string());
-        }
-        out.push_str(&format!(
-            "],\"count\":{},\"mean_us\":{:.1}}}",
-            self.registry.queue_wait.count,
-            self.registry.queue_wait.mean_us()
-        ));
+        out.push('}');
         out.push_str(&format!(
             ",\"resilience\":{{\"retries\":{},\"degraded_serves\":{},\"breaker_transitions\":{},\"breakers\":{{",
             self.registry.retries, self.registry.degraded_serves, self.registry.breaker_transitions
@@ -660,17 +744,84 @@ mod tests {
     }
 
     #[test]
-    fn latency_histogram_buckets_and_overflow() {
-        let mut h = LatencyHistogram::default();
-        h.record(50); // ≤ 100
-        h.record(100); // ≤ 100 (inclusive bound)
-        h.record(700); // ≤ 1000
-        h.record(2_000_000); // overflow
-        assert_eq!(h.counts[0], 2);
-        assert_eq!(h.counts[2], 1);
-        assert_eq!(h.counts[LATENCY_BUCKETS_US.len()], 1);
+    fn latency_sketch_records_and_means() {
+        let mut h = HistSketch::default();
+        h.record(50);
+        h.record(100);
+        h.record(700);
+        h.record(2_000_000);
         assert_eq!(h.count, 4);
         assert!((h.mean_us() - 500_212.5).abs() < 0.01);
+        assert_eq!(h.min_us(), 50);
+        assert_eq!(h.max_us(), 2_000_000);
+    }
+
+    #[test]
+    fn merged_snapshots_sum_counters_and_sketches() {
+        let a = MetricsRegistry::new();
+        a.record_with_exemplar("lamp", 300, None, Some(TraceId(9)));
+        a.record("lamp", 90, Some("unknown-operation"));
+        a.record_layer(Layer::Wire, 200);
+        a.record_breaker_transition("havi-gw", "open");
+        a.set_replication_lag(1, 3);
+        let b = MetricsRegistry::new();
+        b.record_with_exemplar("vcr", 310, None, Some(TraceId(4)));
+        b.record_layer(Layer::Wire, 220);
+        b.record_breaker_transition("havi-gw", "closed");
+        b.set_replication_lag(1, 7);
+
+        let snap_a = MetricsSnapshot {
+            gateway: "a".into(),
+            island: 0,
+            registry: a.snapshot(),
+            cache: CacheStats {
+                hits: 2,
+                ..CacheStats::default()
+            },
+        };
+        let snap_b = MetricsSnapshot {
+            gateway: "b".into(),
+            island: 1,
+            registry: b.snapshot(),
+            cache: CacheStats {
+                hits: 3,
+                ..CacheStats::default()
+            },
+        };
+        let mut fleet = MetricsSnapshot::empty("fleet", 0);
+        fleet.merge_from(&snap_a);
+        fleet.merge_from(&snap_b);
+        assert_eq!(fleet.gateway, "fleet");
+        assert_eq!(fleet.registry.invocations, 3);
+        assert_eq!(
+            fleet.registry.errors,
+            vec![("unknown-operation".to_owned(), 1)]
+        );
+        assert_eq!(
+            fleet.registry.per_service,
+            vec![("lamp".to_owned(), 2), ("vcr".to_owned(), 1)]
+        );
+        assert_eq!(fleet.registry.latency.count, 3);
+        assert_eq!(fleet.registry.layer(Layer::Wire).count, 2);
+        // both 300 and 310 land in the same power-of-two bucket: the
+        // exemplar min-merges to the smaller trace id
+        assert_eq!(
+            fleet.registry.latency.exemplar(crate::obs::bucket_of(300)),
+            Some(TraceId(4))
+        );
+        // disagreeing breaker gauges collapse to "mixed"
+        assert_eq!(
+            fleet.registry.breakers,
+            vec![("havi-gw".to_owned(), "mixed".to_owned())]
+        );
+        // replication lag keeps the worst shard value
+        assert_eq!(fleet.registry.replication_lag, vec![(1, 7)]);
+        assert_eq!(fleet.cache.hits, 5);
+        // merge order does not matter
+        let mut other = MetricsSnapshot::empty("fleet", 0);
+        other.merge_from(&snap_b);
+        other.merge_from(&snap_a);
+        assert_eq!(fleet.to_json(), other.to_json());
     }
 
     #[test]
@@ -698,7 +849,7 @@ mod tests {
         let snap = reg.snapshot();
         assert_eq!(snap.latency.count, 1);
         assert_eq!(snap.queue_wait.count, 2);
-        assert_eq!(snap.queue_wait.total_us, 1_540);
+        assert!((snap.queue_wait.mean_us() - 770.0).abs() < f64::EPSILON);
         let json = MetricsSnapshot {
             gateway: "gw".into(),
             island: 0,
@@ -811,7 +962,9 @@ mod tests {
             "\"invocations\":1",
             "\"type-mismatch\":1",
             "\"hall-lamp\":1",
-            "\"bounds_us\":[100,",
+            "\"latency\":{\"count\":1",
+            "\"buckets\":{\"9\":1}",
+            "\"layers\":{\"app\":",
             "\"hits\":5",
         ] {
             assert!(json.contains(needle), "missing {needle} in {json}");

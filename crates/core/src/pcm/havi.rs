@@ -265,6 +265,7 @@ impl HaviPcm {
         let ms = self.ms.clone();
         let control = self.control;
         let tracer = self.vsg.tracer().clone();
+        let vsg = self.vsg.clone();
         Arc::new(move |sim, op, args| {
             let (opcode, params) =
                 op_to_fcm(kind, op, args).ok_or_else(|| MetaError::UnknownOperation {
@@ -272,10 +273,16 @@ impl HaviPcm {
                     operation: op.to_owned(),
                 })?;
             let span = tracer.begin(sim, HopKind::PcmConvert, || format!("havi {op}"));
+            let started = sim.now();
             let result = ms
                 .send_ok(control.handle, fcm, opcode, params)
                 .map_err(|e: HaviError| MetaError::native("havi", e))
                 .map(|reply| fcm_reply_to_value(op, &reply));
+            vsg.metrics().record_layer_with_exemplar(
+                crate::obs::Layer::Pcm,
+                (sim.now() - started).as_micros(),
+                span.trace_id(),
+            );
             tracer.end_result(sim, span, &result);
             result
         })

@@ -183,6 +183,7 @@ impl JiniPcm {
         let proxy = RemoteProxy::new(&self.net, self.node, item.proxy.clone());
         let iface = iface.clone();
         let tracer = self.vsg.tracer().clone();
+        let vsg = self.vsg.clone();
         Arc::new(move |sim, op, args| {
             let sig = iface.find(op).ok_or_else(|| MetaError::UnknownOperation {
                 service: iface.name.clone(),
@@ -199,10 +200,16 @@ impl JiniPcm {
                 })
                 .collect();
             let span = tracer.begin(sim, HopKind::PcmConvert, || format!("jini rmi {op}"));
+            let started = sim.now();
             let result = proxy
                 .invoke(op, &jargs)
                 .map(|j| jvalue_to_value(&j))
                 .map_err(|e: JiniError| MetaError::native("jini", e));
+            vsg.metrics().record_layer_with_exemplar(
+                crate::obs::Layer::Pcm,
+                (sim.now() - started).as_micros(),
+                span.trace_id(),
+            );
             tracer.end_result(sim, span, &result);
             result
         })

@@ -47,6 +47,7 @@ impl MailPcm {
     fn import_service(&self, name: &str, client: MailClient) -> Result<(), MetaError> {
         let from = self.home_address.clone();
         let tracer = self.vsg.tracer().clone();
+        let vsg = self.vsg.clone();
         self.vsg.export(
             VirtualService::new(name, catalog::mailer(), Middleware::Mail, self.vsg.name()),
             move |sim: &simnet::Sim, op: &str, args: &[(String, Value)]| {
@@ -58,6 +59,7 @@ impl MailPcm {
                         .ok_or_else(|| MetaError::native("mail", format!("missing '{k}'")))
                 };
                 let span = tracer.begin(sim, HopKind::PcmConvert, || format!("mail {op}"));
+                let started = sim.now();
                 let result = (|| match op {
                     "send" => {
                         let mail = Email::new(
@@ -82,6 +84,11 @@ impl MailPcm {
                         operation: other.to_owned(),
                     }),
                 })();
+                vsg.metrics().record_layer_with_exemplar(
+                    crate::obs::Layer::Pcm,
+                    (sim.now() - started).as_micros(),
+                    span.trace_id(),
+                );
                 tracer.end_result(sim, span, &result);
                 result
             },

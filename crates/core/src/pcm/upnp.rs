@@ -140,6 +140,7 @@ impl UpnpPcm {
     ) -> ProxyTarget {
         let cp = self.cp.clone();
         let tracer = self.vsg.tracer().clone();
+        let vsg = self.vsg.clone();
         Arc::new(move |sim, op, args| {
             let (service_type, action, action_args) =
                 op_to_action(op, args).ok_or_else(|| MetaError::UnknownOperation {
@@ -158,9 +159,15 @@ impl UpnpPcm {
                 .map(|(k, v)| (k.as_str(), v.clone()))
                 .collect();
             let span = tracer.begin(sim, HopKind::PcmConvert, || format!("upnp {action}"));
+            let started = sim.now();
             let result = cp
                 .invoke(device, url, service_type, &action, &refs)
                 .map_err(|e| MetaError::native("upnp", e));
+            vsg.metrics().record_layer_with_exemplar(
+                crate::obs::Layer::Pcm,
+                (sim.now() - started).as_micros(),
+                span.trace_id(),
+            );
             tracer.end_result(sim, span, &result);
             result
         })

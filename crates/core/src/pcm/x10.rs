@@ -150,7 +150,13 @@ impl X10Pcm {
             move |sim: &Sim, op: &str, args: &[(String, Value)]| {
                 let tracer = inner.vsg.tracer();
                 let span = tracer.begin(sim, HopKind::PcmConvert, || format!("x10 {op}"));
+                let started = sim.now();
                 let result = inner.module_invoke(house, unit, op, args);
+                inner.vsg.metrics().record_layer_with_exemplar(
+                    crate::obs::Layer::Pcm,
+                    (sim.now() - started).as_micros(),
+                    span.trace_id(),
+                );
                 tracer.end_result(sim, span, &result);
                 result
             },

@@ -202,6 +202,13 @@ impl SpanHandle {
     pub fn is_live(&self) -> bool {
         self.live.is_some()
     }
+
+    /// The trace this span belongs to (`None` for inert handles).
+    /// Lets instrumentation attach the trace id as a metrics exemplar
+    /// without waiting for the span to complete.
+    pub fn trace_id(&self) -> Option<TraceId> {
+        self.live.as_ref().map(|l| l.trace)
+    }
 }
 
 #[derive(Debug)]
@@ -422,11 +429,39 @@ pub fn trace_ids(spans: &[Span]) -> Vec<TraceId> {
     seen
 }
 
+/// Truncation limits for rendered trace trees, so flight-recorder
+/// dumps of deep retry/batch trees stay readable and bounded. Omitted
+/// subtrees are replaced by an explicit `… +N spans` marker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RenderCaps {
+    /// Maximum tree levels rendered (the root is level 1). Children
+    /// below the last level collapse into a marker.
+    pub max_depth: usize,
+    /// Maximum children rendered per span; the rest collapse into a
+    /// marker counting every omitted descendant.
+    pub max_children: usize,
+}
+
+impl Default for RenderCaps {
+    fn default() -> Self {
+        RenderCaps {
+            max_depth: 12,
+            max_children: 16,
+        }
+    }
+}
+
 /// Renders one trace as an indented text tree, attributing elapsed
 /// virtual time (and wire bytes, where measured) to each hop. Spans
 /// from several gateways may be mixed in `spans`; the renderer stitches
-/// them into one tree via the propagated parent links.
+/// them into one tree via the propagated parent links. Applies the
+/// default [`RenderCaps`]; use [`render_trace_capped`] to choose.
 pub fn render_trace(trace: TraceId, spans: &[Span]) -> String {
+    render_trace_capped(trace, spans, RenderCaps::default())
+}
+
+/// [`render_trace`] with explicit depth/children truncation caps.
+pub fn render_trace_capped(trace: TraceId, spans: &[Span], caps: RenderCaps) -> String {
     let mine: Vec<&Span> = spans.iter().filter(|s| s.trace == trace).collect();
     if mine.is_empty() {
         return format!("trace {trace}: no spans\n");
@@ -456,12 +491,29 @@ pub fn render_trace(trace: TraceId, spans: &[Span]) -> String {
         end - start,
     );
     for (i, root) in roots.iter().enumerate() {
-        render_span(&mut out, root, &mine, "", i + 1 == roots.len());
+        render_span(&mut out, root, &mine, "", i + 1 == roots.len(), 1, caps);
     }
     out
 }
 
-fn render_span(out: &mut String, span: &Span, all: &[&Span], prefix: &str, last: bool) {
+/// Spans in the subtree rooted at `span` (itself included).
+fn subtree_size(span: &Span, all: &[&Span]) -> usize {
+    1 + all
+        .iter()
+        .filter(|s| s.parent == Some(span.id))
+        .map(|s| subtree_size(s, all))
+        .sum::<usize>()
+}
+
+fn render_span(
+    out: &mut String,
+    span: &Span,
+    all: &[&Span],
+    prefix: &str,
+    last: bool,
+    level: usize,
+    caps: RenderCaps,
+) {
     let branch = if last { "└─ " } else { "├─ " };
     out.push_str(prefix);
     out.push_str(branch);
@@ -483,8 +535,25 @@ fn render_span(out: &mut String, span: &Span, all: &[&Span], prefix: &str, last:
     let mut children: Vec<&&Span> = all.iter().filter(|s| s.parent == Some(span.id)).collect();
     children.sort_by_key(|s| (s.start, s.id));
     let child_prefix = format!("{prefix}{}", if last { "   " } else { "│  " });
-    for (i, child) in children.iter().enumerate() {
-        render_span(out, child, all, &child_prefix, i + 1 == children.len());
+    if children.is_empty() {
+        return;
+    }
+    if level >= caps.max_depth {
+        let omitted: usize = children.iter().map(|c| subtree_size(c, all)).sum();
+        out.push_str(&format!("{child_prefix}└─ … +{omitted} spans\n"));
+        return;
+    }
+    let visible = children.len().min(caps.max_children.max(1));
+    let omitted: usize = children[visible..]
+        .iter()
+        .map(|c| subtree_size(c, all))
+        .sum();
+    for (i, child) in children.iter().take(visible).enumerate() {
+        let last_child = i + 1 == visible && omitted == 0;
+        render_span(out, child, all, &child_prefix, last_child, level + 1, caps);
+    }
+    if omitted > 0 {
+        out.push_str(&format!("{child_prefix}└─ … +{omitted} spans\n"));
     }
 }
 
@@ -597,6 +666,45 @@ mod tests {
         assert_eq!(TraceContext::from_wire("junk"), None);
         assert_eq!(TraceContext::from_wire("zz-1"), None);
         assert_eq!(TraceContext::from_wire(""), None);
+    }
+
+    #[test]
+    fn render_caps_truncate_depth_and_fanout_with_markers() {
+        let sim = Sim::new(1);
+        let t = Tracer::new("gw");
+        t.set_enabled(true);
+        // deep chain: 6 nested spans
+        let handles: Vec<_> = (0..6)
+            .map(|i| t.begin(&sim, HopKind::App, || format!("deep{i}")))
+            .collect();
+        for h in handles.into_iter().rev() {
+            t.end(&sim, h);
+        }
+        // wide node: one root with 5 children
+        let root = t.begin(&sim, HopKind::ClientProxy, || "wide".into());
+        for i in 0..5 {
+            let c = t.begin(&sim, HopKind::App, || format!("child{i}"));
+            t.end(&sim, c);
+        }
+        t.end(&sim, root);
+
+        let spans = t.spans();
+        let traces = trace_ids(&spans);
+        let caps = RenderCaps {
+            max_depth: 3,
+            max_children: 2,
+        };
+        let deep = render_trace_capped(traces[0], &spans, caps);
+        assert!(deep.contains("… +3 spans"), "{deep}");
+        assert!(!deep.contains("deep3"), "{deep}");
+        let wide = render_trace_capped(traces[1], &spans, caps);
+        assert!(wide.contains("child0") && wide.contains("child1"), "{wide}");
+        assert!(wide.contains("… +3 spans"), "{wide}");
+        assert!(!wide.contains("child2"), "{wide}");
+        // default caps leave small trees untouched
+        let full = render_trace(traces[1], &spans);
+        assert!(full.contains("child4"), "{full}");
+        assert!(!full.contains('…'), "{full}");
     }
 
     #[test]

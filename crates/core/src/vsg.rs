@@ -9,6 +9,7 @@
 use crate::batch::{BatchItem, BatchPolicy, EVENT_ARG, EVENT_OP};
 use crate::error::MetaError;
 use crate::metrics::{CacheStats, MetricsRegistry, MetricsSnapshot};
+use crate::obs::Layer;
 use crate::protocol::{VsgProtocol, VsgRequest};
 use crate::rescache::{Lookup, ResolutionCache};
 use crate::resilience::{BreakerState, CircuitBreaker, ResiliencePolicy};
@@ -71,14 +72,15 @@ impl Vsg {
         // reachable.
         let event_sink: Arc<Mutex<Option<EventSink>>> = Arc::new(Mutex::new(None));
         let sink2 = event_sink.clone();
+        let metrics = Arc::new(MetricsRegistry::new());
+        let metrics2 = metrics.clone();
         let node = protocol.bind(
             backbone,
             name,
             Arc::new(move |sim: &Sim, req: &VsgRequest| {
-                serve_remote(&local2, &tracer2, &sink2, sim, req)
+                serve_remote(&local2, &tracer2, &sink2, &metrics2, sim, req)
             }),
         );
-        let metrics = Arc::new(MetricsRegistry::new());
         let vsr = VsrClient::new(backbone, node, vsr_node)
             .with_tracer(tracer.clone())
             .with_metrics(metrics.clone());
@@ -196,15 +198,24 @@ impl Vsg {
         });
         let started = sim.now();
         let result = if self.inner.local.lock().contains_key(service) {
-            dispatch_local(&self.inner.local, tracer, sim, service, operation, args)
+            dispatch_local(
+                &self.inner.local,
+                tracer,
+                &self.inner.metrics,
+                sim,
+                service,
+                operation,
+                args,
+            )
         } else {
             self.invoke_remote(sim, service, operation, args)
         };
         let elapsed_us = (sim.now() - started).as_micros();
-        self.inner.metrics.record(
+        self.inner.metrics.record_with_exemplar(
             service,
             elapsed_us,
             result.as_ref().err().map(MetaError::kind),
+            span.trace_id(),
         );
         tracer.end_result(sim, span, &result);
         result
@@ -282,6 +293,7 @@ impl Vsg {
                         let r = dispatch_local(
                             &self.inner.local,
                             tracer,
+                            &self.inner.metrics,
                             sim,
                             &call.service,
                             &call.operation,
@@ -566,10 +578,16 @@ impl Vsg {
         } else {
             0
         };
+        let wire_started = sim.now();
         let result =
             self.inner
                 .protocol
                 .call_batch(&self.inner.backbone, self.inner.node, gw_node, reqs);
+        self.inner.metrics.record_layer_with_exemplar(
+            Layer::Wire,
+            (sim.now() - wire_started).as_micros(),
+            span.trace_id(),
+        );
         if traced {
             let bytes = self
                 .inner
@@ -900,10 +918,16 @@ impl Vsg {
         } else {
             0
         };
+        let wire_started = sim.now();
         let result = self
             .inner
             .protocol
             .call(&self.inner.backbone, self.inner.node, gw_node, req);
+        self.inner.metrics.record_layer_with_exemplar(
+            Layer::Wire,
+            (sim.now() - wire_started).as_micros(),
+            span.trace_id(),
+        );
         if traced {
             let bytes = self
                 .inner
@@ -1086,6 +1110,7 @@ fn serve_remote(
     local: &Mutex<HashMap<String, LocalEntry>>,
     tracer: &Tracer,
     event_sink: &Mutex<Option<EventSink>>,
+    metrics: &MetricsRegistry,
     sim: &Sim,
     req: &VsgRequest,
 ) -> Result<Value, MetaError> {
@@ -1111,7 +1136,15 @@ fn serve_remote(
         let span = tracer.begin(sim, HopKind::ServerProxy, || {
             format!("{}.{}", req.service, req.operation)
         });
-        let result = dispatch_local(local, tracer, sim, &req.service, &req.operation, &req.args);
+        let result = dispatch_local(
+            local,
+            tracer,
+            metrics,
+            sim,
+            &req.service,
+            &req.operation,
+            &req.args,
+        );
         tracer.end_result(sim, span, &result);
         result
     };
@@ -1124,6 +1157,7 @@ fn serve_remote(
 fn dispatch_local(
     local: &Mutex<HashMap<String, LocalEntry>>,
     tracer: &Tracer,
+    metrics: &MetricsRegistry,
     sim: &Sim,
     service: &str,
     operation: &str,
@@ -1147,8 +1181,14 @@ fn dispatch_local(
             entry.invoker.clone()
         };
     let span = tracer.begin(sim, HopKind::App, || format!("{service}.{operation}"));
+    let app_started = sim.now();
     let mut invoker = invoker.lock();
     let result = invoker.invoke(sim, operation, args);
+    metrics.record_layer_with_exemplar(
+        Layer::App,
+        (sim.now() - app_started).as_micros(),
+        span.trace_id(),
+    );
     tracer.end_result(sim, span, &result);
     result
 }

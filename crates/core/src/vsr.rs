@@ -325,6 +325,7 @@ impl VsrClient {
         let span = self
             .tracer
             .begin(&self.sim, HopKind::VsrLookup, || call.method.clone());
+        let started = self.sim.now();
         let result = self.soap.call(node, call).map_err(|e| match e {
             SoapError::Fault(f) => MetaError::from_fault_string(&f.string),
             // A wire failure on the repository leg: typed, so callers
@@ -332,6 +333,13 @@ impl VsrClient {
             SoapError::Http(h) => MetaError::from_http_error(&h),
             other => MetaError::Protocol(other.to_string()),
         });
+        if let Some(metrics) = &self.metrics {
+            metrics.record_layer_with_exemplar(
+                crate::obs::Layer::Vsr,
+                (self.sim.now() - started).as_micros(),
+                span.trace_id(),
+            );
+        }
         self.tracer.end_result(&self.sim, span, &result);
         result
     }

@@ -52,7 +52,7 @@ pub use frame::{Frame, Protocol};
 pub use link::LinkModel;
 pub use net::Network;
 pub use node::{Addr, NodeId};
-pub use par::{Courier, ParRunStats, ParSim};
+pub use par::{Courier, IslandProfile, ParRunStats, ParSim};
 pub use rng::SimRng;
 pub use sched::TimerId;
 pub use sim::{RepeatHandle, Sim};

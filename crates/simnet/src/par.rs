@@ -67,6 +67,41 @@ pub struct ParRunStats {
     pub cross_sends: u64,
 }
 
+/// Per-island execution profile, accumulated over the executor's
+/// lifetime.
+///
+/// `windows`, `events` and `commits` are pure functions of simulation
+/// state — identical for any thread count — and safe to print in
+/// determinism-diffed output. `busy_ns` and `barrier_wait_ns` are
+/// wall-clock attribution (how long the island's windows ran, and how
+/// long it sat finished while the window barrier waited on slower
+/// islands); they vary run to run and must stay out of diffed output.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IslandProfile {
+    /// Windows this island was runnable in.
+    pub windows: u64,
+    /// Events the island fired.
+    pub events: u64,
+    /// Cross-island sends committed *to* this island.
+    pub commits: u64,
+    /// Wall time spent executing the island's windows.
+    pub busy_ns: u64,
+    /// Wall time between finishing a window and the window's barrier
+    /// releasing (zero when dispatched sequentially).
+    pub barrier_wait_ns: u64,
+}
+
+impl IslandProfile {
+    /// The deterministic fields as a stable one-line summary, safe for
+    /// thread-count-diffed output.
+    pub fn deterministic_line(&self, island: usize) -> String {
+        format!(
+            "island {island}: windows={} events={} commits={}",
+            self.windows, self.events, self.commits
+        )
+    }
+}
+
 /// A conservative parallel executor over a set of island [`Sim`]s.
 pub struct ParSim {
     islands: Vec<Sim>,
@@ -75,6 +110,10 @@ pub struct ParSim {
     /// Union-find parent per island over the coupling graph.
     parent: Vec<usize>,
     shared: Arc<ParShared>,
+    /// Per-island execution profiles (see [`IslandProfile`]).
+    profiles: Arc<Mutex<Vec<IslandProfile>>>,
+    /// Wall time spent sorting and committing the outbox at barriers.
+    commit_ns: AtomicU64,
     threads: usize,
     #[cfg(feature = "parallel")]
     pool: Option<rayon::ThreadPool>,
@@ -95,6 +134,8 @@ impl ParSim {
                 lookahead: Mutex::new(None),
                 cross_sends: AtomicU64::new(0),
             }),
+            profiles: Arc::new(Mutex::new(Vec::new())),
+            commit_ns: AtomicU64::new(0),
             threads,
             #[cfg(feature = "parallel")]
             pool: if threads > 1 {
@@ -116,6 +157,7 @@ impl ParSim {
         self.islands.push(sim);
         self.send_seq.push(Arc::new(AtomicU64::new(0)));
         self.parent.push(index);
+        self.profiles.lock().push(IslandProfile::default());
         index
     }
 
@@ -196,12 +238,24 @@ impl ParSim {
             let mut outbox = self.shared.outbox.lock();
             std::mem::take(&mut *outbox)
         };
+        if pending.is_empty() {
+            return 0;
+        }
+        let started = std::time::Instant::now();
         let committed = pending.len() as u64;
         pending.sort_by_key(|c| (c.deliver_at, c.src_island, c.seq));
+        {
+            let mut profiles = self.profiles.lock();
+            for send in &pending {
+                profiles[send.dst].commits += 1;
+            }
+        }
         for send in pending {
             let f = send.f;
             self.islands[send.dst].schedule_at(send.deliver_at, move |sim| f(sim));
         }
+        self.commit_ns
+            .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
         committed
     }
 
@@ -232,11 +286,12 @@ impl ParSim {
                     .min(deadline_bound),
                 None => deadline_bound,
             };
-            let runnable: Vec<Sim> = self
+            let runnable: Vec<(usize, Sim)> = self
                 .islands
                 .iter()
-                .filter(|s| s.next_timer_at().is_some_and(|t| t < bound))
-                .cloned()
+                .enumerate()
+                .filter(|(_, s)| s.next_timer_at().is_some_and(|t| t < bound))
+                .map(|(i, s)| (i, s.clone()))
                 .collect();
             stats.events += self.dispatch(runnable, bound);
             stats.windows += 1;
@@ -263,33 +318,95 @@ impl ParSim {
     /// pool is available. Within a window islands share no state except
     /// the outbox (merged deterministically afterwards), so dispatch
     /// order cannot influence results.
-    fn dispatch(&self, runnable: Vec<Sim>, bound: SimTime) -> u64 {
+    fn dispatch(&self, runnable: Vec<(usize, Sim)>, bound: SimTime) -> u64 {
         #[cfg(feature = "parallel")]
         if runnable.len() > 1 {
             if let Some(pool) = &self.pool {
-                let fired = Arc::new(AtomicU64::new(0));
+                let window_started = std::time::Instant::now();
+                // (island, events fired, busy ns) per finished window;
+                // the shim's spawn needs 'static, hence the Arc.
+                let done: Arc<Mutex<Vec<(usize, u64, u64)>>> =
+                    Arc::new(Mutex::new(Vec::with_capacity(runnable.len())));
                 pool.scope(|s| {
-                    for sim in runnable {
-                        let fired = fired.clone();
+                    for (idx, sim) in runnable {
+                        let done = done.clone();
                         s.spawn(move || {
-                            fired.fetch_add(sim.run_window(bound) as u64, Ordering::Relaxed);
+                            let started = std::time::Instant::now();
+                            let fired = sim.run_window(bound) as u64;
+                            let busy = started.elapsed().as_nanos() as u64;
+                            done.lock().push((idx, fired, busy));
                         });
                     }
                 });
-                return fired.load(Ordering::Relaxed);
+                let window_ns = window_started.elapsed().as_nanos() as u64;
+                let done = Arc::try_unwrap(done)
+                    .map(Mutex::into_inner)
+                    .unwrap_or_default();
+                let mut total = 0;
+                let mut profiles = self.profiles.lock();
+                for (idx, fired, busy_ns) in done {
+                    total += fired;
+                    let p = &mut profiles[idx];
+                    p.windows += 1;
+                    p.events += fired;
+                    p.busy_ns += busy_ns;
+                    p.barrier_wait_ns += window_ns.saturating_sub(busy_ns);
+                }
+                return total;
             }
         }
-        let mut fired = 0;
-        for sim in &runnable {
-            fired += sim.run_window(bound) as u64;
+        let mut total = 0;
+        let mut profiles = self.profiles.lock();
+        for (idx, sim) in &runnable {
+            let started = std::time::Instant::now();
+            let fired = sim.run_window(bound) as u64;
+            total += fired;
+            let p = &mut profiles[*idx];
+            p.windows += 1;
+            p.events += fired;
+            p.busy_ns += started.elapsed().as_nanos() as u64;
         }
-        fired
+        total
     }
 
     /// Total cross-island sends committed over this executor's
     /// lifetime.
     pub fn total_cross_sends(&self) -> u64 {
         self.shared.cross_sends.load(Ordering::Relaxed)
+    }
+
+    /// Per-island execution profiles accumulated so far, in island
+    /// order. The `windows`/`events`/`commits` fields are identical
+    /// for any thread count; the `*_ns` fields are wall clock.
+    pub fn profiles(&self) -> Vec<IslandProfile> {
+        self.profiles.lock().clone()
+    }
+
+    /// Wall time spent sorting and committing the cross-island outbox
+    /// at window barriers.
+    pub fn commit_wall_ns(&self) -> u64 {
+        self.commit_ns.load(Ordering::Relaxed)
+    }
+
+    /// Profiles as one JSON array, deterministic fields first. The
+    /// wall-clock fields are included; callers diffing across thread
+    /// counts should print [`IslandProfile::deterministic_line`]
+    /// instead.
+    pub fn profile_json(&self) -> String {
+        let profiles = self.profiles.lock();
+        let mut out = String::from("[");
+        for (i, p) in profiles.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"island\":{i},\"windows\":{},\"events\":{},\"commits\":{},\
+                 \"busy_ns\":{},\"barrier_wait_ns\":{}}}",
+                p.windows, p.events, p.commits, p.busy_ns, p.barrier_wait_ns
+            ));
+        }
+        out.push(']');
+        out
     }
 }
 
@@ -463,6 +580,44 @@ mod tests {
             (stats.events, count.load(Ordering::SeqCst))
         };
         assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn profile_deterministic_fields_are_thread_invariant() {
+        let run = |threads: usize| {
+            let mut par = fleet(3, threads);
+            par.couple(0, 2, SimDuration::from_millis(1));
+            let courier = par.courier(0);
+            for island in par.islands() {
+                island.every(SimDuration::from_millis(10), |_| {});
+            }
+            par.islands()[0].schedule_in(SimDuration::from_millis(5), move |_| {
+                courier.send(2, SimDuration::from_millis(1), |_| {});
+            });
+            par.run_until(SimTime::from_micros(100_000));
+            par.profiles()
+                .iter()
+                .enumerate()
+                .map(|(i, p)| p.deterministic_line(i))
+                .collect::<Vec<_>>()
+        };
+        let seq = run(1);
+        assert_eq!(seq.len(), 3);
+        assert!(seq[2].ends_with("commits=1"), "{seq:?}");
+        assert_eq!(run(4), seq, "profiler counts must not depend on threads");
+    }
+
+    #[test]
+    fn profile_json_lists_every_island() {
+        let par = fleet(2, 1);
+        for island in par.islands() {
+            island.every(SimDuration::from_millis(10), |_| {});
+        }
+        par.run_until(SimTime::from_micros(20_000));
+        let json = par.profile_json();
+        assert!(json.starts_with("[{\"island\":0,"), "{json}");
+        assert!(json.contains("{\"island\":1,"), "{json}");
+        assert!(json.contains("\"barrier_wait_ns\":"), "{json}");
     }
 
     #[test]

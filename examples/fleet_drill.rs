@@ -1,16 +1,19 @@
 //! Fleet drill: a fleet of homes advanced on the conservative parallel
 //! scheduler, with a chaos schedule jittered per island, then every
 //! deterministic artefact printed — availability counts, metrics
-//! snapshots, traces.
+//! snapshots, sampled traces from the flight recorder, the merged
+//! fleet snapshot, and per-island profiler counts.
 //!
 //! Run with: `cargo run --example fleet_drill`
 //!
 //! The printed output is a pure function of `CHAOS_SEED` (default 13)
 //! and never of `SIM_THREADS` — CI diffs a 1-thread run against a
 //! 4-thread run byte for byte. The worker thread count is reported on
-//! stderr so stdout stays comparable.
+//! stderr so stdout stays comparable. When `OBS_EXPORT_DIR` is set,
+//! the OpenMetrics and JSON-lines exports are also written there
+//! (CI uploads them as artifacts from the chaos matrix).
 
-use metaware::{HomeFleet, Middleware, ResiliencePolicy, SmartHome};
+use metaware::{HomeFleet, Middleware, ResiliencePolicy, SamplePolicy, SmartHome};
 use simnet::{FaultPlan, SimDuration};
 
 const HOMES: usize = 4;
@@ -92,8 +95,48 @@ fn main() {
         println!("{}", snap.to_json());
     }
 
-    println!("\ntraces:");
-    print!("{}", fleet.render_traces());
+    println!("\nmerged fleet snapshot (bucket-wise, O(buckets) memory):");
+    println!("{}", fleet.fleet_snapshot().to_json());
+
+    // Harvest the drill's traces through the flight recorder at a 25%
+    // head rate: errors and breaker trips always survive, everything
+    // else keeps or drops as a pure function of the trace id.
+    fleet.set_sampling(SamplePolicy {
+        head_per_10k: 2_500,
+        top_slow: 2,
+        capacity: 64,
+    });
+    let rec = fleet.harvest_traces();
+    println!(
+        "\nflight recorder: seen={} kept={} sampled_out={} evicted={}",
+        rec.seen, rec.kept, rec.sampled_out, rec.evicted
+    );
+
+    // Exported artifacts, written before the ring is drained so the
+    // JSON-lines file carries the kept traces.
+    if let Ok(dir) = std::env::var("OBS_EXPORT_DIR") {
+        std::fs::create_dir_all(&dir).expect("export dir");
+        let om = format!("{dir}/fleet_metrics.om");
+        let ev = format!("{dir}/fleet_events.jsonl");
+        std::fs::write(&om, fleet.export_openmetrics()).expect("write openmetrics");
+        std::fs::write(&ev, fleet.export_events_jsonl()).expect("write events");
+        eprintln!("exported {om} and {ev}");
+    }
+
+    println!("\nkept traces (island order):");
+    for kept in fleet.drain_flight() {
+        println!(
+            "  [{}] {} {} {}us{}",
+            kept.reason.label(),
+            kept.trace,
+            kept.root_name(),
+            kept.elapsed_us(),
+            if kept.has_error() { " (error)" } else { "" }
+        );
+    }
+
+    println!("\nper-island profiler (deterministic counts only):");
+    print!("{}", fleet.profile_lines());
 
     println!(
         "\nvirtual clocks: {} (deterministic — rerun and compare)",
