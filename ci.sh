@@ -95,6 +95,13 @@ cargo bench -p bench --bench e12_obs_overhead -- --test
 stage "e16 parallel fleet smoke (determinism + scaling assertions)"
 cargo bench -p bench --bench e16_parallel -- --test
 
+# E17 smoke run: the cloud bridge under canonical WAN chaos — asserts
+# zero duplicate command effects, >= 99% delivered notifications after
+# heal (and measurably fewer with store-and-forward off), thread-count
+# determinism, and flash-crowd pushback. Emits BENCH_cloud.json.
+stage "e17 cloud bridge smoke (WAN robustness assertions)"
+cargo bench -p bench --bench e17_cloud -- --test
+
 stage "cargo doc --no-deps (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace -q
 

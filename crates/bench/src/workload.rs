@@ -1,11 +1,17 @@
-//! Seeded workload generation for the saturation experiment (E12).
+//! Seeded workload generation for the saturation experiment (E12) and
+//! the cloud-fleet experiment (E17).
 //!
 //! Generates reproducible streams of cross-island invocations against
-//! the standard smart home — a day in the life of the federation.
+//! the standard smart home — a day in the life of the federation — and,
+//! for fleets, per-home *event plans* on virtual time: a diurnal
+//! activity curve, device churn, and the "everyone home at 6pm" flash
+//! crowd. Plans are a pure function of `(seed, island)`, so fleet
+//! results never depend on worker threads.
 
 use metaware::{Middleware, SmartHome};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use simnet::{SimDuration, SimTime};
 use soap::Value;
 
 /// One scripted invocation.
@@ -100,9 +106,245 @@ pub fn replay(home: &SmartHome, trace: &[Call]) -> Vec<u64> {
         .collect()
 }
 
+// ---------------------------------------------------------------------------
+// fleet workload: diurnal curve, churn, and the 6pm flash (E17)
+// ---------------------------------------------------------------------------
+
+/// Relative home activity per hour of day: quiet overnight, a morning
+/// bump, a daytime plateau, and the evening peak when everyone is home.
+const DIURNAL_CURVE: [f64; 24] = [
+    0.2, 0.1, 0.1, 0.1, 0.1, 0.2, 0.6, 1.0, 0.8, 0.5, 0.4, 0.5, //
+    0.6, 0.5, 0.4, 0.5, 0.8, 1.4, 2.0, 1.8, 1.5, 1.2, 0.8, 0.4,
+];
+
+/// The devices a fleet home's cloud bridge reports on.
+const FLEET_DEVICES: [&str; 6] = [
+    "hall-lamp",
+    "desk-lamp",
+    "fan",
+    "aircon",
+    "fridge",
+    "tv-tuner",
+];
+
+/// Shape of the E17 fleet workload.
+#[derive(Debug, Clone)]
+pub struct DiurnalProfile {
+    /// Baseline state notifications per home per hour (scaled by the
+    /// diurnal curve).
+    pub base_per_hour: u32,
+    /// Device leave/join pairs per home per day (churn).
+    pub churn_per_day: u32,
+    /// Hour of day (0–23) of the flash crowd.
+    pub flash_hour: u32,
+    /// Extra notifications every home raises during the flash.
+    pub flash_burst: u32,
+    /// How long the flash lasts, from the top of the hour.
+    pub flash_window: SimDuration,
+}
+
+impl Default for DiurnalProfile {
+    fn default() -> DiurnalProfile {
+        DiurnalProfile {
+            base_per_hour: 12,
+            churn_per_day: 4,
+            flash_hour: 18,
+            flash_burst: 20,
+            flash_window: SimDuration::from_secs(10 * 60),
+        }
+    }
+}
+
+/// One thing a fleet home does to its cloud bridge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FleetEvent {
+    /// A device state notification.
+    Notify {
+        /// Device name.
+        device: &'static str,
+        /// New state payload.
+        payload: String,
+    },
+    /// A device leaves (churn).
+    Leave {
+        /// Device name.
+        device: &'static str,
+    },
+    /// A device rejoins (churn).
+    Join {
+        /// Device name.
+        device: &'static str,
+    },
+}
+
+/// A [`FleetEvent`] pinned to a virtual instant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimedEvent {
+    /// When the home raises it.
+    pub at: SimTime,
+    /// What it raises.
+    pub event: FleetEvent,
+}
+
+/// Generates one home's event plan for `hours` of virtual time —
+/// deterministic in `(seed, island)` and sorted by time. Churn pairs a
+/// `Leave` with a `Join` five virtual minutes later; every flash-hour
+/// occurrence adds `flash_burst` notifications inside `flash_window`.
+pub fn home_plan(seed: u64, island: u32, hours: u32, profile: &DiurnalProfile) -> Vec<TimedEvent> {
+    let mut rng =
+        StdRng::seed_from_u64(seed ^ (u64::from(island).wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+    let mut plan = Vec::new();
+    let hour_us = 3_600_000_000u64;
+    for h in 0..hours {
+        let start = u64::from(h) * hour_us;
+        let weight = DIURNAL_CURVE[(h % 24) as usize];
+        let expected = f64::from(profile.base_per_hour) * weight;
+        let mut n = expected.floor() as u32;
+        if rng.gen_bool((expected - f64::from(n)).clamp(0.0, 1.0)) {
+            n += 1;
+        }
+        for _ in 0..n {
+            let device = FLEET_DEVICES[rng.gen_range(0..FLEET_DEVICES.len())];
+            plan.push(TimedEvent {
+                at: SimTime::from_micros(start + rng.gen_range(0..hour_us)),
+                event: FleetEvent::Notify {
+                    device,
+                    payload: format!("s{}", rng.gen_range(0..1000)),
+                },
+            });
+        }
+        if h % 24 == profile.flash_hour {
+            // Everyone home at 6pm: a burst at the top of the hour.
+            let window = profile.flash_window.as_micros().max(1);
+            for _ in 0..profile.flash_burst {
+                let device = FLEET_DEVICES[rng.gen_range(0..FLEET_DEVICES.len())];
+                plan.push(TimedEvent {
+                    at: SimTime::from_micros(start + rng.gen_range(0..window)),
+                    event: FleetEvent::Notify {
+                        device,
+                        payload: format!("f{}", rng.gen_range(0..1000)),
+                    },
+                });
+            }
+        }
+    }
+    // Churn: leave/join pairs spread over the whole span.
+    let span_us = u64::from(hours) * hour_us;
+    let churn_events = u64::from(profile.churn_per_day) * u64::from(hours) / 24;
+    for _ in 0..churn_events {
+        let device = FLEET_DEVICES[rng.gen_range(0..FLEET_DEVICES.len())];
+        let at = rng.gen_range(0..span_us);
+        plan.push(TimedEvent {
+            at: SimTime::from_micros(at),
+            event: FleetEvent::Leave { device },
+        });
+        plan.push(TimedEvent {
+            at: SimTime::from_micros(at.saturating_add(5 * 60_000_000)),
+            event: FleetEvent::Join { device },
+        });
+    }
+    plan.sort_by_key(|e| e.at);
+    plan
+}
+
+/// Schedules a plan onto a home's cloud bridge: each event fires at its
+/// virtual instant when the home's event loop is pumped. Shed or
+/// dropped notifications are *not* retried — losing them under pressure
+/// is part of what E17 measures. Panics if the home has no cloud
+/// bridge. Call before running the fleet; events already in the past
+/// fire on the next pump.
+pub fn install_cloud_plan(home: &SmartHome, plan: &[TimedEvent]) {
+    let bridge = home
+        .cloud
+        .as_ref()
+        .expect("home has a cloud bridge")
+        .bridge
+        .clone();
+    let now = home.sim.now();
+    for te in plan {
+        let delay = te.at - now;
+        let bridge = bridge.clone();
+        let event = te.event.clone();
+        home.sim.schedule_in(delay, move |_| match &event {
+            FleetEvent::Notify { device, payload } => {
+                let _ = bridge.notify_state(device, payload);
+            }
+            FleetEvent::Leave { device } => {
+                let _ = bridge.unregister_device(device);
+            }
+            FleetEvent::Join { device } => {
+                let _ = bridge.register_device(device);
+            }
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn same_seed_same_plan_and_islands_decorrelate() {
+        let p = DiurnalProfile::default();
+        let a = home_plan(5, 0, 24, &p);
+        let b = home_plan(5, 0, 24, &p);
+        assert_eq!(a, b);
+        let c = home_plan(5, 1, 24, &p);
+        assert_ne!(a, c, "islands draw from distinct streams");
+        assert!(a.windows(2).all(|w| w[0].at <= w[1].at), "sorted by time");
+    }
+
+    #[test]
+    fn flash_hour_is_the_densest_hour() {
+        let p = DiurnalProfile::default();
+        let plan = home_plan(11, 3, 24, &p);
+        let hour_of = |t: SimTime| (t.as_micros() / 3_600_000_000) as u32 % 24;
+        let mut per_hour = [0u32; 24];
+        for e in &plan {
+            if matches!(e.event, FleetEvent::Notify { .. }) {
+                per_hour[hour_of(e.at) as usize] += 1;
+            }
+        }
+        let flash = per_hour[p.flash_hour as usize];
+        assert!(
+            per_hour.iter().all(|&n| n <= flash),
+            "flash hour {} should dominate: {per_hour:?}",
+            p.flash_hour
+        );
+        // Churn appears as leave/join pairs.
+        let leaves = plan
+            .iter()
+            .filter(|e| matches!(e.event, FleetEvent::Leave { .. }))
+            .count();
+        let joins = plan
+            .iter()
+            .filter(|e| matches!(e.event, FleetEvent::Join { .. }))
+            .count();
+        assert_eq!(leaves, joins);
+        assert_eq!(leaves, p.churn_per_day as usize);
+    }
+
+    #[test]
+    fn installed_plan_reaches_the_cloud() {
+        use metaware::CloudConfig;
+        let home = SmartHome::builder()
+            .lazy(true)
+            .cloud(CloudConfig::default())
+            .build()
+            .unwrap();
+        let profile = DiurnalProfile {
+            base_per_hour: 30,
+            churn_per_day: 2,
+            ..DiurnalProfile::default()
+        };
+        let plan = home_plan(3, 0, 2, &profile);
+        assert!(!plan.is_empty());
+        install_cloud_plan(&home, &plan);
+        home.sim.run_for(SimDuration::from_secs(3 * 3600));
+        let cell = &home.cloud.as_ref().unwrap().cell;
+        assert!(cell.stats().notify_applied > 0);
+        assert_eq!(home.cloud.as_ref().unwrap().bridge.outbox_len(), 0);
+    }
 
     #[test]
     fn same_seed_same_trace() {

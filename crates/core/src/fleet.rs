@@ -13,6 +13,7 @@ use crate::error::MetaError;
 use crate::home::{SmartHome, SmartHomeBuilder};
 use crate::metrics::MetricsSnapshot;
 use crate::obs::{KeptTrace, RecorderStats, SamplePolicy};
+use crate::pcm::cloud::CloudBackbone;
 use simnet::{FaultPlan, ParRunStats, ParSim, SimDuration, SimTime};
 
 /// Many identically configured [`SmartHome`]s, one per island,
@@ -46,11 +47,22 @@ impl HomeFleet {
         let mut homes = Vec::with_capacity(n);
         for i in 0..n {
             let island = u32::try_from(i).expect("fleet size fits in u32");
-            let home = tweak(island, builder.clone().island(island)).build()?;
+            // The fleet size feeds the cloud's deterministic fair-share
+            // admission budget; a per-island tweak can still override.
+            let home = tweak(island, builder.clone().island(island).fleet_hint(n)).build()?;
             par.add_island(home.sim.clone());
             homes.push(home);
         }
         Ok(HomeFleet { homes, par })
+    }
+
+    /// Like [`HomeFleet::build`], but with lazy homes: each island gets
+    /// its world layer (sim, backbone, VSR, cloud bridge if configured)
+    /// while the middleware-island builds are deferred until
+    /// [`HomeFleet::materialize_home`] — the way `e17_cloud` stands up
+    /// 10k homes without 10k eager full builds.
+    pub fn build_lazy(builder: SmartHomeBuilder, n: usize) -> Result<HomeFleet, MetaError> {
+        HomeFleet::build_with(builder.lazy(true), n, |_, b| b)
     }
 
     /// The homes, in island order.
@@ -61,6 +73,50 @@ impl HomeFleet {
     /// One home by island id.
     pub fn home(&self, island: usize) -> &SmartHome {
         &self.homes[island]
+    }
+
+    /// Builds the deferred islands of one lazy home (no-op when the
+    /// home was built eagerly or already materialized).
+    pub fn materialize_home(&mut self, island: usize) -> Result<(), MetaError> {
+        self.homes[island].materialize()
+    }
+
+    /// Homes whose middleware islands have been built.
+    pub fn materialized_count(&self) -> usize {
+        self.homes.iter().filter(|h| h.is_materialized()).count()
+    }
+
+    /// The simulated cloud backbone over every cloud-attached home, in
+    /// island order: fleet-wide delivered-ratio/staleness/duplicate
+    /// roll-ups and the downward-command fan-out. Empty if the builder
+    /// had no [`crate::pcm::cloud::CloudConfig`].
+    pub fn cloud_backbone(&self) -> CloudBackbone {
+        CloudBackbone::new(
+            self.homes
+                .iter()
+                .filter_map(|h| h.cloud.as_ref())
+                .map(|c| (c.bridge.clone(), c.cell.clone()))
+                .collect(),
+        )
+    }
+
+    /// Installs `plan` on every home's cloud WAN, jittered per island
+    /// like [`HomeFleet::set_fault_plan_jittered`] — island 0 again
+    /// gets the plan unshifted. Homes without a cloud bridge are
+    /// skipped.
+    pub fn set_wan_fault_plan_jittered(
+        &self,
+        plan: &FaultPlan,
+        seed: u64,
+        max_jitter: SimDuration,
+    ) {
+        for (i, home) in self.homes.iter().enumerate() {
+            let island = u32::try_from(i).expect("fleet size fits in u32");
+            if let Some(cloud) = &home.cloud {
+                cloud
+                    .set_wan_fault_plan(plan.clone().jittered_for_island(seed, island, max_jitter));
+            }
+        }
     }
 
     /// Number of homes (islands).
@@ -287,6 +343,65 @@ mod tests {
         let fleet = HomeFleet::build(SmartHome::builder().threads(0), 2).expect("fleet builds");
         assert_eq!(fleet.threads(), 1, "threads(0) clamps to 1");
         assert_eq!(fleet.metadata_json(), "{\"threads\":1,\"islands\":2}");
+    }
+
+    #[test]
+    fn lazy_fleet_materializes_homes_on_demand() {
+        let mut fleet =
+            HomeFleet::build_lazy(SmartHome::builder().threads(1), 4).expect("fleet builds");
+        assert_eq!(fleet.materialized_count(), 0);
+        fleet.materialize_home(2).expect("island 2 materializes");
+        assert_eq!(fleet.materialized_count(), 1);
+        assert_eq!(fleet.home(0).service_count(), 0);
+        assert!(fleet.home(2).service_count() > 0);
+        drive(&fleet, 1);
+        fleet
+            .home(2)
+            .invoke_from(Middleware::Jini, "hall-lamp", "status", &[])
+            .expect("materialized home serves invocations");
+    }
+
+    #[test]
+    fn cloud_fleet_rolls_up_a_backbone_summary() {
+        use crate::pcm::cloud::CloudConfig;
+        let fleet = HomeFleet::build_lazy(
+            SmartHome::builder()
+                .threads(1)
+                .cloud(CloudConfig::default()),
+            3,
+        )
+        .expect("fleet builds");
+        drive(&fleet, 5);
+        let backbone = fleet.cloud_backbone();
+        assert_eq!(backbone.len(), 3);
+        let s = backbone.summary();
+        assert_eq!(s.duplicate_effects, 0);
+        assert!(s.reconnects >= 3, "every home connected");
+        // The auto-registered rosters reached every cell.
+        for i in 0..3 {
+            assert!(!backbone.cell(i).registered_devices().is_empty());
+        }
+    }
+
+    #[test]
+    fn cloud_fleet_results_do_not_depend_on_thread_count() {
+        use crate::pcm::cloud::CloudConfig;
+        let run = |threads: usize| {
+            let fleet = HomeFleet::build_lazy(
+                SmartHome::builder()
+                    .threads(threads)
+                    .cloud(CloudConfig::default()),
+                4,
+            )
+            .expect("fleet builds");
+            for (i, home) in fleet.homes().iter().enumerate() {
+                let bridge = &home.cloud.as_ref().unwrap().bridge;
+                bridge.notify_state("hall-lamp", &format!("v{i}")).unwrap();
+            }
+            drive(&fleet, 10);
+            format!("{:?}", fleet.cloud_backbone().summary())
+        };
+        assert_eq!(run(1), run(4));
     }
 
     #[test]

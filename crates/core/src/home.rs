@@ -14,6 +14,7 @@ use crate::batch::BatchPolicy;
 use crate::error::MetaError;
 use crate::iface::{catalog, InterfaceCatalog};
 use crate::obs::{FlightRecorder, KeptTrace, SamplePolicy};
+use crate::pcm::cloud::{CloudConfig, CloudIsland};
 use crate::pcm::havi::HaviPcm;
 use crate::pcm::jini::JiniPcm;
 use crate::pcm::mail::MailPcm;
@@ -158,6 +159,8 @@ pub struct SmartHome {
     pub mail: Option<MailIsland>,
     /// The UPnP island, if built.
     pub upnp: Option<UpnpIsland>,
+    /// The cloud bridge (WAN edge), if attached.
+    pub cloud: Option<CloudIsland>,
     /// Handles of the gateway re-registration heartbeats, when the
     /// builder armed them (kept so the timers stay cancellable).
     pub heartbeats: Vec<simnet::RepeatHandle>,
@@ -168,6 +171,9 @@ pub struct SmartHome {
     /// (see [`crate::obs`]). One per home, not per gateway, because a
     /// single trace crosses gateways.
     flight: Mutex<FlightRecorder>,
+    /// Island builds a lazy home still owes (see
+    /// [`SmartHomeBuilder::lazy`]); drained by [`SmartHome::materialize`].
+    deferred: Option<SmartHomeBuilder>,
 }
 
 /// Builder for [`SmartHome`]. Cloneable so a fleet can stamp out many
@@ -193,6 +199,9 @@ pub struct SmartHomeBuilder {
     vsr_sync_phase: SimDuration,
     island: u32,
     threads: Option<usize>,
+    cloud: Option<CloudConfig>,
+    fleet_hint: usize,
+    lazy: bool,
 }
 
 /// Shorthand used throughout: house code from a letter.
@@ -228,6 +237,9 @@ impl SmartHome {
             vsr_sync_phase: SimDuration::ZERO,
             island: 0,
             threads: None,
+            cloud: None,
+            fleet_hint: 1,
+            lazy: false,
         }
     }
 
@@ -239,6 +251,9 @@ impl SmartHome {
             Middleware::X10 => self.x10.as_ref().map(|i| &i.vsg),
             Middleware::Mail | Middleware::Web => self.mail.as_ref().map(|i| &i.vsg),
             Middleware::Upnp => self.upnp.as_ref().map(|i| &i.vsg),
+            // The cloud bridge fronts no VSG: it is a WAN edge, not an
+            // island gateway.
+            Middleware::Cloud => None,
         }
     }
 
@@ -300,6 +315,9 @@ impl SmartHome {
         for vsg in self.gateways() {
             vsg.set_tracing(on);
         }
+        if let Some(cloud) = &self.cloud {
+            cloud.set_tracing(on);
+        }
     }
 
     /// Drains the completed spans from every gateway's tracer, merged
@@ -310,6 +328,9 @@ impl SmartHome {
             spans.extend(vsg.tracer().take_spans());
         }
         spans.extend(self.vsr.take_spans());
+        if let Some(cloud) = &self.cloud {
+            spans.extend(cloud.take_spans());
+        }
         spans
     }
 
@@ -321,10 +342,15 @@ impl SmartHome {
 
     /// Metrics snapshots from every gateway, in island order.
     pub fn metrics_snapshots(&self) -> Vec<crate::metrics::MetricsSnapshot> {
-        self.gateways()
+        let mut snaps: Vec<crate::metrics::MetricsSnapshot> = self
+            .gateways()
             .into_iter()
             .map(|vsg| vsg.metrics_snapshot())
-            .collect()
+            .collect();
+        if let Some(cloud) = &self.cloud {
+            snaps.push(cloud.metrics_snapshot());
+        }
+        snaps
     }
 
     /// One snapshot for the whole home: every gateway's registry merged
@@ -391,6 +417,87 @@ impl SmartHome {
         for vsg in self.gateways() {
             vsg.set_batching(policy.clone());
         }
+    }
+
+    /// Whether the middleware islands exist yet (always true for an
+    /// eager build; false for a lazy home until
+    /// [`SmartHome::materialize`] runs).
+    pub fn is_materialized(&self) -> bool {
+        self.deferred.is_none()
+    }
+
+    /// Pays the island builds a lazy home deferred: Jini/HAVi/X10/
+    /// mail/UPnP islands, build-time policies, and heartbeats, exactly
+    /// as an eager [`SmartHomeBuilder::build`] would have produced
+    /// them. Idempotent; a no-op on an eagerly built home.
+    pub fn materialize(&mut self) -> Result<(), MetaError> {
+        let Some(spec) = self.deferred.take() else {
+            return Ok(());
+        };
+        if spec.jini {
+            self.jini = Some(build_jini(
+                &self.sim,
+                &self.backbone,
+                &self.vsr,
+                &spec.protocol,
+                spec.auto_import,
+            )?);
+        }
+        if spec.havi {
+            self.havi = Some(build_havi(
+                &self.sim,
+                &self.backbone,
+                &self.vsr,
+                &spec.protocol,
+                spec.auto_import,
+            )?);
+        }
+        if spec.x10 {
+            self.x10 = Some(build_x10(
+                &self.sim,
+                &self.backbone,
+                &self.vsr,
+                &spec.protocol,
+                spec.lossless_powerline,
+                spec.auto_import,
+            )?);
+        }
+        if spec.mail {
+            self.mail = Some(build_mail(
+                &self.sim,
+                &self.backbone,
+                &self.vsr,
+                &spec.protocol,
+            )?);
+        }
+        if spec.upnp {
+            self.upnp = Some(build_upnp(
+                &self.sim,
+                &self.backbone,
+                &self.vsr,
+                &spec.protocol,
+                spec.auto_import,
+            )?);
+        }
+        if let Some(policy) = spec.resilience {
+            self.set_resilience(policy);
+        }
+        if let Some(policy) = spec.batching {
+            self.set_batching(policy);
+        }
+        if let Some(period) = spec.heartbeat {
+            self.heartbeats = self
+                .gateways()
+                .into_iter()
+                .cloned()
+                .map(|vsg| {
+                    self.sim.every(period, move |_sim| {
+                        let _ = vsg.republish_all();
+                    })
+                })
+                .collect();
+        }
+        Ok(())
     }
 }
 
@@ -542,6 +649,36 @@ impl SmartHomeBuilder {
         self.threads
     }
 
+    /// Attaches a cloud bridge (a [`CloudIsland`]) to the home: a
+    /// store-and-forward outbox, epoch-fenced sessions, and a simulated
+    /// cloud-edge cell across a per-home WAN. With auto-import on, the
+    /// standard device names of every enabled island are registered
+    /// upward at build time.
+    pub fn cloud(mut self, cfg: CloudConfig) -> Self {
+        self.cloud = Some(cfg);
+        self
+    }
+
+    /// Tells the cloud bridge how many homes share the backbone, so
+    /// the global admission budget can be divided into deterministic
+    /// fair shares (see `core::pcm::cloud`). `HomeFleet` sets this
+    /// automatically.
+    pub fn fleet_hint(mut self, homes: usize) -> Self {
+        self.fleet_hint = homes.max(1);
+        self
+    }
+
+    /// Defers the middleware-island builds (Jini/HAVi/X10/mail/UPnP)
+    /// until [`SmartHome::materialize`] is called. The world — `Sim`,
+    /// backbone, VSR, and the cloud bridge if configured — is still
+    /// built eagerly, so a lazy home can buffer cloud traffic and run
+    /// timers; it just hasn't paid for its islands yet. Fleets use
+    /// this to stand up 10k homes without 10k eager full builds.
+    pub fn lazy(mut self, on: bool) -> Self {
+        self.lazy = on;
+        self
+    }
+
     /// Assembles the home.
     pub fn build(self) -> Result<SmartHome, MetaError> {
         let sim = Sim::with_island(self.seed, self.island);
@@ -560,7 +697,11 @@ impl SmartHomeBuilder {
             vsr.set_lease_duration(Some(lease));
         }
 
-        let jini = if self.jini {
+        // A lazy build keeps the whole island spec around and builds
+        // nothing below the world layer; `materialize` pays the rest.
+        let deferred = if self.lazy { Some(self.clone()) } else { None };
+
+        let jini = if self.jini && !self.lazy {
             Some(build_jini(
                 &sim,
                 &backbone,
@@ -571,7 +712,7 @@ impl SmartHomeBuilder {
         } else {
             None
         };
-        let havi = if self.havi {
+        let havi = if self.havi && !self.lazy {
             Some(build_havi(
                 &sim,
                 &backbone,
@@ -582,7 +723,7 @@ impl SmartHomeBuilder {
         } else {
             None
         };
-        let x10 = if self.x10 {
+        let x10 = if self.x10 && !self.lazy {
             Some(build_x10(
                 &sim,
                 &backbone,
@@ -594,12 +735,12 @@ impl SmartHomeBuilder {
         } else {
             None
         };
-        let mail = if self.mail {
+        let mail = if self.mail && !self.lazy {
             Some(build_mail(&sim, &backbone, &vsr, &self.protocol)?)
         } else {
             None
         };
-        let upnp = if self.upnp {
+        let upnp = if self.upnp && !self.lazy {
             Some(build_upnp(
                 &sim,
                 &backbone,
@@ -607,6 +748,38 @@ impl SmartHomeBuilder {
                 &self.protocol,
                 self.auto_import,
             )?)
+        } else {
+            None
+        };
+
+        let cloud = if let Some(cfg) = &self.cloud {
+            let island = CloudIsland::build(
+                &sim,
+                &format!("home-{}", self.island),
+                cfg.clone(),
+                self.fleet_hint,
+            );
+            if self.auto_import {
+                // The Client-Proxy pass of the cloud PCM: the standard
+                // device names of every enabled island are registered
+                // upward. Lazy homes register too — the outbox is the
+                // point of store-and-forward.
+                let rosters: [(bool, &[&str]); 5] = [
+                    (self.jini, &names::JINI),
+                    (self.havi, &names::HAVI),
+                    (self.x10, &names::X10),
+                    (self.mail, &names::MAIL),
+                    (self.upnp, &names::UPNP),
+                ];
+                for (on, roster) in rosters {
+                    if on {
+                        for name in roster {
+                            island.bridge.register_device(name)?;
+                        }
+                    }
+                }
+            }
+            Some(island)
         } else {
             None
         };
@@ -620,9 +793,11 @@ impl SmartHomeBuilder {
             x10,
             mail,
             upnp,
+            cloud,
             heartbeats: Vec::new(),
             vsr_sync_timer: None,
             flight: Mutex::new(FlightRecorder::new(SamplePolicy::default())),
+            deferred,
         };
         if let Some(policy) = self.resilience {
             home.set_resilience(policy);
@@ -1077,6 +1252,73 @@ mod tests {
         // Importing later works.
         home.jini.as_ref().unwrap().pcm.import_services().unwrap();
         assert_eq!(home.service_count(), names::JINI.len());
+    }
+
+    #[test]
+    fn lazy_home_defers_island_builds_until_materialize() {
+        let mut home = SmartHome::builder().lazy(true).build().unwrap();
+        assert!(!home.is_materialized());
+        assert!(home.jini.is_none() && home.havi.is_none());
+        assert_eq!(home.service_count(), 0, "no islands, no services");
+        home.materialize().unwrap();
+        assert!(home.is_materialized());
+        let expected = names::JINI.len() + names::HAVI.len() + names::X10.len() + names::MAIL.len();
+        assert_eq!(home.service_count(), expected);
+        // The materialized home behaves like an eager one.
+        home.invoke_from(
+            Middleware::Jini,
+            "hall-lamp",
+            "switch",
+            &[("on".into(), Value::Bool(true))],
+        )
+        .unwrap();
+        assert!(home.x10.as_ref().unwrap().hall_lamp.is_on());
+        // Idempotent.
+        home.materialize().unwrap();
+        assert_eq!(home.service_count(), expected);
+    }
+
+    #[test]
+    fn lazy_matches_eager_service_roster() {
+        let eager = SmartHome::builder().upnp(true).build().unwrap();
+        let mut lazy = SmartHome::builder().upnp(true).lazy(true).build().unwrap();
+        lazy.materialize().unwrap();
+        let roster = |h: &SmartHome| {
+            let mut names: Vec<String> = h
+                .any_gateway()
+                .vsr()
+                .find("%", None)
+                .unwrap()
+                .iter()
+                .map(|r| r.name.clone())
+                .collect();
+            names.sort();
+            names
+        };
+        assert_eq!(roster(&eager), roster(&lazy));
+    }
+
+    #[test]
+    fn cloud_home_registers_standard_devices_upward() {
+        use crate::pcm::cloud::CloudConfig;
+        let home = SmartHome::builder()
+            .cloud(CloudConfig::default())
+            .build()
+            .unwrap();
+        let cloud = home.cloud.as_ref().unwrap();
+        let expected = names::JINI.len() + names::HAVI.len() + names::X10.len() + names::MAIL.len();
+        assert_eq!(cloud.bridge.outbox_len(), expected);
+        home.sim.run_for(SimDuration::from_secs(2));
+        assert!(cloud.bridge.is_connected());
+        assert_eq!(cloud.cell.registered_devices().len(), expected);
+        // A lazy cloud home registers the same roster before its
+        // islands exist — the outbox is the store-and-forward point.
+        let lazy = SmartHome::builder()
+            .cloud(CloudConfig::default())
+            .lazy(true)
+            .build()
+            .unwrap();
+        assert_eq!(lazy.cloud.as_ref().unwrap().bridge.outbox_len(), expected);
     }
 
     #[test]

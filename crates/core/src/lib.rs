@@ -88,6 +88,10 @@ pub use metrics::{
 pub use obs::{
     FlightRecorder, HistSketch, KeepReason, KeptTrace, Layer, RecorderStats, SamplePolicy,
 };
+pub use pcm::cloud::{
+    CloudBackbone, CloudBridgePcm, CloudBridgeStats, CloudCell, CloudCellStats, CloudCommand,
+    CloudConfig, CloudFleetSummary, CloudIsland,
+};
 pub use pcm::ProtocolConversionManager;
 pub use protocol::{CompactBinary, SipLike, Soap11, VsgProtocol, VsgRequest};
 pub use proxygen::{generate, GeneratedProxy, ProxyGenCost, ProxyTarget};

@@ -17,7 +17,9 @@
 //! | [`x10`] | configured modules/sensors via CM11A | remote-button routing |
 //! | [`mail`] | the mail service as a `Mailer` | (mail cannot call inward) |
 //! | [`upnp`] | SSDP-discovered devices | hosted bridge devices |
+//! | [`cloud`] | registrations/state pushed up the WAN | downward RPC into the home |
 
+pub mod cloud;
 pub mod havi;
 pub mod jini;
 pub mod mail;

@@ -21,6 +21,8 @@ pub enum Middleware {
     Upnp,
     /// A native SOAP web service on the Internet.
     Web,
+    /// The cloud bridge over the WAN (store-and-forward PCM).
+    Cloud,
 }
 
 impl Middleware {
@@ -33,6 +35,7 @@ impl Middleware {
             Middleware::Mail => "mail",
             Middleware::Upnp => "upnp",
             Middleware::Web => "web",
+            Middleware::Cloud => "cloud",
         }
     }
 
@@ -45,6 +48,7 @@ impl Middleware {
             "mail" => Some(Middleware::Mail),
             "upnp" => Some(Middleware::Upnp),
             "web" => Some(Middleware::Web),
+            "cloud" => Some(Middleware::Cloud),
             _ => None,
         }
     }
@@ -155,6 +159,7 @@ mod tests {
             Middleware::Mail,
             Middleware::Upnp,
             Middleware::Web,
+            Middleware::Cloud,
         ] {
             assert_eq!(Middleware::from_label(m.label()), Some(m));
         }

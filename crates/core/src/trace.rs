@@ -87,6 +87,10 @@ pub enum HopKind {
     /// failover, a shard-map refresh, a backup promotion, or one
     /// anti-entropy sync exchange.
     Federation,
+    /// A cloud-bridge action: an outbox drain push, a (re)connect
+    /// handshake with epoch bump, a delta reconciliation, a downward
+    /// command delivery, or an admission-control pushback.
+    Cloud,
 }
 
 impl HopKind {
@@ -103,6 +107,7 @@ impl HopKind {
             HopKind::Event => "event",
             HopKind::Resilience => "resilience",
             HopKind::Federation => "federation",
+            HopKind::Cloud => "cloud",
         }
     }
 }

@@ -42,6 +42,21 @@ pub enum FaultKind {
         /// The other side.
         right: Vec<NodeId>,
     },
+    /// At-least-once delivery: any delivered frame (or request) may be
+    /// delivered *again*. Delivery-leg-aware like [`FaultKind::Loss`]:
+    /// a duplicated request leg re-invokes the receiving handler, the
+    /// WAN failure mode that makes idempotency mandatory.
+    Duplicate {
+        /// Probability in `[0, 1]` that a delivered frame arrives twice.
+        prob: f64,
+    },
+    /// Out-of-order delivery: each delivery is delayed by an extra
+    /// amount drawn uniformly from `[0, window)`, so frames sent close
+    /// together may arrive transposed.
+    Reorder {
+        /// The maximum extra per-delivery delay.
+        window: SimDuration,
+    },
 }
 
 /// One scheduled fault: a [`FaultKind`] active over `[from, until)`.
@@ -117,6 +132,18 @@ impl FaultPlan {
                 right: right.into(),
             },
         )
+    }
+
+    /// Schedules an at-least-once delivery window: any delivered frame
+    /// is duplicated with probability `prob` over `[from, until)`.
+    pub fn duplicate_spike(self, from: SimTime, until: SimTime, prob: f64) -> FaultPlan {
+        self.window(from, until, FaultKind::Duplicate { prob })
+    }
+
+    /// Schedules an out-of-order delivery window: each delivery gains
+    /// an extra delay drawn from `[0, window)` over `[from, until)`.
+    pub fn reorder_spike(self, from: SimTime, until: SimTime, window: SimDuration) -> FaultPlan {
+        self.window(from, until, FaultKind::Reorder { window })
     }
 
     /// Returns the plan with every window shifted `offset` later.
@@ -223,6 +250,36 @@ impl FaultPlan {
         }
         total
     }
+
+    /// The combined duplicate probability at `now`: overlapping
+    /// duplicate windows compound as independent duplication chances,
+    /// mirroring [`FaultPlan::extra_loss_at`].
+    pub fn duplicate_prob_at(&self, now: SimTime) -> f64 {
+        let mut keep = 1.0;
+        for w in &self.windows {
+            if let FaultKind::Duplicate { prob } = w.kind {
+                if w.active_at(now) {
+                    keep *= 1.0 - prob.clamp(0.0, 1.0);
+                }
+            }
+        }
+        1.0 - keep
+    }
+
+    /// The widest active reorder window at `now` ([`SimDuration::ZERO`]
+    /// when none): overlapping windows don't add — the slowest path
+    /// bounds how far a frame can slip.
+    pub fn reorder_window_at(&self, now: SimTime) -> SimDuration {
+        let mut widest = SimDuration::ZERO;
+        for w in &self.windows {
+            if let FaultKind::Reorder { window } = w.kind {
+                if w.active_at(now) && window > widest {
+                    widest = window;
+                }
+            }
+        }
+        widest
+    }
 }
 
 #[cfg(test)]
@@ -299,6 +356,25 @@ mod tests {
         assert_eq!(a, b, "same (seed, island) => same schedule");
         let from = a.windows()[0].from;
         assert!(t(100) <= from && from < t(1_100), "jitter within bound");
+    }
+
+    #[test]
+    fn duplicate_windows_compound_and_reorder_takes_the_widest() {
+        let plan = FaultPlan::new()
+            .duplicate_spike(t(0), t(100), 0.5)
+            .duplicate_spike(t(50), t(100), 0.5)
+            .reorder_spike(t(0), t(100), SimDuration::from_micros(300))
+            .reorder_spike(t(50), t(100), SimDuration::from_micros(200));
+        assert!((plan.duplicate_prob_at(t(10)) - 0.5).abs() < 1e-9);
+        assert!((plan.duplicate_prob_at(t(60)) - 0.75).abs() < 1e-9);
+        assert_eq!(plan.duplicate_prob_at(t(100)), 0.0, "half-open heal");
+        assert_eq!(plan.reorder_window_at(t(10)).as_micros(), 300);
+        assert_eq!(
+            plan.reorder_window_at(t(60)).as_micros(),
+            300,
+            "widest window bounds the slip, windows do not add"
+        );
+        assert_eq!(plan.reorder_window_at(t(100)), SimDuration::ZERO);
     }
 
     #[test]

@@ -52,12 +52,16 @@ struct NetInner {
 struct ChaosGate {
     extra_latency: SimDuration,
     extra_loss: f64,
+    duplicate: f64,
+    reorder: SimDuration,
 }
 
 impl ChaosGate {
     const CLEAR: ChaosGate = ChaosGate {
         extra_latency: SimDuration::ZERO,
         extra_loss: 0.0,
+        duplicate: 0.0,
+        reorder: SimDuration::ZERO,
     };
 }
 
@@ -238,6 +242,8 @@ impl Network {
         Ok(ChaosGate {
             extra_latency: plan.extra_latency_at(now),
             extra_loss: plan.extra_loss_at(now),
+            duplicate: plan.duplicate_prob_at(now),
+            reorder: plan.reorder_window_at(now),
         })
     }
 
@@ -249,6 +255,25 @@ impl Network {
             true
         } else {
             false
+        }
+    }
+
+    /// Draws against the gate's duplicate probability. Only consulted
+    /// on *delivered* legs — a lost frame cannot also arrive twice.
+    fn chaos_duplicate(&self, gate: &ChaosGate) -> bool {
+        gate.duplicate > 0.0 && self.inner.sim.chance(gate.duplicate)
+    }
+
+    /// The extra out-of-order slip for one delivery: uniform in
+    /// `[0, window)`, drawn from the sim RNG only while a reorder
+    /// window is active (so quiet plans leave the RNG stream — and
+    /// every existing baseline — untouched).
+    fn chaos_slip(&self, gate: &ChaosGate) -> SimDuration {
+        if gate.reorder.is_zero() {
+            SimDuration::ZERO
+        } else {
+            let span = gate.reorder.as_micros().max(1);
+            SimDuration::from_micros(self.inner.sim.with_rng(|r| r.range(0, span)))
         }
     }
 
@@ -286,7 +311,35 @@ impl Network {
                 at: sim.now(),
             });
         }
+        // At-least-once: a duplicated frame arrives a second time,
+        // after its own independent reorder slip.
+        if self.chaos_duplicate(&gate) {
+            self.deliver_slipped(&frame, self.chaos_slip(&gate));
+        }
+        // Out-of-order: a slipped frame leaves the sender now but lands
+        // in the destination's future; frames sent after it may arrive
+        // first. Delivery errors on the deferred path are dropped —
+        // exactly how a late datagram to a vanished node behaves.
+        let slip = self.chaos_slip(&gate);
+        if !slip.is_zero() {
+            self.deliver_slipped(&frame, slip);
+            return Ok(());
+        }
         self.deliver(&frame)
+    }
+
+    /// Delivers `frame` after `slip` of extra delay (immediately when
+    /// `slip` is zero), swallowing delivery errors on the deferred path.
+    fn deliver_slipped(&self, frame: &Frame, slip: SimDuration) {
+        if slip.is_zero() {
+            let _ = self.deliver(frame);
+        } else {
+            let net = self.clone();
+            let frame = frame.clone();
+            self.inner.sim.schedule_in(slip, move |_| {
+                let _ = net.deliver(&frame);
+            });
+        }
     }
 
     /// Synchronous request/response: transfers the request to `dst`,
@@ -314,7 +367,11 @@ impl Network {
         // Request leg. The chaos gate runs before any clock advance:
         // these failures guarantee the request never reached `dst`.
         let gate = self.chaos_gate(src, Some(dst))?;
-        sim.advance(self.inner.link.fragmented_transfer_time(frame.len()) + gate.extra_latency);
+        sim.advance(
+            self.inner.link.fragmented_transfer_time(frame.len())
+                + gate.extra_latency
+                + self.chaos_slip(&gate),
+        );
         if self.lossy_drop(&frame) || self.chaos_drop(&gate, &frame) {
             return Err(SimError::FrameLost { dst, at: sim.now() });
         }
@@ -332,6 +389,15 @@ impl Network {
             let mut h = handler.lock();
             (h)(&sim, &frame).map_err(SimError::Refused)?
         };
+        // At-least-once on the request leg: a duplicated request
+        // re-invokes the handler — the side effect happens *twice*
+        // unless the receiver deduplicates. The duplicate's response is
+        // discarded (the caller only matches the first).
+        if self.chaos_duplicate(&gate) {
+            self.record_delivered(&frame);
+            let mut h = handler.lock();
+            let _ = (h)(&sim, &frame);
+        }
 
         // Response leg. The handler has already run, so every failure
         // from here on must read as a *response* loss — ambiguous to
@@ -349,7 +415,9 @@ impl Network {
             }
         };
         sim.advance(
-            self.inner.link.fragmented_transfer_time(resp_frame.len()) + resp_gate.extra_latency,
+            self.inner.link.fragmented_transfer_time(resp_frame.len())
+                + resp_gate.extra_latency
+                + self.chaos_slip(&resp_gate),
         );
         if self.lossy_drop(&resp_frame) || self.chaos_drop(&resp_gate, &resp_frame) {
             return Err(SimError::FrameLost {
@@ -774,6 +842,127 @@ mod tests {
             }
         );
         assert!(!err.before_delivery(a), "must read as ambiguous");
+    }
+
+    #[test]
+    fn duplicate_window_reinvokes_request_handler() {
+        use crate::chaos::FaultPlan;
+        use crate::time::SimTime;
+        let sim = Sim::new(42);
+        let net = fast_net(&sim);
+        let a = net.attach("a");
+        let b = net.attach("b");
+        let hits = Arc::new(Mutex::new(0u32));
+        let hits2 = hits.clone();
+        net.set_request_handler(b, move |_, _| {
+            *hits2.lock() += 1;
+            Ok(Bytes::from_static(b"ok"))
+        })
+        .unwrap();
+        net.set_fault_plan(FaultPlan::new().duplicate_spike(
+            SimTime::ZERO,
+            SimTime::from_micros(u64::MAX / 2),
+            1.0,
+        ));
+        for _ in 0..5 {
+            net.request(a, b, Protocol::Raw, vec![1]).unwrap();
+        }
+        assert_eq!(
+            *hits.lock(),
+            10,
+            "prob-1.0 duplicates run the handler twice per request"
+        );
+    }
+
+    #[test]
+    fn duplicate_window_doubles_one_way_frames() {
+        use crate::chaos::FaultPlan;
+        use crate::time::SimTime;
+        let sim = Sim::new(42);
+        let net = fast_net(&sim);
+        let a = net.attach("a");
+        let b = net.attach("b");
+        net.set_fault_plan(FaultPlan::new().duplicate_spike(
+            SimTime::ZERO,
+            SimTime::from_micros(u64::MAX / 2),
+            1.0,
+        ));
+        net.send(Frame::new(a, b, Protocol::Raw, vec![7])).unwrap();
+        assert!(net.recv(b).is_some());
+        assert!(net.recv(b).is_some(), "the duplicate also lands");
+        assert!(net.recv(b).is_none());
+    }
+
+    #[test]
+    fn reorder_window_transposes_one_way_frames() {
+        use crate::chaos::FaultPlan;
+        use crate::time::SimTime;
+        // With a reorder window much wider than the inter-send gap,
+        // some seed reorders two back-to-back frames; the slip is a
+        // deterministic function of the seed.
+        let sim = Sim::new(7);
+        let net = fast_net(&sim);
+        let a = net.attach("a");
+        let b = net.attach("b");
+        net.set_fault_plan(FaultPlan::new().reorder_spike(
+            SimTime::ZERO,
+            SimTime::from_micros(u64::MAX / 2),
+            SimDuration::from_micros(50_000),
+        ));
+        let mut arrivals = Vec::new();
+        for i in 0..8u8 {
+            net.send(Frame::new(a, b, Protocol::Raw, vec![i])).unwrap();
+        }
+        sim.run_for(SimDuration::from_micros(100_000));
+        while let Some(f) = net.recv(b) {
+            arrivals.push(f.payload[0]);
+        }
+        assert_eq!(arrivals.len(), 8, "reorder never loses frames");
+        let mut sorted = arrivals.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..8).collect::<Vec<u8>>());
+        assert_ne!(
+            arrivals, sorted,
+            "a 50ms window over back-to-back sends transposes some pair"
+        );
+    }
+
+    #[test]
+    fn quiet_duplicate_reorder_plan_leaves_traffic_untouched() {
+        use crate::chaos::FaultPlan;
+        use crate::time::SimTime;
+        // Windows scheduled in the far future must not perturb either
+        // the clock or the RNG stream (baseline determinism).
+        let run = |plan: Option<FaultPlan>| {
+            let sim = Sim::new(9);
+            let net = fast_net(&sim);
+            let a = net.attach("a");
+            let b = net.attach("b");
+            net.set_request_handler(b, |_, f| Ok(f.payload.clone()))
+                .unwrap();
+            if let Some(p) = plan {
+                net.set_fault_plan(p);
+            }
+            for _ in 0..4 {
+                net.request(a, b, Protocol::Raw, vec![3]).unwrap();
+            }
+            sim.now()
+        };
+        let base = run(None);
+        let quiet = run(Some(
+            FaultPlan::new()
+                .duplicate_spike(
+                    SimTime::from_micros(u64::MAX / 4),
+                    SimTime::from_micros(u64::MAX / 2),
+                    1.0,
+                )
+                .reorder_spike(
+                    SimTime::from_micros(u64::MAX / 4),
+                    SimTime::from_micros(u64::MAX / 2),
+                    SimDuration::from_micros(10_000),
+                ),
+        ));
+        assert_eq!(base, quiet);
     }
 
     #[test]

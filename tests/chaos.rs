@@ -12,8 +12,8 @@
 //! failing schedule can be replayed exactly.
 
 use metaware::{
-    catalog, BatchCall, BatchItem, BreakerState, MetaError, Middleware, Soap11, VirtualService,
-    Vsg, VsgProtocol, Vsr,
+    catalog, BatchCall, BatchItem, BreakerState, CloudConfig, CloudIsland, MetaError, Middleware,
+    Soap11, VirtualService, Vsg, VsgProtocol, Vsr,
 };
 use parking_lot::Mutex;
 use proptest::prelude::*;
@@ -301,6 +301,216 @@ fn lost_batch_with_non_idempotent_member_is_not_resent() {
         "all-idempotent batch should retry through the spike: {results:?}"
     );
     assert!(caller.metrics().snapshot().retries >= 1);
+}
+
+// ---------------------------------------------------------------------------
+// Cloud bridge under WAN chaos (DESIGN.md §14): duplicate + reorder +
+// partition windows against the outbox / epoch / dedup machinery.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum CloudWindowSpec {
+    Duplicate { prob_pct: u8 },
+    Reorder { window_ms: u16 },
+    Partition,
+}
+
+#[derive(Debug, Clone)]
+struct CloudWindow {
+    spec: CloudWindowSpec,
+    from_ms: u16,
+    len_ms: u16,
+}
+
+fn arb_cloud_window() -> impl Strategy<Value = CloudWindow> {
+    let spec = prop_oneof![
+        (20u8..=60).prop_map(|prob_pct| CloudWindowSpec::Duplicate { prob_pct }),
+        (10u16..250).prop_map(|window_ms| CloudWindowSpec::Reorder { window_ms }),
+        Just(CloudWindowSpec::Partition),
+    ];
+    (spec, 0u16..3000, 200u16..2000).prop_map(|(spec, from_ms, len_ms)| CloudWindow {
+        spec,
+        from_ms,
+        len_ms,
+    })
+}
+
+/// 0 = state notification, 1 = device registration (lifecycle),
+/// 2 = non-idempotent downward command.
+fn arb_cloud_ops() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(0u8..3, 4..10)
+}
+
+fn build_cloud_plan(windows: &[CloudWindow], t0: SimTime, island: &CloudIsland) -> FaultPlan {
+    let mut plan = FaultPlan::new();
+    for w in windows {
+        let from = t0 + SimDuration::from_millis(w.from_ms as u64);
+        let until = from + SimDuration::from_millis(w.len_ms as u64);
+        plan = match &w.spec {
+            CloudWindowSpec::Duplicate { prob_pct } => {
+                plan.duplicate_spike(from, until, *prob_pct as f64 / 100.0)
+            }
+            CloudWindowSpec::Reorder { window_ms } => {
+                plan.reorder_spike(from, until, SimDuration::from_millis(*window_ms as u64))
+            }
+            CloudWindowSpec::Partition => plan.partition(
+                vec![island.bridge.home_node()],
+                vec![island.bridge.cloud_node()],
+                from,
+                until,
+            ),
+        };
+    }
+    plan
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The WAN trio — duplicate, reorder, partition — against the cloud
+    /// bridge. Three promises survive any schedule: a non-idempotent
+    /// downward command is applied at most once per command id (and the
+    /// all-time `duplicate_effects` counter stays 0), the outbox drains
+    /// in order so the cloud edge converges on the *latest* state per
+    /// device, and once every window lapses the pair reconnects and
+    /// fully drains with no operator intervention.
+    #[test]
+    fn cloud_chaos_applies_commands_exactly_once_and_drains_in_order(
+        windows in prop::collection::vec(arb_cloud_window(), 1..5),
+        ops in arb_cloud_ops(),
+    ) {
+        let sim = Sim::new(chaos_seed());
+        let island = CloudIsland::build(&sim, "home-chaos", CloudConfig::default(), 1);
+        let applied = Arc::new(Mutex::new(Vec::<u64>::new()));
+        let log = applied.clone();
+        island.bridge.set_applier(move |_, cmd| {
+            log.lock().push(cmd.id);
+            Ok(format!("done:{}", cmd.op))
+        });
+
+        // Warm: first handshake and a drained seed entry.
+        let mut max_seq = island.bridge.register_device("lamp").unwrap();
+        sim.run_for(SimDuration::from_secs(1));
+        prop_assert!(island.bridge.is_connected());
+
+        let t0 = sim.now();
+        let plan = build_cloud_plan(&windows, t0, &island);
+        let healed_by = plan.healed_by();
+        island.set_wan_fault_plan(plan);
+
+        let mut last_probe = None;
+        let mut command_successes = 0u64;
+        for (i, op) in ops.iter().enumerate() {
+            match op {
+                0 => {
+                    let payload = format!("p{i}");
+                    max_seq = max_seq.max(island.bridge.notify_state("probe", &payload).unwrap());
+                    last_probe = Some(payload);
+                }
+                1 => {
+                    max_seq =
+                        max_seq.max(island.bridge.register_device(&format!("d{i}")).unwrap());
+                }
+                _ => {
+                    if island.cell.send_command("lamp", "switch", "on").is_ok() {
+                        command_successes += 1;
+                    }
+                }
+            }
+            sim.run_for(SimDuration::from_millis(400));
+        }
+
+        // Heal: outlast every window plus the bridge's worst backoff.
+        let past = healed_by + SimDuration::from_secs(90);
+        if sim.now() < past {
+            sim.run_until(past);
+        }
+
+        // Exactly-once: every applied command id is unique, every
+        // reported success executed, and the duplicate counter never
+        // moved — at-least-once delivery, exactly-once effect.
+        let ids = applied.lock().clone();
+        let mut unique = ids.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        prop_assert_eq!(unique.len(), ids.len(), "a command id was applied twice");
+        prop_assert!(ids.len() as u64 >= command_successes);
+        prop_assert_eq!(island.bridge.stats().duplicate_effects, 0);
+
+        // Drain order + convergence: connected again, outbox empty, the
+        // edge saw every sequence number and holds the latest probe
+        // state (an out-of-order apply would leave an older payload).
+        prop_assert!(island.bridge.is_connected());
+        prop_assert_eq!(island.bridge.outbox_len(), 0);
+        prop_assert_eq!(island.cell.applied_through(), max_seq);
+        if let Some(p) = &last_probe {
+            let state = island.cell.device_state("probe");
+            prop_assert_eq!(state.as_deref(), Some(p.as_str()));
+        }
+        for (i, op) in ops.iter().enumerate() {
+            if *op == 1 {
+                let dev = format!("d{i}");
+                prop_assert!(island.cell.registered_devices().contains(&dev));
+            }
+        }
+
+        // Post-heal, a fresh non-idempotent command lands exactly once.
+        let before = applied.lock().len();
+        island.cell.send_command("lamp", "switch", "off").unwrap();
+        prop_assert_eq!(applied.lock().len(), before + 1);
+    }
+}
+
+/// Same seed, same cloud run: reconnect jitter, backoff, command
+/// retries, drains and all — a failing schedule replays from its
+/// CHAOS_SEED.
+#[test]
+fn cloud_chaos_runs_are_deterministic_per_seed() {
+    let run = |seed: u64| {
+        let sim = Sim::new(seed);
+        let island = CloudIsland::build(&sim, "home-det", CloudConfig::default(), 1);
+        island.bridge.register_device("lamp").unwrap();
+        sim.run_for(SimDuration::from_secs(1));
+        let t0 = sim.now();
+        island.set_wan_fault_plan(
+            FaultPlan::new()
+                .duplicate_spike(t0, t0 + SimDuration::from_millis(800), 0.5)
+                .reorder_spike(
+                    t0,
+                    t0 + SimDuration::from_millis(800),
+                    SimDuration::from_millis(120),
+                )
+                .partition(
+                    vec![island.bridge.home_node()],
+                    vec![island.bridge.cloud_node()],
+                    t0 + SimDuration::from_secs(1),
+                    t0 + SimDuration::from_secs(3),
+                ),
+        );
+        let mut outcomes = Vec::new();
+        for i in 0..6 {
+            island
+                .bridge
+                .notify_state("probe", &format!("v{i}"))
+                .unwrap();
+            outcomes.push(
+                island
+                    .cell
+                    .send_command("lamp", "switch", "on")
+                    .map_err(|e| e.to_string()),
+            );
+            sim.run_for(SimDuration::from_millis(700));
+        }
+        sim.run_for(SimDuration::from_secs(60));
+        (
+            outcomes,
+            sim.now(),
+            format!("{:?}", island.bridge.stats()),
+            format!("{:?}", island.cell.stats()),
+            island.cell.applied_through(),
+        )
+    };
+    assert_eq!(run(42), run(42), "same seed, same cloud run");
 }
 
 /// The same seed and schedule must reproduce the exact same run —
