@@ -102,6 +102,14 @@ cargo bench -p bench --bench e16_parallel -- --test
 stage "e17 cloud bridge smoke (WAN robustness assertions)"
 cargo bench -p bench --bench e17_cloud -- --test
 
+# E18 smoke run: the three-codec wire ablation over the zero-copy
+# stack — asserts SOAP's warm-path allocs/op stay >= 3x below the
+# pre-zero-copy baseline, the binary codec moves fewer wire bytes/op
+# than SOAP, the streaming decoder buffers <= 1 frame, and every codec
+# is thread-count deterministic. Emits BENCH_codec.json.
+stage "e18 codec ablation smoke (zero-copy + determinism assertions)"
+cargo bench -p bench --bench e18_codec -- --test
+
 stage "cargo doc --no-deps (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace -q
 

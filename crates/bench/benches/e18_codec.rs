@@ -1,0 +1,384 @@
+//! E18: zero-copy codec stack — three-codec wire-format ablation at
+//! fleet load (DESIGN.md §15).
+//!
+//! The paper's §4 weighs SOAP against alternative wire formats on
+//! qualitative grounds; this bench quantifies the trade on the same
+//! gateway stack by swapping only the VSG codec: SOAP 1.1 (the
+//! prototype), the SIP-like text protocol, and the compact binary
+//! format, all driven by one seeded fleet-style workload.
+//!
+//! Measured per codec, all deterministic:
+//!
+//!  * **single-call mix** — a 256-call seeded trace against the
+//!    standard home: wire bytes/op, heap allocs/op (counted by a
+//!    wrapping global allocator in this harness — the production stack
+//!    carries no counting), and virtual-time p50/p99;
+//!  * **batch train** — a 32-member invocation batch between two
+//!    gateways: bytes and allocs per member;
+//!  * **stream decode** — the binary codec's length-prefixed streaming
+//!    mode: the decoder's peak buffer must stay at or below one frame;
+//!  * **fleet identity** — a 4-home fleet with per-home call drivers
+//!    and periodic fan-out bursts, run at 1 and 2 worker threads:
+//!    metrics snapshots, scheduler statistics, invocation counts and
+//!    backbone bytes must be bit-for-bit identical (every codec, not
+//!    just the default).
+//!
+//! Threshold assertions (exercised by `-- --test`, ci.sh's smoke gate):
+//!
+//!  * warm-path SOAP allocs/op must be >= 3x down from the
+//!    pre-zero-copy stack ([`PRE_ZERO_COPY_SOAP_ALLOCS_PER_OP`]);
+//!  * the binary codec must move fewer wire bytes/op than SOAP;
+//!  * the streaming decoder's peak buffer must be <= 1x the frame.
+//!
+//! Emits `BENCH_codec.json`.
+
+use bench::workload::{replay, Workload};
+use bench::{cell, fmt_us, percentile, Report};
+use criterion::{criterion_group, criterion_main, Criterion};
+use metaware::protocol::binval;
+use metaware::{
+    catalog, BatchCall, BatchItem, BatchPolicy, CompactBinary, HomeFleet, Middleware, SipLike,
+    SmartHome, Soap11, VirtualService, Vsg, VsgProtocol, Vsr,
+};
+use simnet::{Network, ParRunStats, Sim, SimDuration};
+use soap::Value;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Counts heap allocations so the report can state allocs/op. Only the
+/// bench harness pays this; the codec stack itself is unchanged.
+struct CountingAlloc;
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, l: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(l)
+    }
+    unsafe fn dealloc(&self, p: *mut u8, l: Layout) {
+        System.dealloc(p, l)
+    }
+    unsafe fn realloc(&self, p: *mut u8, l: Layout, n: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(p, l, n)
+    }
+    unsafe fn alloc_zeroed(&self, l: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(l)
+    }
+}
+
+#[global_allocator]
+static A: CountingAlloc = CountingAlloc;
+
+/// Warm-path allocs/op of the SOAP codec on this exact workload (seed
+/// 42, 32-call warm-up, 256 measured calls, release profile), measured
+/// at the commit before the zero-copy rework. The tentpole bar is a
+/// >= 3x reduction against this number.
+const PRE_ZERO_COPY_SOAP_ALLOCS_PER_OP: f64 = 207.4;
+
+const TRACE_CALLS: usize = 256;
+const BATCH_MEMBERS: usize = 32;
+const FLEET_HOMES: usize = 4;
+const FLEET_SECS: u64 = 3;
+
+fn codecs() -> Vec<(&'static str, Arc<dyn VsgProtocol>)> {
+    vec![
+        ("soap", Arc::new(Soap11::new())),
+        ("sip", Arc::new(SipLike::new())),
+        ("binary", Arc::new(CompactBinary::new())),
+    ]
+}
+
+struct MixRun {
+    bytes_per_op: f64,
+    allocs_per_op: f64,
+    p50: u64,
+    p99: u64,
+}
+
+/// Replays the seeded call trace against a standard home running on
+/// `protocol`, measuring backbone bytes, allocations and virtual-time
+/// latency per call.
+fn run_mix(protocol: Arc<dyn VsgProtocol>) -> MixRun {
+    let home = SmartHome::builder().protocol(protocol).build().unwrap();
+    let mut w = Workload::new(42);
+    replay(&home, &w.trace(32));
+    let trace = w.trace(TRACE_CALLS);
+    let b0 = home.backbone.with_stats(|s| s.total().bytes);
+    let a0 = ALLOCS.load(Ordering::Relaxed);
+    let lat = replay(&home, &trace);
+    let da = ALLOCS.load(Ordering::Relaxed) - a0;
+    let db = home.backbone.with_stats(|s| s.total().bytes) - b0;
+    MixRun {
+        bytes_per_op: db as f64 / TRACE_CALLS as f64,
+        allocs_per_op: da as f64 / TRACE_CALLS as f64,
+        p50: percentile(&lat, 50.0),
+        p99: percentile(&lat, 99.0),
+    }
+}
+
+/// A two-gateway world with one warm exported service on `protocol`.
+fn batch_world(protocol: Arc<dyn VsgProtocol>) -> (Sim, Network, Vsg) {
+    let sim = Sim::new(7);
+    let net = Network::ethernet(&sim);
+    let vsr = Vsr::start(&net);
+    let server = Vsg::start(&net, "gw-server", protocol.clone(), vsr.node()).unwrap();
+    let caller = Vsg::start(&net, "gw-caller", protocol, vsr.node()).unwrap();
+    server
+        .export(
+            VirtualService::new("bench-lamp", catalog::lamp(), Middleware::X10, "gw-server"),
+            |_: &Sim, _: &str, _: &[(String, Value)]| Ok(Value::Bool(true)),
+        )
+        .unwrap();
+    caller.invoke(&sim, "bench-lamp", "status", &[]).unwrap();
+    (sim, net, caller)
+}
+
+/// One warm 32-member batch train: (bytes/member, allocs/member).
+fn run_batch(protocol: Arc<dyn VsgProtocol>) -> (f64, f64) {
+    let (sim, net, caller) = batch_world(protocol);
+    caller.set_batching(BatchPolicy {
+        max_batch: BATCH_MEMBERS,
+        ..BatchPolicy::default()
+    });
+    let items: Vec<BatchItem> = (0..BATCH_MEMBERS)
+        .map(|_| BatchItem::Call(BatchCall::new("bench-lamp", "status")))
+        .collect();
+    caller.invoke_batch(&sim, &items); // warm the batch path
+    let b0 = net.with_stats(|s| s.total().bytes);
+    let a0 = ALLOCS.load(Ordering::Relaxed);
+    let results = caller.invoke_batch(&sim, &items);
+    let da = ALLOCS.load(Ordering::Relaxed) - a0;
+    let db = net.with_stats(|s| s.total().bytes) - b0;
+    assert!(
+        results.iter().all(|r| r == &Ok(Value::Bool(true))),
+        "every member of the train succeeds"
+    );
+    (
+        db as f64 / BATCH_MEMBERS as f64,
+        da as f64 / BATCH_MEMBERS as f64,
+    )
+}
+
+/// Streams a 64-item binary batch frame through [`binval::StreamDecoder`]
+/// in small chunks and returns peak-buffer / frame-length. The decoder
+/// must never buffer more than one frame (the streaming-mode promise).
+fn run_stream_decode() -> f64 {
+    let items: Vec<Value> = (0..64)
+        .map(|i| {
+            Value::Record(vec![
+                ("i".into(), Value::Int(i)),
+                ("pad".into(), Value::Str("x".repeat(64))),
+            ])
+        })
+        .collect();
+    let mut frame = Vec::new();
+    binval::encode_frame_into(&items, &mut frame);
+    let mut dec = binval::StreamDecoder::new();
+    let mut got = 0usize;
+    for chunk in frame.chunks(48) {
+        dec.push(chunk);
+        while dec.next_item().is_some() {
+            got += 1;
+        }
+    }
+    assert_eq!(got, items.len(), "streamed decode recovers every item");
+    assert!(dec.finished() && !dec.is_malformed());
+    assert!(
+        dec.peak_buffer() <= frame.len(),
+        "streaming peak buffer {} exceeds one frame {}",
+        dec.peak_buffer(),
+        frame.len()
+    );
+    dec.peak_buffer() as f64 / frame.len() as f64
+}
+
+struct FleetRun {
+    stats: ParRunStats,
+    invocations: u64,
+    bytes: u64,
+    snapshots: Vec<String>,
+}
+
+/// Builds a fleet on `protocol`, arms per-home seeded call drivers plus
+/// a periodic 8-member fan-out burst, and drives `FLEET_SECS` of
+/// virtual time.
+fn run_fleet(protocol: &Arc<dyn VsgProtocol>, threads: usize) -> FleetRun {
+    let fleet = HomeFleet::build(
+        SmartHome::builder()
+            .protocol(protocol.clone())
+            .threads(threads),
+        FLEET_HOMES,
+    )
+    .unwrap();
+    let invocations = Arc::new(AtomicU64::new(0));
+    for (i, home) in fleet.homes().iter().enumerate() {
+        let mut workload = Workload::new(1000 + i as u64);
+        let home_gw: Vec<(Middleware, Vsg)> = [
+            Middleware::Jini,
+            Middleware::Havi,
+            Middleware::X10,
+            Middleware::Mail,
+        ]
+        .iter()
+        .filter_map(|&mw| home.gateway(mw).cloned().map(|v| (mw, v)))
+        .collect();
+        let count = invocations.clone();
+        home.sim.every(SimDuration::from_millis(20), move |sim| {
+            let call = workload.next_call();
+            if let Some((_, vsg)) = home_gw.iter().find(|(mw, _)| *mw == call.from) {
+                if vsg
+                    .invoke(sim, call.service, call.operation, &call.args)
+                    .is_ok()
+                {
+                    count.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        });
+        // Fan-out burst: every 500 ms one gateway fires an 8-member
+        // batch train (the codec's batch frame under fleet load).
+        if let Some(vsg) = home.gateway(Middleware::Jini).cloned() {
+            vsg.set_batching(BatchPolicy {
+                max_batch: 8,
+                ..BatchPolicy::default()
+            });
+            let count = invocations.clone();
+            home.sim.every(SimDuration::from_millis(500), move |sim| {
+                let items: Vec<BatchItem> = (0..8)
+                    .map(|_| BatchItem::Call(BatchCall::new("hall-lamp", "status")))
+                    .collect();
+                let ok = vsg
+                    .invoke_batch(sim, &items)
+                    .iter()
+                    .filter(|r| r.is_ok())
+                    .count();
+                count.fetch_add(ok as u64, Ordering::Relaxed);
+            });
+        }
+    }
+    let stats = fleet.run_for(SimDuration::from_secs(FLEET_SECS));
+    FleetRun {
+        stats,
+        invocations: invocations.load(Ordering::Relaxed),
+        bytes: fleet
+            .homes()
+            .iter()
+            .map(|h| h.backbone.with_stats(|s| s.total().bytes))
+            .sum(),
+        snapshots: fleet
+            .metrics_snapshots()
+            .iter()
+            .map(|s| s.to_json())
+            .collect(),
+    }
+}
+
+fn codec_report() {
+    let mut report = Report::new(
+        "E18",
+        "three-codec wire ablation: 256-call mix, 32-member batch, stream decode, 4-home fleet",
+        &["codec", "workload", "bytes/op", "allocs/op", "p50", "p99"],
+    );
+
+    let mut soap_mix_bytes = 0.0;
+    let mut soap_mix_allocs = 0.0;
+    let mut binary_mix_bytes = f64::MAX;
+    for (name, protocol) in codecs() {
+        let mix = run_mix(protocol.clone());
+        report.row(vec![
+            cell(name),
+            format!("single-call mix ({TRACE_CALLS})"),
+            format!("{:.1}", mix.bytes_per_op),
+            format!("{:.1}", mix.allocs_per_op),
+            fmt_us(mix.p50),
+            fmt_us(mix.p99),
+        ]);
+        if name == "soap" {
+            soap_mix_bytes = mix.bytes_per_op;
+            soap_mix_allocs = mix.allocs_per_op;
+        }
+        if name == "binary" {
+            binary_mix_bytes = mix.bytes_per_op;
+        }
+        let (batch_bytes, batch_allocs) = run_batch(protocol);
+        report.row(vec![
+            cell(name),
+            format!("batch train ({BATCH_MEMBERS} members)"),
+            format!("{batch_bytes:.1}"),
+            format!("{batch_allocs:.1}"),
+            cell("-"),
+            cell("-"),
+        ]);
+    }
+
+    // The tentpole bar: the zero-copy stack must hold SOAP's warm path
+    // at >= 3x fewer allocations than the pre-rework stack.
+    assert!(
+        soap_mix_allocs * 3.0 <= PRE_ZERO_COPY_SOAP_ALLOCS_PER_OP,
+        "soap warm allocs/op must be >= 3x down from {PRE_ZERO_COPY_SOAP_ALLOCS_PER_OP} \
+         (got {soap_mix_allocs:.1})"
+    );
+    assert!(
+        binary_mix_bytes < soap_mix_bytes,
+        "binary codec must move fewer wire bytes/op than SOAP \
+         ({binary_mix_bytes:.1} vs {soap_mix_bytes:.1})"
+    );
+
+    let peak_ratio = run_stream_decode();
+    report.row(vec![
+        "binary".into(),
+        "stream decode peak-buffer/frame".into(),
+        format!("{peak_ratio:.3}"),
+        cell("-"),
+        cell("-"),
+        cell("-"),
+    ]);
+
+    // Fleet identity: every codec must stay deterministic under the
+    // conservative parallel scheduler.
+    for (name, protocol) in codecs() {
+        let t1 = run_fleet(&protocol, 1);
+        let t2 = run_fleet(&protocol, 2);
+        assert_eq!(
+            t1.snapshots, t2.snapshots,
+            "{name}: metrics snapshots must be identical at 1 vs 2 threads"
+        );
+        assert_eq!(
+            (t1.stats.windows, t1.stats.events, t1.stats.cross_sends),
+            (t2.stats.windows, t2.stats.events, t2.stats.cross_sends),
+            "{name}: scheduler statistics must be identical at 1 vs 2 threads"
+        );
+        assert_eq!(t1.invocations, t2.invocations, "{name}: invocation counts");
+        assert_eq!(t1.bytes, t2.bytes, "{name}: backbone bytes");
+        report.row(vec![
+            cell(name),
+            format!("fleet {FLEET_HOMES} homes x {FLEET_SECS}s (1==2 threads)"),
+            format!("{:.1}", t1.bytes as f64 / t1.invocations.max(1) as f64),
+            cell(t1.invocations),
+            cell(t1.stats.windows),
+            cell(t1.stats.events),
+        ]);
+    }
+
+    report.emit_as("BENCH_codec.json");
+}
+
+fn bench(c: &mut Criterion) {
+    codec_report();
+
+    // Real-CPU cost of one warm single call per codec.
+    let mut group = c.benchmark_group("e18");
+    group.sample_size(20);
+    for (name, protocol) in codecs() {
+        let (sim, _net, caller) = batch_world(protocol);
+        group.bench_function(&format!("invoke_warm_{name}"), |b| {
+            b.iter(|| caller.invoke(&sim, "bench-lamp", "status", &[]).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1167,7 +1167,7 @@ mod tests {
         let expected = names::JINI.len() + names::HAVI.len() + names::X10.len() + names::MAIL.len();
         assert_eq!(home.service_count(), expected);
         let records = home.any_gateway().vsr().find("%", None).unwrap();
-        let mut found: Vec<String> = records.iter().map(|r| r.name.clone()).collect();
+        let mut found: Vec<String> = records.iter().map(|r| r.name.to_string()).collect();
         found.sort();
         let mut want: Vec<String> = names::JINI
             .iter()
@@ -1290,7 +1290,7 @@ mod tests {
                 .find("%", None)
                 .unwrap()
                 .iter()
-                .map(|r| r.name.clone())
+                .map(|r| r.name.to_string())
                 .collect();
             names.sort();
             names

@@ -61,6 +61,7 @@ pub mod federation;
 pub mod fleet;
 pub mod home;
 pub mod iface;
+pub mod intern;
 pub mod metrics;
 pub mod obs;
 pub mod pcm;
@@ -82,6 +83,7 @@ pub use federation::{FederationConfig, ShardMap, Version};
 pub use fleet::{env_threads, HomeFleet};
 pub use home::{house, unit, SmartHome, SmartHomeBuilder};
 pub use iface::{catalog, InterfaceCatalog, OpSig, ServiceInterface, TypeTag};
+pub use intern::Name;
 pub use metrics::{
     footprint, CacheStats, Measurement, MetricsRegistry, MetricsSnapshot, Probe, RegistrySnapshot,
 };

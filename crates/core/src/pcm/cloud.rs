@@ -45,6 +45,7 @@
 //! unbounded lookahead.
 
 use crate::error::MetaError;
+use crate::intern::Name;
 use crate::metrics::{CacheStats, MetricsRegistry, MetricsSnapshot};
 use crate::obs::HistSketch;
 use crate::trace::{HopKind, Span, Tracer};
@@ -797,7 +798,7 @@ impl crate::pcm::ProtocolConversionManager for CloudBridgePcm {
 
     /// The cloud exports no services back into the home islands;
     /// downward RPCs address devices directly.
-    fn exported(&self) -> Vec<String> {
+    fn exported(&self) -> Vec<Name> {
         Vec::new()
     }
 }

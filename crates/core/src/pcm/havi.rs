@@ -11,6 +11,7 @@
 
 use crate::error::MetaError;
 use crate::iface::{OpSig, ServiceInterface, TypeTag};
+use crate::intern::Name;
 use crate::pcm::ProtocolConversionManager;
 use crate::proxygen::{self, ProxyGenCost, ProxyTarget};
 use crate::service::{Middleware, VirtualService};
@@ -185,7 +186,7 @@ pub struct HaviPcm {
     registry: RegistryClient,
     imported: Arc<Mutex<Vec<String>>>,
     imported_fcms: Arc<Mutex<std::collections::HashMap<String, (FcmKind, Seid)>>>,
-    exported: Arc<Mutex<Vec<String>>>,
+    exported: Arc<Mutex<Vec<Name>>>,
 }
 
 impl HaviPcm {
@@ -381,7 +382,7 @@ impl HaviPcm {
             }
         }
         let tree = DdiElement::Panel {
-            title: record.name.clone(),
+            title: record.name.to_string(),
             children,
         };
 
@@ -415,7 +416,7 @@ impl HaviPcm {
     }
 
     /// Exports every non-HAVi service currently in the VSR.
-    pub fn export_all_remote(&self) -> Result<Vec<String>, MetaError> {
+    pub fn export_all_remote(&self) -> Result<Vec<Name>, MetaError> {
         let mut done = Vec::new();
         for record in self.vsg.vsr().find("%", None)? {
             if record.middleware == Middleware::Havi || self.exported.lock().contains(&record.name)
@@ -495,7 +496,7 @@ impl ProtocolConversionManager for HaviPcm {
         self.imported.lock().clone()
     }
 
-    fn exported(&self) -> Vec<String> {
+    fn exported(&self) -> Vec<Name> {
         self.exported.lock().clone()
     }
 }

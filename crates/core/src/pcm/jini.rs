@@ -13,6 +13,7 @@
 
 use crate::error::MetaError;
 use crate::iface::{InterfaceCatalog, ServiceInterface};
+use crate::intern::Name;
 use crate::pcm::ProtocolConversionManager;
 use crate::proxygen::{self, ProxyGenCost, ProxyTarget};
 use crate::service::{Middleware, VirtualService};
@@ -81,7 +82,7 @@ pub struct JiniPcm {
     registrar: RegistrarClient,
     catalog: InterfaceCatalog,
     imported: Arc<Mutex<Vec<String>>>,
-    exported: Arc<Mutex<Vec<String>>>,
+    exported: Arc<Mutex<Vec<Name>>>,
     leases: Arc<Mutex<Vec<LeaseId>>>,
 }
 
@@ -266,7 +267,7 @@ impl JiniPcm {
     }
 
     /// Exports every non-Jini service currently in the VSR.
-    pub fn export_all_remote(&self) -> Result<Vec<String>, MetaError> {
+    pub fn export_all_remote(&self) -> Result<Vec<Name>, MetaError> {
         let mut done = Vec::new();
         for record in self.vsg.vsr().find("%", None)? {
             if record.middleware == Middleware::Jini {
@@ -311,7 +312,7 @@ impl ProtocolConversionManager for JiniPcm {
         self.imported.lock().clone()
     }
 
-    fn exported(&self) -> Vec<String> {
+    fn exported(&self) -> Vec<Name> {
         self.exported.lock().clone()
     }
 }

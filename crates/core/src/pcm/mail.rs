@@ -13,6 +13,7 @@
 
 use crate::error::MetaError;
 use crate::iface::catalog;
+use crate::intern::Name;
 use crate::pcm::ProtocolConversionManager;
 use crate::service::{Middleware, VirtualService};
 use crate::trace::HopKind;
@@ -107,7 +108,7 @@ impl ProtocolConversionManager for MailPcm {
         self.imported.lock().clone()
     }
 
-    fn exported(&self) -> Vec<String> {
+    fn exported(&self) -> Vec<Name> {
         Vec::new() // mail cannot call inward; see module docs
     }
 }

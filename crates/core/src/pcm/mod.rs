@@ -26,6 +26,7 @@ pub mod mail;
 pub mod upnp;
 pub mod x10;
 
+use crate::intern::Name;
 use crate::service::Middleware;
 
 /// What every PCM can report about itself.
@@ -38,5 +39,5 @@ pub trait ProtocolConversionManager {
 
     /// Names of remote services exported into the native middleware
     /// (Server Proxy side).
-    fn exported(&self) -> Vec<String>;
+    fn exported(&self) -> Vec<Name>;
 }

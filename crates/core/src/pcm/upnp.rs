@@ -8,6 +8,7 @@
 
 use crate::error::MetaError;
 use crate::iface::{OpSig, ServiceInterface, TypeTag};
+use crate::intern::Name;
 use crate::pcm::ProtocolConversionManager;
 use crate::proxygen::{self, ProxyGenCost, ProxyTarget};
 use crate::service::{Middleware, VirtualService};
@@ -75,7 +76,7 @@ pub struct UpnpPcm {
     net: Network,
     cp: ControlPoint,
     imported: Arc<Mutex<Vec<String>>>,
-    exported: Arc<Mutex<Vec<String>>>,
+    exported: Arc<Mutex<Vec<Name>>>,
     hosted: Arc<Mutex<Vec<UpnpDevice>>>,
 }
 
@@ -220,7 +221,7 @@ impl ProtocolConversionManager for UpnpPcm {
         self.imported.lock().clone()
     }
 
-    fn exported(&self) -> Vec<String> {
+    fn exported(&self) -> Vec<Name> {
         self.exported.lock().clone()
     }
 }

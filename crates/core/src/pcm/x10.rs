@@ -17,6 +17,7 @@
 
 use crate::error::MetaError;
 use crate::iface::catalog;
+use crate::intern::Name;
 use crate::pcm::ProtocolConversionManager;
 use crate::service::{Middleware, VirtualService};
 use crate::trace::HopKind;
@@ -77,7 +78,7 @@ struct X10Inner {
     sensor_hook: Mutex<Option<SensorHook>>,
     latch: Mutex<HashMap<HouseCode, Vec<UnitCode>>>,
     imported: Mutex<Vec<String>>,
-    exported: Mutex<Vec<String>>,
+    exported: Mutex<Vec<Name>>,
     repeats: u32,
 }
 
@@ -236,7 +237,7 @@ impl X10Pcm {
     /// Routes an observed `(house, unit, function)` command to a remote
     /// service invocation.
     pub fn add_route(&self, route: Route) {
-        self.inner.exported.lock().push(route.service.clone());
+        self.inner.exported.lock().push(Name::new(&route.service));
         self.inner.routes.lock().push(route);
     }
 
@@ -475,7 +476,7 @@ impl ProtocolConversionManager for X10Pcm {
         self.inner.imported.lock().clone()
     }
 
-    fn exported(&self) -> Vec<String> {
+    fn exported(&self) -> Vec<Name> {
         self.inner.exported.lock().clone()
     }
 }

@@ -6,7 +6,7 @@
 //! the prototype's "simple protocol" choice.
 
 use super::{
-    binval, member_from_value, member_to_value, result_from_value, result_to_value, GatewayHandler,
+    binval, member_from_ref, member_to_value, result_from_ref, result_to_value, GatewayHandler,
     VsgProtocol, VsgRequest,
 };
 use crate::error::MetaError;
@@ -44,23 +44,13 @@ fn encode_request(req: &VsgRequest) -> Vec<u8> {
 }
 
 fn decode_request(data: &[u8]) -> Option<VsgRequest> {
-    let body = binval::from_bytes(data.strip_prefix(MAGIC)?)?;
-    let service = body.field("s")?.as_str()?.to_owned();
-    let operation = body.field("o")?.as_str()?.to_owned();
-    let args = match body.field("a")? {
-        Value::Record(fields) => fields.clone(),
-        _ => return None,
-    };
-    let trace = body
-        .field("t")
-        .and_then(Value::as_str)
-        .and_then(crate::trace::TraceContext::from_wire);
-    Some(VsgRequest {
-        service,
-        operation,
-        args,
-        trace,
-    })
+    // Borrowed decode: the request body has exactly the batch-member
+    // shape {s, o, a[, t]}, and `member_from_ref` converts it to an
+    // owned request straight from frame slices — the old path built an
+    // owned `Value` tree first and then cloned the argument list out
+    // of it, buffering every string twice.
+    let body = binval::from_bytes_ref(data.strip_prefix(MAGIC)?)?;
+    member_from_ref(&body)
 }
 
 // Reply tags. Tag 2 is distinct from the generic fault so a stale
@@ -87,11 +77,18 @@ fn encode_batch_request(reqs: &[VsgRequest]) -> Vec<u8> {
 }
 
 fn decode_batch_request(data: &[u8]) -> Option<Vec<VsgRequest>> {
-    let body = binval::from_bytes(data.strip_prefix(MAGIC)?)?;
-    let Value::List(items) = body.field("B")? else {
-        return None;
-    };
-    items.iter().map(member_from_value).collect()
+    // The batch head is fixed: Record{1 field} with key "B" — match its
+    // four wire bytes directly, then stream the member list. Each
+    // member is converted to an owned request and its borrowed form
+    // dropped before the next is decoded, so peak live decode state is
+    // one member, not the whole frame's value tree.
+    let rest = data.strip_prefix(MAGIC)?.strip_prefix(&[7u8, 1, 1, b'B'])?;
+    let mut stream = binval::ListStream::open(rest)?;
+    let mut reqs = Vec::with_capacity(stream.remaining());
+    while stream.remaining() > 0 {
+        reqs.push(member_from_ref(&stream.next_ref()?)?);
+    }
+    stream.finished_clean().then_some(reqs)
 }
 
 fn encode_batch_reply(results: &[Result<Value, MetaError>]) -> Vec<u8> {
@@ -104,11 +101,23 @@ fn encode_batch_reply(results: &[Result<Value, MetaError>]) -> Vec<u8> {
 }
 
 fn decode_batch_reply(data: &[u8]) -> Result<Vec<Result<Value, MetaError>>, MetaError> {
+    let bad = || MetaError::Protocol("bad batch reply body".into());
     match data.split_first() {
-        Some((&TAG_BATCH, rest)) => match binval::from_bytes(rest) {
-            Some(Value::List(items)) => Ok(items.iter().map(result_from_value).collect()),
-            _ => Err(MetaError::Protocol("bad batch reply body".into())),
-        },
+        Some((&TAG_BATCH, rest)) => {
+            // Stream the result list: an undecodable member fails the
+            // whole frame (as `from_bytes` used to); a decodable member
+            // of the wrong shape stays a per-member error.
+            let mut stream = binval::ListStream::open(rest).ok_or_else(bad)?;
+            let mut results = Vec::with_capacity(stream.remaining());
+            while stream.remaining() > 0 {
+                let member = stream.next_ref().ok_or_else(bad)?;
+                results.push(result_from_ref(&member));
+            }
+            if !stream.finished_clean() {
+                return Err(bad());
+            }
+            Ok(results)
+        }
         // The server answered in single-reply form (e.g. it rejected
         // the frame as malformed): surface that as the whole-batch
         // error.

@@ -2,6 +2,22 @@
 //!
 //! Used by the `CompactBinary` VSG protocol (the E4 strawman showing what
 //! SOAP's XML costs) and as the SIP-like protocol's body encoding.
+//!
+//! Three decode tiers share one wire format:
+//!
+//! * [`from_bytes`] — owned [`Value`] tree (copies every string).
+//! * [`from_bytes_ref`] — borrowed [`ValueRef`] tree: strings and byte
+//!   runs are slices of the frame, only the tree spine allocates.
+//! * [`ListStream`] — single-pass iteration over a wire-form list's
+//!   items without materialising the outer list at all (how batch
+//!   frames are demultiplexed member by member).
+//!
+//! There is additionally a *length-prefixed streaming frame* mode
+//! ([`FrameEncoder`] / [`StreamDecoder`]) for large batch frames moving
+//! through chunked transports: each item is prefixed with its encoded
+//! byte length, so the receiver can decode item-by-item as chunks
+//! arrive, holding at most one frame's worth of bytes (never the frame
+//! *plus* a decoded copy of all of it — the old double buffer).
 
 use soap::Value;
 
@@ -102,10 +118,12 @@ pub fn encode_str_field(key: &str, value: &str, out: &mut Vec<u8>) {
 }
 
 /// Encodes borrowed `(name, value)` pairs in `Value::Record` wire form.
-pub fn encode_record_fields(fields: &[(String, Value)], out: &mut Vec<u8>) {
+/// Keys are anything str-shaped (`&str`, `String`, interned names) —
+/// no caller has to materialise owned keys just to encode.
+pub fn encode_record_fields<K: AsRef<str>>(fields: &[(K, Value)], out: &mut Vec<u8>) {
     begin_record(fields.len(), out);
     for (k, v) in fields {
-        encode_field_key(k, out);
+        encode_field_key(k.as_ref(), out);
         encode(v, out);
     }
 }
@@ -178,6 +196,345 @@ pub fn from_bytes(data: &[u8]) -> Option<Value> {
     let mut pos = 0;
     let v = decode(data, &mut pos)?;
     (pos == data.len()).then_some(v)
+}
+
+// ---- borrowed decode ---------------------------------------------------
+
+/// A value decoded without copying: strings and byte runs are slices of
+/// the frame buffer; only list/record spines allocate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ValueRef<'a> {
+    /// Explicit null.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// String slice of the frame.
+    Str(&'a str),
+    /// Byte slice of the frame.
+    Bytes(&'a [u8]),
+    /// Ordered list.
+    List(Vec<ValueRef<'a>>),
+    /// Named fields in order.
+    Record(Vec<(&'a str, ValueRef<'a>)>),
+}
+
+impl<'a> ValueRef<'a> {
+    /// Copies into an owned [`Value`].
+    pub fn to_owned(&self) -> Value {
+        match self {
+            ValueRef::Null => Value::Null,
+            ValueRef::Bool(b) => Value::Bool(*b),
+            ValueRef::Int(i) => Value::Int(*i),
+            ValueRef::Float(f) => Value::Float(*f),
+            ValueRef::Str(s) => Value::Str((*s).to_owned()),
+            ValueRef::Bytes(b) => Value::Bytes(b.to_vec()),
+            ValueRef::List(items) => Value::List(items.iter().map(ValueRef::to_owned).collect()),
+            ValueRef::Record(fields) => Value::Record(
+                fields
+                    .iter()
+                    .map(|(k, v)| ((*k).to_owned(), v.to_owned()))
+                    .collect(),
+            ),
+        }
+    }
+
+    /// The string slice, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&'a str> {
+        match self {
+            ValueRef::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The named field's value, if this is a `Record` containing it.
+    pub fn field(&self, name: &str) -> Option<&ValueRef<'a>> {
+        match self {
+            ValueRef::Record(fields) => fields.iter().find(|(k, _)| *k == name).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Decodes one value without copying, advancing `pos`.
+pub fn decode_ref<'a>(data: &'a [u8], pos: &mut usize) -> Option<ValueRef<'a>> {
+    let tag = *data.get(*pos)?;
+    *pos += 1;
+    match tag {
+        0 => Some(ValueRef::Null),
+        1 => {
+            let b = *data.get(*pos)?;
+            *pos += 1;
+            Some(ValueRef::Bool(b != 0))
+        }
+        2 => {
+            let bytes = data.get(*pos..*pos + 8)?;
+            *pos += 8;
+            Some(ValueRef::Int(i64::from_le_bytes(bytes.try_into().ok()?)))
+        }
+        3 => {
+            let bytes = data.get(*pos..*pos + 8)?;
+            *pos += 8;
+            Some(ValueRef::Float(f64::from_le_bytes(bytes.try_into().ok()?)))
+        }
+        4 => {
+            let len = read_len(data, pos)?;
+            let bytes = data.get(*pos..*pos + len)?;
+            *pos += len;
+            Some(ValueRef::Str(std::str::from_utf8(bytes).ok()?))
+        }
+        5 => {
+            let len = read_len(data, pos)?;
+            let bytes = data.get(*pos..*pos + len)?;
+            *pos += len;
+            Some(ValueRef::Bytes(bytes))
+        }
+        6 => {
+            let len = read_len(data, pos)?;
+            if len > data.len() {
+                return None;
+            }
+            let mut items = Vec::with_capacity(len);
+            for _ in 0..len {
+                items.push(decode_ref(data, pos)?);
+            }
+            Some(ValueRef::List(items))
+        }
+        7 => {
+            let len = read_len(data, pos)?;
+            if len > data.len() {
+                return None;
+            }
+            let mut fields = Vec::with_capacity(len);
+            for _ in 0..len {
+                let klen = read_len(data, pos)?;
+                let kbytes = data.get(*pos..*pos + klen)?;
+                *pos += klen;
+                let key = std::str::from_utf8(kbytes).ok()?;
+                fields.push((key, decode_ref(data, pos)?));
+            }
+            Some(ValueRef::Record(fields))
+        }
+        _ => None,
+    }
+}
+
+/// Decodes a whole buffer without copying; fails on trailing bytes.
+pub fn from_bytes_ref(data: &[u8]) -> Option<ValueRef<'_>> {
+    let mut pos = 0;
+    let v = decode_ref(data, &mut pos)?;
+    (pos == data.len()).then_some(v)
+}
+
+/// Single-pass iteration over a wire-form list's items.
+///
+/// Where [`from_bytes`] on a batch frame materialises the outer
+/// `Value::List` *and* every member before the first one is looked at,
+/// `ListStream` verifies only the list header up front and then decodes
+/// one member per [`ListStream::next_ref`] call — the demultiplexer can
+/// convert, dispatch and drop each member before touching the next.
+pub struct ListStream<'a> {
+    data: &'a [u8],
+    pos: usize,
+    remaining: usize,
+}
+
+impl<'a> ListStream<'a> {
+    /// Opens the list wire form starting at `data[0]`. Fails unless a
+    /// list header is present.
+    pub fn open(data: &'a [u8]) -> Option<ListStream<'a>> {
+        let mut pos = 0;
+        if *data.get(pos)? != 6 {
+            return None;
+        }
+        pos += 1;
+        let remaining = read_len(data, &mut pos)?;
+        if remaining > data.len() {
+            return None;
+        }
+        Some(ListStream {
+            data,
+            pos,
+            remaining,
+        })
+    }
+
+    /// Number of items not yet decoded.
+    pub fn remaining(&self) -> usize {
+        self.remaining
+    }
+
+    /// Decodes the next item without copying; `None` when exhausted or
+    /// on a malformed item.
+    pub fn next_ref(&mut self) -> Option<ValueRef<'a>> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        decode_ref(self.data, &mut self.pos)
+    }
+
+    /// True if every announced item was decoded and the buffer holds
+    /// no trailing bytes.
+    pub fn finished_clean(&self) -> bool {
+        self.remaining == 0 && self.pos == self.data.len()
+    }
+}
+
+// ---- length-prefixed streaming frames ----------------------------------
+
+/// Encodes a streaming frame: a varint item count followed by items,
+/// each prefixed with its encoded byte length.
+///
+/// The encoder owns one reusable scratch buffer sized to the largest
+/// single item — the whole frame is never held twice. Call
+/// [`FrameEncoder::begin`], then [`FrameEncoder::item`] per member,
+/// writing into the same output the frame head went to.
+#[derive(Default)]
+pub struct FrameEncoder {
+    scratch: Vec<u8>,
+}
+
+impl FrameEncoder {
+    /// Creates an encoder (scratch grows to the largest item seen).
+    pub fn new() -> FrameEncoder {
+        FrameEncoder::default()
+    }
+
+    /// Writes the frame head announcing `count` items.
+    pub fn begin(&mut self, count: usize, out: &mut Vec<u8>) {
+        write_len(out, count);
+    }
+
+    /// Appends one item: varint byte-length prefix, then the item's
+    /// ordinary wire form.
+    pub fn item(&mut self, v: &Value, out: &mut Vec<u8>) {
+        self.scratch.clear();
+        encode(v, &mut self.scratch);
+        write_len(out, self.scratch.len());
+        out.extend_from_slice(&self.scratch);
+    }
+
+    /// Appends one already-encoded item (its plain wire bytes).
+    pub fn item_bytes(&mut self, encoded: &[u8], out: &mut Vec<u8>) {
+        write_len(out, encoded.len());
+        out.extend_from_slice(encoded);
+    }
+
+    /// Current scratch capacity — the encode-side peak extra buffer.
+    pub fn peak_scratch(&self) -> usize {
+        self.scratch.capacity()
+    }
+}
+
+/// Encodes `items` as one streaming frame into `out`. Convenience over
+/// [`FrameEncoder`] for callers that already hold every item.
+pub fn encode_frame_into(items: &[Value], out: &mut Vec<u8>) {
+    let mut enc = FrameEncoder::new();
+    enc.begin(items.len(), out);
+    for v in items {
+        enc.item(v, out);
+    }
+}
+
+/// Incremental decoder for streaming frames arriving in arbitrary
+/// chunks.
+///
+/// Feed bytes with [`StreamDecoder::push`]; drain decoded items with
+/// [`StreamDecoder::next_item`]. Consumed bytes are dropped from the
+/// internal buffer as each item completes, so the decoder holds at most
+/// the bytes of items not yet decoded — bounded by one frame, never the
+/// frame plus a second copy. [`StreamDecoder::peak_buffer`] reports the
+/// high-water mark for harness asserts.
+pub struct StreamDecoder {
+    buf: Vec<u8>,
+    expected: Option<usize>,
+    yielded: usize,
+    peak: usize,
+    malformed: bool,
+}
+
+impl Default for StreamDecoder {
+    fn default() -> Self {
+        StreamDecoder::new()
+    }
+}
+
+impl StreamDecoder {
+    /// Creates an empty decoder awaiting a frame head.
+    pub fn new() -> StreamDecoder {
+        StreamDecoder {
+            buf: Vec::new(),
+            expected: None,
+            yielded: 0,
+            peak: 0,
+            malformed: false,
+        }
+    }
+
+    /// Feeds one chunk of frame bytes.
+    pub fn push(&mut self, chunk: &[u8]) {
+        self.buf.extend_from_slice(chunk);
+        self.peak = self.peak.max(self.buf.len());
+    }
+
+    /// Decodes the next complete item, if one is buffered. `None`
+    /// means "need more bytes" (or the frame is done / malformed —
+    /// check [`StreamDecoder::is_malformed`] and
+    /// [`StreamDecoder::finished`]).
+    pub fn next_item(&mut self) -> Option<Value> {
+        if self.malformed {
+            return None;
+        }
+        let mut pos = 0;
+        if self.expected.is_none() {
+            match read_len(&self.buf, &mut pos) {
+                Some(n) => {
+                    self.expected = Some(n);
+                    self.buf.drain(..pos);
+                }
+                None => return None, // head not complete yet
+            }
+        }
+        if self.yielded >= self.expected.unwrap_or(0) {
+            return None;
+        }
+        let mut pos = 0;
+        let item_len = read_len(&self.buf, &mut pos)?;
+        if self.buf.len() < pos + item_len {
+            return None; // item not complete yet
+        }
+        let item = from_bytes(&self.buf[pos..pos + item_len]);
+        self.buf.drain(..pos + item_len);
+        match item {
+            Some(v) => {
+                self.yielded += 1;
+                Some(v)
+            }
+            None => {
+                self.malformed = true;
+                None
+            }
+        }
+    }
+
+    /// True once every announced item was yielded.
+    pub fn finished(&self) -> bool {
+        !self.malformed && self.expected == Some(self.yielded)
+    }
+
+    /// True if an item failed to decode (frame corrupt).
+    pub fn is_malformed(&self) -> bool {
+        self.malformed
+    }
+
+    /// High-water mark of buffered bytes — the decode-side peak buffer.
+    pub fn peak_buffer(&self) -> usize {
+        self.peak
+    }
 }
 
 fn write_len(out: &mut Vec<u8>, len: usize) {
@@ -308,5 +665,237 @@ mod tests {
     fn varint_lengths() {
         let long = Value::Str("x".repeat(300));
         assert_eq!(from_bytes(&to_bytes(&long)), Some(long));
+    }
+
+    fn sample_values() -> Vec<Value> {
+        vec![
+            Value::Null,
+            Value::Bool(true),
+            Value::Int(-42),
+            Value::Float(2.5),
+            Value::Str("hello & <world>".into()),
+            Value::Bytes(vec![0, 255, 7]),
+            Value::List(vec![Value::Int(1), Value::Str("x".into())]),
+            Value::Record(vec![
+                ("s".into(), Value::Str("vcr".into())),
+                ("a".into(), Value::Record(vec![("n".into(), Value::Int(9))])),
+            ]),
+        ]
+    }
+
+    #[test]
+    fn borrowed_decode_matches_owned_decode() {
+        for v in sample_values() {
+            let wire = to_bytes(&v);
+            let r = from_bytes_ref(&wire).unwrap();
+            assert_eq!(r.to_owned(), v);
+        }
+    }
+
+    #[test]
+    fn borrowed_decode_borrows_strings_from_the_frame() {
+        let wire = to_bytes(&Value::Str("borrow-me".into()));
+        let r = from_bytes_ref(&wire).unwrap();
+        let ValueRef::Str(s) = r else { panic!() };
+        let p = s.as_ptr() as usize;
+        let range = wire.as_ptr() as usize..wire.as_ptr() as usize + wire.len();
+        assert!(range.contains(&p));
+    }
+
+    #[test]
+    fn borrowed_decode_rejects_what_owned_rejects() {
+        for bad in [
+            &[99u8][..],
+            &[],
+            &[4, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F],
+            &[2, 1, 2, 3],
+        ] {
+            assert_eq!(from_bytes(bad), None);
+            assert!(from_bytes_ref(bad).is_none());
+        }
+        let mut trailing = to_bytes(&Value::Int(1));
+        trailing.push(0);
+        assert!(from_bytes_ref(&trailing).is_none());
+    }
+
+    #[test]
+    fn list_stream_iterates_without_outer_list() {
+        let items = sample_values();
+        let wire = to_bytes(&Value::List(items.clone()));
+        let mut stream = ListStream::open(&wire).unwrap();
+        assert_eq!(stream.remaining(), items.len());
+        for want in &items {
+            assert_eq!(stream.next_ref().unwrap().to_owned(), *want);
+        }
+        assert!(stream.next_ref().is_none());
+        assert!(stream.finished_clean());
+        // Not a list → refuses to open.
+        assert!(ListStream::open(&to_bytes(&Value::Int(3))).is_none());
+    }
+
+    #[test]
+    fn streamed_frame_round_trips_and_bounds_buffering() {
+        let items: Vec<Value> = (0..40)
+            .map(|i| {
+                Value::Record(vec![
+                    ("i".into(), Value::Int(i)),
+                    ("pad".into(), Value::Str("x".repeat(50))),
+                ])
+            })
+            .collect();
+        let mut frame = Vec::new();
+        encode_frame_into(&items, &mut frame);
+
+        // Feed in awkward chunk sizes; items must come out intact.
+        let mut dec = StreamDecoder::new();
+        let mut got = Vec::new();
+        for chunk in frame.chunks(13) {
+            dec.push(chunk);
+            while let Some(v) = dec.next_item() {
+                got.push(v);
+            }
+        }
+        assert_eq!(got, items);
+        assert!(dec.finished());
+        assert!(!dec.is_malformed());
+        // The decoder never held anywhere near the whole frame: items
+        // are drained as they complete.
+        assert!(
+            dec.peak_buffer() <= frame.len(),
+            "peak {} > frame {}",
+            dec.peak_buffer(),
+            frame.len()
+        );
+    }
+
+    #[test]
+    fn streamed_equals_buffered_encoding_per_item() {
+        // Each item's bytes inside the streaming frame are exactly its
+        // plain wire form — only the length prefix is new.
+        let items = sample_values();
+        let mut frame = Vec::new();
+        encode_frame_into(&items, &mut frame);
+        let mut pos = 0;
+        let count = read_len(&frame, &mut pos).unwrap();
+        assert_eq!(count, items.len());
+        for want in &items {
+            let len = read_len(&frame, &mut pos).unwrap();
+            let body = &frame[pos..pos + len];
+            assert_eq!(body, to_bytes(want).as_slice());
+            pos += len;
+        }
+        assert_eq!(pos, frame.len());
+    }
+
+    #[test]
+    fn stream_decoder_flags_corrupt_items() {
+        let mut frame = Vec::new();
+        let mut enc = FrameEncoder::new();
+        enc.begin(1, &mut frame);
+        enc.item_bytes(&[99, 99], &mut frame); // bogus tag
+        let mut dec = StreamDecoder::new();
+        dec.push(&frame);
+        assert_eq!(dec.next_item(), None);
+        assert!(dec.is_malformed());
+        assert!(!dec.finished());
+    }
+
+    #[test]
+    fn empty_streaming_frame_finishes_immediately() {
+        let mut frame = Vec::new();
+        encode_frame_into(&[], &mut frame);
+        let mut dec = StreamDecoder::new();
+        dec.push(&frame);
+        assert_eq!(dec.next_item(), None);
+        assert!(dec.finished());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Arbitrary [`Value`] trees, bounded in depth and width so frames
+    /// stay a few KB.
+    fn arb_value() -> BoxedStrategy<Value> {
+        arb_value_depth(2)
+    }
+
+    fn arb_value_depth(depth: usize) -> BoxedStrategy<Value> {
+        let leaf = prop_oneof![
+            Just(Value::Null),
+            any::<bool>().prop_map(Value::Bool),
+            any::<i64>().prop_map(Value::Int),
+            (-1.0e12f64..1.0e12).prop_map(Value::Float),
+            "[ -~]{0,24}".prop_map(Value::Str),
+            prop::collection::vec(any::<u8>(), 0..24).prop_map(Value::Bytes),
+        ]
+        .boxed();
+        if depth == 0 {
+            return leaf;
+        }
+        let list = prop::collection::vec(arb_value_depth(depth - 1), 0..4)
+            .prop_map(Value::List)
+            .boxed();
+        let record = prop::collection::vec(("[a-z]{1,6}", arb_value_depth(depth - 1)), 0..4)
+            .prop_map(Value::Record)
+            .boxed();
+        prop_oneof![3 => leaf, 1 => list, 1 => record].boxed()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Streamed framing is the buffered encoding plus length
+        /// prefixes: pushing the frame through [`StreamDecoder`] in
+        /// arbitrary chunk sizes recovers exactly the input items, each
+        /// item's bytes inside the frame equal its plain [`to_bytes`]
+        /// form, and the decoder never buffers more than one frame.
+        #[test]
+        fn streamed_equals_buffered(
+            items in prop::collection::vec(arb_value(), 0..6),
+            chunk in 1usize..64,
+        ) {
+            let mut frame = Vec::new();
+            encode_frame_into(&items, &mut frame);
+
+            // Per-item bytes match the buffered encoder exactly.
+            let mut pos = 0;
+            let count = read_len(&frame, &mut pos).unwrap();
+            prop_assert_eq!(count, items.len());
+            for want in &items {
+                let len = read_len(&frame, &mut pos).unwrap();
+                let buffered = to_bytes(want);
+                prop_assert_eq!(&frame[pos..pos + len], buffered.as_slice());
+                pos += len;
+            }
+            prop_assert_eq!(pos, frame.len());
+
+            // Chunked streaming decode recovers the items in order.
+            let mut dec = StreamDecoder::new();
+            let mut got = Vec::new();
+            for piece in frame.chunks(chunk) {
+                dec.push(piece);
+                while let Some(v) = dec.next_item() {
+                    got.push(v);
+                }
+            }
+            prop_assert_eq!(got, items);
+            prop_assert!(dec.finished());
+            prop_assert!(!dec.is_malformed());
+            prop_assert!(dec.peak_buffer() <= frame.len().max(1));
+        }
+
+        /// The borrowed decode tier agrees with the owned tier on every
+        /// frame the owned tier accepts.
+        #[test]
+        fn borrowed_decode_equals_owned(v in arb_value()) {
+            let wire = to_bytes(&v);
+            let owned = from_bytes(&wire).unwrap();
+            let borrowed = from_bytes_ref(&wire).unwrap().to_owned();
+            prop_assert_eq!(&owned, &v);
+            prop_assert_eq!(borrowed, owned);
+        }
     }
 }

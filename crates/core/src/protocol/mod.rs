@@ -25,6 +25,7 @@ pub use siplike::{PushHandler, SipLike};
 pub use soap11::Soap11;
 
 use crate::error::MetaError;
+use crate::intern::Name;
 use crate::trace::TraceContext;
 use simnet::{Network, NodeId, Sim};
 use soap::Value;
@@ -33,8 +34,8 @@ use std::sync::Arc;
 /// One invocation travelling between gateways.
 #[derive(Debug, Clone, PartialEq)]
 pub struct VsgRequest {
-    /// Target service name.
-    pub service: String,
+    /// Target service name (interned — clones are refcount bumps).
+    pub service: Name,
     /// Operation.
     pub operation: String,
     /// Canonical arguments.
@@ -48,7 +49,7 @@ pub struct VsgRequest {
 
 impl VsgRequest {
     /// Creates a request.
-    pub fn new(service: impl Into<String>, operation: impl Into<String>) -> VsgRequest {
+    pub fn new(service: impl Into<Name>, operation: impl Into<String>) -> VsgRequest {
         VsgRequest {
             service: service.into(),
             operation: operation.into(),
@@ -78,7 +79,7 @@ pub type GatewayHandler = Arc<dyn Fn(&Sim, &VsgRequest) -> Result<Value, MetaErr
 
 pub(crate) fn member_to_value(req: &VsgRequest) -> Value {
     let mut fields = vec![
-        ("s".to_owned(), Value::Str(req.service.clone())),
+        ("s".to_owned(), Value::Str(req.service.as_str().to_owned())),
         ("o".to_owned(), Value::Str(req.operation.clone())),
         ("a".to_owned(), Value::Record(req.args.clone())),
     ];
@@ -100,7 +101,33 @@ pub(crate) fn member_from_value(v: &Value) -> Option<VsgRequest> {
         .and_then(Value::as_str)
         .and_then(TraceContext::from_wire);
     Some(VsgRequest {
-        service,
+        service: service.into(),
+        operation,
+        args,
+        trace,
+    })
+}
+
+/// Borrowed-tier twin of [`member_from_value`]: builds the owned
+/// request straight from slices of the frame buffer, so only the final
+/// `VsgRequest` fields allocate — no intermediate owned `Value` tree.
+pub(crate) fn member_from_ref(v: &binval::ValueRef<'_>) -> Option<VsgRequest> {
+    use binval::ValueRef;
+    let service = v.field("s")?.as_str()?;
+    let operation = v.field("o")?.as_str()?.to_owned();
+    let args = match v.field("a")? {
+        ValueRef::Record(fields) => fields
+            .iter()
+            .map(|(k, val)| ((*k).to_owned(), val.to_owned()))
+            .collect(),
+        _ => return None,
+    };
+    let trace = v
+        .field("t")
+        .and_then(ValueRef::as_str)
+        .and_then(TraceContext::from_wire);
+    Some(VsgRequest {
+        service: service.into(),
         operation,
         args,
         trace,
@@ -119,6 +146,18 @@ pub(crate) fn result_from_value(v: &Value) -> Result<Value, MetaError> {
         return Ok(ok.clone());
     }
     match v.field("err").and_then(Value::as_str) {
+        Some(fault) => Err(MetaError::from_fault_string(fault)),
+        None => Err(MetaError::Protocol("malformed batch member result".into())),
+    }
+}
+
+/// Borrowed-tier twin of [`result_from_value`]: only the `ok` payload
+/// (or the typed error) is copied out of the frame.
+pub(crate) fn result_from_ref(v: &binval::ValueRef<'_>) -> Result<Value, MetaError> {
+    if let Some(ok) = v.field("ok") {
+        return Ok(ok.to_owned());
+    }
+    match v.field("err").and_then(binval::ValueRef::as_str) {
         Some(fault) => Err(MetaError::from_fault_string(fault)),
         None => Err(MetaError::Protocol("malformed batch member result".into())),
     }
@@ -184,9 +223,9 @@ pub(crate) mod conformance {
             "gw-a",
             Arc::new(|_, req: &VsgRequest| match req.operation.as_str() {
                 "echo" => Ok(Value::Record(req.args.clone())),
-                "fail" => Err(MetaError::UnknownService(req.service.clone())),
+                "fail" => Err(MetaError::UnknownService(req.service.to_string())),
                 op => Err(MetaError::UnknownOperation {
-                    service: req.service.clone(),
+                    service: req.service.to_string(),
                     operation: op.to_owned(),
                 }),
             }),

@@ -10,7 +10,7 @@
 //! that the HTTP-based prototype lacks (§4.2).
 
 use super::{
-    binval, member_from_value, member_to_value, result_from_value, result_to_value, GatewayHandler,
+    binval, member_from_ref, member_to_value, result_from_ref, result_to_value, GatewayHandler,
     VsgProtocol, VsgRequest,
 };
 use crate::error::MetaError;
@@ -45,7 +45,10 @@ impl SipLike {
         service: &str,
         event: &Value,
     ) -> bool {
-        let mut payload = format!("NOTIFY vsg:{service} VSG-SIP/1.0\r\n\r\n").into_bytes();
+        let mut payload = Vec::with_capacity(32 + service.len());
+        payload.extend_from_slice(b"NOTIFY vsg:");
+        payload.extend_from_slice(service.as_bytes());
+        payload.extend_from_slice(b" VSG-SIP/1.0\r\n\r\n");
         binval::encode(event, &mut payload);
         net.send(Frame::new(from, to, Protocol::Sip, payload))
             .is_ok()
@@ -128,19 +131,22 @@ impl SipLike {
             // groups, each a service name and its consecutive events,
             // delivered one by one in enqueue order.
             if service == "*" {
-                let Some(Value::List(groups)) = binval::from_bytes(body) else {
+                // Stream the run groups: each group is decoded from
+                // frame slices, its events handed over one by one, and
+                // dropped before the next group is touched.
+                let Some(mut groups) = binval::ListStream::open(body) else {
                     return;
                 };
                 let mut h = handler.lock();
-                for group in &groups {
-                    let Some(svc) = group.field("s").and_then(Value::as_str) else {
+                while let Some(group) = groups.next_ref() {
+                    let Some(svc) = group.field("s").and_then(binval::ValueRef::as_str) else {
                         continue;
                     };
-                    let Some(Value::List(events)) = group.field("l") else {
+                    let Some(binval::ValueRef::List(events)) = group.field("l") else {
                         continue;
                     };
                     for event in events {
-                        h(sim, svc, event);
+                        h(sim, svc, &event.to_owned());
                     }
                 }
                 return;
@@ -166,17 +172,21 @@ fn split_head(payload: &[u8]) -> Option<(&str, &[u8])> {
 const TRACE_HEADER: &str = "Trace-Context: ";
 
 fn encode_invite(req: &VsgRequest) -> Vec<u8> {
-    let mut head = format!(
-        "INVITE vsg:{} VSG-SIP/1.0\r\nOperation: {}\r\n",
-        req.service, req.operation
-    );
+    // Head written straight into the output bytes — the old `format!`
+    // built (and immediately threw away) an intermediate `String` on
+    // every call.
+    let mut out = Vec::with_capacity(48 + req.service.len() + req.operation.len());
+    out.extend_from_slice(b"INVITE vsg:");
+    out.extend_from_slice(req.service.as_bytes());
+    out.extend_from_slice(b" VSG-SIP/1.0\r\nOperation: ");
+    out.extend_from_slice(req.operation.as_bytes());
+    out.extend_from_slice(b"\r\n");
     if let Some(ctx) = &req.trace {
-        head.push_str(TRACE_HEADER);
-        head.push_str(&ctx.to_wire());
-        head.push_str("\r\n");
+        out.extend_from_slice(TRACE_HEADER.as_bytes());
+        out.extend_from_slice(ctx.to_wire().as_bytes());
+        out.extend_from_slice(b"\r\n");
     }
-    head.push_str("\r\n");
-    let mut out = head.into_bytes();
+    out.extend_from_slice(b"\r\n");
     // Body marshalled from borrowed args — no clone into an owned record.
     binval::encode_record_fields(&req.args, &mut out);
     out
@@ -208,7 +218,7 @@ fn decode_invite(payload: &[u8]) -> Option<VsgRequest> {
         _ => return None,
     };
     Some(VsgRequest {
-        service,
+        service: service.into(),
         operation: operation?,
         args,
         trace,
@@ -220,8 +230,11 @@ fn decode_invite(payload: &[u8]) -> Option<VsgRequest> {
 // body; the response is a 200 whose body is the list of per-member
 // result records.
 fn encode_batch(reqs: &[VsgRequest]) -> Vec<u8> {
-    let mut out =
-        format!("BATCH vsg:- VSG-SIP/1.0\r\nMembers: {}\r\n\r\n", reqs.len()).into_bytes();
+    use std::io::Write as _;
+    let mut out = Vec::with_capacity(48);
+    out.extend_from_slice(b"BATCH vsg:- VSG-SIP/1.0\r\nMembers: ");
+    write!(out, "{}", reqs.len()).expect("vec write");
+    out.extend_from_slice(b"\r\n\r\n");
     binval::begin_list(reqs.len(), &mut out);
     for req in reqs {
         binval::encode(&member_to_value(req), &mut out);
@@ -233,10 +246,15 @@ fn decode_batch(payload: &[u8]) -> Option<Vec<VsgRequest>> {
     let sep = payload.windows(4).position(|w| w == b"\r\n\r\n")?;
     let head = std::str::from_utf8(&payload[..sep]).ok()?;
     head.lines().next()?.strip_prefix("BATCH vsg:")?;
-    match binval::from_bytes(&payload[sep + 4..])? {
-        Value::List(items) => items.iter().map(member_from_value).collect(),
-        _ => None,
+    // Stream the member list: each member becomes an owned request
+    // straight from frame slices, dropped from decode state before the
+    // next — no intermediate owned `Value` tree for the whole frame.
+    let mut stream = binval::ListStream::open(&payload[sep + 4..])?;
+    let mut reqs = Vec::with_capacity(stream.remaining());
+    while stream.remaining() > 0 {
+        reqs.push(member_from_ref(&stream.next_ref()?)?);
     }
+    stream.finished_clean().then_some(reqs)
 }
 
 fn encode_batch_response(results: &[Result<Value, MetaError>]) -> Vec<u8> {
@@ -252,10 +270,17 @@ fn decode_batch_response(payload: &[u8]) -> Result<Vec<Result<Value, MetaError>>
     let (head, body) =
         split_head(payload).ok_or_else(|| MetaError::Protocol("malformed SIP response".into()))?;
     if head.strip_prefix("VSG-SIP/1.0 200").is_some() {
-        match binval::from_bytes(body) {
-            Some(Value::List(items)) => Ok(items.iter().map(result_from_value).collect()),
-            _ => Err(MetaError::Protocol("bad SIP batch body".into())),
+        let bad = || MetaError::Protocol("bad SIP batch body".into());
+        let mut stream = binval::ListStream::open(body).ok_or_else(bad)?;
+        let mut results = Vec::with_capacity(stream.remaining());
+        while stream.remaining() > 0 {
+            let member = stream.next_ref().ok_or_else(bad)?;
+            results.push(result_from_ref(&member));
         }
+        if !stream.finished_clean() {
+            return Err(bad());
+        }
+        Ok(results)
     } else {
         // Non-200 means the frame itself was rejected; decode it the
         // single-response way and apply the error to the whole batch.

@@ -122,7 +122,7 @@ impl VsgProtocol for Soap11 {
                 return Err(Fault::client("missing __service argument"));
             };
             let req = VsgRequest {
-                service,
+                service: service.into(),
                 operation: call.method.clone(),
                 args,
                 trace: call
@@ -144,14 +144,14 @@ impl VsgProtocol for Soap11 {
         let client = self.client(net, from);
         // Marshal from borrows: the only owned datum is the service
         // name riding along as the routing argument.
-        let service = Value::Str(req.service.clone());
+        let service = Value::Str(req.service.as_str().to_owned());
         let args = std::iter::once((SERVICE_ARG, &service))
             .chain(req.args.iter().map(|(k, v)| (k.as_str(), v)));
         let result = match &req.trace {
             // A trace context rides as a SOAP header element, never as
             // a call argument.
             Some(ctx) => {
-                let headers = [(TRACE_HEADER.to_owned(), ctx.to_wire())];
+                let headers = [(TRACE_HEADER, ctx.to_wire())];
                 client.call_parts_with_headers(to, GATEWAY_NS, &req.operation, args, &headers)
             }
             None => client.call_parts(to, GATEWAY_NS, &req.operation, args),
@@ -181,13 +181,22 @@ impl VsgProtocol for Soap11 {
             return Ok(Vec::new());
         }
         let client = self.client(net, from);
-        let members: Vec<(String, Value)> = reqs
+        // All member keys ("m0".."mN") share one backing buffer — one
+        // allocation for the lot instead of a `format!` String each.
+        use std::fmt::Write as _;
+        let mut keybuf = String::with_capacity(reqs.len() * 4);
+        let mut spans = Vec::with_capacity(reqs.len());
+        for i in 0..reqs.len() {
+            let start = keybuf.len();
+            write!(keybuf, "m{i}").expect("string write");
+            spans.push(start..keybuf.len());
+        }
+        let members: Vec<Value> = reqs.iter().map(member_to_value).collect();
+        let args = spans
             .iter()
-            .enumerate()
-            .map(|(i, req)| (format!("m{i}"), member_to_value(req)))
-            .collect();
-        let args = members.iter().map(|(k, v)| (k.as_str(), v));
-        let headers = [(BATCH_HEADER.to_owned(), reqs.len().to_string())];
+            .zip(&members)
+            .map(|(span, v)| (&keybuf[span.clone()], v));
+        let headers = [(BATCH_HEADER, reqs.len().to_string())];
         let reply = client
             .call_parts_with_headers(to, GATEWAY_NS, BATCH_METHOD, args, &headers)
             .map_err(|e| match e {

@@ -8,6 +8,7 @@
 //! invalidation on withdraw/re-export and short-lived negative entries
 //! so repeated lookups of a nonexistent service don't hammer the VSR.
 
+use crate::intern::Name;
 use crate::metrics::CacheStats;
 use crate::vsr::ServiceRecord;
 use simnet::NodeId;
@@ -79,7 +80,7 @@ impl Lookup {
 
 /// A bounded LRU cache of VSR resolutions.
 pub struct ResolutionCache {
-    entries: HashMap<String, Entry>,
+    entries: HashMap<Name, Entry>,
     capacity: usize,
     tick: u64,
     stats: CacheStats,
@@ -182,7 +183,9 @@ impl ResolutionCache {
         if !self.entries.contains_key(service) && self.entries.len() >= self.capacity {
             self.evict_lru();
         }
-        self.entries.insert(service.to_owned(), entry);
+        // Interned: a service resolved before (or named by a live
+        // ServiceRecord) reuses its existing allocation.
+        self.entries.insert(Name::new(service), entry);
     }
 
     fn evict_lru(&mut self) {
@@ -371,7 +374,7 @@ mod tests {
 
     fn record(name: &str) -> ServiceRecord {
         ServiceRecord {
-            name: name.to_owned(),
+            name: Name::new(name),
             middleware: Middleware::X10,
             gateway: "x10-gw".to_owned(),
             interface: Arc::new(catalog::lamp()),

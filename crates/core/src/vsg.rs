@@ -531,7 +531,10 @@ impl Vsg {
             if waited + wait >= policy.deadline {
                 if waited >= policy.deadline {
                     return Err(MetaError::DeadlineExceeded {
-                        service: reqs.first().map(|r| r.service.clone()).unwrap_or_default(),
+                        service: reqs
+                            .first()
+                            .map(|r| r.service.to_string())
+                            .unwrap_or_default(),
                         waited_ms: waited.as_millis(),
                     });
                 }
@@ -816,7 +819,7 @@ impl Vsg {
             if waited + wait >= policy.deadline {
                 if waited >= policy.deadline {
                     return Err(MetaError::DeadlineExceeded {
-                        service: req.service.clone(),
+                        service: req.service.to_string(),
                         waited_ms: waited.as_millis(),
                     });
                 }

@@ -22,6 +22,7 @@ use crate::federation::{
     self, shard_lag, start_replicas, sync_cluster, FederationConfig, Replica, ShardMap,
 };
 use crate::iface::ServiceInterface;
+use crate::intern::Name;
 use crate::metrics::MetricsRegistry;
 use crate::rescache::ShardMapCache;
 use crate::resilience::BreakerBank;
@@ -49,8 +50,8 @@ const MAX_REDIRECTS: u32 = 2;
 /// A resolved repository record.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServiceRecord {
-    /// Service name.
-    pub name: String,
+    /// Service name (interned — clones are refcount bumps).
+    pub name: Name,
     /// Native middleware.
     pub middleware: Middleware,
     /// Fronting gateway.
@@ -70,7 +71,7 @@ impl ServiceRecord {
     }
 
     fn from_value(v: &Value) -> Option<ServiceRecord> {
-        let name = v.field("name")?.as_str()?.to_owned();
+        let name = Name::new(v.field("name")?.as_str()?);
         let middleware = Middleware::from_label(v.field("middleware")?.as_str()?)?;
         let gateway = v.field("gateway")?.as_str()?.to_owned();
         let wsdl_doc = v.field("wsdl")?.as_str()?;

@@ -1,39 +1,72 @@
 //! XML character escaping.
 
+use std::borrow::Cow;
+
 /// Escapes text content: `&`, `<`, `>`.
 pub fn escape_text(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '&' => out.push_str("&amp;"),
-            '<' => out.push_str("&lt;"),
-            '>' => out.push_str("&gt;"),
-            _ => out.push(c),
-        }
-    }
+    escape_text_into(s, &mut out);
     out
+}
+
+/// [`escape_text`], written into the caller's buffer — the streaming
+/// serialisers escape straight into the wire buffer instead of
+/// allocating a `String` per text run.
+pub fn escape_text_into(s: &str, out: &mut String) {
+    let mut rest = s;
+    while let Some(i) = rest.find(['&', '<', '>']) {
+        out.push_str(&rest[..i]);
+        match rest.as_bytes()[i] {
+            b'&' => out.push_str("&amp;"),
+            b'<' => out.push_str("&lt;"),
+            _ => out.push_str("&gt;"),
+        }
+        rest = &rest[i + 1..];
+    }
+    out.push_str(rest);
 }
 
 /// Escapes attribute values: text escapes plus `"` and `'`.
 pub fn escape_attr(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '&' => out.push_str("&amp;"),
-            '<' => out.push_str("&lt;"),
-            '>' => out.push_str("&gt;"),
-            '"' => out.push_str("&quot;"),
-            '\'' => out.push_str("&apos;"),
-            _ => out.push(c),
-        }
-    }
+    escape_attr_into(s, &mut out);
     out
+}
+
+/// [`escape_attr`], written into the caller's buffer.
+pub fn escape_attr_into(s: &str, out: &mut String) {
+    let mut rest = s;
+    while let Some(i) = rest.find(['&', '<', '>', '"', '\'']) {
+        out.push_str(&rest[..i]);
+        match rest.as_bytes()[i] {
+            b'&' => out.push_str("&amp;"),
+            b'<' => out.push_str("&lt;"),
+            b'>' => out.push_str("&gt;"),
+            b'"' => out.push_str("&quot;"),
+            _ => out.push_str("&apos;"),
+        }
+        rest = &rest[i + 1..];
+    }
+    out.push_str(rest);
 }
 
 /// Decodes the five predefined XML entities plus decimal/hex character
 /// references. Unknown entities are passed through verbatim (lenient, as
 /// 2002-era SOAP stacks were).
 pub fn unescape(s: &str) -> String {
+    match unescape_cow(s) {
+        Cow::Borrowed(b) => b.to_owned(),
+        Cow::Owned(o) => o,
+    }
+}
+
+/// [`unescape`], but borrows the input untouched when no `&` occurs —
+/// the common case for SOAP payloads — and only allocates when an
+/// entity actually has to be decoded.
+pub fn unescape_cow(s: &str) -> Cow<'_, str> {
+    if !s.contains('&') {
+        return Cow::Borrowed(s);
+    }
     let mut out = String::with_capacity(s.len());
     let mut rest = s;
     while let Some(amp) = rest.find('&') {
@@ -68,7 +101,7 @@ pub fn unescape(s: &str) -> String {
         }
     }
     out.push_str(rest);
-    out
+    Cow::Owned(out)
 }
 
 fn decode_char_ref(entity: &str) -> Option<char> {
@@ -113,6 +146,15 @@ mod tests {
         assert_eq!(unescape("&nbsp;"), "&nbsp;");
         assert_eq!(unescape("a & b"), "a & b");
         assert_eq!(unescape("trailing &"), "trailing &");
+    }
+
+    #[test]
+    fn unescape_cow_borrows_when_clean() {
+        assert!(matches!(unescape_cow("plain text"), Cow::Borrowed(_)));
+        assert!(matches!(unescape_cow(""), Cow::Borrowed(_)));
+        assert!(matches!(unescape_cow("a &amp; b"), Cow::Owned(_)));
+        // A bare ampersand forces the scan but yields identical text.
+        assert_eq!(unescape_cow("a & b"), "a & b");
     }
 
     #[test]

@@ -21,14 +21,18 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod borrowed;
 pub mod escape;
 pub mod node;
 pub mod parser;
 pub mod writer;
 
-pub use escape::{escape_attr, escape_text, unescape};
+pub use borrowed::{ElemRef, NodeRef};
+pub use escape::{
+    escape_attr, escape_attr_into, escape_text, escape_text_into, unescape, unescape_cow,
+};
 pub use node::{Element, XmlNode};
-pub use parser::{parse, ParseError};
+pub use parser::{parse, parse_ref, ErrorKind, ParseError};
 
 #[cfg(test)]
 mod proptests {
@@ -113,6 +117,42 @@ mod proptests {
         #[test]
         fn parser_never_panics(s in ".{0,256}") {
             let _ = parse(&s);
+        }
+
+        #[test]
+        fn borrowed_parse_equals_owned_parse(e in arb_element(3)) {
+            let doc = e.to_document();
+            let borrowed = parse_ref(&doc).unwrap();
+            prop_assert_eq!(borrowed.to_owned(), parse(&doc).unwrap());
+        }
+
+        #[test]
+        fn borrowed_equals_owned_on_arbitrary_input(s in ".{0,256}") {
+            match (parse(&s), parse_ref(&s)) {
+                (Ok(o), Ok(b)) => prop_assert_eq!(o, b.to_owned()),
+                (Err(e1), Err(e2)) => prop_assert_eq!(e1, e2),
+                (o, b) => prop_assert!(false, "tiers disagree: {:?} vs {:?}", o, b.map(|e| e.to_owned())),
+            }
+        }
+
+        #[test]
+        fn borrowed_equals_owned_with_escapes_cdata_comments(
+            text in "[ -~]{1,20}",
+            cdata in "[ -~]{0,20}",
+            comment in "[ a-z]{0,12}",
+        ) {
+            // Keep the constructs well-formed: CDATA cannot contain its
+            // own terminator, comments cannot contain "--".
+            let cdata = cdata.replace("]]>", "]]");
+            let comment = comment.replace("--", "-");
+            let doc = format!(
+                "<!-- {comment} --><r a=\"{}\">{}<![CDATA[{cdata}]]><b/></r>",
+                escape_attr(&text),
+                escape_text(&text),
+            );
+            let owned = parse(&doc).unwrap();
+            let borrowed = parse_ref(&doc).unwrap();
+            prop_assert_eq!(borrowed.to_owned(), owned);
         }
 
         #[test]

@@ -2,36 +2,113 @@
 //! and UPnP device descriptions: elements, attributes, character data,
 //! comments, CDATA sections, processing instructions and a DOCTYPE
 //! prologue. No DTD expansion, no mixed external entities.
+//!
+//! The parser builds the borrowed tier ([`ElemRef`]) directly — names
+//! are slices of the input and text is `Cow` that only allocates when
+//! an entity escape fires. The owned [`parse`] is a thin
+//! `to_owned()` on top.
 
-use crate::escape::unescape;
-use crate::node::{Element, XmlNode};
+use crate::borrowed::{ElemRef, NodeRef};
+use crate::escape::unescape_cow;
+use crate::node::Element;
 use std::fmt;
 
+/// What went wrong during a parse. Carried by value — no allocation on
+/// the error path, so speculative parses stay free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ErrorKind {
+    /// Content after the document's root element.
+    TrailingContent,
+    /// A `<?...?>` section with no terminator.
+    UnterminatedPi,
+    /// A `<!--...-->` section with no terminator.
+    UnterminatedComment,
+    /// A `<!DOCTYPE ...>` declaration with no terminator.
+    UnterminatedDoctype,
+    /// A `<![CDATA[...]]>` section with no terminator.
+    UnterminatedCdata,
+    /// A tag or attribute name was expected.
+    ExpectedName,
+    /// A `<` opening a root element was expected.
+    ExpectedElement,
+    /// An attribute name was not followed by `=`.
+    AttrMissingEq,
+    /// An attribute value was not quoted.
+    AttrValueUnquoted,
+    /// An attribute value's closing quote is missing.
+    UnterminatedAttrValue,
+    /// A close tag named a different element than the open tag.
+    MismatchedCloseTag,
+    /// A close tag name was not followed by `>`.
+    ExpectedCloseAngle,
+    /// The input ended inside an element's content.
+    UnexpectedEof,
+}
+
+impl ErrorKind {
+    /// A static human-readable description.
+    pub fn message(self) -> &'static str {
+        match self {
+            ErrorKind::TrailingContent => "trailing content after the root element",
+            ErrorKind::UnterminatedPi => "unterminated processing instruction",
+            ErrorKind::UnterminatedComment => "unterminated comment",
+            ErrorKind::UnterminatedDoctype => "unterminated DOCTYPE",
+            ErrorKind::UnterminatedCdata => "unterminated CDATA section",
+            ErrorKind::ExpectedName => "expected a name",
+            ErrorKind::ExpectedElement => "expected '<'",
+            ErrorKind::AttrMissingEq => "attribute missing '='",
+            ErrorKind::AttrValueUnquoted => "attribute value must be quoted",
+            ErrorKind::UnterminatedAttrValue => "unterminated attribute value",
+            ErrorKind::MismatchedCloseTag => "mismatched close tag",
+            ErrorKind::ExpectedCloseAngle => "expected '>' after close tag name",
+            ErrorKind::UnexpectedEof => "unexpected end of input inside an element",
+        }
+    }
+}
+
 /// A parse failure, with the byte offset where it happened.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// `Copy` and allocation-free: callers that probe inputs speculatively
+/// (is this XML or a binary frame?) pay nothing for the miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ParseError {
     /// Byte offset in the input.
     pub at: usize,
     /// What went wrong.
-    pub message: String,
+    pub kind: ErrorKind,
+}
+
+impl ParseError {
+    /// A static human-readable description of [`ParseError::kind`].
+    pub fn message(&self) -> &'static str {
+        self.kind.message()
+    }
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "XML parse error at byte {}: {}", self.at, self.message)
+        write!(f, "XML parse error at byte {}: {}", self.at, self.message())
     }
 }
 
 impl std::error::Error for ParseError {}
 
-/// Parses a complete document (prologue + one root element).
+/// Parses a complete document (prologue + one root element) into the
+/// owned tier.
 pub fn parse(input: &str) -> Result<Element, ParseError> {
+    Ok(parse_ref(input)?.to_owned())
+}
+
+/// Parses a complete document into the borrowed tier: names are slices
+/// of `input`, text is `Cow` that only owns when an entity fired.
+pub fn parse_ref(input: &str) -> Result<ElemRef<'_>, ParseError> {
     let mut p = Parser { input, pos: 0 };
     p.skip_prologue();
     let root = p.parse_element()?;
     p.skip_misc();
     if p.pos < p.input.len() {
-        return Err(p.err("trailing content after the root element"));
+        return Err(p.err(ErrorKind::TrailingContent));
     }
     Ok(root)
 }
@@ -43,17 +120,22 @@ impl Element {
     }
 }
 
+impl<'a> ElemRef<'a> {
+    /// Parses a document without copying; inverse of
+    /// [`Element::to_document`] up to ownership.
+    pub fn parse(input: &'a str) -> Result<ElemRef<'a>, ParseError> {
+        parse_ref(input)
+    }
+}
+
 struct Parser<'a> {
     input: &'a str,
     pos: usize,
 }
 
 impl<'a> Parser<'a> {
-    fn err(&self, message: impl Into<String>) -> ParseError {
-        ParseError {
-            at: self.pos,
-            message: message.into(),
-        }
+    fn err(&self, kind: ErrorKind) -> ParseError {
+        ParseError { at: self.pos, kind }
     }
 
     fn rest(&self) -> &'a str {
@@ -73,13 +155,13 @@ impl<'a> Parser<'a> {
         self.pos = self.input.len() - trimmed.len();
     }
 
-    fn skip_until(&mut self, end: &str, what: &str) -> Result<(), ParseError> {
+    fn skip_until(&mut self, end: &str, what: ErrorKind) -> Result<(), ParseError> {
         match self.rest().find(end) {
             Some(i) => {
                 self.bump(i + end.len());
                 Ok(())
             }
-            None => Err(self.err(format!("unterminated {what}"))),
+            None => Err(self.err(what)),
         }
     }
 
@@ -90,11 +172,11 @@ impl<'a> Parser<'a> {
         loop {
             self.skip_ws();
             let result = if self.starts_with("<?") {
-                self.skip_until("?>", "processing instruction")
+                self.skip_until("?>", ErrorKind::UnterminatedPi)
             } else if self.starts_with("<!--") {
-                self.skip_until("-->", "comment")
+                self.skip_until("-->", ErrorKind::UnterminatedComment)
             } else if self.starts_with("<!DOCTYPE") {
-                self.skip_until(">", "DOCTYPE")
+                self.skip_until(">", ErrorKind::UnterminatedDoctype)
             } else {
                 return;
             };
@@ -110,7 +192,7 @@ impl<'a> Parser<'a> {
         self.skip_prologue();
     }
 
-    fn parse_name(&mut self) -> Result<String, ParseError> {
+    fn parse_name(&mut self) -> Result<&'a str, ParseError> {
         let rest = self.rest();
         let end = rest
             .char_indices()
@@ -118,20 +200,24 @@ impl<'a> Parser<'a> {
             .map(|(i, _)| i)
             .unwrap_or(rest.len());
         if end == 0 {
-            return Err(self.err("expected a name"));
+            return Err(self.err(ErrorKind::ExpectedName));
         }
-        let name = rest[..end].to_owned();
+        let name = &rest[..end];
         self.bump(end);
         Ok(name)
     }
 
-    fn parse_element(&mut self) -> Result<Element, ParseError> {
+    fn parse_element(&mut self) -> Result<ElemRef<'a>, ParseError> {
         if !self.starts_with("<") {
-            return Err(self.err("expected '<'"));
+            return Err(self.err(ErrorKind::ExpectedElement));
         }
         self.bump(1);
         let name = self.parse_name()?;
-        let mut el = Element::new(name);
+        let mut el = ElemRef {
+            name,
+            attrs: Vec::new(),
+            children: Vec::new(),
+        };
 
         // Attributes.
         loop {
@@ -147,20 +233,20 @@ impl<'a> Parser<'a> {
             let key = self.parse_name()?;
             self.skip_ws();
             if !self.starts_with("=") {
-                return Err(self.err(format!("attribute '{key}' missing '='")));
+                return Err(self.err(ErrorKind::AttrMissingEq));
             }
             self.bump(1);
             self.skip_ws();
             let quote = match self.rest().chars().next() {
                 Some(q @ ('"' | '\'')) => q,
-                _ => return Err(self.err("attribute value must be quoted")),
+                _ => return Err(self.err(ErrorKind::AttrValueUnquoted)),
             };
             self.bump(1);
             let rest = self.rest();
             let end = rest
                 .find(quote)
-                .ok_or_else(|| self.err("unterminated attribute value"))?;
-            let value = unescape(&rest[..end]);
+                .ok_or_else(|| self.err(ErrorKind::UnterminatedAttrValue))?;
+            let value = unescape_cow(&rest[..end]);
             self.bump(end + 1);
             el.attrs.push((key, value));
         }
@@ -171,51 +257,48 @@ impl<'a> Parser<'a> {
                 self.bump(2);
                 let close = self.parse_name()?;
                 if close != el.name {
-                    return Err(self.err(format!(
-                        "mismatched close tag: expected </{}>, found </{close}>",
-                        el.name
-                    )));
+                    return Err(self.err(ErrorKind::MismatchedCloseTag));
                 }
                 self.skip_ws();
                 if !self.starts_with(">") {
-                    return Err(self.err("expected '>' after close tag name"));
+                    return Err(self.err(ErrorKind::ExpectedCloseAngle));
                 }
                 self.bump(1);
                 // Whitespace-only text between child *elements* is
                 // insignificant indentation; in a leaf element it is real
                 // character data (e.g. a SOAP string value of " ").
-                if el.children.iter().any(|c| matches!(c, XmlNode::Element(_))) {
+                if el.children.iter().any(|c| matches!(c, NodeRef::Element(_))) {
                     el.children.retain(|c| match c {
-                        XmlNode::Text(t) => !t.trim().is_empty(),
-                        XmlNode::Element(_) => true,
+                        NodeRef::Text(t) => !t.trim().is_empty(),
+                        NodeRef::Element(_) => true,
                     });
                 }
                 return Ok(el);
             } else if self.starts_with("<!--") {
-                self.skip_until("-->", "comment")?;
+                self.skip_until("-->", ErrorKind::UnterminatedComment)?;
             } else if self.starts_with("<![CDATA[") {
                 self.bump("<![CDATA[".len());
                 let rest = self.rest();
                 let end = rest
                     .find("]]>")
-                    .ok_or_else(|| self.err("unterminated CDATA section"))?;
-                el.children.push(XmlNode::Text(rest[..end].to_owned()));
+                    .ok_or_else(|| self.err(ErrorKind::UnterminatedCdata))?;
+                el.children.push(NodeRef::Text(rest[..end].into()));
                 self.bump(end + 3);
             } else if self.starts_with("<?") {
-                self.skip_until("?>", "processing instruction")?;
+                self.skip_until("?>", ErrorKind::UnterminatedPi)?;
             } else if self.starts_with("<") {
                 let child = self.parse_element()?;
-                el.children.push(XmlNode::Element(child));
+                el.children.push(NodeRef::Element(child));
             } else if self.pos >= self.input.len() {
-                return Err(self.err(format!("unexpected end of input inside <{}>", el.name)));
+                return Err(self.err(ErrorKind::UnexpectedEof));
             } else {
                 let rest = self.rest();
                 let end = rest.find('<').unwrap_or(rest.len());
-                let text = unescape(&rest[..end]);
+                let text = unescape_cow(&rest[..end]);
                 // Kept for now; whitespace-only runs are filtered at the
                 // close tag if this element turns out to be structural.
                 if !text.is_empty() {
-                    el.children.push(XmlNode::Text(text));
+                    el.children.push(NodeRef::Text(text));
                 }
                 self.bump(end);
             }
@@ -322,14 +405,31 @@ mod tests {
         ] {
             let err = parse(bad).unwrap_err();
             assert!(err.at <= bad.len(), "offset in range for {bad:?}");
-            assert!(!err.message.is_empty());
+            assert!(!err.message().is_empty());
+            assert!(err.to_string().contains("byte"));
         }
     }
 
     #[test]
-    fn mismatched_close_tag_names_both_tags() {
+    fn mismatched_close_tag_is_a_typed_error() {
         let err = parse("<outer><inner></wrong></outer>").unwrap_err();
-        assert!(err.message.contains("inner"));
-        assert!(err.message.contains("wrong"));
+        assert_eq!(err.kind, ErrorKind::MismatchedCloseTag);
+        // Position points at the close name so the caller can still
+        // recover both tag names from the input if it wants them.
+        assert_eq!(err.at, "<outer><inner></".len() + "wrong".len());
+    }
+
+    #[test]
+    fn borrowed_and_owned_parses_agree() {
+        for doc in [
+            r#"<?xml version="1.0"?><a k="v&amp;w"><b>hi &lt;there&gt;</b><c/></a>"#,
+            "<a><![CDATA[<raw & bytes>]]>tail</a>",
+            "<a>\n  <b/>\n</a>",
+            "<a> mixed <b/> text </a>",
+        ] {
+            let owned = parse(doc).unwrap();
+            let borrowed = parse_ref(doc).unwrap();
+            assert_eq!(borrowed.to_owned(), owned, "{doc:?}");
+        }
     }
 }

@@ -1,6 +1,6 @@
 //! Serialising element trees to XML text.
 
-use crate::escape::{escape_attr, escape_text};
+use crate::escape::{escape_attr_into, escape_text, escape_text_into};
 use crate::node::{Element, XmlNode};
 
 impl Element {
@@ -35,7 +35,7 @@ fn write_open_tag(e: &Element, out: &mut String) {
         out.push(' ');
         out.push_str(k);
         out.push_str("=\"");
-        out.push_str(&escape_attr(v));
+        escape_attr_into(v, out);
         out.push('"');
     }
 }
@@ -50,7 +50,7 @@ fn write_compact(e: &Element, out: &mut String) {
     for c in &e.children {
         match c {
             XmlNode::Element(child) => write_compact(child, out),
-            XmlNode::Text(t) => out.push_str(&escape_text(t)),
+            XmlNode::Text(t) => escape_text_into(t, out),
         }
     }
     out.push_str("</");

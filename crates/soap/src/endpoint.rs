@@ -2,7 +2,9 @@
 //! and a client, with a CPU cost model for XML processing.
 
 use crate::fault::Fault;
-use crate::http::{HttpClient, HttpRequest, HttpResponse, HttpServer, TcpModel};
+use crate::http::{
+    HttpClient, HttpRequestRef, HttpResponseRef, HttpServer, ResponseParts, TcpModel,
+};
 use crate::rpc::{fault_envelope, RpcCall, RpcResponse, SoapError};
 use crate::value::Value;
 use parking_lot::Mutex;
@@ -81,9 +83,13 @@ impl SoapServer {
         let services: Arc<Mutex<HashMap<String, ServiceHandler>>> =
             Arc::new(Mutex::new(HashMap::new()));
         let services2 = services.clone();
-        http.route(RPC_ROUTER_PATH, move |sim, req: &HttpRequest| {
+        // Zero-copy route: the request is read in place (no header or
+        // body materialisation) and the response envelope is handed to
+        // the server as lean parts, serialised straight into the
+        // response train.
+        http.route_zero(RPC_ROUTER_PATH, move |sim, req: &HttpRequestRef<'_>| {
             sim.advance(cpu.parse_cost(req.body.len()));
-            let doc = String::from_utf8_lossy(&req.body);
+            let doc = String::from_utf8_lossy(req.body);
             let outcome = match RpcCall::from_envelope(&doc) {
                 Ok(call) => {
                     sim.advance(cpu.dispatch);
@@ -105,12 +111,13 @@ impl SoapServer {
             sim.advance(cpu.emit_cost(body.len()));
             // SOAP 1.1 over HTTP: faults ride a 500, successes a 200.
             match outcome {
-                Ok(_) => HttpResponse::ok("text/xml; charset=utf-8", body),
-                Err(_) => {
-                    let mut resp = HttpResponse::error(500, "Internal Server Error", body);
-                    resp.headers[0].1 = "text/xml; charset=utf-8".into();
-                    resp
-                }
+                Ok(_) => ResponseParts::ok("text/xml; charset=utf-8", body.into_bytes()),
+                Err(_) => ResponseParts::error(
+                    500,
+                    "Internal Server Error",
+                    "text/xml; charset=utf-8",
+                    body.into_bytes(),
+                ),
             }
         });
         SoapServer {
@@ -222,13 +229,13 @@ impl SoapClient {
 
     /// [`SoapClient::call_parts`] with `SOAP-ENV:Header` entries
     /// (out-of-band metadata such as a trace context).
-    pub fn call_parts_with_headers<'a>(
+    pub fn call_parts_with_headers<'a, K: AsRef<str>, V: AsRef<str>>(
         &self,
         server: NodeId,
         namespace: &str,
         method: &str,
         args: impl IntoIterator<Item = (&'a str, &'a Value)>,
-        headers: &[(String, String)],
+        headers: &[(K, V)],
     ) -> Result<Value, SoapError> {
         let body = crate::rpc::call_envelope_with_headers(namespace, method, args, headers);
         self.dispatch(server, namespace, method, body)
@@ -242,11 +249,31 @@ impl SoapClient {
         body: String,
     ) -> Result<Value, SoapError> {
         self.sim.advance(self.cpu.emit_cost(body.len()));
-        let req = HttpRequest::post(RPC_ROUTER_PATH, "text/xml; charset=utf-8", body)
-            .header("SOAPAction", format!("\"{namespace}#{method}\""));
-        let resp = self.http.send(server, &req).map_err(SoapError::Http)?;
+        // Assemble the SOAPAction value by hand: one exact-size
+        // allocation, no formatter machinery on the per-call path.
+        let mut action = String::with_capacity(namespace.len() + method.len() + 3);
+        action.push('"');
+        action.push_str(namespace);
+        action.push('#');
+        action.push_str(method);
+        action.push('"');
+        // Wire bytes are assembled directly (no owned request built
+        // just to serialise it) and the response is parsed in place.
+        let mut payload = Vec::new();
+        crate::http::write_post_into(
+            &mut payload,
+            RPC_ROUTER_PATH,
+            "text/xml; charset=utf-8",
+            body.as_bytes(),
+            &[("SOAPAction", &action)],
+        );
+        let raw = self
+            .http
+            .send_raw(server, payload)
+            .map_err(SoapError::Http)?;
+        let resp = HttpResponseRef::parse(&raw).map_err(SoapError::Http)?;
         self.sim.advance(self.cpu.parse_cost(resp.body.len()));
-        let doc = String::from_utf8_lossy(&resp.body);
+        let doc = String::from_utf8_lossy(resp.body);
         // Both 200s and 500-carried faults parse as envelopes.
         RpcResponse::from_envelope(&doc).map(|r| r.value)
     }

@@ -101,6 +101,21 @@ impl Fault {
             detail,
         })
     }
+
+    /// [`Fault::from_element`] over the borrowed parse tier.
+    pub fn from_element_ref(e: &minixml::ElemRef<'_>) -> Option<Fault> {
+        if e.local_name() != "Fault" {
+            return None;
+        }
+        let code = FaultCode::from_qname(&e.find("faultcode")?.text_content())?;
+        let string = e.find("faultstring")?.text_content().into_owned();
+        let detail = e.find("detail").map(|d| d.text_content().into_owned());
+        Some(Fault {
+            code,
+            string,
+            detail,
+        })
+    }
 }
 
 impl fmt::Display for Fault {

@@ -90,45 +90,205 @@ impl HttpRequest {
 
     /// Serialises to wire bytes.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut s = format!("{} {} HTTP/1.1\r\n", self.method, self.path);
-        for (k, v) in &self.headers {
-            s.push_str(k);
-            s.push_str(": ");
-            s.push_str(v);
-            s.push_str("\r\n");
-        }
-        s.push_str("\r\n");
-        let mut out = s.into_bytes();
-        out.extend_from_slice(&self.body);
+        let mut out = Vec::new();
+        self.write_bytes_into(&mut out, None);
         out
+    }
+
+    /// Serialises into the caller's buffer, reserving exact capacity up
+    /// front — one allocation for head plus body instead of an
+    /// intermediate head `String` that grows as headers are appended.
+    /// `extra` appends one more header line (the pipelining client's
+    /// correlation id) without cloning the request to add it.
+    pub(crate) fn write_bytes_into(&self, out: &mut Vec<u8>, extra: Option<(&str, &str)>) {
+        let mut head_len = self.method.len() + 1 + self.path.len() + " HTTP/1.1\r\n".len();
+        for (k, v) in &self.headers {
+            head_len += k.len() + 2 + v.len() + 2;
+        }
+        if let Some((k, v)) = extra {
+            head_len += k.len() + 2 + v.len() + 2;
+        }
+        out.reserve(head_len + 2 + self.body.len());
+        out.extend_from_slice(self.method.as_bytes());
+        out.push(b' ');
+        out.extend_from_slice(self.path.as_bytes());
+        out.extend_from_slice(b" HTTP/1.1\r\n");
+        let lines = self.headers.iter().map(|(k, v)| (k.as_str(), v.as_str()));
+        for (k, v) in lines.chain(extra) {
+            out.extend_from_slice(k.as_bytes());
+            out.extend_from_slice(b": ");
+            out.extend_from_slice(v.as_bytes());
+            out.extend_from_slice(b"\r\n");
+        }
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(&self.body);
     }
 
     /// Parses wire bytes.
     pub fn from_bytes(data: &[u8]) -> Result<HttpRequest, HttpError> {
-        let (head, body) = split_head(data)?;
+        HttpRequestRef::parse(data).map(|r| r.to_owned())
+    }
+}
+
+/// A request parsed in place: every field borrows the wire buffer, so
+/// the server's hot path allocates nothing to look at a message. The
+/// owned [`HttpRequest`] tier is [`HttpRequestRef::to_owned`].
+#[derive(Debug, Clone, Copy)]
+pub struct HttpRequestRef<'a> {
+    /// Method, e.g. `POST`.
+    pub method: &'a str,
+    /// Request path.
+    pub path: &'a str,
+    /// The raw header block (validated lines, without the request line).
+    header_lines: &'a str,
+    /// Entity body.
+    pub body: &'a [u8],
+}
+
+impl<'a> HttpRequestRef<'a> {
+    /// Parses wire bytes without copying. Accepts and rejects exactly
+    /// what [`HttpRequest::from_bytes`] does.
+    pub fn parse(data: &'a [u8]) -> Result<HttpRequestRef<'a>, HttpError> {
+        let (head, body) = split_head_ref(data)?;
         let mut lines = head.lines();
         let request_line = lines.next().ok_or(HttpError::Malformed("empty request"))?;
         let mut parts = request_line.split_whitespace();
-        let method = parts
-            .next()
-            .ok_or(HttpError::Malformed("no method"))?
-            .to_owned();
-        let path = parts
-            .next()
-            .ok_or(HttpError::Malformed("no path"))?
-            .to_owned();
+        let method = parts.next().ok_or(HttpError::Malformed("no method"))?;
+        let path = parts.next().ok_or(HttpError::Malformed("no path"))?;
         let version = parts.next().ok_or(HttpError::Malformed("no version"))?;
         if !version.starts_with("HTTP/1.") {
             return Err(HttpError::Malformed("unsupported HTTP version"));
         }
-        let headers = parse_headers(lines)?;
-        Ok(HttpRequest {
+        let header_lines = validate_header_lines(head, request_line)?;
+        Ok(HttpRequestRef {
             method,
             path,
-            headers,
+            header_lines,
             body,
         })
     }
+
+    /// The first header with the given (case-insensitive) name.
+    pub fn get_header(&self, key: &str) -> Option<&'a str> {
+        find_header(self.header_lines, key)
+    }
+
+    /// Materialises the owned tier.
+    pub fn to_owned(&self) -> HttpRequest {
+        HttpRequest {
+            method: self.method.to_owned(),
+            path: self.path.to_owned(),
+            headers: own_headers(self.header_lines),
+            body: self.body.to_vec(),
+        }
+    }
+}
+
+/// A response parsed in place — the client-side twin of
+/// [`HttpRequestRef`].
+#[derive(Debug, Clone, Copy)]
+pub struct HttpResponseRef<'a> {
+    /// Status code.
+    pub status: u16,
+    /// Reason phrase.
+    pub reason: &'a str,
+    /// The raw header block (validated lines, without the status line).
+    header_lines: &'a str,
+    /// Entity body.
+    pub body: &'a [u8],
+}
+
+impl<'a> HttpResponseRef<'a> {
+    /// Parses wire bytes without copying. Accepts and rejects exactly
+    /// what [`HttpResponse::from_bytes`] does.
+    pub fn parse(data: &'a [u8]) -> Result<HttpResponseRef<'a>, HttpError> {
+        let (head, body) = split_head_ref(data)?;
+        let mut lines = head.lines();
+        let status_line = lines.next().ok_or(HttpError::Malformed("empty response"))?;
+        let mut parts = status_line.splitn(3, ' ');
+        let version = parts.next().ok_or(HttpError::Malformed("no version"))?;
+        if !version.starts_with("HTTP/1.") {
+            return Err(HttpError::Malformed("unsupported HTTP version"));
+        }
+        let status = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or(HttpError::Malformed("bad status code"))?;
+        let reason = parts.next().unwrap_or("");
+        let header_lines = validate_header_lines(head, status_line)?;
+        Ok(HttpResponseRef {
+            status,
+            reason,
+            header_lines,
+            body,
+        })
+    }
+
+    /// True for 2xx statuses.
+    pub fn is_success(&self) -> bool {
+        (200..300).contains(&self.status)
+    }
+
+    /// The first header with the given (case-insensitive) name.
+    pub fn get_header(&self, key: &str) -> Option<&'a str> {
+        find_header(self.header_lines, key)
+    }
+
+    /// Materialises the owned tier.
+    pub fn to_owned(&self) -> HttpResponse {
+        HttpResponse {
+            status: self.status,
+            reason: self.reason.to_owned(),
+            headers: own_headers(self.header_lines),
+            body: self.body.to_vec(),
+        }
+    }
+}
+
+/// The header block after the start line, with every line checked for
+/// the `name: value` shape (mirroring [`parse_headers`]'s rejects).
+fn validate_header_lines<'a>(head: &'a str, start_line: &str) -> Result<&'a str, HttpError> {
+    let rest = &head[start_line.len()..];
+    let rest = rest
+        .strip_prefix("\r\n")
+        .or_else(|| rest.strip_prefix('\n'))
+        .unwrap_or(rest);
+    for line in rest.lines() {
+        if line.is_empty() {
+            break;
+        }
+        if !line.contains(':') {
+            return Err(HttpError::Malformed("header without colon"));
+        }
+    }
+    Ok(rest)
+}
+
+fn find_header<'a>(header_lines: &'a str, key: &str) -> Option<&'a str> {
+    for line in header_lines.lines() {
+        if line.is_empty() {
+            break;
+        }
+        if let Some((k, v)) = line.split_once(':') {
+            if k.trim().eq_ignore_ascii_case(key) {
+                return Some(v.trim());
+            }
+        }
+    }
+    None
+}
+
+fn own_headers(header_lines: &str) -> Vec<(String, String)> {
+    let mut headers = Vec::new();
+    for line in header_lines.lines() {
+        if line.is_empty() {
+            break;
+        }
+        if let Some((k, v)) = line.split_once(':') {
+            headers.push((k.trim().to_owned(), v.trim().to_owned()));
+        }
+    }
+    headers
 }
 
 impl HttpResponse {
@@ -181,42 +341,74 @@ impl HttpResponse {
 
     /// Serialises to wire bytes.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut s = format!("HTTP/1.1 {} {}\r\n", self.status, self.reason);
-        for (k, v) in &self.headers {
-            s.push_str(k);
-            s.push_str(": ");
-            s.push_str(v);
-            s.push_str("\r\n");
-        }
-        s.push_str("\r\n");
-        let mut out = s.into_bytes();
-        out.extend_from_slice(&self.body);
+        let mut out = Vec::new();
+        self.write_bytes_into(&mut out);
         out
+    }
+
+    /// Serialises into the caller's buffer — the server assembles a
+    /// whole pipelined response train in one buffer this way.
+    pub(crate) fn write_bytes_into(&self, out: &mut Vec<u8>) {
+        use std::io::Write as _;
+        let mut head_len = "HTTP/1.1 nnn ".len() + self.reason.len() + 2;
+        for (k, v) in &self.headers {
+            head_len += k.len() + 2 + v.len() + 2;
+        }
+        out.reserve(head_len + 2 + self.body.len());
+        out.extend_from_slice(b"HTTP/1.1 ");
+        write!(out, "{}", self.status).expect("vec write");
+        out.push(b' ');
+        out.extend_from_slice(self.reason.as_bytes());
+        out.extend_from_slice(b"\r\n");
+        for (k, v) in &self.headers {
+            out.extend_from_slice(k.as_bytes());
+            out.extend_from_slice(b": ");
+            out.extend_from_slice(v.as_bytes());
+            out.extend_from_slice(b"\r\n");
+        }
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(&self.body);
     }
 
     /// Parses wire bytes.
     pub fn from_bytes(data: &[u8]) -> Result<HttpResponse, HttpError> {
-        let (head, body) = split_head(data)?;
-        let mut lines = head.lines();
-        let status_line = lines.next().ok_or(HttpError::Malformed("empty response"))?;
-        let mut parts = status_line.splitn(3, ' ');
-        let version = parts.next().ok_or(HttpError::Malformed("no version"))?;
-        if !version.starts_with("HTTP/1.") {
-            return Err(HttpError::Malformed("unsupported HTTP version"));
-        }
-        let status = parts
-            .next()
-            .and_then(|s| s.parse().ok())
-            .ok_or(HttpError::Malformed("bad status code"))?;
-        let reason = parts.next().unwrap_or("").to_owned();
-        let headers = parse_headers(lines)?;
-        Ok(HttpResponse {
-            status,
-            reason,
-            headers,
-            body,
-        })
+        HttpResponseRef::parse(data).map(|r| r.to_owned())
     }
+}
+
+/// Assembles a POST wire message in one buffer, byte-identical to
+/// [`HttpRequest::post`] + [`HttpRequest::header`] for each `extra`
+/// pair + [`HttpRequest::to_bytes`] — without building the owned
+/// request (two `String`s per header) on the per-call path.
+pub(crate) fn write_post_into(
+    out: &mut Vec<u8>,
+    path: &str,
+    content_type: &str,
+    body: &[u8],
+    extra: &[(&str, &str)],
+) {
+    use std::io::Write as _;
+    let mut head_len =
+        "POST  HTTP/1.1\r\n".len() + path.len() + 64 + content_type.len() + body.len();
+    for (k, v) in extra {
+        head_len += k.len() + 2 + v.len() + 2;
+    }
+    out.reserve(head_len);
+    out.extend_from_slice(b"POST ");
+    out.extend_from_slice(path.as_bytes());
+    out.extend_from_slice(b" HTTP/1.1\r\nContent-Type: ");
+    out.extend_from_slice(content_type.as_bytes());
+    out.extend_from_slice(b"\r\nContent-Length: ");
+    write!(out, "{}", body.len()).expect("vec write");
+    out.extend_from_slice(b"\r\nUser-Agent: metaware/0.1\r\nConnection: close\r\n");
+    for (k, v) in extra {
+        out.extend_from_slice(k.as_bytes());
+        out.extend_from_slice(b": ");
+        out.extend_from_slice(v.as_bytes());
+        out.extend_from_slice(b"\r\n");
+    }
+    out.extend_from_slice(b"\r\n");
+    out.extend_from_slice(body);
 }
 
 /// Length of the first self-delimiting HTTP message in `data`: head,
@@ -246,30 +438,14 @@ fn message_len(data: &[u8]) -> Result<usize, HttpError> {
     }
 }
 
-fn split_head(data: &[u8]) -> Result<(&str, Vec<u8>), HttpError> {
+fn split_head_ref(data: &[u8]) -> Result<(&str, &[u8]), HttpError> {
     let sep = data
         .windows(4)
         .position(|w| w == b"\r\n\r\n")
         .ok_or(HttpError::Malformed("missing header terminator"))?;
     let head = std::str::from_utf8(&data[..sep])
         .map_err(|_| HttpError::Malformed("non-UTF8 header block"))?;
-    Ok((head, data[sep + 4..].to_vec()))
-}
-
-fn parse_headers<'a>(
-    lines: impl Iterator<Item = &'a str>,
-) -> Result<Vec<(String, String)>, HttpError> {
-    let mut headers = Vec::new();
-    for line in lines {
-        if line.is_empty() {
-            break;
-        }
-        let (k, v) = line
-            .split_once(':')
-            .ok_or(HttpError::Malformed("header without colon"))?;
-        headers.push((k.trim().to_owned(), v.trim().to_owned()));
-    }
-    Ok(headers)
+    Ok((head, &data[sep + 4..]))
 }
 
 /// HTTP transport failures.
@@ -351,55 +527,163 @@ impl TcpModel {
 /// charge CPU time on the `Sim` clock.
 pub type RouteHandler = Box<dyn FnMut(&Sim, &HttpRequest) -> HttpResponse + Send>;
 
+/// A zero-copy route handler: reads the request in place (borrowed
+/// tier) and returns lean [`ResponseParts`] the server serialises
+/// straight into the response train.
+pub type ZeroRouteHandler =
+    Box<dyn for<'a> FnMut(&Sim, &HttpRequestRef<'a>) -> ResponseParts + Send>;
+
+enum Route {
+    Owned(RouteHandler),
+    Zero(ZeroRouteHandler),
+}
+
+/// What a zero-copy route handler returns: just the pieces that vary.
+/// The server writes the status line and standard headers directly into
+/// the response buffer, producing byte-identical wire output to the
+/// owned [`HttpResponse::ok`]/[`HttpResponse::error`] constructors
+/// without building their header `String`s.
+#[derive(Debug)]
+pub struct ResponseParts {
+    /// Status code.
+    pub status: u16,
+    /// Reason phrase.
+    pub reason: &'static str,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Entity body.
+    pub body: Vec<u8>,
+    /// Whether to stamp the `Server:` header ([`HttpResponse::ok`]
+    /// does, [`HttpResponse::error`] does not).
+    server_header: bool,
+}
+
+impl ResponseParts {
+    /// A 200 OK (wire-identical to [`HttpResponse::ok`]).
+    pub fn ok(content_type: &'static str, body: impl Into<Vec<u8>>) -> ResponseParts {
+        ResponseParts {
+            status: 200,
+            reason: "OK",
+            content_type,
+            body: body.into(),
+            server_header: true,
+        }
+    }
+
+    /// An error status (wire-identical to [`HttpResponse::error`] with
+    /// the given content type).
+    pub fn error(
+        status: u16,
+        reason: &'static str,
+        content_type: &'static str,
+        body: impl Into<Vec<u8>>,
+    ) -> ResponseParts {
+        ResponseParts {
+            status,
+            reason,
+            content_type,
+            body: body.into(),
+            server_header: false,
+        }
+    }
+
+    /// Serialises into the response train, echoing `corr` last — the
+    /// same position the owned tier gives a correlation header pushed
+    /// after construction.
+    fn write_into(&self, out: &mut Vec<u8>, corr: Option<&str>) {
+        use std::io::Write as _;
+        out.reserve(96 + self.content_type.len() + self.body.len());
+        out.extend_from_slice(b"HTTP/1.1 ");
+        write!(out, "{}", self.status).expect("vec write");
+        out.push(b' ');
+        out.extend_from_slice(self.reason.as_bytes());
+        out.extend_from_slice(b"\r\nContent-Type: ");
+        out.extend_from_slice(self.content_type.as_bytes());
+        out.extend_from_slice(b"\r\nContent-Length: ");
+        write!(out, "{}", self.body.len()).expect("vec write");
+        out.extend_from_slice(b"\r\n");
+        if self.server_header {
+            out.extend_from_slice(b"Server: metaware/0.1\r\n");
+        }
+        if let Some(id) = corr {
+            out.extend_from_slice(CORR_HEADER.as_bytes());
+            out.extend_from_slice(b": ");
+            out.extend_from_slice(id.as_bytes());
+            out.extend_from_slice(b"\r\n");
+        }
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(&self.body);
+    }
+}
+
 /// A simulated HTTP server bound to one network node.
 #[derive(Clone)]
 pub struct HttpServer {
     node: NodeId,
-    routes: Arc<Mutex<HashMap<String, RouteHandler>>>,
+    routes: Arc<Mutex<HashMap<String, Route>>>,
 }
 
 impl HttpServer {
     /// Binds a server on `net`, attaching a new node with `label`.
     pub fn bind(net: &Network, label: &str, tcp: TcpModel) -> HttpServer {
         let node = net.attach(label);
-        let routes: Arc<Mutex<HashMap<String, RouteHandler>>> =
-            Arc::new(Mutex::new(HashMap::new()));
+        let routes: Arc<Mutex<HashMap<String, Route>>> = Arc::new(Mutex::new(HashMap::new()));
         let routes2 = routes.clone();
         net.set_request_handler(node, move |sim, frame: &Frame| {
             // A payload may carry several pipelined requests; each is
             // self-delimiting (Content-Length) and each pays the
-            // per-request server overhead.
+            // per-request server overhead. Every request is parsed on
+            // the borrowed tier; owned-route handlers get a
+            // materialised request, zero-copy routes read in place.
             let mut data: &[u8] = &frame.payload;
-            let mut responses: Vec<HttpResponse> = Vec::new();
+            let mut train: Vec<u8> = Vec::new();
+            let mut spans: Vec<std::ops::Range<usize>> = Vec::new();
             loop {
                 sim.advance(tcp.server_overhead);
+                let start = train.len();
                 let (msg, rest) = match message_len(data) {
                     Ok(n) => data.split_at(n),
                     Err(e) => {
-                        responses.push(HttpResponse::error(400, "Bad Request", e.to_string()));
+                        ResponseParts::error(400, "Bad Request", "text/plain", e.to_string())
+                            .write_into(&mut train, None);
+                        spans.push(start..train.len());
                         break;
                     }
                 };
-                let resp = match HttpRequest::from_bytes(msg) {
+                match HttpRequestRef::parse(msg) {
                     Ok(req) => {
-                        let mut resp = {
-                            let mut routes = routes2.lock();
-                            match routes.get_mut(&req.path) {
-                                Some(h) => h(sim, &req),
-                                None => HttpResponse::not_found(&req.path),
-                            }
-                        };
-                        // Echo the correlation id so the client can
-                        // match responses regardless of completion
+                        // The correlation id is echoed so the client
+                        // can match responses regardless of completion
                         // order.
-                        if let Some(id) = req.get_header(CORR_HEADER) {
-                            resp.headers.push((CORR_HEADER.into(), id.to_owned()));
+                        let corr = req.get_header(CORR_HEADER);
+                        let mut routes = routes2.lock();
+                        match routes.get_mut(req.path) {
+                            Some(Route::Zero(h)) => {
+                                h(sim, &req).write_into(&mut train, corr);
+                            }
+                            Some(Route::Owned(h)) => {
+                                let owned = req.to_owned();
+                                let mut resp = h(sim, &owned);
+                                if let Some(id) = corr {
+                                    resp.headers.push((CORR_HEADER.into(), id.to_owned()));
+                                }
+                                resp.write_bytes_into(&mut train);
+                            }
+                            None => {
+                                let mut body = String::with_capacity(15 + req.path.len());
+                                body.push_str("no handler for ");
+                                body.push_str(req.path);
+                                ResponseParts::error(404, "Not Found", "text/plain", body)
+                                    .write_into(&mut train, corr);
+                            }
                         }
-                        resp
                     }
-                    Err(e) => HttpResponse::error(400, "Bad Request", e.to_string()),
-                };
-                responses.push(resp);
+                    Err(e) => {
+                        ResponseParts::error(400, "Bad Request", "text/plain", e.to_string())
+                            .write_into(&mut train, None);
+                    }
+                }
+                spans.push(start..train.len());
                 data = rest;
                 if data.is_empty() {
                     break;
@@ -408,14 +692,14 @@ impl HttpServer {
             // A pipelined server may finish requests in any order; we
             // reverse deliberately so clients must correlate by id
             // instead of assuming FIFO.
-            if responses.len() > 1 {
-                responses.reverse();
+            if spans.len() > 1 {
+                let mut out = Vec::with_capacity(train.len());
+                for span in spans.iter().rev() {
+                    out.extend_from_slice(&train[span.clone()]);
+                }
+                return Ok(Bytes::from(out));
             }
-            let mut out = Vec::new();
-            for resp in &responses {
-                out.extend_from_slice(&resp.to_bytes());
-            }
-            Ok(Bytes::from(out))
+            Ok(Bytes::from(train))
         })
         .expect("node attached above");
         HttpServer { node, routes }
@@ -432,7 +716,23 @@ impl HttpServer {
         path: impl Into<String>,
         handler: impl FnMut(&Sim, &HttpRequest) -> HttpResponse + Send + 'static,
     ) {
-        self.routes.lock().insert(path.into(), Box::new(handler));
+        self.routes
+            .lock()
+            .insert(path.into(), Route::Owned(Box::new(handler)));
+    }
+
+    /// Registers (or replaces) a zero-copy handler for `path`: it reads
+    /// the request through [`HttpRequestRef`] (no per-request
+    /// materialisation) and returns [`ResponseParts`] serialised in
+    /// place.
+    pub fn route_zero(
+        &self,
+        path: impl Into<String>,
+        handler: impl for<'a> FnMut(&Sim, &HttpRequestRef<'a>) -> ResponseParts + Send + 'static,
+    ) {
+        self.routes
+            .lock()
+            .insert(path.into(), Route::Zero(Box::new(handler)));
     }
 
     /// Removes the handler for `path`.
@@ -532,6 +832,13 @@ impl HttpClient {
         HttpResponse::from_bytes(&raw)
     }
 
+    /// One exchange over pre-assembled wire bytes, returning the raw
+    /// response for the caller to parse on the borrowed tier — the
+    /// zero-copy twin of [`HttpClient::send`].
+    pub(crate) fn send_raw(&self, server: NodeId, payload: Vec<u8>) -> Result<Bytes, HttpError> {
+        self.exchange(server, payload)
+    }
+
     /// Pipelines several requests over one exchange: all requests go
     /// out back-to-back on one connection, the server may finish them
     /// in any order, and responses are matched back to their requests
@@ -546,10 +853,16 @@ impl HttpClient {
         if reqs.is_empty() {
             return Ok(Vec::new());
         }
+        // Each request is written with its correlation id appended in
+        // place — no clone of the request (body included) just to tag
+        // it with one extra header.
         let mut payload = Vec::new();
+        let mut id = String::with_capacity(4);
         for (i, req) in reqs.iter().enumerate() {
-            let tagged = req.clone().header(CORR_HEADER, i.to_string());
-            payload.extend_from_slice(&tagged.to_bytes());
+            use std::fmt::Write as _;
+            id.clear();
+            write!(id, "{i}").expect("string write");
+            req.write_bytes_into(&mut payload, Some((CORR_HEADER, &id)));
         }
         let raw = self.exchange(server, payload)?;
         let mut slots: Vec<Option<HttpResponse>> = vec![None; reqs.len()];

@@ -39,7 +39,10 @@ pub mod value;
 
 pub use endpoint::{CpuModel, ServiceHandler, SoapClient, SoapServer, RPC_ROUTER_PATH};
 pub use fault::{Fault, FaultCode};
-pub use http::{HttpClient, HttpError, HttpRequest, HttpResponse, HttpServer, TcpModel};
+pub use http::{
+    HttpClient, HttpError, HttpRequest, HttpRequestRef, HttpResponse, HttpResponseRef, HttpServer,
+    ResponseParts, TcpModel, ZeroRouteHandler,
+};
 pub use rpc::{call_envelope, fault_envelope, RpcCall, RpcResponse, SoapError};
 pub use value::{base64_decode, base64_encode, Value, ValueError};
 

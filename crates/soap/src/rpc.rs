@@ -3,7 +3,7 @@
 use crate::fault::Fault;
 use crate::http::HttpError;
 use crate::value::{Value, ValueError};
-use minixml::{Element, ParseError};
+use minixml::{escape_attr_into, escape_text_into, ElemRef, Element, ParseError};
 use std::fmt;
 
 const ENVELOPE_NS: &str = "http://schemas.xmlsoap.org/soap/envelope/";
@@ -61,13 +61,17 @@ impl RpcCall {
     }
 
     /// Decodes a call envelope.
+    ///
+    /// Runs over the borrowed parse tier: tag names, attributes and
+    /// clean text stay slices of `doc`, and only the strings that end
+    /// up in the returned call are copied out.
     pub fn from_envelope(doc: &str) -> Result<RpcCall, SoapError> {
-        let root = minixml::parse(doc)?;
+        let root = minixml::parse_ref(doc)?;
         let headers = root
             .find("Header")
             .map(|h| {
                 h.elements()
-                    .map(|e| (e.local_name().to_owned(), e.text_content()))
+                    .map(|e| (e.local_name().to_owned(), e.text_content().into_owned()))
                     .collect()
             })
             .unwrap_or_default();
@@ -81,11 +85,11 @@ impl RpcCall {
             .attrs
             .iter()
             .find(|(k, _)| k.starts_with("xmlns"))
-            .map(|(_, v)| v.clone())
+            .map(|(_, v)| v.clone().into_owned())
             .unwrap_or_default();
         let args = call
             .elements()
-            .map(|a| Value::from_element(a).map(|v| (a.local_name().to_owned(), v)))
+            .map(|a| Value::from_element_ref(a).map(|v| (a.local_name().to_owned(), v)))
             .collect::<Result<Vec<_>, _>>()?;
         Ok(RpcCall {
             namespace,
@@ -127,24 +131,31 @@ impl RpcResponse {
         }
     }
 
-    /// Encodes as a complete SOAP envelope document.
+    /// Encodes as a complete SOAP envelope document, streamed straight
+    /// into the output string (no element tree).
     pub fn to_envelope(&self) -> String {
-        let resp = Element::new(format!("ns1:{}Response", self.method))
-            .attr("xmlns:ns1", "urn:vsg:response")
-            .child(self.value.to_element("return"));
-        envelope(resp).to_document()
+        let mut out = String::with_capacity(384);
+        write_envelope_open(&mut out, NO_HEADERS);
+        out.push_str("<SOAP-ENV:Body><ns1:");
+        out.push_str(&self.method);
+        out.push_str("Response xmlns:ns1=\"urn:vsg:response\">");
+        self.value.write_xml("return", &mut out);
+        out.push_str("</ns1:");
+        out.push_str(&self.method);
+        out.push_str("Response></SOAP-ENV:Body></SOAP-ENV:Envelope>");
+        out
     }
 
     /// Decodes a response envelope, surfacing a carried fault as
-    /// `Err(SoapError::Fault)`.
+    /// `Err(SoapError::Fault)`. Runs over the borrowed parse tier.
     pub fn from_envelope(doc: &str) -> Result<RpcResponse, SoapError> {
-        let root = minixml::parse(doc)?;
+        let root = minixml::parse_ref(doc)?;
         let body = body_of(&root)?;
         let first = body
             .elements()
             .next()
             .ok_or_else(|| SoapError::malformed("empty SOAP body"))?;
-        if let Some(fault) = Fault::from_element(first) {
+        if let Some(fault) = Fault::from_element_ref(first) {
             return Err(SoapError::Fault(fault));
         }
         let method = first
@@ -153,7 +164,7 @@ impl RpcResponse {
             .unwrap_or(first.local_name())
             .to_owned();
         let value = match first.find("return") {
-            Some(r) => Value::from_element(r)?,
+            Some(r) => Value::from_element_ref(r)?,
             None => Value::Null,
         };
         Ok(RpcResponse { method, value })
@@ -168,55 +179,93 @@ pub fn call_envelope<'a>(
     method: &str,
     args: impl IntoIterator<Item = (&'a str, &'a Value)>,
 ) -> String {
-    call_envelope_with_headers(namespace, method, args, &[])
+    call_envelope_with_headers(namespace, method, args, NO_HEADERS)
 }
 
 /// Like [`call_envelope`], with `SOAP-ENV:Header` entries. Headers are
 /// emitted as text elements in the `urn:vsg:ext` namespace, before the
 /// Body as SOAP 1.1 requires.
-pub fn call_envelope_with_headers<'a>(
+///
+/// The envelope streams straight into the output string — no element
+/// tree is built. The output stays byte-identical to serialising the
+/// equivalent tree (the equivalence test in this module enforces it).
+pub fn call_envelope_with_headers<'a, K: AsRef<str>, V: AsRef<str>>(
     namespace: &str,
     method: &str,
     args: impl IntoIterator<Item = (&'a str, &'a Value)>,
-    headers: &[(String, String)],
+    headers: &[(K, V)],
 ) -> String {
-    let mut call = Element::new(format!("ns1:{method}")).attr("xmlns:ns1", namespace);
+    let mut out = String::with_capacity(512);
+    write_envelope_open(&mut out, headers);
+    out.push_str("<SOAP-ENV:Body><ns1:");
+    out.push_str(method);
+    out.push_str(" xmlns:ns1=\"");
+    escape_attr_into(namespace, &mut out);
+    out.push('"');
+    let mut empty = true;
     for (name, value) in args {
-        call.push(value.to_element(name));
+        if empty {
+            out.push('>');
+            empty = false;
+        }
+        value.write_xml(name, &mut out);
     }
-    envelope_with(headers, call).to_document()
+    if empty {
+        out.push_str("/>");
+    } else {
+        out.push_str("</ns1:");
+        out.push_str(method);
+        out.push('>');
+    }
+    out.push_str("</SOAP-ENV:Body></SOAP-ENV:Envelope>");
+    out
 }
 
-/// Encodes a fault as a complete SOAP envelope document.
+/// Type hint for header-less streaming envelopes.
+const NO_HEADERS: &[(&str, &str)] = &[];
+
+/// Writes the XML declaration, the envelope open tag with its
+/// namespace attributes, and the (optional) `SOAP-ENV:Header` block.
+fn write_envelope_open<K: AsRef<str>, V: AsRef<str>>(out: &mut String, headers: &[(K, V)]) {
+    out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?><SOAP-ENV:Envelope xmlns:SOAP-ENV=\"");
+    out.push_str(ENVELOPE_NS);
+    out.push_str("\" xmlns:xsd=\"");
+    out.push_str(XSD_NS);
+    out.push_str("\" xmlns:xsi=\"");
+    out.push_str(XSI_NS);
+    out.push_str("\" SOAP-ENV:encodingStyle=\"");
+    out.push_str(ENCODING_NS);
+    out.push_str("\">");
+    if !headers.is_empty() {
+        out.push_str("<SOAP-ENV:Header>");
+        for (name, value) in headers {
+            out.push_str("<vsg:");
+            out.push_str(name.as_ref());
+            out.push_str(" xmlns:vsg=\"urn:vsg:ext\">");
+            // Always open/close form: the element path stores a
+            // (possibly empty) text child, never self-closing.
+            escape_text_into(value.as_ref(), out);
+            out.push_str("</vsg:");
+            out.push_str(name.as_ref());
+            out.push('>');
+        }
+        out.push_str("</SOAP-ENV:Header>");
+    }
+}
+
+/// Encodes a fault as a complete SOAP envelope document. Faults are the
+/// cold path; they still build the element tree.
 pub fn fault_envelope(fault: &Fault) -> String {
-    envelope(fault.to_element()).to_document()
-}
-
-fn envelope(body_child: Element) -> Element {
-    envelope_with(&[], body_child)
-}
-
-fn envelope_with(headers: &[(String, String)], body_child: Element) -> Element {
-    let mut env = Element::new("SOAP-ENV:Envelope")
+    Element::new("SOAP-ENV:Envelope")
         .attr("xmlns:SOAP-ENV", ENVELOPE_NS)
         .attr("xmlns:xsd", XSD_NS)
         .attr("xmlns:xsi", XSI_NS)
-        .attr("SOAP-ENV:encodingStyle", ENCODING_NS);
-    if !headers.is_empty() {
-        let mut header = Element::new("SOAP-ENV:Header");
-        for (name, value) in headers {
-            header.push(
-                Element::new(format!("vsg:{name}"))
-                    .attr("xmlns:vsg", "urn:vsg:ext")
-                    .text(value),
-            );
-        }
-        env = env.child(header);
-    }
-    env.child(Element::new("SOAP-ENV:Body").child(body_child))
+        .attr("SOAP-ENV:encodingStyle", ENCODING_NS)
+        .child(Element::new("SOAP-ENV:Body").child(fault.to_element()))
+        .to_document()
 }
 
-fn body_of(root: &Element) -> Result<&Element, SoapError> {
+fn body_of<'a, 'd>(root: &'a ElemRef<'d>) -> Result<&'a ElemRef<'d>, SoapError> {
     if root.local_name() != "Envelope" {
         return Err(SoapError::malformed(format!(
             "root element is <{}>, not an Envelope",
@@ -372,6 +421,63 @@ mod tests {
             RpcCall::from_envelope(&empty_body),
             Err(SoapError::Malformed(_))
         ));
+    }
+
+    /// The element-tree encoder the streaming writer replaced,
+    /// reconstructed here as the reference for byte-identity.
+    fn tree_envelope(headers: &[(String, String)], body_child: Element) -> String {
+        let mut env = Element::new("SOAP-ENV:Envelope")
+            .attr("xmlns:SOAP-ENV", ENVELOPE_NS)
+            .attr("xmlns:xsd", XSD_NS)
+            .attr("xmlns:xsi", XSI_NS)
+            .attr("SOAP-ENV:encodingStyle", ENCODING_NS);
+        if !headers.is_empty() {
+            let mut header = Element::new("SOAP-ENV:Header");
+            for (name, value) in headers {
+                header.push(
+                    Element::new(format!("vsg:{name}"))
+                        .attr("xmlns:vsg", "urn:vsg:ext")
+                        .text(value),
+                );
+            }
+            env = env.child(header);
+        }
+        env.child(Element::new("SOAP-ENV:Body").child(body_child))
+            .to_document()
+    }
+
+    #[test]
+    fn streamed_call_envelope_matches_element_path() {
+        let call = RpcCall::new("urn:vsg:vcr", "record")
+            .arg("channel", 42)
+            .arg("title", "News & <Weather>")
+            .arg("empty", "")
+            .header("TraceContext", "1f-2e")
+            .header("Empty", "");
+        let mut body =
+            Element::new(format!("ns1:{}", call.method)).attr("xmlns:ns1", call.namespace.clone());
+        for (k, v) in &call.args {
+            body.push(v.to_element(k));
+        }
+        assert_eq!(call.to_envelope(), tree_envelope(&call.headers, body));
+        // No arguments → the method element self-closes, on both paths.
+        let bare = RpcCall::new("urn:x", "ping");
+        assert_eq!(
+            bare.to_envelope(),
+            tree_envelope(&[], Element::new("ns1:ping").attr("xmlns:ns1", "urn:x"))
+        );
+    }
+
+    #[test]
+    fn streamed_response_envelope_matches_element_path() {
+        let resp = RpcResponse::new(
+            "record",
+            Value::Record(vec![("ok".into(), Value::Bool(true))]),
+        );
+        let body = Element::new("ns1:recordResponse")
+            .attr("xmlns:ns1", "urn:vsg:response")
+            .child(resp.value.to_element("return"));
+        assert_eq!(resp.to_envelope(), tree_envelope(&[], body));
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! this model (exactly the role Apache SOAP's type mappings played in the
 //! paper's prototype).
 
-use minixml::Element;
+use minixml::{escape_text_into, ElemRef, Element};
 use std::fmt;
 
 /// A dynamically typed RPC value.
@@ -72,6 +72,77 @@ impl Value {
         }
     }
 
+    /// Streams the element encoding of `self` into `out`: byte-identical
+    /// to serialising [`Value::to_element`] compactly, without building
+    /// the intermediate element tree (whose every name, attribute and
+    /// text run is an owned `String`). This is the marshal hot path.
+    pub fn write_xml(&self, name: &str, out: &mut String) {
+        out.push('<');
+        out.push_str(name);
+        out.push_str(" xsi:type=\"");
+        out.push_str(self.type_label());
+        out.push('"');
+        let close = |out: &mut String| {
+            out.push_str("</");
+            out.push_str(name);
+            out.push('>');
+        };
+        match self {
+            Value::Null => out.push_str(" xsi:nil=\"true\"/>"),
+            Value::Bool(b) => {
+                out.push('>');
+                out.push_str(if *b { "true" } else { "false" });
+                close(out);
+            }
+            Value::Int(i) => {
+                use std::fmt::Write as _;
+                out.push('>');
+                write!(out, "{i}").expect("string write");
+                close(out);
+            }
+            Value::Float(f) => {
+                out.push('>');
+                write_f64(*f, out);
+                close(out);
+            }
+            // Empty strings and byte runs still take the open/close
+            // form — the element path stores a (possibly empty) text
+            // child, which never serialises self-closing.
+            Value::Str(s) => {
+                out.push('>');
+                escape_text_into(s, out);
+                close(out);
+            }
+            Value::Bytes(b) => {
+                out.push('>');
+                base64_encode_into(b, out);
+                close(out);
+            }
+            Value::List(items) => {
+                if items.is_empty() {
+                    out.push_str("/>");
+                    return;
+                }
+                out.push('>');
+                for item in items {
+                    item.write_xml("item", out);
+                }
+                close(out);
+            }
+            Value::Record(fields) => {
+                if fields.is_empty() {
+                    out.push_str("/>");
+                    return;
+                }
+                out.push('>');
+                for (k, v) in fields {
+                    v.write_xml(k, out);
+                }
+                close(out);
+            }
+        }
+    }
+
     /// Decodes from an element produced by [`Value::to_element`] (or by a
     /// foreign SOAP stack using the same subset).
     pub fn from_element(e: &Element) -> Result<Value, ValueError> {
@@ -109,6 +180,52 @@ impl Value {
             "SOAP-ENC:Struct" => e
                 .elements()
                 .map(|c| Value::from_element(c).map(|v| (c.local_name().to_owned(), v)))
+                .collect::<Result<Vec<_>, _>>()
+                .map(Value::Record),
+            other => Err(ValueError::new(format!("unsupported xsi:type '{other}'"))),
+        }
+    }
+
+    /// [`Value::from_element`] over the borrowed parse tier: decodes
+    /// straight from document slices, so only the resulting `Value`'s
+    /// own strings allocate — no intermediate owned element tree. Kept
+    /// in lock-step with `from_element` (the equivalence proptest in
+    /// this module enforces it).
+    pub fn from_element_ref(e: &ElemRef<'_>) -> Result<Value, ValueError> {
+        let ty = e.get_attr("xsi:type").unwrap_or("xsd:string");
+        if e.get_attr("xsi:nil") == Some("true") || ty == "xsi:null" {
+            return Ok(Value::Null);
+        }
+        match ty {
+            "xsd:boolean" => match e.text_content().trim() {
+                "true" | "1" => Ok(Value::Bool(true)),
+                "false" | "0" => Ok(Value::Bool(false)),
+                other => Err(ValueError::new(format!("bad boolean '{other}'"))),
+            },
+            "xsd:int" | "xsd:long" | "xsd:short" | "xsd:byte" => e
+                .text_content()
+                .trim()
+                .parse::<i64>()
+                .map(Value::Int)
+                .map_err(|_| ValueError::new(format!("bad integer '{}'", e.text_content()))),
+            "xsd:double" | "xsd:float" | "xsd:decimal" => e
+                .text_content()
+                .trim()
+                .parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| ValueError::new(format!("bad double '{}'", e.text_content()))),
+            "xsd:string" => Ok(Value::Str(e.text_content().into_owned())),
+            "SOAP-ENC:base64" | "xsd:base64Binary" => base64_decode(e.text_content().trim())
+                .map(Value::Bytes)
+                .ok_or_else(|| ValueError::new("bad base64 payload")),
+            "SOAP-ENC:Array" => e
+                .elements()
+                .map(Value::from_element_ref)
+                .collect::<Result<Vec<_>, _>>()
+                .map(Value::List),
+            "SOAP-ENC:Struct" => e
+                .elements()
+                .map(|c| Value::from_element_ref(c).map(|v| (c.local_name().to_owned(), v)))
                 .collect::<Result<Vec<_>, _>>()
                 .map(Value::Record),
             other => Err(ValueError::new(format!("unsupported xsi:type '{other}'"))),
@@ -228,11 +345,20 @@ impl From<Vec<u8>> for Value {
 }
 
 fn format_f64(f: f64) -> String {
+    let mut out = String::new();
+    write_f64(f, &mut out);
+    out
+}
+
+/// [`format_f64`] written into the caller's buffer (no intermediate
+/// `String` on the marshal hot path).
+fn write_f64(f: f64, out: &mut String) {
+    use std::fmt::Write as _;
     // Keep integral doubles distinguishable from xsd:long on re-parse.
     if f.fract() == 0.0 && f.is_finite() && f.abs() < 1e15 {
-        format!("{f:.1}")
+        write!(out, "{f:.1}").expect("string write")
     } else {
-        format!("{f}")
+        write!(out, "{f}").expect("string write")
     }
 }
 
@@ -264,6 +390,13 @@ const B64: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz012
 /// Standard base64 (RFC 2045 alphabet, `=` padding).
 pub fn base64_encode(data: &[u8]) -> String {
     let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    base64_encode_into(data, &mut out);
+    out
+}
+
+/// [`base64_encode`] written into the caller's buffer.
+pub fn base64_encode_into(data: &[u8], out: &mut String) {
+    out.reserve(data.len().div_ceil(3) * 4);
     for chunk in data.chunks(3) {
         let b = [
             chunk[0],
@@ -284,7 +417,6 @@ pub fn base64_encode(data: &[u8]) -> String {
             '='
         });
     }
-    out
 }
 
 /// Inverse of [`base64_encode`]. Returns `None` on malformed input.
@@ -435,6 +567,55 @@ mod tests {
         assert!(base64_decode("Zg=").is_none());
         assert!(base64_decode("====").is_none());
         assert!(base64_decode("Z*==").is_none());
+    }
+
+    fn edge_values() -> Vec<Value> {
+        vec![
+            Value::Null,
+            Value::Str(String::new()),
+            Value::Bytes(Vec::new()),
+            Value::List(Vec::new()),
+            Value::Record(Vec::new()),
+            Value::Float(2.0),
+            Value::Str("a <b> & \"c\"".into()),
+            Value::Record(vec![
+                ("l".into(), Value::List(vec![Value::Null, Value::Int(1)])),
+                ("b".into(), Value::Bytes(vec![1, 2, 3])),
+            ]),
+        ]
+    }
+
+    #[test]
+    fn streamed_marshal_matches_element_path() {
+        // The streaming writer must stay byte-identical to serialising
+        // the element tree — including the self-closing/open-close
+        // distinction for empty values.
+        for v in edge_values() {
+            let mut streamed = String::new();
+            v.write_xml("arg", &mut streamed);
+            assert_eq!(streamed, v.to_element("arg").to_xml(), "value {v}");
+        }
+    }
+
+    #[test]
+    fn borrowed_decode_matches_owned() {
+        for v in edge_values() {
+            let doc = v.to_element("arg").to_document();
+            let owned = Value::from_element(&minixml::parse(&doc).unwrap()).unwrap();
+            let borrowed = Value::from_element_ref(&minixml::parse_ref(&doc).unwrap()).unwrap();
+            assert_eq!(borrowed, owned, "value {v}");
+            assert_eq!(borrowed, v, "value {v}");
+        }
+        // Bad payloads fail identically on both tiers.
+        for xml in [
+            r#"<a xsi:type="xsd:int">notanumber</a>"#,
+            r#"<a xsi:type="vendor:custom">x</a>"#,
+        ] {
+            let owned = Value::from_element(&minixml::parse(xml).unwrap());
+            let borrowed = Value::from_element_ref(&minixml::parse_ref(xml).unwrap());
+            assert_eq!(owned, borrowed, "{xml}");
+            assert!(owned.is_err());
+        }
     }
 
     #[test]

@@ -163,7 +163,7 @@ fn sixteen_services_federate_cleanly() {
         .find("%", None)
         .unwrap()
         .into_iter()
-        .map(|r| r.name)
+        .map(|r| String::from(r.name))
         .collect();
     assert_eq!(names.len(), 13, "names are unique");
 }
@@ -179,7 +179,7 @@ fn context_aware_discovery() {
         .find_by_context("%", &[("room", "hall")])
         .unwrap()
         .into_iter()
-        .map(|r| r.name)
+        .map(|r| String::from(r.name))
         .collect();
     assert_eq!(
         hall,
@@ -273,9 +273,9 @@ mod federated_vsr {
             }
 
             let on_single: Vec<String> =
-                single.find("%", None).unwrap().into_iter().map(|r| r.name).collect();
+                single.find("%", None).unwrap().into_iter().map(|r| String::from(r.name)).collect();
             let on_fed: Vec<String> =
-                fed.find("%", None).unwrap().into_iter().map(|r| r.name).collect();
+                fed.find("%", None).unwrap().into_iter().map(|r| String::from(r.name)).collect();
             prop_assert_eq!(&on_single, &on_fed, "find('%') diverged");
             prop_assert_eq!(single.count().unwrap(), fed.count().unwrap());
             prop_assert_eq!(fed.count().unwrap(), vsr_b.service_count());
