@@ -252,8 +252,9 @@ impl SmartHome {
             Middleware::Mail | Middleware::Web => self.mail.as_ref().map(|i| &i.vsg),
             Middleware::Upnp => self.upnp.as_ref().map(|i| &i.vsg),
             // The cloud bridge fronts no VSG: it is a WAN edge, not an
-            // island gateway.
-            Middleware::Cloud => None,
+            // island gateway. Composites live on whichever gateway
+            // registered them, not an island of their own.
+            Middleware::Cloud | Middleware::Composite => None,
         }
     }
 

@@ -55,6 +55,7 @@
 pub mod activation;
 pub mod avmeta;
 pub mod batch;
+pub mod compose;
 pub mod error;
 pub mod events;
 pub mod federation;
@@ -77,6 +78,9 @@ pub mod vsr;
 pub use activation::{ActivationStats, Activator};
 pub use avmeta::{AvBroker, AvFormat, AvReport, AvSession};
 pub use batch::{BatchCall, BatchItem, BatchPolicy};
+pub use compose::{
+    Binding, CompensationSpec, ComposeOutcome, CompositeSpec, StepSpec, COMPOSITE_SPEC_CONTEXT,
+};
 pub use error::MetaError;
 pub use events::{BridgeStats, PollingBridge, SipPublisher, SipSubscriber};
 pub use federation::{FederationConfig, ShardMap, Version};

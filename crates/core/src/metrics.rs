@@ -158,6 +158,11 @@ struct MetricsState {
     vsr_failovers: u64,
     shard_map_refreshes: u64,
     replication_lag: std::collections::BTreeMap<u32, u64>,
+    compose_executions: u64,
+    compose_steps: u64,
+    compose_failures: u64,
+    compose_compensations: u64,
+    compose_compensation_failures: u64,
 }
 
 /// Per-gateway monotonic counters and latency histogram, fed by every
@@ -276,6 +281,20 @@ impl MetricsRegistry {
         self.state.lock().replication_lag.insert(shard, lag);
     }
 
+    /// Records one composition-engine execution: how many steps
+    /// completed, how its compensators fared, and whether the pipeline
+    /// as a whole failed.
+    pub fn record_compose(&self, outcome: &crate::compose::ComposeOutcome, failed: bool) {
+        let mut st = self.state.lock();
+        st.compose_executions += 1;
+        st.compose_steps += outcome.steps_completed as u64;
+        st.compose_compensations += outcome.compensations_run as u64;
+        st.compose_compensation_failures += outcome.compensations_failed as u64;
+        if failed {
+            st.compose_failures += 1;
+        }
+    }
+
     /// A point-in-time copy of the counters.
     pub fn snapshot(&self) -> RegistrySnapshot {
         let st = self.state.lock();
@@ -306,6 +325,11 @@ impl MetricsRegistry {
             vsr_failovers: st.vsr_failovers,
             shard_map_refreshes: st.shard_map_refreshes,
             replication_lag: st.replication_lag.iter().map(|(k, v)| (*k, *v)).collect(),
+            compose_executions: st.compose_executions,
+            compose_steps: st.compose_steps,
+            compose_failures: st.compose_failures,
+            compose_compensations: st.compose_compensations,
+            compose_compensation_failures: st.compose_compensation_failures,
         }
     }
 }
@@ -343,6 +367,17 @@ pub struct RegistrySnapshot {
     /// Replication-lag gauge per shard (records the laggiest backup is
     /// behind its primary by).
     pub replication_lag: Vec<(u32, u64)>,
+    /// Composite pipelines executed by this gateway's composition
+    /// engine (success or failure).
+    pub compose_executions: u64,
+    /// Pipeline steps completed across all composite executions.
+    pub compose_steps: u64,
+    /// Composite executions that failed (after compensation ran).
+    pub compose_failures: u64,
+    /// Compensating undos the engine invoked that succeeded.
+    pub compose_compensations: u64,
+    /// Compensating undos the engine invoked that themselves failed.
+    pub compose_compensation_failures: u64,
 }
 
 /// Merges two sorted `(key, count)` vectors, summing on key collision.
@@ -418,6 +453,11 @@ impl RegistrySnapshot {
             &other.replication_lag,
             |mine, theirs| *mine = (*mine).max(*theirs),
         );
+        self.compose_executions += other.compose_executions;
+        self.compose_steps += other.compose_steps;
+        self.compose_failures += other.compose_failures;
+        self.compose_compensations += other.compose_compensations;
+        self.compose_compensation_failures += other.compose_compensation_failures;
     }
 }
 
@@ -535,6 +575,14 @@ impl MetricsSnapshot {
             out.push_str(&format!("\"{shard}\":{lag}"));
         }
         out.push_str("}}");
+        out.push_str(&format!(
+            ",\"compose\":{{\"executions\":{},\"steps\":{},\"failures\":{},\"compensations\":{},\"compensation_failures\":{}}}",
+            self.registry.compose_executions,
+            self.registry.compose_steps,
+            self.registry.compose_failures,
+            self.registry.compose_compensations,
+            self.registry.compose_compensation_failures
+        ));
         out.push_str(&format!(
             ",\"cache\":{{\"hits\":{},\"negative_hits\":{},\"misses\":{},\"evictions\":{},\"invalidations\":{},\"stale_serves\":{}}}}}",
             self.cache.hits,

@@ -235,10 +235,19 @@ pub enum Layer {
     Pcm,
     /// The application/service body on the serving gateway.
     App,
+    /// One pipeline step run by the composition engine (forward or
+    /// compensating) on the gateway hosting the composite.
+    Compose,
 }
 
 /// All layers in canonical (emission) order.
-pub const LAYERS: [Layer; 4] = [Layer::App, Layer::Pcm, Layer::Vsr, Layer::Wire];
+pub const LAYERS: [Layer; 5] = [
+    Layer::App,
+    Layer::Pcm,
+    Layer::Vsr,
+    Layer::Wire,
+    Layer::Compose,
+];
 
 impl Layer {
     /// Stable lowercase label used in JSON and exporter output.
@@ -248,6 +257,7 @@ impl Layer {
             Layer::Wire => "wire",
             Layer::Pcm => "pcm",
             Layer::App => "app",
+            Layer::Compose => "compose",
         }
     }
 
@@ -258,6 +268,7 @@ impl Layer {
             Layer::Pcm => 1,
             Layer::Vsr => 2,
             Layer::Wire => 3,
+            Layer::Compose => 4,
         }
     }
 }

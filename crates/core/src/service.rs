@@ -23,6 +23,11 @@ pub enum Middleware {
     Web,
     /// The cloud bridge over the WAN (store-and-forward PCM).
     Cloud,
+    /// A composite pipeline hosted by a VSG's composition engine — the
+    /// VSR record kind for services that are themselves pipelines over
+    /// other services (no native island; the hosting gateway executes
+    /// the steps).
+    Composite,
 }
 
 impl Middleware {
@@ -36,6 +41,7 @@ impl Middleware {
             Middleware::Upnp => "upnp",
             Middleware::Web => "web",
             Middleware::Cloud => "cloud",
+            Middleware::Composite => "composite",
         }
     }
 
@@ -49,6 +55,7 @@ impl Middleware {
             "upnp" => Some(Middleware::Upnp),
             "web" => Some(Middleware::Web),
             "cloud" => Some(Middleware::Cloud),
+            "composite" => Some(Middleware::Composite),
             _ => None,
         }
     }
@@ -160,6 +167,7 @@ mod tests {
             Middleware::Upnp,
             Middleware::Web,
             Middleware::Cloud,
+            Middleware::Composite,
         ] {
             assert_eq!(Middleware::from_label(m.label()), Some(m));
         }

@@ -91,6 +91,10 @@ pub enum HopKind {
     /// handshake with epoch bump, a delta reconciliation, a downward
     /// command delivery, or an admission-control pushback.
     Cloud,
+    /// One composition-engine step: a forward pipeline step or a
+    /// compensating undo, executed on the gateway hosting the
+    /// composite service.
+    Compose,
 }
 
 impl HopKind {
@@ -108,6 +112,7 @@ impl HopKind {
             HopKind::Resilience => "resilience",
             HopKind::Federation => "federation",
             HopKind::Cloud => "cloud",
+            HopKind::Compose => "compose",
         }
     }
 }

@@ -7,6 +7,7 @@
 //! [`VsgProtocol`].
 
 use crate::batch::{BatchItem, BatchPolicy, EVENT_ARG, EVENT_OP};
+use crate::compose::{self, CompositeSpec};
 use crate::error::MetaError;
 use crate::metrics::{CacheStats, MetricsRegistry, MetricsSnapshot};
 use crate::obs::Layer;
@@ -26,6 +27,12 @@ use std::sync::Arc;
 struct LocalEntry {
     service: VirtualService,
     invoker: Arc<Mutex<Box<dyn ServiceInvoker>>>,
+    /// Composite entries dispatch under `try_lock`: re-entering one
+    /// mid-execution means a pipeline cycled back into itself (the
+    /// home's gateways share one single-threaded island, so a held
+    /// lock here can only be our own call stack) — a typed error
+    /// beats the deadlock.
+    composite: bool,
 }
 
 /// Receives event notifications that arrived as batch members over the
@@ -151,6 +158,45 @@ impl Vsg {
             LocalEntry {
                 service,
                 invoker: Arc::new(Mutex::new(Box::new(invoker))),
+                composite: false,
+            },
+        );
+        Ok(())
+    }
+
+    /// Registers a composite pipeline as a first-class service of this
+    /// gateway: validates the spec, publishes a VSR record of origin
+    /// [`crate::service::Middleware::Composite`] whose service contexts carry the
+    /// encoded spec, and installs an invoker that runs the pipeline
+    /// through [`crate::compose::execute`] *on this gateway* — a
+    /// client anywhere in the home pays one round trip here and the
+    /// steps fan out over this gateway's resilient wire.
+    pub fn register_composite(&self, spec: CompositeSpec) -> Result<(), MetaError> {
+        spec.validate()?;
+        let service = VirtualService::new(
+            &spec.name,
+            spec.interface(),
+            crate::service::Middleware::Composite,
+            &self.inner.name,
+        )
+        .context(compose::COMPOSITE_SPEC_CONTEXT, spec.to_xml());
+        self.inner.vsr.publish(&service)?;
+        self.inner.rescache.lock().invalidate(&spec.name);
+        let name = spec.name.clone();
+        let weak = Arc::downgrade(&self.inner);
+        let spec = Arc::new(spec);
+        let invoker = move |sim: &Sim, _op: &str, args: &[(String, Value)]| {
+            let Some(inner) = weak.upgrade() else {
+                return Err(MetaError::GatewayUnreachable(spec.name.clone()));
+            };
+            compose::execute(&Vsg { inner }, &spec, sim, args).0
+        };
+        self.inner.local.lock().insert(
+            name,
+            LocalEntry {
+                service,
+                invoker: Arc::new(Mutex::new(Box::new(invoker))),
+                composite: true,
             },
         );
         Ok(())
@@ -192,6 +238,33 @@ impl Vsg {
         operation: &str,
         args: &[(String, Value)],
     ) -> Result<Value, MetaError> {
+        self.invoke_inner(sim, service, operation, args, None)
+    }
+
+    /// [`Vsg::invoke`] under a caller-supplied resilience policy
+    /// instead of this gateway's configured one. The composition
+    /// engine uses this to give each pipeline step a deadline carved
+    /// from the composite's budget; any caller with a per-call budget
+    /// can too. Retry/breaker semantics are otherwise identical.
+    pub fn invoke_with_policy(
+        &self,
+        sim: &Sim,
+        service: &str,
+        operation: &str,
+        args: &[(String, Value)],
+        policy: &ResiliencePolicy,
+    ) -> Result<Value, MetaError> {
+        self.invoke_inner(sim, service, operation, args, Some(policy))
+    }
+
+    fn invoke_inner(
+        &self,
+        sim: &Sim,
+        service: &str,
+        operation: &str,
+        args: &[(String, Value)],
+        policy: Option<&ResiliencePolicy>,
+    ) -> Result<Value, MetaError> {
         let tracer = &self.inner.tracer;
         let span = tracer.begin(sim, HopKind::ClientProxy, || {
             format!("{service}.{operation}")
@@ -208,7 +281,7 @@ impl Vsg {
                 args,
             )
         } else {
-            self.invoke_remote(sim, service, operation, args)
+            self.invoke_remote(sim, service, operation, args, policy)
         };
         let elapsed_us = (sim.now() - started).as_micros();
         self.inner.metrics.record_with_exemplar(
@@ -425,7 +498,16 @@ impl Vsg {
                 let (record, gw_node) = self.resolve_route(service)?;
                 let mut req =
                     VsgRequest::new(service.as_str(), EVENT_OP).arg(EVENT_ARG, event.clone());
-                self.resilient_wire_call(sim, gw_node, &record.gateway, &mut req, true, sim.now())
+                let policy = self.inner.resilience.lock().clone();
+                self.resilient_wire_call(
+                    sim,
+                    gw_node,
+                    &record.gateway,
+                    &mut req,
+                    true,
+                    sim.now(),
+                    &policy,
+                )
             }
         }
     }
@@ -631,12 +713,16 @@ impl Vsg {
         service: &str,
         operation: &str,
         args: &[(String, Value)],
+        policy_override: Option<&ResiliencePolicy>,
     ) -> Result<Value, MetaError> {
         let mut req = VsgRequest::new(service, operation);
         req.args = args.to_vec();
         // The invocation's deadline spans everything that follows:
         // cached attempt, re-resolution, retries, and backoff waits.
         let started = sim.now();
+        let policy = policy_override
+            .cloned()
+            .unwrap_or_else(|| self.inner.resilience.lock().clone());
 
         // Fast path: a warm cache entry carries the full record and the
         // serving gateway's node — zero VSR round trips. (Bound to a
@@ -654,6 +740,7 @@ impl Vsg {
                     &mut req,
                     idempotent,
                     started,
+                    &policy,
                 ) {
                     Ok(v) => return Ok(v),
                     // Only errors that guarantee the operation did not
@@ -687,7 +774,8 @@ impl Vsg {
             // (previously invalidated) route beats failing the call —
             // §3.1's backbone still works even when discovery is down.
             Err(e) if e.is_transport_failure() => {
-                return self.invoke_degraded(sim, service, operation, &mut req, started, e);
+                return self
+                    .invoke_degraded(sim, service, operation, &mut req, started, e, &policy);
             }
             Err(e) => return Err(e),
         };
@@ -697,8 +785,15 @@ impl Vsg {
             .gateway_node(&record.gateway)
             .map_err(|_| MetaError::GatewayUnreachable(record.gateway.clone()))?;
         let idempotent = op_is_idempotent(&record, operation);
-        let result =
-            self.resilient_wire_call(sim, gw_node, &record.gateway, &mut req, idempotent, started);
+        let result = self.resilient_wire_call(
+            sim,
+            gw_node,
+            &record.gateway,
+            &mut req,
+            idempotent,
+            started,
+            &policy,
+        );
         // Cache the resolution unless the call failed in a way that
         // leaves the route in doubt (an application fault proves the
         // remote gateway serves this record, so the route is good).
@@ -724,6 +819,7 @@ impl Vsg {
     /// invalidated route survives in the cache, serve over it; a
     /// success re-promotes the route to resolved. Otherwise the
     /// original resolution error propagates.
+    #[allow(clippy::too_many_arguments)]
     fn invoke_degraded(
         &self,
         sim: &Sim,
@@ -732,11 +828,9 @@ impl Vsg {
         req: &mut VsgRequest,
         started: SimTime,
         resolve_err: MetaError,
+        policy: &ResiliencePolicy,
     ) -> Result<Value, MetaError> {
-        if !{
-            let p = self.inner.resilience.lock();
-            p.enabled && p.degraded_reads
-        } {
+        if !(policy.enabled && policy.degraded_reads) {
             return Err(resolve_err);
         }
         let Some((record, gw_node)) = self.inner.rescache.lock().stale_lookup(service) else {
@@ -750,8 +844,15 @@ impl Vsg {
             )
         });
         let idempotent = op_is_idempotent(&record, operation);
-        let result =
-            self.resilient_wire_call(sim, gw_node, &record.gateway, req, idempotent, started);
+        let result = self.resilient_wire_call(
+            sim,
+            gw_node,
+            &record.gateway,
+            req,
+            idempotent,
+            started,
+            policy,
+        );
         if result.is_ok() {
             self.inner
                 .rescache
@@ -767,6 +868,7 @@ impl Vsg {
     /// Only transport failures are retried, and an ambiguous one (the
     /// remote may have executed) is retried only when the operation is
     /// idempotent — the no-double-invoke guarantee.
+    #[allow(clippy::too_many_arguments)]
     fn resilient_wire_call(
         &self,
         sim: &Sim,
@@ -775,12 +877,12 @@ impl Vsg {
         req: &mut VsgRequest,
         idempotent: bool,
         started: SimTime,
+        policy: &ResiliencePolicy,
     ) -> Result<Value, MetaError> {
-        let policy = self.inner.resilience.lock().clone();
         if !policy.enabled {
             return self.wire_call(sim, gw_node, gateway, req);
         }
-        if !self.breaker_admit(sim, gateway, &policy) {
+        if !self.breaker_admit(sim, gateway, policy) {
             self.note_resilience(sim, || format!("breaker open: fail fast to {gateway}"));
             return Err(MetaError::CircuitOpen {
                 gateway: gateway.to_owned(),
@@ -1168,7 +1270,7 @@ fn dispatch_local(
 ) -> Result<Value, MetaError> {
     // Type-check against the signature in place (no OpSig clone); only
     // the invoker handle leaves the map lock's scope.
-    let invoker =
+    let (invoker, composite) =
         {
             let map = local.lock();
             let entry = map
@@ -1181,11 +1283,30 @@ fn dispatch_local(
                 }
             })?;
             sig.check_args(args)?;
-            entry.invoker.clone()
+            (entry.invoker.clone(), entry.composite)
         };
     let span = tracer.begin(sim, HopKind::App, || format!("{service}.{operation}"));
     let app_started = sim.now();
-    let mut invoker = invoker.lock();
+    // Composite invokers re-enter the gateway to run their steps; a
+    // composite that (transitively) invokes itself would self-deadlock
+    // on this non-reentrant mutex, so contention on a composite's own
+    // lock is reported as a cycle instead of waited on.
+    let mut invoker = if composite {
+        match invoker.try_lock() {
+            Some(guard) => guard,
+            None => {
+                let err = MetaError::Native {
+                    middleware: "composite".to_owned(),
+                    detail: format!("re-entrant invocation of composite '{service}' (cycle)"),
+                };
+                let result = Err(err);
+                tracer.end_result(sim, span, &result);
+                return result;
+            }
+        }
+    } else {
+        invoker.lock()
+    };
     let result = invoker.invoke(sim, operation, args);
     metrics.record_layer_with_exemplar(
         Layer::App,
@@ -1294,6 +1415,80 @@ mod tests {
             let status = gw_b.invoke(&sim, "hall-lamp", "status", &[]).unwrap();
             assert_eq!(status, Value::Bool(true), "{name}");
         }
+    }
+
+    #[test]
+    fn composite_runs_cross_island_steps_from_one_entry_hop() {
+        use crate::compose::{Binding, CompositeSpec, StepSpec};
+        let (sim, _net, _vsr, gw_a, gw_b) = world(Arc::new(Soap11::new()));
+        export_lamp(&gw_a);
+        let shown: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+        let log = shown.clone();
+        gw_b.export(
+            VirtualService::new("tv-display", catalog::display(), Middleware::Havi, "gw-b"),
+            move |_: &Sim, _: &str, args: &[(String, Value)]| {
+                let text = args
+                    .iter()
+                    .find(|(k, _)| k == "text")
+                    .and_then(|(_, v)| v.as_str())
+                    .unwrap_or("")
+                    .to_owned();
+                log.lock().push(text);
+                Ok(Value::Null)
+            },
+        )
+        .unwrap();
+
+        let spec = CompositeSpec::new("evening-check")
+            .input("on", crate::iface::TypeTag::Bool)
+            .step(StepSpec::new("hall-lamp", "switch").arg("on", Binding::Input("on".into())))
+            .step(
+                StepSpec::new("tv-display", "show")
+                    .arg("text", Binding::Literal(Value::Str("lamp set".into()))),
+            )
+            .step(StepSpec::new("hall-lamp", "status"));
+        gw_b.register_composite(spec).unwrap();
+
+        // Invoked from gw_a: one cross-gateway hop reaches gw_b, which
+        // drives all three steps (two of them back across to gw_a).
+        let out = gw_a
+            .invoke(
+                &sim,
+                "evening-check",
+                "run",
+                &[("on".into(), Value::Bool(true))],
+            )
+            .unwrap();
+        assert_eq!(out, Value::Bool(true), "last step's output is returned");
+        assert_eq!(shown.lock().as_slice(), ["lamp set".to_owned()]);
+
+        // The hosting gateway's metrics recorded the execution.
+        let snap = gw_b.metrics_snapshot();
+        assert_eq!(snap.registry.compose_executions, 1);
+        assert_eq!(snap.registry.compose_steps, 3);
+        assert_eq!(snap.registry.compose_failures, 0);
+    }
+
+    #[test]
+    fn mutually_recursive_composites_fail_as_cycles_not_deadlocks() {
+        use crate::compose::{CompositeSpec, StepSpec};
+        let (sim, _net, _vsr, gw_a, _gw_b) = world(Arc::new(Soap11::new()));
+        // a-calls-b's only step invokes b-calls-a and vice versa; direct
+        // self-invocation is rejected by validate(), but this mutual
+        // cycle is only discoverable at run time.
+        gw_a.register_composite(
+            CompositeSpec::new("a-calls-b").step(StepSpec::new("b-calls-a", "run")),
+        )
+        .unwrap();
+        gw_a.register_composite(
+            CompositeSpec::new("b-calls-a").step(StepSpec::new("a-calls-b", "run")),
+        )
+        .unwrap();
+        let err = gw_a.invoke(&sim, "a-calls-b", "run", &[]).unwrap_err();
+        assert!(
+            err.to_string().contains("cycle"),
+            "expected cycle error, got: {err}"
+        );
     }
 
     #[test]

@@ -70,6 +70,21 @@ impl ServiceRecord {
         format!("vsg://{}/{}", self.gateway, self.name)
     }
 
+    /// True when this record describes a composite pipeline rather
+    /// than a natively bridged service.
+    pub fn is_composite(&self) -> bool {
+        self.middleware == Middleware::Composite
+    }
+
+    /// The composite pipeline spec carried in the record's contexts,
+    /// if any. `None` for native services or malformed specs.
+    pub fn composite_spec(&self) -> Option<crate::compose::CompositeSpec> {
+        self.contexts
+            .iter()
+            .find(|(k, _)| k == crate::compose::COMPOSITE_SPEC_CONTEXT)
+            .and_then(|(_, xml)| crate::compose::CompositeSpec::from_xml(xml))
+    }
+
     fn from_value(v: &Value) -> Option<ServiceRecord> {
         let name = Name::new(v.field("name")?.as_str()?);
         let middleware = Middleware::from_label(v.field("middleware")?.as_str()?)?;

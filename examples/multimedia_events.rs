@@ -13,7 +13,10 @@
 //! Run with: `cargo run --example multimedia_events`
 
 use havi::FcmKind;
-use metaware::{Middleware, PollingBridge, SipPublisher, SipSubscriber, SmartHome};
+use metaware::{
+    Binding, CompositeSpec, Middleware, PollingBridge, SipPublisher, SipSubscriber, SmartHome,
+    StepSpec,
+};
 use simnet::SimDuration;
 use soap::Value;
 
@@ -134,24 +137,46 @@ fn main() {
         println!("     PCM's local sampling rate.");
     }
 
-    // Also exercise the Jini path: the motion event could instead start a
-    // Jini laserdisc — the framework doesn't care which island reacts.
-    println!("\n=== Coda: same event, Jini AV reaction ===\n");
+    // Coda: the whole reaction as ONE composite service. Instead of the
+    // client driving sensor → laserdisc → display step by step (three
+    // round trips from its island), the pipeline is registered in the
+    // VSR as a first-class service and the HAVi gateway executes all
+    // three steps itself — the X10 island pays a single call.
+    println!("\n=== Coda: the reaction as a first-class composite service ===\n");
     let home = SmartHome::builder().build().expect("home assembles");
+    let havi_gw = home.havi.as_ref().unwrap().vsg.clone();
+    havi_gw
+        .register_composite(
+            CompositeSpec::new("motion-scene")
+                // 1. X10 island: read the sensor (idempotent, safe to retry).
+                .step(StepSpec::new("hall-motion", "state"))
+                // 2. Jini island: roll the laserdisc; if a later step
+                //    dies, the saga stops it again on the way out.
+                .step(
+                    StepSpec::new("laserdisc", "play")
+                        .arg("chapter", Binding::Literal(Value::Int(2)))
+                        .compensate("stop", vec![]),
+                )
+                // 3. HAVi island: put the scene name on the OSD.
+                .step(
+                    StepSpec::new("tv-display", "show")
+                        .arg("text", Binding::Literal(Value::Str("motion scene".into()))),
+                ),
+        )
+        .expect("composite registers like any service");
+
     home.x10.as_ref().unwrap().motion.trigger();
-    home.invoke_from(Middleware::X10, "hall-motion", "state", &[])
-        .and_then(|active| {
-            println!("sensor state seen from its own island: {active}");
-            home.invoke_from(
-                Middleware::X10,
-                "laserdisc",
-                "play",
-                &[("chapter".into(), Value::Int(2))],
-            )
-        })
+    // One invocation from the X10 island drives all three steps.
+    home.invoke_from(Middleware::X10, "motion-scene", "run", &[])
         .unwrap();
+    println!("one call from the X10 island ran 3 steps across 3 islands:");
     println!(
-        "laserdisc: {:?}",
+        "  laserdisc: {:?}",
         *home.jini.as_ref().unwrap().laserdisc.lock()
+    );
+    let compose = home.havi.as_ref().unwrap().vsg.metrics_snapshot().registry;
+    println!(
+        "  HAVi gateway composition engine: {} execution(s), {} step(s), {} failure(s)",
+        compose.compose_executions, compose.compose_steps, compose.compose_failures
     );
 }

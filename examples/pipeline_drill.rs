@@ -1,0 +1,163 @@
+//! Pipeline drill: a cross-island composite under fire.
+//!
+//! A "goodnight" pipeline — read the hall sensor (X10), start the
+//! laserdisc (Jini), switch the porch light (UPnP), mail a report
+//! (Internet) — is registered in the VSR as a first-class service and
+//! executed by the HAVi gateway's composition engine. Act 1 runs it
+//! calm; act 2 kills the mail gateway mid-schedule so the final step
+//! dies, and the saga unwinds the completed steps in reverse order.
+//!
+//! Run with: `cargo run --example pipeline_drill`
+//! Seed via `CHAOS_SEED=n`; export artifacts via `OBS_EXPORT_DIR=dir`.
+//! Everything runs on virtual time from one seed: rerun and compare.
+
+use metaware::{Binding, CompositeSpec, HopKind, Middleware, SmartHome, StepSpec};
+use simnet::{FaultPlan, SimDuration};
+use soap::Value;
+
+fn goodnight_spec() -> CompositeSpec {
+    CompositeSpec::new("goodnight")
+        .budget(SimDuration::from_millis(1_500))
+        // 1. X10 island: read the sensor (idempotent, retried freely).
+        .step(StepSpec::new("hall-motion", "state"))
+        // 2. Jini island: roll the laserdisc; compensated by stopping it.
+        .step(
+            StepSpec::new("laserdisc", "play")
+                .arg("chapter", Binding::Literal(Value::Int(3)))
+                .compensate("stop", vec![]),
+        )
+        // 3. UPnP island: porch light on; compensated by switching it off.
+        .step(
+            StepSpec::new("porch-light", "switch")
+                .arg("on", Binding::Literal(Value::Bool(true)))
+                .compensate(
+                    "switch",
+                    vec![("on".into(), Binding::Literal(Value::Bool(false)))],
+                ),
+        )
+        // 4. Internet island: mail the report. No compensation — mail
+        //    can't be unsent; if IT fails, everything before unwinds.
+        .step(
+            StepSpec::new("mailer", "send")
+                .arg("to", Binding::Literal(Value::Str("owner@home".into())))
+                .arg("subject", Binding::Literal(Value::Str("goodnight".into())))
+                .arg(
+                    "body",
+                    Binding::Literal(Value::Str("house is down for the night".into())),
+                ),
+        )
+}
+
+fn print_compose_spans(home: &SmartHome, t0: simnet::SimTime) {
+    for span in home.take_spans() {
+        if span.kind == HopKind::Compose {
+            println!(
+                "  [{}] {}{}",
+                span.start.since(t0),
+                span.name,
+                span.error
+                    .as_deref()
+                    .map(|e| format!("  ERR: {e}"))
+                    .unwrap_or_default()
+            );
+        }
+    }
+}
+
+fn main() {
+    let seed: u64 = std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+    let home = SmartHome::builder()
+        .seed(seed)
+        .upnp(true)
+        .build()
+        .expect("home assembles");
+    home.set_tracing(true);
+    let havi_gw = home.havi.as_ref().unwrap().vsg.clone();
+    havi_gw
+        .register_composite(goodnight_spec())
+        .expect("composite registers");
+
+    println!("=== Act 1: calm run (seed {seed}) ===\n");
+    let t0 = home.sim.now();
+    let out = home
+        .invoke_from(Middleware::X10, "goodnight", "run", &[])
+        .expect("calm pipeline succeeds");
+    println!("one X10-island call ran all 4 steps; mailer said: {out}");
+    println!(
+        "laserdisc: {:?}",
+        *home.jini.as_ref().unwrap().laserdisc.lock()
+    );
+    println!("compose spans (one per step, causally threaded):");
+    print_compose_spans(&home, t0);
+
+    // Reset the scene so act 2 starts from the same appliance state.
+    home.invoke_from(Middleware::Havi, "laserdisc", "stop", &[])
+        .unwrap();
+    home.invoke_from(
+        Middleware::Havi,
+        "porch-light",
+        "switch",
+        &[("on".into(), Value::Bool(false))],
+    )
+    .unwrap();
+    let _ = home.take_spans();
+
+    println!("\n=== Act 2: mail gateway dies mid-pipeline ===\n");
+    let mail_gw = home.mail.as_ref().unwrap().vsg.clone();
+    let t1 = home.sim.now();
+    home.backbone.set_fault_plan(FaultPlan::new().node_down(
+        mail_gw.node(),
+        t1,
+        t1 + SimDuration::from_secs(30),
+    ));
+
+    let err = home
+        .invoke_from(Middleware::X10, "goodnight", "run", &[])
+        .expect_err("final step cannot reach the mail island");
+    println!("pipeline failed as it should: {err}");
+    println!("compose spans (steps forward, compensations in reverse):");
+    print_compose_spans(&home, t1);
+
+    // The saga left the house as it found it.
+    let disc = *home.jini.as_ref().unwrap().laserdisc.lock();
+    let porch = home
+        .invoke_from(Middleware::Havi, "porch-light", "status", &[])
+        .unwrap();
+    println!("laserdisc after unwind: {disc:?}");
+    println!("porch light after unwind: {porch}");
+    assert!(!disc.playing, "compensation stopped the laserdisc");
+    assert_eq!(porch, Value::Bool(false), "compensation darkened the porch");
+
+    let reg = havi_gw.metrics_snapshot().registry;
+    println!("\ncomposition engine counters (HAVi gateway):");
+    println!("  executions:            {}", reg.compose_executions);
+    println!("  steps completed:       {}", reg.compose_steps);
+    println!("  failures:              {}", reg.compose_failures);
+    println!("  compensations run:     {}", reg.compose_compensations);
+    println!(
+        "  compensations failed:  {}",
+        reg.compose_compensation_failures
+    );
+    assert_eq!(reg.compose_executions, 2);
+    assert_eq!(reg.compose_failures, 1);
+    assert_eq!(reg.compose_compensations, 2, "steps 3 and 2 unwound");
+    assert_eq!(reg.compose_compensation_failures, 0);
+
+    if let Ok(dir) = std::env::var("OBS_EXPORT_DIR") {
+        std::fs::create_dir_all(&dir).expect("export dir");
+        let snaps = home.metrics_snapshots();
+        let om = format!("{dir}/pipeline_metrics.om");
+        let ev = format!("{dir}/pipeline_events.jsonl");
+        std::fs::write(&om, metaware::obs::openmetrics(&snaps)).expect("write openmetrics");
+        std::fs::write(&ev, metaware::obs::events_jsonl(&snaps, &[])).expect("write events");
+        eprintln!("exported {om} and {ev}");
+    }
+
+    println!(
+        "\nvirtual time elapsed: {} (deterministic — rerun and compare)",
+        home.sim.now()
+    );
+}

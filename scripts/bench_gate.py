@@ -18,9 +18,15 @@ doubled is as suspicious as one that halved. Label cells must match
 exactly; any header/row-count mismatch is a shape change and fails hard.
 
 Only baselines with a fresh counterpart are compared (ci.sh smokes a
-subset of the benches), but at least one comparison must happen.
+subset of the benches), but at least one comparison must happen — and
+every *fresh* ``BENCH_*.json`` must have a baseline: an emitted report
+nobody checked a baseline in for would otherwise be silently ungated.
 
-Exit status: 0 green, 1 regression/shape change/nothing compared.
+On drift the gate prints a per-cell table (file, row, column, old, new,
+drift, tolerance) so the offending cells read off directly.
+
+Exit status: 0 green, 1 regression/shape change/missing baseline/
+nothing compared.
 """
 
 import json
@@ -42,18 +48,29 @@ def leading_float(cell):
 
 
 def compare_report(name, base, fresh, tolerance):
-    """Returns a list of failure strings (empty means the file is green)."""
-    failures = []
+    """Returns (failures, drift_cells).
+
+    ``failures`` are shape-change strings; ``drift_cells`` are
+    ``(file, row_label, column, old, new, drift, band)`` tuples for
+    every numeric cell outside its band (empty both means green).
+    """
+    failures, drifts = [], []
     if base.get("headers") != fresh.get("headers"):
-        return [f"{name}: headers changed {base.get('headers')} -> {fresh.get('headers')}"]
+        return (
+            [f"{name}: headers changed {base.get('headers')} -> {fresh.get('headers')}"],
+            [],
+        )
+    headers = base.get("headers", [])
     base_rows, fresh_rows = base.get("rows", []), fresh.get("rows", [])
     if len(base_rows) != len(fresh_rows):
-        return [f"{name}: row count changed {len(base_rows)} -> {len(fresh_rows)}"]
+        return [f"{name}: row count changed {len(base_rows)} -> {len(fresh_rows)}"], []
     for i, (brow, frow) in enumerate(zip(base_rows, fresh_rows)):
         if len(brow) != len(frow):
             failures.append(f"{name} row {i}: cell count changed {len(brow)} -> {len(frow)}")
             continue
+        row_label = brow[0] if brow else str(i)
         for j, (bcell, fcell) in enumerate(zip(brow, frow)):
+            column = headers[j] if j < len(headers) else f"col {j}"
             bval, fval = leading_float(bcell), leading_float(fcell)
             if bval is None or fval is None:
                 if bcell != fcell:
@@ -63,14 +80,28 @@ def compare_report(name, base, fresh, tolerance):
                 continue
             if abs(bval) <= ABSOLUTE_FLOOR:
                 drift_ok = abs(fval - bval) <= ABSOLUTE_FLOOR
+                band = f"±{ABSOLUTE_FLOOR:g} abs"
+                drift = f"{fval - bval:+g}"
             else:
-                drift_ok = abs(fval - bval) / abs(bval) <= tolerance
+                rel = (fval - bval) / abs(bval)
+                drift_ok = abs(rel) <= tolerance
+                band = f"±{tolerance:.0%}"
+                drift = f"{rel:+.1%}"
             if not drift_ok:
-                failures.append(
-                    f"{name} row {i} ({brow[0]!r}) col {j}: "
-                    f"{bcell!r} -> {fcell!r} exceeds tolerance {tolerance:.0%}"
-                )
-    return failures
+                drifts.append((name, row_label, column, bcell, fcell, drift, band))
+    return failures, drifts
+
+
+def print_drift_table(drifts):
+    """The per-cell drift report: one aligned row per offending cell."""
+    headers = ("file", "row", "column", "old", "new", "drift", "tolerance")
+    rows = [headers] + [tuple(str(c) for c in d) for d in drifts]
+    widths = [max(len(r[i]) for r in rows) for i in range(len(headers))]
+    for k, r in enumerate(rows):
+        line = "  ".join(c.ljust(w) for c, w in zip(r, widths)).rstrip()
+        print(f"bench gate: {line}", file=sys.stderr)
+        if k == 0:
+            print(f"bench gate: {'-' * (sum(widths) + 2 * (len(widths) - 1))}", file=sys.stderr)
 
 
 def main():
@@ -88,7 +119,7 @@ def main():
         print(f"bench gate: no BENCH_*.json baselines in {baseline_dir}", file=sys.stderr)
         return 1
 
-    compared, skipped, failures = 0, [], []
+    compared, skipped, failures, drifts = 0, [], [], []
     for base_path in baselines:
         fresh_path = fresh_dir / base_path.name
         if not fresh_path.exists():
@@ -98,21 +129,38 @@ def main():
             base = json.load(f)
         with open(fresh_path) as f:
             fresh = json.load(f)
-        file_failures = compare_report(base_path.name, base, fresh, tolerance)
+        file_failures, file_drifts = compare_report(base_path.name, base, fresh, tolerance)
         failures.extend(file_failures)
+        drifts.extend(file_drifts)
         compared += 1
-        status = "FAIL" if file_failures else "ok"
+        status = "FAIL" if file_failures or file_drifts else "ok"
         print(f"bench gate: {base_path.name}: {status}")
+
+    # A fresh report with no baseline is a new, ungated bench — fail
+    # loudly instead of letting it ride green forever.
+    baseline_names = {p.name for p in baselines}
+    unbaselined = sorted(
+        p.name for p in fresh_dir.glob("BENCH_*.json") if p.name not in baseline_names
+    )
+    for name in unbaselined:
+        print(f"bench gate: {name}: FAIL (no baseline)", file=sys.stderr)
+        failures.append(
+            f"{name}: emitted fresh but has no baseline — "
+            f"check one in under {baseline_dir}"
+        )
 
     for name in skipped:
         print(f"bench gate: {name}: skipped (no fresh run)")
     for failure in failures:
         print(f"bench gate: REGRESSION: {failure}", file=sys.stderr)
+    if drifts:
+        print("bench gate: cells outside the band:", file=sys.stderr)
+        print_drift_table(drifts)
 
     if compared == 0:
         print("bench gate: nothing compared — did the bench smoke stage run?", file=sys.stderr)
         return 1
-    if failures:
+    if failures or drifts:
         return 1
     print(f"bench gate: green ({compared} compared, tolerance {tolerance:.0%})")
     return 0

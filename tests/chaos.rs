@@ -12,8 +12,9 @@
 //! failing schedule can be replayed exactly.
 
 use metaware::{
-    catalog, BatchCall, BatchItem, BreakerState, CloudConfig, CloudIsland, MetaError, Middleware,
-    Soap11, VirtualService, Vsg, VsgProtocol, Vsr,
+    catalog, BatchCall, BatchItem, Binding, BreakerState, CloudConfig, CloudIsland, CompositeSpec,
+    MetaError, Middleware, OpSig, ServiceInterface, Soap11, StepSpec, TypeTag, VirtualService, Vsg,
+    VsgProtocol, Vsr,
 };
 use parking_lot::Mutex;
 use proptest::prelude::*;
@@ -511,6 +512,263 @@ fn cloud_chaos_runs_are_deterministic_per_seed() {
         )
     };
     assert_eq!(run(42), run(42), "same seed, same cloud run");
+}
+
+// ---------------------------------------------------------------------------
+// Composite pipelines under chaos (DESIGN.md §16): the saga invariants.
+// The composition engine drives non-idempotent steps over a faulty wire;
+// whatever the schedule eats, no step may execute twice in one pipeline
+// run and no compensator may run more than once (or for a step that
+// never executed).
+// ---------------------------------------------------------------------------
+
+const PIPE_STEPS: usize = 4;
+
+struct ComposeWorld {
+    sim: Sim,
+    net: Network,
+    /// Hosts the composite; entry dispatch is local, steps go over the wire.
+    host: Vsg,
+    /// Hosts the step service the chaos schedule targets.
+    server: Vsg,
+    /// Forward executions of the non-idempotent `fire`, per step index.
+    fired: Arc<Mutex<Vec<u64>>>,
+    /// Compensator executions of `unfire`, per step index.
+    unfired: Arc<Mutex<Vec<u64>>>,
+}
+
+fn stage_interface() -> ServiceInterface {
+    ServiceInterface::new("Stage")
+        .op(OpSig::new("fire")
+            .param("step", TypeTag::Int)
+            .returns(TypeTag::Int))
+        .op(OpSig::new("unfire").param("step", TypeTag::Int))
+        .op(OpSig::new("probe").returns(TypeTag::Bool).idempotent())
+}
+
+fn build_compose_world(seed: u64) -> ComposeWorld {
+    let sim = Sim::new(seed);
+    let net = Network::ethernet(&sim);
+    let vsr = Vsr::start(&net);
+    let protocol: Arc<dyn VsgProtocol> = Arc::new(Soap11::new());
+    let server = Vsg::start(&net, "gw-server", protocol.clone(), vsr.node()).unwrap();
+    let host = Vsg::start(&net, "gw-host", protocol, vsr.node()).unwrap();
+
+    let fired = Arc::new(Mutex::new(vec![0u64; PIPE_STEPS]));
+    let unfired = Arc::new(Mutex::new(vec![0u64; PIPE_STEPS]));
+    let (f, u) = (fired.clone(), unfired.clone());
+    server
+        .export(
+            VirtualService::new("stage", stage_interface(), Middleware::Jini, "gw-server"),
+            move |_: &Sim, op: &str, args: &[(String, Value)]| {
+                let step = args
+                    .iter()
+                    .find(|(k, _)| k == "step")
+                    .and_then(|(_, v)| v.as_int())
+                    .unwrap_or(0) as usize;
+                match op {
+                    "fire" => {
+                        f.lock()[step] += 1;
+                        Ok(Value::Int(step as i64))
+                    }
+                    "unfire" => {
+                        u.lock()[step] += 1;
+                        Ok(Value::Null)
+                    }
+                    _ => Ok(Value::Bool(true)),
+                }
+            },
+        )
+        .unwrap();
+
+    let mut spec = CompositeSpec::new("chaos-pipe");
+    for i in 0..PIPE_STEPS {
+        spec = spec.step(
+            StepSpec::new("stage", "fire")
+                .arg("step", Binding::Literal(Value::Int(i as i64)))
+                .compensate(
+                    "unfire",
+                    vec![("step".into(), Binding::Literal(Value::Int(i as i64)))],
+                ),
+        );
+    }
+    host.register_composite(spec).unwrap();
+
+    ComposeWorld {
+        sim,
+        net,
+        host,
+        server,
+        fired,
+        unfired,
+    }
+}
+
+fn build_compose_plan(windows: &[ChaosWindow], t0: SimTime, world: &ComposeWorld) -> FaultPlan {
+    let mut plan = FaultPlan::new();
+    for w in windows {
+        let from = t0 + SimDuration::from_millis(w.from_ms as u64);
+        let until = from + SimDuration::from_millis(w.len_ms as u64);
+        plan = match &w.spec {
+            WindowSpec::Loss { prob_pct } => plan.loss_spike(from, until, *prob_pct as f64 / 100.0),
+            WindowSpec::Latency { extra_ms } => {
+                plan.latency_spike(from, until, SimDuration::from_millis(*extra_ms as u64))
+            }
+            WindowSpec::ServerDown => plan.node_down(world.server.node(), from, until),
+            WindowSpec::Partition => plan.partition(
+                vec![world.host.node()],
+                vec![world.server.node()],
+                from,
+                until,
+            ),
+        };
+    }
+    plan
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The saga invariants under arbitrary schedules: per pipeline run,
+    /// (a) executed steps form a prefix and none executes twice, (b) a
+    /// compensator runs at most once and only for a step that actually
+    /// executed, (c) a reported success means every step ran exactly
+    /// once and nothing was compensated, and (d) after the schedule
+    /// lapses the pipeline converges with no operator intervention.
+    #[test]
+    fn compose_chaos_never_double_executes_and_compensates_at_most_once(
+        windows in prop::collection::vec(arb_window(), 1..6),
+        runs in 2usize..6,
+    ) {
+        let world = build_compose_world(chaos_seed());
+        // Warm the host's route to the step service.
+        world.host.invoke(&world.sim, "stage", "probe", &[]).unwrap();
+
+        let t0 = world.sim.now();
+        let plan = build_compose_plan(&windows, t0, &world);
+        let healed_by = plan.healed_by();
+        world.net.set_fault_plan(plan);
+
+        for _ in 0..runs {
+            let fired_before = world.fired.lock().clone();
+            let unfired_before = world.unfired.lock().clone();
+            let result = world.host.invoke(&world.sim, "chaos-pipe", "run", &[]);
+            let fired_delta: Vec<u64> = world.fired.lock().iter()
+                .zip(&fired_before).map(|(a, b)| a - b).collect();
+            let unfired_delta: Vec<u64> = world.unfired.lock().iter()
+                .zip(&unfired_before).map(|(a, b)| a - b).collect();
+
+            let mut seen_gap = false;
+            for i in 0..PIPE_STEPS {
+                prop_assert!(
+                    fired_delta[i] <= 1,
+                    "step {i} executed {}x in one pipeline run", fired_delta[i]
+                );
+                prop_assert!(
+                    !(seen_gap && fired_delta[i] > 0),
+                    "step {i} executed after an earlier step did not: {fired_delta:?}"
+                );
+                seen_gap |= fired_delta[i] == 0;
+                prop_assert!(
+                    unfired_delta[i] <= 1,
+                    "compensator for step {i} ran {}x", unfired_delta[i]
+                );
+                prop_assert!(
+                    unfired_delta[i] <= fired_delta[i],
+                    "compensated step {i} that never executed"
+                );
+            }
+            if result.is_ok() {
+                prop_assert!(
+                    fired_delta.iter().all(|&d| d == 1),
+                    "success without every step executing exactly once: {fired_delta:?}"
+                );
+                prop_assert!(
+                    unfired_delta.iter().all(|&d| d == 0),
+                    "success must not compensate: {unfired_delta:?}"
+                );
+            } else if let Err(e) = &result {
+                prop_assert!(
+                    matches!(
+                        e,
+                        MetaError::Transport { .. }
+                            | MetaError::DeadlineExceeded { .. }
+                            | MetaError::CircuitOpen { .. }
+                            | MetaError::GatewayUnreachable(_)
+                            | MetaError::Repository(_)
+                    ),
+                    "unexpected error class under chaos: {e:?}"
+                );
+            }
+            world.sim.advance(SimDuration::from_millis(50));
+        }
+
+        // Heal and converge.
+        let past = healed_by + SimDuration::from_secs(10);
+        if world.sim.now() < past {
+            world.sim.advance(past.since(world.sim.now()));
+        }
+        world.net.clear_fault_plan();
+
+        let fired_before = world.fired.lock().clone();
+        let out = world.host.invoke(&world.sim, "chaos-pipe", "run", &[]).unwrap();
+        prop_assert_eq!(out, Value::Int(PIPE_STEPS as i64 - 1));
+        let fired_after = world.fired.lock().clone();
+        for i in 0..PIPE_STEPS {
+            prop_assert_eq!(fired_after[i] - fired_before[i], 1);
+        }
+        prop_assert_eq!(
+            world.host.breaker_state("gw-server"),
+            BreakerState::Closed
+        );
+    }
+}
+
+/// Same seed, same pipeline run — outcomes, virtual clock, per-step
+/// execution and compensation counts, and the engine's own counters.
+/// A failing composite chaos schedule replays from its CHAOS_SEED.
+#[test]
+fn compose_chaos_runs_are_deterministic_per_seed() {
+    let run = |seed: u64| {
+        let world = build_compose_world(seed);
+        world
+            .host
+            .invoke(&world.sim, "stage", "probe", &[])
+            .unwrap();
+        let t0 = world.sim.now();
+        world.net.set_fault_plan(
+            FaultPlan::new()
+                .loss_spike(t0, t0 + SimDuration::from_millis(300), 0.7)
+                .node_down(
+                    world.server.node(),
+                    t0 + SimDuration::from_millis(350),
+                    t0 + SimDuration::from_millis(900),
+                ),
+        );
+        let mut outcomes = Vec::new();
+        for _ in 0..5 {
+            let r = world.host.invoke(&world.sim, "chaos-pipe", "run", &[]);
+            outcomes.push(r.map_err(|e| e.to_string()));
+            world.sim.advance(SimDuration::from_millis(120));
+        }
+        let reg = world.host.metrics_snapshot().registry;
+        let fired = world.fired.lock().clone();
+        let unfired = world.unfired.lock().clone();
+        (
+            outcomes,
+            world.sim.now(),
+            fired,
+            unfired,
+            (
+                reg.compose_executions,
+                reg.compose_steps,
+                reg.compose_failures,
+                reg.compose_compensations,
+                reg.compose_compensation_failures,
+            ),
+        )
+    };
+    assert_eq!(run(chaos_seed()), run(chaos_seed()), "same seed, same run");
 }
 
 /// The same seed and schedule must reproduce the exact same run —

@@ -3,7 +3,8 @@
 //! devices' state in agreement.
 
 use metaware::{
-    BatchCall, BatchItem, BatchPolicy, HomeFleet, Middleware, SmartHome, VirtualService,
+    BatchCall, BatchItem, BatchPolicy, Binding, CompositeSpec, HomeFleet, Middleware,
+    ResiliencePolicy, SmartHome, StepSpec, VirtualService,
 };
 use parking_lot::Mutex;
 use proptest::prelude::*;
@@ -299,6 +300,78 @@ proptest! {
         prop_assert_eq!(batched, unbatched);
         prop_assert_eq!(batched_events, unbatched_events);
         prop_assert_eq!(batched_lamps, unbatched_lamps);
+    }
+
+    /// A pipeline run by the composition engine is semantically
+    /// equivalent to the client driving the same steps one by one from
+    /// its own island: identical final value and identical physical
+    /// device state — the engine only changes *where* the steps are
+    /// driven from, never what they do.
+    #[test]
+    fn composite_engine_matches_client_driven_steps(
+        steps in prop::collection::vec((0u8..2, 0u8..3, any::<bool>(), 1i64..5), 1..8),
+    ) {
+        let as_call = |&(lamp, op, on, dim): &(u8, u8, bool, i64)| {
+            let (operation, args): (&str, Vec<(String, Value)>) = match op {
+                0 => ("switch", vec![("on".into(), Value::Bool(on))]),
+                1 => ("dim", vec![("steps".into(), Value::Int(dim))]),
+                _ => ("status", vec![]),
+            };
+            (lamp_name(lamp), operation, args)
+        };
+
+        // X10 powerline steps are slow; give both runs one generous,
+        // identical deadline so neither path times out first.
+        let relaxed = ResiliencePolicy {
+            deadline: SimDuration::from_secs(60),
+            ..ResiliencePolicy::default()
+        };
+
+        // Run A: the steps as a composite, one client call from Jini.
+        let engine_home = SmartHome::builder().build().unwrap();
+        engine_home.set_resilience(relaxed.clone());
+        let mut spec = CompositeSpec::new("pipe").budget(SimDuration::from_secs(60));
+        for s in &steps {
+            let (service, operation, args) = as_call(s);
+            let mut step = StepSpec::new(service, operation);
+            for (k, v) in args {
+                step = step.arg(k, Binding::Literal(v));
+            }
+            spec = spec.step(step);
+        }
+        engine_home
+            .gateway(Middleware::Havi)
+            .unwrap()
+            .register_composite(spec)
+            .unwrap();
+        let engine_result = engine_home
+            .invoke_from(Middleware::Jini, "pipe", "run", &[])
+            .map_err(|e| e.to_string());
+
+        // Run B: a fresh, identically seeded home; the client drives
+        // each step itself.
+        let client_home = SmartHome::builder().build().unwrap();
+        client_home.set_resilience(relaxed);
+        let mut client_result = Ok(Value::Null);
+        for s in &steps {
+            let (service, operation, args) = as_call(s);
+            client_result = client_home
+                .invoke_from(Middleware::Jini, service, operation, &args)
+                .map_err(|e| e.to_string());
+            if client_result.is_err() {
+                break;
+            }
+        }
+
+        prop_assert_eq!(engine_result, client_result);
+        let (ex, cx) = (
+            engine_home.x10.as_ref().unwrap(),
+            client_home.x10.as_ref().unwrap(),
+        );
+        prop_assert_eq!(ex.hall_lamp.state().level, cx.hall_lamp.state().level);
+        prop_assert_eq!(ex.desk_lamp.state().level, cx.desk_lamp.state().level);
+        prop_assert_eq!(ex.hall_lamp.is_on(), cx.hall_lamp.is_on());
+        prop_assert_eq!(ex.desk_lamp.is_on(), cx.desk_lamp.is_on());
     }
 
     /// Dim sequences through the framework keep the physical level and
